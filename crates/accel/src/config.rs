@@ -1,0 +1,152 @@
+//! Accelerator configuration.
+
+/// Microarchitectural parameters of the simulated accelerator (the paper's
+/// Figure 1: PE array, on-chip IFM/weight/output buffers, DRAM interface).
+///
+/// # Example
+///
+/// ```
+/// use cnnre_accel::AccelConfig;
+/// let cfg = AccelConfig::default().with_zero_pruning(true);
+/// assert!(cfg.zero_pruning);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccelConfig {
+    /// DRAM burst (transaction) size in bytes. Structure experiments use the
+    /// realistic 64-byte burst; the weight-extraction experiment observes
+    /// compressed writes at word granularity (set this to 4).
+    pub block_bytes: u64,
+    /// Bytes per data element (4 for `f32`).
+    pub element_bytes: u64,
+    /// Alignment (and implicit guard gap) between DRAM regions, in bytes.
+    pub region_align: u64,
+    /// Processing-element array rows.
+    pub pe_rows: usize,
+    /// Processing-element array columns.
+    pub pe_cols: usize,
+    /// On-chip input-feature-map buffer capacity, in elements.
+    pub ifm_buffer_elems: usize,
+    /// On-chip weight buffer capacity, in elements.
+    pub weight_buffer_elems: usize,
+    /// Cycles consumed by one DRAM transaction.
+    pub mem_cycles_per_block: u64,
+    /// Dynamic zero pruning of feature maps (Cnvlutin/SCNN/Minerva style):
+    /// OFMs are stored compressed — only non-zero values (plus indices) are
+    /// written, and subsequent layers read only the compressed stream. This
+    /// is the optimization §4 of the paper turns into a weight oracle.
+    pub zero_pruning: bool,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        Self {
+            block_bytes: 64,
+            element_bytes: 4,
+            region_align: 4096,
+            pe_rows: 16,
+            pe_cols: 16,
+            ifm_buffer_elems: 64 * 1024,
+            weight_buffer_elems: 64 * 1024,
+            mem_cycles_per_block: 1,
+            zero_pruning: false,
+        }
+    }
+}
+
+impl AccelConfig {
+    /// Total PE count (MACs per cycle).
+    #[must_use]
+    pub const fn pe_count(&self) -> u64 {
+        (self.pe_rows * self.pe_cols) as u64
+    }
+
+    /// Elements per DRAM transaction.
+    #[must_use]
+    pub const fn elems_per_block(&self) -> u64 {
+        self.block_bytes / self.element_bytes
+    }
+
+    /// Returns the configuration with zero pruning set to `enabled`.
+    #[must_use]
+    pub const fn with_zero_pruning(mut self, enabled: bool) -> Self {
+        self.zero_pruning = enabled;
+        self
+    }
+
+    /// Returns the configuration with the given DRAM burst size.
+    #[must_use]
+    pub const fn with_block_bytes(mut self, block_bytes: u64) -> Self {
+        self.block_bytes = block_bytes;
+        self
+    }
+
+    /// Configuration for the §4 weight-extraction experiments: zero pruning
+    /// on and word-granular write observability.
+    #[must_use]
+    pub const fn for_weight_attack() -> Self {
+        Self {
+            block_bytes: 4,
+            element_bytes: 4,
+            region_align: 4096,
+            pe_rows: 16,
+            pe_cols: 16,
+            ifm_buffer_elems: 64 * 1024,
+            weight_buffer_elems: 64 * 1024,
+            mem_cycles_per_block: 1,
+            zero_pruning: true,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.element_bytes == 0 {
+            return Err("element_bytes must be positive".to_string());
+        }
+        if self.block_bytes < self.element_bytes || !self.block_bytes.is_multiple_of(self.element_bytes) {
+            return Err("block_bytes must be a positive multiple of element_bytes".to_string());
+        }
+        if self.region_align < self.block_bytes || !self.region_align.is_multiple_of(self.block_bytes) {
+            return Err("region_align must be a multiple of block_bytes".to_string());
+        }
+        if self.pe_rows == 0 || self.pe_cols == 0 {
+            return Err("PE array dimensions must be positive".to_string());
+        }
+        if self.ifm_buffer_elems == 0 || self.weight_buffer_elems == 0 {
+            return Err("on-chip buffers must be non-empty".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(AccelConfig::default().validate().is_ok());
+        assert!(AccelConfig::for_weight_attack().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let c = AccelConfig { block_bytes: 10, ..AccelConfig::default() };
+        assert!(c.validate().is_err());
+        let c = AccelConfig { region_align: 100, ..AccelConfig::default() };
+        assert!(c.validate().is_err());
+        let c = AccelConfig { pe_rows: 0, ..AccelConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = AccelConfig::default();
+        assert_eq!(c.pe_count(), 256);
+        assert_eq!(c.elems_per_block(), 16);
+        assert_eq!(AccelConfig::for_weight_attack().elems_per_block(), 1);
+    }
+}

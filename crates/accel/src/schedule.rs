@@ -1,0 +1,465 @@
+//! Lowering a [`Network`] graph onto the accelerator.
+//!
+//! The accelerator executes *merged layers* (the paper's §3.1: "a CNN
+//! performs an activation operation after each convolution followed by an
+//! optional pooling operation. These three operations are often merged and
+//! performed together as a single layer in CNN accelerators"). The
+//! scheduler therefore fuses each CONV/FC node with its trailing ReLU and
+//! pooling into one [`Stage`], keeps element-wise additions (bypass merges)
+//! as their own weightless stages, and erases `Flatten`/`Concat` nodes
+//! entirely: flattening is a reinterpretation of the same DRAM bytes, and
+//! concatenation is free when the producers write adjacent channel slices
+//! of one region.
+
+use std::collections::HashMap;
+
+use cnnre_nn::{Network, NodeId, Op};
+use cnnre_trace::Addr;
+
+use crate::layout::{DramLayout, Region, RegionKind};
+use crate::AccelConfig;
+
+/// Error raised when a graph cannot be lowered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A graph pattern the accelerator does not implement.
+    Unsupported {
+        /// Offending node name.
+        node: String,
+        /// Why it cannot be lowered.
+        reason: String,
+    },
+    /// The configuration failed validation.
+    InvalidConfig(String),
+}
+
+impl core::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScheduleError::Unsupported { node, reason } => {
+                write!(f, "cannot lower node '{node}': {reason}")
+            }
+            ScheduleError::InvalidConfig(msg) => write!(f, "invalid accelerator config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The computational flavour of a stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageKind {
+    /// Convolution with fused activation and optional pooling.
+    Conv {
+        /// The convolution node.
+        conv: NodeId,
+        /// Fused activation node, if present.
+        relu: Option<NodeId>,
+        /// Fused pooling node, if present.
+        pool: Option<NodeId>,
+        /// Fused global average pooling, if present.
+        global_pool: bool,
+    },
+    /// Fully connected layer with optional fused activation.
+    Fc {
+        /// The linear node.
+        linear: NodeId,
+        /// Fused activation node, if present.
+        relu: Option<NodeId>,
+    },
+    /// Element-wise addition of previously written feature maps (bypass
+    /// merge) — reads its operands from DRAM, writes a fresh feature map,
+    /// touches no weights.
+    Eltwise,
+}
+
+/// One accelerator layer: a unit of execution whose output feature map goes
+/// to DRAM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// Name (taken from the defining graph node).
+    pub name: String,
+    /// Flavour and fused nodes.
+    pub kind: StageKind,
+    /// Graph nodes whose activations this stage reads from DRAM.
+    pub inputs: Vec<NodeId>,
+    /// Graph node whose activation is the feature map this stage writes.
+    pub output: NodeId,
+}
+
+/// DRAM placement of one feature map (possibly a channel slice of a shared
+/// concat region).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// Base byte address of the feature map's first element.
+    pub base: Addr,
+    /// Payload length in bytes (dense size).
+    pub len_bytes: u64,
+}
+
+/// The complete lowering: stages plus the DRAM layout and per-node
+/// placements.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    stages: Vec<Stage>,
+    layout: DramLayout,
+    bindings: HashMap<usize, Binding>,
+    weight_regions: HashMap<usize, Region>,
+    input_region: Region,
+}
+
+impl Schedule {
+    /// Plans the execution of `net` under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] for invalid configurations and graph
+    /// patterns the accelerator cannot execute (e.g. pooling that does not
+    /// directly follow a convolution's activation).
+    pub fn plan(net: &Network, config: &AccelConfig) -> Result<Self, ScheduleError> {
+        config.validate().map_err(ScheduleError::InvalidConfig)?;
+        let nodes = net.nodes();
+        let n = nodes.len();
+
+        // Consumers of each node.
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, node) in nodes.iter().enumerate() {
+            for inp in &node.inputs {
+                consumers[inp.index()].push(i);
+            }
+        }
+
+        // Fuse nodes into stages.
+        let mut fused = vec![false; n];
+        let mut stages = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            if fused[i] {
+                continue;
+            }
+            match &node.op {
+                Op::Input | Op::Flatten | Op::Concat => {}
+                Op::Conv(_) => {
+                    let mut relu = None;
+                    let mut pool = None;
+                    let mut global_pool = false;
+                    let mut last = i;
+                    if let [c] = consumers[last][..] {
+                        if matches!(nodes[c].op, Op::Relu(_)) {
+                            relu = Some(NodeId::from_index(c));
+                            fused[c] = true;
+                            last = c;
+                        }
+                    }
+                    if relu.is_some() {
+                        if let [c] = consumers[last][..] {
+                            match nodes[c].op {
+                                Op::Pool(_) => {
+                                    pool = Some(NodeId::from_index(c));
+                                    fused[c] = true;
+                                    last = c;
+                                }
+                                Op::GlobalAvgPool => {
+                                    global_pool = true;
+                                    fused[c] = true;
+                                    last = c;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    stages.push(Stage {
+                        name: node.name.clone(),
+                        kind: StageKind::Conv {
+                            conv: NodeId::from_index(i),
+                            relu,
+                            pool,
+                            global_pool,
+                        },
+                        inputs: vec![node.inputs[0]],
+                        output: NodeId::from_index(last),
+                    });
+                }
+                Op::Linear(_) => {
+                    let mut relu = None;
+                    let mut last = i;
+                    if let [c] = consumers[last][..] {
+                        if matches!(nodes[c].op, Op::Relu(_)) {
+                            relu = Some(NodeId::from_index(c));
+                            fused[c] = true;
+                            last = c;
+                        }
+                    }
+                    stages.push(Stage {
+                        name: node.name.clone(),
+                        kind: StageKind::Fc { linear: NodeId::from_index(i), relu },
+                        inputs: vec![node.inputs[0]],
+                        output: NodeId::from_index(last),
+                    });
+                }
+                Op::Add => {
+                    stages.push(Stage {
+                        name: node.name.clone(),
+                        kind: StageKind::Eltwise,
+                        inputs: node.inputs.clone(),
+                        output: NodeId::from_index(i),
+                    });
+                }
+                Op::Relu(_) | Op::Pool(_) | Op::GlobalAvgPool => {
+                    return Err(ScheduleError::Unsupported {
+                        node: node.name.clone(),
+                        reason: format!(
+                            "standalone {} (must directly follow a CONV/FC layer so the \
+                             accelerator can merge it)",
+                            node.op.kind_name()
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Assign each DRAM-resident feature map a home region.
+        // home[i] = (owner node index, byte offset within the owner region).
+        let storage_roots: Vec<usize> = {
+            let mut roots = Vec::new();
+            roots.push(0); // the input node
+            for s in &stages {
+                roots.push(s.output.index());
+            }
+            for (i, node) in nodes.iter().enumerate() {
+                if matches!(node.op, Op::Concat) {
+                    roots.push(i);
+                }
+            }
+            roots
+        };
+        let elem = config.element_bytes;
+        let mut home: HashMap<usize, (usize, u64)> = HashMap::new();
+        // Resolve in reverse topological order so a node feeding a concat can
+        // look up the concat's own home.
+        let mut roots_sorted = storage_roots.clone();
+        roots_sorted.sort_unstable();
+        for &i in roots_sorted.iter().rev() {
+            // Does this feature map live inside a consumer concat region?
+            let concat_consumers: Vec<usize> = consumers[i]
+                .iter()
+                .copied()
+                .filter(|&c| matches!(nodes[c].op, Op::Concat))
+                .collect();
+            match concat_consumers[..] {
+                [] => {
+                    home.insert(i, (i, 0));
+                }
+                [c] => {
+                    let (owner, base_off) = *home.get(&c).unwrap_or(&(c, 0));
+                    let mut off = base_off;
+                    for inp in &nodes[c].inputs {
+                        if inp.index() == i {
+                            break;
+                        }
+                        off += net.shape(*inp).len() as u64 * elem;
+                    }
+                    home.insert(i, (owner, off));
+                }
+                _ => {
+                    return Err(ScheduleError::Unsupported {
+                        node: nodes[i].name.clone(),
+                        reason: "feature map consumed by multiple concatenations".to_string(),
+                    });
+                }
+            }
+        }
+
+        // Allocate DRAM regions: input, then weights and owned feature maps
+        // in topological order.
+        let mut layout = DramLayout::new(config.region_align);
+        let input_region = layout.alloc(
+            "input",
+            net.input_shape().len() as u64 * elem,
+            RegionKind::Input,
+        );
+        let mut region_of_owner: HashMap<usize, Region> = HashMap::new();
+        region_of_owner.insert(0, input_region.clone());
+        let mut weight_regions = HashMap::new();
+        for (i, node) in nodes.iter().enumerate() {
+            match &node.op {
+                Op::Conv(c) => {
+                    let r = layout.alloc(
+                        &format!("{}/weights", node.name),
+                        c.weights().len() as u64 * elem,
+                        RegionKind::Weights,
+                    );
+                    weight_regions.insert(i, r);
+                }
+                Op::Linear(l) => {
+                    let r = layout.alloc(
+                        &format!("{}/weights", node.name),
+                        l.weights().len() as u64 * elem,
+                        RegionKind::Weights,
+                    );
+                    weight_regions.insert(i, r);
+                }
+                _ => {}
+            }
+            if i != 0 && home.get(&i) == Some(&(i, 0)) {
+                let r = layout.alloc(
+                    &node.name,
+                    net.shape(NodeId::from_index(i)).len() as u64 * elem,
+                    RegionKind::FeatureMap,
+                );
+                region_of_owner.insert(i, r);
+            }
+        }
+
+        // Final bindings.
+        let mut bindings = HashMap::new();
+        for (&i, &(owner, off)) in &home {
+            let region = region_of_owner.get(&owner).ok_or_else(|| ScheduleError::Unsupported {
+                node: nodes[owner].name.clone(),
+                reason: "concat owner was never allocated".to_string(),
+            })?;
+            bindings.insert(
+                i,
+                Binding {
+                    base: region.base + off,
+                    len_bytes: net.shape(NodeId::from_index(i)).len() as u64 * elem,
+                },
+            );
+        }
+
+        Ok(Self { stages, layout, bindings, weight_regions, input_region })
+    }
+
+    /// The execution stages, in order.
+    #[must_use]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// The DRAM layout.
+    #[must_use]
+    pub fn layout(&self) -> &DramLayout {
+        &self.layout
+    }
+
+    /// The region holding the network input.
+    #[must_use]
+    pub fn input_region(&self) -> &Region {
+        &self.input_region
+    }
+
+    /// DRAM placement of the feature map produced at `node` (input node,
+    /// stage outputs, and concat nodes only).
+    #[must_use]
+    pub fn binding(&self, node: NodeId) -> Option<Binding> {
+        self.bindings.get(&node.index()).copied()
+    }
+
+    /// The weights region of a CONV/FC node.
+    #[must_use]
+    pub fn weight_region(&self, node: NodeId) -> Option<&Region> {
+        self.weight_regions.get(&node.index())
+    }
+
+    /// Resolves a stage-input node to the node whose binding holds its
+    /// bytes: flattens are reinterpretations of their input's region.
+    #[must_use]
+    pub fn resolve_storage(net: &Network, mut node: NodeId) -> NodeId {
+        loop {
+            let n = net.node(node);
+            match n.op {
+                Op::Flatten => node = n.inputs[0],
+                _ => return node,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnnre_nn::layer::{Conv2d, Linear};
+    use cnnre_nn::models::{lenet, squeezenet};
+    use cnnre_nn::NetworkBuilder;
+    use cnnre_tensor::Shape3;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lenet_schedules_to_four_stages() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = lenet(1, 10, &mut rng);
+        let s = Schedule::plan(&net, &AccelConfig::default()).unwrap();
+        assert_eq!(s.stages().len(), 4);
+        assert!(matches!(s.stages()[0].kind, StageKind::Conv { pool: Some(_), .. }));
+        assert!(matches!(s.stages()[2].kind, StageKind::Fc { relu: Some(_), .. }));
+        assert!(matches!(s.stages()[3].kind, StageKind::Fc { relu: None, .. }));
+        // Every stage output has a binding; every conv/fc has weights.
+        for stage in s.stages() {
+            assert!(s.binding(stage.output).is_some(), "{}", stage.name);
+        }
+    }
+
+    #[test]
+    fn squeezenet_schedules_with_fused_fire_pools() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = squeezenet(16, 10, &mut rng);
+        let s = Schedule::plan(&net, &AccelConfig::default()).unwrap();
+        // 1 stem + 8 fires * 3 convs + conv10 = 26 conv stages + 4 eltwise.
+        let convs = s.stages().iter().filter(|st| matches!(st.kind, StageKind::Conv { .. })).count();
+        let elts = s.stages().iter().filter(|st| matches!(st.kind, StageKind::Eltwise)).count();
+        assert_eq!(convs, 26);
+        assert_eq!(elts, 4);
+        // Expand branches of fire2 share the concat region, adjacent slices.
+        let ea = net.find("fire2/expand1x1/relu").unwrap();
+        let eb = net.find("fire2/expand3x3/relu").unwrap();
+        let ba = s.binding(ea).unwrap();
+        let bb = s.binding(eb).unwrap();
+        assert_eq!(ba.base + ba.len_bytes, bb.base, "adjacent channel slices");
+        let concat = net.find("fire2/concat").unwrap();
+        let bc = s.binding(concat).unwrap();
+        assert_eq!(bc.base, ba.base);
+        assert_eq!(bc.len_bytes, ba.len_bytes + bb.len_bytes);
+    }
+
+    #[test]
+    fn flatten_resolves_to_producer_storage() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = lenet(1, 10, &mut rng);
+        let flat = net.find("flatten").unwrap();
+        let resolved = Schedule::resolve_storage(&net, flat);
+        assert_eq!(net.node(resolved).name, "conv2/pool");
+    }
+
+    #[test]
+    fn standalone_pool_is_rejected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut b = NetworkBuilder::new(Shape3::new(1, 8, 8));
+        let x = b.input_id();
+        let c = b.conv("c", x, Conv2d::new(1, 2, 3, 1, 1, &mut rng)).unwrap();
+        let r = b.relu("r", c).unwrap();
+        let cat = {
+            let c2 = b.conv("c2", x, Conv2d::new(1, 2, 3, 1, 1, &mut rng)).unwrap();
+            let r2 = b.relu("r2", c2).unwrap();
+            b.concat("cat", &[r, r2]).unwrap()
+        };
+        let p = b.max_pool("p", cat, 2, 2, 0).unwrap();
+        let f = b.flatten("f", p).unwrap();
+        let fc = b.linear("fc", f, Linear::new(4 * 16, 2, &mut rng)).unwrap();
+        let net = b.finish(fc);
+        let err = Schedule::plan(&net, &AccelConfig::default()).unwrap_err();
+        assert!(matches!(err, ScheduleError::Unsupported { .. }), "{err}");
+    }
+
+    #[test]
+    fn regions_are_disjoint_and_guarded() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let net = lenet(2, 10, &mut rng);
+        let s = Schedule::plan(&net, &AccelConfig::default()).unwrap();
+        let regions = s.layout().regions();
+        for w in regions.windows(2) {
+            assert!(w[1].base >= w[0].end() + 4096, "guard gap between {} and {}", w[0].name, w[1].name);
+        }
+        // input + 2 conv weights + 2 fc weights + 4 stage outputs.
+        assert_eq!(regions.len(), 9);
+    }
+}

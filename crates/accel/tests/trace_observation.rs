@@ -1,0 +1,36 @@
+use cnnre_accel::{AccelConfig, Accelerator};
+use cnnre_nn::models::{lenet, squeezenet};
+use cnnre_trace::observe::observe;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn lenet_trace_segments_into_prologue_plus_four_layers() {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let net = lenet(1, 10, &mut rng);
+    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).unwrap();
+    let obs = observe(&exec.trace);
+    for l in &obs.layers {
+        eprintln!(
+            "layer {} kind {:?} ofm {} w {} ifm {:?} cycles {}",
+            l.index, l.kind, l.ofm_blocks, l.weight_blocks, l.ifm_sources, l.cycles
+        );
+    }
+    assert_eq!(obs.layers.len(), 5); // prologue + 4 layers
+}
+
+#[test]
+fn squeezenet_trace_reveals_fire_modules_and_bypasses() {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let net = squeezenet(16, 10, &mut rng);
+    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).unwrap();
+    let obs = observe(&exec.trace);
+    for l in &obs.layers {
+        eprintln!(
+            "layer {} kind {:?} ofm {} w {} ifm {:?}",
+            l.index, l.kind, l.ofm_blocks, l.weight_blocks, l.ifm_sources
+        );
+    }
+    // prologue + 26 conv stages + 4 eltwise = 31
+    assert_eq!(obs.layers.len(), 31);
+}

@@ -1,0 +1,33 @@
+//! Prints the zero-pruning traffic ablation and times pruned inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cnnre_accel::{AccelConfig, Accelerator};
+use cnnre_bench::experiments::ablation;
+use cnnre_nn::models::convnet;
+use cnnre_tensor::Tensor3;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", ablation::render(&ablation::run()));
+
+    let mut rng = SmallRng::seed_from_u64(0);
+    let net = convnet(1, 10, &mut rng);
+    let input = Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));
+    let dense = Accelerator::new(AccelConfig::default());
+    let pruned = Accelerator::new(AccelConfig::default().with_zero_pruning(true));
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("convnet_inference_dense", |b| {
+        b.iter(|| dense.run(black_box(&net), black_box(&input)).unwrap())
+    });
+    g.bench_function("convnet_inference_pruned", |b| {
+        b.iter(|| pruned.run(black_box(&net), black_box(&input)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

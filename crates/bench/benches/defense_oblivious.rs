@@ -1,0 +1,29 @@
+//! Prints the ORAM defense sweep and times the obfuscation transform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cnnre_bench::experiments::{defense, trace_of};
+use cnnre_nn::models::lenet;
+use cnnre_trace::defense::{obfuscate, OramConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let (baseline, rows) = defense::run();
+    println!("{}", defense::render(baseline, &rows));
+
+    let mut rng = SmallRng::seed_from_u64(0);
+    let trace = trace_of(&lenet(1, 10, &mut rng)).trace;
+    let cfg = OramConfig::default();
+    let mut g = c.benchmark_group("defense");
+    g.sample_size(20);
+    g.bench_function("oram_obfuscate_lenet_trace", |b| {
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| obfuscate(black_box(&trace), cfg, &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Times the AlexNet structure attack and prints Table 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cnnre_attacks::structure::{recover_structures, NetworkSolverConfig};
+use cnnre_bench::experiments::{table4, trace_of};
+use cnnre_nn::models::alexnet;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table4::render(&table4::run()));
+
+    let mut rng = SmallRng::seed_from_u64(0);
+    let trace = trace_of(&alexnet(1, 1000, &mut rng)).trace;
+    let cfg = NetworkSolverConfig::default();
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    g.bench_function("structure_attack_alexnet_full", |b| {
+        b.iter(|| recover_structures(black_box(&trace), (227, 3), 1000, &cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerates the zero-pruning traffic ablation.
+fn main() {
+    let rows = cnnre_bench::experiments::ablation::run();
+    println!("{}", cnnre_bench::experiments::ablation::render(&rows));
+}

@@ -1,0 +1,5 @@
+//! Every trace-level mitigation vs. the structure attack, side by side.
+fn main() {
+    let (baseline, rows) = cnnre_bench::experiments::defense_matrix::run();
+    println!("{}", cnnre_bench::experiments::defense_matrix::render(baseline, &rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the ORAM defense sweep.
+fn main() {
+    let (baseline, rows) = cnnre_bench::experiments::defense::run();
+    println!("{}", cnnre_bench::experiments::defense::render(baseline, &rows));
+}

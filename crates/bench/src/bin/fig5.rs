@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 5 (SqueezeNet candidate top-5 ranking).
+use cnnre_bench::experiments::fig5;
+
+fn main() {
+    let cfg = if cnnre_bench::quick_mode() {
+        fig5::RankingConfig::quick()
+    } else {
+        fig5::RankingConfig::standard()
+    };
+    let fig = fig5::run(&cfg);
+    println!("{}", fig5::render(&fig));
+}

@@ -1,0 +1,12 @@
+//! Regenerates the paper's Figure 7 (CONV1 weight/bias ratio recovery).
+use cnnre_bench::experiments::fig7;
+
+fn main() {
+    let cfg = if cnnre_bench::quick_mode() {
+        fig7::Fig7Config::quick()
+    } else {
+        fig7::Fig7Config::standard()
+    };
+    let fig = fig7::run(&cfg);
+    println!("{}", fig7::render(&fig));
+}

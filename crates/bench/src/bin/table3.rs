@@ -1,0 +1,7 @@
+//! Regenerates the paper's Table 3.
+fn main() {
+    let rows = cnnre_bench::experiments::table3::run();
+    println!("{}", cnnre_bench::experiments::table3::render(&rows));
+    let reduction = cnnre_bench::experiments::table3::reduction(&rows);
+    println!("{}", cnnre_bench::experiments::table3::render_reduction(&reduction));
+}

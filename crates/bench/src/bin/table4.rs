@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 4.
+fn main() {
+    let t = cnnre_bench::experiments::table4::run();
+    println!("{}", cnnre_bench::experiments::table4::render(&t));
+}

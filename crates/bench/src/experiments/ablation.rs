@@ -1,0 +1,109 @@
+//! **Ablation (§4 motivation)** — dynamic zero pruning's traffic savings:
+//! the optimization that creates the weight side channel. Recent designs
+//! report ~40% fewer operations; we measure the DRAM transaction reduction
+//! on real inference runs.
+
+use cnnre_accel::{AccelConfig, Accelerator};
+use cnnre_nn::models::{alexnet, convnet, lenet, squeezenet};
+use cnnre_nn::Network;
+use cnnre_tensor::Tensor3;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One network's traffic with and without pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Row {
+    /// Network name.
+    pub network: &'static str,
+    /// Dense (reads, writes) at 64-byte bursts.
+    pub dense: (usize, usize),
+    /// Pruned (reads, writes) at 64-byte bursts.
+    pub pruned: (usize, usize),
+    /// Word-granular write counts (dense, pruned): the intrinsic feature-map
+    /// sparsity, unmasked by burst quantization.
+    pub word_writes: (usize, usize),
+}
+
+impl Row {
+    /// Total-traffic reduction fraction.
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        let dense = (self.dense.0 + self.dense.1) as f64;
+        let pruned = (self.pruned.0 + self.pruned.1) as f64;
+        1.0 - pruned / dense
+    }
+
+    /// Write-traffic reduction fraction (the §4 leak).
+    #[must_use]
+    pub fn write_reduction(&self) -> f64 {
+        1.0 - self.pruned.1 as f64 / self.dense.1 as f64
+    }
+}
+
+fn measure(name: &'static str, net: &Network, rng: &mut SmallRng) -> Row {
+    let input = Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));
+    let dense = Accelerator::new(AccelConfig::default())
+        .run(net, &input)
+        .expect("dense run");
+    let pruned = Accelerator::new(AccelConfig::default().with_zero_pruning(true))
+        .run(net, &input)
+        .expect("pruned run");
+    assert_eq!(dense.output, pruned.output, "pruning is a storage format only");
+    let word = AccelConfig::default().with_block_bytes(4);
+    let dense_w = Accelerator::new(word).run(net, &input).expect("dense word run");
+    let pruned_w =
+        Accelerator::new(word.with_zero_pruning(true)).run(net, &input).expect("pruned word run");
+    Row {
+        network: name,
+        dense: (dense.trace.read_count(), dense.trace.write_count()),
+        pruned: (pruned.trace.read_count(), pruned.trace.write_count()),
+        word_writes: (dense_w.trace.write_count(), pruned_w.trace.write_count()),
+    }
+}
+
+/// Measures the pruning ablation across the model zoo (larger nets are
+/// depth-scaled so the runs stay in seconds).
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let l = lenet(1, 10, &mut rng);
+    let c = convnet(1, 10, &mut rng);
+    let a = alexnet(8, 100, &mut rng);
+    let s = squeezenet(8, 100, &mut rng);
+    let mut rng = SmallRng::seed_from_u64(6);
+    vec![
+        measure("LeNet", &l, &mut rng),
+        measure("ConvNet", &c, &mut rng),
+        measure("AlexNet/8", &a, &mut rng),
+        measure("SqueezeNet/8", &s, &mut rng),
+    ]
+}
+
+/// Formats the ablation table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Ablation: DRAM traffic with dynamic zero pruning (the optimization that leaks)\n\
+         network       dense R/W          pruned R/W         total cut  write cut  sparsity\n",
+    );
+    for r in rows {
+        let sparsity = 1.0 - r.word_writes.1 as f64 / r.word_writes.0 as f64;
+        out.push_str(&format!(
+            "{:<13} {:>8}/{:<8} {:>8}/{:<8} {:>8.1}%  {:>8.1}%  {:>7.1}%\n",
+            r.network,
+            r.dense.0,
+            r.dense.1,
+            r.pruned.0,
+            r.pruned.1,
+            100.0 * r.reduction(),
+            100.0 * r.write_reduction(),
+            100.0 * sparsity
+        ));
+    }
+    out.push_str(
+        "(sparsity = element-level zero fraction of all written feature maps; burst\n\
+         quantization at 64-byte transactions absorbs part of it — recent designs\n\
+         report ~40% average savings, matching the sparsest networks here)\n",
+    );
+    out
+}

@@ -1,0 +1,94 @@
+//! **Ablation — weight-attack robustness vs. compression level.**
+//!
+//! The paper attacks one compression point (Deep-Compression-style CONV1,
+//! ~45% of weights pruned). This sweep varies the pruned fraction from
+//! lightly to heavily compressed and measures coverage, precision, zero
+//! identification, and query cost — showing the attack's machinery does
+//! not depend on the paper's particular sparsity.
+
+use super::fig7::{run as run_fig7, Fig7, Fig7Config};
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Fraction of weights pruned to zero in the victim.
+    pub prune_fraction: f64,
+    /// The full Figure-7-style result at this point.
+    pub result: Fig7,
+}
+
+/// Runs the sweep at the given scale (`filters`, `input_w` as in
+/// [`Fig7Config`]).
+#[must_use]
+pub fn run(filters: usize, input_w: usize, fractions: &[f64]) -> Vec<SweepPoint> {
+    fractions
+        .iter()
+        .map(|&prune_fraction| SweepPoint {
+            prune_fraction,
+            result: run_fig7(&Fig7Config { filters, input_w, prune_fraction }),
+        })
+        .collect()
+}
+
+/// Formats the sweep as a table.
+#[must_use]
+pub fn render(points: &[SweepPoint]) -> String {
+    let mut out = String::from(
+        "Weight-attack robustness vs. compression level\n\
+         pruned%   coverage  max |w/b| err  zeros id/actual  false0  queries\n",
+    );
+    for p in points {
+        let r = &p.result;
+        out.push_str(&format!(
+            "{:>6.0}%   {:>7.2}%  {:>12.3e}  {:>7}/{:<7}  {:>6}  {:>8}\n",
+            100.0 * p.prune_fraction,
+            100.0 * r.coverage,
+            r.max_error,
+            r.zeros.0,
+            r.zeros.1,
+            r.false_zeros,
+            r.queries
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_sound_at_every_compression_level() {
+        let points = run(4, 39, &[0.0, 0.3, 0.6, 0.85]);
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            let r = &p.result;
+            assert_eq!(r.false_zeros, 0, "{}% pruned: false zero", 100.0 * p.prune_fraction);
+            assert!(
+                r.max_error < 2f64.powi(-10),
+                "{}% pruned: error {:.3e}",
+                100.0 * p.prune_fraction,
+                r.max_error
+            );
+            assert!(
+                r.coverage > 0.9,
+                "{}% pruned: coverage {:.3}",
+                100.0 * p.prune_fraction,
+                r.coverage
+            );
+        }
+        // Heavier pruning -> at least as many zeros identified.
+        for w in points.windows(2) {
+            assert!(w[1].result.zeros.1 >= w[0].result.zeros.1);
+        }
+    }
+
+    #[test]
+    fn render_has_one_row_per_point() {
+        let points = run(2, 39, &[0.2, 0.5]);
+        let text = render(&points);
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("20%"));
+        assert!(text.contains("50%"));
+    }
+}

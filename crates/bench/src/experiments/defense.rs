@@ -1,0 +1,72 @@
+//! **Defense (§5)** — ORAM-style obfuscation stops the structure attack at
+//! a measured traffic overhead.
+
+use cnnre_attacks::structure::{recover_structures, NetworkSolverConfig};
+use cnnre_nn::models::lenet;
+use cnnre_trace::defense::{obfuscate, OramConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use super::trace_of;
+
+/// One defense configuration's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Path-ORAM bucket size Z.
+    pub bucket_blocks: u64,
+    /// Tree depth.
+    pub depth: u32,
+    /// Measured traffic multiplier.
+    pub overhead: f64,
+    /// Structures the attack recovers (None = attack fails).
+    pub attack_result: Option<usize>,
+}
+
+/// Runs the defense sweep on a LeNet trace.
+#[must_use]
+pub fn run() -> (usize, Vec<Row>) {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let victim = lenet(1, 10, &mut rng);
+    let exec = trace_of(&victim);
+    let cfg = NetworkSolverConfig::default();
+    let baseline = recover_structures(&exec.trace, (32, 1), 10, &cfg)
+        .map(|s| s.len())
+        .unwrap_or(0);
+    let rows = [1u64, 2, 4]
+        .iter()
+        .map(|&z| {
+            let oram = OramConfig { logical_blocks: 1 << 14, bucket_blocks: z };
+            let (protected, stats) = obfuscate(&exec.trace, oram, &mut rng);
+            let attack_result = recover_structures(&protected, (32, 1), 10, &cfg).ok().map(|s| s.len());
+            Row {
+                bucket_blocks: z,
+                depth: oram.tree_depth(),
+                overhead: stats.overhead(),
+                attack_result,
+            }
+        })
+        .collect();
+    (baseline, rows)
+}
+
+/// Formats the sweep.
+#[must_use]
+pub fn render(baseline: usize, rows: &[Row]) -> String {
+    let mut out = format!(
+        "Defense: Path-ORAM obfuscation vs. the structure attack\n\
+         unprotected: attack recovers {baseline} candidate structures\n\n\
+         Z  depth  overhead  attack outcome\n"
+    );
+    for r in rows {
+        let outcome = match r.attack_result {
+            Some(n) => format!("recovers {n} (defense too weak)"),
+            None => "FAILS (no consistent structure)".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<2} {:>5}  {:>7.0}x  {}\n",
+            r.bucket_blocks, r.depth, r.overhead, outcome
+        ));
+    }
+    out.push_str("\n\"ORAM can be used to prevent attacks proposed in this paper ... likely to\nresult in significant overhead\" — §5\n");
+    out
+}

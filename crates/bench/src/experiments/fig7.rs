@@ -1,0 +1,178 @@
+//! **Figure 7** — the recovered weight/bias ratios of the CONV1 layer of a
+//! compressed AlexNet model: every weight expressed as `w/b`, zero weights
+//! identified, maximum error below `2^-10` (§4.2).
+
+use cnnre_attacks::weights::{
+    recover_ratios, FunctionalOracle, LayerGeometry, MergedOrder, RatioRecovery, RecoveryConfig,
+};
+use cnnre_nn::layer::{Conv2d, PoolKind};
+use cnnre_tensor::{init, Shape3, Shape4};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig7Config {
+    /// Number of CONV1 filters attacked (96 in the paper).
+    pub filters: usize,
+    /// Input width (227 for AlexNet; smaller inputs exercise the same
+    /// geometry class faster).
+    pub input_w: usize,
+    /// Fraction of weights pruned to zero in the "compressed" model.
+    pub prune_fraction: f64,
+}
+
+impl Fig7Config {
+    /// Full-scale parameters (minutes of CPU).
+    #[must_use]
+    pub fn standard() -> Self {
+        Self { filters: 96, input_w: 227, prune_fraction: 0.45 }
+    }
+
+    /// Smoke-test parameters.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { filters: 8, input_w: 51, prune_fraction: 0.45 }
+    }
+}
+
+/// The regenerated figure.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// The raw recovery.
+    pub recovery: RatioRecovery,
+    /// Maximum |w/b| error over recovered weights.
+    pub max_error: f64,
+    /// Fraction of weights recovered (ratio or identified zero).
+    pub coverage: f64,
+    /// `(identified, actual)` zero-weight counts.
+    pub zeros: (usize, usize),
+    /// Any weight wrongly reported as zero?
+    pub false_zeros: usize,
+    /// Victim inference queries used.
+    pub queries: u64,
+    /// Weight count.
+    pub weights_total: usize,
+    /// Recovered `w/b` of filter 0 (one Figure-7 series).
+    pub filter0_ratios: Vec<Option<f64>>,
+}
+
+/// Runs the CONV1 weight-extraction experiment.
+///
+/// # Panics
+///
+/// Panics when the configuration is degenerate.
+#[must_use]
+pub fn run(cfg: &Fig7Config) -> Fig7 {
+    let geom = LayerGeometry {
+        input: Shape3::new(3, cfg.input_w, cfg.input_w),
+        d_ofm: cfg.filters,
+        f: 11,
+        s: 4,
+        p: 0,
+        pool: Some((PoolKind::Max, 3, 2, 0)),
+        order: MergedOrder::ActThenPool,
+        threshold: 0.0,
+    };
+    let mut rng = SmallRng::seed_from_u64(2018);
+    let shape = Shape4::new(cfg.filters, 3, 11, 11);
+    let weights = init::compressed_conv(&mut rng, shape, cfg.prune_fraction, 8);
+    let bias: Vec<f32> = (0..cfg.filters).map(|_| -rng.gen_range(0.05..0.5f32)).collect();
+    let victim = Conv2d::from_parts(weights, bias, geom.s, geom.p).expect("victim conv1");
+
+    let mut oracle = FunctionalOracle::new(victim.clone(), geom);
+    let recovery = recover_ratios(&mut oracle, &RecoveryConfig::default());
+
+    let mut zeros_true = 0usize;
+    let mut zeros_found = 0usize;
+    let mut false_zeros = 0usize;
+    for (d, f) in recovery.filters.iter().enumerate() {
+        for c in 0..3 {
+            for i in 0..11 {
+                for j in 0..11 {
+                    let truth = victim.weights()[(d, c, i, j)];
+                    if truth == 0.0 {
+                        zeros_true += 1;
+                    }
+                    if f.ratio(c, i, j) == Some(0.0) {
+                        if truth == 0.0 {
+                            zeros_found += 1;
+                        } else {
+                            false_zeros += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Fig7 {
+        max_error: recovery.max_ratio_error(victim.weights(), victim.bias()),
+        coverage: recovery.coverage(),
+        zeros: (zeros_found, zeros_true),
+        false_zeros,
+        queries: recovery.queries,
+        weights_total: cfg.filters * 3 * 11 * 11,
+        filter0_ratios: recovery.filters[0].as_slice().to_vec(),
+        recovery,
+    }
+}
+
+/// Renders the summary plus a scatter of filter 0's recovered ratios.
+#[must_use]
+pub fn render(fig: &Fig7) -> String {
+    let mut out = String::from("Figure 7: weight/bias ratios of compressed-AlexNet CONV1\n\n");
+    out.push_str(&format!(
+        "  weights attacked:    {}\n  recovered:           {:.2}%\n  max |w/b| error:     {:.3e}  (paper: < 2^-10 = {:.3e})\n  zero weights found:  {} of {} (false zeros: {})\n  victim queries:      {}\n\n",
+        fig.weights_total,
+        100.0 * fig.coverage,
+        fig.max_error,
+        2f64.powi(-10),
+        fig.zeros.0,
+        fig.zeros.1,
+        fig.false_zeros,
+        fig.queries
+    ));
+    out.push_str("filter 0 recovered w/b over weight index (× = identified zero, ? = unrecovered):\n");
+    let ratios = &fig.filter0_ratios;
+    let max_abs = ratios
+        .iter()
+        .flatten()
+        .fold(0.0f64, |m, &r| m.max(r.abs()))
+        .max(1e-9);
+    const H: usize = 15;
+    for row in 0..H {
+        let level = max_abs * (1.0 - 2.0 * row as f64 / (H - 1) as f64);
+        let mut line = format!("  {level:>7.3} |");
+        for r in ratios.iter().take(120) {
+            let ch = match r {
+                Some(v) if *v == 0.0 => {
+                    if row == H / 2 {
+                        '×'
+                    } else {
+                        ' '
+                    }
+                }
+                Some(v) => {
+                    let y = ((max_abs - v) / (2.0 * max_abs) * (H - 1) as f64).round() as usize;
+                    if y == row {
+                        '*'
+                    } else {
+                        ' '
+                    }
+                }
+                None => {
+                    if row == H / 2 {
+                        '?'
+                    } else {
+                        ' '
+                    }
+                }
+            };
+            line.push(ch);
+        }
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str("          +-- weight index (c,i,j raster) -->\n");
+    out
+}

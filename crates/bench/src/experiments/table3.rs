@@ -1,0 +1,131 @@
+//! **Table 3** — number of possible structures per network.
+//!
+//! Paper: LeNet 9, ConvNet 6, AlexNet 24, SqueezeNet 9 (with the
+//! modularity assumption). Our exhaustive solver finds a slightly larger
+//! superset for each network (EXPERIMENTS.md discusses the alias families
+//! the paper's enumeration misses).
+
+use cnnre_attacks::structure::{
+    filter_modular, filter_modular_pools, recover_structures, NetworkSolverConfig,
+};
+use cnnre_nn::models::{alexnet, convnet, lenet, squeezenet};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use super::trace_of;
+
+/// One Table-3 row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Network name.
+    pub network: &'static str,
+    /// CONV/FC layer count (the paper's "# of layers").
+    pub layers: usize,
+    /// Structures our solver recovers.
+    pub possible: usize,
+    /// After the modularity assumption (SqueezeNet only).
+    pub possible_modular: Option<usize>,
+    /// The count the paper reports.
+    pub paper: usize,
+}
+
+/// Regenerates Table 3.
+///
+/// # Panics
+///
+/// Panics when an attack fails on one of the study networks (a bug).
+#[must_use]
+pub fn run() -> Vec<Row> {
+    let cfg = NetworkSolverConfig::default();
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut rows = Vec::new();
+
+    let lenet = lenet(1, 10, &mut rng);
+    let s = recover_structures(&trace_of(&lenet).trace, (32, 1), 10, &cfg).expect("lenet");
+    rows.push(Row { network: "LeNet", layers: 4, possible: s.len(), possible_modular: None, paper: 9 });
+
+    let convnet = convnet(1, 10, &mut rng);
+    let s = recover_structures(&trace_of(&convnet).trace, (32, 3), 10, &cfg).expect("convnet");
+    rows.push(Row { network: "ConvNet", layers: 4, possible: s.len(), possible_modular: None, paper: 6 });
+
+    let alexnet = alexnet(1, 1000, &mut rng);
+    let s = recover_structures(&trace_of(&alexnet).trace, (227, 3), 1000, &cfg).expect("alexnet");
+    rows.push(Row { network: "AlexNet", layers: 8, possible: s.len(), possible_modular: None, paper: 24 });
+
+    let squeezenet = squeezenet(1, 1000, &mut rng);
+    let s =
+        recover_structures(&trace_of(&squeezenet).trace, (227, 3), 1000, &cfg).expect("squeezenet");
+    let raw = s.len();
+    let conv_groups: Vec<Vec<usize>> =
+        (0..3).map(|role| (0..8).map(|m| 1 + 3 * m + role).collect()).collect();
+    let pool_groups = vec![vec![8, 9, 20, 21]];
+    let modular = filter_modular_pools(filter_modular(s, &conv_groups), &pool_groups);
+    rows.push(Row {
+        network: "SqueezeNet",
+        layers: 18,
+        possible: raw,
+        possible_modular: Some(modular.len()),
+        paper: 9,
+    });
+    rows
+}
+
+/// The search-space reduction the attack achieves per network — the
+/// paper's headline framing of Table 3 ("reduces the search space by many
+/// orders of magnitude"). Conv/FC layer counts are the real topologies
+/// (SqueezeNet has 26 convolutions: conv1 + 8 fire modules of 3 + conv10).
+#[must_use]
+pub fn reduction(rows: &[Row]) -> Vec<cnnre_attacks::structure::ReductionRow> {
+    use cnnre_attacks::structure::{reduction_report, SearchSpaceBounds};
+    let split = |network: &str| match network {
+        "LeNet" => (2u32, 2u32),
+        "ConvNet" => (3, 1),
+        "AlexNet" => (5, 3),
+        "SqueezeNet" => (26, 0),
+        other => unreachable!("unknown Table-3 network {other}"),
+    };
+    let networks: Vec<(&str, u32, u32, usize)> = rows
+        .iter()
+        .map(|r| {
+            let (c, f) = split(r.network);
+            (r.network, c, f, r.possible_modular.unwrap_or(r.possible))
+        })
+        .collect();
+    reduction_report(&SearchSpaceBounds::default(), &networks)
+}
+
+/// Formats the reduction report.
+#[must_use]
+pub fn render_reduction(rows: &[cnnre_attacks::structure::ReductionRow]) -> String {
+    let mut out = String::from(
+        "Search-space reduction (prior: default architectural bounds)\n\
+         network     prior      survivors  reduction\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<11} {:>9}  {:>9}  10^{:.1}\n",
+            r.network,
+            r.prior.to_scientific(),
+            r.survivors,
+            r.reduction
+        ));
+    }
+    out
+}
+
+/// Formats the rows as the paper's table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::from(
+        "Table 3: possible structures per network\n\
+         network     #layers  ours  ours(modular)  paper\n",
+    );
+    for r in rows {
+        let modular = r.possible_modular.map_or("-".to_string(), |m| m.to_string());
+        out.push_str(&format!(
+            "{:<11} {:>7}  {:>4}  {:>13}  {:>5}\n",
+            r.network, r.layers, r.possible, modular, r.paper
+        ));
+    }
+    out
+}

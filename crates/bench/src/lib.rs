@@ -1,0 +1,26 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (see the workspace DESIGN.md §3 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results).
+//!
+//! Each experiment has
+//!
+//! * a library entry point under [`experiments`] returning a structured
+//!   result,
+//! * a binary (`cargo run -p cnnre-bench --release --bin <name>`) that
+//!   prints the regenerated table/figure, and
+//! * a Criterion bench (`cargo bench -p cnnre-bench --bench <name>`) that
+//!   times the attack kernel and prints the table once.
+//!
+//! Set `CNNRE_QUICK=1` to shrink the training-based experiments (figures 4
+//! and 5) for smoke runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+/// Whether quick (smoke-test) parameters were requested via `CNNRE_QUICK`.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::var("CNNRE_QUICK").is_ok_and(|v| v != "0")
+}

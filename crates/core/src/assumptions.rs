@@ -1,0 +1,70 @@
+//! The paper's Table 1: per-attack threat-model assumptions.
+
+/// Whether an attack needs a capability, and how much of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Requirement {
+    /// Full capability required.
+    Yes,
+    /// Partial capability suffices (the weights attack only needs *write*
+    /// accesses to be visible).
+    Partial,
+    /// Not required.
+    No,
+    /// Not applicable (the structure attack's goal *is* the structure).
+    NotApplicable,
+}
+
+/// The capability profile of one attack (one column of Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Assumptions {
+    /// Observe off-chip memory access patterns (address + R/W + time).
+    pub observe_memory_access_patterns: Requirement,
+    /// Observe the input values fed to the accelerator.
+    pub observe_input: Requirement,
+    /// Control the input values.
+    pub control_input: Requirement,
+    /// Possess (any) training data for the task.
+    pub possess_training_data: Requirement,
+    /// Know the network structure in advance.
+    pub know_structure: Requirement,
+}
+
+/// Table-1 column for the structure attack (§3).
+#[must_use]
+pub const fn structure_attack() -> Assumptions {
+    Assumptions {
+        observe_memory_access_patterns: Requirement::Yes,
+        observe_input: Requirement::No,
+        control_input: Requirement::No,
+        possess_training_data: Requirement::Yes,
+        know_structure: Requirement::NotApplicable,
+    }
+}
+
+/// Table-1 column for the weights attack (§4).
+#[must_use]
+pub const fn weights_attack() -> Assumptions {
+    Assumptions {
+        observe_memory_access_patterns: Requirement::Partial,
+        observe_input: Requirement::Yes,
+        control_input: Requirement::Yes,
+        possess_training_data: Requirement::No,
+        know_structure: Requirement::Yes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let s = structure_attack();
+        assert_eq!(s.control_input, Requirement::No);
+        assert_eq!(s.possess_training_data, Requirement::Yes);
+        let w = weights_attack();
+        assert_eq!(w.observe_memory_access_patterns, Requirement::Partial);
+        assert_eq!(w.know_structure, Requirement::Yes);
+        assert_eq!(w.possess_training_data, Requirement::No);
+    }
+}

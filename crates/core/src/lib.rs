@@ -1,0 +1,23 @@
+//! The DAC'18 reverse-engineering attacks — the primary contribution of
+//! *"Reverse Engineering Convolutional Neural Networks Through Side-channel
+//! Information Leaks"* (Hua, Zhang, Suh; DAC 2018).
+//!
+//! Two attacks against a CNN model running on a secure accelerator whose
+//! off-chip memory access pattern leaks:
+//!
+//! * [`structure`] — recover the network structure (layer count,
+//!   connections including fire modules and bypass paths, and all Table-2
+//!   layer parameters) from the memory trace plus per-layer execution time
+//!   (§3, Algorithm 1);
+//! * [`weights`] — recover every filter weight as a ratio to its bias by
+//!   exploiting dynamic zero pruning with crafted inputs and binary search
+//!   on zero-crossing points (§4, Algorithm 2), plus full weight recovery
+//!   when a tunable activation threshold is available;
+//! * [`assumptions`] — the paper's Table-1 threat-model matrix as types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assumptions;
+pub mod structure;
+pub mod weights;

@@ -1,0 +1,243 @@
+//! The paper's Table-2 layer parameterization.
+
+use cnnre_nn::geometry::{conv_macs, conv_out, pool_out};
+use cnnre_nn::models::{ConvSpec, PoolSpec};
+
+/// Pooling parameters `(F_pool, S_pool, P_pool)` of a merged pooling stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PoolParams {
+    /// Pooling window width.
+    pub f: usize,
+    /// Pooling stride.
+    pub s: usize,
+    /// Per-side pooling padding.
+    pub p: usize,
+}
+
+/// The full structural parameter vector of one CONV layer — the 11
+/// integer unknowns of the paper's Table 2 (`P`, the pooling indicator, is
+/// folded into `pool.is_some()`).
+///
+/// # Example
+///
+/// ```
+/// use cnnre_attacks::structure::{LayerParams, PoolParams};
+/// // AlexNet CONV1 (the paper's CONV1_1 modulo the padding convention).
+/// let p = LayerParams {
+///     w_ifm: 227, d_ifm: 3, w_ofm: 27, d_ofm: 96,
+///     f_conv: 11, s_conv: 4, p_conv: 0,
+///     pool: Some(PoolParams { f: 3, s: 2, p: 0 }),
+/// };
+/// assert_eq!(p.conv_out_w(), Some(55));
+/// assert!(p.is_consistent());
+/// assert_eq!(p.macs(), 55 * 55 * 96 * 11 * 11 * 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LayerParams {
+    /// Input feature-map width (`W_IFM`).
+    pub w_ifm: usize,
+    /// Input feature-map depth (`D_IFM`).
+    pub d_ifm: usize,
+    /// Output feature-map width (`W_OFM`, post-pooling).
+    pub w_ofm: usize,
+    /// Output feature-map depth (`D_OFM`).
+    pub d_ofm: usize,
+    /// Convolution filter width (`F_conv`).
+    pub f_conv: usize,
+    /// Convolution stride (`S_conv`).
+    pub s_conv: usize,
+    /// Convolution per-side padding (`P_conv`).
+    pub p_conv: usize,
+    /// Merged pooling parameters, when a pooling stage exists (`P = 1`).
+    pub pool: Option<PoolParams>,
+}
+
+impl LayerParams {
+    /// `SIZE_IFM = W_IFM² × D_IFM` (Equation (1)).
+    #[must_use]
+    pub fn size_ifm(&self) -> u64 {
+        (self.w_ifm as u64).pow(2) * self.d_ifm as u64
+    }
+
+    /// `SIZE_OFM = W_OFM² × D_OFM` (Equation (2)).
+    #[must_use]
+    pub fn size_ofm(&self) -> u64 {
+        (self.w_ofm as u64).pow(2) * self.d_ofm as u64
+    }
+
+    /// `SIZE_FLTR = F_conv² × D_IFM × D_OFM` (Equation (3)).
+    #[must_use]
+    pub fn size_fltr(&self) -> u64 {
+        (self.f_conv as u64).pow(2) * self.d_ifm as u64 * self.d_ofm as u64
+    }
+
+    /// The convolution's (pre-pooling) output width.
+    #[must_use]
+    pub fn conv_out_w(&self) -> Option<usize> {
+        conv_out(self.w_ifm, self.f_conv, self.s_conv, self.p_conv)
+    }
+
+    /// MAC operations of the layer (the quantity the execution-time filter
+    /// compares against measured cycles; uses the pre-pooling width).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.conv_out_w()
+            .map_or(0, |w| conv_macs(w, self.d_ofm, self.f_conv, self.d_ifm))
+    }
+
+    /// Checks Equation (4) — the geometry chain `W_IFM → W_conv → W_OFM` —
+    /// and the practicality inequalities (5)–(8):
+    ///
+    /// * `S_conv ≤ F_conv ≤ W_IFM / 2` (Eq. 5) — except for pointwise
+    ///   (`F = 1`) convolutions, where any stride is admitted: ResNet-style
+    ///   strided 1×1 projection shortcuts deliberately skip pixels, a
+    ///   post-2015 design the paper's inequality predates;
+    /// * `S_pool ≤ F_pool ≤ W_conv` (Eq. 6),
+    /// * `P_conv < F_conv` (Eq. 7), `P_pool < F_pool` (Eq. 8).
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        if self.s_conv == 0 || self.f_conv == 0 || self.w_ifm == 0 {
+            return false;
+        }
+        // Eq. (5) and (7), with the pointwise-projection exception.
+        if (self.s_conv > self.f_conv && self.f_conv != 1)
+            || self.s_conv > self.w_ifm
+            || 2 * self.f_conv > self.w_ifm
+            || self.p_conv >= self.f_conv
+        {
+            return false;
+        }
+        let Some(w_conv) = self.conv_out_w() else { return false };
+        match self.pool {
+            None => w_conv == self.w_ofm,
+            Some(pp) => {
+                // Eq. (6) and (8).
+                if pp.s == 0 || pp.s > pp.f || pp.f > w_conv || pp.p >= pp.f {
+                    return false;
+                }
+                pool_out(w_conv, pp.f, pp.s, pp.p) == Some(self.w_ofm)
+            }
+        }
+    }
+
+    /// Converts to a model-zoo [`ConvSpec`] (max pooling assumed — the side
+    /// channel cannot distinguish the pooling flavour), optionally scaling
+    /// the output depth by `depth_div` for trainable proxies.
+    #[must_use]
+    pub fn to_conv_spec(&self, depth_div: usize) -> ConvSpec {
+        let mut spec = ConvSpec::new(
+            cnnre_nn::models::scale_channels(self.d_ofm, depth_div),
+            self.f_conv,
+            self.s_conv,
+            self.p_conv,
+        );
+        if let Some(pp) = self.pool {
+            spec = spec.with_pool(PoolSpec { kind: cnnre_nn::layer::PoolKind::Max, f: pp.f, s: pp.s, p: pp.p });
+        }
+        spec
+    }
+}
+
+impl core::fmt::Display for LayerParams {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{}x{}x{} -> {}x{}x{} | F={} S={} P={}",
+            self.w_ifm, self.w_ifm, self.d_ifm, self.w_ofm, self.w_ofm, self.d_ofm,
+            self.f_conv, self.s_conv, self.p_conv
+        )?;
+        match self.pool {
+            Some(p) => write!(f, " | pool F={} S={} P={}", p.f, p.s, p.p),
+            None => write!(f, " | no pool"),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// Every row of the paper's Table 4 (translated to per-side padding:
+    /// the paper's `P_conv` column counts total padded pixels across both
+    /// sides as reconstructed in DESIGN.md).
+    pub(crate) fn table4_rows() -> Vec<(&'static str, LayerParams)> {
+        let mk = |w_ifm, d_ifm, w_ofm, d_ofm, f, s, p, pool: Option<(usize, usize, usize)>| {
+            LayerParams {
+                w_ifm,
+                d_ifm,
+                w_ofm,
+                d_ofm,
+                f_conv: f,
+                s_conv: s,
+                p_conv: p,
+                pool: pool.map(|(f, s, p)| PoolParams { f, s, p }),
+            }
+        };
+        vec![
+            ("CONV1_1", mk(227, 3, 27, 96, 11, 4, 1, Some((3, 2, 0)))),
+            ("CONV1_2", mk(227, 3, 27, 96, 11, 4, 2, Some((4, 2, 0)))),
+            ("CONV2_1", mk(27, 96, 13, 256, 5, 1, 2, Some((3, 2, 0)))),
+            ("CONV2_2", mk(27, 96, 26, 64, 10, 1, 4, None)),
+            ("CONV3_1", mk(13, 256, 13, 384, 3, 1, 1, None)),
+            ("CONV3_2", mk(26, 64, 13, 384, 6, 2, 2, None)),
+            ("CONV4", mk(13, 384, 13, 384, 3, 1, 1, None)),
+            ("CONV5_1", mk(13, 384, 6, 256, 3, 1, 1, Some((3, 2, 0)))),
+            ("CONV5_2", mk(13, 384, 12, 64, 6, 1, 2, None)),
+            ("CONV5_3", mk(13, 384, 3, 1024, 3, 2, 0, Some((2, 2, 0)))),
+            ("CONV5_4", mk(13, 384, 3, 1024, 3, 2, 0, Some((4, 1, 0)))),
+            ("CONV5_5", mk(13, 384, 3, 1024, 3, 2, 1, Some((3, 2, 0)))),
+            ("CONV5_6", mk(13, 384, 4, 576, 2, 1, 0, Some((3, 3, 0)))),
+        ]
+    }
+
+    #[test]
+    fn all_table4_rows_are_consistent() {
+        for (name, p) in table4_rows() {
+            assert!(p.is_consistent(), "{name}: {p}");
+        }
+    }
+
+    #[test]
+    fn sizes_match_equations() {
+        let (_, c1) = table4_rows().remove(0);
+        assert_eq!(c1.size_ifm(), 227 * 227 * 3);
+        assert_eq!(c1.size_ofm(), 27 * 27 * 96);
+        assert_eq!(c1.size_fltr(), 121 * 3 * 96);
+    }
+
+    #[test]
+    fn inconsistency_detected() {
+        let mut p = table4_rows().remove(0).1;
+        p.w_ofm = 28;
+        assert!(!p.is_consistent());
+        let mut p = table4_rows().remove(4).1; // CONV3_1, no pool
+        p.s_conv = 5; // violates S <= F
+        assert!(!p.is_consistent());
+        let mut p = table4_rows().remove(4).1;
+        p.p_conv = 3; // violates P < F
+        assert!(!p.is_consistent());
+        let mut p = table4_rows().remove(0).1;
+        p.pool = Some(PoolParams { f: 60, s: 2, p: 0 }); // F_pool > W_conv
+        assert!(!p.is_consistent());
+    }
+
+    #[test]
+    fn mac_counts_use_pre_pool_width() {
+        let (_, c5_1) = table4_rows().remove(7);
+        // conv out of 13/F3/S1/P1 = 13 (pre-pool), so 13^2*256*9*384.
+        assert_eq!(c5_1.macs(), 13 * 13 * 256 * 9 * 384);
+    }
+
+    #[test]
+    fn to_conv_spec_roundtrips_geometry() {
+        let (_, c1) = table4_rows().remove(0);
+        let spec = c1.to_conv_spec(1);
+        assert_eq!(spec.d_ofm, 96);
+        assert_eq!(spec.f, 11);
+        assert_eq!(spec.s, 4);
+        assert_eq!(spec.p, 1);
+        assert_eq!(spec.pool.unwrap().f, 3);
+        let scaled = c1.to_conv_spec(16);
+        assert_eq!(scaled.d_ofm, 6);
+    }
+}

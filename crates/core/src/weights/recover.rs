@@ -1,0 +1,1128 @@
+//! Weight-ratio recovery — the paper's Algorithm 2, generalized.
+//!
+//! For every weight `w` of every filter the attack finds the probe value at
+//! which an output pixel crosses the pruning boundary (`w·x + b = 0`),
+//! giving the ratio `w/b`; zero weights are identified by the absence of a
+//! crossing (§4.1). Two refinements over the paper's description make the
+//! procedure robust for arbitrary strides and merged pooling:
+//!
+//! * **Isolation probes.** The probe pixel for weight `(i, j)` is placed at
+//!   `(i + S·m − P, j + S·n − P)` where `(m, n)` is chosen so that one
+//!   pooling window starts exactly at conv output `(m, n)`: that window
+//!   then contains exactly one probe-affected tap — the target's — so its
+//!   crossing is never masked by a stronger weight (the situation the
+//!   paper's Equation (10) pin method handles for the 2×2 case).
+//! * **Descending iteration.** Weights are visited in descending raster
+//!   order; the other taps stimulated by an isolation probe belong to
+//!   *larger* weight indices, which are then already recovered, so every
+//!   other observable crossing is predictable.
+//!
+//! The adversary predicts the known-weight crossings with a *virtual
+//! model*: the same pruned-layer pipeline evaluated over the recovered
+//! `w/b` values with a unit-magnitude bias (crossing positions only depend
+//! on the ratios). Any unpredicted crossing belongs to the target weight.
+
+use cnnre_nn::layer::{Conv2d, PoolKind};
+use cnnre_tensor::{Shape4, Tensor4};
+
+use crate::weights::oracle::{FunctionalOracle, LayerGeometry, MergedOrder, Probe, ZeroCountOracle};
+use crate::weights::search::{find_crossings, Crossing, SearchConfig};
+
+/// Recovery configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Crossing search settings.
+    pub search: SearchConfig,
+    /// Relative tolerance for matching an observed crossing to a predicted
+    /// one.
+    pub match_rel_tol: f64,
+    /// Absolute matching tolerance (for crossings near zero).
+    pub match_abs_tol: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self { search: SearchConfig::default(), match_rel_tol: 1e-5, match_abs_tol: 1e-8 }
+    }
+}
+
+/// The recovered `w/b` ratios of one filter, indexed `(c, i, j)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredFilter {
+    d_ifm: usize,
+    f: usize,
+    /// `w/b` per weight; `Some(0.0)` marks an identified zero weight,
+    /// `None` a weight the attack could not recover.
+    ratios: Vec<Option<f64>>,
+}
+
+impl RecoveredFilter {
+    fn new(d_ifm: usize, f: usize) -> Self {
+        Self { d_ifm, f, ratios: vec![None; d_ifm * f * f] }
+    }
+
+    fn idx(&self, c: usize, i: usize, j: usize) -> usize {
+        (c * self.f + i) * self.f + j
+    }
+
+    /// The recovered `w/b` for weight `(c, i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the coordinates are out of range.
+    #[must_use]
+    pub fn ratio(&self, c: usize, i: usize, j: usize) -> Option<f64> {
+        self.ratios[self.idx(c, i, j)]
+    }
+
+    fn set(&mut self, c: usize, i: usize, j: usize, value: Option<f64>) {
+        let k = self.idx(c, i, j);
+        self.ratios[k] = value;
+    }
+
+    /// All ratios in `(c, i, j)` raster order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Option<f64>] {
+        &self.ratios
+    }
+
+    /// Number of weights recovered (including identified zeros).
+    #[must_use]
+    pub fn recovered_count(&self) -> usize {
+        self.ratios.iter().filter(|r| r.is_some()).count()
+    }
+}
+
+/// The outcome of the whole-layer attack.
+///
+/// Ratios are relative to the *effective* bias `b' = b − t` where `t` is the
+/// oracle's activation threshold: for plain ReLU (`t = 0`) that is the
+/// paper's `w/b`; with a raised threshold (the §4 trick that makes
+/// positive-bias pooled layers attackable) multiply by the known `b − t` to
+/// obtain absolute weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioRecovery {
+    /// One recovery per filter.
+    pub filters: Vec<RecoveredFilter>,
+    /// Sign of each filter's bias as observed from the baseline leak
+    /// (`true` = positive).
+    pub bias_positive: Vec<bool>,
+    /// Victim inference queries consumed.
+    pub queries: u64,
+}
+
+impl RatioRecovery {
+    /// Largest absolute error of the recovered `w/b` against ground truth
+    /// weights/biases, over all recovered weights (the paper's Figure-7
+    /// metric: `< 2^-10`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes disagree.
+    #[must_use]
+    pub fn max_ratio_error(&self, weights: &Tensor4, bias: &[f32]) -> f64 {
+        let shape = weights.shape();
+        assert_eq!(shape.n, self.filters.len(), "filter count");
+        let mut worst = 0.0f64;
+        for (d, filter) in self.filters.iter().enumerate() {
+            for c in 0..shape.c {
+                for i in 0..shape.h {
+                    for j in 0..shape.w {
+                        if let Some(est) = filter.ratio(c, i, j) {
+                            let truth =
+                                f64::from(weights[(d, c, i, j)]) / f64::from(bias[d]);
+                            worst = worst.max((est - truth).abs());
+                        }
+                    }
+                }
+            }
+        }
+        worst
+    }
+
+    /// Fraction of weights recovered across all filters.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        let total: usize = self.filters.iter().map(|f| f.as_slice().len()).sum();
+        let got: usize = self.filters.iter().map(RecoveredFilter::recovered_count).sum();
+        got as f64 / total.max(1) as f64
+    }
+}
+
+/// Builds the adversary's virtual model of one filter from recovered
+/// ratios: weights = `w/|b|` values (unknowns set to 0), bias = `±1`, so
+/// the virtual pre-activation values equal the true ones divided by `|b|`
+/// — sign-faithful, hence crossing positions coincide.
+fn virtual_oracle(
+    geom: &LayerGeometry,
+    filter: &RecoveredFilter,
+    bias_positive: bool,
+) -> FunctionalOracle {
+    let (d_ifm, f) = (geom.input.c, geom.f);
+    let sign = if bias_positive { 1.0f32 } else { -1.0 };
+    let mut w = Tensor4::zeros(Shape4::new(1, d_ifm, f, f));
+    for c in 0..d_ifm {
+        for i in 0..f {
+            for j in 0..f {
+                w[(0, c, i, j)] = sign * filter.ratio(c, i, j).unwrap_or(0.0) as f32;
+            }
+        }
+    }
+    let conv = Conv2d::from_parts(w, vec![sign], geom.s, geom.p)
+        .expect("virtual filter construction");
+    // A non-zero pruning threshold t is equivalent to shifting the bias to
+    // b' = b − t and comparing against zero; the recovery operates in
+    // b'-normalized units throughout (ratios come out as w/b'), so the
+    // virtual model always runs at threshold 0.
+    let virt_geom = LayerGeometry { d_ofm: 1, threshold: 0.0, ..*geom };
+    FunctionalOracle::new(conv, virt_geom)
+}
+
+fn crossings_match(a: f64, b: f64, cfg: &RecoveryConfig) -> bool {
+    (a - b).abs() <= cfg.match_abs_tol + cfg.match_rel_tol * a.abs().max(b.abs())
+}
+
+/// One weight-recovery work item: the target weight, its probe pixel, the
+/// conv-output tap the target lands on, and the surrounding tap region.
+#[derive(Debug, Clone)]
+struct Target {
+    c: usize,
+    i: usize,
+    j: usize,
+    /// Probe pixel position.
+    y: usize,
+    x: usize,
+    /// The target's conv-output tap.
+    tap: (usize, usize),
+    /// Conv-output taps sharing a pooling window with the target (target
+    /// excluded), i.e. the taps that can mask it under max pooling.
+    corner: Vec<(usize, usize)>,
+}
+
+impl Target {
+    /// Whether the probe pixel reaches conv-output tap `(vy, vx)` — and
+    /// through which weight index.
+    fn probe_weight_at(
+        &self,
+        geom: &LayerGeometry,
+        (vy, vx): (usize, usize),
+    ) -> Option<(usize, usize)> {
+        let fy = (self.y + geom.p) as isize - (vy * geom.s) as isize;
+        let fx = (self.x + geom.p) as isize - (vx * geom.s) as isize;
+        (fy >= 0 && fx >= 0 && (fy as usize) < geom.f && (fx as usize) < geom.f)
+            .then_some((fy as usize, fx as usize))
+    }
+}
+
+/// Builds a target anchored at conv-output tap `(t_r, t_c)`.
+fn make_target_at(
+    geom: &LayerGeometry,
+    c: usize,
+    i: usize,
+    j: usize,
+    (t_r, t_c): (usize, usize),
+) -> Option<Target> {
+    let conv_w = geom.conv_out_w()?;
+    let y = (t_r * geom.s + i).checked_sub(geom.p)?;
+    let x = (t_c * geom.s + j).checked_sub(geom.p)?;
+    if y >= geom.input.h || x >= geom.input.w {
+        return None;
+    }
+    let mut corner = Vec::new();
+    if let Some((_, f_p, _, _)) = geom.pool {
+        let row_range = |t: usize| {
+            (t.saturating_sub(f_p - 1), (t + f_p - 1).min(conv_w - 1))
+        };
+        let (r_lo, r_hi) = row_range(t_r);
+        let (c_lo, c_hi) = row_range(t_c);
+        for r in r_lo..=r_hi {
+            for cc in c_lo..=c_hi {
+                if (r, cc) != (t_r, t_c) {
+                    corner.push((r, cc));
+                }
+            }
+        }
+    }
+    Some(Target { c, i, j, y, x, tap: (t_r, t_c), corner })
+}
+
+/// Anchors the probe so the target weight lands on the *last* conv output:
+/// every other stimulated tap then uses a larger (already recovered under
+/// descending order) weight index, and no unknown weight is co-stimulated.
+fn make_target(geom: &LayerGeometry, c: usize, i: usize, j: usize) -> Option<Target> {
+    let conv_w = geom.conv_out_w()?;
+    let th = conv_w - 1;
+    make_target_at(geom, c, i, j, (th, th))
+}
+
+/// Fallback anchor for weights whose bottom-corner probe falls outside the
+/// input (padding makes the last window hang over the edge): the smallest
+/// per-dimension tap whose probe coordinate is in range. The co-stimulated
+/// taps then carry *smaller* weight indices, so this anchor is used in a
+/// second, ascending pass after the main sweep.
+fn make_target_near_origin(
+    geom: &LayerGeometry,
+    c: usize,
+    i: usize,
+    j: usize,
+) -> Option<Target> {
+    let pick = |t_idx: usize| -> Option<usize> {
+        (0..geom.conv_out_w()?)
+            .find(|&t| (t * geom.s + t_idx).checked_sub(geom.p).is_some())
+    };
+    let t_r = pick(i)?;
+    let t_c = pick(j)?;
+    make_target_at(geom, c, i, j, (t_r, t_c))
+}
+
+/// Pin pixels driving the corner taps to a large constant so the target's
+/// crossing is unmasked (the paper's Equation (10) generalized): one pixel
+/// per corner tap, each placed so that every contribution to any corner tap
+/// (and to the target tap) goes through an already-recovered weight; the
+/// pixel values solve a small linear system that sets each corner tap to
+/// `-PIN_STRENGTH` (in `|b|` units).
+/// All anchor strategies for one weight, in preference order: bottom-right
+/// corner, near-origin, and the two mixed row/column combinations (plus
+/// off-by-one variants for pooled layers, which shuffle the window-mate
+/// sets).
+fn candidate_targets(
+    geom: &LayerGeometry,
+    c: usize,
+    i: usize,
+    j: usize,
+) -> Vec<Option<Target>> {
+    let Some(conv_w) = geom.conv_out_w() else { return Vec::new() };
+    let th = conv_w - 1;
+    let pick = |t_idx: usize| -> Option<usize> {
+        (0..conv_w).find(|&t| (t * geom.s + t_idx).checked_sub(geom.p).is_some())
+    };
+    let mut anchors: Vec<(Option<usize>, Option<usize>)> = vec![
+        (Some(th), Some(th)),
+        (pick(i), pick(j)),
+        (Some(th), pick(j)),
+        (pick(i), Some(th)),
+    ];
+    if geom.pool.is_some() && th >= 1 {
+        anchors.extend_from_slice(&[
+            (Some(th - 1), Some(th - 1)),
+            (Some(th), Some(th - 1)),
+            (Some(th - 1), Some(th)),
+        ]);
+    }
+    anchors
+        .into_iter()
+        .map(|(r, cc)| match (r, cc) {
+            (Some(r), Some(cc)) => make_target_at(geom, c, i, j, (r, cc)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Conv-output taps the probe pixel reaches (target tap excluded).
+fn affected_taps(geom: &LayerGeometry, t: &Target) -> Vec<(usize, usize)> {
+    let Some(conv_w) = geom.conv_out_w() else { return Vec::new() };
+    let reach = |pos: usize| -> (usize, usize) {
+        let lo = (pos + geom.p).saturating_sub(geom.f - 1).div_ceil(geom.s);
+        let hi = ((pos + geom.p) / geom.s).min(conv_w - 1);
+        (lo.min(conv_w - 1), hi)
+    };
+    let (ry0, ry1) = reach(t.y);
+    let (rx0, rx1) = reach(t.x);
+    let mut out = Vec::new();
+    for vy in ry0..=ry1 {
+        for vx in rx0..=rx1 {
+            if t.probe_weight_at(geom, (vy, vx)).is_some() && (vy, vx) != t.tap {
+                out.push((vy, vx));
+            }
+        }
+    }
+    out
+}
+
+const PIN_STRENGTH: f64 = 1e9;
+
+struct PinSet {
+    probes: Vec<Probe>,
+    /// Total pin contribution to the target tap, in units of `b`
+    /// (`Σ (w/b)·v`).
+    target_contribution_over_b: f64,
+}
+
+fn build_pins(
+    geom: &LayerGeometry,
+    filter: &RecoveredFilter,
+    bias_positive: bool,
+    t: &Target,
+) -> Option<PinSet> {
+    let affected = affected_taps(geom, t);
+    // Taps to pin:
+    //  * affected taps whose weight is not yet recovered (their crossings
+    //    would be indistinguishable from the target's);
+    //  * taps sharing a pooling window with the target that are either
+    //    affected (max-pool masking) or alive at baseline (positive bias).
+    let is_unknown = |v: (usize, usize)| {
+        t.probe_weight_at(geom, v)
+            .is_some_and(|(fy, fx)| filter.ratio(t.c, fy, fx).is_none())
+    };
+    let mut pin_taps: Vec<(usize, usize)> = Vec::new();
+    for &v in &affected {
+        if is_unknown(v) {
+            pin_taps.push(v);
+        }
+    }
+    for &v in &t.corner {
+        if (bias_positive || affected.contains(&v)) && !pin_taps.contains(&v) {
+            pin_taps.push(v);
+        }
+    }
+    if pin_taps.is_empty() {
+        return Some(PinSet { probes: Vec::new(), target_contribution_over_b: 0.0 });
+    }
+    let known = |ch: usize, fy: isize, fx: isize| -> Option<f64> {
+        if fy < 0 || fx < 0 || fy as usize >= geom.f || fx as usize >= geom.f {
+            return Some(0.0); // outside the filter: zero contribution
+        }
+        if ch == t.c && (fy as usize, fx as usize) == (t.i, t.j) {
+            return None; // the unknown target weight
+        }
+        filter.ratio(ch, fy as usize, fx as usize)
+    };
+    // Pins must have known contributions at every pinned tap (the linear
+    // system below), at the target tap (the crossing formula), and at every
+    // other tap sharing a pooling window with the target (an uncontrolled
+    // huge contribution there could light the target's window permanently).
+    // Taps reached outside the target's windows only gain constant offsets,
+    // which shift no crossing the analysis depends on.
+    let must_be_known: Vec<(usize, usize)> = pin_taps
+        .iter()
+        .copied()
+        .chain(t.corner.iter().copied())
+        .chain(core::iter::once(t.tap))
+        .collect();
+    let contribution_via = |ch: usize, a: usize, b2: usize, (uy, ux): (usize, usize), (vy, vx): (usize, usize)| -> Option<f64> {
+        let fy = a as isize + geom.s as isize * (uy as isize - vy as isize);
+        let fx = b2 as isize + geom.s as isize * (ux as isize - vx as isize);
+        known(ch, fy, fx)
+    };
+    // Candidate pin pixels "attached" to tap u: position hits u through a
+    // known non-zero weight, and hits every constrained tap through a known
+    // weight. Pins whose contribution to the *target* tap is exactly zero
+    // are preferred (they leave the target's crossing in place).
+    // (channel, py, px, a, b2, tap): pins may use any input channel whose
+    // weights are recovered where the pin reaches the constrained taps —
+    // other channels' filters give an independent pin vocabulary.
+    type Pin = (usize, usize, usize, usize, usize, (usize, usize));
+    let mut pin_pos: Vec<Pin> = Vec::new();
+    let candidates_for = |u: (usize, usize), taken: &[Pin]| -> Vec<Pin> {
+        let mut out = Vec::new();
+        let mut channels: Vec<usize> = (0..geom.input.c).collect();
+        channels.sort_by_key(|&ch| if ch == t.c { 0 } else { 1 });
+        for ch in channels {
+            for a in (0..geom.f).rev() {
+                for b2 in (0..geom.f).rev() {
+                    let Some(r) = known(ch, a as isize, b2 as isize) else { continue };
+                    if r == 0.0 {
+                        continue;
+                    }
+                    let py = (u.0 * geom.s + a).checked_sub(geom.p);
+                    let px = (u.1 * geom.s + b2).checked_sub(geom.p);
+                    let (Some(py), Some(px)) = (py, px) else { continue };
+                    if py >= geom.input.h || px >= geom.input.w {
+                        continue;
+                    }
+                    if ch == t.c && (py, px) == (t.y, t.x) {
+                        continue;
+                    }
+                    if taken.iter().any(|&(qc, qy, qx, ..)| (qc, qy, qx) == (ch, py, px)) {
+                        continue;
+                    }
+                    if must_be_known
+                        .iter()
+                        .all(|&v| contribution_via(ch, a, b2, u, v).is_some())
+                    {
+                        out.push((ch, py, px, a, b2, u));
+                    }
+                }
+            }
+        }
+        out
+    };
+    for &u in &pin_taps {
+        let cands = candidates_for(u, &pin_pos);
+        // The pin must leave the target tap structurally untouched (its
+        // receptive weight there falls outside the filter or is a known
+        // zero): pin magnitudes are enormous, and an f32 compensation of a
+        // huge contribution at the target tap would destroy the crossing
+        // position entirely.
+        let zero_target = cands
+            .into_iter()
+            .find(|&(ch, _, _, a, b2, _)| contribution_via(ch, a, b2, u, t.tap) == Some(0.0))?;
+        pin_pos.push(zero_target);
+    }
+    let contribution = |(ch, py, px): (usize, usize, usize), (vy, vx): (usize, usize)| -> f64 {
+        let fy = (py + geom.p) as isize - (vy * geom.s) as isize;
+        let fx = (px + geom.p) as isize - (vx * geom.s) as isize;
+        known(ch, fy, fx).unwrap_or(0.0)
+    };
+    // Solve M·v = rhs: each pinned tap forced to -PIN_STRENGTH (in b units;
+    // the bias sign converts "far below the pruning threshold" into the
+    // b-normalized value).
+    let sign = if bias_positive { 1.0 } else { -1.0 };
+    let n = pin_pos.len();
+    let mut m = vec![vec![0.0f64; n]; n];
+    let rhs = vec![-PIN_STRENGTH * sign; n];
+    for (row, &u) in pin_taps.iter().enumerate() {
+        for (col, &(ch, py, px, ..)) in pin_pos.iter().enumerate() {
+            m[row][col] = contribution((ch, py, px), u);
+        }
+    }
+    let v = solve_linear(m, rhs)?;
+    let probes: Vec<Probe> = pin_pos
+        .iter()
+        .zip(&v)
+        .map(|(&(ch, py, px, ..), &val)| Probe { c: ch, y: py, x: px, value: val as f32 })
+        .collect();
+    Some(PinSet { probes, target_contribution_over_b: 0.0 })
+}
+
+/// Gaussian elimination with partial pivoting; `None` when singular.
+fn solve_linear(mut m: Vec<Vec<f64>>, mut rhs: Vec<f64>) -> Option<Vec<f64>> {
+    let n = rhs.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&a, &b| {
+            m[a][col].abs().partial_cmp(&m[b][col].abs()).expect("finite")
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for row in col + 1..n {
+            let factor = m[row][col] / m[col][col];
+            let (pivot_row, rest) = m.split_at_mut(col + 1);
+            let pivot_row = &pivot_row[col];
+            for (dst, src) in rest[row - col - 1][col..].iter_mut().zip(&pivot_row[col..]) {
+                *dst -= factor * src;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in row + 1..n {
+            acc -= m[row][k] * x[k];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// `w/b` from the target-tap crossing at probe value `x`, given the pin
+/// contribution to the relevant window (in `b` units) and, for sum-based
+/// average pooling, the known ratios of the other probe-affected taps in
+/// the target's window (they contribute `ratio·x` each to the window sum).
+fn ratio_from_crossing(
+    geom: &LayerGeometry,
+    t: &Target,
+    filter: &RecoveredFilter,
+    x: f64,
+    pin_over_b: f64,
+) -> f64 {
+    match (geom.pool, geom.order) {
+        (Some((PoolKind::Avg, f_p, _, _)), MergedOrder::PoolThenAct) => {
+            // Window sum: x·(w_t/b + Σ known affected ratios) + K + pins = 0.
+            let conv_w = geom.conv_out_w().expect("valid geometry");
+            let window_tap = |v: usize, t_v: usize| {
+                v >= t_v.saturating_sub(f_p - 1) && v <= t_v && v < conv_w
+            };
+            let mut k = 0usize;
+            let mut known_sum = 0.0f64;
+            for r in t.tap.0.saturating_sub(f_p - 1)..=t.tap.0 {
+                for c in t.tap.1.saturating_sub(f_p - 1)..=t.tap.1 {
+                    if !(window_tap(r, t.tap.0) && window_tap(c, t.tap.1)) {
+                        continue;
+                    }
+                    k += 1;
+                    if (r, c) != t.tap {
+                        if let Some((fy, fx)) = t.probe_weight_at(geom, (r, c)) {
+                            known_sum += filter.ratio(t.c, fy, fx).unwrap_or(0.0);
+                        }
+                    }
+                }
+            }
+            -(k as f64 + pin_over_b) / x - known_sum
+        }
+        _ => -(1.0 + pin_over_b) / x,
+    }
+}
+
+/// Pin contribution relevant to the crossing formula: for max pooling (and
+/// no pooling) only the target tap matters; for sum-based average pooling
+/// the whole last window contributes.
+fn formula_pin_term(geom: &LayerGeometry, t: &Target, pins: &PinSet, filter: &RecoveredFilter) -> f64 {
+    match (geom.pool, geom.order) {
+        (Some((PoolKind::Avg, _, _, _)), MergedOrder::PoolThenAct) => {
+            // Sum of pin contributions over the last window's taps.
+            let mut total = pins.target_contribution_over_b;
+            for &(vy, vx) in &t.corner {
+                for probe in &pins.probes {
+                    let fy = (probe.y + geom.p) as isize - (vy * geom.s) as isize;
+                    let fx = (probe.x + geom.p) as isize - (vx * geom.s) as isize;
+                    if fy >= 0
+                        && fx >= 0
+                        && (fy as usize) < geom.f
+                        && (fx as usize) < geom.f
+                        && !(probe.c == t.c && (fy as usize, fx as usize) == (t.i, t.j))
+                    {
+                        total += filter.ratio(probe.c, fy as usize, fx as usize).unwrap_or(0.0)
+                            * f64::from(probe.value);
+                    }
+                }
+            }
+            total
+        }
+        _ => pins.target_contribution_over_b,
+    }
+}
+
+/// Runs the full-layer ratio recovery.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_attacks::weights::{
+///     recover_ratios, FunctionalOracle, LayerGeometry, MergedOrder, RecoveryConfig,
+/// };
+/// use cnnre_nn::layer::Conv2d;
+/// use cnnre_tensor::{init, Shape3, Shape4};
+/// use rand::rngs::SmallRng;
+/// use rand::SeedableRng;
+///
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let geom = LayerGeometry {
+///     input: Shape3::new(1, 17, 17),
+///     d_ofm: 1, f: 3, s: 1, p: 0,
+///     pool: None,
+///     order: MergedOrder::ActThenPool,
+///     threshold: 0.0,
+/// };
+/// let weights = init::he_conv(&mut rng, Shape4::new(1, 1, 3, 3));
+/// let victim = Conv2d::from_parts(weights, vec![-0.2], 1, 0)?;
+/// let mut oracle = FunctionalOracle::new(victim.clone(), geom);
+/// let rec = recover_ratios(&mut oracle, &RecoveryConfig::default());
+/// assert!(rec.max_ratio_error(victim.weights(), victim.bias()) < 2f64.powi(-10));
+/// # Ok::<(), cnnre_tensor::TensorError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics when the layer geometry is degenerate (no conv output).
+pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) -> RatioRecovery {
+    let geom = oracle.geometry();
+    assert!(geom.final_out_w().is_some(), "degenerate geometry");
+    let baseline = oracle.query(&[]);
+    let full = (geom.final_out_w().expect("valid geometry") as u64).pow(2);
+    let bias_positive: Vec<bool> = baseline.iter().map(|&c| c == full).collect();
+
+    let mut filters: Vec<RecoveredFilter> =
+        (0..geom.d_ofm).map(|_| RecoveredFilter::new(geom.input.c, geom.f)).collect();
+
+    // Pass 1, descending raster order: the bottom-anchored probe stimulates
+    // only larger (already recovered) weight indices alongside the target.
+    let mut deferred: Vec<(usize, usize, usize)> = Vec::new();
+    for c in 0..geom.input.c {
+        for i in (0..geom.f).rev() {
+            for j in (0..geom.f).rev() {
+                if make_target(&geom, c, i, j).is_none() {
+                    deferred.push((c, i, j));
+                    continue;
+                }
+                for d in 0..geom.d_ofm {
+                    let ratio = recover_with_retries(
+                        oracle,
+                        &geom,
+                        &filters[d],
+                        bias_positive[d],
+                        c,
+                        i,
+                        j,
+                        cfg,
+                        d,
+                    );
+                    filters[d].set(c, i, j, ratio);
+                }
+            }
+        }
+    }
+    // Pass 2, ascending: weights whose bottom probe hangs over the padded
+    // edge are anchored near the origin instead; their co-stimulated taps
+    // carry smaller weight indices, recovered in pass 1.
+    deferred.sort_unstable();
+    for (c, i, j) in deferred {
+        let Some(t) = make_target_near_origin(&geom, c, i, j) else { continue };
+        for d in 0..geom.d_ofm {
+            let ratio =
+                recover_one(oracle, &geom, &filters[d], bias_positive[d], &t, cfg, d, true);
+            filters[d].set(c, i, j, ratio);
+        }
+    }
+    // Fixpoint rounds: weights masked beyond the reach of the first sweep
+    // become recoverable once their neighbours are known — each round the
+    // pin vocabulary grows (origin-anchored probes pin through *smaller*
+    // recovered weights, bottom-anchored ones through larger), so alternate
+    // both anchors until no further weight resolves.
+    for round in 0..6 {
+        let mut progressed = false;
+        for c in 0..geom.input.c {
+            for i in 0..geom.f {
+                for j in 0..geom.f {
+                    for d in 0..geom.d_ofm {
+                        if filters[d].ratio(c, i, j).is_some() {
+                            continue;
+                        }
+                        let targets = candidate_targets(&geom, c, i, j);
+                        for t in targets.into_iter().flatten() {
+                            let ratio = recover_one(
+                                oracle,
+                                &geom,
+                                &filters[d],
+                                bias_positive[d],
+                                &t,
+                                cfg,
+                                d,
+                                false,
+                            );
+                            if let Some(r) = ratio {
+                                filters[d].set(c, i, j, Some(r));
+                                progressed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !progressed {
+            // One final sweep allowing definitive zeros.
+            if round > 0 {
+                break;
+            }
+            break;
+        }
+    }
+    // Whatever remains unresolved after the fixpoint: if a final pinned
+    // attempt sees no crossing at all, conclude a zero weight.
+    for c in 0..geom.input.c {
+        for i in 0..geom.f {
+            for j in 0..geom.f {
+                for d in 0..geom.d_ofm {
+                    if filters[d].ratio(c, i, j).is_some() {
+                        continue;
+                    }
+                    for t in candidate_targets(&geom, c, i, j).into_iter().flatten() {
+                        let ratio = recover_one(
+                            oracle,
+                            &geom,
+                            &filters[d],
+                            bias_positive[d],
+                            &t,
+                            cfg,
+                            d,
+                            true,
+                        );
+                        if ratio.is_some() {
+                            filters[d].set(c, i, j, ratio);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    RatioRecovery { filters, bias_positive, queries: oracle.query_count() }
+}
+
+/// Crossings of the virtual model for the given probe set.
+fn virtual_crossings(
+    geom: &LayerGeometry,
+    filter: &RecoveredFilter,
+    bias_positive: bool,
+    t: &Target,
+    pins: &[Probe],
+    cfg: &RecoveryConfig,
+) -> Vec<Crossing> {
+    let mut virt = virtual_oracle(geom, filter, bias_positive);
+    find_crossings(
+        |v| {
+            let mut probes = Vec::with_capacity(pins.len() + 1);
+            probes.push(Probe { c: t.c, y: t.y, x: t.x, value: v });
+            probes.extend_from_slice(pins);
+            virt.query_filter(0, &probes)
+        },
+        &cfg.search,
+    )
+}
+
+/// Whether the observed and predicted crossing sets coincide one-to-one,
+/// including the count-step magnitudes (a coincident extra crossing at the
+/// same position shows up as a delta mismatch).
+fn sets_match(observed: &[Crossing], predicted: &[Crossing], cfg: &RecoveryConfig) -> bool {
+    let covered = |a: &[Crossing], b: &[Crossing]| {
+        a.iter().all(|x| b.iter().any(|y| crossings_match(x.x, y.x, cfg) && x.delta == y.delta))
+    };
+    covered(observed, predicted) && covered(predicted, observed)
+}
+
+/// Observed crossings that coincide in position with a predicted one but
+/// exceed its step magnitude — the signature of the target's crossing
+/// hiding behind a known weight's.
+fn excess_coincidences(
+    observed: &[Crossing],
+    predicted: &[Crossing],
+    cfg: &RecoveryConfig,
+) -> Vec<Crossing> {
+    observed
+        .iter()
+        .copied()
+        .filter(|o| {
+            predicted
+                .iter()
+                .any(|p| crossings_match(o.x, p.x, cfg) && o.delta.abs() > p.delta.abs())
+        })
+        .collect()
+}
+
+/// Tries the bottom-corner anchor first, then nearby window-aligned
+/// anchors; commits the first attempt that produces a definitive result.
+/// Intermediate attempts may only return a value with verification, so an
+/// inconclusive anchor never poisons the recovery.
+#[allow(clippy::too_many_arguments)]
+fn recover_with_retries(
+    oracle: &mut dyn ZeroCountOracle,
+    geom: &LayerGeometry,
+    filter: &RecoveredFilter,
+    bias_positive: bool,
+    c: usize,
+    i: usize,
+    j: usize,
+    cfg: &RecoveryConfig,
+    d: usize,
+) -> Option<f64> {
+    let conv_w = geom.conv_out_w()?;
+    let th = conv_w - 1;
+    let mut anchors = vec![(th, th)];
+    if geom.pool.is_some() && th >= 1 {
+        anchors.extend_from_slice(&[(th - 1, th - 1), (th, th - 1), (th - 1, th)]);
+    }
+    let mut inconclusive_zero = false;
+    for (n, anchor) in anchors.iter().enumerate() {
+        let Some(t) = make_target_at(geom, c, i, j, *anchor) else { continue };
+        let last = n + 1 == anchors.len();
+        match recover_one(oracle, geom, filter, bias_positive, &t, cfg, d, last) {
+            Some(r) if r != 0.0 => return Some(r),
+            Some(_) => {
+                // "Zero" can also mean "masked and unpinnable" — only trust
+                // it once the final anchor agrees.
+                inconclusive_zero = true;
+            }
+            None => {}
+        }
+    }
+    inconclusive_zero.then_some(0.0)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recover_one(
+    oracle: &mut dyn ZeroCountOracle,
+    geom: &LayerGeometry,
+    filter: &RecoveredFilter,
+    bias_positive: bool,
+    t: &Target,
+    cfg: &RecoveryConfig,
+    d: usize,
+    allow_zero: bool,
+) -> Option<f64> {
+    // The fast (unpinned) path is sound only when every co-stimulated tap
+    // carries an already-recovered weight: otherwise an unknown weight's
+    // crossing is indistinguishable from the target's.
+    let all_cotaps_known = affected_taps(geom, t).iter().all(|&v| {
+        t.probe_weight_at(geom, v)
+            .is_none_or(|(fy, fx)| filter.ratio(t.c, fy, fx).is_some())
+    });
+    if all_cotaps_known {
+        let observed = find_crossings(
+            |v| oracle.query_filter(d, &[Probe { c: t.c, y: t.y, x: t.x, value: v }]),
+            &cfg.search,
+        );
+        let predicted = virtual_crossings(geom, filter, bias_positive, t, &[], cfg);
+        let mut unmatched: Vec<Crossing> = observed
+            .iter()
+            .copied()
+            .filter(|o| !predicted.iter().any(|p| crossings_match(o.x, p.x, cfg)))
+            .collect();
+        if unmatched.is_empty() {
+            // The target's crossing may coincide with a known weight's: the
+            // step magnitude then exceeds the prediction.
+            unmatched = excess_coincidences(&observed, &predicted, cfg);
+        }
+        if let [single] = unmatched[..] {
+            let ratio = ratio_from_crossing(geom, t, filter, single.x, 0.0);
+            // Verify: the completed virtual model must reproduce the
+            // observation exactly (positions and step magnitudes).
+            let mut trial = filter.clone();
+            trial.set(t.c, t.i, t.j, Some(ratio));
+            let verify = virtual_crossings(geom, &trial, bias_positive, t, &[], cfg);
+            if sets_match(&observed, &verify, cfg) {
+                return Some(ratio);
+            }
+        }
+        if geom.pool.is_none() && unmatched.is_empty() {
+            // Without pooling nothing can mask the target, and the
+            // coincidence check found no hidden step: no crossing means a
+            // zero weight (or one outside the searchable ratio range).
+            return Some(0.0);
+        }
+        geom.pool?;
+    }
+
+    // Pinned path: drive every other corner tap far negative so the
+    // target's crossing is exposed (Equation (10), generalized).
+    let pins = build_pins(geom, filter, bias_positive, t)?;
+    let observed2 = find_crossings(
+        |v| {
+            let mut probes = Vec::with_capacity(pins.probes.len() + 1);
+            probes.push(Probe { c: t.c, y: t.y, x: t.x, value: v });
+            probes.extend_from_slice(&pins.probes);
+            oracle.query_filter(d, &probes)
+        },
+        &cfg.search,
+    );
+    let predicted2 = virtual_crossings(geom, filter, bias_positive, t, &pins.probes, cfg);
+    let unmatched2: Vec<Crossing> = observed2
+        .iter()
+        .copied()
+        .filter(|o| !predicted2.iter().any(|p| crossings_match(o.x, p.x, cfg)))
+        .collect();
+    let pin_term = formula_pin_term(geom, t, &pins, filter);
+    let unmatched2 = if unmatched2.is_empty() {
+        // A coincident crossing hides behind a known weight's step.
+        excess_coincidences(&observed2, &predicted2, cfg)
+    } else {
+        unmatched2
+    };
+    if unmatched2.is_empty() {
+        if !allow_zero {
+            return None;
+        }
+        // Positive control: a zero conclusion is only sound if a weight of
+        // either sign *would* have produced a visible crossing under these
+        // pins. Inject sentinel ratios into the virtual model and demand
+        // new predicted crossings.
+        for sentinel in [1.0, -1.0, 0.05, -0.05] {
+            let mut trial = filter.clone();
+            trial.set(t.c, t.i, t.j, Some(sentinel));
+            let control = virtual_crossings(geom, &trial, bias_positive, t, &pins.probes, cfg);
+            let visible = control
+                .iter()
+                .any(|p| !predicted2.iter().any(|q| crossings_match(p.x, q.x, cfg)));
+            if !visible {
+                return None; // the setup is blind: do not conclude zero
+            }
+        }
+        return Some(0.0);
+    }
+    // Commit a candidate only when the completed virtual model reproduces
+    // the pinned observation exactly.
+    for cand in &unmatched2 {
+        let ratio = ratio_from_crossing(geom, t, filter, cand.x, pin_term);
+        let mut trial = filter.clone();
+        trial.set(t.c, t.i, t.j, Some(ratio));
+        let verify = virtual_crossings(geom, &trial, bias_positive, t, &pins.probes, cfg);
+        if sets_match(&observed2, &verify, cfg) {
+            return Some(ratio);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnnre_tensor::Shape3;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn make_geom(
+        input: Shape3,
+        d: usize,
+        f: usize,
+        s: usize,
+        p: usize,
+        pool: Option<(PoolKind, usize, usize, usize)>,
+    ) -> LayerGeometry {
+        LayerGeometry {
+            input,
+            d_ofm: d,
+            f,
+            s,
+            p,
+            pool,
+            order: MergedOrder::ActThenPool,
+            threshold: 0.0,
+        }
+    }
+
+    fn victim(
+        geom: &LayerGeometry,
+        rng: &mut SmallRng,
+        zero_fraction: f64,
+        negative_bias: bool,
+    ) -> Conv2d {
+        let shape = Shape4::new(geom.d_ofm, geom.input.c, geom.f, geom.f);
+        let weights = if zero_fraction > 0.0 {
+            cnnre_tensor::init::compressed_conv(rng, shape, zero_fraction, 8)
+        } else {
+            cnnre_tensor::init::he_conv(rng, shape)
+        };
+        let bias: Vec<f32> = (0..geom.d_ofm)
+            .map(|_| {
+                let b = rng.gen_range(0.05..0.5f32);
+                if negative_bias {
+                    -b
+                } else {
+                    b
+                }
+            })
+            .collect();
+        Conv2d::from_parts(weights, bias, geom.s, geom.p).expect("victim conv")
+    }
+
+    fn check_recovery(geom: LayerGeometry, seed: u64, zero_fraction: f64) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let conv = victim(&geom, &mut rng, zero_fraction, true);
+        let mut oracle = FunctionalOracle::new(conv.clone(), geom);
+        let recovery = recover_ratios(&mut oracle, &RecoveryConfig::default());
+        assert!(
+            recovery.coverage() > 0.999,
+            "coverage {} for {geom:?}",
+            recovery.coverage()
+        );
+        let err = recovery.max_ratio_error(conv.weights(), conv.bias());
+        assert!(err < 2f64.powi(-10), "max w/b error {err:.3e} for {geom:?}");
+        // Identified zeros are really zero.
+        for (d, f) in recovery.filters.iter().enumerate() {
+            for c in 0..geom.input.c {
+                for i in 0..geom.f {
+                    for j in 0..geom.f {
+                        if f.ratio(c, i, j) == Some(0.0) {
+                            assert_eq!(conv.weights()[(d, c, i, j)], 0.0, "({d},{c},{i},{j})");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_1x1_conv_ratios() {
+        // The paper's Figure-6a case.
+        check_recovery(make_geom(Shape3::new(1, 6, 6), 3, 1, 1, 0, None), 1, 0.0);
+    }
+
+    #[test]
+    fn recovers_3x3_conv_ratios() {
+        // The paper's Figure-6b general case, no pooling.
+        check_recovery(make_geom(Shape3::new(2, 10, 10), 2, 3, 1, 0, None), 2, 0.0);
+    }
+
+    #[test]
+    fn recovers_strided_conv_with_padding() {
+        check_recovery(make_geom(Shape3::new(1, 11, 11), 2, 3, 2, 1, None), 3, 0.0);
+    }
+
+    #[test]
+    fn recovers_through_max_pooling() {
+        // Merged 2x2/s2 max pooling (the paper's Equation (10) scenario).
+        check_recovery(
+            make_geom(Shape3::new(1, 12, 12), 2, 3, 1, 0, Some((PoolKind::Max, 2, 2, 0))),
+            4,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn recovers_through_overlapping_max_pooling() {
+        // AlexNet-style 3x3/s2 overlapped pooling with a strided conv.
+        check_recovery(
+            make_geom(Shape3::new(1, 23, 23), 2, 5, 2, 0, Some((PoolKind::Max, 3, 2, 0))),
+            5,
+            0.0,
+        );
+    }
+
+    #[test]
+    fn recovers_through_average_pooling() {
+        // The paper's Equation (11): average pooling over pre-activation.
+        let mut geom =
+            make_geom(Shape3::new(1, 12, 12), 2, 3, 1, 0, Some((PoolKind::Avg, 2, 2, 0)));
+        geom.order = MergedOrder::PoolThenAct;
+        check_recovery(geom, 6, 0.0);
+    }
+
+    #[test]
+    fn detects_zero_weights_from_missing_crossings() {
+        let geom = make_geom(Shape3::new(1, 10, 10), 2, 3, 1, 0, None);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let conv = victim(&geom, &mut rng, 0.4, true);
+        let zero_count = conv.weights().as_slice().iter().filter(|&&w| w == 0.0).count();
+        assert!(zero_count > 0, "victim has zero weights");
+        let mut oracle = FunctionalOracle::new(conv.clone(), geom);
+        let recovery = recover_ratios(&mut oracle, &RecoveryConfig::default());
+        let mut zeros_found = 0;
+        for (d, f) in recovery.filters.iter().enumerate() {
+            for c in 0..1 {
+                for i in 0..3 {
+                    for j in 0..3 {
+                        if conv.weights()[(d, c, i, j)] == 0.0 {
+                            assert_eq!(f.ratio(c, i, j), Some(0.0), "({d},{c},{i},{j})");
+                            zeros_found += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(zeros_found, zero_count);
+        assert!(recovery.max_ratio_error(conv.weights(), conv.bias()) < 2f64.powi(-10));
+    }
+
+    #[test]
+    fn positive_bias_works_without_pooling() {
+        // Without pooling the isolated output is a single tap, so crossings
+        // exist for either bias sign.
+        let geom = make_geom(Shape3::new(1, 10, 10), 2, 3, 1, 0, None);
+        let mut rng = SmallRng::seed_from_u64(8);
+        let conv = victim(&geom, &mut rng, 0.0, false);
+        let mut oracle = FunctionalOracle::new(conv.clone(), geom);
+        let recovery = recover_ratios(&mut oracle, &RecoveryConfig::default());
+        assert!(recovery.bias_positive.iter().all(|&b| b));
+        assert!(recovery.coverage() > 0.999);
+        assert!(recovery.max_ratio_error(conv.weights(), conv.bias()) < 2f64.powi(-10));
+    }
+
+    #[test]
+    fn end_to_end_against_the_accelerator_oracle() {
+        // The same attack, consuming the real pruned-trace leak.
+        let geom = make_geom(Shape3::new(1, 8, 8), 2, 3, 1, 0, None);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let conv = victim(&geom, &mut rng, 0.3, true);
+        let mut oracle = crate::weights::oracle::AcceleratorOracle::new(conv.clone(), geom);
+        let recovery = recover_ratios(&mut oracle, &RecoveryConfig::default());
+        assert!(recovery.coverage() > 0.999);
+        assert!(
+            recovery.max_ratio_error(conv.weights(), conv.bias()) < 2f64.powi(-10),
+            "err {}",
+            recovery.max_ratio_error(conv.weights(), conv.bias())
+        );
+    }
+}

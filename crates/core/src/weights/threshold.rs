@@ -1,0 +1,227 @@
+//! Bias recovery via the tunable activation threshold (§4's closing
+//! observation): accelerators like Minerva replace ReLU with a tunable
+//! threshold to prune more aggressively. If the adversary can adjust that
+//! threshold, feeding an all-zero input makes every output pixel equal to
+//! the bias, and the threshold at which the non-zero count collapses to
+//! zero *is* the bias. Combined with the recovered `w/b` ratios this yields
+//! the exact weights.
+
+use crate::weights::oracle::ZeroCountOracle;
+use crate::weights::recover::RatioRecovery;
+
+/// An oracle whose pruning threshold the adversary can adjust.
+pub trait ThresholdControl: ZeroCountOracle {
+    /// Sets the activation threshold (non-negative).
+    fn set_threshold(&mut self, threshold: f32);
+}
+
+impl ThresholdControl for crate::weights::oracle::FunctionalOracle {
+    fn set_threshold(&mut self, threshold: f32) {
+        crate::weights::oracle::FunctionalOracle::set_threshold(self, threshold);
+    }
+}
+
+/// Per-filter bias recovered through the threshold sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiasRecovery {
+    /// Recovered biases; `None` for filters whose bias is not positive
+    /// (the threshold knob is non-negative, so only `b > 0` is observable
+    /// this way — the paper's §4 construction).
+    pub bias: Vec<Option<f64>>,
+}
+
+/// Recovers each filter's (positive) bias by bisecting the threshold at
+/// which the all-zero-input output count collapses.
+///
+/// The oracle is left with threshold `0`.
+///
+/// # Panics
+///
+/// Panics when `max_threshold` is not positive and finite.
+pub fn recover_bias<O: ThresholdControl + ?Sized>(
+    oracle: &mut O,
+    max_threshold: f32,
+    iterations: u32,
+) -> BiasRecovery {
+    assert!(max_threshold.is_finite() && max_threshold > 0.0, "bad threshold bound");
+    let d_ofm = oracle.geometry().d_ofm;
+    oracle.set_threshold(0.0);
+    let at_zero = oracle.query(&[]);
+    let mut bias: Vec<Option<f64>> = vec![None; d_ofm];
+    for d in 0..d_ofm {
+        if at_zero[d] == 0 {
+            continue; // bias <= 0: invisible to a non-negative threshold
+        }
+        let (mut lo, mut hi) = (0.0f32, max_threshold);
+        // Confirm the count collapses within the bound.
+        oracle.set_threshold(hi);
+        if oracle.query(&[])[d] != 0 {
+            continue; // bias beyond the search bound
+        }
+        for _ in 0..iterations {
+            let mid = 0.5 * (lo + hi);
+            oracle.set_threshold(mid);
+            if oracle.query(&[])[d] == 0 {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        bias[d] = Some(f64::from(0.5 * (lo + hi)));
+    }
+    oracle.set_threshold(0.0);
+    BiasRecovery { bias }
+}
+
+/// Combines recovered ratios (`w/b`) and biases into absolute weights:
+/// `w = (w/b) · b`. Filters without a recovered bias yield `None`.
+#[must_use]
+pub fn full_weights(ratios: &RatioRecovery, biases: &BiasRecovery) -> Vec<Option<Vec<f64>>> {
+    full_weights_with_threshold(ratios, biases, 0.0)
+}
+
+/// [`full_weights`] for ratios recovered at a raised activation threshold
+/// `t`: the ratios are `w/(b − t)`, so `w = ratio · (b − t)`.
+///
+/// Raising the threshold above every bias is the adversary's move that
+/// makes positive-bias pooled layers attackable: with `t > b` the all-zero
+/// baseline output is fully pruned, restoring the crossing structure of the
+/// negative-bias case.
+#[must_use]
+pub fn full_weights_with_threshold(
+    ratios: &RatioRecovery,
+    biases: &BiasRecovery,
+    threshold: f64,
+) -> Vec<Option<Vec<f64>>> {
+    ratios
+        .filters
+        .iter()
+        .zip(&biases.bias)
+        .map(|(filter, b)| {
+            b.map(|b| {
+                filter
+                    .as_slice()
+                    .iter()
+                    .map(|r| r.unwrap_or(0.0) * (b - threshold))
+                    .collect()
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use cnnre_nn::layer::PoolKind;
+
+    use super::*;
+    use crate::weights::oracle::{FunctionalOracle, LayerGeometry, MergedOrder};
+    use crate::weights::recover::{recover_ratios, RecoveryConfig};
+    use cnnre_nn::layer::Conv2d;
+    use cnnre_tensor::Shape3;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn geom() -> LayerGeometry {
+        LayerGeometry {
+            input: Shape3::new(1, 10, 10),
+            d_ofm: 3,
+            f: 3,
+            s: 1,
+            p: 0,
+            pool: None,
+            order: MergedOrder::ActThenPool,
+            threshold: 0.0,
+        }
+    }
+
+    #[test]
+    fn bias_recovered_for_positive_biases() {
+        let g = geom();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut conv = Conv2d::new(1, 3, 3, 1, 0, &mut rng);
+        conv.bias_mut().copy_from_slice(&[0.35, -0.2, 0.8]);
+        let mut oracle = FunctionalOracle::new(conv, g);
+        let rec = recover_bias(&mut oracle, 2.0, 48);
+        assert!((rec.bias[0].unwrap() - 0.35).abs() < 1e-5);
+        assert_eq!(rec.bias[1], None, "negative bias is invisible");
+        assert!((rec.bias[2].unwrap() - 0.8).abs() < 1e-5);
+    }
+
+    #[test]
+    fn full_weight_recovery_pipeline() {
+        // Ratios via zero pruning + bias via threshold => exact weights,
+        // "this optimization enables an adversary to fully recover the
+        // weight and bias values" (§4).
+        let g = geom();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut conv = Conv2d::new(1, 3, 3, 1, 0, &mut rng);
+        for (i, b) in conv.bias_mut().iter_mut().enumerate() {
+            *b = 0.2 + 0.1 * i as f32;
+        }
+        let truth = conv.clone();
+        let mut oracle = FunctionalOracle::new(conv, g);
+        let ratios = recover_ratios(&mut oracle, &RecoveryConfig::default());
+        let biases = recover_bias(&mut oracle, 2.0, 48);
+        let weights = full_weights(&ratios, &biases);
+        let mut rng2 = SmallRng::seed_from_u64(0);
+        let _ = &mut rng2;
+        for (d, w) in weights.iter().enumerate() {
+            let w = w.as_ref().expect("bias recovered");
+            for c in 0..1 {
+                for i in 0..3 {
+                    for j in 0..3 {
+                        let idx = (c * 3 + i) * 3 + j;
+                        let tw = f64::from(truth.weights()[(d, c, i, j)]);
+                        assert!(
+                            (w[idx] - tw).abs() < 5e-4 * tw.abs().max(0.1),
+                            "filter {d} weight ({c},{i},{j}): {} vs {tw}",
+                            w[idx]
+                        );
+                    }
+                }
+            }
+        }
+        let _ = rng.gen::<u8>();
+    }
+
+    #[test]
+    fn raised_threshold_unlocks_positive_bias_pooled_recovery() {
+        // Max pooling + positive bias leaks nothing at threshold 0 (every
+        // output pixel is alive); raising the threshold above the biases
+        // restores the full attack.
+        let mut g = geom();
+        g.input = Shape3::new(1, 12, 12);
+        g.d_ofm = 2;
+        g.pool = Some((PoolKind::Max, 2, 2, 0));
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, &mut rng);
+        conv.bias_mut().copy_from_slice(&[0.3, 0.45]);
+        let truth = conv.clone();
+        let mut oracle = FunctionalOracle::new(conv, g);
+        let biases = recover_bias(&mut oracle, 2.0, 48);
+        let b0 = biases.bias[0].expect("positive bias observable");
+        assert!((b0 - 0.3).abs() < 1e-5);
+        let t = 1.0f32; // above every bias
+        oracle.set_threshold(t);
+        let ratios = recover_ratios(&mut oracle, &RecoveryConfig::default());
+        assert!(ratios.coverage() > 0.99, "coverage {}", ratios.coverage());
+        let full = crate::weights::threshold::full_weights_with_threshold(
+            &ratios,
+            &biases,
+            f64::from(t),
+        );
+        for (d, w) in full.iter().enumerate() {
+            let w = w.as_ref().expect("bias recovered");
+            for i in 0..3 {
+                for j in 0..3 {
+                    let tw = f64::from(truth.weights()[(d, 0, i, j)]);
+                    assert!(
+                        (w[(i * 3) + j] - tw).abs() < 1e-3 * tw.abs().max(0.1),
+                        "filter {d} ({i},{j}): {} vs {tw}",
+                        w[(i * 3) + j]
+                    );
+                }
+            }
+        }
+    }
+}

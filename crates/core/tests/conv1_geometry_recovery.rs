@@ -1,0 +1,63 @@
+//! Weight recovery on the paper's Figure-7 geometry class — AlexNet CONV1
+//! (11×11 filters, stride 4, merged 3×3/s2 max pooling) with
+//! Deep-Compression-style pruned weights — at reduced input size and
+//! filter count for test speed. The full-scale experiment is the
+//! `fig7` bench target.
+
+use cnnre_attacks::weights::{
+    recover_ratios, FunctionalOracle, LayerGeometry, MergedOrder, RecoveryConfig,
+};
+use cnnre_nn::layer::{Conv2d, PoolKind};
+use cnnre_tensor::{Shape3, Shape4};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn conv1_class_geometry_recovers_nearly_all_ratios_precisely() {
+    let geom = LayerGeometry {
+        input: Shape3::new(3, 51, 51),
+        d_ofm: 4,
+        f: 11,
+        s: 4,
+        p: 0,
+        pool: Some((PoolKind::Max, 3, 2, 0)),
+        order: MergedOrder::ActThenPool,
+        threshold: 0.0,
+    };
+    let mut rng = SmallRng::seed_from_u64(4);
+    let shape = Shape4::new(4, 3, 11, 11);
+    let weights = cnnre_tensor::init::compressed_conv(&mut rng, shape, 0.4, 8);
+    let bias: Vec<f32> = (0..4).map(|_| -rng.gen_range(0.05..0.5f32)).collect();
+    let conv = Conv2d::from_parts(weights, bias, 4, 0).expect("victim conv");
+    let mut oracle = FunctionalOracle::new(conv.clone(), geom);
+    let rec = recover_ratios(&mut oracle, &RecoveryConfig::default());
+
+    // The paper's claims: ratios recovered with error < 2^-10 and
+    // zero-valued weights identified.
+    assert!(rec.coverage() > 0.99, "coverage {}", rec.coverage());
+    let err = rec.max_ratio_error(conv.weights(), conv.bias());
+    assert!(err < 2f64.powi(-10), "max w/b error {err:.3e}");
+    // Every weight claimed zero really is zero, and most real zeros found.
+    let mut zeros_claimed = 0;
+    let mut zeros_true = 0;
+    for d in 0..4 {
+        for c in 0..3 {
+            for i in 0..11 {
+                for j in 0..11 {
+                    let truth = conv.weights()[(d, c, i, j)];
+                    if truth == 0.0 {
+                        zeros_true += 1;
+                    }
+                    if rec.filters[d].ratio(c, i, j) == Some(0.0) {
+                        zeros_claimed += 1;
+                        assert_eq!(truth, 0.0, "false zero at ({d},{c},{i},{j})");
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        zeros_claimed as f64 > 0.95 * zeros_true as f64,
+        "zeros: claimed {zeros_claimed} of {zeros_true}"
+    );
+}

@@ -1,0 +1,94 @@
+//! The functional zero-count model and the full accelerator-trace oracle
+//! must agree on every query — this is what licenses running the paper's
+//! §4 attack against the fast model. The accelerator path exercises the
+//! whole stack: network lowering, tiled execution with zero pruning, and
+//! the adversary's parsing of per-filter write bursts from the raw trace.
+
+use cnnre_attacks::weights::{
+    AcceleratorOracle, FunctionalOracle, LayerGeometry, MergedOrder, Probe, ZeroCountOracle,
+};
+use cnnre_nn::layer::{Conv2d, PoolKind};
+use cnnre_tensor::{init, Shape3, Shape4};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn victim(seed: u64, channels: usize, pool: Option<(PoolKind, usize, usize, usize)>) -> (Conv2d, LayerGeometry) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let geom = LayerGeometry {
+        input: Shape3::new(channels, 13, 13),
+        d_ofm: 3,
+        f: 3,
+        s: 1,
+        p: 0,
+        pool,
+        order: MergedOrder::ActThenPool,
+        threshold: 0.0,
+    };
+    let weights = init::he_conv(&mut rng, Shape4::new(3, channels, 3, 3));
+    let bias: Vec<f32> = (0..3).map(|_| -rng.gen_range(0.05..0.4f32)).collect();
+    let conv = Conv2d::from_parts(weights, bias, 1, 0).expect("victim");
+    (conv, geom)
+}
+
+fn agree_on_probe_grid(conv: &Conv2d, geom: LayerGeometry, seed: u64) {
+    let mut fast = FunctionalOracle::new(conv.clone(), geom);
+    let mut real = AcceleratorOracle::new(conv.clone(), geom);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Empty probe set (baseline), single probes across the plane, and
+    // random two-pixel probes (the Eq-(10) pin shape).
+    let mut probe_sets: Vec<Vec<Probe>> = vec![Vec::new()];
+    for y in (0..geom.input.h).step_by(4) {
+        for x in (0..geom.input.w).step_by(4) {
+            probe_sets.push(vec![Probe { c: 0, y, x, value: rng.gen_range(-2.0..2.0f32) }]);
+        }
+    }
+    for _ in 0..10 {
+        probe_sets.push(vec![
+            Probe {
+                c: rng.gen_range(0..geom.input.c),
+                y: rng.gen_range(0..geom.input.h),
+                x: rng.gen_range(0..geom.input.w),
+                value: rng.gen_range(-3.0..3.0f32),
+            },
+            Probe {
+                c: rng.gen_range(0..geom.input.c),
+                y: rng.gen_range(0..geom.input.h),
+                x: rng.gen_range(0..geom.input.w),
+                value: rng.gen_range(-3.0..3.0f32),
+            },
+        ]);
+    }
+    for (n, probes) in probe_sets.iter().enumerate() {
+        let a = fast.query(probes);
+        let b = real.query(probes);
+        assert_eq!(a, b, "probe set {n} ({probes:?})");
+    }
+}
+
+#[test]
+fn oracles_agree_without_pooling() {
+    let (conv, geom) = victim(1, 1, None);
+    agree_on_probe_grid(&conv, geom, 100);
+}
+
+#[test]
+fn oracles_agree_with_max_pooling() {
+    let (conv, geom) = victim(2, 1, Some((PoolKind::Max, 2, 2, 0)));
+    agree_on_probe_grid(&conv, geom, 200);
+}
+
+#[test]
+fn oracles_agree_on_multichannel_inputs() {
+    let (conv, geom) = victim(3, 3, Some((PoolKind::Max, 2, 2, 0)));
+    agree_on_probe_grid(&conv, geom, 300);
+}
+
+#[test]
+fn accelerator_oracle_counts_queries() {
+    let (conv, geom) = victim(4, 1, None);
+    let mut real = AcceleratorOracle::new(conv, geom);
+    assert_eq!(real.query_count(), 0);
+    let _ = real.query(&[]);
+    let _ = real.query(&[Probe { c: 0, y: 1, x: 1, value: 1.0 }]);
+    assert_eq!(real.query_count(), 2);
+}

@@ -1,0 +1,102 @@
+//! The weight attack against a *fixed-point* victim — the paper's actual
+//! setting (the FPGA accelerator computes in fixed point, and the reported
+//! `2^-10` ratio precision is relative to those quantized weights).
+
+use cnnre_attacks::weights::{
+    recover_ratios, FunctionalOracle, LayerGeometry, MergedOrder, RecoveryConfig,
+};
+use cnnre_nn::layer::{Conv2d, PoolKind};
+use cnnre_tensor::fixed::{quantize_tensor4, QFormat};
+use cnnre_tensor::{init, Shape3, Shape4};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn quantized_victim(seed: u64, q: QFormat) -> (Conv2d, LayerGeometry) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let geom = LayerGeometry {
+        input: Shape3::new(1, 17, 17),
+        d_ofm: 2,
+        f: 3,
+        s: 1,
+        p: 0,
+        pool: None,
+        order: MergedOrder::ActThenPool,
+        threshold: 0.0,
+    };
+    let weights = quantize_tensor4(&init::he_conv(&mut rng, Shape4::new(2, 1, 3, 3)), q);
+    let bias: Vec<f32> =
+        (0..2).map(|_| q.quantize(-rng.gen_range(0.1..0.5f32))).collect();
+    let conv = Conv2d::from_parts(weights, bias, geom.s, geom.p).expect("victim");
+    (conv, geom)
+}
+
+#[test]
+fn ratios_of_a_q1_14_victim_are_recovered_to_paper_precision() {
+    let (conv, geom) = quantized_victim(11, QFormat::Q1_14);
+    let mut oracle = FunctionalOracle::new(conv.clone(), geom);
+    let rec = recover_ratios(&mut oracle, &RecoveryConfig::default());
+    assert!((rec.coverage() - 1.0).abs() < 1e-9, "coverage {}", rec.coverage());
+    let err = rec.max_ratio_error(conv.weights(), conv.bias());
+    assert!(err < 2f64.powi(-10), "max ratio error {err:.3e}");
+}
+
+#[test]
+fn coarse_q_formats_still_recover_exactly() {
+    // Even an 8-bit-ish format (Q1.6) works: the attack searches the
+    // victim's *actual* transfer function, so quantization changes the
+    // answer, not the method.
+    let (conv, geom) = quantized_victim(23, QFormat::new(1, 6));
+    let mut oracle = FunctionalOracle::new(conv.clone(), geom);
+    let rec = recover_ratios(&mut oracle, &RecoveryConfig::default());
+    assert!((rec.coverage() - 1.0).abs() < 1e-9);
+    assert!(rec.max_ratio_error(conv.weights(), conv.bias()) < 2f64.powi(-10));
+}
+
+#[test]
+fn quantization_zeros_are_reported_as_zeros() {
+    // Small weights snap to exactly 0.0 under a coarse format; the attack
+    // must classify them as pruned-away zeros, not as tiny ratios.
+    let q = QFormat::new(1, 3); // step 0.125: He weights often quantize to 0
+    let mut rng = SmallRng::seed_from_u64(5);
+    let geom = LayerGeometry {
+        input: Shape3::new(1, 19, 19),
+        d_ofm: 1,
+        f: 3,
+        s: 1,
+        p: 0,
+        pool: Some((PoolKind::Max, 2, 2, 0)),
+        order: MergedOrder::ActThenPool,
+        threshold: 0.0,
+    };
+    // Scale down so several weights fall below step/2.
+    let mut weights = init::he_conv(&mut rng, Shape4::new(1, 1, 3, 3));
+    for w in weights.as_mut_slice() {
+        *w *= 0.4;
+    }
+    let weights = quantize_tensor4(&weights, q);
+    let true_zeros = 9 - weights.count_nonzero();
+    let bias = vec![q.quantize(-0.25f32)];
+    let conv = Conv2d::from_parts(weights, bias, 1, 0).expect("victim");
+    let mut oracle = FunctionalOracle::new(conv.clone(), geom);
+    let rec = recover_ratios(&mut oracle, &RecoveryConfig::default());
+    let mut reported_zeros = 0;
+    for i in 0..3 {
+        for j in 0..3 {
+            let truth = conv.weights()[(0, 0, i, j)];
+            // A conservative `None` (unrecovered) is allowed.
+            if let Some(r) = rec.filters[0].ratio(0, i, j) {
+                if r == 0.0 {
+                    assert_eq!(truth, 0.0, "false zero at ({i},{j})");
+                    reported_zeros += 1;
+                } else {
+                    let expect = f64::from(truth / conv.bias()[0]);
+                    assert!(
+                        (r - expect).abs() <= expect.abs() * 1e-3 + 1e-9,
+                        "({i},{j}): recovered {r} vs {expect}"
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(reported_zeros, true_zeros, "every quantization zero found");
+}

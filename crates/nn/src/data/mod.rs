@@ -1,0 +1,109 @@
+//! Datasets.
+//!
+//! The paper trains candidate structures on ImageNet; we do not have
+//! ImageNet (see DESIGN.md §4), so this module provides a seeded synthetic
+//! image classification task with controllable difficulty that fills the
+//! same role in the Figure-4/5 experiments: separating good candidate
+//! structures from bad ones by short training.
+
+mod synthetic;
+
+pub use synthetic::SyntheticSpec;
+
+use cnnre_tensor::{Shape3, Tensor3, TensorError};
+
+/// An in-memory labelled image dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Vec<Tensor3>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates a dataset from parallel image/label vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the vectors differ in
+    /// length, or [`TensorError::ShapeMismatch`] when images disagree in
+    /// shape.
+    pub fn new(images: Vec<Tensor3>, labels: Vec<usize>) -> Result<Self, TensorError> {
+        if images.len() != labels.len() {
+            return Err(TensorError::LengthMismatch { expected: images.len(), actual: labels.len() });
+        }
+        if let Some(first) = images.first() {
+            for img in &images {
+                if img.shape() != first.shape() {
+                    return Err(TensorError::ShapeMismatch {
+                        detail: format!("dataset image {} vs {}", img.shape(), first.shape()),
+                    });
+                }
+            }
+        }
+        Ok(Self { images, labels })
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Returns `true` when the dataset holds no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Image shape, or `None` for an empty dataset.
+    #[must_use]
+    pub fn image_shape(&self) -> Option<Shape3> {
+        self.images.first().map(Tensor3::shape)
+    }
+
+    /// Number of distinct classes (`max(label) + 1`), or 0 when empty.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.labels.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// The `i`-th sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    #[must_use]
+    pub fn sample(&self, i: usize) -> (&Tensor3, usize) {
+        (&self.images[i], self.labels[i])
+    }
+
+    /// Iterates over `(image, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tensor3, usize)> + '_ {
+        self.images.iter().zip(self.labels.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_lengths_and_shapes() {
+        let img = Tensor3::zeros(Shape3::new(1, 2, 2));
+        assert!(Dataset::new(vec![img.clone()], vec![0, 1]).is_err());
+        let other = Tensor3::zeros(Shape3::new(1, 3, 3));
+        assert!(Dataset::new(vec![img.clone(), other], vec![0, 1]).is_err());
+        let d = Dataset::new(vec![img.clone(), img], vec![0, 2]).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.num_classes(), 3);
+        assert_eq!(d.image_shape(), Some(Shape3::new(1, 2, 2)));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let d = Dataset::new(vec![], vec![]).unwrap();
+        assert!(d.is_empty());
+        assert_eq!(d.num_classes(), 0);
+        assert_eq!(d.image_shape(), None);
+    }
+}

@@ -1,0 +1,177 @@
+//! A small blocked matrix-multiply kernel.
+//!
+//! All matrices are dense row-major `f32`. The kernel is deliberately simple
+//! (no SIMD intrinsics, no unsafe) but blocked for cache behaviour — fast
+//! enough to train the scaled candidate networks for the Figure-4/5
+//! experiments in seconds.
+
+/// `C[m×n] += A[m×k] · B[k×n]`, all row-major.
+///
+/// # Panics
+///
+/// Panics when the slice lengths do not match the given dimensions.
+pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    const BK: usize = 64;
+    for k0 in (0..k).step_by(BK) {
+        let k1 = (k0 + BK).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for kk in k0..k1 {
+                let aik = a_row[kk];
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                    *cv += aik * bv;
+                }
+            }
+        }
+    }
+}
+
+/// `C[m×n] = A[m×k] · B[k×n]`, overwriting `C`.
+///
+/// # Panics
+///
+/// Panics when the slice lengths do not match the given dimensions.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(c.len(), m * n, "C length");
+    c.iter_mut().for_each(|v| *v = 0.0);
+    gemm_acc(m, k, n, a, b, c);
+}
+
+/// `C[m×n] += Aᵀ[m×k] · B[k×n]` where `A` is stored `k×m` row-major.
+///
+/// # Panics
+///
+/// Panics when the slice lengths do not match the given dimensions.
+pub fn gemm_at_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A length");
+    assert_eq!(b.len(), k * n, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    for kk in 0..k {
+        let a_row = &a[kk * m..(kk + 1) * m];
+        let b_row = &b[kk * n..(kk + 1) * n];
+        for i in 0..m {
+            let aik = a_row[i];
+            if aik == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// `C[m×n] += A[m×k] · Bᵀ[k×n]` where `B` is stored `n×k` row-major.
+///
+/// # Panics
+///
+/// Panics when the slice lengths do not match the given dimensions.
+pub fn gemm_bt_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A length");
+    assert_eq!(b.len(), n * k, "B length");
+    assert_eq!(c.len(), m * n, "C length");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                for j in 0..n {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn small_known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        gemm(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transposed_variants_agree() {
+        let m = 3;
+        let k = 4;
+        let n = 5;
+        let a: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.5 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32).sin()).collect();
+        let want = naive(m, k, n, &a, &b);
+
+        // A stored transposed (k×m).
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_at_acc(m, k, n, &at, &b, &mut c);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+
+        // B stored transposed (n×k).
+        let mut bt = vec![0.0; n * k];
+        for kk in 0..k {
+            for j in 0..n {
+                bt[j * k + kk] = b[kk * n + j];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_bt_acc(m, k, n, &a, &bt, &mut c);
+        for (x, y) in c.iter().zip(&want) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn gemm_matches_naive(
+            m in 1usize..9, k in 1usize..9, n in 1usize..9,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let want = naive(m, k, n, &a, &b);
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            for (x, y) in c.iter().zip(&want) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+}

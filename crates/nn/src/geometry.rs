@@ -1,0 +1,137 @@
+//! Output-size arithmetic for convolution and pooling windows.
+//!
+//! The whole workspace — the CNN library, the accelerator simulator, and the
+//! structure reverse-engineering attack — must agree on one geometry
+//! convention, because the attack solves the paper's Equations (1)–(8)
+//! against sizes produced by the simulator. We use the Caffe convention the
+//! original AlexNet was defined with (and with which every row of the
+//! paper's Table 4 is consistent):
+//!
+//! * convolution output: `floor((W − F + 2·P) / S) + 1`
+//! * pooling output:     `ceil((W − F + 2·P) / S) + 1`
+//!
+//! `P` is padding *per side*.
+
+/// Output width of a convolution (`floor` division, Caffe convention).
+///
+/// Returns `None` when the window does not fit (`F > W + 2P`) or when any of
+/// `F`, `S` is zero.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_nn::geometry::conv_out;
+/// // AlexNet CONV1: 227 input, 11x11 filter, stride 4, no padding -> 55.
+/// assert_eq!(conv_out(227, 11, 4, 0), Some(55));
+/// ```
+#[must_use]
+pub fn conv_out(w: usize, f: usize, s: usize, p: usize) -> Option<usize> {
+    if f == 0 || s == 0 || f > w + 2 * p {
+        return None;
+    }
+    Some((w + 2 * p - f) / s + 1)
+}
+
+/// Output width of a pooling window (`ceil` division, Caffe convention).
+///
+/// Returns `None` when the window does not fit or `F`/`S` is zero.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_nn::geometry::pool_out;
+/// // AlexNet pool1: 55 input, 3x3 window, stride 2 -> 27.
+/// assert_eq!(pool_out(55, 3, 2, 0), Some(27));
+/// ```
+#[must_use]
+pub fn pool_out(w: usize, f: usize, s: usize, p: usize) -> Option<usize> {
+    if f == 0 || s == 0 || f > w + 2 * p {
+        return None;
+    }
+    Some((w + 2 * p - f).div_ceil(s) + 1)
+}
+
+/// Number of multiply–accumulate operations of a convolutional layer, using
+/// the *pre-pooling* output width (that is where the arithmetic happens):
+/// `W_conv² · D_OFM · F² · D_IFM`.
+///
+/// This is the quantity the paper's execution-time filter compares against
+/// measured per-layer cycle counts ("the execution time is roughly
+/// proportional to the number of MAC operations").
+#[must_use]
+pub fn conv_macs(w_conv_out: usize, d_ofm: usize, f: usize, d_ifm: usize) -> u64 {
+    (w_conv_out as u64).pow(2) * d_ofm as u64 * (f as u64).pow(2) * d_ifm as u64
+}
+
+/// Number of MACs of a fully connected layer with `in_features` inputs and
+/// `out_features` outputs.
+#[must_use]
+pub fn linear_macs(in_features: usize, out_features: usize) -> u64 {
+    in_features as u64 * out_features as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_conv_pipeline() {
+        // 227 -F11/S4-> 55 -pool3/2-> 27 -F5/S1/P2-> 27 -pool3/2-> 13
+        // -F3/S1/P1-> 13 -F3/S1/P1-> 13 -F3/S1/P1-> 13 -pool3/2-> 6
+        let c1 = conv_out(227, 11, 4, 0).unwrap();
+        assert_eq!(c1, 55);
+        let p1 = pool_out(c1, 3, 2, 0).unwrap();
+        assert_eq!(p1, 27);
+        let c2 = conv_out(p1, 5, 1, 2).unwrap();
+        assert_eq!(c2, 27);
+        let p2 = pool_out(c2, 3, 2, 0).unwrap();
+        assert_eq!(p2, 13);
+        let c5 = conv_out(13, 3, 1, 1).unwrap();
+        assert_eq!(c5, 13);
+        assert_eq!(pool_out(c5, 3, 2, 0), Some(6));
+    }
+
+    #[test]
+    fn table4_alternative_rows_are_consistent() {
+        // CONV1_2: F=11, S=4, P=1 (per side... paper's P=2 total; our per-side P=2
+        // means +4): the paper's row uses P_conv=2 with pool F=4 S=2 -> 27.
+        let c = conv_out(227, 11, 4, 2).unwrap();
+        assert_eq!(c, 56);
+        assert_eq!(pool_out(c, 4, 2, 0), Some(27));
+        // CONV5_3: F=3, S=2, P=0 -> 6; pool F=2 S=2 -> 3.
+        let c = conv_out(13, 3, 2, 0).unwrap();
+        assert_eq!(c, 6);
+        assert_eq!(pool_out(c, 2, 2, 0), Some(3));
+        // CONV5_4: pool F=4 S=1 -> 3.
+        assert_eq!(pool_out(6, 4, 1, 0), Some(3));
+        // CONV5_5: F=3 S=2 P=1 -> 7; pool F=3 S=2 -> 3.
+        let c = conv_out(13, 3, 2, 1).unwrap();
+        assert_eq!(c, 7);
+        assert_eq!(pool_out(c, 3, 2, 0), Some(3));
+        // CONV5_6: F=2 S=1 P=0 -> 12; pool F=3 S=3 -> 4.
+        let c = conv_out(13, 2, 1, 0).unwrap();
+        assert_eq!(c, 12);
+        assert_eq!(pool_out(c, 3, 3, 0), Some(4));
+        // CONV2_2: F=10 S=1 P=4 -> 26 (no pooling).
+        assert_eq!(conv_out(27, 10, 1, 4), Some(26));
+        // CONV3_2: 26 -F6/S2/P2-> 13.
+        assert_eq!(conv_out(26, 6, 2, 2), Some(13));
+    }
+
+    #[test]
+    fn degenerate_windows() {
+        assert_eq!(conv_out(5, 0, 1, 0), None);
+        assert_eq!(conv_out(5, 3, 0, 0), None);
+        assert_eq!(conv_out(5, 7, 1, 0), None);
+        assert_eq!(conv_out(5, 7, 1, 1), Some(1));
+        assert_eq!(pool_out(5, 6, 2, 0), None);
+        assert_eq!(pool_out(1, 1, 1, 0), Some(1));
+    }
+
+    #[test]
+    fn mac_counts() {
+        // AlexNet CONV1: 55^2 * 96 * 11^2 * 3 = 105,415,200.
+        assert_eq!(conv_macs(55, 96, 11, 3), 105_415_200);
+        assert_eq!(linear_macs(9216, 4096), 37_748_736);
+    }
+}

@@ -1,0 +1,815 @@
+//! Directed acyclic graphs of layers.
+//!
+//! A [`Network`] is an ordered list of [`Node`]s (topological order is the
+//! insertion order; a node may only consume earlier nodes), built with
+//! [`NetworkBuilder`]. This representation covers everything the paper
+//! studies: plain chains (LeNet, ConvNet, AlexNet), concatenating modules
+//! (SqueezeNet fire modules / GoogLeNet), and element-wise bypass paths
+//! (ResNet / SqueezeNet-with-bypass).
+//!
+//! The same graph is consumed by three clients:
+//!
+//! * [`Network::forward`] — functional inference (and training via
+//!   [`Network::backward`]),
+//! * the accelerator simulator in `cnnre-accel`, which walks the node list
+//!   to schedule tiled execution and emit the off-chip memory trace,
+//! * the model zoo in [`crate::models`].
+
+use cnnre_tensor::{Shape3, Tensor3};
+
+use crate::layer::{
+    add_backward, add_forward, concat_backward, concat_forward, Conv2d, Linear, Pool, Relu,
+};
+
+/// Identifier of a node within its [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The node's position in topological order.
+    #[must_use]
+    pub const fn index(&self) -> usize {
+        self.0
+    }
+
+    /// Reconstructs a node id from a position previously obtained via
+    /// [`NodeId::index`]. The id is only meaningful for the network it was
+    /// taken from.
+    #[must_use]
+    pub const fn from_index(index: usize) -> Self {
+        Self(index)
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The operation a node performs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Graph input placeholder.
+    Input,
+    /// 2-D convolution.
+    Conv(Conv2d),
+    /// Thresholded ReLU activation.
+    Relu(Relu),
+    /// Max or average pooling.
+    Pool(Pool),
+    /// Global average pooling (`C×H×W → C×1×1`).
+    GlobalAvgPool,
+    /// Fully connected layer over the flattened input.
+    Linear(Linear),
+    /// Reshape `C×H×W → (C·H·W)×1×1` (no data movement).
+    Flatten,
+    /// Channel concatenation of all inputs.
+    Concat,
+    /// Element-wise sum of all inputs (bypass merge).
+    Add,
+}
+
+impl Op {
+    /// Short lowercase kind name (used in traces and displays).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Op::Input => "input",
+            Op::Conv(_) => "conv",
+            Op::Relu(_) => "relu",
+            Op::Pool(_) => "pool",
+            Op::GlobalAvgPool => "gavg",
+            Op::Linear(_) => "fc",
+            Op::Flatten => "flatten",
+            Op::Concat => "concat",
+            Op::Add => "add",
+        }
+    }
+}
+
+/// One node of the graph: an operation applied to earlier nodes' outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Human-readable name (e.g. `"conv1"`, `"fire2/squeeze"`).
+    pub name: String,
+    /// Producers this node consumes, in argument order.
+    pub inputs: Vec<NodeId>,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Error raised while building a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// An input id referred to a node that does not exist yet.
+    UnknownNode(usize),
+    /// The operation cannot be applied to the given input shape(s).
+    ShapeMismatch {
+        /// Offending node name.
+        node: String,
+        /// Explanation.
+        detail: String,
+    },
+    /// Wrong number of inputs for the operation.
+    ArityMismatch {
+        /// Offending node name.
+        node: String,
+        /// Required input count description.
+        expected: &'static str,
+        /// Inputs actually supplied.
+        actual: usize,
+    },
+}
+
+impl core::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BuildError::UnknownNode(i) => write!(f, "unknown node id n{i}"),
+            BuildError::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch at node '{node}': {detail}")
+            }
+            BuildError::ArityMismatch { node, expected, actual } => {
+                write!(f, "node '{node}' expects {expected} inputs, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incrementally builds a [`Network`], inferring and validating shapes as
+/// nodes are added.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_nn::graph::NetworkBuilder;
+/// use cnnre_nn::layer::{Conv2d, PoolKind, Relu};
+/// use cnnre_tensor::Shape3;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), cnnre_nn::graph::BuildError> {
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut b = NetworkBuilder::new(Shape3::new(3, 32, 32));
+/// let x = b.input_id();
+/// let c = b.conv("conv1", x, Conv2d::new(3, 8, 5, 1, 2, &mut rng))?;
+/// let r = b.relu("relu1", c)?;
+/// let p = b.max_pool("pool1", r, 2, 2, 0)?;
+/// let f = b.flatten("flat", p)?;
+/// let net = b.finish(f);
+/// assert_eq!(net.output_shape(), Shape3::new(8 * 16 * 16, 1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct NetworkBuilder {
+    nodes: Vec<Node>,
+    shapes: Vec<Shape3>,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with a single input of shape `input_shape`.
+    #[must_use]
+    pub fn new(input_shape: Shape3) -> Self {
+        Self {
+            nodes: vec![Node { name: "input".to_string(), inputs: vec![], op: Op::Input }],
+            shapes: vec![input_shape],
+        }
+    }
+
+    /// The id of the input node.
+    #[must_use]
+    pub fn input_id(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Inferred output shape of an already-added node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not produced by this builder.
+    #[must_use]
+    pub fn shape(&self, id: NodeId) -> Shape3 {
+        self.shapes[id.0]
+    }
+
+    fn check_input(&self, id: NodeId) -> Result<Shape3, BuildError> {
+        self.shapes.get(id.0).copied().ok_or(BuildError::UnknownNode(id.0))
+    }
+
+    fn push(&mut self, name: &str, inputs: Vec<NodeId>, op: Op, shape: Shape3) -> NodeId {
+        self.nodes.push(Node { name: name.to_string(), inputs, op });
+        self.shapes.push(shape);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Adds a convolution node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when `input` is unknown or the geometry does
+    /// not fit.
+    pub fn conv(&mut self, name: &str, input: NodeId, conv: Conv2d) -> Result<NodeId, BuildError> {
+        let in_shape = self.check_input(input)?;
+        let out = conv.out_shape(in_shape).ok_or_else(|| BuildError::ShapeMismatch {
+            node: name.to_string(),
+            detail: format!(
+                "conv (d_ifm={}, f={}, s={}, p={}) on input {}",
+                conv.d_ifm(),
+                conv.window().f,
+                conv.window().s,
+                conv.window().p,
+                in_shape
+            ),
+        })?;
+        Ok(self.push(name, vec![input], Op::Conv(conv), out))
+    }
+
+    /// Adds a standard ReLU node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownNode`] when `input` is unknown.
+    pub fn relu(&mut self, name: &str, input: NodeId) -> Result<NodeId, BuildError> {
+        let shape = self.check_input(input)?;
+        Ok(self.push(name, vec![input], Op::Relu(Relu::new()), shape))
+    }
+
+    /// Adds a thresholded ReLU node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownNode`] when `input` is unknown.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threshold` is negative or not finite.
+    pub fn relu_threshold(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        threshold: f32,
+    ) -> Result<NodeId, BuildError> {
+        let shape = self.check_input(input)?;
+        Ok(self.push(name, vec![input], Op::Relu(Relu::with_threshold(threshold)), shape))
+    }
+
+    fn pool(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        pool: Pool,
+    ) -> Result<NodeId, BuildError> {
+        let in_shape = self.check_input(input)?;
+        let out = pool.out_shape(in_shape).ok_or_else(|| BuildError::ShapeMismatch {
+            node: name.to_string(),
+            detail: format!(
+                "pool (f={}, s={}, p={}) on input {}",
+                pool.window().f,
+                pool.window().s,
+                pool.window().p,
+                in_shape
+            ),
+        })?;
+        Ok(self.push(name, vec![input], Op::Pool(pool), out))
+    }
+
+    /// Adds a max-pooling node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when `input` is unknown or the window does not
+    /// fit.
+    pub fn max_pool(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        f: usize,
+        s: usize,
+        p: usize,
+    ) -> Result<NodeId, BuildError> {
+        self.pool(name, input, Pool::new(crate::layer::PoolKind::Max, f, s, p))
+    }
+
+    /// Adds an average-pooling node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when `input` is unknown or the window does not
+    /// fit.
+    pub fn avg_pool(
+        &mut self,
+        name: &str,
+        input: NodeId,
+        f: usize,
+        s: usize,
+        p: usize,
+    ) -> Result<NodeId, BuildError> {
+        self.pool(name, input, Pool::new(crate::layer::PoolKind::Avg, f, s, p))
+    }
+
+    /// Adds a global average pooling node (`C×H×W → C×1×1`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownNode`] when `input` is unknown.
+    pub fn global_avg_pool(&mut self, name: &str, input: NodeId) -> Result<NodeId, BuildError> {
+        let s = self.check_input(input)?;
+        Ok(self.push(name, vec![input], Op::GlobalAvgPool, Shape3::new(s.c, 1, 1)))
+    }
+
+    /// Adds a fully connected node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when `input` is unknown or its volume differs
+    /// from the layer's `in_features`.
+    pub fn linear(&mut self, name: &str, input: NodeId, fc: Linear) -> Result<NodeId, BuildError> {
+        let in_shape = self.check_input(input)?;
+        let out = fc.out_shape(in_shape).ok_or_else(|| BuildError::ShapeMismatch {
+            node: name.to_string(),
+            detail: format!("linear in_features={} on input {}", fc.in_features(), in_shape),
+        })?;
+        Ok(self.push(name, vec![input], Op::Linear(fc), out))
+    }
+
+    /// Adds a flatten node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::UnknownNode`] when `input` is unknown.
+    pub fn flatten(&mut self, name: &str, input: NodeId) -> Result<NodeId, BuildError> {
+        let s = self.check_input(input)?;
+        Ok(self.push(name, vec![input], Op::Flatten, Shape3::new(s.len(), 1, 1)))
+    }
+
+    /// Adds a channel-concatenation node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when fewer than two inputs are given, any is
+    /// unknown, or they disagree in spatial size.
+    pub fn concat(&mut self, name: &str, inputs: &[NodeId]) -> Result<NodeId, BuildError> {
+        if inputs.len() < 2 {
+            return Err(BuildError::ArityMismatch {
+                node: name.to_string(),
+                expected: ">= 2",
+                actual: inputs.len(),
+            });
+        }
+        let first = self.check_input(inputs[0])?;
+        let mut total_c = 0usize;
+        for &i in inputs {
+            let s = self.check_input(i)?;
+            if s.h != first.h || s.w != first.w {
+                return Err(BuildError::ShapeMismatch {
+                    node: name.to_string(),
+                    detail: format!("concat of {} vs {}", s, first),
+                });
+            }
+            total_c += s.c;
+        }
+        Ok(self.push(name, inputs.to_vec(), Op::Concat, Shape3::new(total_c, first.h, first.w)))
+    }
+
+    /// Adds an element-wise addition node (bypass merge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when fewer than two inputs are given, any is
+    /// unknown, or shapes disagree.
+    pub fn add(&mut self, name: &str, inputs: &[NodeId]) -> Result<NodeId, BuildError> {
+        if inputs.len() < 2 {
+            return Err(BuildError::ArityMismatch {
+                node: name.to_string(),
+                expected: ">= 2",
+                actual: inputs.len(),
+            });
+        }
+        let first = self.check_input(inputs[0])?;
+        for &i in inputs {
+            let s = self.check_input(i)?;
+            if s != first {
+                return Err(BuildError::ShapeMismatch {
+                    node: name.to_string(),
+                    detail: format!("add of {} vs {}", s, first),
+                });
+            }
+        }
+        Ok(self.push(name, inputs.to_vec(), Op::Add, first))
+    }
+
+    /// Finalizes the network with `output` as its result node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `output` was not produced by this builder.
+    #[must_use]
+    pub fn finish(self, output: NodeId) -> Network {
+        assert!(output.0 < self.nodes.len(), "unknown output node");
+        Network { nodes: self.nodes, shapes: self.shapes, output }
+    }
+}
+
+/// A validated, shape-inferred network of layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    nodes: Vec<Node>,
+    shapes: Vec<Shape3>,
+    output: NodeId,
+}
+
+impl Network {
+    /// All nodes in topological order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node count, including the input placeholder.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the network has no nodes (never happens for a
+    /// built network, which always contains its input node).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The input node id.
+    #[must_use]
+    pub fn input(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// The output node id.
+    #[must_use]
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// The inferred output shape of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this network.
+    #[must_use]
+    pub fn shape(&self, id: NodeId) -> Shape3 {
+        self.shapes[id.0]
+    }
+
+    /// Shape of the network input.
+    #[must_use]
+    pub fn input_shape(&self) -> Shape3 {
+        self.shapes[0]
+    }
+
+    /// Shape of the network output.
+    #[must_use]
+    pub fn output_shape(&self) -> Shape3 {
+        self.shapes[self.output.0]
+    }
+
+    /// Immutable access to a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this network.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to a node (e.g. to install experiment weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` does not belong to this network.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Finds a node by name.
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes.iter().position(|n| n.name == name).map(NodeId)
+    }
+
+    /// Total MAC operations of one forward pass (conv + fc).
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match &n.op {
+                Op::Conv(c) => c.macs(self.shapes[n.inputs[0].0]),
+                Op::Linear(l) => l.macs(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Runs inference, returning the activation of every node.
+    ///
+    /// Useful when a caller (the accelerator simulator, the training loop)
+    /// needs intermediate feature maps; use [`Network::forward`] for just the
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` does not match [`Network::input_shape`].
+    #[must_use]
+    pub fn forward_all(&self, input: &Tensor3) -> Vec<Tensor3> {
+        assert_eq!(input.shape(), self.input_shape(), "network input shape");
+        let mut acts: Vec<Tensor3> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let out = match &node.op {
+                Op::Input => input.clone(),
+                Op::Conv(c) => c.forward(&acts[node.inputs[0].0]),
+                Op::Relu(r) => r.forward(&acts[node.inputs[0].0]),
+                Op::Pool(p) => p.forward(&acts[node.inputs[0].0]),
+                Op::GlobalAvgPool => global_avg_forward(&acts[node.inputs[0].0]),
+                Op::Linear(l) => l.forward(&acts[node.inputs[0].0]),
+                Op::Flatten => {
+                    let x = &acts[node.inputs[0].0];
+                    let s = x.shape();
+                    Tensor3::from_vec(Shape3::new(s.len(), 1, 1), x.as_slice().to_vec())
+                        .expect("flatten preserves length")
+                }
+                Op::Concat => {
+                    let ins: Vec<&Tensor3> = node.inputs.iter().map(|i| &acts[i.0]).collect();
+                    concat_forward(&ins).expect("shapes validated at build time")
+                }
+                Op::Add => {
+                    let ins: Vec<&Tensor3> = node.inputs.iter().map(|i| &acts[i.0]).collect();
+                    add_forward(&ins).expect("shapes validated at build time")
+                }
+            };
+            debug_assert_eq!(out.shape(), self.shapes[acts.len()], "inferred shape");
+            acts.push(out);
+        }
+        acts
+    }
+
+    /// Runs inference and returns the output activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input` does not match [`Network::input_shape`].
+    #[must_use]
+    pub fn forward(&self, input: &Tensor3) -> Tensor3 {
+        let mut acts = self.forward_all(input);
+        acts.swap_remove(self.output.0)
+    }
+
+    /// Backpropagates `grad_output` through the graph given the activations
+    /// from [`Network::forward_all`], accumulating parameter gradients in
+    /// the conv/linear layers and returning the gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `acts` was not produced by this network's `forward_all`
+    /// or `grad_output` does not match the output shape.
+    #[must_use]
+    pub fn backward(&mut self, acts: &[Tensor3], grad_output: &Tensor3) -> Tensor3 {
+        assert_eq!(acts.len(), self.nodes.len(), "activation count");
+        assert_eq!(grad_output.shape(), self.output_shape(), "grad_output shape");
+        let mut grads: Vec<Option<Tensor3>> = vec![None; self.nodes.len()];
+        grads[self.output.0] = Some(grad_output.clone());
+
+        for idx in (0..self.nodes.len()).rev() {
+            if matches!(self.nodes[idx].op, Op::Input) {
+                continue; // keep the accumulated input gradient in place
+            }
+            let Some(dy) = grads[idx].take() else { continue };
+            let inputs = self.nodes[idx].inputs.clone();
+            let input_grads: Vec<Tensor3> = match &mut self.nodes[idx].op {
+                Op::Input => unreachable!("input handled above"),
+                Op::Conv(c) => vec![c.backward(&acts[inputs[0].0], &dy)],
+                Op::Relu(r) => vec![r.backward(&acts[inputs[0].0], &dy)],
+                Op::Pool(p) => vec![p.backward(&acts[inputs[0].0], &dy)],
+                Op::GlobalAvgPool => vec![global_avg_backward(&acts[inputs[0].0], &dy)],
+                Op::Linear(l) => vec![l.backward(&acts[inputs[0].0], &dy)],
+                Op::Flatten => {
+                    let in_shape = acts[inputs[0].0].shape();
+                    vec![Tensor3::from_vec(in_shape, dy.as_slice().to_vec())
+                        .expect("flatten preserves length")]
+                }
+                Op::Concat => {
+                    let shapes: Vec<Shape3> = inputs.iter().map(|i| acts[i.0].shape()).collect();
+                    concat_backward(&dy, &shapes)
+                }
+                Op::Add => add_backward(&dy, inputs.len()),
+            };
+            for (src, g) in inputs.iter().zip(input_grads) {
+                match &mut grads[src.0] {
+                    Some(existing) => {
+                        cnnre_tensor::ops::axpy(1.0, g.as_slice(), existing.as_mut_slice());
+                    }
+                    slot => *slot = Some(g),
+                }
+            }
+        }
+        grads[0].take().unwrap_or_else(|| Tensor3::zeros(self.input_shape()))
+    }
+
+    /// Applies one SGD step to every parameterized layer, consuming
+    /// accumulated gradients.
+    pub fn sgd_step(&mut self, lr: f32, momentum: f32, weight_decay: f32) {
+        for node in &mut self.nodes {
+            match &mut node.op {
+                Op::Conv(c) => c.sgd_step(lr, momentum, weight_decay),
+                Op::Linear(l) => l.sgd_step(lr, momentum, weight_decay),
+                _ => {}
+            }
+        }
+    }
+
+    /// Scales all accumulated gradients by `factor` (mini-batch averaging).
+    pub fn scale_grads(&mut self, factor: f32) {
+        for node in &mut self.nodes {
+            match &mut node.op {
+                Op::Conv(c) => c.scale_grads(factor),
+                Op::Linear(l) => l.scale_grads(factor),
+                _ => {}
+            }
+        }
+    }
+
+    /// Total number of trainable parameters.
+    #[must_use]
+    pub fn parameter_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match &n.op {
+                Op::Conv(c) => c.weights().len() + c.bias().len(),
+                Op::Linear(l) => l.weights().len() + l.bias().len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+fn global_avg_forward(input: &Tensor3) -> Tensor3 {
+    let s = input.shape();
+    let mut out = Tensor3::zeros(Shape3::new(s.c, 1, 1));
+    let area = (s.h * s.w) as f32;
+    for c in 0..s.c {
+        out.as_mut_slice()[c] = input.channel(c).iter().sum::<f32>() / area;
+    }
+    out
+}
+
+fn global_avg_backward(input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
+    let s = input.shape();
+    let mut dx = Tensor3::zeros(s);
+    let inv_area = 1.0 / (s.h * s.w) as f32;
+    for c in 0..s.c {
+        let g = grad_out.as_slice()[c] * inv_area;
+        dx.channel_mut(c).iter_mut().for_each(|v| *v = g);
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_chain(rng: &mut SmallRng) -> Network {
+        let mut b = NetworkBuilder::new(Shape3::new(2, 6, 6));
+        let x = b.input_id();
+        let c1 = b.conv("conv1", x, Conv2d::new(2, 4, 3, 1, 1, rng)).unwrap();
+        let r1 = b.relu("relu1", c1).unwrap();
+        let p1 = b.max_pool("pool1", r1, 2, 2, 0).unwrap();
+        let f = b.flatten("flat", p1).unwrap();
+        let fc = b.linear("fc", f, Linear::new(4 * 3 * 3, 3, rng)).unwrap();
+        b.finish(fc)
+    }
+
+    #[test]
+    fn chain_shapes_are_inferred() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = tiny_chain(&mut rng);
+        assert_eq!(net.output_shape(), Shape3::new(3, 1, 1));
+        assert_eq!(net.shape(net.find("pool1").unwrap()), Shape3::new(4, 3, 3));
+        assert_eq!(net.len(), 6);
+    }
+
+    #[test]
+    fn forward_runs_and_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = tiny_chain(&mut rng);
+        let x = Tensor3::from_fn(net.input_shape(), |_, _, _| 0.5);
+        let y1 = net.forward(&x);
+        let y2 = net.forward(&x);
+        assert_eq!(y1, y2);
+        assert_eq!(y1.shape(), Shape3::new(3, 1, 1));
+    }
+
+    #[test]
+    fn builder_rejects_bad_geometry() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut b = NetworkBuilder::new(Shape3::new(2, 4, 4));
+        let x = b.input_id();
+        // 7x7 filter cannot fit a 4x4 input without padding.
+        assert!(matches!(
+            b.conv("bad", x, Conv2d::new(2, 4, 7, 1, 0, &mut rng)),
+            Err(BuildError::ShapeMismatch { .. })
+        ));
+        // Channel mismatch.
+        assert!(b.conv("bad2", x, Conv2d::new(3, 4, 3, 1, 0, &mut rng)).is_err());
+        // Concat needs >= 2 inputs.
+        assert!(matches!(b.concat("c", &[x]), Err(BuildError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn concat_and_add_graph() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut b = NetworkBuilder::new(Shape3::new(2, 4, 4));
+        let x = b.input_id();
+        let a = b.conv("a", x, Conv2d::new(2, 3, 1, 1, 0, &mut rng)).unwrap();
+        let c = b.conv("b", x, Conv2d::new(2, 5, 1, 1, 0, &mut rng)).unwrap();
+        let cat = b.concat("cat", &[a, c]).unwrap();
+        assert_eq!(b.shape(cat), Shape3::new(8, 4, 4));
+        let d = b.conv("d", cat, Conv2d::new(8, 8, 3, 1, 1, &mut rng)).unwrap();
+        let sum = b.add("sum", &[cat, d]).unwrap();
+        let net = b.finish(sum);
+        let y = net.forward(&Tensor3::full(net.input_shape(), 1.0));
+        assert_eq!(y.shape(), Shape3::new(8, 4, 4));
+    }
+
+    #[test]
+    fn network_gradients_match_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut net = tiny_chain(&mut rng);
+        let x = Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));
+        let acts = net.forward_all(&x);
+        let out = &acts[net.output().index()];
+        // Loss = sum of outputs.
+        let dy = Tensor3::full(out.shape(), 1.0);
+        let dx = net.backward(&acts, &dy);
+        let eps = 1e-2f32;
+        for &(c, h, w) in &[(0usize, 0usize, 0usize), (1, 3, 2), (0, 5, 5)] {
+            let mut xp = x.clone();
+            xp[(c, h, w)] += eps;
+            let mut xm = x.clone();
+            xm[(c, h, w)] -= eps;
+            let num = (cnnre_tensor::ops::sum(net.forward(&xp).as_slice())
+                - cnnre_tensor::ops::sum(net.forward(&xm).as_slice()))
+                / (2.0 * eps);
+            assert!(
+                (num - dx[(c, h, w)]).abs() < 0.05 * (1.0 + num.abs()),
+                "dx({c},{h},{w}): numeric {num} vs analytic {}",
+                dx[(c, h, w)]
+            );
+        }
+    }
+
+    #[test]
+    fn bypass_add_gradients_fan_in() {
+        // y = x + conv(x); gradient at input must combine both paths.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut b = NetworkBuilder::new(Shape3::new(1, 3, 3));
+        let x = b.input_id();
+        let c = b.conv("c", x, Conv2d::new(1, 1, 3, 1, 1, &mut rng)).unwrap();
+        let s = b.add("s", &[x, c]).unwrap();
+        let mut net = b.finish(s);
+        let input = Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));
+        let acts = net.forward_all(&input);
+        let dy = Tensor3::full(net.output_shape(), 1.0);
+        let dx = net.backward(&acts, &dy);
+        let eps = 1e-2;
+        let mut xp = input.clone();
+        xp[(0, 1, 1)] += eps;
+        let mut xm = input.clone();
+        xm[(0, 1, 1)] -= eps;
+        let num = (cnnre_tensor::ops::sum(net.forward(&xp).as_slice())
+            - cnnre_tensor::ops::sum(net.forward(&xm).as_slice()))
+            / (2.0 * eps);
+        assert!((num - dx[(0, 1, 1)]).abs() < 0.05 * (1.0 + num.abs()));
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let x = Tensor3::from_fn(Shape3::new(2, 2, 2), |c, _, _| (c + 1) as f32);
+        let y = global_avg_forward(&x);
+        assert_eq!(y.as_slice(), &[1.0, 2.0]);
+        let dy = Tensor3::from_vec(Shape3::new(2, 1, 1), vec![4.0, 8.0]).unwrap();
+        let dx = global_avg_backward(&x, &dy);
+        assert_eq!(dx.channel(0), &[1.0; 4]);
+        assert_eq!(dx.channel(1), &[2.0; 4]);
+    }
+
+    #[test]
+    fn total_macs_counts_conv_and_fc() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let net = tiny_chain(&mut rng);
+        // conv: 6x6 out (pad 1) -> 36 * 4 * 9 * 2 = 2592; fc: 36*3 = 108.
+        assert_eq!(net.total_macs(), 2592 + 108);
+    }
+}

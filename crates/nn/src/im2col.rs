@@ -1,0 +1,192 @@
+//! im2col / col2im lowering for convolution.
+//!
+//! Convolution is computed as one GEMM per feature map:
+//! `Y[D_OFM × (OH·OW)] = W[D_OFM × (C·F·F)] · cols[(C·F·F) × (OH·OW)]`,
+//! where `cols` is produced by [`im2col`]. The transpose path ([`col2im`])
+//! scatters column gradients back to the input feature map for
+//! backpropagation.
+
+use cnnre_tensor::{Shape3, Tensor3};
+
+/// Geometry of one 2-D sliding-window operation (shared by conv and pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// Filter/window width and height (`F`).
+    pub f: usize,
+    /// Stride (`S`).
+    pub s: usize,
+    /// Zero padding per side (`P`).
+    pub p: usize,
+}
+
+impl Window {
+    /// Creates a window description.
+    #[must_use]
+    pub const fn new(f: usize, s: usize, p: usize) -> Self {
+        Self { f, s, p }
+    }
+
+    /// Convolution output width for input width `w` (floor convention).
+    #[must_use]
+    pub fn conv_out(&self, w: usize) -> Option<usize> {
+        crate::geometry::conv_out(w, self.f, self.s, self.p)
+    }
+
+    /// Pooling output width for input width `w` (ceil convention).
+    #[must_use]
+    pub fn pool_out(&self, w: usize) -> Option<usize> {
+        crate::geometry::pool_out(w, self.f, self.s, self.p)
+    }
+}
+
+/// Expands `input` into a `(C·F·F) × (OH·OW)` column matrix (row-major).
+///
+/// Out-of-bounds taps (from padding) contribute zeros.
+///
+/// # Panics
+///
+/// Panics when the window does not fit the input.
+#[must_use]
+pub fn im2col(input: &Tensor3, win: Window, oh: usize, ow: usize) -> Vec<f32> {
+    let shape = input.shape();
+    let rows = shape.c * win.f * win.f;
+    let cols_n = oh * ow;
+    let mut cols = vec![0.0f32; rows * cols_n];
+    let x = input.as_slice();
+    let mut row = 0usize;
+    for c in 0..shape.c {
+        let plane = &x[c * shape.h * shape.w..(c + 1) * shape.h * shape.w];
+        for fy in 0..win.f {
+            for fx in 0..win.f {
+                let dst = &mut cols[row * cols_n..(row + 1) * cols_n];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * win.s + fy) as isize - win.p as isize;
+                    if iy < 0 || iy as usize >= shape.h {
+                        idx += ow;
+                        continue;
+                    }
+                    let src_row = &plane[iy as usize * shape.w..(iy as usize + 1) * shape.w];
+                    for ox in 0..ow {
+                        let ix = (ox * win.s + fx) as isize - win.p as isize;
+                        if ix >= 0 && (ix as usize) < shape.w {
+                            dst[idx] = src_row[ix as usize];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    cols
+}
+
+/// Scatters a `(C·F·F) × (OH·OW)` column-gradient matrix back onto an input
+/// gradient tensor of shape `shape` (accumulating overlaps) — the adjoint of
+/// [`im2col`].
+///
+/// # Panics
+///
+/// Panics when `cols` has the wrong length for the given geometry.
+#[must_use]
+pub fn col2im(cols: &[f32], shape: Shape3, win: Window, oh: usize, ow: usize) -> Tensor3 {
+    let rows = shape.c * win.f * win.f;
+    let cols_n = oh * ow;
+    assert_eq!(cols.len(), rows * cols_n, "col2im input length");
+    let mut out = Tensor3::zeros(shape);
+    let dx = out.as_mut_slice();
+    let mut row = 0usize;
+    for c in 0..shape.c {
+        let plane_off = c * shape.h * shape.w;
+        for fy in 0..win.f {
+            for fx in 0..win.f {
+                let src = &cols[row * cols_n..(row + 1) * cols_n];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * win.s + fy) as isize - win.p as isize;
+                    if iy < 0 || iy as usize >= shape.h {
+                        idx += ow;
+                        continue;
+                    }
+                    let base = plane_off + iy as usize * shape.w;
+                    for ox in 0..ow {
+                        let ix = (ox * win.s + fx) as isize - win.p as isize;
+                        if ix >= 0 && (ix as usize) < shape.w {
+                            dx[base + ix as usize] += src[idx];
+                        }
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_window_is_flatten() {
+        let input = Tensor3::from_fn(Shape3::new(2, 2, 2), |c, h, w| (c * 4 + h * 2 + w) as f32);
+        let cols = im2col(&input, Window::new(1, 1, 0), 2, 2);
+        assert_eq!(cols, input.as_slice());
+    }
+
+    #[test]
+    fn known_3x3_patch() {
+        // 1 channel, 3x3 input, 2x2 window stride 1 -> 4 rows x 4 cols.
+        let input = Tensor3::from_fn(Shape3::new(1, 3, 3), |_, h, w| (h * 3 + w) as f32);
+        let cols = im2col(&input, Window::new(2, 1, 0), 2, 2);
+        // Row 0 = tap (0,0) over output positions (0,0),(0,1),(1,0),(1,1).
+        assert_eq!(&cols[0..4], &[0.0, 1.0, 3.0, 4.0]);
+        // Row 3 = tap (1,1).
+        assert_eq!(&cols[12..16], &[4.0, 5.0, 7.0, 8.0]);
+    }
+
+    #[test]
+    fn padding_yields_zeros() {
+        let input = Tensor3::full(Shape3::new(1, 2, 2), 1.0);
+        // 3x3 window, stride 1, pad 1 -> output 2x2; corner taps hit padding.
+        let cols = im2col(&input, Window::new(3, 1, 1), 2, 2);
+        // Tap (0,0) at output (0,0) reads input (-1,-1) = 0.
+        assert_eq!(cols[0], 0.0);
+        // Tap (1,1) at output (0,0) reads input (0,0) = 1.
+        let row_center = 3 + 1;
+        assert_eq!(cols[row_center * 4], 1.0);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        for &(c, hw, f, s, p) in &[(2usize, 5usize, 3usize, 1usize, 0usize), (1, 6, 3, 2, 1), (3, 4, 2, 2, 0)] {
+            let shape = Shape3::new(c, hw, hw);
+            let win = Window::new(f, s, p);
+            let ow = win.conv_out(hw).unwrap();
+            let x = Tensor3::from_fn(shape, |_, _, _| rng.gen_range(-1.0..1.0));
+            let cols_len = c * f * f * ow * ow;
+            let y: Vec<f32> = (0..cols_len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let ax = im2col(&x, win, ow, ow);
+            let aty = col2im(&y, shape, win, ow, ow);
+            let lhs: f32 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let rhs: f32 = x.as_slice().iter().zip(aty.as_slice()).map(|(a, b)| a * b).sum();
+            assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn strided_sampling() {
+        let input = Tensor3::from_fn(Shape3::new(1, 4, 4), |_, h, w| (h * 4 + w) as f32);
+        let win = Window::new(2, 2, 0);
+        let ow = win.conv_out(4).unwrap();
+        assert_eq!(ow, 2);
+        let cols = im2col(&input, win, 2, 2);
+        // Tap (0,0) samples positions (0,0),(0,2),(2,0),(2,2) = 0,2,8,10.
+        assert_eq!(&cols[0..4], &[0.0, 2.0, 8.0, 10.0]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Depth concatenation and element-wise addition.
+//!
+//! These two parameter-free operations are what distinguish modern
+//! structures from plain feed-forward chains: SqueezeNet's fire module
+//! concatenates its 1×1 and 3×3 expand outputs along the channel dimension,
+//! and ResNet-style bypass paths merge with element-wise addition — both of
+//! which the paper shows are visible in the memory trace as extra RAW
+//! dependencies.
+
+use cnnre_tensor::{Shape3, Tensor3, TensorError};
+
+/// Concatenates feature maps along the channel dimension.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the inputs disagree in
+/// spatial size, or [`TensorError::LengthMismatch`] when `inputs` is empty.
+pub fn concat_forward(inputs: &[&Tensor3]) -> Result<Tensor3, TensorError> {
+    let first = inputs
+        .first()
+        .ok_or(TensorError::LengthMismatch { expected: 1, actual: 0 })?
+        .shape();
+    let mut total_c = 0;
+    for t in inputs {
+        let s = t.shape();
+        if s.h != first.h || s.w != first.w {
+            return Err(TensorError::ShapeMismatch {
+                detail: format!("concat of {} vs {}", s, first),
+            });
+        }
+        total_c += s.c;
+    }
+    let mut data = Vec::with_capacity(total_c * first.h * first.w);
+    for t in inputs {
+        data.extend_from_slice(t.as_slice());
+    }
+    Tensor3::from_vec(Shape3::new(total_c, first.h, first.w), data)
+}
+
+/// Splits the gradient of a concatenation back into per-input gradients.
+///
+/// # Panics
+///
+/// Panics when the channel counts do not sum to `grad_out`'s channels.
+#[must_use]
+pub fn concat_backward(grad_out: &Tensor3, input_shapes: &[Shape3]) -> Vec<Tensor3> {
+    let total: usize = input_shapes.iter().map(|s| s.c).sum();
+    assert_eq!(total, grad_out.shape().c, "concat channel sum");
+    let mut grads = Vec::with_capacity(input_shapes.len());
+    let mut offset = 0usize;
+    for &s in input_shapes {
+        let plane = grad_out.shape().h * grad_out.shape().w;
+        let slice = &grad_out.as_slice()[offset * plane..(offset + s.c) * plane];
+        grads.push(
+            Tensor3::from_vec(Shape3::new(s.c, grad_out.shape().h, grad_out.shape().w), slice.to_vec())
+                .expect("slice length matches shape by construction"),
+        );
+        offset += s.c;
+    }
+    grads
+}
+
+/// Element-wise sum of equal-shaped feature maps (the bypass merge).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when shapes disagree, or
+/// [`TensorError::LengthMismatch`] when `inputs` is empty.
+pub fn add_forward(inputs: &[&Tensor3]) -> Result<Tensor3, TensorError> {
+    let first = inputs
+        .first()
+        .ok_or(TensorError::LengthMismatch { expected: 1, actual: 0 })?;
+    let mut out = (*first).clone();
+    for t in &inputs[1..] {
+        if t.shape() != first.shape() {
+            return Err(TensorError::ShapeMismatch {
+                detail: format!("add of {} vs {}", t.shape(), first.shape()),
+            });
+        }
+        cnnre_tensor::ops::axpy(1.0, t.as_slice(), out.as_mut_slice());
+    }
+    Ok(out)
+}
+
+/// Gradient of element-wise addition: every input receives `grad_out`.
+#[must_use]
+pub fn add_backward(grad_out: &Tensor3, n_inputs: usize) -> Vec<Tensor3> {
+    (0..n_inputs).map(|_| grad_out.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_stacks_channels_in_order() {
+        let a = Tensor3::full(Shape3::new(1, 2, 2), 1.0);
+        let b = Tensor3::full(Shape3::new(2, 2, 2), 2.0);
+        let y = concat_forward(&[&a, &b]).unwrap();
+        assert_eq!(y.shape(), Shape3::new(3, 2, 2));
+        assert_eq!(y.channel(0), &[1.0; 4]);
+        assert_eq!(y.channel(2), &[2.0; 4]);
+    }
+
+    #[test]
+    fn concat_rejects_spatial_mismatch() {
+        let a = Tensor3::zeros(Shape3::new(1, 2, 2));
+        let b = Tensor3::zeros(Shape3::new(1, 3, 3));
+        assert!(concat_forward(&[&a, &b]).is_err());
+        assert!(concat_forward(&[]).is_err());
+    }
+
+    #[test]
+    fn concat_backward_splits() {
+        let g = Tensor3::from_fn(Shape3::new(3, 1, 2), |c, _, w| (c * 10 + w) as f32);
+        let parts = concat_backward(&g, &[Shape3::new(1, 1, 2), Shape3::new(2, 1, 2)]);
+        assert_eq!(parts[0].as_slice(), &[0.0, 1.0]);
+        assert_eq!(parts[1].as_slice(), &[10.0, 11.0, 20.0, 21.0]);
+    }
+
+    #[test]
+    fn add_sums_and_backward_fans_out() {
+        let a = Tensor3::full(Shape3::new(1, 2, 2), 1.5);
+        let b = Tensor3::full(Shape3::new(1, 2, 2), 2.0);
+        let y = add_forward(&[&a, &b]).unwrap();
+        assert_eq!(y.as_slice(), &[3.5; 4]);
+        let grads = add_backward(&y, 2);
+        assert_eq!(grads.len(), 2);
+        assert_eq!(grads[0], grads[1]);
+    }
+
+    #[test]
+    fn add_rejects_shape_mismatch() {
+        let a = Tensor3::zeros(Shape3::new(1, 2, 2));
+        let b = Tensor3::zeros(Shape3::new(2, 2, 2));
+        assert!(add_forward(&[&a, &b]).is_err());
+    }
+}

@@ -1,0 +1,287 @@
+//! Fully connected (inner-product) layer.
+
+use cnnre_tensor::{Shape3, Tensor3, TensorError};
+use rand::Rng;
+
+/// A fully connected layer `y = W·x + b` over a flattened input.
+///
+/// The paper treats an FC layer as the degenerate convolution whose filter
+/// covers the whole input (`W_IFM² × D_IFM × D_OFM` weights), which is why
+/// its structure is always uniquely recoverable from `SIZE_FLTR`.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_nn::layer::Linear;
+/// use cnnre_tensor::{Shape3, Tensor3};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let fc = Linear::new(8, 4, &mut rng);
+/// let y = fc.forward(&Tensor3::zeros(Shape3::new(8, 1, 1)));
+/// assert_eq!(y.shape(), Shape3::new(4, 1, 1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    /// `out_features × in_features`, row-major.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weights: Vec<f32>,
+    grad_bias: Vec<f32>,
+    vel_weights: Vec<f32>,
+    vel_bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialized fully connected layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either dimension is zero.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        assert!(in_features > 0 && out_features > 0, "linear dims must be positive");
+        let limit = cnnre_tensor::init::xavier_limit(in_features, out_features);
+        let mut weights = vec![0.0f32; in_features * out_features];
+        cnnre_tensor::init::uniform_in_place(rng, &mut weights, limit);
+        Self {
+            in_features,
+            out_features,
+            grad_weights: Vec::new(),
+            grad_bias: Vec::new(),
+            vel_weights: Vec::new(),
+            vel_bias: Vec::new(),
+            weights,
+            bias: vec![0.0; out_features],
+        }
+    }
+
+    /// Creates a layer from explicit row-major weights and biases.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when the buffer lengths do not
+    /// match `out_features × in_features` / `out_features`.
+    pub fn from_parts(
+        in_features: usize,
+        out_features: usize,
+        weights: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Result<Self, TensorError> {
+        if weights.len() != in_features * out_features {
+            return Err(TensorError::LengthMismatch {
+                expected: in_features * out_features,
+                actual: weights.len(),
+            });
+        }
+        if bias.len() != out_features {
+            return Err(TensorError::LengthMismatch { expected: out_features, actual: bias.len() });
+        }
+        Ok(Self {
+            in_features,
+            out_features,
+            grad_weights: Vec::new(),
+            grad_bias: Vec::new(),
+            vel_weights: Vec::new(),
+            vel_bias: Vec::new(),
+            weights,
+            bias,
+        })
+    }
+
+    /// Number of input features.
+    #[must_use]
+    pub const fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    #[must_use]
+    pub const fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Row-major `out × in` weight matrix.
+    #[must_use]
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Mutable access to the weight matrix.
+    pub fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Per-output biases.
+    #[must_use]
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Mutable access to the biases.
+    pub fn bias_mut(&mut self) -> &mut [f32] {
+        &mut self.bias
+    }
+
+    /// Output shape for input shape `input` (any `C×H×W` with matching
+    /// volume is accepted — the layer flattens implicitly).
+    #[must_use]
+    pub fn out_shape(&self, input: Shape3) -> Option<Shape3> {
+        (input.len() == self.in_features).then_some(Shape3::new(self.out_features, 1, 1))
+    }
+
+    /// Computes `W·x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `input.len() != in_features`.
+    #[must_use]
+    pub fn forward(&self, input: &Tensor3) -> Tensor3 {
+        assert_eq!(input.len(), self.in_features, "linear input length");
+        let x = input.as_slice();
+        let mut out = Tensor3::zeros(Shape3::new(self.out_features, 1, 1));
+        for (o, y) in out.as_mut_slice().iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            *y = self.bias[o] + cnnre_tensor::ops::dot(row, x);
+        }
+        out
+    }
+
+    /// The accumulated weight gradient (row-major `[out][in]`) — empty
+    /// before any backward pass.
+    #[must_use]
+    pub fn grad_weights(&self) -> &[f32] {
+        &self.grad_weights
+    }
+
+    /// The accumulated bias gradient — empty before any backward pass.
+    #[must_use]
+    pub fn grad_bias(&self) -> &[f32] {
+        &self.grad_bias
+    }
+
+    /// Backpropagates `grad_out`, accumulating parameter gradients and
+    /// returning the input gradient (shaped like `input`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes are inconsistent with the forward pass.
+    #[must_use]
+    pub fn backward(&mut self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
+        if self.grad_weights.is_empty() {
+            self.grad_weights = vec![0.0; self.weights.len()];
+            self.grad_bias = vec![0.0; self.bias.len()];
+        }
+        assert_eq!(input.len(), self.in_features, "linear input length");
+        assert_eq!(grad_out.len(), self.out_features, "linear grad length");
+        let x = input.as_slice();
+        let dy = grad_out.as_slice();
+        let mut dx = Tensor3::zeros(input.shape());
+        for (o, &g) in dy.iter().enumerate() {
+            self.grad_bias[o] += g;
+            if g == 0.0 {
+                continue;
+            }
+            let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
+            let grow = &mut self.grad_weights[o * self.in_features..(o + 1) * self.in_features];
+            for ((gw, &xi), (dxi, &wi)) in
+                grow.iter_mut().zip(x).zip(dx.as_mut_slice().iter_mut().zip(row))
+            {
+                *gw += g * xi;
+                *dxi += g * wi;
+            }
+        }
+        dx
+    }
+
+    /// Applies one SGD step, consuming and clearing accumulated gradients.
+    pub fn sgd_step(&mut self, lr: f32, momentum: f32, weight_decay: f32) {
+        if self.grad_weights.is_empty() {
+            return; // no backward pass has run yet
+        }
+        if self.vel_weights.is_empty() {
+            self.vel_weights = vec![0.0; self.weights.len()];
+            self.vel_bias = vec![0.0; self.bias.len()];
+        }
+        super::sgd_update(
+            &mut self.weights,
+            &mut self.grad_weights,
+            &mut self.vel_weights,
+            lr,
+            momentum,
+            weight_decay,
+        );
+        super::sgd_update(&mut self.bias, &mut self.grad_bias, &mut self.vel_bias, lr, momentum, 0.0);
+    }
+
+    /// Scales the accumulated gradients by `factor` (mini-batch averaging).
+    pub fn scale_grads(&mut self, factor: f32) {
+        cnnre_tensor::ops::scale(factor, &mut self.grad_weights);
+        cnnre_tensor::ops::scale(factor, &mut self.grad_bias);
+    }
+
+    /// Number of MAC operations per forward pass.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        crate::geometry::linear_macs(self.in_features, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_product() {
+        let fc = Linear::from_parts(2, 2, vec![1.0, 2.0, 3.0, 4.0], vec![0.5, -0.5]).unwrap();
+        let x = Tensor3::from_vec(Shape3::new(2, 1, 1), vec![1.0, 1.0]).unwrap();
+        let y = fc.forward(&x);
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn accepts_unflattened_input() {
+        let fc = Linear::from_parts(4, 1, vec![1.0; 4], vec![0.0]).unwrap();
+        let x = Tensor3::full(Shape3::new(1, 2, 2), 1.0);
+        assert_eq!(fc.forward(&x).as_slice(), &[4.0]);
+        assert_eq!(fc.out_shape(Shape3::new(4, 1, 1)), Some(Shape3::new(1, 1, 1)));
+        assert_eq!(fc.out_shape(Shape3::new(5, 1, 1)), None);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        let mut fc = Linear::new(6, 3, &mut rng);
+        let x = Tensor3::from_fn(Shape3::new(6, 1, 1), |_, _, _| rng.gen_range(-1.0..1.0));
+        let y = fc.forward(&x);
+        let dy = Tensor3::full(y.shape(), 1.0);
+        let dx = fc.backward(&x, &dy);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[i] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[i] -= eps;
+            let num = (cnnre_tensor::ops::sum(fc.forward(&xp).as_slice())
+                - cnnre_tensor::ops::sum(fc.forward(&xm).as_slice()))
+                / (2.0 * eps);
+            assert!((num - dx.as_slice()[i]).abs() < 1e-2);
+        }
+        // dW[o][i] = x[i] for unit upstream gradient.
+        for o in 0..3 {
+            for i in 0..6 {
+                assert!((fc.grad_weights[o * 6 + i] - x.as_slice()[i]).abs() < 1e-5);
+            }
+            assert!((fc.grad_bias[o] - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn from_parts_validates_lengths() {
+        assert!(Linear::from_parts(2, 2, vec![0.0; 3], vec![0.0; 2]).is_err());
+        assert!(Linear::from_parts(2, 2, vec![0.0; 4], vec![0.0; 1]).is_err());
+    }
+}

@@ -1,0 +1,79 @@
+//! Layer kernels: convolution, pooling, activation, fully connected,
+//! concatenation, and element-wise addition.
+//!
+//! Each layer owns its parameters *and* their gradient buffers; the
+//! [`crate::train`] module updates them in place with SGD. Layers are plain
+//! data plus `forward`/`backward` methods; graph wiring lives in
+//! [`crate::graph`].
+
+mod conv;
+mod eltwise;
+mod linear;
+mod pool;
+mod relu;
+
+pub use conv::Conv2d;
+pub use eltwise::{add_backward, add_forward, concat_backward, concat_forward};
+pub use linear::Linear;
+pub use pool::{Pool, PoolKind};
+pub use relu::Relu;
+
+/// In-place SGD-with-momentum update shared by every parameterized layer:
+/// `v ← μ·v − lr·(g + wd·w)`, `w ← w + v`, then `g ← 0`.
+///
+/// # Panics
+///
+/// Panics when the three slices differ in length.
+pub(crate) fn sgd_update(
+    value: &mut [f32],
+    grad: &mut [f32],
+    velocity: &mut [f32],
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+) {
+    assert_eq!(value.len(), grad.len(), "sgd value/grad length");
+    assert_eq!(value.len(), velocity.len(), "sgd value/velocity length");
+    for ((w, g), v) in value.iter_mut().zip(grad.iter_mut()).zip(velocity.iter_mut()) {
+        *v = momentum * *v - lr * (*g + weight_decay * *w);
+        *w += *v;
+        *g = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sgd_update;
+
+    #[test]
+    fn sgd_step_without_momentum_is_plain_descent() {
+        let mut w = [1.0f32, -1.0];
+        let mut g = [0.5f32, -0.5];
+        let mut v = [0.0f32, 0.0];
+        sgd_update(&mut w, &mut g, &mut v, 0.1, 0.0, 0.0);
+        assert_eq!(w, [0.95, -0.95]);
+        assert_eq!(g, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut w = [0.0f32];
+        let mut v = [0.0f32];
+        let mut g = [1.0f32];
+        sgd_update(&mut w, &mut g, &mut v, 1.0, 0.9, 0.0);
+        assert_eq!(w, [-1.0]);
+        let mut g = [1.0f32];
+        sgd_update(&mut w, &mut g, &mut v, 1.0, 0.9, 0.0);
+        // v = 0.9*(-1) - 1 = -1.9; w = -1 - 1.9 = -2.9
+        assert!((w[0] + 2.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut w = [2.0f32];
+        let mut v = [0.0f32];
+        let mut g = [0.0f32];
+        sgd_update(&mut w, &mut g, &mut v, 0.1, 0.0, 0.5);
+        assert!((w[0] - 1.9).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,132 @@
+//! Rectified linear activation with a tunable pruning threshold.
+
+use cnnre_tensor::Tensor3;
+
+/// ReLU with a tunable threshold `t`: `y = x` when `x > t`, else `0`.
+///
+/// `t = 0` is the standard ReLU. A positive threshold models the
+/// Minerva-style tunable activation the paper's §4 points to as the lever
+/// that lets the adversary recover the *bias* (set the input to all zeros
+/// and sweep the threshold until the layer output turns all-zero; the
+/// crossing threshold equals the bias).
+///
+/// # Example
+///
+/// ```
+/// use cnnre_nn::layer::Relu;
+/// use cnnre_tensor::{Shape3, Tensor3};
+///
+/// let relu = Relu::new();
+/// let x = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![-1.0, 0.0, 2.0])?;
+/// assert_eq!(relu.forward(&x).as_slice(), &[0.0, 0.0, 2.0]);
+/// # Ok::<(), cnnre_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Relu {
+    threshold: f32,
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Relu {
+    /// Standard ReLU (`threshold = 0`).
+    #[must_use]
+    pub const fn new() -> Self {
+        Self { threshold: 0.0 }
+    }
+
+    /// ReLU with pruning threshold `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is negative or not finite.
+    #[must_use]
+    pub fn with_threshold(t: f32) -> Self {
+        assert!(t.is_finite() && t >= 0.0, "threshold must be finite and non-negative");
+        Self { threshold: t }
+    }
+
+    /// The pruning threshold.
+    #[must_use]
+    pub const fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Sets the pruning threshold (the adversary-tunable knob of §4).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` is negative or not finite.
+    pub fn set_threshold(&mut self, t: f32) {
+        assert!(t.is_finite() && t >= 0.0, "threshold must be finite and non-negative");
+        self.threshold = t;
+    }
+
+    /// Applies the activation.
+    #[must_use]
+    pub fn forward(&self, input: &Tensor3) -> Tensor3 {
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            if *v <= self.threshold {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+
+    /// Backpropagates `grad_out`: passes gradient where the forward input
+    /// exceeded the threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes differ.
+    #[must_use]
+    pub fn backward(&self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
+        assert_eq!(input.shape(), grad_out.shape(), "relu backward shapes");
+        let mut dx = grad_out.clone();
+        for (g, &x) in dx.as_mut_slice().iter_mut().zip(input.as_slice()) {
+            if x <= self.threshold {
+                *g = 0.0;
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnnre_tensor::Shape3;
+
+    #[test]
+    fn standard_relu_zeroes_negatives() {
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 4), vec![-2.0, -0.0, 0.5, 3.0]).unwrap();
+        let y = Relu::new().forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.5, 3.0]);
+    }
+
+    #[test]
+    fn threshold_prunes_small_positives() {
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 4), vec![0.05, 0.1, 0.2, -1.0]).unwrap();
+        let y = Relu::with_threshold(0.1).forward(&x);
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 0.2, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let x = Tensor3::from_vec(Shape3::new(1, 1, 3), vec![-1.0, 0.5, 2.0]).unwrap();
+        let dy = Tensor3::full(Shape3::new(1, 1, 3), 1.0);
+        let dx = Relu::new().backward(&x, &dy);
+        assert_eq!(dx.as_slice(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn negative_threshold_rejected() {
+        let _ = Relu::with_threshold(-0.1);
+    }
+}

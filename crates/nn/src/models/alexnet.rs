@@ -1,0 +1,127 @@
+//! AlexNet: the paper's primary case study (Table 4, Figure 4).
+
+use rand::Rng;
+
+use super::{chain, scale_channels, ConvSpec, PoolSpec};
+use crate::graph::{BuildError, Network};
+use cnnre_tensor::Shape3;
+
+/// The canonical AlexNet CONV-layer specifications over a 227×227×3 input —
+/// the ground-truth row set of the paper's Table 4
+/// (CONV1₁, CONV2₁, CONV3₁, CONV4, CONV5₁).
+pub const ALEXNET_CONV_SPECS: [ConvSpec; 5] = [
+    ConvSpec { d_ofm: 96, f: 11, s: 4, p: 0, pool: Some(PoolSpec::max(3, 2)) },
+    ConvSpec { d_ofm: 256, f: 5, s: 1, p: 2, pool: Some(PoolSpec::max(3, 2)) },
+    ConvSpec { d_ofm: 384, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 384, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(3, 2)) },
+];
+
+/// Builds AlexNet with channel counts divided by `depth_div` and `classes`
+/// output classes (1000 for ImageNet).
+///
+/// Note: the paper's Table 4 uses `P_conv = 1` for CONV1₁ where the
+/// canonical Caffe AlexNet uses 0; both produce a 55-wide conv output under
+/// floor division, so the two are indistinguishable from the side channel.
+/// We use the canonical padding.
+///
+/// # Panics
+///
+/// Panics when `classes == 0`.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_nn::models::alexnet;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let net = alexnet(16, 10, &mut rng); // 1/16-depth proxy
+/// assert_eq!(net.input_shape(), cnnre_tensor::Shape3::new(3, 227, 227));
+/// ```
+#[must_use]
+pub fn alexnet<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -> Network {
+    assert!(classes > 0, "need at least one class");
+    let specs: Vec<ConvSpec> = ALEXNET_CONV_SPECS.iter().map(|s| s.scaled(depth_div)).collect();
+    let fcs = [scale_channels(4096, depth_div), scale_channels(4096, depth_div), classes];
+    alexnet_from_specs(Shape3::new(3, 227, 227), &specs, &fcs, rng)
+        .expect("AlexNet geometry is statically valid")
+}
+
+/// Builds an AlexNet-shaped network from explicit CONV-layer specifications
+/// — the constructor used to instantiate *candidate* structures recovered by
+/// the structure attack (Figure 4 ranks 24 of these by training).
+///
+/// # Errors
+///
+/// Returns [`BuildError`] when the candidate geometry does not fit.
+pub fn alexnet_from_specs<R: Rng + ?Sized>(
+    input_shape: Shape3,
+    conv_specs: &[ConvSpec],
+    fc_widths: &[usize],
+    rng: &mut R,
+) -> Result<Network, BuildError> {
+    chain(input_shape, conv_specs, fc_widths, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_scale_feature_map_pipeline() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = alexnet(16, 1000, &mut rng);
+        // Geometry is depth-independent: 227->55->27->27->13->13->13->13->6.
+        let shapes: Vec<(String, Shape3)> = net
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.clone(), net.shape(crate::graph::NodeId(i))))
+            .collect();
+        let get = |name: &str| shapes.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("conv1").w, 55);
+        assert_eq!(get("conv1/pool").w, 27);
+        assert_eq!(get("conv2").w, 27);
+        assert_eq!(get("conv2/pool").w, 13);
+        assert_eq!(get("conv3").w, 13);
+        assert_eq!(get("conv5/pool").w, 6);
+        assert_eq!(net.output_shape(), Shape3::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn full_depth_parameter_count_matches_alexnet() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = alexnet(1, 1000, &mut rng);
+        // Well-known AlexNet totals (single-column variant):
+        // conv: 34944+614656+885120+1327488+884992 ; fc: 37752832+16781312+4097000.
+        assert_eq!(net.parameter_count(), 62_378_344);
+    }
+
+    #[test]
+    fn candidate_builder_accepts_table4_alternatives() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        // CONV2_2 -> CONV3_2 path: 27 -F10/P4-> 26 -F6/S2/P2-> 13.
+        let specs = [
+            ConvSpec { d_ofm: 6, f: 11, s: 4, p: 0, pool: Some(PoolSpec::max(3, 2)) },
+            ConvSpec { d_ofm: 4, f: 10, s: 1, p: 4, pool: None },
+            ConvSpec { d_ofm: 24, f: 6, s: 2, p: 2, pool: None },
+            ConvSpec { d_ofm: 24, f: 3, s: 1, p: 1, pool: None },
+            ConvSpec { d_ofm: 16, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(3, 2)) },
+        ];
+        let net =
+            alexnet_from_specs(Shape3::new(3, 227, 227), &specs, &[32, 32, 10], &mut rng).unwrap();
+        assert_eq!(net.shape(net.find("conv2").unwrap()).w, 26);
+        assert_eq!(net.shape(net.find("conv3").unwrap()).w, 13);
+        assert_eq!(net.output_shape().c, 10);
+    }
+
+    #[test]
+    fn candidate_builder_rejects_invalid_geometry() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let specs = [ConvSpec::new(8, 300, 1, 0)];
+        assert!(alexnet_from_specs(Shape3::new(3, 227, 227), &specs, &[10], &mut rng).is_err());
+    }
+}

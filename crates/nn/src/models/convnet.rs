@@ -1,0 +1,58 @@
+//! ConvNet: the 4-layer CIFAR-10-style network of the paper's Table 3
+//! (cuda-convnet lineage: three 5×5 CONV layers with 3×3/s2 max pooling,
+//! one FC layer) over 32×32 RGB inputs.
+
+use rand::Rng;
+
+use super::{chain, scale_channels, ConvSpec, PoolSpec};
+use crate::graph::Network;
+use cnnre_tensor::Shape3;
+
+/// Builds ConvNet with channel counts divided by `depth_div` and `classes`
+/// output classes (10 for CIFAR-10).
+///
+/// Structure: `conv(32,5×5,p2)+pool(3,2)` ×2 → `conv(64,3×3,p1)+pool(2,2)`
+/// → `fc(classes)`. (The third stage uses a 3×3 filter so the network
+/// satisfies the paper's practicality constraint `F_conv ≤ W_IFM/2`,
+/// Equation (5), on its 8-wide input.)
+///
+/// # Panics
+///
+/// Panics when `classes == 0`.
+#[must_use]
+pub fn convnet<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -> Network {
+    assert!(classes > 0, "need at least one class");
+    let convs = [
+        ConvSpec::new(scale_channels(32, depth_div), 5, 1, 2).with_pool(PoolSpec::max(3, 2)),
+        ConvSpec::new(scale_channels(32, depth_div), 5, 1, 2).with_pool(PoolSpec::max(3, 2)),
+        ConvSpec::new(scale_channels(64, depth_div), 3, 1, 1).with_pool(PoolSpec::max(2, 2)),
+    ];
+    chain(Shape3::new(3, 32, 32), &convs, &[classes], rng)
+        .expect("ConvNet geometry is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pooling_pipeline_uses_ceil_widths() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = convnet(1, 10, &mut rng);
+        // 32 -> 32 -pool(ceil)-> 16 -> 16 -> 8 -> 8 -> 4.
+        assert_eq!(net.shape(net.find("conv1/pool").unwrap()), Shape3::new(32, 16, 16));
+        assert_eq!(net.shape(net.find("conv2/pool").unwrap()), Shape3::new(32, 8, 8));
+        assert_eq!(net.shape(net.find("conv3/pool").unwrap()), Shape3::new(64, 4, 4));
+        assert_eq!(net.output_shape(), Shape3::new(10, 1, 1));
+    }
+
+    #[test]
+    fn scaled_forward_runs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = convnet(8, 4, &mut rng);
+        let y = net.forward(&cnnre_tensor::Tensor3::zeros(net.input_shape()));
+        assert_eq!(y.len(), 4);
+    }
+}

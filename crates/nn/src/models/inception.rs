@@ -1,0 +1,146 @@
+//! A compact GoogLeNet-style inception network — "GoogLeNet [16] proposed
+//! concatenating multiple convolution filters with different `F_conv` as a
+//! module" (§3.2). Exercises the structure attack's handling of three-way
+//! depth concatenation with heterogeneous filter sizes.
+
+use rand::Rng;
+
+use super::{push_conv_block, scale_channels, ConvSpec, PoolSpec};
+use crate::graph::{BuildError, Network, NetworkBuilder, NodeId};
+use crate::layer::Conv2d;
+use cnnre_tensor::Shape3;
+
+/// Specification of one inception module: output depths of the 1×1, 3×3
+/// and 5×5 branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InceptionModule {
+    /// 1×1 branch depth.
+    pub b1: usize,
+    /// 3×3 branch depth (padding 1).
+    pub b3: usize,
+    /// 5×5 branch depth (padding 2).
+    pub b5: usize,
+}
+
+/// Specification of a compact inception network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InceptionSpec {
+    /// Input shape.
+    pub input: Shape3,
+    /// Stem convolution.
+    pub stem: ConvSpec,
+    /// Inception modules in order; a 2×2/s2 max pool follows each.
+    pub modules: Vec<InceptionModule>,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl InceptionSpec {
+    /// A two-module default over 64×64 inputs, depths divided by
+    /// `depth_div`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes == 0`.
+    #[must_use]
+    pub fn small(depth_div: usize, classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        let d = |c| scale_channels(c, depth_div);
+        Self {
+            input: Shape3::new(3, 64, 64),
+            stem: ConvSpec::new(d(32), 5, 1, 2).with_pool(PoolSpec::max(2, 2)),
+            modules: vec![
+                InceptionModule { b1: d(16), b3: d(32), b5: d(16) },
+                InceptionModule { b1: d(32), b3: d(64), b5: d(32) },
+            ],
+            classes,
+        }
+    }
+}
+
+/// Builds the inception network.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] when the specification does not fit.
+pub fn inception<R: Rng + ?Sized>(
+    spec: &InceptionSpec,
+    rng: &mut R,
+) -> Result<Network, BuildError> {
+    let mut b = NetworkBuilder::new(spec.input);
+    let input = b.input_id();
+    let mut cur = push_conv_block(&mut b, input, "stem", spec.stem, rng)?;
+    for (i, module) in spec.modules.iter().enumerate() {
+        let name = format!("inc{i}");
+        cur = push_inception(&mut b, cur, &name, module, rng)?;
+    }
+    // NiN-style head: a 1×1 convolution whose activation and global pooling
+    // the accelerator merges (a bare pooling layer has no hardware stage).
+    let d_head = b.shape(cur).c;
+    let head = b.conv("head", cur, Conv2d::new(d_head, d_head, 1, 1, 0, rng))?;
+    let head = b.relu("head/relu", head)?;
+    let gap = b.global_avg_pool("global_pool", head)?;
+    let flat = b.flatten("flatten", gap)?;
+    let d_in = b.shape(flat).len();
+    let fc = b.linear("fc", flat, crate::layer::Linear::new(d_in, spec.classes, rng))?;
+    Ok(b.finish(fc))
+}
+
+fn push_inception<R: Rng + ?Sized>(
+    b: &mut NetworkBuilder,
+    input: NodeId,
+    name: &str,
+    m: &InceptionModule,
+    rng: &mut R,
+) -> Result<NodeId, BuildError> {
+    let d_in = b.shape(input).c;
+    let branch = |b: &mut NetworkBuilder, tag: &str, d_out: usize, f: usize, p: usize, rng: &mut R| {
+        let c = b.conv(&format!("{name}/{tag}"), input, Conv2d::new(d_in, d_out, f, 1, p, rng))?;
+        let r = b.relu(&format!("{name}/{tag}/relu"), c)?;
+        // Pool per branch before the concat so the accelerator can merge it
+        // (pool(concat) == concat(pool), as in the SqueezeNet builder).
+        b.max_pool(&format!("{name}/{tag}/pool"), r, 2, 2, 0)
+    };
+    let b1 = branch(b, "1x1", m.b1, 1, 0, rng)?;
+    let b3 = branch(b, "3x3", m.b3, 3, 1, rng)?;
+    let b5 = branch(b, "5x5", m.b5, 5, 2, rng)?;
+    b.concat(&format!("{name}/concat"), &[b1, b3, b5])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inception_builds_and_runs() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let spec = InceptionSpec::small(4, 7);
+        let net = inception(&spec, &mut rng).unwrap();
+        assert_eq!(net.output_shape(), Shape3::new(7, 1, 1));
+        let y = net.forward(&cnnre_tensor::Tensor3::zeros(net.input_shape()));
+        assert_eq!(y.len(), 7);
+    }
+
+    #[test]
+    fn module_concatenates_three_branches() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let spec = InceptionSpec::small(4, 7);
+        let net = inception(&spec, &mut rng).unwrap();
+        let concat = net.find("inc0/concat").unwrap();
+        assert_eq!(net.node(concat).inputs.len(), 3);
+        let d = net.shape(concat).c;
+        let m = spec.modules[0];
+        assert_eq!(d, m.b1 + m.b3 + m.b5);
+    }
+
+    #[test]
+    fn widths_halve_per_module() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = inception(&InceptionSpec::small(4, 7), &mut rng).unwrap();
+        // 64 -> stem pool 32 -> inc0 16 -> inc1 8.
+        assert_eq!(net.shape(net.find("inc0/concat").unwrap()).w, 16);
+        assert_eq!(net.shape(net.find("inc1/concat").unwrap()).w, 8);
+    }
+}

@@ -1,0 +1,67 @@
+//! LeNet: the 4-layer network of the paper's Table 3 (two CONV layers with
+//! max pooling, two FC layers) over 32×32 grayscale inputs.
+
+use rand::Rng;
+
+use super::{chain, scale_channels, ConvSpec, PoolSpec};
+use crate::graph::Network;
+use cnnre_tensor::Shape3;
+
+/// Builds LeNet with channel counts divided by `depth_div` and `classes`
+/// output classes (10 for the canonical network).
+///
+/// Structure: `conv(6,5×5,s1) + maxpool(2,2)` → `conv(16,5×5,s1) +
+/// maxpool(2,2)` → `fc(120)` → `fc(classes)`.
+///
+/// # Panics
+///
+/// Panics when `classes == 0`.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_nn::models::lenet;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let net = lenet(1, 10, &mut rng);
+/// assert_eq!(net.input_shape(), cnnre_tensor::Shape3::new(1, 32, 32));
+/// assert_eq!(net.output_shape().c, 10);
+/// ```
+#[must_use]
+pub fn lenet<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -> Network {
+    assert!(classes > 0, "need at least one class");
+    let convs = [
+        ConvSpec::new(scale_channels(6, depth_div), 5, 1, 0).with_pool(PoolSpec::max(2, 2)),
+        ConvSpec::new(scale_channels(16, depth_div), 5, 1, 0).with_pool(PoolSpec::max(2, 2)),
+    ];
+    chain(Shape3::new(1, 32, 32), &convs, &[scale_channels(120, depth_div), classes], rng)
+        .expect("LeNet geometry is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn full_scale_shapes() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = lenet(1, 10, &mut rng);
+        // 32 -conv5-> 28 -pool2-> 14 -conv5-> 10 -pool2-> 5.
+        let pool2 = net.find("conv2/pool").unwrap();
+        assert_eq!(net.shape(pool2), Shape3::new(16, 5, 5));
+        assert_eq!(net.output_shape(), Shape3::new(10, 1, 1));
+        // Parameters: conv1 6*25+6, conv2 16*6*25+16, fc1 400*120+120, fc2 120*10+10.
+        assert_eq!(net.parameter_count(), 156 + 2416 + 48120 + 1210);
+    }
+
+    #[test]
+    fn scaled_network_still_runs() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = lenet(4, 3, &mut rng);
+        let y = net.forward(&cnnre_tensor::Tensor3::zeros(net.input_shape()));
+        assert_eq!(y.len(), 3);
+    }
+}

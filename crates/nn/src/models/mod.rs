@@ -1,0 +1,202 @@
+//! Model zoo: the four networks the paper evaluates — LeNet, ConvNet
+//! (CIFAR-10-style), AlexNet and SqueezeNet — plus generic builders that
+//! assemble a network from per-layer specifications (used to instantiate
+//! the *candidate* structures recovered by the structure attack for the
+//! Figure-4/5 ranking experiments).
+//!
+//! Every builder takes a `depth_div` divisor that scales channel counts
+//! (geometry — filter sizes, strides, paddings, feature-map widths — is
+//! never scaled), so the same code produces both the full-scale networks
+//! whose memory traces the attacks analyze and small trainable proxies.
+
+mod alexnet;
+mod convnet;
+mod inception;
+mod lenet;
+mod resnet;
+mod squeezenet;
+mod vgg;
+
+pub use alexnet::{alexnet, alexnet_from_specs, ALEXNET_CONV_SPECS};
+pub use convnet::convnet;
+pub use inception::{inception, InceptionModule, InceptionSpec};
+pub use lenet::lenet;
+pub use resnet::{resnet, ResNetSpec};
+pub use squeezenet::{squeezenet, squeezenet_from_specs, FireSpec, SqueezeNetSpec};
+pub use vgg::{vgg11, vgg16, vgg_from_specs, VGG11_CONV_SPECS, VGG16_CONV_SPECS};
+
+use rand::Rng;
+
+use crate::graph::{BuildError, Network, NetworkBuilder, NodeId};
+use crate::layer::{Conv2d, Linear, PoolKind};
+use cnnre_tensor::Shape3;
+
+/// Specification of one pooling stage merged behind a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolSpec {
+    /// Pooling flavour.
+    pub kind: PoolKind,
+    /// Window width `F_pool`.
+    pub f: usize,
+    /// Stride `S_pool`.
+    pub s: usize,
+    /// Per-side padding `P_pool`.
+    pub p: usize,
+}
+
+impl PoolSpec {
+    /// Max pooling with window `f`, stride `s`, no padding.
+    #[must_use]
+    pub const fn max(f: usize, s: usize) -> Self {
+        Self { kind: PoolKind::Max, f, s, p: 0 }
+    }
+
+    /// Average pooling with window `f`, stride `s`, no padding.
+    #[must_use]
+    pub const fn avg(f: usize, s: usize) -> Self {
+        Self { kind: PoolKind::Avg, f, s, p: 0 }
+    }
+}
+
+/// Specification of one convolutional layer
+/// (`D_OFM`, `F_conv`, `S_conv`, `P_conv`, optional pooling) — the mutable
+/// part of the paper's Table-2 parameter vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvSpec {
+    /// Number of filters (`D_OFM`).
+    pub d_ofm: usize,
+    /// Filter width (`F_conv`).
+    pub f: usize,
+    /// Stride (`S_conv`).
+    pub s: usize,
+    /// Per-side zero padding (`P_conv`).
+    pub p: usize,
+    /// Merged pooling stage, if any (the paper's `P` indicator).
+    pub pool: Option<PoolSpec>,
+}
+
+impl ConvSpec {
+    /// Convolution without pooling.
+    #[must_use]
+    pub const fn new(d_ofm: usize, f: usize, s: usize, p: usize) -> Self {
+        Self { d_ofm, f, s, p, pool: None }
+    }
+
+    /// Attaches a pooling stage.
+    #[must_use]
+    pub const fn with_pool(mut self, pool: PoolSpec) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The spec with its channel count divided by `div` (floored, min 1).
+    #[must_use]
+    pub const fn scaled(mut self, div: usize) -> Self {
+        self.d_ofm = scale_channels(self.d_ofm, div);
+        self
+    }
+}
+
+/// Divides a channel count by `div`, flooring at 1.
+#[must_use]
+pub const fn scale_channels(c: usize, div: usize) -> usize {
+    let s = c / if div == 0 { 1 } else { div };
+    if s == 0 {
+        1
+    } else {
+        s
+    }
+}
+
+/// Appends `conv → relu → [pool]` to the builder, returning the id of the
+/// last node added. `index` is used for node naming (`conv{index}` …).
+///
+/// # Errors
+///
+/// Returns [`BuildError`] when the spec does not fit the running shape.
+pub fn push_conv_block<R: Rng + ?Sized>(
+    b: &mut NetworkBuilder,
+    input: NodeId,
+    name: &str,
+    spec: ConvSpec,
+    rng: &mut R,
+) -> Result<NodeId, BuildError> {
+    let d_ifm = b.shape(input).c;
+    let conv = Conv2d::new(d_ifm, spec.d_ofm, spec.f, spec.s, spec.p, rng);
+    let c = b.conv(name, input, conv)?;
+    let r = b.relu(&format!("{name}/relu"), c)?;
+    match spec.pool {
+        Some(PoolSpec { kind: PoolKind::Max, f, s, p }) => {
+            b.max_pool(&format!("{name}/pool"), r, f, s, p)
+        }
+        Some(PoolSpec { kind: PoolKind::Avg, f, s, p }) => {
+            b.avg_pool(&format!("{name}/pool"), r, f, s, p)
+        }
+        None => Ok(r),
+    }
+}
+
+/// Builds a plain chain: the given conv blocks followed by fully connected
+/// layers of the given output widths (ReLU between FCs, none after the
+/// last). This is the shape of LeNet, ConvNet and AlexNet.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] when any stage does not fit.
+pub fn chain<R: Rng + ?Sized>(
+    input_shape: Shape3,
+    convs: &[ConvSpec],
+    fc_widths: &[usize],
+    rng: &mut R,
+) -> Result<Network, BuildError> {
+    let mut b = NetworkBuilder::new(input_shape);
+    let mut cur = b.input_id();
+    for (i, spec) in convs.iter().enumerate() {
+        cur = push_conv_block(&mut b, cur, &format!("conv{}", i + 1), *spec, rng)?;
+    }
+    cur = b.flatten("flatten", cur)?;
+    for (i, &width) in fc_widths.iter().enumerate() {
+        let in_features = b.shape(cur).len();
+        cur = b.linear(&format!("fc{}", i + 1), cur, Linear::new(in_features, width, rng))?;
+        if i + 1 < fc_widths.len() {
+            cur = b.relu(&format!("fc{}/relu", i + 1), cur)?;
+        }
+    }
+    Ok(b.finish(cur))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scale_channels_floors_at_one() {
+        assert_eq!(scale_channels(96, 8), 12);
+        assert_eq!(scale_channels(3, 8), 1);
+        assert_eq!(scale_channels(7, 0), 7);
+    }
+
+    #[test]
+    fn chain_builds_and_runs() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = chain(
+            Shape3::new(1, 12, 12),
+            &[ConvSpec::new(4, 3, 1, 1).with_pool(PoolSpec::max(2, 2)), ConvSpec::new(8, 3, 1, 1)],
+            &[16, 4],
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(net.output_shape(), Shape3::new(4, 1, 1));
+        let y = net.forward(&cnnre_tensor::Tensor3::zeros(net.input_shape()));
+        assert_eq!(y.len(), 4);
+    }
+
+    #[test]
+    fn chain_rejects_bad_geometry() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let err = chain(Shape3::new(1, 4, 4), &[ConvSpec::new(4, 9, 1, 0)], &[2], &mut rng);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! A compact ResNet-style network — the "more recent proposal [7]
+//! introduces an additional bypass connection among layers" the paper's
+//! §3.1 anticipates. Used to demonstrate that the structure attack's DAG
+//! chaining handles classic residual blocks, not just SqueezeNet's
+//! fire-module bypass.
+
+use rand::Rng;
+
+use super::{push_conv_block, scale_channels, ConvSpec, PoolSpec};
+use crate::graph::{BuildError, Network, NetworkBuilder, NodeId};
+use crate::layer::Conv2d;
+use cnnre_tensor::Shape3;
+
+/// Specification of a compact residual network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResNetSpec {
+    /// Input shape.
+    pub input: Shape3,
+    /// Stem convolution (with pooling).
+    pub stem: ConvSpec,
+    /// Residual stages: `(channels, blocks)`; the first block of every
+    /// stage after the first downsamples by stride 2 with a projection
+    /// shortcut.
+    pub stages: Vec<(usize, usize)>,
+    /// Output classes.
+    pub classes: usize,
+}
+
+impl ResNetSpec {
+    /// A ResNet-10-like default over 64×64 inputs, channel counts divided
+    /// by `depth_div`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes == 0`.
+    #[must_use]
+    pub fn small(depth_div: usize, classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        let d = |c| scale_channels(c, depth_div);
+        Self {
+            input: Shape3::new(3, 64, 64),
+            stem: ConvSpec::new(d(32), 5, 1, 2).with_pool(PoolSpec::max(2, 2)),
+            stages: vec![(d(32), 2), (d(64), 2)],
+            classes,
+        }
+    }
+}
+
+/// Builds a ResNet-style network with identity bypass connections.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] when the specification does not fit.
+pub fn resnet<R: Rng + ?Sized>(spec: &ResNetSpec, rng: &mut R) -> Result<Network, BuildError> {
+    let mut b = NetworkBuilder::new(spec.input);
+    let input = b.input_id();
+    let mut cur = push_conv_block(&mut b, input, "stem", spec.stem, rng)?;
+    for (stage_idx, &(channels, blocks)) in spec.stages.iter().enumerate() {
+        for block in 0..blocks {
+            let name = format!("s{stage_idx}b{block}");
+            let downsample = stage_idx > 0 && block == 0;
+            cur = push_residual_block(&mut b, cur, &name, channels, downsample, rng)?;
+        }
+    }
+    // NiN-style head: a 1×1 convolution whose activation and global pooling
+    // the accelerator merges (a bare pooling layer has no hardware stage).
+    let d_head = b.shape(cur).c;
+    let head = b.conv("head", cur, Conv2d::new(d_head, d_head, 1, 1, 0, rng))?;
+    let head = b.relu("head/relu", head)?;
+    let gap = b.global_avg_pool("global_pool", head)?;
+    let flat = b.flatten("flatten", gap)?;
+    let d_in = b.shape(flat).len();
+    let fc = b.linear("fc", flat, crate::layer::Linear::new(d_in, spec.classes, rng))?;
+    Ok(b.finish(fc))
+}
+
+/// `conv3x3 → relu → conv3x3` with an identity (or strided-projection)
+/// shortcut merged by element-wise addition and a trailing ReLU is the
+/// textbook block; here the trailing activation is folded into the next
+/// block's first convolution input (accelerators merge it anyway), so the
+/// block ends at the `add` node — which is exactly the weightless merge
+/// layer the trace analyzer classifies.
+fn push_residual_block<R: Rng + ?Sized>(
+    b: &mut NetworkBuilder,
+    input: NodeId,
+    name: &str,
+    channels: usize,
+    downsample: bool,
+    rng: &mut R,
+) -> Result<NodeId, BuildError> {
+    let d_in = b.shape(input).c;
+    let stride = if downsample { 2 } else { 1 };
+    let c1 = b.conv(
+        &format!("{name}/conv1"),
+        input,
+        Conv2d::new(d_in, channels, 3, stride, 1, rng),
+    )?;
+    let r1 = b.relu(&format!("{name}/conv1/relu"), c1)?;
+    let c2 = b.conv(&format!("{name}/conv2"), r1, Conv2d::new(channels, channels, 3, 1, 1, rng))?;
+    let r2 = b.relu(&format!("{name}/conv2/relu"), c2)?;
+    let shortcut = if downsample || d_in != channels {
+        let p = b.conv(
+            &format!("{name}/proj"),
+            input,
+            Conv2d::new(d_in, channels, 1, stride, 0, rng),
+        )?;
+        b.relu(&format!("{name}/proj/relu"), p)?
+    } else {
+        input
+    };
+    b.add(&format!("{name}/add"), &[shortcut, r2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resnet_builds_and_runs() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = resnet(&ResNetSpec::small(4, 10), &mut rng).unwrap();
+        assert_eq!(net.output_shape(), Shape3::new(10, 1, 1));
+        let y = net.forward(&cnnre_tensor::Tensor3::zeros(net.input_shape()));
+        assert_eq!(y.len(), 10);
+    }
+
+    #[test]
+    fn identity_blocks_reuse_their_input() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = resnet(&ResNetSpec::small(4, 10), &mut rng).unwrap();
+        // The identity-shortcut add of stage 0 block 1 reads the previous
+        // block's add output directly.
+        let add = net.find("s0b1/add").unwrap();
+        let prev_add = net.find("s0b0/add").unwrap();
+        assert!(net.node(add).inputs.contains(&prev_add));
+    }
+
+    #[test]
+    fn downsample_blocks_use_projection() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let net = resnet(&ResNetSpec::small(4, 10), &mut rng).unwrap();
+        assert!(net.find("s1b0/proj").is_some());
+        assert!(net.find("s0b1/proj").is_none());
+        // Spatial size halves at stage 1.
+        let s0 = net.shape(net.find("s0b1/add").unwrap());
+        let s1 = net.shape(net.find("s1b0/add").unwrap());
+        assert_eq!(s0.w, 2 * s1.w);
+    }
+
+    #[test]
+    fn gradients_flow_through_residual_paths() {
+        use rand::Rng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut spec = ResNetSpec::small(8, 4);
+        spec.input = Shape3::new(3, 32, 32);
+        let mut net = resnet(&spec, &mut rng).unwrap();
+        let x = cnnre_tensor::Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));
+        let acts = net.forward_all(&x);
+        let dy = cnnre_tensor::Tensor3::full(net.output_shape(), 1.0);
+        let dx = net.backward(&acts, &dy);
+        assert!(dx.count_nonzero() > 0, "input gradient reaches the image");
+    }
+}

@@ -1,0 +1,278 @@
+//! SqueezeNet v1.0 with simple bypass — the paper's second case study
+//! (Figure 5): fire modules (squeeze 1×1 → parallel expand 1×1 / 3×3 →
+//! channel concat) plus element-wise bypass paths between non-adjacent
+//! modules.
+
+use rand::Rng;
+
+use super::{push_conv_block, scale_channels, ConvSpec, PoolSpec};
+use crate::graph::{BuildError, Network, NetworkBuilder, NodeId};
+use crate::layer::Conv2d;
+use cnnre_tensor::Shape3;
+
+/// Specification of one fire module plus its surroundings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FireSpec {
+    /// The squeeze convolution (canonically 1×1, stride 1).
+    pub squeeze: ConvSpec,
+    /// First expand convolution (canonically 1×1).
+    pub expand_a: ConvSpec,
+    /// Second expand convolution (canonically 3×3, padding 1).
+    pub expand_b: ConvSpec,
+    /// Max pooling applied after the module, if any.
+    pub pool_after: Option<PoolSpec>,
+    /// Whether a bypass path adds the module input to its output
+    /// (requires equal input/output depth and spatial size).
+    pub bypass: bool,
+}
+
+impl FireSpec {
+    /// Canonical fire module: `squeeze` 1×1 filters, then `expand` 1×1 and
+    /// `expand` 3×3 filters concatenated.
+    #[must_use]
+    pub const fn standard(squeeze: usize, expand: usize) -> Self {
+        Self {
+            squeeze: ConvSpec::new(squeeze, 1, 1, 0),
+            expand_a: ConvSpec::new(expand, 1, 1, 0),
+            expand_b: ConvSpec::new(expand, 3, 1, 1),
+            pool_after: None,
+            bypass: false,
+        }
+    }
+
+    /// Enables the bypass path.
+    #[must_use]
+    pub const fn with_bypass(mut self) -> Self {
+        self.bypass = true;
+        self
+    }
+
+    /// Attaches max pooling after the module.
+    #[must_use]
+    pub const fn with_pool(mut self, pool: PoolSpec) -> Self {
+        self.pool_after = Some(pool);
+        self
+    }
+
+    /// Total output depth of the module (sum of the expand branches).
+    #[must_use]
+    pub const fn d_out(&self) -> usize {
+        self.expand_a.d_ofm + self.expand_b.d_ofm
+    }
+}
+
+/// Full SqueezeNet structure specification, the unit the structure attack
+/// enumerates candidates over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqueezeNetSpec {
+    /// Input feature-map shape.
+    pub input: Shape3,
+    /// The stem convolution (CONV1), including its pooling.
+    pub conv1: ConvSpec,
+    /// The fire modules, in order.
+    pub fires: Vec<FireSpec>,
+    /// The classifier convolution (CONV10, canonically 1×1), followed by
+    /// global average pooling.
+    pub conv10: ConvSpec,
+}
+
+impl SqueezeNetSpec {
+    /// The canonical SqueezeNet v1.0 with simple bypass around fire 3, 5, 7
+    /// and 9, channel counts divided by `depth_div`, and `classes` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `classes == 0`.
+    #[must_use]
+    pub fn v1_0(depth_div: usize, classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        let d = |c| scale_channels(c, depth_div);
+        let fire = |s, e| FireSpec::standard(d(s), d(e));
+        Self {
+            input: Shape3::new(3, 227, 227),
+            conv1: ConvSpec::new(d(96), 7, 2, 0).with_pool(PoolSpec::max(3, 2)),
+            fires: vec![
+                fire(16, 64),                                          // fire2
+                fire(16, 64).with_bypass(),                            // fire3
+                fire(32, 128).with_pool(PoolSpec::max(3, 2)),          // fire4 + pool4
+                fire(32, 128).with_bypass(),                           // fire5
+                fire(48, 192),                                         // fire6
+                fire(48, 192).with_bypass(),                           // fire7
+                fire(64, 256).with_pool(PoolSpec::max(3, 2)),          // fire8 + pool8
+                fire(64, 256).with_bypass(),                           // fire9
+            ],
+            conv10: ConvSpec::new(classes, 1, 1, 0),
+        }
+    }
+
+    /// Number of CONV layers the accelerator executes (1 stem + 3 per fire
+    /// module + the classifier) — the paper counts SqueezeNet as 18 layers:
+    /// 2 CONV + 8 fire modules (the modules' internal layers folded in).
+    #[must_use]
+    pub fn conv_layer_count(&self) -> usize {
+        2 + 3 * self.fires.len()
+    }
+}
+
+/// Builds the canonical SqueezeNet v1.0 (with simple bypass).
+///
+/// # Panics
+///
+/// Panics when `classes == 0`.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_nn::models::squeezenet;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let net = squeezenet(16, 10, &mut rng); // 1/16-depth proxy
+/// assert_eq!(net.output_shape().c, 10);
+/// ```
+#[must_use]
+pub fn squeezenet<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -> Network {
+    squeezenet_from_specs(&SqueezeNetSpec::v1_0(depth_div, classes), rng)
+        .expect("canonical SqueezeNet geometry is statically valid")
+}
+
+/// Builds a SqueezeNet-shaped network from an explicit specification — the
+/// constructor for *candidate* structures in the Figure-5 experiment.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] when the candidate geometry does not fit.
+pub fn squeezenet_from_specs<R: Rng + ?Sized>(
+    spec: &SqueezeNetSpec,
+    rng: &mut R,
+) -> Result<Network, BuildError> {
+    let mut b = NetworkBuilder::new(spec.input);
+    let input = b.input_id();
+    let mut cur = push_conv_block(&mut b, input, "conv1", spec.conv1, rng)?;
+    for (i, fire) in spec.fires.iter().enumerate() {
+        let module = i + 2; // canonical numbering starts at fire2
+        cur = push_fire(&mut b, cur, &format!("fire{module}"), fire, rng)?;
+    }
+    let d_ifm = b.shape(cur).c;
+    let conv10 = Conv2d::new(
+        d_ifm,
+        spec.conv10.d_ofm,
+        spec.conv10.f,
+        spec.conv10.s,
+        spec.conv10.p,
+        rng,
+    );
+    let c10 = b.conv("conv10", cur, conv10)?;
+    let r10 = b.relu("conv10/relu", c10)?;
+    let gap = b.global_avg_pool("global_pool", r10)?;
+    Ok(b.finish(gap))
+}
+
+fn push_fire<R: Rng + ?Sized>(
+    b: &mut NetworkBuilder,
+    input: NodeId,
+    name: &str,
+    fire: &FireSpec,
+    rng: &mut R,
+) -> Result<NodeId, BuildError> {
+    let d_in = b.shape(input).c;
+    let sq = b.conv(
+        &format!("{name}/squeeze"),
+        input,
+        Conv2d::new(d_in, fire.squeeze.d_ofm, fire.squeeze.f, fire.squeeze.s, fire.squeeze.p, rng),
+    )?;
+    let sq = b.relu(&format!("{name}/squeeze/relu"), sq)?;
+    let d_sq = b.shape(sq).c;
+    let ea = b.conv(
+        &format!("{name}/expand1x1"),
+        sq,
+        Conv2d::new(d_sq, fire.expand_a.d_ofm, fire.expand_a.f, fire.expand_a.s, fire.expand_a.p, rng),
+    )?;
+    let ea = b.relu(&format!("{name}/expand1x1/relu"), ea)?;
+    let eb = b.conv(
+        &format!("{name}/expand3x3"),
+        sq,
+        Conv2d::new(d_sq, fire.expand_b.d_ofm, fire.expand_b.f, fire.expand_b.s, fire.expand_b.p, rng),
+    )?;
+    let mut eb = b.relu(&format!("{name}/expand3x3/relu"), eb)?;
+    let mut ea = ea;
+    // Pooling is applied per expand branch, before the concatenation:
+    // pool(concat(a, b)) == concat(pool(a), pool(b)) for channel-wise
+    // pooling, and this is the form a CNN accelerator executes (pooling is
+    // merged into each convolution; the concatenation itself is free — the
+    // two branches simply write adjacent DRAM regions).
+    if let Some(PoolSpec { f, s, p, .. }) = fire.pool_after {
+        ea = b.max_pool(&format!("{name}/expand1x1/pool"), ea, f, s, p)?;
+        eb = b.max_pool(&format!("{name}/expand3x3/pool"), eb, f, s, p)?;
+    }
+    let mut out = b.concat(&format!("{name}/concat"), &[ea, eb])?;
+    if fire.bypass {
+        out = b.add(&format!("{name}/bypass"), &[input, out])?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn canonical_pipeline_widths() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = squeezenet(16, 10, &mut rng);
+        // 227 -conv7/s2-> 111 -pool3/2-> 55 -...-> pool4 -> 27 -...-> pool8 -> 13.
+        assert_eq!(net.shape(net.find("conv1").unwrap()).w, 111);
+        assert_eq!(net.shape(net.find("conv1/pool").unwrap()).w, 55);
+        assert_eq!(net.shape(net.find("fire4/concat").unwrap()).w, 27);
+        assert_eq!(net.shape(net.find("fire8/concat").unwrap()).w, 13);
+        assert_eq!(net.output_shape(), Shape3::new(10, 1, 1));
+    }
+
+    #[test]
+    fn fire_module_concatenates_expand_branches() {
+        let spec = SqueezeNetSpec::v1_0(1, 1000);
+        assert_eq!(spec.fires[0].d_out(), 128);
+        assert_eq!(spec.conv_layer_count(), 26);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = squeezenet_from_specs(&SqueezeNetSpec::v1_0(16, 10), &mut rng).unwrap();
+        let concat = net.find("fire2/concat").unwrap();
+        assert_eq!(net.shape(concat).c, 2 * scale_channels(64, 16));
+    }
+
+    #[test]
+    fn bypass_requires_matching_depth() {
+        // A bypass around a module that changes depth must fail to build.
+        let mut spec = SqueezeNetSpec::v1_0(16, 10);
+        spec.fires[2].bypass = true; // fire4 changes 128 -> 256 (scaled)
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!(squeezenet_from_specs(&spec, &mut rng).is_err());
+    }
+
+    #[test]
+    fn forward_runs_on_scaled_network() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut spec = SqueezeNetSpec::v1_0(32, 5);
+        spec.input = Shape3::new(3, 63, 63); // smaller input for test speed
+        spec.conv1 = ConvSpec::new(spec.conv1.d_ofm, 7, 2, 0).with_pool(PoolSpec::max(3, 2));
+        let net = squeezenet_from_specs(&spec, &mut rng).unwrap();
+        let y = net.forward(&cnnre_tensor::Tensor3::zeros(net.input_shape()));
+        assert_eq!(y.len(), 5);
+    }
+
+    #[test]
+    fn bypass_changes_output() {
+        // Same seed, with and without bypass: outputs must differ.
+        let mut with = SqueezeNetSpec::v1_0(32, 4);
+        with.input = Shape3::new(3, 63, 63);
+        let mut without = with.clone();
+        for f in &mut without.fires {
+            f.bypass = false;
+        }
+        let a = squeezenet_from_specs(&with, &mut SmallRng::seed_from_u64(4)).unwrap();
+        let b = squeezenet_from_specs(&without, &mut SmallRng::seed_from_u64(4)).unwrap();
+        let x = cnnre_tensor::Tensor3::full(a.input_shape(), 0.5);
+        assert_ne!(a.forward(&x), b.forward(&x));
+    }
+}

@@ -1,0 +1,137 @@
+//! VGG — the deep homogeneous chain (Simonyan & Zisserman, ICLR'15).
+//!
+//! An extension victim beyond the paper's four case studies: 13 (VGG-16)
+//! or 8 (VGG-11) convolution layers of uniform 3×3/s1/p1 filters with 2×2
+//! max pools between blocks. VGG stresses the structure attack in the
+//! opposite direction from SqueezeNet: there are no branches, but the
+//! chain is deep and every layer looks *locally* alike, so candidate
+//! counts compound multiplicatively unless per-layer ambiguity stays tiny.
+
+use cnnre_tensor::Shape3;
+use rand::Rng;
+
+use super::{chain, scale_channels, BuildError, ConvSpec, PoolSpec};
+use crate::graph::Network;
+
+/// The VGG-11 ("configuration A") convolution stack over 224×224×3.
+pub const VGG11_CONV_SPECS: [ConvSpec; 8] = [
+    ConvSpec { d_ofm: 64, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+    ConvSpec { d_ofm: 128, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+];
+
+/// The VGG-16 ("configuration D") convolution stack over 224×224×3.
+pub const VGG16_CONV_SPECS: [ConvSpec; 13] = [
+    ConvSpec { d_ofm: 64, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 64, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+    ConvSpec { d_ofm: 128, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 128, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
+    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+];
+
+/// Builds VGG-11 with channels divided by `depth_div`.
+///
+/// # Panics
+///
+/// Panics when `classes == 0`.
+#[must_use]
+pub fn vgg11<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -> Network {
+    build(&VGG11_CONV_SPECS, depth_div, classes, rng)
+}
+
+/// Builds VGG-16 with channels divided by `depth_div`.
+///
+/// # Panics
+///
+/// Panics when `classes == 0`.
+#[must_use]
+pub fn vgg16<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -> Network {
+    build(&VGG16_CONV_SPECS, depth_div, classes, rng)
+}
+
+fn build<R: Rng + ?Sized>(
+    specs: &[ConvSpec],
+    depth_div: usize,
+    classes: usize,
+    rng: &mut R,
+) -> Network {
+    assert!(classes > 0, "need at least one class");
+    let specs: Vec<ConvSpec> = specs.iter().map(|s| s.scaled(depth_div)).collect();
+    let fcs = [scale_channels(4096, depth_div), scale_channels(4096, depth_div), classes];
+    vgg_from_specs(Shape3::new(3, 224, 224), &specs, &fcs, rng)
+        .expect("VGG geometry is statically valid")
+}
+
+/// Builds a VGG-shaped chain from explicit specifications (used to
+/// instantiate recovered candidates).
+///
+/// # Errors
+///
+/// Returns [`BuildError`] when the geometry does not fit.
+pub fn vgg_from_specs<R: Rng + ?Sized>(
+    input_shape: Shape3,
+    conv_specs: &[ConvSpec],
+    fc_widths: &[usize],
+    rng: &mut R,
+) -> Result<Network, BuildError> {
+    chain(input_shape, conv_specs, fc_widths, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+    use cnnre_tensor::Tensor3;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vgg16_geometry_halves_through_five_blocks() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let net = vgg16(32, 10, &mut rng);
+        // 224 -> 112 -> 56 -> 28 -> 14 -> 7 across the five pooled blocks.
+        let shapes: Vec<(String, Shape3)> = net
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.name.clone(), net.shape(NodeId(i))))
+            .collect();
+        let get = |name: &str| shapes.iter().find(|(n, _)| n == name).unwrap().1;
+        assert_eq!(get("conv2/pool").w, 112);
+        assert_eq!(get("conv4/pool").w, 56);
+        assert_eq!(get("conv7/pool").w, 28);
+        assert_eq!(get("conv10/pool").w, 14);
+        assert_eq!(get("conv13/pool").w, 7);
+        assert_eq!(get("conv13/pool").c, 512 / 32);
+    }
+
+    #[test]
+    fn vgg11_runs_forward() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let net = vgg11(64, 5, &mut rng);
+        let x = Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));
+        let y = net.forward(&x);
+        assert_eq!(y.len(), 5);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_rejected() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = vgg11(64, 0, &mut rng);
+    }
+}

@@ -1,0 +1,91 @@
+//! Softmax cross-entropy loss.
+
+use cnnre_tensor::Tensor3;
+
+/// Numerically stable softmax over a flat logit slice.
+#[must_use]
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let m = cnnre_tensor::ops::max(logits);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - m).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / z).collect()
+}
+
+/// Softmax cross-entropy loss and its gradient w.r.t. the logits.
+///
+/// Returns `(loss, grad)` where `grad = softmax(logits) − onehot(label)`,
+/// shaped like `logits`.
+///
+/// # Panics
+///
+/// Panics when `label` is out of range or `logits` is empty.
+#[must_use]
+pub fn softmax_cross_entropy(logits: &Tensor3, label: usize) -> (f32, Tensor3) {
+    let n = logits.len();
+    assert!(n > 0, "empty logits");
+    assert!(label < n, "label {label} out of range for {n} classes");
+    let probs = softmax(logits.as_slice());
+    let loss = -probs[label].max(1e-12).ln();
+    let mut grad = logits.clone();
+    for (g, &p) in grad.as_mut_slice().iter_mut().zip(&probs) {
+        *g = p;
+    }
+    grad.as_mut_slice()[label] -= 1.0;
+    (loss, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnnre_tensor::Shape3;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        assert!((a[0] - b[0]).abs() < 1e-6);
+        let c = softmax(&[-1e30, 0.0]);
+        assert!(c[1] > 0.999);
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_k_loss() {
+        let logits = Tensor3::zeros(Shape3::new(4, 1, 1));
+        let (loss, grad) = softmax_cross_entropy(&logits, 2);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        assert!((grad.as_slice()[2] - (0.25 - 1.0)).abs() < 1e-6);
+        assert!((grad.as_slice()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits =
+            Tensor3::from_vec(Shape3::new(3, 1, 1), vec![0.3, -0.7, 1.1]).unwrap();
+        let (_, grad) = softmax_cross_entropy(&logits, 1);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[i] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[i] -= eps;
+            let (lp_loss, _) = softmax_cross_entropy(&lp, 1);
+            let (lm_loss, _) = softmax_cross_entropy(&lm, 1);
+            let num = (lp_loss - lm_loss) / (2.0 * eps);
+            assert!((num - grad.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label")]
+    fn out_of_range_label_panics() {
+        let logits = Tensor3::zeros(Shape3::new(2, 1, 1));
+        let _ = softmax_cross_entropy(&logits, 2);
+    }
+}

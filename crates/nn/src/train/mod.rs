@@ -1,0 +1,11 @@
+//! Training: softmax cross-entropy loss and a mini-batch SGD trainer.
+//!
+//! The paper's final attack step ranks candidate structures by training each
+//! one ("short training to quickly filter out unpromising candidates", §3.2,
+//! Figures 4 and 5). This module provides exactly that capability.
+
+mod loss;
+mod trainer;
+
+pub use loss::{softmax, softmax_cross_entropy};
+pub use trainer::{evaluate, evaluate_top_k, EpochStats, Trainer};

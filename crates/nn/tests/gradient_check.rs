@@ -1,0 +1,186 @@
+//! Numerical gradient checks — the training substrate's correctness
+//! anchor. Central finite differences of the softmax-cross-entropy loss
+//! are compared against the analytic gradients `Network::backward`
+//! produces, for the input and for layer parameters, across chain,
+//! concat (inception) and eltwise-add (resnet) topologies.
+
+use cnnre_nn::graph::{Network, NodeId, Op};
+use cnnre_nn::models::{inception, lenet, resnet, InceptionSpec, ResNetSpec};
+use cnnre_nn::train::softmax_cross_entropy;
+use cnnre_tensor::Tensor3;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Loss at a given input.
+fn loss_of(net: &Network, x: &Tensor3, label: usize) -> f32 {
+    softmax_cross_entropy(&net.forward(x), label).0
+}
+
+/// Checks `analytic` against a central finite difference `(l+ - l-)/2h`,
+/// with a tolerance that handles f32 noise near zero.
+fn assert_close(analytic: f32, numeric: f64, what: &str) {
+    let a = f64::from(analytic);
+    let denom = a.abs().max(numeric.abs()).max(1e-3);
+    let rel = (a - numeric).abs() / denom;
+    assert!(rel < 0.1, "{what}: analytic {a:.6e} vs numeric {numeric:.6e} (rel {rel:.3})");
+}
+
+/// Central difference with a kink detector: returns `None` when the two
+/// one-sided estimates disagree (the step straddles a ReLU corner or
+/// flips a max-pool argmax, so the numeric estimate is meaningless).
+fn central_difference(l0: f32, lp: f32, lm: f32, h: f32) -> Option<f64> {
+    let (l0, lp, lm, h) = (f64::from(l0), f64::from(lp), f64::from(lm), f64::from(h));
+    let fwd = (lp - l0) / h;
+    let bwd = (l0 - lm) / h;
+    let scale = fwd.abs().max(bwd.abs()).max(1e-3);
+    if (fwd - bwd).abs() > 0.05 * scale {
+        return None;
+    }
+    Some((lp - lm) / (2.0 * h))
+}
+
+/// Verifies the input gradient on `samples` random input coordinates.
+fn check_input_gradient(net: &mut Network, seed: u64, samples: usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let shape = net.input_shape();
+    let mut x = Tensor3::from_fn(shape, |_, _, _| rng.gen_range(-1.0..1.0f32));
+    let label = 1usize;
+
+    let acts = net.forward_all(&x);
+    let (_, dlogits) = softmax_cross_entropy(&acts[acts.len() - 1], label);
+    // forward_all returns activations indexed by node; the output is the
+    // last node's activation only for chain networks, so recompute:
+    let logits = net.forward(&x);
+    let (_, dlogits) = if acts[acts.len() - 1].shape() == logits.shape() {
+        softmax_cross_entropy(&logits, label)
+    } else {
+        (0.0, dlogits)
+    };
+    let dinput = net.backward(&acts, &dlogits);
+
+    let h = 5e-3f32;
+    let l0 = loss_of(net, &x, label);
+    // Check the coordinates carrying the most gradient signal — random
+    // coordinates of GAP-headed nets have noise-level gradients that
+    // finite differences in f32 cannot resolve.
+    let mut order: Vec<usize> = (0..shape.len()).collect();
+    order.sort_by(|&a, &b| {
+        dinput.as_slice()[b].abs().partial_cmp(&dinput.as_slice()[a].abs()).expect("finite")
+    });
+    let mut checked = 0;
+    for &i in order.iter().take(3 * samples) {
+        if checked >= samples {
+            break;
+        }
+        let orig = x.as_slice()[i];
+        x.as_mut_slice()[i] = orig + h;
+        let lp = loss_of(net, &x, label);
+        x.as_mut_slice()[i] = orig - h;
+        let lm = loss_of(net, &x, label);
+        x.as_mut_slice()[i] = orig;
+        // Skip kink-straddling coordinates (ReLU corners, pool argmax flips).
+        let Some(numeric) = central_difference(l0, lp, lm, h) else { continue };
+        assert_close(dinput.as_slice()[i], numeric, &format!("d input[{i}]"));
+        checked += 1;
+    }
+    assert!(checked >= samples / 2, "too few smooth coordinates ({checked}/{samples})");
+}
+
+#[test]
+fn input_gradient_matches_finite_differences_on_a_chain() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let mut net = lenet(2, 4, &mut rng);
+    check_input_gradient(&mut net, 10, 20);
+}
+
+#[test]
+fn input_gradient_matches_on_concat_topologies() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let mut net = inception(&InceptionSpec::small(2, 4), &mut rng).expect("builds");
+    check_input_gradient(&mut net, 11, 12);
+}
+
+#[test]
+fn input_gradient_matches_on_residual_topologies() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut net = resnet(&ResNetSpec::small(2, 4), &mut rng).expect("builds");
+    check_input_gradient(&mut net, 12, 12);
+}
+
+#[test]
+fn parameter_gradients_match_finite_differences() {
+    let mut rng = SmallRng::seed_from_u64(6);
+    let mut net = lenet(2, 4, &mut rng);
+    let x = Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0f32));
+    let label = 2usize;
+
+    let acts = net.forward_all(&x);
+    let logits = net.forward(&x);
+    let (l0, dlogits) = softmax_cross_entropy(&logits, label);
+    let _ = net.backward(&acts, &dlogits);
+
+    // For every parameterized node, spot-check a few weight/bias entries.
+    let ids: Vec<usize> = (0..net.nodes().len()).collect();
+    let h = 5e-3f32;
+    let mut checked = 0;
+    for idx in ids {
+        let node_id = NodeId::from_index(idx);
+        enum Kind {
+            Conv,
+            Linear,
+        }
+        let (kind, n_weights, n_bias) = match &net.node(node_id).op {
+            Op::Conv(c) => (Kind::Conv, c.weights().len(), c.bias().len()),
+            Op::Linear(l) => (Kind::Linear, l.weights().len(), l.bias().len()),
+            _ => continue,
+        };
+        for k in 0..3 {
+            let wi = (k * 37) % n_weights;
+            let analytic = match (&kind, &net.node(node_id).op) {
+                (Kind::Conv, Op::Conv(c)) => c.grad_weights()[wi],
+                (Kind::Linear, Op::Linear(l)) => l.grad_weights()[wi],
+                _ => unreachable!(),
+            };
+            let perturb = |net: &mut Network, delta: f32| match &mut net.node_mut(node_id).op {
+                Op::Conv(c) => c.weights_mut().as_mut_slice()[wi] += delta,
+                Op::Linear(l) => l.weights_mut()[wi] += delta,
+                _ => unreachable!(),
+            };
+            perturb(&mut net, h);
+            let lp = loss_of(&net, &x, label);
+            perturb(&mut net, -2.0 * h);
+            let lm = loss_of(&net, &x, label);
+            perturb(&mut net, h);
+            let Some(numeric) = central_difference(l0, lp, lm, h) else { continue };
+            if numeric.abs() < 1e-4 && f64::from(analytic).abs() < 1e-4 {
+                continue;
+            }
+            assert_close(analytic, numeric, &format!("node {idx} dW[{wi}]"));
+            checked += 1;
+        }
+        // One bias entry per layer.
+        let bi = n_bias / 2;
+        let analytic = match &net.node(node_id).op {
+            Op::Conv(c) => c.grad_bias()[bi],
+            Op::Linear(l) => l.grad_bias()[bi],
+            _ => unreachable!(),
+        };
+        let perturb = |net: &mut Network, delta: f32| match &mut net.node_mut(node_id).op {
+            Op::Conv(c) => c.bias_mut()[bi] += delta,
+            Op::Linear(l) => l.bias_mut()[bi] += delta,
+            _ => unreachable!(),
+        };
+        perturb(&mut net, h);
+        let lp = loss_of(&net, &x, label);
+        perturb(&mut net, -2.0 * h);
+        let lm = loss_of(&net, &x, label);
+        perturb(&mut net, h);
+        if let Some(numeric) = central_difference(l0, lp, lm, h) {
+            if !(numeric.abs() < 1e-4 && f64::from(analytic).abs() < 1e-4) {
+                assert_close(analytic, numeric, &format!("node {idx} db[{bi}]"));
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 6, "too few parameter gradients checked ({checked})");
+}

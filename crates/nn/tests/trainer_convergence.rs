@@ -1,0 +1,111 @@
+//! Convergence behaviour of the SGD trainer — the substrate the paper's
+//! candidate-ranking step (Figures 4/5) stands on. These tests pin the
+//! qualitative properties that ranking relies on: loss decreases, easy
+//! tasks are learnable to high accuracy quickly, momentum helps, weight
+//! decay shrinks parameter norms, and training is deterministic per seed.
+
+use cnnre_nn::data::SyntheticSpec;
+use cnnre_nn::graph::Op;
+use cnnre_nn::models::lenet;
+use cnnre_nn::train::{evaluate, evaluate_top_k, Trainer};
+use cnnre_tensor::Shape3;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn easy_task(seed: u64) -> (cnnre_nn::data::Dataset, cnnre_nn::data::Dataset) {
+    let spec = SyntheticSpec::new(Shape3::new(1, 32, 32), 4).samples_per_class(8).noise(0.3);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let templates = spec.templates(&mut rng);
+    let train = spec.generate_from_templates(&templates, &mut rng);
+    let test = spec.generate_from_templates(&templates, &mut rng);
+    (train, test)
+}
+
+#[test]
+fn loss_decreases_and_easy_task_is_learned() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut net = lenet(1, 4, &mut rng);
+    let (train, test) = easy_task(2);
+    let before = evaluate(&net, &test);
+    let trainer = Trainer::new(0.01).momentum(0.9).batch_size(8);
+    let mut train_rng = SmallRng::seed_from_u64(3);
+    let stats = trainer.train(&mut net, &train, 6, &mut train_rng);
+    // Mean loss over the last epoch is well below the first.
+    assert!(
+        stats.last().expect("epochs").mean_loss < 0.6 * stats[0].mean_loss,
+        "loss did not decrease: {:?}",
+        stats.iter().map(|s| s.mean_loss).collect::<Vec<_>>()
+    );
+    let after = evaluate(&net, &test);
+    assert!(after > before, "accuracy did not improve: {before} -> {after}");
+    assert!(after >= 0.75, "easy task not learned: {after}");
+    // Top-2 accuracy dominates top-1.
+    assert!(evaluate_top_k(&net, &test, 2) >= after);
+}
+
+#[test]
+fn training_is_deterministic_per_seed() {
+    let (train, _) = easy_task(5);
+    let run = || {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut net = lenet(1, 4, &mut rng);
+        let trainer = Trainer::new(0.01).momentum(0.9).batch_size(8);
+        let mut train_rng = SmallRng::seed_from_u64(8);
+        trainer.train(&mut net, &train, 2, &mut train_rng)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn momentum_accelerates_early_training() {
+    let (train, _) = easy_task(9);
+    let final_loss = |momentum: f32| {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut net = lenet(1, 4, &mut rng);
+        let trainer = Trainer::new(0.005).momentum(momentum).batch_size(8);
+        let mut train_rng = SmallRng::seed_from_u64(11);
+        trainer.train(&mut net, &train, 4, &mut train_rng).last().expect("epochs").mean_loss
+    };
+    let plain = final_loss(0.0);
+    let with_momentum = final_loss(0.9);
+    assert!(
+        with_momentum < plain,
+        "momentum did not help: {with_momentum} vs {plain}"
+    );
+}
+
+#[test]
+fn weight_decay_shrinks_parameter_norms() {
+    let (train, _) = easy_task(12);
+    let weight_norm = |wd: f32| -> f64 {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut net = lenet(1, 4, &mut rng);
+        let trainer = Trainer::new(0.01).momentum(0.9).batch_size(8).weight_decay(wd);
+        let mut train_rng = SmallRng::seed_from_u64(14);
+        let _ = trainer.train(&mut net, &train, 3, &mut train_rng);
+        net.nodes()
+            .iter()
+            .map(|n| match &n.op {
+                Op::Conv(c) => {
+                    c.weights().as_slice().iter().map(|w| f64::from(*w).powi(2)).sum::<f64>()
+                }
+                Op::Linear(l) => l.weights().iter().map(|w| f64::from(*w).powi(2)).sum(),
+                _ => 0.0,
+            })
+            .sum::<f64>()
+            .sqrt()
+    };
+    let free = weight_norm(0.0);
+    let decayed = weight_norm(0.01);
+    assert!(decayed < free, "weight decay did not shrink norms: {decayed} vs {free}");
+}
+
+#[test]
+#[should_panic(expected = "empty dataset")]
+fn training_on_empty_dataset_panics() {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut net = lenet(1, 4, &mut rng);
+    let empty = cnnre_nn::data::Dataset::new(Vec::new(), Vec::new()).expect("empty is valid");
+    let trainer = Trainer::new(0.01);
+    let _ = trainer.train_epoch(&mut net, &empty, &mut rng);
+}

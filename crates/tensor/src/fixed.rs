@@ -1,0 +1,211 @@
+//! Fixed-point quantization — the accelerator's native number format.
+//!
+//! The paper's victim runs on an FPGA accelerator using fixed-point
+//! arithmetic, and the weight attack's reported precision (ratios within
+//! `2^-10`) is tied to the victim's fractional resolution. This module
+//! models a signed Q(m,n) format: values are multiples of `2^-n` saturated
+//! to `[-2^m, 2^m - 2^-n]`. Quantization happens *once*, to the stored
+//! weights; the simulator then computes in `f32` on the quantized values —
+//! exactly how a bit-accurate RTL model would behave for the value range
+//! CNNs use.
+
+/// A signed fixed-point format with `int_bits` integer bits (excluding
+/// sign) and `frac_bits` fractional bits.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_tensor::fixed::QFormat;
+///
+/// let q = QFormat::Q1_14;
+/// assert_eq!(q.quantize(0.5), 0.5);            // representable exactly
+/// assert_eq!(q.quantize(3.0), q.max_value());  // saturates
+/// assert!((q.quantize(0.30001) - 0.30001).abs() <= q.max_rounding_error());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    /// Integer bits (excluding the sign bit).
+    pub int_bits: u32,
+    /// Fractional bits.
+    pub frac_bits: u32,
+}
+
+impl QFormat {
+    /// Q1.14 — a common 16-bit weight format (1 sign + 1 int + 14 frac).
+    pub const Q1_14: Self = Self { int_bits: 1, frac_bits: 14 };
+    /// Q7.8 — a 16-bit activation format with headroom.
+    pub const Q7_8: Self = Self { int_bits: 7, frac_bits: 8 };
+
+    /// Creates a format.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the total width (sign + int + frac) exceeds 32 bits or
+    /// `frac_bits` is zero.
+    #[must_use]
+    pub fn new(int_bits: u32, frac_bits: u32) -> Self {
+        assert!(frac_bits > 0, "need at least one fractional bit");
+        assert!(1 + int_bits + frac_bits <= 32, "format wider than 32 bits");
+        Self { int_bits, frac_bits }
+    }
+
+    /// The quantization step `2^-frac_bits`.
+    #[must_use]
+    pub fn step(self) -> f32 {
+        (-(f64::from(self.frac_bits))).exp2() as f32
+    }
+
+    /// The largest representable value, `2^int_bits - step`.
+    #[must_use]
+    pub fn max_value(self) -> f32 {
+        (f64::from(self.int_bits).exp2() - f64::from(self.step())) as f32
+    }
+
+    /// The most negative representable value, `-2^int_bits`.
+    #[must_use]
+    pub fn min_value(self) -> f32 {
+        -(f64::from(self.int_bits).exp2()) as f32
+    }
+
+    /// Quantizes one value: round-to-nearest-even in steps of
+    /// [`QFormat::step`], saturating at the format bounds. NaN maps to 0.
+    #[must_use]
+    pub fn quantize(self, x: f32) -> f32 {
+        if x.is_nan() {
+            return 0.0;
+        }
+        let scale = f64::from(self.frac_bits).exp2();
+        let scaled = f64::from(x) * scale;
+        let lo = f64::from(self.min_value()) * scale;
+        let hi = f64::from(self.max_value()) * scale;
+        let q = round_ties_even(scaled).clamp(lo, hi);
+        (q / scale) as f32
+    }
+
+    /// Quantizes a slice in place.
+    pub fn quantize_slice(self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.quantize(*x);
+        }
+    }
+
+    /// The worst-case rounding error for in-range values: half a step.
+    #[must_use]
+    pub fn max_rounding_error(self) -> f32 {
+        self.step() / 2.0
+    }
+}
+
+fn round_ties_even(x: f64) -> f64 {
+    let r = x.round();
+    if (x - x.trunc()).abs() == 0.5 && r.rem_euclid(2.0) != 0.0 {
+        r - (r - x).signum()
+    } else {
+        r
+    }
+}
+
+/// Quantizes a 4-D weight tensor, returning the quantized copy.
+#[must_use]
+pub fn quantize_tensor4(t: &crate::Tensor4, q: QFormat) -> crate::Tensor4 {
+    let mut out = t.clone();
+    q.quantize_slice(out.as_mut_slice());
+    out
+}
+
+/// Quantizes a 3-D activation tensor, returning the quantized copy.
+#[must_use]
+pub fn quantize_tensor3(t: &crate::Tensor3, q: QFormat) -> crate::Tensor3 {
+    let mut out = t.clone();
+    q.quantize_slice(out.as_mut_slice());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, Shape4};
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn q1_14_constants() {
+        let q = QFormat::Q1_14;
+        assert!((q.step() - 2f32.powi(-14)).abs() < 1e-12);
+        assert!((q.max_value() - (2.0 - 2f32.powi(-14))).abs() < 1e-6);
+        assert_eq!(q.min_value(), -2.0);
+    }
+
+    #[test]
+    fn quantize_rounds_and_saturates() {
+        let q = QFormat::new(1, 2); // step 0.25, range [-2, 1.75]
+        assert_eq!(q.quantize(0.3), 0.25);
+        assert_eq!(q.quantize(0.13), 0.25); // 0.52 steps rounds up
+        assert_eq!(q.quantize(0.12), 0.0);
+        assert_eq!(q.quantize(-0.3), -0.25);
+        assert_eq!(q.quantize(5.0), 1.75);
+        assert_eq!(q.quantize(-5.0), -2.0);
+        assert_eq!(q.quantize(f32::NAN), 0.0);
+        assert_eq!(q.quantize(f32::INFINITY), 1.75);
+        assert_eq!(q.quantize(f32::NEG_INFINITY), -2.0);
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        let q = QFormat::new(3, 1); // step 0.5
+        // 0.25 is exactly between 0.0 and 0.5 -> even multiple (0.0).
+        assert_eq!(q.quantize(0.25), 0.0);
+        // 0.75 is between 0.5 and 1.0 -> even multiple (1.0).
+        assert_eq!(q.quantize(0.75), 1.0);
+        assert_eq!(q.quantize(-0.25), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 32 bits")]
+    fn too_wide_rejected() {
+        let _ = QFormat::new(20, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fractional bit")]
+    fn zero_frac_rejected() {
+        let _ = QFormat::new(4, 0);
+    }
+
+    #[test]
+    fn tensor_quantization_is_elementwise() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = init::he_conv(&mut rng, Shape4::new(2, 3, 3, 3));
+        let q = quantize_tensor4(&t, QFormat::Q1_14);
+        assert_eq!(q.shape(), t.shape());
+        for (a, b) in t.as_slice().iter().zip(q.as_slice()) {
+            assert!((a - b).abs() <= QFormat::Q1_14.max_rounding_error() + 1e-9);
+            // Quantized values are exact multiples of the step.
+            let steps = f64::from(*b) / f64::from(QFormat::Q1_14.step());
+            assert!((steps - steps.round()).abs() < 1e-6);
+        }
+    }
+
+    proptest! {
+        /// Quantization is idempotent and bounded for in-range inputs.
+        #[test]
+        fn quantize_idempotent_and_bounded(x in -100.0f32..100.0, int_bits in 1u32..8, frac in 1u32..20) {
+            let q = QFormat::new(int_bits, frac);
+            let y = q.quantize(x);
+            prop_assert_eq!(q.quantize(y), y, "idempotence");
+            prop_assert!(y >= q.min_value() && y <= q.max_value());
+            if x > q.min_value() && x < q.max_value() {
+                prop_assert!((x - y).abs() <= q.max_rounding_error() + f32::EPSILON);
+            }
+        }
+
+        /// Quantization is monotone.
+        #[test]
+        fn quantize_monotone(a in -4.0f32..4.0, b in -4.0f32..4.0) {
+            let q = QFormat::Q1_14;
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(q.quantize(lo) <= q.quantize(hi));
+        }
+    }
+}

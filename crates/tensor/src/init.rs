@@ -1,0 +1,170 @@
+//! Seeded weight initializers.
+//!
+//! Every initializer takes an explicit [`rand::Rng`] so that all experiments
+//! in the workspace are reproducible from a single seed.
+
+use rand::Rng;
+
+use crate::{Shape3, Shape4, Tensor3, Tensor4};
+
+/// Fills `data` with samples from the uniform distribution `[-limit, limit]`.
+pub fn uniform_in_place<R: Rng + ?Sized>(rng: &mut R, data: &mut [f32], limit: f32) {
+    for v in data {
+        *v = rng.gen_range(-limit..=limit);
+    }
+}
+
+/// Xavier/Glorot uniform initialization for a filter bank with `fan_in`
+/// inputs and `fan_out` outputs: `limit = sqrt(6 / (fan_in + fan_out))`.
+#[must_use]
+pub fn xavier_limit(fan_in: usize, fan_out: usize) -> f32 {
+    (6.0 / (fan_in + fan_out) as f32).sqrt()
+}
+
+/// He (Kaiming) uniform limit for ReLU networks: `limit = sqrt(6 / fan_in)`.
+#[must_use]
+pub fn he_limit(fan_in: usize) -> f32 {
+    (6.0 / fan_in as f32).sqrt()
+}
+
+/// A `Tensor3` with i.i.d. uniform `[-limit, limit]` entries.
+#[must_use]
+pub fn uniform3<R: Rng + ?Sized>(rng: &mut R, shape: Shape3, limit: f32) -> Tensor3 {
+    let mut t = Tensor3::zeros(shape);
+    uniform_in_place(rng, t.as_mut_slice(), limit);
+    t
+}
+
+/// A `Tensor4` with i.i.d. uniform `[-limit, limit]` entries.
+#[must_use]
+pub fn uniform4<R: Rng + ?Sized>(rng: &mut R, shape: Shape4, limit: f32) -> Tensor4 {
+    let mut t = Tensor4::zeros(shape);
+    uniform_in_place(rng, t.as_mut_slice(), limit);
+    t
+}
+
+/// Xavier-initialized convolution filter bank
+/// (`fan_in = c·h·w`, `fan_out = n·h·w`).
+#[must_use]
+pub fn xavier_conv<R: Rng + ?Sized>(rng: &mut R, shape: Shape4) -> Tensor4 {
+    let limit = xavier_limit(shape.c * shape.h * shape.w, shape.n * shape.h * shape.w);
+    uniform4(rng, shape, limit)
+}
+
+/// He-initialized convolution filter bank (`fan_in = c·h·w`), the default for
+/// the ReLU networks in this workspace.
+#[must_use]
+pub fn he_conv<R: Rng + ?Sized>(rng: &mut R, shape: Shape4) -> Tensor4 {
+    let limit = he_limit(shape.c * shape.h * shape.w);
+    uniform4(rng, shape, limit)
+}
+
+/// "Deep-Compression"-style weights for the Figure-7 experiment: He-uniform
+/// samples, magnitude-pruned so that a `prune_fraction` of each filter's
+/// smallest-magnitude weights become exactly zero, then quantized to
+/// `2^quant_bits` uniform levels over the filter's value range.
+///
+/// The paper's §4.2 case study runs the weight attack on the first layer of a
+/// *compressed* AlexNet model, "which contains zero-valued weights". We do
+/// not have those proprietary weights, so this produces a synthetic filter
+/// bank exercising the same code path: exact zeros (detected by the attack as
+/// missing zero-crossings) and a discrete value distribution.
+///
+/// # Panics
+///
+/// Panics when `prune_fraction` is outside `[0, 1]` or `quant_bits == 0`.
+#[must_use]
+pub fn compressed_conv<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: Shape4,
+    prune_fraction: f64,
+    quant_bits: u32,
+) -> Tensor4 {
+    assert!((0.0..=1.0).contains(&prune_fraction), "prune_fraction must be in [0,1]");
+    assert!(quant_bits > 0, "quant_bits must be positive");
+    let mut bank = he_conv(rng, shape);
+    let item_len = shape.item().len();
+    for n in 0..shape.n {
+        let filter = &mut bank.as_mut_slice()[n * item_len..(n + 1) * item_len];
+        // Magnitude pruning: zero the smallest |w| entries.
+        let mut order: Vec<usize> = (0..item_len).collect();
+        order.sort_by(|&a, &b| {
+            filter[a].abs().partial_cmp(&filter[b].abs()).expect("weights are finite")
+        });
+        let n_prune = ((item_len as f64) * prune_fraction).round() as usize;
+        for &i in order.iter().take(n_prune) {
+            filter[i] = 0.0;
+        }
+        // Uniform quantization of the survivors over [-max|w|, max|w|].
+        let max_abs = filter.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        if max_abs > 0.0 {
+            let levels = (1u32 << quant_bits) as f32;
+            let step = 2.0 * max_abs / levels;
+            for v in filter.iter_mut() {
+                if *v != 0.0 {
+                    let q = (*v / step).round() * step;
+                    // Keep pruned zeros exactly zero; avoid re-zeroing survivors.
+                    *v = if q == 0.0 { step.copysign(*v) } else { q };
+                }
+            }
+        }
+    }
+    bank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_limit() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = uniform3(&mut rng, Shape3::new(4, 8, 8), 0.5);
+        assert!(t.as_slice().iter().all(|v| v.abs() <= 0.5));
+        assert!(t.count_nonzero() > 0);
+    }
+
+    #[test]
+    fn init_is_seed_deterministic() {
+        let a = uniform4(&mut SmallRng::seed_from_u64(7), Shape4::new(2, 2, 3, 3), 1.0);
+        let b = uniform4(&mut SmallRng::seed_from_u64(7), Shape4::new(2, 2, 3, 3), 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn limits_are_sane() {
+        assert!((xavier_limit(100, 100) - (6.0f32 / 200.0).sqrt()).abs() < 1e-7);
+        assert!((he_limit(54) - (6.0f32 / 54.0).sqrt()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn compressed_conv_has_exact_zeros_per_filter() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let shape = Shape4::new(8, 3, 5, 5);
+        let bank = compressed_conv(&mut rng, shape, 0.4, 8);
+        let item_len = shape.item().len();
+        for n in 0..shape.n {
+            let zeros = bank.item(n).iter().filter(|&&v| v == 0.0).count();
+            assert_eq!(zeros, (item_len as f64 * 0.4).round() as usize, "filter {n}");
+        }
+    }
+
+    #[test]
+    fn compressed_conv_survivors_are_nonzero() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let shape = Shape4::new(4, 2, 3, 3);
+        let bank = compressed_conv(&mut rng, shape, 0.5, 4);
+        let expected_zeros_per_filter = (shape.item().len() as f64 * 0.5).round() as usize;
+        let zeros = bank.as_slice().iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, expected_zeros_per_filter * shape.n);
+    }
+
+    #[test]
+    #[should_panic(expected = "prune_fraction")]
+    fn compressed_conv_validates_fraction() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = compressed_conv(&mut rng, Shape4::new(1, 1, 3, 3), 1.5, 8);
+    }
+}

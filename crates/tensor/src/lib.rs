@@ -1,0 +1,71 @@
+//! Dense `f32` tensors in channel-major (CHW / NCHW) layout.
+//!
+//! This crate is the lowest-level substrate of the `cnn-reveng` workspace.
+//! It provides exactly the data structures a CNN inference accelerator (and
+//! its software model) operates on:
+//!
+//! * [`Tensor3`] — a single feature map, laid out `C × H × W` (channel-major,
+//!   row-major within a channel). This matches how the simulated accelerator
+//!   stores feature maps contiguously in DRAM, which is what makes the
+//!   paper's region-size side channel (`SIZE_IFM`, `SIZE_OFM`) well defined.
+//! * [`Tensor4`] — a filter bank or a batch of feature maps, laid out
+//!   `N × C × H × W`.
+//! * [`Shape3`] / [`Shape4`] — shape arithmetic with checked construction.
+//! * [`init`] — seeded weight initializers (uniform, Xavier/Glorot, He,
+//!   magnitude-pruned "compressed" weights for the Figure-7 experiment).
+//!
+//! # Example
+//!
+//! ```
+//! use cnnre_tensor::{Shape3, Tensor3};
+//!
+//! let mut fm = Tensor3::zeros(Shape3::new(3, 4, 4));
+//! fm[(0, 1, 2)] = 1.5;
+//! assert_eq!(fm[(0, 1, 2)], 1.5);
+//! assert_eq!(fm.shape().len(), 48);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod shape;
+mod tensor3;
+mod tensor4;
+
+pub mod fixed;
+pub mod init;
+pub mod ops;
+
+pub use shape::{Shape3, Shape4};
+pub use tensor3::Tensor3;
+pub use tensor4::Tensor4;
+
+/// Error type for tensor construction and reshaping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of provided elements does not match the shape volume.
+    LengthMismatch {
+        /// Number of elements the shape requires.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Human-readable description of the two shapes.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: shape requires {expected} elements, got {actual}")
+            }
+            TensorError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

@@ -1,0 +1,162 @@
+//! Elementwise and reduction helpers shared across the workspace.
+
+/// `y += alpha * x` for equal-length slices.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = x` for equal-length slices.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+pub fn copy(x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "copy length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// Scales every element of `x` by `alpha`.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+#[must_use]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Sum of all elements.
+#[must_use]
+pub fn sum(x: &[f32]) -> f32 {
+    x.iter().sum()
+}
+
+/// Maximum element, or `f32::NEG_INFINITY` for an empty slice.
+#[must_use]
+pub fn max(x: &[f32]) -> f32 {
+    x.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v))
+}
+
+/// Index of the maximum element (first on ties), or `None` when empty.
+#[must_use]
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    if x.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate() {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+/// Indices of the `k` largest elements, in descending value order.
+#[must_use]
+pub fn top_k(x: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap_or(core::cmp::Ordering::Equal));
+    idx.truncate(k);
+    idx
+}
+
+/// Mean squared difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length or are empty.
+#[must_use]
+pub fn mse(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "mse length mismatch");
+    assert!(!x.is_empty(), "mse of empty slices");
+    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / x.len() as f32
+}
+
+/// Largest absolute difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics when the slices differ in length.
+#[must_use]
+pub fn max_abs_diff(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff length mismatch");
+    x.iter().zip(y).fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn axpy_and_dot() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+        assert_eq!(dot(&x, &x), 14.0);
+    }
+
+    #[test]
+    fn argmax_and_topk() {
+        let x = [0.1, 3.0, -1.0, 3.0, 2.0];
+        assert_eq!(argmax(&x), Some(1));
+        assert_eq!(top_k(&x, 3), vec![1, 3, 4]);
+        assert_eq!(argmax(&[] as &[f32]), None);
+    }
+
+    #[test]
+    fn reductions() {
+        assert_eq!(sum(&[1.0, 2.0]), 3.0);
+        assert_eq!(max(&[1.0, 5.0, 2.0]), 5.0);
+        assert_eq!(max(&[]), f32::NEG_INFINITY);
+        assert!(mse(&[1.0, 2.0], &[1.0, 4.0]) - 2.0 < 1e-7);
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[0.5, 4.0]), 2.0);
+    }
+
+    proptest! {
+        #[test]
+        fn axpy_zero_alpha_is_identity(v in proptest::collection::vec(-1e3f32..1e3, 1..64)) {
+            let mut y = v.clone();
+            let x = vec![1.0f32; v.len()];
+            axpy(0.0, &x, &mut y);
+            prop_assert_eq!(y, v);
+        }
+
+        #[test]
+        fn dot_commutes(
+            a in proptest::collection::vec(-1e2f32..1e2, 1..32),
+            b in proptest::collection::vec(-1e2f32..1e2, 1..32),
+        ) {
+            let n = a.len().min(b.len());
+            let d1 = dot(&a[..n], &b[..n]);
+            let d2 = dot(&b[..n], &a[..n]);
+            prop_assert!((d1 - d2).abs() <= 1e-3 * (1.0 + d1.abs()));
+        }
+
+        #[test]
+        fn top_k_is_sorted_descending(v in proptest::collection::vec(-1e3f32..1e3, 1..64), k in 1usize..8) {
+            let idx = top_k(&v, k);
+            prop_assert_eq!(idx.len(), k.min(v.len()));
+            for pair in idx.windows(2) {
+                prop_assert!(v[pair[0]] >= v[pair[1]]);
+            }
+        }
+    }
+}

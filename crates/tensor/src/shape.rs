@@ -1,0 +1,200 @@
+//! Shape types for 3-D feature maps and 4-D filter banks.
+
+/// Shape of a single feature map: `channels × height × width`.
+///
+/// The accelerator stores a feature map contiguously in DRAM in exactly this
+/// order, so [`Shape3::len`] is the number of pixels an adversary observes as
+/// the extent of the corresponding memory region.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_tensor::Shape3;
+/// let s = Shape3::new(96, 27, 27);
+/// assert_eq!(s.len(), 96 * 27 * 27);
+/// assert_eq!(s.index(1, 0, 3), 27 * 27 + 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape3 {
+    /// Number of channels (the paper's depth `D`).
+    pub c: usize,
+    /// Height in pixels.
+    pub h: usize,
+    /// Width in pixels (the paper's `W`; feature maps are square in the
+    /// paper's model, i.e. `h == w`, but the library supports rectangles).
+    pub w: usize,
+}
+
+impl Shape3 {
+    /// Creates a new 3-D shape.
+    #[must_use]
+    pub const fn new(c: usize, h: usize, w: usize) -> Self {
+        Self { c, h, w }
+    }
+
+    /// Creates a square feature-map shape with depth `c` and width `w`,
+    /// matching the paper's `(W, D)` parameterization.
+    #[must_use]
+    pub const fn square(c: usize, w: usize) -> Self {
+        Self { c, h: w, w }
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Returns `true` when the shape contains no elements.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of element `(c, h, w)` in channel-major layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when any coordinate is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn index(&self, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(c < self.c && h < self.h && w < self.w, "index ({c},{h},{w}) out of {self:?}");
+        (c * self.h + h) * self.w + w
+    }
+
+    /// Whether the feature map is square (`h == w`), as assumed by the
+    /// paper's Equations (1)–(4).
+    #[must_use]
+    pub const fn is_square(&self) -> bool {
+        self.h == self.w
+    }
+}
+
+impl core::fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+/// Shape of a filter bank or a batch: `n × channels × height × width`.
+///
+/// For a convolutional filter bank, `n` is the number of output channels
+/// (the paper's `D_OFM`), `c` the number of input channels (`D_IFM`) and
+/// `h == w == F_conv`.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_tensor::Shape4;
+/// let filters = Shape4::new(96, 3, 11, 11);
+/// assert_eq!(filters.len(), 96 * 3 * 11 * 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Outer dimension: batch size or number of filters.
+    pub n: usize,
+    /// Number of channels per item.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a new 4-D shape.
+    #[must_use]
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Returns `true` when the shape contains no elements.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shape of a single item (one filter / one batch element).
+    #[must_use]
+    pub const fn item(&self) -> Shape3 {
+        Shape3::new(self.c, self.h, self.w)
+    }
+
+    /// Linear index of element `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when any coordinate is out of bounds.
+    #[inline]
+    #[must_use]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(
+            n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of {self:?}"
+        );
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+}
+
+impl core::fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.n, self.c, self.h, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape3_len_and_index_roundtrip() {
+        let s = Shape3::new(3, 4, 5);
+        assert_eq!(s.len(), 60);
+        let mut seen = vec![false; s.len()];
+        for c in 0..3 {
+            for h in 0..4 {
+                for w in 0..5 {
+                    let i = s.index(c, h, w);
+                    assert!(!seen[i], "duplicate index");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn shape3_square() {
+        assert!(Shape3::square(8, 13).is_square());
+        assert!(!Shape3::new(8, 13, 14).is_square());
+        assert_eq!(Shape3::square(8, 13), Shape3::new(8, 13, 13));
+    }
+
+    #[test]
+    fn shape4_item_and_index() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.item(), Shape3::new(3, 4, 5));
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), s.len() - 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape3::new(96, 27, 27).to_string(), "96x27x27");
+        assert_eq!(Shape4::new(96, 3, 11, 11).to_string(), "96x3x11x11");
+    }
+
+    #[test]
+    fn empty_shapes() {
+        assert!(Shape3::new(0, 4, 4).is_empty());
+        assert!(Shape4::new(1, 0, 4, 4).is_empty());
+        assert!(!Shape3::new(1, 1, 1).is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Single feature-map tensor (`C × H × W`).
+
+use crate::{Shape3, TensorError};
+
+/// A dense, owned `f32` tensor in channel-major `C × H × W` layout.
+///
+/// This is the in-memory representation of one feature map (input, output,
+/// or intermediate) as the simulated accelerator stores it in DRAM.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_tensor::{Shape3, Tensor3};
+///
+/// let mut t = Tensor3::zeros(Shape3::new(2, 2, 2));
+/// t[(1, 1, 1)] = 3.0;
+/// assert_eq!(t.as_slice().iter().sum::<f32>(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3 {
+    shape: Shape3,
+    data: Vec<f32>,
+}
+
+impl Tensor3 {
+    /// Creates a tensor filled with zeros.
+    #[must_use]
+    pub fn zeros(shape: Shape3) -> Self {
+        Self { shape, data: vec![0.0; shape.len()] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    #[must_use]
+    pub fn full(shape: Shape3, value: f32) -> Self {
+        Self { shape, data: vec![value; shape.len()] }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs from
+    /// `shape.len()`.
+    pub fn from_vec(shape: Shape3, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f(c, h, w)` at every coordinate.
+    #[must_use]
+    pub fn from_fn(shape: Shape3, mut f: impl FnMut(usize, usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for c in 0..shape.c {
+            for h in 0..shape.h {
+                for w in 0..shape.w {
+                    data.push(f(c, h, w));
+                }
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub const fn shape(&self) -> Shape3 {
+        self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying buffer in layout order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying buffer in layout order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrows one channel plane (`H × W` row-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of bounds.
+    #[must_use]
+    pub fn channel(&self, c: usize) -> &[f32] {
+        assert!(c < self.shape.c, "channel {c} out of bounds for {}", self.shape);
+        let plane = self.shape.h * self.shape.w;
+        &self.data[c * plane..(c + 1) * plane]
+    }
+
+    /// Mutably borrows one channel plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `c` is out of bounds.
+    pub fn channel_mut(&mut self, c: usize) -> &mut [f32] {
+        assert!(c < self.shape.c, "channel {c} out of bounds for {}", self.shape);
+        let plane = self.shape.h * self.shape.w;
+        &mut self.data[c * plane..(c + 1) * plane]
+    }
+
+    /// Element access with bounds checking, returning `None` out of range.
+    #[must_use]
+    pub fn get(&self, c: usize, h: usize, w: usize) -> Option<f32> {
+        if c < self.shape.c && h < self.shape.h && w < self.shape.w {
+            Some(self.data[self.shape.index(c, h, w)])
+        } else {
+            None
+        }
+    }
+
+    /// Sets every element to zero, preserving the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Sets every element to `value`.
+    pub fn fill(&mut self, value: f32) {
+        self.data.iter_mut().for_each(|v| *v = value);
+    }
+
+    /// Number of elements strictly greater than `threshold` — the quantity a
+    /// zero-pruning accelerator leaks for an output feature map.
+    #[must_use]
+    pub fn count_greater_than(&self, threshold: f32) -> usize {
+        self.data.iter().filter(|&&v| v > threshold).count()
+    }
+
+    /// Number of non-zero elements.
+    #[must_use]
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+impl core::ops::Index<(usize, usize, usize)> for Tensor3 {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (c, h, w): (usize, usize, usize)) -> &f32 {
+        &self.data[self.shape.index(c, h, w)]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize, usize)> for Tensor3 {
+    #[inline]
+    fn index_mut(&mut self, (c, h, w): (usize, usize, usize)) -> &mut f32 {
+        let i = self.shape.index(c, h, w);
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_fill() {
+        let mut t = Tensor3::zeros(Shape3::new(2, 3, 4));
+        assert_eq!(t.len(), 24);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+        t.fill(2.5);
+        assert!(t.as_slice().iter().all(|&v| v == 2.5));
+        t.fill_zero();
+        assert_eq!(t.count_nonzero(), 0);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        let err = Tensor3::from_vec(Shape3::new(1, 2, 2), vec![0.0; 3]).unwrap_err();
+        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 3 });
+        assert!(Tensor3::from_vec(Shape3::new(1, 2, 2), vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn indexing_layout_is_channel_major() {
+        let t = Tensor3::from_fn(Shape3::new(2, 2, 2), |c, h, w| (c * 100 + h * 10 + w) as f32);
+        assert_eq!(t.as_slice(), &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]);
+        assert_eq!(t[(1, 0, 1)], 101.0);
+    }
+
+    #[test]
+    fn channel_slices() {
+        let mut t = Tensor3::from_fn(Shape3::new(3, 2, 2), |c, _, _| c as f32);
+        assert_eq!(t.channel(1), &[1.0; 4]);
+        t.channel_mut(2).copy_from_slice(&[9.0; 4]);
+        assert_eq!(t[(2, 1, 1)], 9.0);
+    }
+
+    #[test]
+    fn counting() {
+        let t = Tensor3::from_vec(Shape3::new(1, 2, 2), vec![-1.0, 0.0, 0.5, 2.0]).unwrap();
+        assert_eq!(t.count_nonzero(), 3);
+        assert_eq!(t.count_greater_than(0.0), 2);
+        assert_eq!(t.count_greater_than(1.0), 1);
+    }
+
+    #[test]
+    fn get_bounds() {
+        let t = Tensor3::zeros(Shape3::new(1, 1, 1));
+        assert_eq!(t.get(0, 0, 0), Some(0.0));
+        assert_eq!(t.get(1, 0, 0), None);
+        assert_eq!(t.get(0, 0, 1), None);
+    }
+}

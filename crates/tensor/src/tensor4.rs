@@ -1,0 +1,219 @@
+//! Filter-bank / batch tensor (`N × C × H × W`).
+
+use crate::{Shape3, Shape4, Tensor3, TensorError};
+
+/// A dense, owned `f32` tensor in `N × C × H × W` layout.
+///
+/// Used both for convolutional filter banks (`N` = number of output
+/// channels) and for mini-batches of feature maps (`N` = batch size).
+///
+/// # Example
+///
+/// ```
+/// use cnnre_tensor::{Shape4, Tensor4};
+///
+/// let bank = Tensor4::zeros(Shape4::new(96, 3, 11, 11));
+/// assert_eq!(bank.item(0).len(), 3 * 11 * 11);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor4 {
+    shape: Shape4,
+    data: Vec<f32>,
+}
+
+impl Tensor4 {
+    /// Creates a tensor filled with zeros.
+    #[must_use]
+    pub fn zeros(shape: Shape4) -> Self {
+        Self { shape, data: vec![0.0; shape.len()] }
+    }
+
+    /// Creates a tensor from an existing buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] when `data.len()` differs from
+    /// `shape.len()`.
+    pub fn from_vec(shape: Shape4, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != shape.len() {
+            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a tensor by evaluating `f(n, c, h, w)` at every coordinate.
+    #[must_use]
+    pub fn from_fn(shape: Shape4, mut f: impl FnMut(usize, usize, usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for h in 0..shape.h {
+                    for w in 0..shape.w {
+                        data.push(f(n, c, h, w));
+                    }
+                }
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// Stacks `items` (all of equal shape) along a new outer dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when the items disagree in
+    /// shape, and [`TensorError::LengthMismatch`] when `items` is empty.
+    pub fn stack(items: &[Tensor3]) -> Result<Self, TensorError> {
+        let first = items
+            .first()
+            .ok_or(TensorError::LengthMismatch { expected: 1, actual: 0 })?
+            .shape();
+        let mut data = Vec::with_capacity(items.len() * first.len());
+        for item in items {
+            if item.shape() != first {
+                return Err(TensorError::ShapeMismatch {
+                    detail: format!("stack of {} vs {}", item.shape(), first),
+                });
+            }
+            data.extend_from_slice(item.as_slice());
+        }
+        Ok(Self { shape: Shape4::new(items.len(), first.c, first.h, first.w), data })
+    }
+
+    /// The tensor's shape.
+    #[must_use]
+    pub const fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Total number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the underlying buffer in layout order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying buffer in layout order.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrows the `n`-th item (one filter / one batch element) as a flat
+    /// `C × H × W` slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is out of bounds.
+    #[must_use]
+    pub fn item(&self, n: usize) -> &[f32] {
+        assert!(n < self.shape.n, "item {n} out of bounds for {}", self.shape);
+        let stride = self.shape.item().len();
+        &self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Mutably borrows the `n`-th item.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is out of bounds.
+    pub fn item_mut(&mut self, n: usize) -> &mut [f32] {
+        assert!(n < self.shape.n, "item {n} out of bounds for {}", self.shape);
+        let stride = self.shape.item().len();
+        &mut self.data[n * stride..(n + 1) * stride]
+    }
+
+    /// Copies the `n`-th item out as an owned [`Tensor3`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is out of bounds.
+    #[must_use]
+    pub fn to_item(&self, n: usize) -> Tensor3 {
+        Tensor3::from_vec(self.shape.item(), self.item(n).to_vec())
+            .expect("item slice length always matches item shape")
+    }
+
+    /// Item shape (`C × H × W`).
+    #[must_use]
+    pub const fn item_shape(&self) -> Shape3 {
+        self.shape.item()
+    }
+
+    /// Number of non-zero elements.
+    #[must_use]
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+}
+
+impl core::ops::Index<(usize, usize, usize, usize)> for Tensor4 {
+    type Output = f32;
+
+    #[inline]
+    fn index(&self, (n, c, h, w): (usize, usize, usize, usize)) -> &f32 {
+        &self.data[self.shape.index(n, c, h, w)]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize, usize, usize)> for Tensor4 {
+    #[inline]
+    fn index_mut(&mut self, (n, c, h, w): (usize, usize, usize, usize)) -> &mut f32 {
+        let i = self.shape.index(n, c, h, w);
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_and_item_roundtrip() {
+        let a = Tensor3::full(Shape3::new(2, 2, 2), 1.0);
+        let b = Tensor3::full(Shape3::new(2, 2, 2), 2.0);
+        let s = Tensor4::stack(&[a.clone(), b.clone()]).unwrap();
+        assert_eq!(s.shape(), Shape4::new(2, 2, 2, 2));
+        assert_eq!(s.to_item(0), a);
+        assert_eq!(s.to_item(1), b);
+    }
+
+    #[test]
+    fn stack_rejects_mismatch() {
+        let a = Tensor3::zeros(Shape3::new(2, 2, 2));
+        let b = Tensor3::zeros(Shape3::new(2, 2, 3));
+        assert!(matches!(Tensor4::stack(&[a, b]), Err(TensorError::ShapeMismatch { .. })));
+        assert!(Tensor4::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn index4_layout() {
+        let t = Tensor4::from_fn(Shape4::new(2, 1, 2, 2), |n, _, h, w| (n * 100 + h * 10 + w) as f32);
+        assert_eq!(t[(1, 0, 1, 0)], 110.0);
+        assert_eq!(t.item(1), &[100.0, 101.0, 110.0, 111.0]);
+    }
+
+    #[test]
+    fn item_mut_writes_through() {
+        let mut t = Tensor4::zeros(Shape4::new(2, 1, 1, 2));
+        t.item_mut(1)[0] = 7.0;
+        assert_eq!(t[(1, 0, 0, 0)], 7.0);
+        assert_eq!(t.count_nonzero(), 1);
+    }
+}

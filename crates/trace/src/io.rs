@@ -1,0 +1,237 @@
+//! Trace serialization: CSV for plotting, a compact binary format for
+//! archiving capture campaigns.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::{AccessKind, MemoryEvent, Trace};
+
+/// Error type for trace (de)serialization.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed input at the given 1-based line/record number.
+    Parse {
+        /// Record index.
+        record: usize,
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl core::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceIoError::Parse { record, detail } => {
+                write!(f, "malformed trace record {record}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Writes the trace as CSV (`cycle,address,is_write`), with a two-line
+/// header carrying the block geometry.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on write failure.
+pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    writeln!(w, "# block_bytes={} element_bytes={}", trace.block_bytes(), trace.element_bytes())?;
+    writeln!(w, "cycle,address,is_write")?;
+    for ev in trace.events() {
+        writeln!(w, "{},{},{}", ev.cycle, ev.addr, u8::from(ev.kind.is_write()))?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_csv`].
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failure or malformed content.
+pub fn read_csv<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or(TraceIoError::Parse { record: 0, detail: "empty input".to_string() })??;
+    let parse_kv = |key: &str| -> Result<u64, TraceIoError> {
+        header
+            .split_whitespace()
+            .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+            .and_then(|v| v.parse().ok())
+            .ok_or(TraceIoError::Parse { record: 0, detail: format!("missing {key}") })
+    };
+    let block_bytes = parse_kv("block_bytes")?;
+    let element_bytes = parse_kv("element_bytes")?;
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if i == 0 && line.starts_with("cycle") {
+            continue; // column header
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut next = |name: &str| {
+            fields.next().ok_or(TraceIoError::Parse {
+                record: i + 1,
+                detail: format!("missing field {name}"),
+            })
+        };
+        let cycle = next("cycle")?.trim().parse().map_err(|e| TraceIoError::Parse {
+            record: i + 1,
+            detail: format!("cycle: {e}"),
+        })?;
+        let addr = next("address")?.trim().parse().map_err(|e| TraceIoError::Parse {
+            record: i + 1,
+            detail: format!("address: {e}"),
+        })?;
+        let kind = match next("is_write")?.trim() {
+            "0" => AccessKind::Read,
+            "1" => AccessKind::Write,
+            other => {
+                return Err(TraceIoError::Parse {
+                    record: i + 1,
+                    detail: format!("is_write must be 0/1, got '{other}'"),
+                })
+            }
+        };
+        events.push(MemoryEvent { cycle, addr, kind });
+    }
+    Ok(Trace::from_parts(events, block_bytes, element_bytes))
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"CNNRETR1";
+
+/// Writes the trace in a compact binary format (magic, geometry, then
+/// 17 bytes per event, little-endian).
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::Io`] on write failure.
+pub fn write_binary<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&trace.block_bytes().to_le_bytes())?;
+    w.write_all(&trace.element_bytes().to_le_bytes())?;
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for ev in trace.events() {
+        w.write_all(&ev.cycle.to_le_bytes())?;
+        w.write_all(&ev.addr.to_le_bytes())?;
+        w.write_all(&[u8::from(ev.kind.is_write())])?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_binary`].
+///
+/// # Errors
+///
+/// Returns [`TraceIoError`] on I/O failure or malformed content.
+pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(TraceIoError::Parse { record: 0, detail: "bad magic".to_string() });
+    }
+    let mut u64buf = [0u8; 8];
+    let mut read_u64 = |r: &mut R| -> Result<u64, TraceIoError> {
+        r.read_exact(&mut u64buf)?;
+        Ok(u64::from_le_bytes(u64buf))
+    };
+    let block_bytes = read_u64(&mut r)?;
+    let element_bytes = read_u64(&mut r)?;
+    let count = read_u64(&mut r)? as usize;
+    let mut events = Vec::with_capacity(count.min(1 << 24));
+    for i in 0..count {
+        let mut rec = [0u8; 17];
+        r.read_exact(&mut rec).map_err(|e| TraceIoError::Parse {
+            record: i + 1,
+            detail: format!("truncated: {e}"),
+        })?;
+        let cycle = u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes"));
+        let addr = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+        let kind = match rec[16] {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            other => {
+                return Err(TraceIoError::Parse {
+                    record: i + 1,
+                    detail: format!("bad kind byte {other}"),
+                })
+            }
+        };
+        events.push(MemoryEvent { cycle, addr, kind });
+    }
+    Ok(Trace::from_parts(events, block_bytes, element_bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new(64, 4);
+        b.record(0, 0, AccessKind::Write);
+        b.record(3, 128, AccessKind::Read);
+        b.record(9, 64, AccessKind::Read);
+        b.finish()
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(&buf[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        assert!(read_csv(&b"nonsense"[..]).is_err());
+        let mut buf = Vec::new();
+        write_csv(&sample(), &mut buf).unwrap();
+        buf.extend_from_slice(b"1,2,banana\n");
+        assert!(read_csv(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation_and_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        assert!(read_binary(&buf[..buf.len() - 3]).is_err());
+        buf[0] = b'X';
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = TraceBuilder::new(64, 4).finish();
+        let mut csv = Vec::new();
+        write_csv(&t, &mut csv).unwrap();
+        assert_eq!(read_csv(&csv[..]).unwrap(), t);
+        let mut bin = Vec::new();
+        write_binary(&t, &mut bin).unwrap();
+        assert_eq!(read_binary(&bin[..]).unwrap(), t);
+    }
+}

@@ -1,0 +1,298 @@
+//! Per-layer observations extracted from a segmented trace.
+//!
+//! This is step 2 of the paper's Algorithm 1: *"Record the execution time of
+//! each layer and calculate `SIZE_IFM`, `SIZE_OFM`, and `SIZE_FLTR` based on
+//! the memory access pattern"* — plus the inter-layer connection structure
+//! (which earlier layer's output each layer consumes), which reveals fire
+//! modules and bypass paths.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::segment::{segment_trace_with, Segment, SegmentConfig};
+use crate::{Addr, Cycle, Trace};
+
+/// Why a segment was classified the way it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKindHint {
+    /// Writes only — the host staging the input feature map.
+    Prologue,
+    /// Reads weights (a read-only region) and computes — a CONV or FC layer
+    /// (possibly with merged activation/pooling).
+    Compute,
+    /// Reads two or more previously written feature maps and writes a new
+    /// one without touching weights — an element-wise merge (bypass join).
+    Merge,
+    /// Anything else (e.g. a read-only pass) — not produced by the
+    /// simulated accelerator but kept for robustness.
+    Other,
+}
+
+/// One feature-map input of a layer: which earlier segment produced it and
+/// how many distinct blocks of it this layer read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IfmSource {
+    /// Index (into [`TraceObservations::layers`]) of the producing segment.
+    pub producer: usize,
+    /// Distinct blocks of the producer's output read by this layer.
+    pub blocks: u64,
+}
+
+/// Everything the adversary can say about one layer from the trace alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerObservation {
+    /// Segment index (0 is usually the prologue).
+    pub index: usize,
+    /// The underlying event range.
+    pub segment: Segment,
+    /// Classification hint.
+    pub kind: LayerKindHint,
+    /// Distinct blocks written (the OFM footprint).
+    pub ofm_blocks: u64,
+    /// Distinct read-only blocks read (the filter/weight footprint).
+    pub weight_blocks: u64,
+    /// Feature-map inputs, by producing segment.
+    pub ifm_sources: Vec<IfmSource>,
+    /// Execution cycles (last event cycle − first event cycle).
+    pub cycles: Cycle,
+}
+
+impl LayerObservation {
+    /// Total distinct IFM blocks read across all sources.
+    #[must_use]
+    pub fn ifm_blocks_total(&self) -> u64 {
+        self.ifm_sources.iter().map(|s| s.blocks).sum()
+    }
+}
+
+/// The full set of per-layer observations for a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceObservations {
+    /// Per-segment observations, in execution order.
+    pub layers: Vec<LayerObservation>,
+    /// Data elements per transaction block (known memory-system parameter).
+    pub elems_per_block: u64,
+}
+
+impl TraceObservations {
+    /// The observations for compute layers only (prologue and merge
+    /// segments filtered out), in order.
+    #[must_use]
+    pub fn compute_layers(&self) -> Vec<&LayerObservation> {
+        self.layers.iter().filter(|l| l.kind == LayerKindHint::Compute).collect()
+    }
+
+    /// Inclusive lower and exclusive upper bound on an element count whose
+    /// block footprint is `blocks`: the true size is in
+    /// `((blocks−1)·epb, blocks·epb]`.
+    #[must_use]
+    pub fn element_bounds(&self, blocks: u64) -> (u64, u64) {
+        if blocks == 0 {
+            return (0, 0);
+        }
+        ((blocks - 1) * self.elems_per_block, blocks * self.elems_per_block)
+    }
+
+    /// True when `candidate_elems` is consistent with a measured footprint
+    /// of `blocks` blocks.
+    #[must_use]
+    pub fn size_matches(&self, blocks: u64, candidate_elems: u64) -> bool {
+        let (lo, hi) = self.element_bounds(blocks);
+        candidate_elems > lo && candidate_elems <= hi
+    }
+}
+
+/// Segments a trace and extracts per-layer observations.
+///
+/// # Example
+///
+/// ```
+/// use cnnre_trace::{AccessKind, TraceBuilder};
+/// use cnnre_trace::observe::{observe, LayerKindHint};
+///
+/// let mut b = TraceBuilder::new(64, 4);
+/// b.record(0, 0, AccessKind::Write);        // host stages the input
+/// b.record(10, 4096, AccessKind::Read);     // layer 1: weight fetch
+/// b.record(11, 0, AccessKind::Read);        // layer 1: IFM fetch
+/// b.record(12, 8192, AccessKind::Write);    // layer 1: OFM write
+/// let obs = observe(&b.finish());
+/// assert_eq!(obs.layers.len(), 2);
+/// assert_eq!(obs.layers[0].kind, LayerKindHint::Prologue);
+/// assert_eq!(obs.layers[1].kind, LayerKindHint::Compute);
+/// assert_eq!(obs.layers[1].ofm_blocks, 1);
+/// assert_eq!(obs.layers[1].weight_blocks, 1);
+/// ```
+#[must_use]
+pub fn observe(trace: &Trace) -> TraceObservations {
+    observe_with(trace, SegmentConfig::for_trace(trace))
+}
+
+/// [`observe`] with explicit segmentation configuration.
+#[must_use]
+pub fn observe_with(trace: &Trace, config: SegmentConfig) -> TraceObservations {
+    let segments = segment_trace_with(trace, config);
+    let events = trace.events();
+
+    // Producer map: block address -> segment index that last wrote it.
+    // (Feature-map regions are written exactly once in the paper's model, so
+    // "last" and "only" coincide; we keep last-writer for robustness.)
+    let mut producer: HashMap<Addr, usize> = HashMap::new();
+    let mut layers = Vec::with_capacity(segments.len());
+
+    for (idx, seg) in segments.iter().enumerate() {
+        let mut written: HashSet<Addr> = HashSet::new();
+        let mut ro_read: HashSet<Addr> = HashSet::new();
+        let mut ifm_read: BTreeMap<usize, HashSet<Addr>> = BTreeMap::new();
+        for ev in &events[seg.first_event..seg.end_event] {
+            if ev.kind.is_write() {
+                written.insert(ev.addr);
+            } else if let Some(&p) = producer.get(&ev.addr) {
+                ifm_read.entry(p).or_default().insert(ev.addr);
+            } else {
+                ro_read.insert(ev.addr);
+            }
+        }
+        // Commit this segment's writes to the producer map *after* scanning
+        // it, so self-reads within a segment (which segmentation already
+        // rules out) would not self-reference.
+        for &a in &written {
+            producer.insert(a, idx);
+        }
+        let kind = if written.is_empty() && ro_read.is_empty() && ifm_read.is_empty() {
+            LayerKindHint::Other
+        } else if ro_read.is_empty() && ifm_read.is_empty() {
+            LayerKindHint::Prologue
+        } else if !ro_read.is_empty() {
+            LayerKindHint::Compute
+        } else if !written.is_empty() {
+            LayerKindHint::Merge
+        } else {
+            LayerKindHint::Other
+        };
+        layers.push(LayerObservation {
+            index: idx,
+            segment: *seg,
+            kind,
+            ofm_blocks: written.len() as u64,
+            weight_blocks: ro_read.len() as u64,
+            ifm_sources: ifm_read
+                .into_iter()
+                .map(|(p, s)| IfmSource { producer: p, blocks: s.len() as u64 })
+                .collect(),
+            cycles: seg.cycles(),
+        });
+    }
+    // A layer's execution time is boundary-to-boundary: from its first
+    // transaction to the next layer's first transaction. (The span of its
+    // own events alone misses the trailing compute that overlaps no DMA.)
+    for i in 0..layers.len().saturating_sub(1) {
+        layers[i].cycles =
+            layers[i + 1].segment.start_cycle.saturating_sub(layers[i].segment.start_cycle);
+    }
+    TraceObservations { layers, elems_per_block: trace.elems_per_block() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, TraceBuilder};
+
+    const BLK: u64 = 64;
+
+    fn record_n(b: &mut TraceBuilder, t: &mut u64, base: u64, n: u64, kind: AccessKind) {
+        for i in 0..n {
+            b.record(*t, base + i * BLK, kind);
+            *t += 1;
+        }
+    }
+
+    /// input(4 blocks) -> L1 (w:3, ofm:6) -> L2 (w:2, ofm:2), L2 also
+    /// re-reads part of the input? No: plain chain.
+    fn chain_trace() -> Trace {
+        let mut b = TraceBuilder::new(BLK, 4);
+        let mut t = 0;
+        record_n(&mut b, &mut t, 0x0000, 4, AccessKind::Write); // host input
+        record_n(&mut b, &mut t, 0x10_000, 3, AccessKind::Read); // w1
+        record_n(&mut b, &mut t, 0x0000, 4, AccessKind::Read); // ifm1
+        record_n(&mut b, &mut t, 0x20_000, 6, AccessKind::Write); // ofm1
+        record_n(&mut b, &mut t, 0x30_000, 2, AccessKind::Read); // w2
+        record_n(&mut b, &mut t, 0x20_000, 6, AccessKind::Read); // ifm2
+        record_n(&mut b, &mut t, 0x40_000, 2, AccessKind::Write); // ofm2
+        b.finish()
+    }
+
+    #[test]
+    fn chain_observations() {
+        let obs = observe(&chain_trace());
+        assert_eq!(obs.layers.len(), 3);
+        assert_eq!(obs.layers[0].kind, LayerKindHint::Prologue);
+        assert_eq!(obs.layers[0].ofm_blocks, 4);
+
+        let l1 = &obs.layers[1];
+        assert_eq!(l1.kind, LayerKindHint::Compute);
+        assert_eq!(l1.weight_blocks, 3);
+        assert_eq!(l1.ofm_blocks, 6);
+        assert_eq!(l1.ifm_sources, vec![IfmSource { producer: 0, blocks: 4 }]);
+
+        let l2 = &obs.layers[2];
+        assert_eq!(l2.weight_blocks, 2);
+        assert_eq!(l2.ifm_sources, vec![IfmSource { producer: 1, blocks: 6 }]);
+        assert_eq!(obs.compute_layers().len(), 2);
+    }
+
+    #[test]
+    fn merge_layer_is_detected_with_bypass_sources() {
+        // L1 writes A; L2 reads A writes B; merge reads A (bypass) + B,
+        // writes C with no weights.
+        let mut b = TraceBuilder::new(BLK, 4);
+        let mut t = 0;
+        record_n(&mut b, &mut t, 0x0000, 2, AccessKind::Write); // input
+        record_n(&mut b, &mut t, 0x10_000, 1, AccessKind::Read); // w1
+        record_n(&mut b, &mut t, 0x0000, 2, AccessKind::Read);
+        record_n(&mut b, &mut t, 0x20_000, 3, AccessKind::Write); // A
+        record_n(&mut b, &mut t, 0x30_000, 1, AccessKind::Read); // w2
+        record_n(&mut b, &mut t, 0x20_000, 3, AccessKind::Read);
+        record_n(&mut b, &mut t, 0x40_000, 3, AccessKind::Write); // B
+        // Merge: read B (RAW boundary), read A (bypass), write C.
+        record_n(&mut b, &mut t, 0x40_000, 3, AccessKind::Read);
+        record_n(&mut b, &mut t, 0x20_000, 3, AccessKind::Read);
+        record_n(&mut b, &mut t, 0x50_000, 3, AccessKind::Write); // C
+        let obs = observe(&b.finish());
+        assert_eq!(obs.layers.len(), 4, "{:?}", obs.layers);
+        let merge = &obs.layers[3];
+        assert_eq!(merge.kind, LayerKindHint::Merge);
+        assert_eq!(merge.weight_blocks, 0);
+        assert_eq!(
+            merge.ifm_sources,
+            vec![IfmSource { producer: 1, blocks: 3 }, IfmSource { producer: 2, blocks: 3 }]
+        );
+    }
+
+    #[test]
+    fn element_bounds_and_matching() {
+        let obs = observe(&chain_trace());
+        assert_eq!(obs.elems_per_block, 16);
+        assert_eq!(obs.element_bounds(3), (32, 48));
+        assert!(obs.size_matches(3, 33));
+        assert!(obs.size_matches(3, 48));
+        assert!(!obs.size_matches(3, 32));
+        assert!(!obs.size_matches(3, 49));
+        assert_eq!(obs.element_bounds(0), (0, 0));
+    }
+
+    #[test]
+    fn tiled_rereads_count_distinct_blocks_once() {
+        let mut b = TraceBuilder::new(BLK, 4);
+        let mut t = 0;
+        record_n(&mut b, &mut t, 0x0000, 2, AccessKind::Write);
+        // Layer reads its weights and input twice (two tiles).
+        for _ in 0..2 {
+            record_n(&mut b, &mut t, 0x10_000, 3, AccessKind::Read);
+            record_n(&mut b, &mut t, 0x0000, 2, AccessKind::Read);
+        }
+        record_n(&mut b, &mut t, 0x20_000, 1, AccessKind::Write);
+        let obs = observe(&b.finish());
+        assert_eq!(obs.layers.len(), 2);
+        assert_eq!(obs.layers[1].weight_blocks, 3);
+        assert_eq!(obs.layers[1].ifm_blocks_total(), 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Revealing modern structure features — SqueezeNet fire modules (parallel
+//! expand branches) and ResNet-style bypass paths — through RAW
+//! dependencies alone (the paper's §3.2, second case study).
+//!
+//! Run with: `cargo run --release --example squeezenet_bypass`
+
+use cnn_reveng::accel::{AccelConfig, Accelerator};
+use cnn_reveng::attacks::structure::{ObservedKind, ObservedNetwork};
+use cnn_reveng::nn::models::squeezenet;
+use cnn_reveng::trace::observe::observe;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(0);
+    println!("building full-scale SqueezeNet v1.0 with simple bypass ...");
+    let victim = squeezenet(1, 1000, &mut rng);
+
+    let accel = Accelerator::new(AccelConfig::default());
+    let exec = accel.run_trace_only(&victim)?;
+    let obs = observe(&exec.trace);
+    let net = ObservedNetwork::from_observations(&obs);
+
+    println!(
+        "\nsegmented {} trace events into {} layers ({} compute, {} element-wise merges)\n",
+        exec.trace.len(),
+        net.nodes.len() - 1,
+        net.compute_layer_count(),
+        net.bypass_merges().len()
+    );
+
+    println!("dependency structure recovered from read-after-write alone:");
+    for (idx, node) in net.nodes.iter().enumerate() {
+        let kind = match &node.kind {
+            ObservedKind::Input => "input ",
+            ObservedKind::Compute(_) => "conv  ",
+            ObservedKind::Merge(_) => "MERGE ",
+        };
+        let srcs: Vec<String> = node.sources.iter().map(|s| format!("L{s}")).collect();
+        // A layer reading two producers' adjacent regions = a concatenated
+        // (fire-module) input; a weightless merge reading producers far
+        // apart = a bypass join.
+        let note = match &node.kind {
+            ObservedKind::Compute(_) if node.sources.len() > 1 => {
+                "   <- reads a concatenated fire-module output"
+            }
+            ObservedKind::Merge(_) => "   <- BYPASS: element-wise join of non-adjacent layers",
+            _ => "",
+        };
+        println!("  L{idx:<3} {kind} reads {{{}}}{note}", srcs.join(", "));
+    }
+    println!(
+        "\nThe fire modules appear as [squeeze -> (expand1x1 ∥ expand3x3)] triples, and the\n\
+         four bypass paths of SqueezeNet-with-simple-bypass appear as MERGE layers, exactly\n\
+         as §3.2 predicts: \"the bypass path can also be detected from the RAW dependency\"."
+    );
+    Ok(())
+}

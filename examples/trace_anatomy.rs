@@ -1,0 +1,73 @@
+//! Trace anatomy: what the adversary actually sees, end to end.
+//!
+//! Walks one AlexNet inference trace through every analysis stage the
+//! attacks are built on — the raw statistics behind the paper's Figure 3,
+//! the RAW-dependency segmentation, the per-layer footprints of Table 2,
+//! and finally the search-space arithmetic that turns "90 candidates" into
+//! the paper's headline "orders of magnitude" claim.
+//!
+//! Run with: `cargo run --release --example trace_anatomy`
+
+use cnn_reveng::accel::{AccelConfig, Accelerator};
+use cnn_reveng::attacks::structure::{
+    recover_structures, NetworkSolverConfig, SearchSpaceBounds,
+};
+use cnn_reveng::nn::models::alexnet;
+use cnn_reveng::trace::observe::{observe, LayerKindHint};
+use cnn_reveng::trace::stats::{TraceStats, TrafficProfile};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let victim = alexnet(1, 1000, &mut rng);
+    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&victim)?;
+
+    // --- 1. Raw statistics (the numbers behind Figure 3) ---------------
+    println!("=== raw trace ===");
+    let stats = TraceStats::compute(&exec.trace, 16);
+    print!("{}", stats.render());
+
+    // A coarse traffic profile: layer boundaries are visible as bursts.
+    let window = (exec.trace.duration() / 24).max(1);
+    println!("\ntraffic over time ({window}-cycle windows):");
+    print!("{}", TrafficProfile::compute(&exec.trace, window).render(32));
+
+    // --- 2. Segmentation + per-layer observations (Table 2) ------------
+    println!("\n=== segmented layers ===");
+    let obs = observe(&exec.trace);
+    println!(
+        "{} segments ({} compute layers)",
+        obs.layers.len(),
+        obs.layers.iter().filter(|l| l.kind == LayerKindHint::Compute).count()
+    );
+    for (i, layer) in obs.layers.iter().enumerate() {
+        println!(
+            "  seg {i:>2}: {:?} IFM≈{:>6} blk  OFM≈{:>6} blk  FLTR≈{:>7} blk  {:>9} cycles",
+            layer.kind,
+            layer.ifm_blocks_total(),
+            layer.ofm_blocks,
+            layer.weight_blocks,
+            layer.cycles
+        );
+    }
+
+    // --- 3. The attack, and what it buys ------------------------------
+    println!("\n=== structure attack ===");
+    let candidates =
+        recover_structures(&exec.trace, (227, 3), 1000, &NetworkSolverConfig::default())?;
+    println!("candidate structures: {}", candidates.len());
+
+    let bounds = SearchSpaceBounds::default();
+    let prior = bounds.network_space(5, 3);
+    println!(
+        "prior structure space under loose architectural bounds: {}",
+        prior.to_scientific()
+    );
+    println!(
+        "side channel eliminated 10^{:.1} of it — the paper's \"orders of\n\
+         magnitude\" claim, measured",
+        prior.reduction_to(candidates.len())
+    );
+    Ok(())
+}

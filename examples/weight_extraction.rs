@@ -1,0 +1,113 @@
+//! Stealing weights through dynamic zero pruning (the paper's §4,
+//! Algorithm 2) — and, with the tunable activation threshold, the complete
+//! filter values.
+//!
+//! Run with: `cargo run --release --example weight_extraction`
+
+use cnn_reveng::attacks::weights::{
+    full_weights_with_threshold, recover_bias, recover_ratios, FunctionalOracle, LayerGeometry,
+    MergedOrder, RecoveryConfig,
+};
+use cnn_reveng::nn::layer::{Conv2d, PoolKind};
+use cnn_reveng::tensor::{init, Shape3, Shape4};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // The victim layer: a pruned ("compressed") conv layer with merged
+    // max pooling, like the paper's compressed-AlexNet CONV1 case study.
+    let geom = LayerGeometry {
+        input: Shape3::new(1, 23, 23),
+        d_ofm: 4,
+        f: 5,
+        s: 2,
+        p: 0,
+        pool: Some((PoolKind::Max, 3, 2, 0)),
+        order: MergedOrder::ActThenPool,
+        threshold: 0.0,
+    };
+    let mut rng = SmallRng::seed_from_u64(1);
+    let weights = init::compressed_conv(&mut rng, Shape4::new(4, 1, 5, 5), 0.4, 8);
+    let bias: Vec<f32> = (0..4).map(|_| -rng.gen_range(0.1..0.5f32)).collect();
+    let victim = Conv2d::from_parts(weights, bias, geom.s, geom.p).expect("victim layer");
+
+    // The adversary's oracle: feed inputs, observe per-filter non-zero
+    // output counts from the pruned write stream.
+    let mut oracle = FunctionalOracle::new(victim.clone(), geom);
+
+    println!("phase 1: recover every w/b ratio via zero-crossing binary search ...");
+    let ratios = recover_ratios(&mut oracle, &RecoveryConfig::default());
+    println!(
+        "  coverage {:.1}% over {} weights, {} victim queries",
+        100.0 * ratios.coverage(),
+        4 * 25,
+        ratios.queries
+    );
+    let err = ratios.max_ratio_error(victim.weights(), victim.bias());
+    println!("  max |w/b| error: {err:.3e} (the paper reports < 2^-10 = {:.3e})", 2f64.powi(-10));
+
+    // Print one filter's recovered map with zeros marked.
+    println!("\nfilter 0 recovered w/b (× marks identified zero weights):");
+    for i in 0..5 {
+        print!("   ");
+        for j in 0..5 {
+            match ratios.filters[0].ratio(0, i, j) {
+                Some(0.0) => print!("      ×  "),
+                Some(r) => print!(" {r:+.4}"),
+                None => print!("      ?  "),
+            }
+        }
+        println!();
+    }
+
+    println!("\nphase 2: recover the biases via the tunable activation threshold ...");
+    // Minerva-style accelerators expose a pruning threshold; the adversary
+    // sweeps it with an all-zero input. (Our victim biases are negative, so
+    // flip them to demonstrate — positive biases are the observable case.)
+    let mut thresholded = victim.clone();
+    for b in thresholded.bias_mut() {
+        *b = b.abs();
+    }
+    let mut oracle2 = FunctionalOracle::new(thresholded.clone(), geom);
+    let biases = recover_bias(&mut oracle2, 2.0, 48);
+    for (d, b) in biases.bias.iter().enumerate() {
+        println!(
+            "  filter {d}: bias recovered {:?} (truth {:.6})",
+            b.map(|v| (v * 1e6).round() / 1e6),
+            thresholded.bias()[d]
+        );
+    }
+    // With positive biases under max pooling, threshold 0 leaks nothing
+    // (every output is alive). The adversary raises the threshold above the
+    // recovered biases, which re-arms the crossing structure, then rescales
+    // the recovered w/(b - t) ratios by the known (b - t).
+    let t = 1.0f32;
+    oracle2.set_threshold(t);
+    let ratios2 = recover_ratios(&mut oracle2, &RecoveryConfig::default());
+    println!(
+        "  ratio recovery at threshold {t}: coverage {:.1}%",
+        100.0 * ratios2.coverage()
+    );
+    let full = full_weights_with_threshold(&ratios2, &biases, f64::from(t));
+    let mut worst = 0.0f64;
+    let mut unrecovered = 0usize;
+    for (d, filt) in full.iter().enumerate() {
+        if let Some(values) = filt {
+            for (k, v) in values.iter().enumerate() {
+                let (i, j) = (k / 5 % 5, k % 5);
+                if ratios2.filters[d].ratio(0, i, j).is_none() {
+                    unrecovered += 1;
+                    continue;
+                }
+                let truth = f64::from(thresholded.weights()[(d, 0, i, j)]);
+                worst = worst.max((v - truth).abs());
+            }
+        }
+    }
+    println!(
+        "  full weight recovery: max absolute error {worst:.3e} over {} of {} weights",
+        100 - unrecovered,
+        100
+    );
+    println!("\n\"performance optimization can lead to an unexpected security vulnerability\" — §6");
+}

@@ -1,0 +1,29 @@
+//! `cnn-reveng` — a reproduction of *"Reverse Engineering Convolutional
+//! Neural Networks Through Side-channel Information Leaks"* (Hua, Zhang,
+//! Suh; DAC 2018).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`tensor`] — dense NCHW `f32` tensors ([`cnnre_tensor`]);
+//! * [`nn`] — the CNN library and model zoo ([`cnnre_nn`]);
+//! * [`accel`] — the tiled accelerator simulator with off-chip memory
+//!   tracing and dynamic zero pruning ([`cnnre_accel`]);
+//! * [`trace`] — the adversary's memory side-channel view and analysis
+//!   ([`cnnre_trace`]);
+//! * [`attacks`] — the paper's structure and weight reverse-engineering
+//!   attacks ([`cnnre_attacks`]).
+//!
+//! # Quick start
+//!
+//! See `examples/quickstart.rs` for an end-to-end run: build a CNN, execute
+//! it on the simulated accelerator, capture the memory trace, and recover
+//! the network structure from the trace alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cnnre_accel as accel;
+pub use cnnre_attacks as attacks;
+pub use cnnre_nn as nn;
+pub use cnnre_tensor as tensor;
+pub use cnnre_trace as trace;

@@ -1,0 +1,104 @@
+//! Integration tests of the `cnnre` command-line surface: every
+//! subcommand parses, runs, and round-trips files as documented.
+
+use std::process::Command;
+
+fn cnnre() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cnnre"))
+}
+
+fn stdout_of(out: &std::process::Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn help_lists_every_subcommand_and_model() {
+    let out = cnnre().arg("help").output().expect("runs");
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    for needle in ["trace", "analyze", "attack-structure", "attack-weights", "defend"] {
+        assert!(text.contains(needle), "usage missing {needle}");
+    }
+    for model in ["lenet", "convnet", "alexnet", "squeezenet", "vgg11", "resnet"] {
+        assert!(text.contains(model), "usage missing model {model}");
+    }
+}
+
+#[test]
+fn unknown_command_and_model_fail_with_usage() {
+    let out = cnnre().arg("frobnicate").output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = cnnre().args(["trace", "nonexistent-model"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let out = cnnre().args(["trace", "lenet/notanumber"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn trace_csv_analyze_roundtrip() {
+    let dir = std::env::temp_dir().join("cnnre-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let csv = dir.join("lenet.csv");
+    let csv_str = csv.to_str().expect("utf-8 path");
+
+    let out = cnnre().args(["trace", "lenet", "--csv", csv_str]).output().expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout_of(&out).contains("transactions"));
+
+    let out = cnnre()
+        .args(["analyze", csv_str, "--input", "32x1", "--classes", "10"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = stdout_of(&out);
+    assert!(text.contains("18 possible structures"), "{text}");
+
+    // Without attack parameters, analyze still reports trace shape.
+    let out = cnnre().args(["analyze", csv_str, "--stats"]).output().expect("runs");
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    assert!(text.contains("footprint"), "{text}");
+
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn analyze_rejects_malformed_files() {
+    let dir = std::env::temp_dir().join("cnnre-cli-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let bad = dir.join("garbage.csv");
+    std::fs::write(&bad, "this is not a trace\n1,2\n").expect("write");
+    let out =
+        cnnre().args(["analyze", bad.to_str().expect("utf-8")]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+    std::fs::remove_file(&bad).ok();
+
+    let out = cnnre().args(["analyze", "/nonexistent/trace.csv"]).output().expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn attack_structure_reports_candidates() {
+    let out = cnnre().args(["attack-structure", "lenet"]).output().expect("runs");
+    assert!(out.status.success());
+    assert!(stdout_of(&out).contains("18 possible structures"));
+}
+
+#[test]
+fn attack_weights_reports_recovery() {
+    let out = cnnre().args(["attack-weights", "--filters", "2"]).output().expect("runs");
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    assert!(text.contains("recovered"), "{text}");
+    assert!(text.contains("victim queries"), "{text}");
+}
+
+#[test]
+fn defend_shows_the_oram_outcome() {
+    let out = cnnre().args(["defend", "lenet"]).output().expect("runs");
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    assert!(text.contains("Path-ORAM overhead"), "{text}");
+    assert!(text.contains("attack FAILS") || text.contains("still recovers"), "{text}");
+}

@@ -1,0 +1,123 @@
+//! Structure recovery on the modern architecture families §3 anticipates:
+//! ResNet-style identity/projection bypasses and GoogLeNet-style inception
+//! modules — beyond the paper's four case studies.
+
+use cnn_reveng::accel::{AccelConfig, Accelerator};
+use cnn_reveng::attacks::structure::{
+    recover_structures, NetworkSolverConfig, ObservedKind, ObservedNetwork,
+};
+use cnn_reveng::nn::models::{inception, resnet, InceptionSpec, ResNetSpec};
+use cnn_reveng::trace::observe::observe;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn resnet_bypasses_are_visible_and_structures_recoverable() {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let net = resnet(&ResNetSpec::small(1, 10), &mut rng).expect("resnet builds");
+    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).expect("runs");
+    let obs = observe(&exec.trace);
+    let observed = ObservedNetwork::from_observations(&obs);
+    // Two identity-shortcut blocks => two weightless merge layers; the two
+    // projection blocks merge conv outputs (also weightless merges).
+    let merges = observed
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.kind, ObservedKind::Merge(_)))
+        .count();
+    assert_eq!(merges, 4, "one merge per residual block");
+    // Identity merges read a non-adjacent producer (the bypass signature).
+    let bypassing = observed
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, n)| {
+            matches!(n.kind, ObservedKind::Merge(_))
+                && n.sources.iter().any(|&s| s + 2 < *i)
+        })
+        .count();
+    assert!(bypassing >= 2, "identity shortcuts skip at least two layers");
+
+    let structures = recover_structures(&exec.trace, (64, 3), 10, &NetworkSolverConfig::default())
+        .expect("resnet structures");
+    assert!(
+        (1..=64).contains(&structures.len()),
+        "candidate count out of band: {}",
+        structures.len()
+    );
+    // The true stem (5x5/s1/p2 + 2x2 pool) is among the candidates.
+    let stem_found = structures.iter().any(|s| {
+        let c = s.conv_layers()[0];
+        c.f_conv == 5 && c.s_conv == 1 && c.pool.map(|p| (p.f, p.s)) == Some((2, 2))
+    });
+    assert!(stem_found, "true ResNet stem missing");
+    // Residual 3x3 body convs recovered in every candidate.
+    for s in &structures {
+        let threes = s.conv_layers().iter().filter(|c| c.f_conv == 3 && c.s_conv == 1).count();
+        assert!(threes >= 4, "residual body convs missing");
+    }
+}
+
+#[test]
+fn inception_concats_are_visible_and_structures_recoverable() {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let spec = InceptionSpec::small(1, 10);
+    let net = inception(&spec, &mut rng).expect("inception builds");
+    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).expect("runs");
+    let obs = observe(&exec.trace);
+    let observed = ObservedNetwork::from_observations(&obs);
+    // Each module's successor reads three producers' adjacent regions.
+    let three_way = observed
+        .nodes
+        .iter()
+        .filter(|n| matches!(n.kind, ObservedKind::Compute(_)) && n.sources.len() == 3)
+        .count();
+    assert!(three_way >= 2, "three-branch concatenation not visible: {three_way}");
+
+    let structures = recover_structures(&exec.trace, (64, 3), 10, &NetworkSolverConfig::default())
+        .expect("inception structures");
+    // Every candidate's first module has heterogeneous filters (1, 3, 5).
+    let m = spec.modules[0];
+    let truth_found = structures.iter().any(|s| {
+        let convs = s.conv_layers();
+        convs.len() >= 4
+            && convs[1..4].iter().any(|c| c.f_conv == 1 && c.d_ofm == m.b1)
+            && convs[1..4].iter().any(|c| c.f_conv == 3 && c.d_ofm == m.b3)
+            && convs[1..4].iter().any(|c| c.f_conv == 5 && c.d_ofm == m.b5)
+    });
+    assert!(truth_found, "heterogeneous inception branches not recovered");
+}
+
+#[test]
+fn vgg11_deep_homogeneous_chain_is_recoverable() {
+    // VGG stresses the chain solver depth-wise: 8 locally-identical
+    // 3x3/s1/p1 convolutions. Channels are divided by 8 so the trace stays
+    // tractable; the geometry (224-wide input, five halving pools) is the
+    // real thing.
+    let mut rng = SmallRng::seed_from_u64(0);
+    let net = cnn_reveng::nn::models::vgg11(8, 10, &mut rng);
+    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).expect("runs");
+    let structures = recover_structures(&exec.trace, (224, 3), 10, &NetworkSolverConfig::default())
+        .expect("vgg structures");
+    assert!(
+        (1..=512).contains(&structures.len()),
+        "candidate count out of band: {}",
+        structures.len()
+    );
+    // The true structure is contained: every conv is 3x3/s1 with the right
+    // depth and pooling placement.
+    let scaled: Vec<usize> =
+        cnn_reveng::nn::models::VGG11_CONV_SPECS.iter().map(|s| s.d_ofm / 8).collect();
+    let truth_found = structures.iter().any(|s| {
+        let convs = s.conv_layers();
+        convs.len() == 8
+            && convs.iter().zip(&scaled).all(|(c, &d)| {
+                c.f_conv == 3 && c.s_conv == 1 && c.d_ofm == d && c.conv_out_w() == Some(c.w_ifm)
+            })
+            && convs.iter().enumerate().all(|(i, c)| {
+                let pooled = matches!(i, 0 | 1 | 3 | 5 | 7);
+                c.pool.is_some() == pooled
+            })
+    });
+    assert!(truth_found, "true VGG-11 structure missing among {}", structures.len());
+}
