@@ -106,10 +106,14 @@ impl AccelConfig {
         if self.element_bytes == 0 {
             return Err("element_bytes must be positive".to_string());
         }
-        if self.block_bytes < self.element_bytes || !self.block_bytes.is_multiple_of(self.element_bytes) {
+        if self.block_bytes < self.element_bytes
+            || !self.block_bytes.is_multiple_of(self.element_bytes)
+        {
             return Err("block_bytes must be a positive multiple of element_bytes".to_string());
         }
-        if self.region_align < self.block_bytes || !self.region_align.is_multiple_of(self.block_bytes) {
+        if self.region_align < self.block_bytes
+            || !self.region_align.is_multiple_of(self.block_bytes)
+        {
             return Err("region_align must be a multiple of block_bytes".to_string());
         }
         if self.pe_rows == 0 || self.pe_cols == 0 {
@@ -134,11 +138,20 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_geometry() {
-        let c = AccelConfig { block_bytes: 10, ..AccelConfig::default() };
+        let c = AccelConfig {
+            block_bytes: 10,
+            ..AccelConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = AccelConfig { region_align: 100, ..AccelConfig::default() };
+        let c = AccelConfig {
+            region_align: 100,
+            ..AccelConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = AccelConfig { pe_rows: 0, ..AccelConfig::default() };
+        let c = AccelConfig {
+            pe_rows: 0,
+            ..AccelConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use cnnre_nn::layer::PoolKind;
 use cnnre_nn::{Network, NodeId, Op};
+use cnnre_obs::{log_debug, Counter, Series};
 use cnnre_tensor::Tensor3;
 use cnnre_trace::{AccessKind, Cycle, Trace, TraceBuilder};
 
@@ -110,10 +111,10 @@ impl Execution {
 /// use cnnre_accel::{AccelConfig, Accelerator};
 /// use cnnre_nn::models::lenet;
 /// use cnnre_tensor::Tensor3;
-/// use rand::SeedableRng;
+/// use cnnre_tensor::rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), cnnre_accel::ScheduleError> {
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(0);
 /// let net = lenet(4, 10, &mut rng);
 /// let accel = Accelerator::new(AccelConfig::default());
 /// let exec = accel.run(&net, &Tensor3::zeros(net.input_shape()))?;
@@ -151,10 +152,12 @@ impl Accelerator {
     ///
     /// Panics when `input` does not match the network input shape.
     pub fn run(&self, net: &Network, input: &Tensor3) -> Result<Execution, ScheduleError> {
+        let mut span = cnnre_obs::span("accel.run");
         let schedule = Schedule::plan(net, &self.config)?;
         let acts = net.forward_all(input);
         let mut runner = Runner::new(net, &self.config, &schedule, Some(&acts));
         runner.execute();
+        span.add_cycles(runner.cycle);
         Ok(Execution {
             trace: runner.tb.finish(),
             output: Some(acts[net.output().index()].clone()),
@@ -177,10 +180,47 @@ impl Accelerator {
                     .to_string(),
             ));
         }
+        let mut span = cnnre_obs::span("accel.run_trace_only");
         let schedule = Schedule::plan(net, &self.config)?;
         let mut runner = Runner::new(net, &self.config, &schedule, None);
         runner.execute();
-        Ok(Execution { trace: runner.tb.finish(), output: None, stages: runner.reports })
+        span.add_cycles(runner.cycle);
+        Ok(Execution {
+            trace: runner.tb.finish(),
+            output: None,
+            stages: runner.reports,
+        })
+    }
+}
+
+/// Hoisted metric handles — looked up once per run so the per-transaction
+/// cost is a single relaxed atomic load when observability is disabled.
+struct RunnerObs {
+    dram_reads: Counter,
+    dram_writes: Counter,
+    tile_refills: Counter,
+    ofm_emitted: Counter,
+    ofm_pruned: Counter,
+    compute_cycles: Series,
+    stall_cycles: Series,
+    stage_reads: Series,
+    stage_writes: Series,
+}
+
+impl RunnerObs {
+    fn new() -> Self {
+        let reg = cnnre_obs::global();
+        Self {
+            dram_reads: reg.counter("accel.dram.reads"),
+            dram_writes: reg.counter("accel.dram.writes"),
+            tile_refills: reg.counter("accel.tiles.refills"),
+            ofm_emitted: reg.counter("accel.ofm.elems_emitted"),
+            ofm_pruned: reg.counter("accel.ofm.elems_pruned"),
+            compute_cycles: reg.series("accel.layer.compute_cycles"),
+            stall_cycles: reg.series("accel.layer.stall_cycles"),
+            stage_reads: reg.series("accel.layer.read_transactions"),
+            stage_writes: reg.series("accel.layer.write_transactions"),
+        }
     }
 }
 
@@ -195,7 +235,10 @@ struct Runner<'a> {
     prefix: HashMap<usize, Vec<u32>>,
     reads: u64,
     writes: u64,
+    /// Compute-busy cycles of the stage currently executing.
+    stage_compute: u64,
     reports: Vec<StageReport>,
+    obs: RunnerObs,
 }
 
 impl<'a> Runner<'a> {
@@ -215,7 +258,9 @@ impl<'a> Runner<'a> {
             prefix: HashMap::new(),
             reads: 0,
             writes: 0,
+            stage_compute: 0,
             reports: Vec::new(),
+            obs: RunnerObs::new(),
         }
     }
 
@@ -246,8 +291,14 @@ impl<'a> Runner<'a> {
             self.tb.record(self.cycle, b * blk, kind);
             self.cycle += self.cfg.mem_cycles_per_block;
             match kind {
-                AccessKind::Read => self.reads += 1,
-                AccessKind::Write => self.writes += 1,
+                AccessKind::Read => {
+                    self.reads += 1;
+                    self.obs.dram_reads.inc();
+                }
+                AccessKind::Write => {
+                    self.writes += 1;
+                    self.obs.dram_writes.inc();
+                }
             }
         }
     }
@@ -309,8 +360,11 @@ impl<'a> Runner<'a> {
         if let Some(pfx) = self.prefix.get(&node.index()) {
             let a = u64::from(pfx[range.start]);
             let b = u64::from(pfx[range.end]);
+            self.obs.ofm_emitted.add(b - a);
+            self.obs.ofm_pruned.add(range.len() as u64 - (b - a));
             self.emit(binding.base + a * elem, (b - a) * elem, AccessKind::Write);
         } else {
+            self.obs.ofm_emitted.add(range.len() as u64);
             self.emit(
                 binding.base + range.start as u64 * elem,
                 (range.end - range.start) as u64 * elem,
@@ -344,6 +398,7 @@ impl<'a> Runner<'a> {
     /// the tile costs `max(memory cycles, compute cycles)` in total.
     fn compute_overlapped(&mut self, macs: u64, tile_start: Cycle) {
         let compute = macs.div_ceil(self.cfg.pe_count());
+        self.stage_compute += compute;
         let elapsed = self.cycle - tile_start;
         if compute > elapsed {
             self.cycle = tile_start + compute;
@@ -353,17 +408,44 @@ impl<'a> Runner<'a> {
     fn run_stage(&mut self, stage: &Stage) {
         let start_cycle = self.cycle;
         let (reads0, writes0) = (self.reads, self.writes);
+        self.stage_compute = 0;
         self.register_pruned_output(stage.output);
         let macs = match &stage.kind {
-            StageKind::Conv { conv, pool, global_pool, .. } => {
-                self.run_conv_stage(stage, *conv, *pool, *global_pool)
-            }
+            StageKind::Conv {
+                conv,
+                pool,
+                global_pool,
+                ..
+            } => self.run_conv_stage(stage, *conv, *pool, *global_pool),
             StageKind::Fc { linear, .. } => self.run_fc_stage(stage, *linear),
             StageKind::Eltwise => self.run_eltwise_stage(stage),
         };
         let nonzeros = self.acts.map(|acts| {
-            acts[stage.output.index()].as_slice().iter().filter(|&&v| v != 0.0).count() as u64
+            acts[stage.output.index()]
+                .as_slice()
+                .iter()
+                .filter(|&&v| v != 0.0)
+                .count() as u64
         });
+        // Per-stage observability: the series gate internally on the global
+        // enabled flag, and the log line gates on the stderr level — the
+        // two are independent (`CNNRE_LOG=debug` works without `--metrics`).
+        let total = self.cycle - start_cycle;
+        let busy = self.stage_compute.min(total);
+        self.obs.compute_cycles.push(busy as f64);
+        self.obs.stall_cycles.push((total - busy) as f64);
+        self.obs.stage_reads.push((self.reads - reads0) as f64);
+        self.obs.stage_writes.push((self.writes - writes0) as f64);
+        log_debug!(
+            "accel",
+            "stage {}: {} cycles ({} compute, {} stalled), {} reads, {} writes",
+            stage.name,
+            total,
+            busy,
+            total - busy,
+            self.reads - reads0,
+            self.writes - writes0
+        );
         self.reports.push(StageReport {
             name: stage.name.clone(),
             output_node: stage.output,
@@ -392,7 +474,9 @@ impl<'a> Runner<'a> {
         let out_shape = self.net.shape(stage.output);
         let win = conv.window();
         let pool_win = pool_id.map(|p| {
-            let Op::Pool(pool) = &self.net.node(p).op else { unreachable!("pool id is a pool") };
+            let Op::Pool(pool) = &self.net.node(p).op else {
+                unreachable!("pool id is a pool")
+            };
             (pool.window(), pool.kind())
         });
 
@@ -410,15 +494,22 @@ impl<'a> Runner<'a> {
                 (0, conv_shape.h)
             } else if let Some((pw, _)) = pool_win {
                 let c0 = (r0 * pw.s).saturating_sub(pw.p);
-                let c1 = ((r1 - 1) * pw.s + pw.f).saturating_sub(pw.p).min(conv_shape.h);
-                (c0.min(conv_shape.h), c1.max(c0 + 1).min(conv_shape.h).max(c0))
+                let c1 = ((r1 - 1) * pw.s + pw.f)
+                    .saturating_sub(pw.p)
+                    .min(conv_shape.h);
+                (
+                    c0.min(conv_shape.h),
+                    c1.max(c0 + 1).min(conv_shape.h).max(c0),
+                )
             } else {
                 (r0, r1)
             }
         };
         let ifm_rows = |c0: usize, c1: usize| -> (usize, usize) {
             let i0 = (c0 * win.s).saturating_sub(win.p);
-            let i1 = ((c1 - 1) * win.s + win.f).saturating_sub(win.p).min(in_shape.h);
+            let i1 = ((c1 - 1) * win.s + win.f)
+                .saturating_sub(win.p)
+                .min(in_shape.h);
             (i0.min(in_shape.h), i1.max(i0))
         };
 
@@ -446,6 +537,7 @@ impl<'a> Runner<'a> {
             while d0 < conv.d_ofm() {
                 let d1 = (d0 + ch_tile).min(conv.d_ofm());
                 let tile_start = self.cycle;
+                self.obs.tile_refills.inc();
                 // Weights first (filters d0..d1 are contiguous in DRAM).
                 self.emit(
                     weight_region.base + (d0 * filter_elems) as u64 * elem,
@@ -504,6 +596,7 @@ impl<'a> Runner<'a> {
         while o0 < out_len {
             let o1 = (o0 + tile).min(out_len);
             let tile_start = self.cycle;
+            self.obs.tile_refills.inc();
             self.emit(
                 weight_region.base + (o0 * in_len) as u64 * elem,
                 ((o1 - o0) * in_len) as u64 * elem,
@@ -565,8 +658,8 @@ impl<'a> Runner<'a> {
 mod tests {
     use super::*;
     use cnnre_nn::models::{convnet, lenet, squeezenet};
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use cnnre_tensor::rng::SmallRng;
+    use cnnre_tensor::rng::{Rng, SeedableRng};
 
     fn rand_input(net: &Network, rng: &mut SmallRng) -> Tensor3 {
         Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0))
@@ -575,11 +668,16 @@ mod tests {
     #[test]
     fn accelerator_output_matches_functional_forward() {
         let mut rng = SmallRng::seed_from_u64(0);
-        for net in [lenet(2, 10, &mut rng), convnet(4, 10, &mut rng), squeezenet(16, 10, &mut rng)]
-        {
+        for net in [
+            lenet(2, 10, &mut rng),
+            convnet(4, 10, &mut rng),
+            squeezenet(16, 10, &mut rng),
+        ] {
             let x = rand_input(&net, &mut rng);
             let want = net.forward(&x);
-            let exec = Accelerator::new(AccelConfig::default()).run(&net, &x).unwrap();
+            let exec = Accelerator::new(AccelConfig::default())
+                .run(&net, &x)
+                .unwrap();
             assert_eq!(exec.output.as_ref(), Some(&want));
         }
     }
@@ -592,7 +690,10 @@ mod tests {
         let accel = Accelerator::new(AccelConfig::default());
         let full = accel.run(&net, &x).unwrap();
         let shallow = accel.run_trace_only(&net).unwrap();
-        assert_eq!(full.trace, shallow.trace, "dense trace is value-independent");
+        assert_eq!(
+            full.trace, shallow.trace,
+            "dense trace is value-independent"
+        );
         assert!(shallow.output.is_none());
     }
 
@@ -601,7 +702,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         let net = lenet(4, 10, &mut rng);
         let accel = Accelerator::new(AccelConfig::default().with_zero_pruning(true));
-        assert!(matches!(accel.run_trace_only(&net), Err(ScheduleError::InvalidConfig(_))));
+        assert!(matches!(
+            accel.run_trace_only(&net),
+            Err(ScheduleError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -613,14 +717,19 @@ mod tests {
         let x = rand_input(&net, &mut rng);
         let word = AccelConfig::default().with_block_bytes(4);
         let dense = Accelerator::new(word).run(&net, &x).unwrap();
-        let pruned = Accelerator::new(word.with_zero_pruning(true)).run(&net, &x).unwrap();
+        let pruned = Accelerator::new(word.with_zero_pruning(true))
+            .run(&net, &x)
+            .unwrap();
         assert!(
             pruned.trace.write_count() < dense.trace.write_count(),
             "pruned {} vs dense {}",
             pruned.trace.write_count(),
             dense.trace.write_count()
         );
-        assert!(pruned.trace.read_count() < dense.trace.read_count(), "reads also shrink");
+        assert!(
+            pruned.trace.read_count() < dense.trace.read_count(),
+            "reads also shrink"
+        );
         // Functional output unchanged by pruning (it is a storage format).
         assert_eq!(pruned.output, dense.output);
     }
@@ -648,7 +757,9 @@ mod tests {
     fn stage_reports_cover_all_layers_in_order() {
         let mut rng = SmallRng::seed_from_u64(5);
         let net = lenet(2, 10, &mut rng);
-        let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).unwrap();
+        let exec = Accelerator::new(AccelConfig::default())
+            .run_trace_only(&net)
+            .unwrap();
         let names: Vec<&str> = exec.stages.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, ["conv1", "conv2", "fc1", "fc2"]);
         for w in exec.stages.windows(2) {
@@ -665,7 +776,9 @@ mod tests {
     fn conv_mac_count_matches_formula_when_untiled() {
         let mut rng = SmallRng::seed_from_u64(6);
         let net = lenet(1, 10, &mut rng);
-        let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).unwrap();
+        let exec = Accelerator::new(AccelConfig::default())
+            .run_trace_only(&net)
+            .unwrap();
         // conv1: 28^2 * 6 * 5^2 * 1; conv2: 10^2 * 16 * 5^2 * 6.
         assert_eq!(exec.stages[0].macs, 28 * 28 * 6 * 25);
         assert_eq!(exec.stages[1].macs, 10 * 10 * 16 * 25 * 6);

@@ -64,14 +64,23 @@ impl DramLayout {
     #[must_use]
     pub fn new(align: u64) -> Self {
         assert!(align > 0, "alignment must be positive");
-        Self { regions: Vec::new(), align, cursor: 0 }
+        Self {
+            regions: Vec::new(),
+            align,
+            cursor: 0,
+        }
     }
 
     /// Allocates a region of `len_bytes` (at least one byte is reserved so
     /// every region has a distinct base).
     pub fn alloc(&mut self, name: &str, len_bytes: u64, kind: RegionKind) -> Region {
         let base = self.cursor;
-        let region = Region { name: name.to_string(), base, len_bytes, kind };
+        let region = Region {
+            name: name.to_string(),
+            base,
+            len_bytes,
+            kind,
+        };
         let len = len_bytes.max(1);
         // Advance past the payload plus at least one full alignment unit of
         // guard gap, so regions never cluster together in the trace analyzer.
@@ -132,7 +141,9 @@ mod tests {
         // bump allocator.
         let mut state = 0x9E37_79B9_u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 40
         };
         for align in [64u64, 4096] {
@@ -152,7 +163,10 @@ mod tests {
                 }
                 // Interior addresses resolve to exactly this region.
                 if r.len_bytes > 0 {
-                    assert_eq!(l.region_at(r.base).map(|x| x.name.as_str()), Some(r.name.as_str()));
+                    assert_eq!(
+                        l.region_at(r.base).map(|x| x.name.as_str()),
+                        Some(r.name.as_str())
+                    );
                     assert_eq!(
                         l.region_at(r.end() - 1).map(|x| x.name.as_str()),
                         Some(r.name.as_str())
@@ -172,7 +186,12 @@ mod tests {
 
     #[test]
     fn contains_is_half_open() {
-        let r = Region { name: "x".into(), base: 100, len_bytes: 10, kind: RegionKind::Input };
+        let r = Region {
+            name: "x".into(),
+            base: 100,
+            len_bytes: 10,
+            kind: RegionKind::Input,
+        };
         assert!(r.contains(100));
         assert!(r.contains(109));
         assert!(!r.contains(110));

@@ -191,7 +191,10 @@ impl Schedule {
                     }
                     stages.push(Stage {
                         name: node.name.clone(),
-                        kind: StageKind::Fc { linear: NodeId::from_index(i), relu },
+                        kind: StageKind::Fc {
+                            linear: NodeId::from_index(i),
+                            relu,
+                        },
                         inputs: vec![node.inputs[0]],
                         output: NodeId::from_index(last),
                     });
@@ -313,10 +316,12 @@ impl Schedule {
         // Final bindings.
         let mut bindings = HashMap::new();
         for (&i, &(owner, off)) in &home {
-            let region = region_of_owner.get(&owner).ok_or_else(|| ScheduleError::Unsupported {
-                node: nodes[owner].name.clone(),
-                reason: "concat owner was never allocated".to_string(),
-            })?;
+            let region = region_of_owner
+                .get(&owner)
+                .ok_or_else(|| ScheduleError::Unsupported {
+                    node: nodes[owner].name.clone(),
+                    reason: "concat owner was never allocated".to_string(),
+                })?;
             bindings.insert(
                 i,
                 Binding {
@@ -326,7 +331,13 @@ impl Schedule {
             );
         }
 
-        Ok(Self { stages, layout, bindings, weight_regions, input_region })
+        Ok(Self {
+            stages,
+            layout,
+            bindings,
+            weight_regions,
+            input_region,
+        })
     }
 
     /// The execution stages, in order.
@@ -380,9 +391,9 @@ mod tests {
     use cnnre_nn::layer::{Conv2d, Linear};
     use cnnre_nn::models::{lenet, squeezenet};
     use cnnre_nn::NetworkBuilder;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
     use cnnre_tensor::Shape3;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn lenet_schedules_to_four_stages() {
@@ -390,9 +401,18 @@ mod tests {
         let net = lenet(1, 10, &mut rng);
         let s = Schedule::plan(&net, &AccelConfig::default()).unwrap();
         assert_eq!(s.stages().len(), 4);
-        assert!(matches!(s.stages()[0].kind, StageKind::Conv { pool: Some(_), .. }));
-        assert!(matches!(s.stages()[2].kind, StageKind::Fc { relu: Some(_), .. }));
-        assert!(matches!(s.stages()[3].kind, StageKind::Fc { relu: None, .. }));
+        assert!(matches!(
+            s.stages()[0].kind,
+            StageKind::Conv { pool: Some(_), .. }
+        ));
+        assert!(matches!(
+            s.stages()[2].kind,
+            StageKind::Fc { relu: Some(_), .. }
+        ));
+        assert!(matches!(
+            s.stages()[3].kind,
+            StageKind::Fc { relu: None, .. }
+        ));
         // Every stage output has a binding; every conv/fc has weights.
         for stage in s.stages() {
             assert!(s.binding(stage.output).is_some(), "{}", stage.name);
@@ -405,8 +425,16 @@ mod tests {
         let net = squeezenet(16, 10, &mut rng);
         let s = Schedule::plan(&net, &AccelConfig::default()).unwrap();
         // 1 stem + 8 fires * 3 convs + conv10 = 26 conv stages + 4 eltwise.
-        let convs = s.stages().iter().filter(|st| matches!(st.kind, StageKind::Conv { .. })).count();
-        let elts = s.stages().iter().filter(|st| matches!(st.kind, StageKind::Eltwise)).count();
+        let convs = s
+            .stages()
+            .iter()
+            .filter(|st| matches!(st.kind, StageKind::Conv { .. }))
+            .count();
+        let elts = s
+            .stages()
+            .iter()
+            .filter(|st| matches!(st.kind, StageKind::Eltwise))
+            .count();
         assert_eq!(convs, 26);
         assert_eq!(elts, 4);
         // Expand branches of fire2 share the concat region, adjacent slices.
@@ -435,10 +463,14 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut b = NetworkBuilder::new(Shape3::new(1, 8, 8));
         let x = b.input_id();
-        let c = b.conv("c", x, Conv2d::new(1, 2, 3, 1, 1, &mut rng)).unwrap();
+        let c = b
+            .conv("c", x, Conv2d::new(1, 2, 3, 1, 1, &mut rng))
+            .unwrap();
         let r = b.relu("r", c).unwrap();
         let cat = {
-            let c2 = b.conv("c2", x, Conv2d::new(1, 2, 3, 1, 1, &mut rng)).unwrap();
+            let c2 = b
+                .conv("c2", x, Conv2d::new(1, 2, 3, 1, 1, &mut rng))
+                .unwrap();
             let r2 = b.relu("r2", c2).unwrap();
             b.concat("cat", &[r, r2]).unwrap()
         };
@@ -457,7 +489,12 @@ mod tests {
         let s = Schedule::plan(&net, &AccelConfig::default()).unwrap();
         let regions = s.layout().regions();
         for w in regions.windows(2) {
-            assert!(w[1].base >= w[0].end() + 4096, "guard gap between {} and {}", w[0].name, w[1].name);
+            assert!(
+                w[1].base >= w[0].end() + 4096,
+                "guard gap between {} and {}",
+                w[0].name,
+                w[1].name
+            );
         }
         // input + 2 conv weights + 2 fc weights + 4 stage outputs.
         assert_eq!(regions.len(), 9);

@@ -1,14 +1,16 @@
 use cnnre_accel::{AccelConfig, Accelerator};
 use cnnre_nn::models::{lenet, squeezenet};
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_trace::observe::observe;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 #[test]
 fn lenet_trace_segments_into_prologue_plus_four_layers() {
     let mut rng = SmallRng::seed_from_u64(0);
     let net = lenet(1, 10, &mut rng);
-    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).unwrap();
+    let exec = Accelerator::new(AccelConfig::default())
+        .run_trace_only(&net)
+        .unwrap();
     let obs = observe(&exec.trace);
     for l in &obs.layers {
         eprintln!(
@@ -23,7 +25,9 @@ fn lenet_trace_segments_into_prologue_plus_four_layers() {
 fn squeezenet_trace_reveals_fire_modules_and_bypasses() {
     let mut rng = SmallRng::seed_from_u64(0);
     let net = squeezenet(16, 10, &mut rng);
-    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).unwrap();
+    let exec = Accelerator::new(AccelConfig::default())
+        .run_trace_only(&net)
+        .unwrap();
     let obs = observe(&exec.trace);
     for l in &obs.layers {
         eprintln!(

@@ -1,16 +1,17 @@
 //! Prints the zero-pruning traffic ablation and times pruned inference.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cnnre_accel::{AccelConfig, Accelerator};
 use cnnre_bench::experiments::ablation;
 use cnnre_nn::models::convnet;
+use cnnre_obs::bench::BenchGroup;
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 use cnnre_tensor::Tensor3;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let out = cnnre_bench::parse_out_flag();
     println!("{}", ablation::render(&ablation::run()));
 
     let mut rng = SmallRng::seed_from_u64(0);
@@ -18,16 +19,14 @@ fn bench(c: &mut Criterion) {
     let input = Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));
     let dense = Accelerator::new(AccelConfig::default());
     let pruned = Accelerator::new(AccelConfig::default().with_zero_pruning(true));
-    let mut g = c.benchmark_group("ablation");
+    let mut g = BenchGroup::new("ablation");
     g.sample_size(10);
-    g.bench_function("convnet_inference_dense", |b| {
-        b.iter(|| dense.run(black_box(&net), black_box(&input)).unwrap())
+    g.bench_function("convnet_inference_dense", || {
+        dense.run(black_box(&net), black_box(&input)).unwrap()
     });
-    g.bench_function("convnet_inference_pruned", |b| {
-        b.iter(|| pruned.run(black_box(&net), black_box(&input)).unwrap())
+    g.bench_function("convnet_inference_pruned", || {
+        pruned.run(black_box(&net), black_box(&input)).unwrap()
     });
     g.finish();
+    cnnre_bench::write_out(out, "ablation_zero_pruning");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

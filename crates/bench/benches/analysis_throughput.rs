@@ -3,38 +3,40 @@
 //! end-to-end structure attack. These are the costs *the attacker* pays,
 //! so they bound how cheaply the paper's attack runs on captured data.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cnnre_attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnnre_bench::experiments::trace_of;
 use cnnre_nn::models::alexnet;
+use cnnre_obs::bench::BenchGroup;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_trace::stats::{TraceStats, TrafficProfile};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let out = cnnre_bench::parse_out_flag();
     let mut rng = SmallRng::seed_from_u64(0);
     let net = alexnet(1, 1000, &mut rng);
     let trace = trace_of(&net).trace;
     println!("alexnet trace: {} transactions", trace.len());
 
-    let mut g = c.benchmark_group("analysis");
+    let mut g = BenchGroup::new("analysis");
     g.sample_size(10);
-    g.bench_function("trace_stats_alexnet", |b| {
-        b.iter(|| TraceStats::compute(black_box(&trace), 16));
+    g.bench_function("trace_stats_alexnet", || {
+        TraceStats::compute(black_box(&trace), 16)
     });
-    g.bench_function("traffic_profile_alexnet", |b| {
-        b.iter(|| TrafficProfile::compute(black_box(&trace), 10_000));
+    g.bench_function("traffic_profile_alexnet", || {
+        TrafficProfile::compute(black_box(&trace), 10_000)
     });
-    g.bench_function("structure_attack_alexnet", |b| {
-        b.iter(|| {
-            recover_structures(black_box(&trace), (227, 3), 1000, &NetworkSolverConfig::default())
-                .expect("attack succeeds")
-        });
+    g.bench_function("structure_attack_alexnet", || {
+        recover_structures(
+            black_box(&trace),
+            (227, 3),
+            1000,
+            &NetworkSolverConfig::default(),
+        )
+        .expect("attack succeeds")
     });
     g.finish();
+    cnnre_bench::write_out(out, "analysis_throughput");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

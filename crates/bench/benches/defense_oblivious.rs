@@ -1,29 +1,28 @@
 //! Prints the ORAM defense sweep and times the obfuscation transform.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cnnre_bench::experiments::{defense, trace_of};
 use cnnre_nn::models::lenet;
+use cnnre_obs::bench::BenchGroup;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_trace::defense::{obfuscate, OramConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let out = cnnre_bench::parse_out_flag();
     let (baseline, rows) = defense::run();
     println!("{}", defense::render(baseline, &rows));
 
     let mut rng = SmallRng::seed_from_u64(0);
     let trace = trace_of(&lenet(1, 10, &mut rng)).trace;
     let cfg = OramConfig::default();
-    let mut g = c.benchmark_group("defense");
+    let mut g = BenchGroup::new("defense");
     g.sample_size(20);
-    g.bench_function("oram_obfuscate_lenet_trace", |b| {
-        let mut rng = SmallRng::seed_from_u64(1);
-        b.iter(|| obfuscate(black_box(&trace), cfg, &mut rng))
+    let mut oram_rng = SmallRng::seed_from_u64(1);
+    g.bench_function("oram_obfuscate_lenet_trace", || {
+        obfuscate(black_box(&trace), cfg, &mut oram_rng)
     });
     g.finish();
+    cnnre_bench::write_out(out, "defense_oblivious");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

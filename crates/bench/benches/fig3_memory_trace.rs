@@ -1,26 +1,25 @@
 //! Times trace generation + segmentation and prints Figure 3.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cnnre_bench::experiments::{fig3, trace_of};
 use cnnre_nn::models::lenet;
+use cnnre_obs::bench::BenchGroup;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_trace::observe::observe;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let out = cnnre_bench::parse_out_flag();
     println!("{}", fig3::render(&fig3::run(97)));
 
     let mut rng = SmallRng::seed_from_u64(0);
     let net = lenet(1, 10, &mut rng);
     let trace = trace_of(&net).trace;
-    let mut g = c.benchmark_group("fig3");
+    let mut g = BenchGroup::new("fig3");
     g.sample_size(30);
-    g.bench_function("trace_generation_lenet", |b| b.iter(|| trace_of(black_box(&net))));
-    g.bench_function("trace_observation_lenet", |b| b.iter(|| observe(black_box(&trace))));
+    g.bench_function("trace_generation_lenet", || trace_of(black_box(&net)));
+    g.bench_function("trace_observation_lenet", || observe(black_box(&trace)));
     g.finish();
+    cnnre_bench::write_out(out, "fig3_memory_trace");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

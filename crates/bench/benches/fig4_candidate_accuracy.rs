@@ -1,49 +1,50 @@
 //! Prints Figure 4 (quick parameters) and times the short-training kernel
 //! that ranks one candidate.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cnnre_bench::experiments::fig4;
 use cnnre_nn::data::SyntheticSpec;
 use cnnre_nn::models::{alexnet_from_specs, ConvSpec, ALEXNET_CONV_SPECS};
 use cnnre_nn::train::Trainer;
+use cnnre_obs::bench::BenchGroup;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_tensor::Shape3;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let out = cnnre_bench::parse_out_flag();
     // Benches always use reduced parameters so `cargo bench` stays fast;
     // the `fig4` bin runs the full 24-candidate ranking.
-    println!("{}", fig4::render(&fig4::run(&fig4::RankingConfig::quick())));
+    println!(
+        "{}",
+        fig4::render(&fig4::run(&fig4::RankingConfig::quick()))
+    );
 
     // Kernel: one epoch of short training on one depth-scaled candidate.
     let specs: Vec<ConvSpec> = ALEXNET_CONV_SPECS.iter().map(|s| s.scaled(64)).collect();
     let mut rng = SmallRng::seed_from_u64(0);
-    let spec = SyntheticSpec::new(Shape3::new(3, 227, 227), 4).samples_per_class(4).noise(1.2);
+    let spec = SyntheticSpec::new(Shape3::new(3, 227, 227), 4)
+        .samples_per_class(4)
+        .noise(1.2);
     let data = spec.generate(&mut rng);
-    let mut g = c.benchmark_group("fig4");
+    let mut g = BenchGroup::new("fig4");
     g.sample_size(10);
-    g.bench_function("short_train_one_candidate_epoch", |b| {
-        b.iter(|| {
-            let mut net_rng = SmallRng::seed_from_u64(7);
-            let mut net = alexnet_from_specs(
-                Shape3::new(3, 227, 227),
-                black_box(&specs),
-                &[16, 16, 4],
-                &mut net_rng,
-            )
-            .expect("candidate builds");
-            let mut train_rng = SmallRng::seed_from_u64(11);
-            Trainer::new(0.003).momentum(0.9).batch_size(8).train_epoch(
-                &mut net,
-                &data,
-                &mut train_rng,
-            )
-        })
+    g.bench_function("short_train_one_candidate_epoch", || {
+        let mut net_rng = SmallRng::seed_from_u64(7);
+        let mut net = alexnet_from_specs(
+            Shape3::new(3, 227, 227),
+            black_box(&specs),
+            &[16, 16, 4],
+            &mut net_rng,
+        )
+        .expect("candidate builds");
+        let mut train_rng = SmallRng::seed_from_u64(11);
+        Trainer::new(0.003)
+            .momentum(0.9)
+            .batch_size(8)
+            .train_epoch(&mut net, &data, &mut train_rng)
     });
     g.finish();
+    cnnre_bench::write_out(out, "fig4_candidate_accuracy");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,44 +1,44 @@
 //! Prints Figure 5 (quick parameters) and times the SqueezeNet candidate
 //! training kernel.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cnnre_bench::experiments::fig5;
 use cnnre_nn::data::SyntheticSpec;
 use cnnre_nn::models::{squeezenet_from_specs, SqueezeNetSpec};
 use cnnre_nn::train::Trainer;
+use cnnre_obs::bench::BenchGroup;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_tensor::Shape3;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let out = cnnre_bench::parse_out_flag();
     // Benches always use reduced parameters so `cargo bench` stays fast;
     // the `fig5` bin runs the full modular-candidate ranking.
-    println!("{}", fig5::render(&fig5::run(&fig5::RankingConfig::quick())));
+    println!(
+        "{}",
+        fig5::render(&fig5::run(&fig5::RankingConfig::quick()))
+    );
 
     let spec = SqueezeNetSpec::v1_0(64, 4);
     let mut rng = SmallRng::seed_from_u64(0);
-    let data_spec =
-        SyntheticSpec::new(Shape3::new(3, 227, 227), 4).samples_per_class(4).noise(1.2);
+    let data_spec = SyntheticSpec::new(Shape3::new(3, 227, 227), 4)
+        .samples_per_class(4)
+        .noise(1.2);
     let data = data_spec.generate(&mut rng);
-    let mut g = c.benchmark_group("fig5");
+    let mut g = BenchGroup::new("fig5");
     g.sample_size(10);
-    g.bench_function("short_train_squeezenet_candidate_epoch", |b| {
-        b.iter(|| {
-            let mut net_rng = SmallRng::seed_from_u64(7);
-            let mut net =
-                squeezenet_from_specs(black_box(&spec), &mut net_rng).expect("candidate builds");
-            let mut train_rng = SmallRng::seed_from_u64(11);
-            Trainer::new(0.003).momentum(0.9).batch_size(8).train_epoch(
-                &mut net,
-                &data,
-                &mut train_rng,
-            )
-        })
+    g.bench_function("short_train_squeezenet_candidate_epoch", || {
+        let mut net_rng = SmallRng::seed_from_u64(7);
+        let mut net =
+            squeezenet_from_specs(black_box(&spec), &mut net_rng).expect("candidate builds");
+        let mut train_rng = SmallRng::seed_from_u64(11);
+        Trainer::new(0.003)
+            .momentum(0.9)
+            .batch_size(8)
+            .train_epoch(&mut net, &data, &mut train_rng)
     });
     g.finish();
+    cnnre_bench::write_out(out, "fig5_squeezenet_accuracy");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,19 +1,22 @@
 //! Prints Figure 7 (quick parameters) and times the weight-ratio recovery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cnnre_obs::bench::BenchGroup;
 
 use cnnre_bench::experiments::fig7;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let out = cnnre_bench::parse_out_flag();
     println!("{}", fig7::render(&fig7::run(&fig7::Fig7Config::quick())));
 
     // Kernel: recovery on a 2-filter CONV1-geometry layer.
-    let tiny = fig7::Fig7Config { filters: 2, input_w: 39, prune_fraction: 0.45 };
-    let mut g = c.benchmark_group("fig7");
+    let tiny = fig7::Fig7Config {
+        filters: 2,
+        input_w: 39,
+        prune_fraction: 0.45,
+    };
+    let mut g = BenchGroup::new("fig7");
     g.sample_size(10);
-    g.bench_function("recover_conv1_ratios_tiny", |b| b.iter(|| fig7::run(&tiny)));
+    g.bench_function("recover_conv1_ratios_tiny", || fig7::run(&tiny));
     g.finish();
+    cnnre_bench::write_out(out, "fig7_weight_ratio");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

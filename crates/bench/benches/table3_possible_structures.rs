@@ -1,31 +1,30 @@
 //! Times the full structure attack per network and prints Table 3.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cnnre_attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnnre_bench::experiments::{table3, trace_of};
 use cnnre_nn::models::{convnet, lenet};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_obs::bench::BenchGroup;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let out = cnnre_bench::parse_out_flag();
     println!("{}", table3::render(&table3::run()));
 
     let mut rng = SmallRng::seed_from_u64(0);
     let cfg = NetworkSolverConfig::default();
     let lenet_trace = trace_of(&lenet(1, 10, &mut rng)).trace;
     let convnet_trace = trace_of(&convnet(1, 10, &mut rng)).trace;
-    let mut g = c.benchmark_group("table3");
+    let mut g = BenchGroup::new("table3");
     g.sample_size(20);
-    g.bench_function("structure_attack_lenet", |b| {
-        b.iter(|| recover_structures(black_box(&lenet_trace), (32, 1), 10, &cfg).unwrap())
+    g.bench_function("structure_attack_lenet", || {
+        recover_structures(black_box(&lenet_trace), (32, 1), 10, &cfg).unwrap()
     });
-    g.bench_function("structure_attack_convnet", |b| {
-        b.iter(|| recover_structures(black_box(&convnet_trace), (32, 3), 10, &cfg).unwrap())
+    g.bench_function("structure_attack_convnet", || {
+        recover_structures(black_box(&convnet_trace), (32, 3), 10, &cfg).unwrap()
     });
     g.finish();
+    cnnre_bench::write_out(out, "table3_possible_structures");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

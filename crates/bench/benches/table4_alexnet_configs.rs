@@ -1,27 +1,26 @@
 //! Times the AlexNet structure attack and prints Table 4.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use cnnre_attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnnre_bench::experiments::{table4, trace_of};
 use cnnre_nn::models::alexnet;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_obs::bench::BenchGroup;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let out = cnnre_bench::parse_out_flag();
     println!("{}", table4::render(&table4::run()));
 
     let mut rng = SmallRng::seed_from_u64(0);
     let trace = trace_of(&alexnet(1, 1000, &mut rng)).trace;
     let cfg = NetworkSolverConfig::default();
-    let mut g = c.benchmark_group("table4");
+    let mut g = BenchGroup::new("table4");
     g.sample_size(10);
-    g.bench_function("structure_attack_alexnet_full", |b| {
-        b.iter(|| recover_structures(black_box(&trace), (227, 3), 1000, &cfg).unwrap())
+    g.bench_function("structure_attack_alexnet_full", || {
+        recover_structures(black_box(&trace), (227, 3), 1000, &cfg).unwrap()
     });
     g.finish();
+    cnnre_bench::write_out(out, "table4_alexnet_configs");
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,5 +1,7 @@
 //! Regenerates the zero-pruning traffic ablation.
 fn main() {
+    let out = cnnre_bench::parse_out_flag();
     let rows = cnnre_bench::experiments::ablation::run();
     println!("{}", cnnre_bench::experiments::ablation::render(&rows));
+    cnnre_bench::write_out(out, "ablation_pruning");
 }

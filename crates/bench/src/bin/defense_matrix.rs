@@ -1,5 +1,10 @@
 //! Every trace-level mitigation vs. the structure attack, side by side.
 fn main() {
+    let out = cnnre_bench::parse_out_flag();
     let (baseline, rows) = cnnre_bench::experiments::defense_matrix::run();
-    println!("{}", cnnre_bench::experiments::defense_matrix::render(baseline, &rows));
+    println!(
+        "{}",
+        cnnre_bench::experiments::defense_matrix::render(baseline, &rows)
+    );
+    cnnre_bench::write_out(out, "defense_matrix");
 }

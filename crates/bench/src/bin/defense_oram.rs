@@ -1,5 +1,10 @@
 //! Regenerates the ORAM defense sweep.
 fn main() {
+    let out = cnnre_bench::parse_out_flag();
     let (baseline, rows) = cnnre_bench::experiments::defense::run();
-    println!("{}", cnnre_bench::experiments::defense::render(baseline, &rows));
+    println!(
+        "{}",
+        cnnre_bench::experiments::defense::render(baseline, &rows)
+    );
+    cnnre_bench::write_out(out, "defense_oram");
 }

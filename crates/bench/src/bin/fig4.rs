@@ -2,6 +2,7 @@
 use cnnre_bench::experiments::fig4;
 
 fn main() {
+    let out = cnnre_bench::parse_out_flag();
     let cfg = if cnnre_bench::quick_mode() {
         fig4::RankingConfig::quick()
     } else {
@@ -9,4 +10,5 @@ fn main() {
     };
     let fig = fig4::run(&cfg);
     println!("{}", fig4::render(&fig));
+    cnnre_bench::write_out(out, "fig4");
 }

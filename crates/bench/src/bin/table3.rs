@@ -1,7 +1,12 @@
 //! Regenerates the paper's Table 3.
 fn main() {
+    let out = cnnre_bench::parse_out_flag();
     let rows = cnnre_bench::experiments::table3::run();
     println!("{}", cnnre_bench::experiments::table3::render(&rows));
     let reduction = cnnre_bench::experiments::table3::reduction(&rows);
-    println!("{}", cnnre_bench::experiments::table3::render_reduction(&reduction));
+    println!(
+        "{}",
+        cnnre_bench::experiments::table3::render_reduction(&reduction)
+    );
+    cnnre_bench::write_out(out, "table3");
 }

@@ -1,5 +1,7 @@
 //! Regenerates the paper's Table 4.
 fn main() {
+    let out = cnnre_bench::parse_out_flag();
     let t = cnnre_bench::experiments::table4::run();
     println!("{}", cnnre_bench::experiments::table4::render(&t));
+    cnnre_bench::write_out(out, "table4");
 }

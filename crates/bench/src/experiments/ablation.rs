@@ -6,9 +6,9 @@
 use cnnre_accel::{AccelConfig, Accelerator};
 use cnnre_nn::models::{alexnet, convnet, lenet, squeezenet};
 use cnnre_nn::Network;
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 use cnnre_tensor::Tensor3;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// One network's traffic with and without pruning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,11 +48,17 @@ fn measure(name: &'static str, net: &Network, rng: &mut SmallRng) -> Row {
     let pruned = Accelerator::new(AccelConfig::default().with_zero_pruning(true))
         .run(net, &input)
         .expect("pruned run");
-    assert_eq!(dense.output, pruned.output, "pruning is a storage format only");
+    assert_eq!(
+        dense.output, pruned.output,
+        "pruning is a storage format only"
+    );
     let word = AccelConfig::default().with_block_bytes(4);
-    let dense_w = Accelerator::new(word).run(net, &input).expect("dense word run");
-    let pruned_w =
-        Accelerator::new(word.with_zero_pruning(true)).run(net, &input).expect("pruned word run");
+    let dense_w = Accelerator::new(word)
+        .run(net, &input)
+        .expect("dense word run");
+    let pruned_w = Accelerator::new(word.with_zero_pruning(true))
+        .run(net, &input)
+        .expect("pruned word run");
     Row {
         network: name,
         dense: (dense.trace.read_count(), dense.trace.write_count()),

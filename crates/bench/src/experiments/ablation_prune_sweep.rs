@@ -25,7 +25,11 @@ pub fn run(filters: usize, input_w: usize, fractions: &[f64]) -> Vec<SweepPoint>
         .iter()
         .map(|&prune_fraction| SweepPoint {
             prune_fraction,
-            result: run_fig7(&Fig7Config { filters, input_w, prune_fraction }),
+            result: run_fig7(&Fig7Config {
+                filters,
+                input_w,
+                prune_fraction,
+            }),
         })
         .collect()
 }
@@ -63,7 +67,12 @@ mod tests {
         assert_eq!(points.len(), 4);
         for p in &points {
             let r = &p.result;
-            assert_eq!(r.false_zeros, 0, "{}% pruned: false zero", 100.0 * p.prune_fraction);
+            assert_eq!(
+                r.false_zeros,
+                0,
+                "{}% pruned: false zero",
+                100.0 * p.prune_fraction
+            );
             assert!(
                 r.max_error < 2f64.powi(-10),
                 "{}% pruned: error {:.3e}",

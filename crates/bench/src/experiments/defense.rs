@@ -3,9 +3,9 @@
 
 use cnnre_attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnnre_nn::models::lenet;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_trace::defense::{obfuscate, OramConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use super::trace_of;
 
@@ -35,9 +35,14 @@ pub fn run() -> (usize, Vec<Row>) {
     let rows = [1u64, 2, 4]
         .iter()
         .map(|&z| {
-            let oram = OramConfig { logical_blocks: 1 << 14, bucket_blocks: z };
+            let oram = OramConfig {
+                logical_blocks: 1 << 14,
+                bucket_blocks: z,
+            };
             let (protected, stats) = obfuscate(&exec.trace, oram, &mut rng);
-            let attack_result = recover_structures(&protected, (32, 1), 10, &cfg).ok().map(|s| s.len());
+            let attack_result = recover_structures(&protected, (32, 1), 10, &cfg)
+                .ok()
+                .map(|s| s.len());
             Row {
                 bucket_blocks: z,
                 depth: oram.tree_depth(),

@@ -10,13 +10,13 @@
 
 use cnnre_attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnnre_nn::models::lenet;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_trace::defense::{
     jitter_timing, obfuscate, pad_write_traffic, shuffle_within_window, OramConfig,
 };
 use cnnre_trace::stats::TraceStats;
 use cnnre_trace::Trace;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use super::trace_of;
 
@@ -39,7 +39,11 @@ pub fn run() -> (usize, Vec<Row>) {
     let victim = lenet(1, 10, &mut rng);
     let exec = trace_of(&victim);
     let cfg = NetworkSolverConfig::default();
-    let attack = |t: &Trace| recover_structures(t, (32, 1), 10, &cfg).ok().map(|s| s.len());
+    let attack = |t: &Trace| {
+        recover_structures(t, (32, 1), 10, &cfg)
+            .ok()
+            .map(|s| s.len())
+    };
     let baseline = attack(&exec.trace).unwrap_or(0);
 
     let fmap_regions: Vec<(u64, u64)> = TraceStats::compute(&exec.trace, 16)
@@ -49,14 +53,26 @@ pub fn run() -> (usize, Vec<Row>) {
         .collect();
 
     let protected: Vec<(&'static str, Trace)> = vec![
-        ("timing jitter 15%", jitter_timing(&exec.trace, 0.15, &mut rng)),
-        ("reorder buffer (64)", shuffle_within_window(&exec.trace, 64, &mut rng)),
-        ("write padding", pad_write_traffic(&exec.trace, &fmap_regions).0),
+        (
+            "timing jitter 15%",
+            jitter_timing(&exec.trace, 0.15, &mut rng),
+        ),
+        (
+            "reorder buffer (64)",
+            shuffle_within_window(&exec.trace, 64, &mut rng),
+        ),
+        (
+            "write padding",
+            pad_write_traffic(&exec.trace, &fmap_regions).0,
+        ),
         (
             "Path-ORAM (Z=4)",
             obfuscate(
                 &exec.trace,
-                OramConfig { logical_blocks: 1 << 14, bucket_blocks: 4 },
+                OramConfig {
+                    logical_blocks: 1 << 14,
+                    bucket_blocks: 4,
+                },
                 &mut rng,
             )
             .0,
@@ -105,7 +121,11 @@ mod tests {
         let (baseline, rows) = run();
         assert!(baseline > 0);
         assert_eq!(rows.len(), 4);
-        let get = |name: &str| rows.iter().find(|r| r.defense.starts_with(name)).expect(name);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.defense.starts_with(name))
+                .expect(name)
+        };
 
         // Timing-only noise: no traffic cost, no protection.
         let jitter = get("timing jitter");

@@ -2,9 +2,9 @@
 //! versus time, with the RAW-detected layer boundaries.
 
 use cnnre_nn::models::alexnet;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_trace::observe::{observe, LayerKindHint};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use super::trace_of;
 
@@ -41,7 +41,13 @@ pub fn run(stride: usize) -> Fig3 {
             let seg = &exec.trace.events()[l.segment.first_event..l.segment.end_event];
             let reads = seg.iter().filter(|e| e.kind.is_read()).count() as u64;
             let writes = seg.len() as u64 - reads;
-            (l.index, l.segment.start_cycle, l.segment.end_cycle, reads, writes)
+            (
+                l.index,
+                l.segment.start_cycle,
+                l.segment.end_cycle,
+                reads,
+                writes,
+            )
         })
         .collect();
     let series = exec
@@ -51,7 +57,11 @@ pub fn run(stride: usize) -> Fig3 {
         .step_by(stride)
         .map(|e| (e.cycle, e.addr, e.kind.is_write()))
         .collect();
-    Fig3 { layers, series, transactions: exec.trace.len() }
+    Fig3 {
+        layers,
+        series,
+        transactions: exec.trace.len(),
+    }
 }
 
 /// Renders an ASCII address-vs-time plot plus the layer table.
@@ -87,7 +97,9 @@ pub fn render(fig: &Fig3) -> String {
     out.push_str("layers detected from RAW dependencies:\n");
     out.push_str("  layer  start_cycle    end_cycle      reads   writes\n");
     for &(idx, start, end, reads, writes) in &fig.layers {
-        out.push_str(&format!("  {idx:>5}  {start:>11}  {end:>11}  {reads:>9}  {writes:>7}\n"));
+        out.push_str(&format!(
+            "  {idx:>5}  {start:>11}  {end:>11}  {reads:>9}  {writes:>7}\n"
+        ));
     }
     out
 }

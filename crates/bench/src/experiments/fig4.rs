@@ -10,9 +10,9 @@ use cnnre_attacks::structure::{recover_structures, CandidateStructure, NetworkSo
 use cnnre_nn::data::SyntheticSpec;
 use cnnre_nn::models::{alexnet, alexnet_from_specs, ConvSpec, ALEXNET_CONV_SPECS};
 use cnnre_nn::train::{evaluate_top_k, Trainer};
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_tensor::Shape3;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use super::trace_of;
 
@@ -49,7 +49,10 @@ impl Fig4 {
     /// 1-based rank of the original structure (paper: 4th of 24).
     #[must_use]
     pub fn original_rank(&self) -> Option<usize> {
-        self.scores.iter().position(|s| s.is_original).map(|p| p + 1)
+        self.scores
+            .iter()
+            .position(|s| s.is_original)
+            .map(|p| p + 1)
     }
 }
 
@@ -72,13 +75,25 @@ impl RankingConfig {
     /// Default parameters (minutes of CPU time).
     #[must_use]
     pub fn standard() -> Self {
-        Self { depth_div: 32, classes: 10, samples_per_class: 16, epochs: 3, max_candidates: 24 }
+        Self {
+            depth_div: 32,
+            classes: 10,
+            samples_per_class: 16,
+            epochs: 3,
+            max_candidates: 24,
+        }
     }
 
     /// Smoke-test parameters.
     #[must_use]
     pub fn quick() -> Self {
-        Self { depth_div: 64, classes: 4, samples_per_class: 8, epochs: 1, max_candidates: 4 }
+        Self {
+            depth_div: 64,
+            classes: 4,
+            samples_per_class: 8,
+            epochs: 1,
+            max_candidates: 4,
+        }
     }
 }
 
@@ -147,13 +162,20 @@ pub fn run(cfg: &RankingConfig) -> Fig4 {
     // Each candidate trains with its own seeded RNGs, so training them on
     // worker threads is deterministic; results are written back by index.
     let train_one = |s: &CandidateStructure| {
-        let conv_specs: Vec<ConvSpec> =
-            s.conv_layers().iter().map(|c| c.to_conv_spec(cfg.depth_div)).collect();
+        let conv_specs: Vec<ConvSpec> = s
+            .conv_layers()
+            .iter()
+            .map(|c| c.to_conv_spec(cfg.depth_div))
+            .collect();
         let fc_widths = [32usize, 32, cfg.classes];
         let mut net_rng = SmallRng::seed_from_u64(7);
-        let mut net =
-            alexnet_from_specs(Shape3::new(3, 227, 227), &conv_specs, &fc_widths, &mut net_rng)
-                .expect("candidate geometry is attack-validated");
+        let mut net = alexnet_from_specs(
+            Shape3::new(3, 227, 227),
+            &conv_specs,
+            &fc_widths,
+            &mut net_rng,
+        )
+        .expect("candidate geometry is attack-validated");
         let trainer = Trainer::new(0.003).momentum(0.9).batch_size(10);
         let mut train_rng = SmallRng::seed_from_u64(11);
         let _ = trainer.train(&mut net, &train, cfg.epochs, &mut train_rng);
@@ -165,7 +187,21 @@ pub fn run(cfg: &RankingConfig) -> Fig4 {
     };
     let mut scores: Vec<CandidateScore> = super::parallel_map(&picked, train_one);
     scores.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite"));
-    Fig4 { scores, total_candidates }
+    if cnnre_obs::enabled() {
+        let reg = cnnre_obs::global();
+        reg.counter("fig4.candidates_total")
+            .add(total_candidates as u64);
+        reg.counter("fig4.candidates_trained")
+            .add(scores.len() as u64);
+        let series = reg.series("fig4.candidate_accuracy");
+        for s in &scores {
+            series.push(f64::from(s.accuracy));
+        }
+    }
+    Fig4 {
+        scores,
+        total_candidates,
+    }
 }
 
 /// Renders the ranking as an ASCII bar chart.
@@ -178,8 +214,16 @@ pub fn render(fig: &Fig4) -> String {
     );
     for (rank, s) in fig.scores.iter().enumerate() {
         let bar = "#".repeat((s.accuracy * 40.0).round() as usize);
-        let tag = if s.is_original { " <= ORIGINAL AlexNet" } else { "" };
-        out.push_str(&format!("  #{:<2} {:>5.1}% |{bar}{tag}\n", rank + 1, 100.0 * s.accuracy));
+        let tag = if s.is_original {
+            " <= ORIGINAL AlexNet"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  #{:<2} {:>5.1}% |{bar}{tag}\n",
+            rank + 1,
+            100.0 * s.accuracy
+        ));
     }
     out.push_str(&format!(
         "\nbest-to-worst spread: {:.1}% (paper: 12.3%); original rank: {:?} of {} (paper: 4 of 24)\n",

@@ -13,9 +13,9 @@ use cnnre_attacks::structure::{
 use cnnre_nn::data::SyntheticSpec;
 use cnnre_nn::models::{squeezenet, squeezenet_from_specs, ConvSpec, PoolSpec, SqueezeNetSpec};
 use cnnre_nn::train::{evaluate_top_k, Trainer};
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_tensor::Shape3;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 use super::trace_of;
 
@@ -56,13 +56,23 @@ impl RankingConfig {
     /// Default parameters.
     #[must_use]
     pub fn standard() -> Self {
-        Self { depth_div: 32, classes: 12, samples_per_class: 16, epochs: 3 }
+        Self {
+            depth_div: 32,
+            classes: 12,
+            samples_per_class: 16,
+            epochs: 3,
+        }
     }
 
     /// Smoke-test parameters.
     #[must_use]
     pub fn quick() -> Self {
-        Self { depth_div: 64, classes: 8, samples_per_class: 4, epochs: 1 }
+        Self {
+            depth_div: 64,
+            classes: 8,
+            samples_per_class: 4,
+            epochs: 1,
+        }
     }
 }
 
@@ -83,8 +93,9 @@ pub fn run(cfg: &RankingConfig) -> Fig5 {
     )
     .expect("squeezenet attack");
     let raw_candidates = structures.len();
-    let conv_groups: Vec<Vec<usize>> =
-        (0..3).map(|role| (0..8).map(|m| 1 + 3 * m + role).collect()).collect();
+    let conv_groups: Vec<Vec<usize>> = (0..3)
+        .map(|role| (0..8).map(|m| 1 + 3 * m + role).collect())
+        .collect();
     let pool_groups = vec![vec![8, 9, 20, 21]];
     let modular = filter_modular_pools(filter_modular(structures, &conv_groups), &pool_groups);
 
@@ -98,29 +109,43 @@ pub fn run(cfg: &RankingConfig) -> Fig5 {
     let test = spec.generate_from_templates(&templates, &mut data_rng);
 
     let mut scores: Vec<CandidateScore> = super::parallel_map(&modular, |s| {
-            let mut net_rng = SmallRng::seed_from_u64(7);
-            let net_spec = spec_for_candidate(s, cfg.depth_div, cfg.classes);
-            let mut net =
-                squeezenet_from_specs(&net_spec, &mut net_rng).expect("candidate instantiates");
-            let trainer = Trainer::new(0.003).momentum(0.9).batch_size(12);
-            let mut train_rng = SmallRng::seed_from_u64(11);
-            let _ = trainer.train(&mut net, &train, cfg.epochs, &mut train_rng);
-            let stem = s.conv_layers()[0];
-            let pool_of = |idx: usize| {
-                s.conv_layers()[idx]
-                    .pool
-                    .map_or("-".to_string(), |p| format!("{}/{}", p.f, p.s))
-            };
-            CandidateScore {
-                label: format!("{stem}; downsample pools {} & {}", pool_of(8), pool_of(20)),
-                is_original: stem.f_conv == 7
-                    && stem.s_conv == 2
-                    && stem.pool.map(|p| (p.f, p.s)) == Some((3, 2)),
-                accuracy: evaluate_top_k(&net, &test, 5),
-            }
-        });
+        let mut net_rng = SmallRng::seed_from_u64(7);
+        let net_spec = spec_for_candidate(s, cfg.depth_div, cfg.classes);
+        let mut net =
+            squeezenet_from_specs(&net_spec, &mut net_rng).expect("candidate instantiates");
+        let trainer = Trainer::new(0.003).momentum(0.9).batch_size(12);
+        let mut train_rng = SmallRng::seed_from_u64(11);
+        let _ = trainer.train(&mut net, &train, cfg.epochs, &mut train_rng);
+        let stem = s.conv_layers()[0];
+        let pool_of = |idx: usize| {
+            s.conv_layers()[idx]
+                .pool
+                .map_or("-".to_string(), |p| format!("{}/{}", p.f, p.s))
+        };
+        CandidateScore {
+            label: format!("{stem}; downsample pools {} & {}", pool_of(8), pool_of(20)),
+            is_original: stem.f_conv == 7
+                && stem.s_conv == 2
+                && stem.pool.map(|p| (p.f, p.s)) == Some((3, 2)),
+            accuracy: evaluate_top_k(&net, &test, 5),
+        }
+    });
     scores.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite"));
-    Fig5 { scores, raw_candidates }
+    if cnnre_obs::enabled() {
+        let reg = cnnre_obs::global();
+        reg.counter("fig5.candidates_total")
+            .add(raw_candidates as u64);
+        reg.counter("fig5.candidates_trained")
+            .add(scores.len() as u64);
+        let series = reg.series("fig5.candidate_accuracy");
+        for s in &scores {
+            series.push(f64::from(s.accuracy));
+        }
+    }
+    Fig5 {
+        scores,
+        raw_candidates,
+    }
 }
 
 /// Builds a trainable (depth-scaled) SqueezeNet from a recovered candidate:
@@ -132,16 +157,31 @@ fn spec_for_candidate(s: &CandidateStructure, depth_div: usize, classes: usize) 
     let stem = convs[0];
     spec.conv1 = ConvSpec::new(spec.conv1.d_ofm, stem.f_conv, stem.s_conv, stem.p_conv);
     if let Some(p) = stem.pool {
-        spec.conv1 = spec.conv1.with_pool(PoolSpec { kind: cnnre_nn::layer::PoolKind::Max, f: p.f, s: p.s, p: p.p });
+        spec.conv1 = spec.conv1.with_pool(PoolSpec {
+            kind: cnnre_nn::layer::PoolKind::Max,
+            f: p.f,
+            s: p.s,
+            p: p.p,
+        });
     }
     // Down-sampling pools after fire4/fire8 (conv layers 8/9 and 20/21 are
     // the pooled expand pairs).
     if let Some(p) = convs[8].pool {
-        let pool = PoolSpec { kind: cnnre_nn::layer::PoolKind::Max, f: p.f, s: p.s, p: p.p };
+        let pool = PoolSpec {
+            kind: cnnre_nn::layer::PoolKind::Max,
+            f: p.f,
+            s: p.s,
+            p: p.p,
+        };
         spec.fires[2].pool_after = Some(pool);
     }
     if let Some(p) = convs[20].pool {
-        let pool = PoolSpec { kind: cnnre_nn::layer::PoolKind::Max, f: p.f, s: p.s, p: p.p };
+        let pool = PoolSpec {
+            kind: cnnre_nn::layer::PoolKind::Max,
+            f: p.f,
+            s: p.s,
+            p: p.p,
+        };
         spec.fires[6].pool_after = Some(pool);
     }
     spec
@@ -158,7 +198,11 @@ pub fn render(fig: &Fig5) -> String {
     );
     for (rank, s) in fig.scores.iter().enumerate() {
         let bar = "#".repeat((s.accuracy * 40.0).round() as usize);
-        let tag = if s.is_original { " <= ORIGINAL SqueezeNet stem" } else { "" };
+        let tag = if s.is_original {
+            " <= ORIGINAL SqueezeNet stem"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "  #{:<2} {:>5.1}% |{bar}  [{}]{tag}\n",
             rank + 1,

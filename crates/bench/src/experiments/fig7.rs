@@ -6,9 +6,9 @@ use cnnre_attacks::weights::{
     recover_ratios, FunctionalOracle, LayerGeometry, MergedOrder, RatioRecovery, RecoveryConfig,
 };
 use cnnre_nn::layer::{Conv2d, PoolKind};
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 use cnnre_tensor::{init, Shape3, Shape4};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Experiment configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -26,13 +26,21 @@ impl Fig7Config {
     /// Full-scale parameters (minutes of CPU).
     #[must_use]
     pub fn standard() -> Self {
-        Self { filters: 96, input_w: 227, prune_fraction: 0.45 }
+        Self {
+            filters: 96,
+            input_w: 227,
+            prune_fraction: 0.45,
+        }
     }
 
     /// Smoke-test parameters.
     #[must_use]
     pub fn quick() -> Self {
-        Self { filters: 8, input_w: 51, prune_fraction: 0.45 }
+        Self {
+            filters: 8,
+            input_w: 51,
+            prune_fraction: 0.45,
+        }
     }
 }
 
@@ -77,7 +85,9 @@ pub fn run(cfg: &Fig7Config) -> Fig7 {
     let mut rng = SmallRng::seed_from_u64(2018);
     let shape = Shape4::new(cfg.filters, 3, 11, 11);
     let weights = init::compressed_conv(&mut rng, shape, cfg.prune_fraction, 8);
-    let bias: Vec<f32> = (0..cfg.filters).map(|_| -rng.gen_range(0.05..0.5f32)).collect();
+    let bias: Vec<f32> = (0..cfg.filters)
+        .map(|_| -rng.gen_range(0.05..0.5f32))
+        .collect();
     let victim = Conv2d::from_parts(weights, bias, geom.s, geom.p).expect("victim conv1");
 
     let mut oracle = FunctionalOracle::new(victim.clone(), geom);
@@ -132,7 +142,9 @@ pub fn render(fig: &Fig7) -> String {
         fig.false_zeros,
         fig.queries
     ));
-    out.push_str("filter 0 recovered w/b over weight index (× = identified zero, ? = unrecovered):\n");
+    out.push_str(
+        "filter 0 recovered w/b over weight index (× = identified zero, ? = unrecovered):\n",
+    );
     let ratios = &fig.filter0_ratios;
     let max_abs = ratios
         .iter()

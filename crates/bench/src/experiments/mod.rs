@@ -31,8 +31,9 @@ pub fn trace_of(net: &Network) -> Execution {
 /// `f` must be deterministic per item (seeded RNGs), so the result is
 /// identical to the sequential map.
 pub fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
-    let workers =
-        std::thread::available_parallelism().map_or(1, |n| n.get()).min(items.len().max(1));
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(items.len().max(1));
     if workers <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
@@ -53,7 +54,10 @@ pub fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -
             });
         }
     });
-    slots.into_iter().map(|s| s.expect("every item mapped")).collect()
+    slots
+        .into_iter()
+        .map(|s| s.expect("every item mapped"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -73,4 +77,3 @@ mod parallel_tests {
         assert_eq!(parallel_map(&[7u64], |&x| x + 1), vec![8]);
     }
 }
-

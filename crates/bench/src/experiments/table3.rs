@@ -9,8 +9,8 @@ use cnnre_attacks::structure::{
     filter_modular, filter_modular_pools, recover_structures, NetworkSolverConfig,
 };
 use cnnre_nn::models::{alexnet, convnet, lenet, squeezenet};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
 use super::trace_of;
 
@@ -42,22 +42,41 @@ pub fn run() -> Vec<Row> {
 
     let lenet = lenet(1, 10, &mut rng);
     let s = recover_structures(&trace_of(&lenet).trace, (32, 1), 10, &cfg).expect("lenet");
-    rows.push(Row { network: "LeNet", layers: 4, possible: s.len(), possible_modular: None, paper: 9 });
+    rows.push(Row {
+        network: "LeNet",
+        layers: 4,
+        possible: s.len(),
+        possible_modular: None,
+        paper: 9,
+    });
 
     let convnet = convnet(1, 10, &mut rng);
     let s = recover_structures(&trace_of(&convnet).trace, (32, 3), 10, &cfg).expect("convnet");
-    rows.push(Row { network: "ConvNet", layers: 4, possible: s.len(), possible_modular: None, paper: 6 });
+    rows.push(Row {
+        network: "ConvNet",
+        layers: 4,
+        possible: s.len(),
+        possible_modular: None,
+        paper: 6,
+    });
 
     let alexnet = alexnet(1, 1000, &mut rng);
     let s = recover_structures(&trace_of(&alexnet).trace, (227, 3), 1000, &cfg).expect("alexnet");
-    rows.push(Row { network: "AlexNet", layers: 8, possible: s.len(), possible_modular: None, paper: 24 });
+    rows.push(Row {
+        network: "AlexNet",
+        layers: 8,
+        possible: s.len(),
+        possible_modular: None,
+        paper: 24,
+    });
 
     let squeezenet = squeezenet(1, 1000, &mut rng);
     let s =
         recover_structures(&trace_of(&squeezenet).trace, (227, 3), 1000, &cfg).expect("squeezenet");
     let raw = s.len();
-    let conv_groups: Vec<Vec<usize>> =
-        (0..3).map(|role| (0..8).map(|m| 1 + 3 * m + role).collect()).collect();
+    let conv_groups: Vec<Vec<usize>> = (0..3)
+        .map(|role| (0..8).map(|m| 1 + 3 * m + role).collect())
+        .collect();
     let pool_groups = vec![vec![8, 9, 20, 21]];
     let modular = filter_modular_pools(filter_modular(s, &conv_groups), &pool_groups);
     rows.push(Row {
@@ -121,7 +140,9 @@ pub fn render(rows: &[Row]) -> String {
          network     #layers  ours  ours(modular)  paper\n",
     );
     for r in rows {
-        let modular = r.possible_modular.map_or("-".to_string(), |m| m.to_string());
+        let modular = r
+            .possible_modular
+            .map_or("-".to_string(), |m| m.to_string());
         out.push_str(&format!(
             "{:<11} {:>7}  {:>4}  {:>13}  {:>5}\n",
             r.network, r.layers, r.possible, modular, r.paper

@@ -4,8 +4,8 @@ use std::collections::BTreeSet;
 
 use cnnre_attacks::structure::{recover_structures, LayerParams, NetworkSolverConfig};
 use cnnre_nn::models::alexnet;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
 use super::trace_of;
 
@@ -39,8 +39,7 @@ pub fn run() -> Table4 {
     let n_layers = structures[0].conv_layers().len();
     let mut layers = Vec::with_capacity(n_layers);
     for li in 0..n_layers {
-        let set: BTreeSet<LayerParams> =
-            structures.iter().map(|s| *s.conv_layers()[li]).collect();
+        let set: BTreeSet<LayerParams> = structures.iter().map(|s| *s.conv_layers()[li]).collect();
         layers.push(set.into_iter().collect::<Vec<_>>());
     }
     // The paper's 13 rows, reduced to the side-channel-distinguishable
@@ -74,7 +73,11 @@ pub fn run() -> Table4 {
             (name, found)
         })
         .collect();
-    Table4 { layers, structures: structures.len(), paper_rows_found }
+    Table4 {
+        layers,
+        structures: structures.len(),
+        paper_rows_found,
+    }
 }
 
 /// Formats the result as the paper's table.
@@ -87,10 +90,16 @@ pub fn render(t: &Table4) -> String {
             out.push_str(&format!("    {c}\n"));
         }
     }
-    out.push_str(&format!("\ntotal consistent structures: {} (paper: 24)\n", t.structures));
+    out.push_str(&format!(
+        "\ntotal consistent structures: {} (paper: 24)\n",
+        t.structures
+    ));
     out.push_str("paper's 13 rows recovered:\n");
     for (name, found) in &t.paper_rows_found {
-        out.push_str(&format!("    {name:<8} {}\n", if *found { "yes" } else { "MISSING" }));
+        out.push_str(&format!(
+            "    {name:<8} {}\n",
+            if *found { "yes" } else { "MISSING" }
+        ));
     }
     out
 }

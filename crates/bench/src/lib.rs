@@ -8,11 +8,13 @@
 //!   result,
 //! * a binary (`cargo run -p cnnre-bench --release --bin <name>`) that
 //!   prints the regenerated table/figure, and
-//! * a Criterion bench (`cargo bench -p cnnre-bench --bench <name>`) that
+//! * a wall-clock bench (`cargo bench -p cnnre-bench --bench <name>`) that
 //!   times the attack kernel and prints the table once.
 //!
 //! Set `CNNRE_QUICK=1` to shrink the training-based experiments (figures 4
-//! and 5) for smoke runs.
+//! and 5) for smoke runs. Every binary accepts `--out FILE` to enable the
+//! `cnnre-obs` instrumentation and write a flat `BENCH_<experiment>.json`
+//! metric snapshot on exit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,4 +25,38 @@ pub mod experiments;
 #[must_use]
 pub fn quick_mode() -> bool {
     std::env::var("CNNRE_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Parses the `--out FILE` flag shared by every experiment binary and, when
+/// present, enables the global instrumentation so the experiment populates
+/// the registry. Call at the top of `main`, before running the experiment;
+/// pass the result to [`write_out`] afterwards.
+///
+/// Exits with usage code 2 when `--out` is given without a path.
+#[must_use]
+pub fn parse_out_flag() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pos = args.iter().position(|a| a == "--out")?;
+    let Some(path) = args.get(pos + 1) else {
+        eprintln!("--out needs a file path");
+        std::process::exit(2);
+    };
+    cnnre_obs::set_enabled(true);
+    Some(std::path::PathBuf::from(path))
+}
+
+/// Writes the accumulated metrics as a flat `BENCH_<experiment>.json`
+/// snapshot when [`parse_out_flag`] returned a path; no-op otherwise.
+///
+/// Exits with code 1 when the file cannot be written.
+pub fn write_out(path: Option<std::path::PathBuf>, experiment: &str) {
+    let Some(path) = path else { return };
+    let snapshot = cnnre_obs::global().snapshot();
+    match snapshot.write_bench_json(&path, experiment) {
+        Ok(()) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => {
+            eprintln!("cannot write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
 }

@@ -6,7 +6,9 @@
 
 use cnnre_trace::observe::{LayerKindHint, TraceObservations};
 
-use crate::structure::solver::{solve_conv_layer, solve_fc_layer, FcParams, ObservedLayer, SolverConfig};
+use crate::structure::solver::{
+    solve_conv_layer, solve_fc_layer, FcParams, ObservedLayer, SolverConfig,
+};
 use crate::structure::LayerParams;
 
 /// What the adversary concluded one trace segment is.
@@ -69,7 +71,10 @@ impl ObservedNetwork {
                         })
                     }
                 };
-                ObservedNode { kind, sources: l.ifm_sources.iter().map(|s| s.producer).collect() }
+                ObservedNode {
+                    kind,
+                    sources: l.ifm_sources.iter().map(|s| s.producer).collect(),
+                }
             })
             .collect();
         Self { nodes }
@@ -78,7 +83,10 @@ impl ObservedNetwork {
     /// Number of compute layers (CONV/FC), the paper's "# of layers".
     #[must_use]
     pub fn compute_layer_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n.kind, ObservedKind::Compute(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n.kind, ObservedKind::Compute(_)))
+            .count()
     }
 
     /// Indices of nodes a bypass path feeds into: merge nodes reading a
@@ -95,7 +103,7 @@ impl ObservedNetwork {
 }
 
 /// The structural decision made for one observed node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NodeChoice {
     /// The network input (shape known to the adversary).
     Input,
@@ -133,7 +141,10 @@ impl CandidateStructure {
     /// The CONV-layer choices in execution order.
     #[must_use]
     pub fn conv_layers(&self) -> Vec<&LayerParams> {
-        self.choices.iter().filter_map(NodeChoice::as_conv).collect()
+        self.choices
+            .iter()
+            .filter_map(NodeChoice::as_conv)
+            .collect()
     }
 
     /// The FC-layer choices in execution order.
@@ -154,7 +165,14 @@ impl CandidateStructure {
     pub fn geometry_signature(&self) -> Vec<LayerSignature> {
         self.conv_layers()
             .iter()
-            .map(|p| (p.f_conv, p.s_conv, p.p_conv, p.pool.map(|q| (q.f, q.s, q.p))))
+            .map(|p| {
+                (
+                    p.f_conv,
+                    p.s_conv,
+                    p.p_conv,
+                    p.pool.map(|q| (q.f, q.s, q.p)),
+                )
+            })
             .collect()
     }
 }
@@ -176,7 +194,11 @@ pub struct NetworkSolverConfig {
 
 impl Default for NetworkSolverConfig {
     fn default() -> Self {
-        Self { layer: SolverConfig::default(), chain_util_ratio: 1.5, max_structures: 100_000 }
+        Self {
+            layer: SolverConfig::default(),
+            chain_util_ratio: 1.5,
+            max_structures: 100_000,
+        }
     }
 }
 
@@ -226,11 +248,50 @@ pub fn enumerate_structures(
     let mut choices: Vec<NodeChoice> = Vec::with_capacity(net.nodes.len());
     let mut ifaces: Vec<(usize, usize)> = Vec::with_capacity(net.nodes.len());
     let mut deepest_fail = 0usize;
-    recurse(net, input, classes, cfg, &mut choices, &mut ifaces, &mut out, &mut deepest_fail)?;
+    let mut branches = 0u64;
+    let result = recurse(
+        net,
+        input,
+        classes,
+        cfg,
+        &mut choices,
+        &mut ifaces,
+        &mut out,
+        &mut deepest_fail,
+        &mut branches,
+    );
+    record_enumeration_metrics(net, &out, branches);
+    result?;
     if out.is_empty() {
         return Err(SolveError::NoCandidates { node: deepest_fail });
     }
     Ok(out)
+}
+
+/// Flushes chain-level observability after an enumeration pass: the total
+/// recursion branch count, the structure count, and — the paper's headline
+/// quantity — the number of distinct surviving candidates per layer
+/// (`solver.candidates_per_layer`, one series entry per observed node).
+fn record_enumeration_metrics(net: &ObservedNetwork, out: &[CandidateStructure], branches: u64) {
+    if cnnre_obs::enabled() {
+        let reg = cnnre_obs::global();
+        reg.counter("solver.chain.recursion_branches").add(branches);
+        reg.counter("solver.chain.structures_surviving")
+            .add(out.len() as u64);
+        let per_layer = reg.series("solver.candidates_per_layer");
+        for node in 0..net.nodes.len() {
+            let distinct: std::collections::HashSet<NodeChoice> =
+                out.iter().map(|s| s.choices[node]).collect();
+            per_layer.push(distinct.len() as f64);
+        }
+    }
+    cnnre_obs::log_info!(
+        "solver",
+        "chain enumeration: {} recursion branches, {} surviving structures across {} nodes",
+        branches,
+        out.len(),
+        net.nodes.len()
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -243,7 +304,9 @@ fn recurse(
     ifaces: &mut Vec<(usize, usize)>,
     out: &mut Vec<CandidateStructure>,
     deepest_fail: &mut usize,
+    branches: &mut u64,
 ) -> Result<(), SolveError> {
+    *branches += 1;
     let i = choices.len();
     if i == net.nodes.len() {
         // Terminal checks: classifier interface and chain-wide utilization
@@ -252,7 +315,9 @@ fn recurse(
         if w_last != 1 || d_last != classes {
             return Ok(());
         }
-        let structure = CandidateStructure { choices: choices.clone() };
+        let structure = CandidateStructure {
+            choices: choices.clone(),
+        };
         if chain_utilization_consistent(net, &structure, cfg) {
             if out.len() >= cfg.max_structures {
                 return Err(SolveError::TooManyStructures(cfg.max_structures));
@@ -267,7 +332,17 @@ fn recurse(
         ObservedKind::Input => {
             choices.push(NodeChoice::Input);
             ifaces.push(input);
-            recurse(net, input, classes, cfg, choices, ifaces, out, deepest_fail)?;
+            recurse(
+                net,
+                input,
+                classes,
+                cfg,
+                choices,
+                ifaces,
+                out,
+                deepest_fail,
+                branches,
+            )?;
             choices.pop();
             ifaces.pop();
         }
@@ -291,7 +366,17 @@ fn recurse(
                 }
                 choices.push(NodeChoice::Merge);
                 ifaces.push((w, d_out));
-                recurse(net, input, classes, cfg, choices, ifaces, out, deepest_fail)?;
+                recurse(
+                    net,
+                    input,
+                    classes,
+                    cfg,
+                    choices,
+                    ifaces,
+                    out,
+                    deepest_fail,
+                    branches,
+                )?;
                 choices.pop();
                 ifaces.pop();
             }
@@ -315,14 +400,34 @@ fn recurse(
             for p in convs {
                 choices.push(NodeChoice::Conv(p));
                 ifaces.push((p.w_ofm, p.d_ofm));
-                recurse(net, input, classes, cfg, choices, ifaces, out, deepest_fail)?;
+                recurse(
+                    net,
+                    input,
+                    classes,
+                    cfg,
+                    choices,
+                    ifaces,
+                    out,
+                    deepest_fail,
+                    branches,
+                )?;
                 choices.pop();
                 ifaces.pop();
             }
             for fc in solve_fc_layer(&obs, &[iface], &cfg.layer) {
                 choices.push(NodeChoice::Fc(fc));
                 ifaces.push((1, fc.out_features));
-                recurse(net, input, classes, cfg, choices, ifaces, out, deepest_fail)?;
+                recurse(
+                    net,
+                    input,
+                    classes,
+                    cfg,
+                    choices,
+                    ifaces,
+                    out,
+                    deepest_fail,
+                    branches,
+                )?;
                 choices.pop();
                 ifaces.pop();
             }
@@ -374,9 +479,9 @@ pub fn filter_modular(
         .filter(|s| {
             let convs = s.conv_layers();
             groups.iter().all(|group| {
-                let mut sigs = group.iter().map(|&layer| {
-                    convs.get(layer).map(|p| (p.f_conv, p.s_conv, p.p_conv))
-                });
+                let mut sigs = group
+                    .iter()
+                    .map(|&layer| convs.get(layer).map(|p| (p.f_conv, p.s_conv, p.p_conv)));
                 match sigs.next() {
                     None => true,
                     Some(first) => sigs.all(|g| g == first),
@@ -401,9 +506,7 @@ pub fn filter_modular_pools(
         .filter(|s| {
             let convs = s.conv_layers();
             pool_groups.iter().all(|group| {
-                let mut sigs = group
-                    .iter()
-                    .map(|&layer| convs.get(layer).map(|p| p.pool));
+                let mut sigs = group.iter().map(|&layer| convs.get(layer).map(|p| p.pool));
                 match sigs.next() {
                     None => true,
                     Some(first) => sigs.all(|g| g == first),
@@ -464,9 +567,18 @@ mod tests {
         };
         let net = ObservedNetwork {
             nodes: vec![
-                ObservedNode { kind: ObservedKind::Input, sources: vec![] },
-                ObservedNode { kind: ObservedKind::Compute(obs_for(&c1, 0.8)), sources: vec![0] },
-                ObservedNode { kind: ObservedKind::Compute(obs_for(&c2, 0.8)), sources: vec![1] },
+                ObservedNode {
+                    kind: ObservedKind::Input,
+                    sources: vec![],
+                },
+                ObservedNode {
+                    kind: ObservedKind::Compute(obs_for(&c1, 0.8)),
+                    sources: vec![0],
+                },
+                ObservedNode {
+                    kind: ObservedKind::Compute(obs_for(&c2, 0.8)),
+                    sources: vec![1],
+                },
                 ObservedNode {
                     kind: ObservedKind::Compute(obs_for_fc(400, 120)),
                     sources: vec![2],
@@ -490,7 +602,11 @@ mod tests {
             let convs = s.conv_layers();
             convs.len() == 2 && *convs[0] == truth[0] && *convs[1] == truth[1]
         });
-        assert!(found, "ground truth structure missing among {}", structures.len());
+        assert!(
+            found,
+            "ground truth structure missing among {}",
+            structures.len()
+        );
         // Every structure ends in (1, 10).
         for s in &structures {
             let fcs = s.fc_layers();
@@ -521,8 +637,14 @@ mod tests {
         };
         let net = ObservedNetwork {
             nodes: vec![
-                ObservedNode { kind: ObservedKind::Input, sources: vec![] },
-                ObservedNode { kind: ObservedKind::Compute(obs_for(&c, 0.8)), sources: vec![0] },
+                ObservedNode {
+                    kind: ObservedKind::Input,
+                    sources: vec![],
+                },
+                ObservedNode {
+                    kind: ObservedKind::Compute(obs_for(&c, 0.8)),
+                    sources: vec![0],
+                },
                 ObservedNode {
                     kind: ObservedKind::Merge(ObservedLayer {
                         ifm_blocks: 0,
@@ -542,8 +664,26 @@ mod tests {
     fn concat_sums_depths() {
         // input(8,4) -> a: conv 4 filters; b: conv 12 filters (both 1x1) ->
         // classifier conv reads both (concat depth 16), global-pools to 1.
-        let a = LayerParams { w_ifm: 8, d_ifm: 4, w_ofm: 8, d_ofm: 4, f_conv: 1, s_conv: 1, p_conv: 0, pool: None };
-        let b = LayerParams { w_ifm: 8, d_ifm: 4, w_ofm: 8, d_ofm: 12, f_conv: 1, s_conv: 1, p_conv: 0, pool: None };
+        let a = LayerParams {
+            w_ifm: 8,
+            d_ifm: 4,
+            w_ofm: 8,
+            d_ofm: 4,
+            f_conv: 1,
+            s_conv: 1,
+            p_conv: 0,
+            pool: None,
+        };
+        let b = LayerParams {
+            w_ifm: 8,
+            d_ifm: 4,
+            w_ofm: 8,
+            d_ofm: 12,
+            f_conv: 1,
+            s_conv: 1,
+            p_conv: 0,
+            pool: None,
+        };
         let c = LayerParams {
             w_ifm: 8,
             d_ifm: 16,
@@ -556,10 +696,22 @@ mod tests {
         };
         let net = ObservedNetwork {
             nodes: vec![
-                ObservedNode { kind: ObservedKind::Input, sources: vec![] },
-                ObservedNode { kind: ObservedKind::Compute(obs_for(&a, 0.8)), sources: vec![0] },
-                ObservedNode { kind: ObservedKind::Compute(obs_for(&b, 0.8)), sources: vec![0] },
-                ObservedNode { kind: ObservedKind::Compute(obs_for(&c, 0.8)), sources: vec![1, 2] },
+                ObservedNode {
+                    kind: ObservedKind::Input,
+                    sources: vec![],
+                },
+                ObservedNode {
+                    kind: ObservedKind::Compute(obs_for(&a, 0.8)),
+                    sources: vec![0],
+                },
+                ObservedNode {
+                    kind: ObservedKind::Compute(obs_for(&b, 0.8)),
+                    sources: vec![0],
+                },
+                ObservedNode {
+                    kind: ObservedKind::Compute(obs_for(&c, 0.8)),
+                    sources: vec![1, 2],
+                },
             ],
         };
         let structures =
@@ -573,8 +725,21 @@ mod tests {
 
     #[test]
     fn modularity_filter_requires_identical_groups() {
-        let p1 = LayerParams { w_ifm: 8, d_ifm: 4, w_ofm: 8, d_ofm: 4, f_conv: 3, s_conv: 1, p_conv: 1, pool: None };
-        let p2 = LayerParams { f_conv: 5, p_conv: 2, ..p1 };
+        let p1 = LayerParams {
+            w_ifm: 8,
+            d_ifm: 4,
+            w_ofm: 8,
+            d_ofm: 4,
+            f_conv: 3,
+            s_conv: 1,
+            p_conv: 1,
+            pool: None,
+        };
+        let p2 = LayerParams {
+            f_conv: 5,
+            p_conv: 2,
+            ..p1
+        };
         let same = CandidateStructure {
             choices: vec![NodeChoice::Conv(p1), NodeChoice::Conv(p1)],
         };
@@ -591,15 +756,42 @@ mod tests {
         // different utilization for its only candidate set... construct by
         // giving layer 2 cycles 10x larger than its MACs warrant while layer
         // 1 is at 0.8 utilization.
-        let c1 = LayerParams { w_ifm: 16, d_ifm: 8, w_ofm: 16, d_ofm: 8, f_conv: 3, s_conv: 1, p_conv: 1, pool: None };
-        let c2 = LayerParams { w_ifm: 16, d_ifm: 8, w_ofm: 1, d_ofm: 9, f_conv: 3, s_conv: 1, p_conv: 1, pool: Some(PoolParams { f: 16, s: 16, p: 0 }) };
+        let c1 = LayerParams {
+            w_ifm: 16,
+            d_ifm: 8,
+            w_ofm: 16,
+            d_ofm: 8,
+            f_conv: 3,
+            s_conv: 1,
+            p_conv: 1,
+            pool: None,
+        };
+        let c2 = LayerParams {
+            w_ifm: 16,
+            d_ifm: 8,
+            w_ofm: 1,
+            d_ofm: 9,
+            f_conv: 3,
+            s_conv: 1,
+            p_conv: 1,
+            pool: Some(PoolParams { f: 16, s: 16, p: 0 }),
+        };
         let mut o2 = obs_for(&c2, 0.8);
         o2.cycles *= 10; // slow layer: utilization 0.08
         let net = ObservedNetwork {
             nodes: vec![
-                ObservedNode { kind: ObservedKind::Input, sources: vec![] },
-                ObservedNode { kind: ObservedKind::Compute(obs_for(&c1, 0.8)), sources: vec![0] },
-                ObservedNode { kind: ObservedKind::Compute(o2), sources: vec![1] },
+                ObservedNode {
+                    kind: ObservedKind::Input,
+                    sources: vec![],
+                },
+                ObservedNode {
+                    kind: ObservedKind::Compute(obs_for(&c1, 0.8)),
+                    sources: vec![0],
+                },
+                ObservedNode {
+                    kind: ObservedKind::Compute(o2),
+                    sources: vec![1],
+                },
             ],
         };
         // Layer-level min utilization already kills layer 2's candidates.

@@ -45,8 +45,8 @@ use cnnre_trace::Trace;
 /// use cnnre_accel::{AccelConfig, Accelerator};
 /// use cnnre_attacks::structure::{recover_structures, NetworkSolverConfig};
 /// use cnnre_nn::models::lenet;
-/// use rand::rngs::SmallRng;
-/// use rand::SeedableRng;
+/// use cnnre_tensor::rng::SmallRng;
+/// use cnnre_tensor::rng::SeedableRng;
 ///
 /// let mut rng = SmallRng::seed_from_u64(0);
 /// let victim = lenet(1, 10, &mut rng);
@@ -70,10 +70,16 @@ pub fn recover_structures(
     classes: usize,
     cfg: &NetworkSolverConfig,
 ) -> Result<Vec<CandidateStructure>, SolveError> {
-    let obs = cnnre_trace::observe::observe(trace);
+    let mut span = cnnre_obs::span("attack.structure");
+    span.add_cycles(trace.duration());
+    let obs = {
+        let _segment_span = cnnre_obs::span("segment");
+        cnnre_trace::observe::observe(trace)
+    };
     if obs.layers.is_empty() {
         return Err(SolveError::EmptyTrace);
     }
     let net = ObservedNetwork::from_observations(&obs);
+    let _solve_span = cnnre_obs::span("solve");
     enumerate_structures(&net, input, classes, cfg)
 }

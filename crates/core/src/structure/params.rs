@@ -107,7 +107,9 @@ impl LayerParams {
         {
             return false;
         }
-        let Some(w_conv) = self.conv_out_w() else { return false };
+        let Some(w_conv) = self.conv_out_w() else {
+            return false;
+        };
         match self.pool {
             None => w_conv == self.w_ofm,
             Some(pp) => {
@@ -132,7 +134,12 @@ impl LayerParams {
             self.p_conv,
         );
         if let Some(pp) = self.pool {
-            spec = spec.with_pool(PoolSpec { kind: cnnre_nn::layer::PoolKind::Max, f: pp.f, s: pp.s, p: pp.p });
+            spec = spec.with_pool(PoolSpec {
+                kind: cnnre_nn::layer::PoolKind::Max,
+                f: pp.f,
+                s: pp.s,
+                p: pp.p,
+            });
         }
         spec
     }
@@ -143,8 +150,15 @@ impl core::fmt::Display for LayerParams {
         write!(
             f,
             "{}x{}x{} -> {}x{}x{} | F={} S={} P={}",
-            self.w_ifm, self.w_ifm, self.d_ifm, self.w_ofm, self.w_ofm, self.d_ofm,
-            self.f_conv, self.s_conv, self.p_conv
+            self.w_ifm,
+            self.w_ifm,
+            self.d_ifm,
+            self.w_ofm,
+            self.w_ofm,
+            self.d_ofm,
+            self.f_conv,
+            self.s_conv,
+            self.p_conv
         )?;
         match self.pool {
             Some(p) => write!(f, " | pool F={} S={} P={}", p.f, p.s, p.p),

@@ -6,8 +6,8 @@
 use cnnre_nn::data::Dataset;
 use cnnre_nn::models::{alexnet_from_specs, ConvSpec};
 use cnnre_nn::train::{evaluate_top_k, Trainer};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
 use crate::structure::CandidateStructure;
 
@@ -79,8 +79,11 @@ pub fn rank_candidates(
         .iter()
         .enumerate()
         .filter_map(|(candidate_index, s)| {
-            let conv_specs: Vec<ConvSpec> =
-                s.conv_layers().iter().map(|c| c.to_conv_spec(cfg.depth_div)).collect();
+            let conv_specs: Vec<ConvSpec> = s
+                .conv_layers()
+                .iter()
+                .map(|c| c.to_conv_spec(cfg.depth_div))
+                .collect();
             // Replace the recovered FC stack's hidden widths with scaled
             // ones; the classifier width is the task's class count.
             let fcs = s.fc_layers();
@@ -104,7 +107,11 @@ pub fn rank_candidates(
             })
         })
         .collect();
-    ranked.sort_by(|a, b| b.accuracy.partial_cmp(&a.accuracy).expect("finite accuracy"));
+    ranked.sort_by(|a, b| {
+        b.accuracy
+            .partial_cmp(&a.accuracy)
+            .expect("finite accuracy")
+    });
     ranked
 }
 
@@ -127,7 +134,9 @@ mod tests {
         let structures =
             recover_structures(&exec.trace, (32, 1), 4, &NetworkSolverConfig::default())
                 .expect("attack");
-        let spec = SyntheticSpec::new(Shape3::new(1, 32, 32), 4).samples_per_class(6).noise(0.4);
+        let spec = SyntheticSpec::new(Shape3::new(1, 32, 32), 4)
+            .samples_per_class(6)
+            .noise(0.4);
         let mut data_rng = SmallRng::seed_from_u64(3);
         let templates = spec.templates(&mut data_rng);
         let train = spec.generate_from_templates(&templates, &mut data_rng);
@@ -147,6 +156,10 @@ mod tests {
         }
         assert!(ranked.iter().all(|r| (0.0..=1.0).contains(&r.accuracy)));
         // Short training on this easy task beats chance for the best one.
-        assert!(ranked[0].accuracy > 0.25, "best candidate: {}", ranked[0].accuracy);
+        assert!(
+            ranked[0].accuracy > 0.25,
+            "best candidate: {}",
+            ranked[0].accuracy
+        );
     }
 }

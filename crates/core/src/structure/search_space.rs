@@ -267,10 +267,7 @@ mod tests {
     #[test]
     fn report_rows_are_consistent() {
         let b = SearchSpaceBounds::default();
-        let rows = reduction_report(
-            &b,
-            &[("LeNet", 2, 2, 18), ("AlexNet", 5, 3, 90)],
-        );
+        let rows = reduction_report(&b, &[("LeNet", 2, 2, 18), ("AlexNet", 5, 3, 90)]);
         assert_eq!(rows.len(), 2);
         for r in &rows {
             assert!((r.reduction - r.prior.reduction_to(r.survivors)).abs() < 1e-12);

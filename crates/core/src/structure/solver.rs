@@ -6,6 +6,8 @@
 //! (1)–(8), then discard candidates whose MAC count is inconsistent with
 //! the measured execution time.
 
+use cnnre_obs::log_debug;
+
 use crate::structure::{LayerParams, PoolParams};
 
 /// One layer's side-channel observables, in DRAM-transaction blocks.
@@ -200,6 +202,7 @@ pub fn solve_conv_layer(
     cfg: &SolverConfig,
 ) -> Vec<LayerParams> {
     let mut out = Vec::new();
+    let mut ctr = ConvSolveCounters::default();
     let epb = cfg.elems_per_block;
     for &(w_ifm, d_ifm) in inputs {
         if w_ifm == 0 || d_ifm == 0 {
@@ -247,11 +250,13 @@ pub fn solve_conv_layer(
                         d_ofm as usize,
                         f,
                         &mut out,
+                        &mut ctr,
                     );
                 }
             }
         }
     }
+    let enumerated = out.len();
     out.sort_unstable();
     out.dedup();
     if cfg.dedup_padding {
@@ -260,12 +265,50 @@ pub fn solve_conv_layer(
         let mut seen = std::collections::HashSet::new();
         out.retain(|p| {
             let key = (
-                p.w_ifm, p.d_ifm, p.w_ofm, p.d_ofm, p.f_conv, p.s_conv, p.conv_out_w(), p.pool,
+                p.w_ifm,
+                p.d_ifm,
+                p.w_ofm,
+                p.d_ofm,
+                p.f_conv,
+                p.s_conv,
+                p.conv_out_w(),
+                p.pool,
             );
             seen.insert(key)
         });
     }
+    if cnnre_obs::enabled() {
+        let reg = cnnre_obs::global();
+        reg.counter("solver.conv.geometry_candidates")
+            .add(ctr.geometry_candidates);
+        reg.counter("solver.conv.time_filter_rejected")
+            .add(ctr.time_filter_rejected);
+        reg.counter("solver.conv.candidates_enumerated")
+            .add(enumerated as u64);
+        reg.counter("solver.conv.candidates_surviving")
+            .add(out.len() as u64);
+    }
+    log_debug!(
+        "solver",
+        "conv layer: {} geometry candidates, {} rejected by time filter, {} emitted, {} after dedup",
+        ctr.geometry_candidates,
+        ctr.time_filter_rejected,
+        enumerated,
+        out.len()
+    );
     out
+}
+
+/// Per-call tallies of the CONV solver's filter stages, flushed into the
+/// global metric registry once per [`solve_conv_layer`] call so the hot
+/// enumeration loops touch plain integers only.
+#[derive(Default)]
+struct ConvSolveCounters {
+    /// `(s, p)` assignments with a valid conv output geometry (Eq. (4)),
+    /// i.e. candidates reaching the execution-time filter.
+    geometry_candidates: u64,
+    /// Candidates discarded by the MAC/cycle filter (Algorithm 1, step 4).
+    time_filter_rejected: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -278,6 +321,7 @@ fn enumerate_strides_and_padding(
     d_ofm: usize,
     f: usize,
     out: &mut Vec<LayerParams>,
+    ctr: &mut ConvSolveCounters,
 ) {
     // Eq. (5) bounds the stride by the filter width, except for pointwise
     // convolutions (ResNet-style strided 1×1 projections skip pixels).
@@ -294,13 +338,17 @@ fn enumerate_strides_and_padding(
                 p_conv: p,
                 pool: None,
             };
-            let Some(w_conv) = base.conv_out_w() else { continue };
+            let Some(w_conv) = base.conv_out_w() else {
+                continue;
+            };
+            ctr.geometry_candidates += 1;
             // Execution-time filter (Algorithm 1, step 4) — MACs depend only
             // on the convolution part, so apply before pool enumeration.
             // Memory-bound layers carry no timing information.
             if obs.is_compute_bound(cfg.min_compute_ratio)
                 && !cfg.macs_match(base.macs(), obs.cycles)
             {
+                ctr.time_filter_rejected += 1;
                 continue;
             }
             if w_conv == w_ofm {
@@ -313,16 +361,16 @@ fn enumerate_strides_and_padding(
                 for f_p in 2..=cfg.max_pool_filter.min(w_conv) {
                     for s_p in 1..=f_p {
                         for p_p in 0..=cfg.max_pool_padding.min(f_p.saturating_sub(1)) {
-                            if cfg.exact_pool_division
-                                && (w_conv + 2 * p_p - f_p) % s_p != 0
-                            {
+                            if cfg.exact_pool_division && (w_conv + 2 * p_p - f_p) % s_p != 0 {
                                 continue;
                             }
-                            if cnnre_nn::geometry::pool_out(w_conv, f_p, s_p, p_p)
-                                == Some(w_ofm)
-                            {
+                            if cnnre_nn::geometry::pool_out(w_conv, f_p, s_p, p_p) == Some(w_ofm) {
                                 let cand = LayerParams {
-                                    pool: Some(PoolParams { f: f_p, s: s_p, p: p_p }),
+                                    pool: Some(PoolParams {
+                                        f: f_p,
+                                        s: s_p,
+                                        p: p_p,
+                                    }),
                                     ..base
                                 };
                                 debug_assert!(cand.is_consistent(), "{cand}");
@@ -335,7 +383,11 @@ fn enumerate_strides_and_padding(
                 // (SqueezeNet CONV10) collapses the map to 1×1.
                 if w_ofm == 1 {
                     let cand = LayerParams {
-                        pool: Some(PoolParams { f: w_conv, s: w_conv, p: 0 }),
+                        pool: Some(PoolParams {
+                            f: w_conv,
+                            s: w_conv,
+                            p: 0,
+                        }),
                         ..base
                     };
                     if cand.is_consistent() {
@@ -376,6 +428,9 @@ pub fn solve_fc_layer(
     }
     out.sort_unstable_by_key(|p| (p.in_features, p.out_features));
     out.dedup();
+    if cnnre_obs::enabled() {
+        cnnre_obs::counter("solver.fc.candidates_surviving").add(out.len() as u64);
+    }
     out
 }
 
@@ -436,7 +491,10 @@ mod tests {
     fn contains_up_to_padding(candidates: &[LayerParams], truth: &LayerParams) -> bool {
         candidates.iter().any(|c| {
             *c == *truth
-                || (LayerParams { p_conv: truth.p_conv, ..*c } == *truth
+                || (LayerParams {
+                    p_conv: truth.p_conv,
+                    ..*c
+                } == *truth
                     && c.conv_out_w() == truth.conv_out_w())
         })
     }
@@ -446,7 +504,10 @@ mod tests {
         // With padding dedup (the default), the truth may be represented by
         // its smallest-padding equivalent; without, it appears verbatim.
         let dedup = SolverConfig::default();
-        let exact = SolverConfig { dedup_padding: false, ..SolverConfig::default() };
+        let exact = SolverConfig {
+            dedup_padding: false,
+            ..SolverConfig::default()
+        };
         for (name, truth) in crate::structure::params::tests::table4_rows() {
             let obs = observe_truth(&truth, &dedup, 0.8);
             let candidates = solve_conv_layer(&obs, &[(truth.w_ifm, truth.d_ifm)], &dedup);
@@ -455,7 +516,10 @@ mod tests {
                 "{name} missing under dedup; got {candidates:?}"
             );
             let candidates = solve_conv_layer(&obs, &[(truth.w_ifm, truth.d_ifm)], &exact);
-            assert!(candidates.contains(&truth), "{name} missing verbatim; got {candidates:?}");
+            assert!(
+                candidates.contains(&truth),
+                "{name} missing verbatim; got {candidates:?}"
+            );
         }
     }
 
@@ -489,7 +553,11 @@ mod tests {
         // factorizations of the same sizes survive here and are killed by
         // the chain-level filters (no consistent next layer / execution-time
         // ratio). Sanity-bound the superset.
-        assert!(candidates.len() < 200, "unexpected explosion: {}", candidates.len());
+        assert!(
+            candidates.len() < 200,
+            "unexpected explosion: {}",
+            candidates.len()
+        );
         // Every candidate's sizes reproduce the observation exactly.
         for c in &candidates {
             assert!(cfg.size_matches(obs.ofm_blocks, c.size_ofm()), "{c}");
@@ -507,7 +575,13 @@ mod tests {
             cycles: 1_000_000,
         };
         let fcs = solve_fc_layer(&obs, &[(6, 256)], &cfg);
-        assert_eq!(fcs, vec![FcParams { in_features: 9216, out_features: 4096 }]);
+        assert_eq!(
+            fcs,
+            vec![FcParams {
+                in_features: 9216,
+                out_features: 4096
+            }]
+        );
         // And the conv interpretation dies under Eq. (5).
         let convs = solve_conv_layer(&obs, &[(6, 256)], &cfg);
         assert!(convs.is_empty(), "{convs:?}");

@@ -55,6 +55,7 @@ impl FcZeroCountOracle for FunctionalFcOracle {
 
     fn query(&mut self, index: usize, value: f32) -> Vec<bool> {
         self.queries += 1;
+        cnnre_obs::counter("oracle.queries").inc();
         let n = self.layer.in_features();
         (0..self.layer.out_features())
             .map(|j| {
@@ -126,8 +127,7 @@ pub fn recover_fc_ratios(
     let mut ratios = vec![None; n_in * n_out];
     for i in 0..n_in {
         for j in 0..n_out {
-            let crossings =
-                find_crossings(|v| u64::from(oracle.query(i, v)[j]), search);
+            let crossings = find_crossings(|v| u64::from(oracle.query(i, v)[j]), search);
             ratios[j * n_in + i] = match crossings[..] {
                 [] => Some(0.0),
                 [single] => Some(-1.0 / single.x),
@@ -137,19 +137,26 @@ pub fn recover_fc_ratios(
             };
         }
     }
-    FcRatioRecovery { out_features: n_out, in_features: n_in, ratios, queries: oracle.query_count() }
+    FcRatioRecovery {
+        out_features: n_out,
+        in_features: n_in,
+        ratios,
+        queries: oracle.query_count(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use cnnre_tensor::rng::SmallRng;
+    use cnnre_tensor::rng::{Rng, SeedableRng};
 
     fn victim(seed: u64, zeros: bool) -> Linear {
         let mut rng = SmallRng::seed_from_u64(seed);
         let (n_in, n_out) = (6, 4);
-        let mut w: Vec<f32> = (0..n_in * n_out).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let mut w: Vec<f32> = (0..n_in * n_out)
+            .map(|_| rng.gen_range(-1.0..1.0f32))
+            .collect();
         if zeros {
             for k in (0..w.len()).step_by(5) {
                 w[k] = 0.0;

@@ -289,12 +289,16 @@ impl ZeroCountOracle for FunctionalOracle {
 
     fn query(&mut self, probes: &[Probe]) -> Vec<u64> {
         self.queries += 1;
+        cnnre_obs::counter("oracle.queries").inc();
         let affected = self.affected_positions(probes);
-        (0..self.geom.d_ofm).map(|d| self.count_for(d, probes, &affected)).collect()
+        (0..self.geom.d_ofm)
+            .map(|d| self.count_for(d, probes, &affected))
+            .collect()
     }
 
     fn query_filter(&mut self, filter: usize, probes: &[Probe]) -> u64 {
         self.queries += 1;
+        cnnre_obs::counter("oracle.queries").inc();
         let affected = self.affected_positions(probes);
         self.count_for(filter, probes, &affected)
     }
@@ -348,7 +352,12 @@ impl AcceleratorOracle {
             ifm_buffer_elems: geom.input.len().max(1),
             ..AccelConfig::for_weight_attack()
         };
-        Self { net, geom, accel: Accelerator::new(config), queries: 0 }
+        Self {
+            net,
+            geom,
+            accel: Accelerator::new(config),
+            queries: 0,
+        }
     }
 
     /// Parses per-filter non-zero counts from the adversary-visible trace:
@@ -358,8 +367,7 @@ impl AcceleratorOracle {
     /// output is fully pruned emits no writes, leaving its weight burst
     /// adjacent to the next filter's.)
     fn counts_from_trace(&self, exec: &cnnre_accel::Execution) -> Vec<u64> {
-        let schedule =
-            Schedule::plan(&self.net, self.accel.config()).expect("planned before");
+        let schedule = Schedule::plan(&self.net, self.accel.config()).expect("planned before");
         let weights_region = schedule
             .layout()
             .regions()
@@ -394,11 +402,15 @@ impl ZeroCountOracle for AcceleratorOracle {
 
     fn query(&mut self, probes: &[Probe]) -> Vec<u64> {
         self.queries += 1;
+        cnnre_obs::counter("oracle.queries").inc();
         let mut input = Tensor3::zeros(self.geom.input);
         for p in probes {
             input[(p.c, p.y, p.x)] = p.value;
         }
-        let exec = self.accel.run(&self.net, &input).expect("victim network runs");
+        let exec = self
+            .accel
+            .run(&self.net, &input)
+            .expect("victim network runs");
         self.counts_from_trace(&exec)
     }
 
@@ -411,8 +423,8 @@ impl ZeroCountOracle for AcceleratorOracle {
 mod tests {
     use super::*;
     use cnnre_nn::layer::{Pool, Relu};
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use cnnre_tensor::rng::SmallRng;
+    use cnnre_tensor::rng::{Rng, SeedableRng};
 
     fn geom(input: Shape3, d: usize, f: usize, s: usize, p: usize) -> LayerGeometry {
         LayerGeometry {
@@ -443,7 +455,9 @@ mod tests {
                 act.forward(&Pool::new(kind, f, s, p).forward(&pre))
             }
         };
-        (0..g.d_ofm).map(|d| fin.channel(d).iter().filter(|&&v| v != 0.0).count() as u64).collect()
+        (0..g.d_ofm)
+            .map(|d| fin.channel(d).iter().filter(|&&v| v != 0.0).count() as u64)
+            .collect()
     }
 
     #[test]
@@ -472,7 +486,10 @@ mod tests {
                     .collect();
                 let fast = oracle.query(&probes);
                 let slow = dense_reference(&conv, &g, &probes);
-                assert_eq!(fast, slow, "pool {pool:?} order {order:?} probes {probes:?}");
+                assert_eq!(
+                    fast, slow,
+                    "pool {pool:?} order {order:?} probes {probes:?}"
+                );
             }
         }
     }

@@ -25,7 +25,9 @@
 use cnnre_nn::layer::{Conv2d, PoolKind};
 use cnnre_tensor::{Shape4, Tensor4};
 
-use crate::weights::oracle::{FunctionalOracle, LayerGeometry, MergedOrder, Probe, ZeroCountOracle};
+use crate::weights::oracle::{
+    FunctionalOracle, LayerGeometry, MergedOrder, Probe, ZeroCountOracle,
+};
 use crate::weights::search::{find_crossings, Crossing, SearchConfig};
 
 /// Recovery configuration.
@@ -42,7 +44,11 @@ pub struct RecoveryConfig {
 
 impl Default for RecoveryConfig {
     fn default() -> Self {
-        Self { search: SearchConfig::default(), match_rel_tol: 1e-5, match_abs_tol: 1e-8 }
+        Self {
+            search: SearchConfig::default(),
+            match_rel_tol: 1e-5,
+            match_abs_tol: 1e-8,
+        }
     }
 }
 
@@ -58,7 +64,11 @@ pub struct RecoveredFilter {
 
 impl RecoveredFilter {
     fn new(d_ifm: usize, f: usize) -> Self {
-        Self { d_ifm, f, ratios: vec![None; d_ifm * f * f] }
+        Self {
+            d_ifm,
+            f,
+            ratios: vec![None; d_ifm * f * f],
+        }
     }
 
     fn idx(&self, c: usize, i: usize, j: usize) -> usize {
@@ -129,8 +139,7 @@ impl RatioRecovery {
                 for i in 0..shape.h {
                     for j in 0..shape.w {
                         if let Some(est) = filter.ratio(c, i, j) {
-                            let truth =
-                                f64::from(weights[(d, c, i, j)]) / f64::from(bias[d]);
+                            let truth = f64::from(weights[(d, c, i, j)]) / f64::from(bias[d]);
                             worst = worst.max((est - truth).abs());
                         }
                     }
@@ -144,7 +153,11 @@ impl RatioRecovery {
     #[must_use]
     pub fn coverage(&self) -> f64 {
         let total: usize = self.filters.iter().map(|f| f.as_slice().len()).sum();
-        let got: usize = self.filters.iter().map(RecoveredFilter::recovered_count).sum();
+        let got: usize = self
+            .filters
+            .iter()
+            .map(RecoveredFilter::recovered_count)
+            .sum();
         got as f64 / total.max(1) as f64
     }
 }
@@ -168,13 +181,17 @@ fn virtual_oracle(
             }
         }
     }
-    let conv = Conv2d::from_parts(w, vec![sign], geom.s, geom.p)
-        .expect("virtual filter construction");
+    let conv =
+        Conv2d::from_parts(w, vec![sign], geom.s, geom.p).expect("virtual filter construction");
     // A non-zero pruning threshold t is equivalent to shifting the bias to
     // b' = b − t and comparing against zero; the recovery operates in
     // b'-normalized units throughout (ratios come out as w/b'), so the
     // virtual model always runs at threshold 0.
-    let virt_geom = LayerGeometry { d_ofm: 1, threshold: 0.0, ..*geom };
+    let virt_geom = LayerGeometry {
+        d_ofm: 1,
+        threshold: 0.0,
+        ..*geom
+    };
     FunctionalOracle::new(conv, virt_geom)
 }
 
@@ -230,9 +247,7 @@ fn make_target_at(
     }
     let mut corner = Vec::new();
     if let Some((_, f_p, _, _)) = geom.pool {
-        let row_range = |t: usize| {
-            (t.saturating_sub(f_p - 1), (t + f_p - 1).min(conv_w - 1))
-        };
+        let row_range = |t: usize| (t.saturating_sub(f_p - 1), (t + f_p - 1).min(conv_w - 1));
         let (r_lo, r_hi) = row_range(t_r);
         let (c_lo, c_hi) = row_range(t_c);
         for r in r_lo..=r_hi {
@@ -243,7 +258,15 @@ fn make_target_at(
             }
         }
     }
-    Some(Target { c, i, j, y, x, tap: (t_r, t_c), corner })
+    Some(Target {
+        c,
+        i,
+        j,
+        y,
+        x,
+        tap: (t_r, t_c),
+        corner,
+    })
 }
 
 /// Anchors the probe so the target weight lands on the *last* conv output:
@@ -260,15 +283,9 @@ fn make_target(geom: &LayerGeometry, c: usize, i: usize, j: usize) -> Option<Tar
 /// per-dimension tap whose probe coordinate is in range. The co-stimulated
 /// taps then carry *smaller* weight indices, so this anchor is used in a
 /// second, ascending pass after the main sweep.
-fn make_target_near_origin(
-    geom: &LayerGeometry,
-    c: usize,
-    i: usize,
-    j: usize,
-) -> Option<Target> {
+fn make_target_near_origin(geom: &LayerGeometry, c: usize, i: usize, j: usize) -> Option<Target> {
     let pick = |t_idx: usize| -> Option<usize> {
-        (0..geom.conv_out_w()?)
-            .find(|&t| (t * geom.s + t_idx).checked_sub(geom.p).is_some())
+        (0..geom.conv_out_w()?).find(|&t| (t * geom.s + t_idx).checked_sub(geom.p).is_some())
     };
     let t_r = pick(i)?;
     let t_c = pick(j)?;
@@ -285,13 +302,10 @@ fn make_target_near_origin(
 /// corner, near-origin, and the two mixed row/column combinations (plus
 /// off-by-one variants for pooled layers, which shuffle the window-mate
 /// sets).
-fn candidate_targets(
-    geom: &LayerGeometry,
-    c: usize,
-    i: usize,
-    j: usize,
-) -> Vec<Option<Target>> {
-    let Some(conv_w) = geom.conv_out_w() else { return Vec::new() };
+fn candidate_targets(geom: &LayerGeometry, c: usize, i: usize, j: usize) -> Vec<Option<Target>> {
+    let Some(conv_w) = geom.conv_out_w() else {
+        return Vec::new();
+    };
     let th = conv_w - 1;
     let pick = |t_idx: usize| -> Option<usize> {
         (0..conv_w).find(|&t| (t * geom.s + t_idx).checked_sub(geom.p).is_some())
@@ -320,7 +334,9 @@ fn candidate_targets(
 
 /// Conv-output taps the probe pixel reaches (target tap excluded).
 fn affected_taps(geom: &LayerGeometry, t: &Target) -> Vec<(usize, usize)> {
-    let Some(conv_w) = geom.conv_out_w() else { return Vec::new() };
+    let Some(conv_w) = geom.conv_out_w() else {
+        return Vec::new();
+    };
     let reach = |pos: usize| -> (usize, usize) {
         let lo = (pos + geom.p).saturating_sub(geom.f - 1).div_ceil(geom.s);
         let hi = ((pos + geom.p) / geom.s).min(conv_w - 1);
@@ -376,7 +392,10 @@ fn build_pins(
         }
     }
     if pin_taps.is_empty() {
-        return Some(PinSet { probes: Vec::new(), target_contribution_over_b: 0.0 });
+        return Some(PinSet {
+            probes: Vec::new(),
+            target_contribution_over_b: 0.0,
+        });
     }
     let known = |ch: usize, fy: isize, fx: isize| -> Option<f64> {
         if fy < 0 || fx < 0 || fy as usize >= geom.f || fx as usize >= geom.f {
@@ -399,7 +418,12 @@ fn build_pins(
         .chain(t.corner.iter().copied())
         .chain(core::iter::once(t.tap))
         .collect();
-    let contribution_via = |ch: usize, a: usize, b2: usize, (uy, ux): (usize, usize), (vy, vx): (usize, usize)| -> Option<f64> {
+    let contribution_via = |ch: usize,
+                            a: usize,
+                            b2: usize,
+                            (uy, ux): (usize, usize),
+                            (vy, vx): (usize, usize)|
+     -> Option<f64> {
         let fy = a as isize + geom.s as isize * (uy as isize - vy as isize);
         let fx = b2 as isize + geom.s as isize * (ux as isize - vx as isize);
         known(ch, fy, fx)
@@ -420,20 +444,27 @@ fn build_pins(
         for ch in channels {
             for a in (0..geom.f).rev() {
                 for b2 in (0..geom.f).rev() {
-                    let Some(r) = known(ch, a as isize, b2 as isize) else { continue };
+                    let Some(r) = known(ch, a as isize, b2 as isize) else {
+                        continue;
+                    };
                     if r == 0.0 {
                         continue;
                     }
                     let py = (u.0 * geom.s + a).checked_sub(geom.p);
                     let px = (u.1 * geom.s + b2).checked_sub(geom.p);
-                    let (Some(py), Some(px)) = (py, px) else { continue };
+                    let (Some(py), Some(px)) = (py, px) else {
+                        continue;
+                    };
                     if py >= geom.input.h || px >= geom.input.w {
                         continue;
                     }
                     if ch == t.c && (py, px) == (t.y, t.x) {
                         continue;
                     }
-                    if taken.iter().any(|&(qc, qy, qx, ..)| (qc, qy, qx) == (ch, py, px)) {
+                    if taken
+                        .iter()
+                        .any(|&(qc, qy, qx, ..)| (qc, qy, qx) == (ch, py, px))
+                    {
                         continue;
                     }
                     if must_be_known
@@ -480,9 +511,17 @@ fn build_pins(
     let probes: Vec<Probe> = pin_pos
         .iter()
         .zip(&v)
-        .map(|(&(ch, py, px, ..), &val)| Probe { c: ch, y: py, x: px, value: val as f32 })
+        .map(|(&(ch, py, px, ..), &val)| Probe {
+            c: ch,
+            y: py,
+            x: px,
+            value: val as f32,
+        })
         .collect();
-    Some(PinSet { probes, target_contribution_over_b: 0.0 })
+    Some(PinSet {
+        probes,
+        target_contribution_over_b: 0.0,
+    })
 }
 
 /// Gaussian elimination with partial pivoting; `None` when singular.
@@ -490,7 +529,10 @@ fn solve_linear(mut m: Vec<Vec<f64>>, mut rhs: Vec<f64>) -> Option<Vec<f64>> {
     let n = rhs.len();
     for col in 0..n {
         let pivot = (col..n).max_by(|&a, &b| {
-            m[a][col].abs().partial_cmp(&m[b][col].abs()).expect("finite")
+            m[a][col]
+                .abs()
+                .partial_cmp(&m[b][col].abs())
+                .expect("finite")
         })?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
@@ -533,9 +575,8 @@ fn ratio_from_crossing(
         (Some((PoolKind::Avg, f_p, _, _)), MergedOrder::PoolThenAct) => {
             // Window sum: x·(w_t/b + Σ known affected ratios) + K + pins = 0.
             let conv_w = geom.conv_out_w().expect("valid geometry");
-            let window_tap = |v: usize, t_v: usize| {
-                v >= t_v.saturating_sub(f_p - 1) && v <= t_v && v < conv_w
-            };
+            let window_tap =
+                |v: usize, t_v: usize| v >= t_v.saturating_sub(f_p - 1) && v <= t_v && v < conv_w;
             let mut k = 0usize;
             let mut known_sum = 0.0f64;
             for r in t.tap.0.saturating_sub(f_p - 1)..=t.tap.0 {
@@ -560,7 +601,12 @@ fn ratio_from_crossing(
 /// Pin contribution relevant to the crossing formula: for max pooling (and
 /// no pooling) only the target tap matters; for sum-based average pooling
 /// the whole last window contributes.
-fn formula_pin_term(geom: &LayerGeometry, t: &Target, pins: &PinSet, filter: &RecoveredFilter) -> f64 {
+fn formula_pin_term(
+    geom: &LayerGeometry,
+    t: &Target,
+    pins: &PinSet,
+    filter: &RecoveredFilter,
+) -> f64 {
     match (geom.pool, geom.order) {
         (Some((PoolKind::Avg, _, _, _)), MergedOrder::PoolThenAct) => {
             // Sum of pin contributions over the last window's taps.
@@ -575,7 +621,9 @@ fn formula_pin_term(geom: &LayerGeometry, t: &Target, pins: &PinSet, filter: &Re
                         && (fx as usize) < geom.f
                         && !(probe.c == t.c && (fy as usize, fx as usize) == (t.i, t.j))
                     {
-                        total += filter.ratio(probe.c, fy as usize, fx as usize).unwrap_or(0.0)
+                        total += filter
+                            .ratio(probe.c, fy as usize, fx as usize)
+                            .unwrap_or(0.0)
                             * f64::from(probe.value);
                     }
                 }
@@ -596,8 +644,8 @@ fn formula_pin_term(geom: &LayerGeometry, t: &Target, pins: &PinSet, filter: &Re
 /// };
 /// use cnnre_nn::layer::Conv2d;
 /// use cnnre_tensor::{init, Shape3, Shape4};
-/// use rand::rngs::SmallRng;
-/// use rand::SeedableRng;
+/// use cnnre_tensor::rng::SmallRng;
+/// use cnnre_tensor::rng::SeedableRng;
 ///
 /// let mut rng = SmallRng::seed_from_u64(1);
 /// let geom = LayerGeometry {
@@ -619,14 +667,16 @@ fn formula_pin_term(geom: &LayerGeometry, t: &Target, pins: &PinSet, filter: &Re
 ///
 /// Panics when the layer geometry is degenerate (no conv output).
 pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) -> RatioRecovery {
+    let _span = cnnre_obs::span("attack.weights");
     let geom = oracle.geometry();
     assert!(geom.final_out_w().is_some(), "degenerate geometry");
     let baseline = oracle.query(&[]);
     let full = (geom.final_out_w().expect("valid geometry") as u64).pow(2);
     let bias_positive: Vec<bool> = baseline.iter().map(|&c| c == full).collect();
 
-    let mut filters: Vec<RecoveredFilter> =
-        (0..geom.d_ofm).map(|_| RecoveredFilter::new(geom.input.c, geom.f)).collect();
+    let mut filters: Vec<RecoveredFilter> = (0..geom.d_ofm)
+        .map(|_| RecoveredFilter::new(geom.input.c, geom.f))
+        .collect();
 
     // Pass 1, descending raster order: the bottom-anchored probe stimulates
     // only larger (already recovered) weight indices alongside the target.
@@ -660,10 +710,20 @@ pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) ->
     // carry smaller weight indices, recovered in pass 1.
     deferred.sort_unstable();
     for (c, i, j) in deferred {
-        let Some(t) = make_target_near_origin(&geom, c, i, j) else { continue };
+        let Some(t) = make_target_near_origin(&geom, c, i, j) else {
+            continue;
+        };
         for d in 0..geom.d_ofm {
-            let ratio =
-                recover_one(oracle, &geom, &filters[d], bias_positive[d], &t, cfg, d, true);
+            let ratio = recover_one(
+                oracle,
+                &geom,
+                &filters[d],
+                bias_positive[d],
+                &t,
+                cfg,
+                d,
+                true,
+            );
             filters[d].set(c, i, j, ratio);
         }
     }
@@ -740,7 +800,40 @@ pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) ->
             }
         }
     }
-    RatioRecovery { filters, bias_positive, queries: oracle.query_count() }
+    let (mut recovered, mut zeros, mut unrecovered) = (0u64, 0u64, 0u64);
+    for f in &filters {
+        for r in f.as_slice() {
+            match r {
+                Some(v) if *v == 0.0 => zeros += 1,
+                Some(_) => recovered += 1,
+                None => unrecovered += 1,
+            }
+        }
+    }
+    if cnnre_obs::enabled() {
+        let reg = cnnre_obs::global();
+        reg.counter("weights.recovered").add(recovered);
+        reg.counter("weights.zero_identified").add(zeros);
+        reg.counter("weights.unrecovered").add(unrecovered);
+        // `oracle.queries` counts every ZeroCountOracle query in the
+        // process, including the attacker's own virtual-oracle simulations;
+        // this is the victim-facing subset (the paper's cost metric).
+        reg.counter("oracle.victim_queries")
+            .add(oracle.query_count());
+    }
+    cnnre_obs::log_info!(
+        "weights",
+        "ratio recovery: {} non-zero, {} zeros, {} unrecovered ({} oracle queries)",
+        recovered,
+        zeros,
+        unrecovered,
+        oracle.query_count()
+    );
+    RatioRecovery {
+        filters,
+        bias_positive,
+        queries: oracle.query_count(),
+    }
 }
 
 /// Crossings of the virtual model for the given probe set.
@@ -756,7 +849,12 @@ fn virtual_crossings(
     find_crossings(
         |v| {
             let mut probes = Vec::with_capacity(pins.len() + 1);
-            probes.push(Probe { c: t.c, y: t.y, x: t.x, value: v });
+            probes.push(Probe {
+                c: t.c,
+                y: t.y,
+                x: t.x,
+                value: v,
+            });
             probes.extend_from_slice(pins);
             virt.query_filter(0, &probes)
         },
@@ -769,7 +867,10 @@ fn virtual_crossings(
 /// same position shows up as a delta mismatch).
 fn sets_match(observed: &[Crossing], predicted: &[Crossing], cfg: &RecoveryConfig) -> bool {
     let covered = |a: &[Crossing], b: &[Crossing]| {
-        a.iter().all(|x| b.iter().any(|y| crossings_match(x.x, y.x, cfg) && x.delta == y.delta))
+        a.iter().all(|x| {
+            b.iter()
+                .any(|y| crossings_match(x.x, y.x, cfg) && x.delta == y.delta)
+        })
     };
     covered(observed, predicted) && covered(predicted, observed)
 }
@@ -817,7 +918,9 @@ fn recover_with_retries(
     }
     let mut inconclusive_zero = false;
     for (n, anchor) in anchors.iter().enumerate() {
-        let Some(t) = make_target_at(geom, c, i, j, *anchor) else { continue };
+        let Some(t) = make_target_at(geom, c, i, j, *anchor) else {
+            continue;
+        };
         let last = n + 1 == anchors.len();
         match recover_one(oracle, geom, filter, bias_positive, &t, cfg, d, last) {
             Some(r) if r != 0.0 => return Some(r),
@@ -852,7 +955,17 @@ fn recover_one(
     });
     if all_cotaps_known {
         let observed = find_crossings(
-            |v| oracle.query_filter(d, &[Probe { c: t.c, y: t.y, x: t.x, value: v }]),
+            |v| {
+                oracle.query_filter(
+                    d,
+                    &[Probe {
+                        c: t.c,
+                        y: t.y,
+                        x: t.x,
+                        value: v,
+                    }],
+                )
+            },
             &cfg.search,
         );
         let predicted = virtual_crossings(geom, filter, bias_positive, t, &[], cfg);
@@ -892,7 +1005,12 @@ fn recover_one(
     let observed2 = find_crossings(
         |v| {
             let mut probes = Vec::with_capacity(pins.probes.len() + 1);
-            probes.push(Probe { c: t.c, y: t.y, x: t.x, value: v });
+            probes.push(Probe {
+                c: t.c,
+                y: t.y,
+                x: t.x,
+                value: v,
+            });
             probes.extend_from_slice(&pins.probes);
             oracle.query_filter(d, &probes)
         },
@@ -949,9 +1067,9 @@ fn recover_one(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cnnre_tensor::rng::SmallRng;
+    use cnnre_tensor::rng::{Rng, SeedableRng};
     use cnnre_tensor::Shape3;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
 
     fn make_geom(
         input: Shape3,
@@ -1045,7 +1163,14 @@ mod tests {
     fn recovers_through_max_pooling() {
         // Merged 2x2/s2 max pooling (the paper's Equation (10) scenario).
         check_recovery(
-            make_geom(Shape3::new(1, 12, 12), 2, 3, 1, 0, Some((PoolKind::Max, 2, 2, 0))),
+            make_geom(
+                Shape3::new(1, 12, 12),
+                2,
+                3,
+                1,
+                0,
+                Some((PoolKind::Max, 2, 2, 0)),
+            ),
             4,
             0.0,
         );
@@ -1055,7 +1180,14 @@ mod tests {
     fn recovers_through_overlapping_max_pooling() {
         // AlexNet-style 3x3/s2 overlapped pooling with a strided conv.
         check_recovery(
-            make_geom(Shape3::new(1, 23, 23), 2, 5, 2, 0, Some((PoolKind::Max, 3, 2, 0))),
+            make_geom(
+                Shape3::new(1, 23, 23),
+                2,
+                5,
+                2,
+                0,
+                Some((PoolKind::Max, 3, 2, 0)),
+            ),
             5,
             0.0,
         );
@@ -1064,8 +1196,14 @@ mod tests {
     #[test]
     fn recovers_through_average_pooling() {
         // The paper's Equation (11): average pooling over pre-activation.
-        let mut geom =
-            make_geom(Shape3::new(1, 12, 12), 2, 3, 1, 0, Some((PoolKind::Avg, 2, 2, 0)));
+        let mut geom = make_geom(
+            Shape3::new(1, 12, 12),
+            2,
+            3,
+            1,
+            0,
+            Some((PoolKind::Avg, 2, 2, 0)),
+        );
         geom.order = MergedOrder::PoolThenAct;
         check_recovery(geom, 6, 0.0);
     }
@@ -1075,7 +1213,12 @@ mod tests {
         let geom = make_geom(Shape3::new(1, 10, 10), 2, 3, 1, 0, None);
         let mut rng = SmallRng::seed_from_u64(7);
         let conv = victim(&geom, &mut rng, 0.4, true);
-        let zero_count = conv.weights().as_slice().iter().filter(|&&w| w == 0.0).count();
+        let zero_count = conv
+            .weights()
+            .as_slice()
+            .iter()
+            .filter(|&&w| w == 0.0)
+            .count();
         assert!(zero_count > 0, "victim has zero weights");
         let mut oracle = FunctionalOracle::new(conv.clone(), geom);
         let recovery = recover_ratios(&mut oracle, &RecoveryConfig::default());

@@ -80,8 +80,27 @@ pub fn find_crossings(mut count: impl FnMut(f32) -> u64, cfg: &SearchConfig) -> 
 
     let counts: Vec<u64> = xs.iter().map(|&x| count(x as f32)).collect();
     let mut crossings = Vec::new();
+    let mut steps = 0u64;
     for w in 0..xs.len() - 1 {
-        refine(&mut count, xs[w], xs[w + 1], counts[w], counts[w + 1], cfg, cfg.max_iters, &mut crossings);
+        refine(
+            &mut count,
+            xs[w],
+            xs[w + 1],
+            counts[w],
+            counts[w + 1],
+            cfg,
+            cfg.max_iters,
+            &mut crossings,
+            &mut steps,
+        );
+    }
+    if cnnre_obs::enabled() {
+        let reg = cnnre_obs::global();
+        reg.counter("weights.search.grid_probes")
+            .add(xs.len() as u64);
+        reg.counter("weights.search.refine_steps").add(steps);
+        reg.counter("weights.search.crossings")
+            .add(crossings.len() as u64);
     }
     crossings
 }
@@ -100,18 +119,23 @@ fn refine(
     cfg: &SearchConfig,
     depth: u32,
     out: &mut Vec<Crossing>,
+    steps: &mut u64,
 ) {
     if c_lo == c_hi {
         return;
     }
+    *steps += 1;
     if depth == 0 || cfg.bracket_converged(lo, hi) {
-        out.push(Crossing { x: 0.5 * (lo + hi), delta: c_hi as i64 - c_lo as i64 });
+        out.push(Crossing {
+            x: 0.5 * (lo + hi),
+            delta: c_hi as i64 - c_lo as i64,
+        });
         return;
     }
     let mid = 0.5 * (lo + hi);
     let c_mid = count(mid as f32);
-    refine(count, lo, mid, c_lo, c_mid, cfg, depth - 1, out);
-    refine(count, mid, hi, c_mid, c_hi, cfg, depth - 1, out);
+    refine(count, lo, mid, c_lo, c_mid, cfg, depth - 1, out, steps);
+    refine(count, mid, hi, c_mid, c_hi, cfg, depth - 1, out, steps);
 }
 
 #[cfg(test)]
@@ -155,8 +179,7 @@ mod tests {
         let cfg = SearchConfig::default();
         for &wb in &[1000.0f64, -37.5, 3.0, 0.01] {
             let x_true = -1.0 / wb;
-            let crossings =
-                find_crossings(|x| u64::from(f64::from(x) * wb + 1.0 > 0.0), &cfg);
+            let crossings = find_crossings(|x| u64::from(f64::from(x) * wb + 1.0 > 0.0), &cfg);
             assert_eq!(crossings.len(), 1, "w/b = {wb}");
             let wb_est = -1.0 / crossings[0].x;
             assert!(
@@ -172,8 +195,7 @@ mod tests {
         // Crossings just inside both ends of the range are found.
         let cfg = SearchConfig::default();
         for &x_true in &[-4000.0f64, -2e-4, 2e-4, 4000.0] {
-            let crossings =
-                find_crossings(|x| u64::from(f64::from(x) > x_true), &cfg);
+            let crossings = find_crossings(|x| u64::from(f64::from(x) > x_true), &cfg);
             assert_eq!(crossings.len(), 1, "x_true {x_true}: {crossings:?}");
             let rel = (crossings[0].x - x_true).abs() / x_true.abs().max(1e-6);
             assert!(rel < 1e-2 || (crossings[0].x - x_true).abs() < 1e-4);

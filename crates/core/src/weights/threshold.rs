@@ -43,7 +43,10 @@ pub fn recover_bias<O: ThresholdControl + ?Sized>(
     max_threshold: f32,
     iterations: u32,
 ) -> BiasRecovery {
-    assert!(max_threshold.is_finite() && max_threshold > 0.0, "bad threshold bound");
+    assert!(
+        max_threshold.is_finite() && max_threshold > 0.0,
+        "bad threshold bound"
+    );
     let d_ofm = oracle.geometry().d_ofm;
     oracle.set_threshold(0.0);
     let at_zero = oracle.query(&[]);
@@ -117,9 +120,9 @@ mod tests {
     use crate::weights::oracle::{FunctionalOracle, LayerGeometry, MergedOrder};
     use crate::weights::recover::{recover_ratios, RecoveryConfig};
     use cnnre_nn::layer::Conv2d;
+    use cnnre_tensor::rng::SmallRng;
+    use cnnre_tensor::rng::{Rng, SeedableRng};
     use cnnre_tensor::Shape3;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
 
     fn geom() -> LayerGeometry {
         LayerGeometry {
@@ -205,11 +208,8 @@ mod tests {
         oracle.set_threshold(t);
         let ratios = recover_ratios(&mut oracle, &RecoveryConfig::default());
         assert!(ratios.coverage() > 0.99, "coverage {}", ratios.coverage());
-        let full = crate::weights::threshold::full_weights_with_threshold(
-            &ratios,
-            &biases,
-            f64::from(t),
-        );
+        let full =
+            crate::weights::threshold::full_weights_with_threshold(&ratios, &biases, f64::from(t));
         for (d, w) in full.iter().enumerate() {
             let w = w.as_ref().expect("bias recovered");
             for i in 0..3 {

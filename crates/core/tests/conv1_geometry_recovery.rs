@@ -8,9 +8,9 @@ use cnnre_attacks::weights::{
     recover_ratios, FunctionalOracle, LayerGeometry, MergedOrder, RecoveryConfig,
 };
 use cnnre_nn::layer::{Conv2d, PoolKind};
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 use cnnre_tensor::{Shape3, Shape4};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 #[test]
 fn conv1_class_geometry_recovers_nearly_all_ratios_precisely() {

@@ -8,11 +8,15 @@ use cnnre_attacks::weights::{
     AcceleratorOracle, FunctionalOracle, LayerGeometry, MergedOrder, Probe, ZeroCountOracle,
 };
 use cnnre_nn::layer::{Conv2d, PoolKind};
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 use cnnre_tensor::{init, Shape3, Shape4};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
-fn victim(seed: u64, channels: usize, pool: Option<(PoolKind, usize, usize, usize)>) -> (Conv2d, LayerGeometry) {
+fn victim(
+    seed: u64,
+    channels: usize,
+    pool: Option<(PoolKind, usize, usize, usize)>,
+) -> (Conv2d, LayerGeometry) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let geom = LayerGeometry {
         input: Shape3::new(channels, 13, 13),
@@ -39,7 +43,12 @@ fn agree_on_probe_grid(conv: &Conv2d, geom: LayerGeometry, seed: u64) {
     let mut probe_sets: Vec<Vec<Probe>> = vec![Vec::new()];
     for y in (0..geom.input.h).step_by(4) {
         for x in (0..geom.input.w).step_by(4) {
-            probe_sets.push(vec![Probe { c: 0, y, x, value: rng.gen_range(-2.0..2.0f32) }]);
+            probe_sets.push(vec![Probe {
+                c: 0,
+                y,
+                x,
+                value: rng.gen_range(-2.0..2.0f32),
+            }]);
         }
     }
     for _ in 0..10 {
@@ -89,6 +98,11 @@ fn accelerator_oracle_counts_queries() {
     let mut real = AcceleratorOracle::new(conv, geom);
     assert_eq!(real.query_count(), 0);
     let _ = real.query(&[]);
-    let _ = real.query(&[Probe { c: 0, y: 1, x: 1, value: 1.0 }]);
+    let _ = real.query(&[Probe {
+        c: 0,
+        y: 1,
+        x: 1,
+        value: 1.0,
+    }]);
     assert_eq!(real.query_count(), 2);
 }

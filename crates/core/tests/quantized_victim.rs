@@ -7,9 +7,9 @@ use cnnre_attacks::weights::{
 };
 use cnnre_nn::layer::{Conv2d, PoolKind};
 use cnnre_tensor::fixed::{quantize_tensor4, QFormat};
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 use cnnre_tensor::{init, Shape3, Shape4};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 fn quantized_victim(seed: u64, q: QFormat) -> (Conv2d, LayerGeometry) {
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -24,8 +24,9 @@ fn quantized_victim(seed: u64, q: QFormat) -> (Conv2d, LayerGeometry) {
         threshold: 0.0,
     };
     let weights = quantize_tensor4(&init::he_conv(&mut rng, Shape4::new(2, 1, 3, 3)), q);
-    let bias: Vec<f32> =
-        (0..2).map(|_| q.quantize(-rng.gen_range(0.1..0.5f32))).collect();
+    let bias: Vec<f32> = (0..2)
+        .map(|_| q.quantize(-rng.gen_range(0.1..0.5f32)))
+        .collect();
     let conv = Conv2d::from_parts(weights, bias, geom.s, geom.p).expect("victim");
     (conv, geom)
 }
@@ -35,7 +36,11 @@ fn ratios_of_a_q1_14_victim_are_recovered_to_paper_precision() {
     let (conv, geom) = quantized_victim(11, QFormat::Q1_14);
     let mut oracle = FunctionalOracle::new(conv.clone(), geom);
     let rec = recover_ratios(&mut oracle, &RecoveryConfig::default());
-    assert!((rec.coverage() - 1.0).abs() < 1e-9, "coverage {}", rec.coverage());
+    assert!(
+        (rec.coverage() - 1.0).abs() < 1e-9,
+        "coverage {}",
+        rec.coverage()
+    );
     let err = rec.max_ratio_error(conv.weights(), conv.bias());
     assert!(err < 2f64.powi(-10), "max ratio error {err:.3e}");
 }

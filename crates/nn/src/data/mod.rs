@@ -29,7 +29,10 @@ impl Dataset {
     /// shape.
     pub fn new(images: Vec<Tensor3>, labels: Vec<usize>) -> Result<Self, TensorError> {
         if images.len() != labels.len() {
-            return Err(TensorError::LengthMismatch { expected: images.len(), actual: labels.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: images.len(),
+                actual: labels.len(),
+            });
         }
         if let Some(first) = images.first() {
             for img in &images {

@@ -9,8 +9,8 @@
 //! it measurably worse, which is the property the paper's Figure-4/5
 //! candidate-ranking experiments rely on.
 
+use cnnre_tensor::rng::Rng;
 use cnnre_tensor::{Shape3, Tensor3};
-use rand::Rng;
 
 use super::Dataset;
 
@@ -21,9 +21,9 @@ use super::Dataset;
 /// ```
 /// use cnnre_nn::data::SyntheticSpec;
 /// use cnnre_tensor::Shape3;
-/// use rand::SeedableRng;
+/// use cnnre_tensor::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(1);
 /// let data = SyntheticSpec::new(Shape3::new(3, 16, 16), 5)
 ///     .samples_per_class(10)
 ///     .noise(0.1)
@@ -50,7 +50,13 @@ impl SyntheticSpec {
     pub fn new(shape: Shape3, classes: usize) -> Self {
         assert!(classes > 0, "need at least one class");
         assert!(!shape.is_empty(), "image shape must be non-empty");
-        Self { shape, classes, samples_per_class: 8, noise: 0.1, gratings_per_channel: 3 }
+        Self {
+            shape,
+            classes,
+            samples_per_class: 8,
+            noise: 0.1,
+            gratings_per_channel: 3,
+        }
     }
 
     /// Sets the number of samples generated per class (default 8).
@@ -97,10 +103,10 @@ impl SyntheticSpec {
         let mut t = Tensor3::zeros(self.shape);
         for c in 0..self.shape.c {
             for _ in 0..self.gratings_per_channel {
-                let fx = rng.gen_range(0.5..3.0) * core::f32::consts::TAU / self.shape.w as f32;
-                let fy = rng.gen_range(0.5..3.0) * core::f32::consts::TAU / self.shape.h as f32;
+                let fx = rng.gen_range(0.5f32..3.0) * core::f32::consts::TAU / self.shape.w as f32;
+                let fy = rng.gen_range(0.5f32..3.0) * core::f32::consts::TAU / self.shape.h as f32;
                 let phase = rng.gen_range(0.0..core::f32::consts::TAU);
-                let amp = rng.gen_range(0.4..1.0);
+                let amp = rng.gen_range(0.4f32..1.0);
                 let plane = t.channel_mut(c);
                 for y in 0..self.shape.h {
                     for x in 0..self.shape.w {
@@ -156,8 +162,8 @@ impl SyntheticSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     #[test]
     fn generate_is_deterministic_per_seed() {
@@ -172,7 +178,9 @@ mod tests {
     #[test]
     fn labels_cover_all_classes() {
         let mut rng = SmallRng::seed_from_u64(1);
-        let data = SyntheticSpec::new(Shape3::new(1, 6, 6), 4).samples_per_class(3).generate(&mut rng);
+        let data = SyntheticSpec::new(Shape3::new(1, 6, 6), 4)
+            .samples_per_class(3)
+            .generate(&mut rng);
         assert_eq!(data.len(), 12);
         assert_eq!(data.num_classes(), 4);
         for class in 0..4 {
@@ -183,7 +191,9 @@ mod tests {
     #[test]
     fn samples_of_same_class_are_correlated() {
         let mut rng = SmallRng::seed_from_u64(3);
-        let spec = SyntheticSpec::new(Shape3::new(1, 12, 12), 2).samples_per_class(2).noise(0.05);
+        let spec = SyntheticSpec::new(Shape3::new(1, 12, 12), 2)
+            .samples_per_class(2)
+            .noise(0.05);
         let data = spec.generate(&mut rng);
         let corr = |a: &Tensor3, b: &Tensor3| {
             cnnre_tensor::ops::dot(a.as_slice(), b.as_slice())
@@ -193,8 +203,16 @@ mod tests {
         let (x0, _) = data.sample(0);
         let (x1, _) = data.sample(1); // same class
         let (y0, _) = data.sample(2); // other class
-        assert!(corr(x0, x1) > 0.9, "same-class correlation {}", corr(x0, x1));
-        assert!(corr(x0, y0) < 0.5, "cross-class correlation {}", corr(x0, y0));
+        assert!(
+            corr(x0, x1) > 0.9,
+            "same-class correlation {}",
+            corr(x0, x1)
+        );
+        assert!(
+            corr(x0, y0) < 0.5,
+            "cross-class correlation {}",
+            corr(x0, y0)
+        );
     }
 
     #[test]
@@ -223,7 +241,9 @@ mod tests {
 
     #[test]
     fn shared_templates_make_train_and_test_the_same_task() {
-        let spec = SyntheticSpec::new(Shape3::new(2, 8, 8), 3).samples_per_class(3).noise(0.2);
+        let spec = SyntheticSpec::new(Shape3::new(2, 8, 8), 3)
+            .samples_per_class(3)
+            .noise(0.2);
         let mut rng = SmallRng::seed_from_u64(5);
         let templates = spec.templates(&mut rng);
         let train = spec.generate_from_templates(&templates, &mut rng);
@@ -249,7 +269,9 @@ mod tests {
     #[test]
     fn more_noise_means_harder_task() {
         let shape = Shape3::new(1, 8, 8);
-        let clean_spec = SyntheticSpec::new(shape, 3).samples_per_class(4).noise(0.01);
+        let clean_spec = SyntheticSpec::new(shape, 3)
+            .samples_per_class(4)
+            .noise(0.01);
         let noisy_spec = SyntheticSpec::new(shape, 3).samples_per_class(4).noise(1.5);
         let mut rng = SmallRng::seed_from_u64(2);
         let templates = clean_spec.templates(&mut rng);
@@ -269,7 +291,11 @@ mod tests {
                 .sum::<f32>()
                 / ds.len() as f32
         };
-        assert!(dev(&noisy) > 3.0 * dev(&clean), "noisy {} vs clean {}", dev(&noisy), dev(&clean));
+        assert!(
+            dev(&noisy) > 3.0 * dev(&clean),
+            "noisy {} vs clean {}",
+            dev(&noisy),
+            dev(&clean)
+        );
     }
 }
-

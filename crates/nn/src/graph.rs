@@ -129,7 +129,11 @@ impl core::fmt::Display for BuildError {
             BuildError::ShapeMismatch { node, detail } => {
                 write!(f, "shape mismatch at node '{node}': {detail}")
             }
-            BuildError::ArityMismatch { node, expected, actual } => {
+            BuildError::ArityMismatch {
+                node,
+                expected,
+                actual,
+            } => {
                 write!(f, "node '{node}' expects {expected} inputs, got {actual}")
             }
         }
@@ -147,10 +151,10 @@ impl std::error::Error for BuildError {}
 /// use cnnre_nn::graph::NetworkBuilder;
 /// use cnnre_nn::layer::{Conv2d, PoolKind, Relu};
 /// use cnnre_tensor::Shape3;
-/// use rand::SeedableRng;
+/// use cnnre_tensor::rng::SeedableRng;
 ///
 /// # fn main() -> Result<(), cnnre_nn::graph::BuildError> {
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(0);
 /// let mut b = NetworkBuilder::new(Shape3::new(3, 32, 32));
 /// let x = b.input_id();
 /// let c = b.conv("conv1", x, Conv2d::new(3, 8, 5, 1, 2, &mut rng))?;
@@ -173,7 +177,11 @@ impl NetworkBuilder {
     #[must_use]
     pub fn new(input_shape: Shape3) -> Self {
         Self {
-            nodes: vec![Node { name: "input".to_string(), inputs: vec![], op: Op::Input }],
+            nodes: vec![Node {
+                name: "input".to_string(),
+                inputs: vec![],
+                op: Op::Input,
+            }],
             shapes: vec![input_shape],
         }
     }
@@ -195,11 +203,18 @@ impl NetworkBuilder {
     }
 
     fn check_input(&self, id: NodeId) -> Result<Shape3, BuildError> {
-        self.shapes.get(id.0).copied().ok_or(BuildError::UnknownNode(id.0))
+        self.shapes
+            .get(id.0)
+            .copied()
+            .ok_or(BuildError::UnknownNode(id.0))
     }
 
     fn push(&mut self, name: &str, inputs: Vec<NodeId>, op: Op, shape: Shape3) -> NodeId {
-        self.nodes.push(Node { name: name.to_string(), inputs, op });
+        self.nodes.push(Node {
+            name: name.to_string(),
+            inputs,
+            op,
+        });
         self.shapes.push(shape);
         NodeId(self.nodes.len() - 1)
     }
@@ -212,17 +227,19 @@ impl NetworkBuilder {
     /// not fit.
     pub fn conv(&mut self, name: &str, input: NodeId, conv: Conv2d) -> Result<NodeId, BuildError> {
         let in_shape = self.check_input(input)?;
-        let out = conv.out_shape(in_shape).ok_or_else(|| BuildError::ShapeMismatch {
-            node: name.to_string(),
-            detail: format!(
-                "conv (d_ifm={}, f={}, s={}, p={}) on input {}",
-                conv.d_ifm(),
-                conv.window().f,
-                conv.window().s,
-                conv.window().p,
-                in_shape
-            ),
-        })?;
+        let out = conv
+            .out_shape(in_shape)
+            .ok_or_else(|| BuildError::ShapeMismatch {
+                node: name.to_string(),
+                detail: format!(
+                    "conv (d_ifm={}, f={}, s={}, p={}) on input {}",
+                    conv.d_ifm(),
+                    conv.window().f,
+                    conv.window().s,
+                    conv.window().p,
+                    in_shape
+                ),
+            })?;
         Ok(self.push(name, vec![input], Op::Conv(conv), out))
     }
 
@@ -252,26 +269,28 @@ impl NetworkBuilder {
         threshold: f32,
     ) -> Result<NodeId, BuildError> {
         let shape = self.check_input(input)?;
-        Ok(self.push(name, vec![input], Op::Relu(Relu::with_threshold(threshold)), shape))
+        Ok(self.push(
+            name,
+            vec![input],
+            Op::Relu(Relu::with_threshold(threshold)),
+            shape,
+        ))
     }
 
-    fn pool(
-        &mut self,
-        name: &str,
-        input: NodeId,
-        pool: Pool,
-    ) -> Result<NodeId, BuildError> {
+    fn pool(&mut self, name: &str, input: NodeId, pool: Pool) -> Result<NodeId, BuildError> {
         let in_shape = self.check_input(input)?;
-        let out = pool.out_shape(in_shape).ok_or_else(|| BuildError::ShapeMismatch {
-            node: name.to_string(),
-            detail: format!(
-                "pool (f={}, s={}, p={}) on input {}",
-                pool.window().f,
-                pool.window().s,
-                pool.window().p,
-                in_shape
-            ),
-        })?;
+        let out = pool
+            .out_shape(in_shape)
+            .ok_or_else(|| BuildError::ShapeMismatch {
+                node: name.to_string(),
+                detail: format!(
+                    "pool (f={}, s={}, p={}) on input {}",
+                    pool.window().f,
+                    pool.window().s,
+                    pool.window().p,
+                    in_shape
+                ),
+            })?;
         Ok(self.push(name, vec![input], Op::Pool(pool), out))
     }
 
@@ -327,10 +346,16 @@ impl NetworkBuilder {
     /// from the layer's `in_features`.
     pub fn linear(&mut self, name: &str, input: NodeId, fc: Linear) -> Result<NodeId, BuildError> {
         let in_shape = self.check_input(input)?;
-        let out = fc.out_shape(in_shape).ok_or_else(|| BuildError::ShapeMismatch {
-            node: name.to_string(),
-            detail: format!("linear in_features={} on input {}", fc.in_features(), in_shape),
-        })?;
+        let out = fc
+            .out_shape(in_shape)
+            .ok_or_else(|| BuildError::ShapeMismatch {
+                node: name.to_string(),
+                detail: format!(
+                    "linear in_features={} on input {}",
+                    fc.in_features(),
+                    in_shape
+                ),
+            })?;
         Ok(self.push(name, vec![input], Op::Linear(fc), out))
     }
 
@@ -370,7 +395,12 @@ impl NetworkBuilder {
             }
             total_c += s.c;
         }
-        Ok(self.push(name, inputs.to_vec(), Op::Concat, Shape3::new(total_c, first.h, first.w)))
+        Ok(self.push(
+            name,
+            inputs.to_vec(),
+            Op::Concat,
+            Shape3::new(total_c, first.h, first.w),
+        ))
     }
 
     /// Adds an element-wise addition node (bypass merge).
@@ -408,7 +438,11 @@ impl NetworkBuilder {
     #[must_use]
     pub fn finish(self, output: NodeId) -> Network {
         assert!(output.0 < self.nodes.len(), "unknown output node");
-        Network { nodes: self.nodes, shapes: self.shapes, output }
+        Network {
+            nodes: self.nodes,
+            shapes: self.shapes,
+            output,
+        }
     }
 }
 
@@ -576,7 +610,11 @@ impl Network {
     #[must_use]
     pub fn backward(&mut self, acts: &[Tensor3], grad_output: &Tensor3) -> Tensor3 {
         assert_eq!(acts.len(), self.nodes.len(), "activation count");
-        assert_eq!(grad_output.shape(), self.output_shape(), "grad_output shape");
+        assert_eq!(
+            grad_output.shape(),
+            self.output_shape(),
+            "grad_output shape"
+        );
         let mut grads: Vec<Option<Tensor3>> = vec![None; self.nodes.len()];
         grads[self.output.0] = Some(grad_output.clone());
 
@@ -584,7 +622,9 @@ impl Network {
             if matches!(self.nodes[idx].op, Op::Input) {
                 continue; // keep the accumulated input gradient in place
             }
-            let Some(dy) = grads[idx].take() else { continue };
+            let Some(dy) = grads[idx].take() else {
+                continue;
+            };
             let inputs = self.nodes[idx].inputs.clone();
             let input_grads: Vec<Tensor3> = match &mut self.nodes[idx].op {
                 Op::Input => unreachable!("input handled above"),
@@ -613,7 +653,9 @@ impl Network {
                 }
             }
         }
-        grads[0].take().unwrap_or_else(|| Tensor3::zeros(self.input_shape()))
+        grads[0]
+            .take()
+            .unwrap_or_else(|| Tensor3::zeros(self.input_shape()))
     }
 
     /// Applies one SGD step to every parameterized layer, consuming
@@ -677,8 +719,8 @@ fn global_avg_backward(input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use cnnre_tensor::rng::SmallRng;
+    use cnnre_tensor::rng::{Rng, SeedableRng};
 
     fn tiny_chain(rng: &mut SmallRng) -> Network {
         let mut b = NetworkBuilder::new(Shape3::new(2, 6, 6));
@@ -722,9 +764,14 @@ mod tests {
             Err(BuildError::ShapeMismatch { .. })
         ));
         // Channel mismatch.
-        assert!(b.conv("bad2", x, Conv2d::new(3, 4, 3, 1, 0, &mut rng)).is_err());
+        assert!(b
+            .conv("bad2", x, Conv2d::new(3, 4, 3, 1, 0, &mut rng))
+            .is_err());
         // Concat needs >= 2 inputs.
-        assert!(matches!(b.concat("c", &[x]), Err(BuildError::ArityMismatch { .. })));
+        assert!(matches!(
+            b.concat("c", &[x]),
+            Err(BuildError::ArityMismatch { .. })
+        ));
     }
 
     #[test]
@@ -732,11 +779,17 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut b = NetworkBuilder::new(Shape3::new(2, 4, 4));
         let x = b.input_id();
-        let a = b.conv("a", x, Conv2d::new(2, 3, 1, 1, 0, &mut rng)).unwrap();
-        let c = b.conv("b", x, Conv2d::new(2, 5, 1, 1, 0, &mut rng)).unwrap();
+        let a = b
+            .conv("a", x, Conv2d::new(2, 3, 1, 1, 0, &mut rng))
+            .unwrap();
+        let c = b
+            .conv("b", x, Conv2d::new(2, 5, 1, 1, 0, &mut rng))
+            .unwrap();
         let cat = b.concat("cat", &[a, c]).unwrap();
         assert_eq!(b.shape(cat), Shape3::new(8, 4, 4));
-        let d = b.conv("d", cat, Conv2d::new(8, 8, 3, 1, 1, &mut rng)).unwrap();
+        let d = b
+            .conv("d", cat, Conv2d::new(8, 8, 3, 1, 1, &mut rng))
+            .unwrap();
         let sum = b.add("sum", &[cat, d]).unwrap();
         let net = b.finish(sum);
         let y = net.forward(&Tensor3::full(net.input_shape(), 1.0));
@@ -776,7 +829,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut b = NetworkBuilder::new(Shape3::new(1, 3, 3));
         let x = b.input_id();
-        let c = b.conv("c", x, Conv2d::new(1, 1, 3, 1, 1, &mut rng)).unwrap();
+        let c = b
+            .conv("c", x, Conv2d::new(1, 1, 3, 1, 1, &mut rng))
+            .unwrap();
         let s = b.add("s", &[x, c]).unwrap();
         let mut net = b.finish(s);
         let input = Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));

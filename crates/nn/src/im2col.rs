@@ -162,9 +162,13 @@ mod tests {
     #[test]
     fn col2im_is_adjoint_of_im2col() {
         // <im2col(x), y> == <x, col2im(y)> for random x, y.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
-        for &(c, hw, f, s, p) in &[(2usize, 5usize, 3usize, 1usize, 0usize), (1, 6, 3, 2, 1), (3, 4, 2, 2, 0)] {
+        use cnnre_tensor::rng::{Rng, SeedableRng};
+        let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(11);
+        for &(c, hw, f, s, p) in &[
+            (2usize, 5usize, 3usize, 1usize, 0usize),
+            (1, 6, 3, 2, 1),
+            (3, 4, 2, 2, 0),
+        ] {
             let shape = Shape3::new(c, hw, hw);
             let win = Window::new(f, s, p);
             let ow = win.conv_out(hw).unwrap();
@@ -174,7 +178,12 @@ mod tests {
             let ax = im2col(&x, win, ow, ow);
             let aty = col2im(&y, shape, win, ow, ow);
             let lhs: f32 = ax.iter().zip(&y).map(|(a, b)| a * b).sum();
-            let rhs: f32 = x.as_slice().iter().zip(aty.as_slice()).map(|(a, b)| a * b).sum();
+            let rhs: f32 = x
+                .as_slice()
+                .iter()
+                .zip(aty.as_slice())
+                .map(|(a, b)| a * b)
+                .sum();
             assert!((lhs - rhs).abs() < 1e-3, "adjoint mismatch: {lhs} vs {rhs}");
         }
     }

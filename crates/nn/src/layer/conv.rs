@@ -1,7 +1,7 @@
 //! 2-D convolution layer (im2col + GEMM).
 
+use cnnre_tensor::rng::Rng;
 use cnnre_tensor::{init, Shape3, Shape4, Tensor3, Tensor4, TensorError};
-use rand::Rng;
 
 use crate::gemm::{gemm_acc, gemm_at_acc, gemm_bt_acc};
 use crate::im2col::{col2im, im2col, Window};
@@ -15,9 +15,9 @@ use crate::im2col::{col2im, im2col, Window};
 /// ```
 /// use cnnre_nn::layer::Conv2d;
 /// use cnnre_tensor::{Shape3, Tensor3};
-/// use rand::SeedableRng;
+/// use cnnre_tensor::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(0);
 /// let conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
 /// let x = Tensor3::zeros(Shape3::new(3, 8, 8));
 /// let y = conv.forward(&x);
@@ -163,9 +163,18 @@ impl Conv2d {
         let mut out = Tensor3::zeros(out_shape);
         // Initialize each output channel with its bias, then accumulate GEMM.
         for d in 0..self.d_ofm() {
-            out.channel_mut(d).iter_mut().for_each(|v| *v = self.bias[d]);
+            out.channel_mut(d)
+                .iter_mut()
+                .for_each(|v| *v = self.bias[d]);
         }
-        gemm_acc(self.d_ofm(), k, oh * ow, self.weights.as_slice(), &cols, out.as_mut_slice());
+        gemm_acc(
+            self.d_ofm(),
+            k,
+            oh * ow,
+            self.weights.as_slice(),
+            &cols,
+            out.as_mut_slice(),
+        );
         out
     }
 
@@ -195,7 +204,9 @@ impl Conv2d {
             self.grad_weights = vec![0.0; self.weights.len()];
             self.grad_bias = vec![0.0; self.bias.len()];
         }
-        let out_shape = self.out_shape(input.shape()).expect("conv geometry mismatch");
+        let out_shape = self
+            .out_shape(input.shape())
+            .expect("conv geometry mismatch");
         assert_eq!(grad_out.shape(), out_shape, "grad_out shape");
         let (oh, ow) = (out_shape.h, out_shape.w);
         let k = self.d_ifm() * self.win.f * self.win.f;
@@ -215,7 +226,14 @@ impl Conv2d {
         }
         // dcols[k × ohw] = Wᵀ[k × d_ofm] · dY[d_ofm × ohw]
         let mut dcols = vec![0.0f32; k * oh * ow];
-        gemm_at_acc(k, self.d_ofm(), oh * ow, self.weights.as_slice(), grad_out.as_slice(), &mut dcols);
+        gemm_at_acc(
+            k,
+            self.d_ofm(),
+            oh * ow,
+            self.weights.as_slice(),
+            grad_out.as_slice(),
+            &mut dcols,
+        );
         col2im(&dcols, input.shape(), self.win, oh, ow)
     }
 
@@ -237,7 +255,14 @@ impl Conv2d {
             momentum,
             weight_decay,
         );
-        super::sgd_update(&mut self.bias, &mut self.grad_bias, &mut self.vel_bias, lr, momentum, 0.0);
+        super::sgd_update(
+            &mut self.bias,
+            &mut self.grad_bias,
+            &mut self.vel_bias,
+            lr,
+            momentum,
+            0.0,
+        );
     }
 
     /// Divides the accumulated gradients by `n` (mini-batch averaging).
@@ -259,8 +284,8 @@ impl Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     fn naive_conv(input: &Tensor3, conv: &Conv2d) -> Tensor3 {
         let out_shape = conv.out_shape(input.shape()).unwrap();
@@ -308,11 +333,14 @@ mod tests {
             let slow = naive_conv(&x, &conv);
             assert_eq!(fast.shape(), slow.shape());
             let err = cnnre_tensor::ops::max_abs_diff(fast.as_slice(), slow.as_slice());
-            assert!(err < 1e-4, "conv mismatch {err} for ({c},{hw},{d},{f},{s},{p})");
+            assert!(
+                err < 1e-4,
+                "conv mismatch {err} for ({c},{hw},{d},{f},{s},{p})"
+            );
         }
     }
 
-    use rand::Rng;
+    use cnnre_tensor::rng::Rng;
 
     #[test]
     fn gradients_match_finite_differences() {
@@ -334,7 +362,11 @@ mod tests {
             let num = (cnnre_tensor::ops::sum(conv.forward(&xp).as_slice())
                 - cnnre_tensor::ops::sum(conv.forward(&xm).as_slice()))
                 / (2.0 * eps);
-            assert!((num - dx[(c, h, w)]).abs() < 2e-2, "dx({c},{h},{w}): {num} vs {}", dx[(c, h, w)]);
+            assert!(
+                (num - dx[(c, h, w)]).abs() < 2e-2,
+                "dx({c},{h},{w}): {num} vs {}",
+                dx[(c, h, w)]
+            );
         }
         // Check a weight gradient entry.
         let widx = conv.weights().shape().index(1, 0, 1, 1);
@@ -348,7 +380,8 @@ mod tests {
             / (2.0 * eps);
         assert!((num - gw).abs() < 5e-2, "dW: {num} vs {gw}");
         // Bias gradient equals number of output pixels.
-        let out_pixels = (conv.out_shape(x.shape()).unwrap().h * conv.out_shape(x.shape()).unwrap().w) as f32;
+        let out_pixels =
+            (conv.out_shape(x.shape()).unwrap().h * conv.out_shape(x.shape()).unwrap().w) as f32;
         assert!((conv.grad_bias[0] - out_pixels).abs() < 1e-3);
     }
 
@@ -366,7 +399,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let conv = Conv2d::new(3, 8, 3, 1, 0, &mut rng);
         assert!(conv.out_shape(Shape3::new(2, 8, 8)).is_none());
-        assert_eq!(conv.out_shape(Shape3::new(3, 8, 8)), Some(Shape3::new(8, 6, 6)));
+        assert_eq!(
+            conv.out_shape(Shape3::new(3, 8, 8)),
+            Some(Shape3::new(8, 6, 6))
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ use cnnre_tensor::{Shape3, Tensor3, TensorError};
 pub fn concat_forward(inputs: &[&Tensor3]) -> Result<Tensor3, TensorError> {
     let first = inputs
         .first()
-        .ok_or(TensorError::LengthMismatch { expected: 1, actual: 0 })?
+        .ok_or(TensorError::LengthMismatch {
+            expected: 1,
+            actual: 0,
+        })?
         .shape();
     let mut total_c = 0;
     for t in inputs {
@@ -52,8 +55,11 @@ pub fn concat_backward(grad_out: &Tensor3, input_shapes: &[Shape3]) -> Vec<Tenso
         let plane = grad_out.shape().h * grad_out.shape().w;
         let slice = &grad_out.as_slice()[offset * plane..(offset + s.c) * plane];
         grads.push(
-            Tensor3::from_vec(Shape3::new(s.c, grad_out.shape().h, grad_out.shape().w), slice.to_vec())
-                .expect("slice length matches shape by construction"),
+            Tensor3::from_vec(
+                Shape3::new(s.c, grad_out.shape().h, grad_out.shape().w),
+                slice.to_vec(),
+            )
+            .expect("slice length matches shape by construction"),
         );
         offset += s.c;
     }
@@ -67,9 +73,10 @@ pub fn concat_backward(grad_out: &Tensor3, input_shapes: &[Shape3]) -> Vec<Tenso
 /// Returns [`TensorError::ShapeMismatch`] when shapes disagree, or
 /// [`TensorError::LengthMismatch`] when `inputs` is empty.
 pub fn add_forward(inputs: &[&Tensor3]) -> Result<Tensor3, TensorError> {
-    let first = inputs
-        .first()
-        .ok_or(TensorError::LengthMismatch { expected: 1, actual: 0 })?;
+    let first = inputs.first().ok_or(TensorError::LengthMismatch {
+        expected: 1,
+        actual: 0,
+    })?;
     let mut out = (*first).clone();
     for t in &inputs[1..] {
         if t.shape() != first.shape() {

@@ -1,7 +1,7 @@
 //! Fully connected (inner-product) layer.
 
+use cnnre_tensor::rng::Rng;
 use cnnre_tensor::{Shape3, Tensor3, TensorError};
-use rand::Rng;
 
 /// A fully connected layer `y = W·x + b` over a flattened input.
 ///
@@ -14,9 +14,9 @@ use rand::Rng;
 /// ```
 /// use cnnre_nn::layer::Linear;
 /// use cnnre_tensor::{Shape3, Tensor3};
-/// use rand::SeedableRng;
+/// use cnnre_tensor::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(0);
 /// let fc = Linear::new(8, 4, &mut rng);
 /// let y = fc.forward(&Tensor3::zeros(Shape3::new(8, 1, 1)));
 /// assert_eq!(y.shape(), Shape3::new(4, 1, 1));
@@ -42,7 +42,10 @@ impl Linear {
     /// Panics when either dimension is zero.
     #[must_use]
     pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
-        assert!(in_features > 0 && out_features > 0, "linear dims must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "linear dims must be positive"
+        );
         let limit = cnnre_tensor::init::xavier_limit(in_features, out_features);
         let mut weights = vec![0.0f32; in_features * out_features];
         cnnre_tensor::init::uniform_in_place(rng, &mut weights, limit);
@@ -77,7 +80,10 @@ impl Linear {
             });
         }
         if bias.len() != out_features {
-            return Err(TensorError::LengthMismatch { expected: out_features, actual: bias.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: out_features,
+                actual: bias.len(),
+            });
         }
         Ok(Self {
             in_features,
@@ -186,8 +192,10 @@ impl Linear {
             }
             let row = &self.weights[o * self.in_features..(o + 1) * self.in_features];
             let grow = &mut self.grad_weights[o * self.in_features..(o + 1) * self.in_features];
-            for ((gw, &xi), (dxi, &wi)) in
-                grow.iter_mut().zip(x).zip(dx.as_mut_slice().iter_mut().zip(row))
+            for ((gw, &xi), (dxi, &wi)) in grow
+                .iter_mut()
+                .zip(x)
+                .zip(dx.as_mut_slice().iter_mut().zip(row))
             {
                 *gw += g * xi;
                 *dxi += g * wi;
@@ -213,7 +221,14 @@ impl Linear {
             momentum,
             weight_decay,
         );
-        super::sgd_update(&mut self.bias, &mut self.grad_bias, &mut self.vel_bias, lr, momentum, 0.0);
+        super::sgd_update(
+            &mut self.bias,
+            &mut self.grad_bias,
+            &mut self.vel_bias,
+            lr,
+            momentum,
+            0.0,
+        );
     }
 
     /// Scales the accumulated gradients by `factor` (mini-batch averaging).
@@ -246,14 +261,17 @@ mod tests {
         let fc = Linear::from_parts(4, 1, vec![1.0; 4], vec![0.0]).unwrap();
         let x = Tensor3::full(Shape3::new(1, 2, 2), 1.0);
         assert_eq!(fc.forward(&x).as_slice(), &[4.0]);
-        assert_eq!(fc.out_shape(Shape3::new(4, 1, 1)), Some(Shape3::new(1, 1, 1)));
+        assert_eq!(
+            fc.out_shape(Shape3::new(4, 1, 1)),
+            Some(Shape3::new(1, 1, 1))
+        );
         assert_eq!(fc.out_shape(Shape3::new(5, 1, 1)), None);
     }
 
     #[test]
     fn gradients_match_finite_differences() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+        use cnnre_tensor::rng::{Rng, SeedableRng};
+        let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(9);
         let mut fc = Linear::new(6, 3, &mut rng);
         let x = Tensor3::from_fn(Shape3::new(6, 1, 1), |_, _, _| rng.gen_range(-1.0..1.0));
         let y = fc.forward(&x);

@@ -34,7 +34,11 @@ pub(crate) fn sgd_update(
 ) {
     assert_eq!(value.len(), grad.len(), "sgd value/grad length");
     assert_eq!(value.len(), velocity.len(), "sgd value/velocity length");
-    for ((w, g), v) in value.iter_mut().zip(grad.iter_mut()).zip(velocity.iter_mut()) {
+    for ((w, g), v) in value
+        .iter_mut()
+        .zip(grad.iter_mut())
+        .zip(velocity.iter_mut())
+    {
         *v = momentum * *v - lr * (*g + weight_decay * *w);
         *w += *v;
         *g = 0.0;

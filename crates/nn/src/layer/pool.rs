@@ -44,7 +44,10 @@ impl Pool {
     #[must_use]
     pub const fn new(kind: PoolKind, f: usize, s: usize, p: usize) -> Self {
         assert!(f > 0 && s > 0, "pool window and stride must be positive");
-        Self { kind, win: Window::new(f, s, p) }
+        Self {
+            kind,
+            win: Window::new(f, s, p),
+        }
     }
 
     /// The pooling flavour.
@@ -130,7 +133,9 @@ impl Pool {
     /// Panics when the shapes are inconsistent with the forward pass.
     #[must_use]
     pub fn backward(&self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
-        let out_shape = self.out_shape(input.shape()).expect("pool geometry mismatch");
+        let out_shape = self
+            .out_shape(input.shape())
+            .expect("pool geometry mismatch");
         assert_eq!(grad_out.shape(), out_shape, "grad_out shape");
         let shape = input.shape();
         let mut dx = Tensor3::zeros(shape);
@@ -221,8 +226,14 @@ mod tests {
     #[test]
     fn alexnet_pool_output_widths() {
         let pool = Pool::new(PoolKind::Max, 3, 2, 0);
-        assert_eq!(pool.out_shape(Shape3::new(96, 55, 55)), Some(Shape3::new(96, 27, 27)));
-        assert_eq!(pool.out_shape(Shape3::new(256, 27, 27)), Some(Shape3::new(256, 13, 13)));
+        assert_eq!(
+            pool.out_shape(Shape3::new(96, 55, 55)),
+            Some(Shape3::new(96, 27, 27))
+        );
+        assert_eq!(
+            pool.out_shape(Shape3::new(256, 27, 27)),
+            Some(Shape3::new(256, 13, 13))
+        );
     }
 
     #[test]
@@ -245,8 +256,8 @@ mod tests {
 
     #[test]
     fn pool_grad_matches_finite_difference_for_avg() {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        use cnnre_tensor::rng::{Rng, SeedableRng};
+        let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(2);
         let x = Tensor3::from_fn(Shape3::new(2, 5, 5), |_, _, _| rng.gen_range(-1.0..1.0));
         let pool = Pool::new(PoolKind::Avg, 3, 2, 1);
         let y = pool.forward(&x);

@@ -46,7 +46,10 @@ impl Relu {
     /// Panics when `t` is negative or not finite.
     #[must_use]
     pub fn with_threshold(t: f32) -> Self {
-        assert!(t.is_finite() && t >= 0.0, "threshold must be finite and non-negative");
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "threshold must be finite and non-negative"
+        );
         Self { threshold: t }
     }
 
@@ -62,7 +65,10 @@ impl Relu {
     ///
     /// Panics when `t` is negative or not finite.
     pub fn set_threshold(&mut self, t: f32) {
-        assert!(t.is_finite() && t >= 0.0, "threshold must be finite and non-negative");
+        assert!(
+            t.is_finite() && t >= 0.0,
+            "threshold must be finite and non-negative"
+        );
         self.threshold = t;
     }
 

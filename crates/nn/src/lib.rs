@@ -23,9 +23,9 @@
 //! ```
 //! use cnnre_nn::models::lenet;
 //! use cnnre_tensor::Tensor3;
-//! use rand::SeedableRng;
+//! use cnnre_tensor::rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+//! let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(0);
 //! let net = lenet(4, 10, &mut rng);
 //! let logits = net.forward(&Tensor3::zeros(net.input_shape()));
 //! assert_eq!(logits.len(), 10);

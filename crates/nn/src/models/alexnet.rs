@@ -1,6 +1,6 @@
 //! AlexNet: the paper's primary case study (Table 4, Figure 4).
 
-use rand::Rng;
+use cnnre_tensor::rng::Rng;
 
 use super::{chain, scale_channels, ConvSpec, PoolSpec};
 use crate::graph::{BuildError, Network};
@@ -10,11 +10,41 @@ use cnnre_tensor::Shape3;
 /// the ground-truth row set of the paper's Table 4
 /// (CONV1₁, CONV2₁, CONV3₁, CONV4, CONV5₁).
 pub const ALEXNET_CONV_SPECS: [ConvSpec; 5] = [
-    ConvSpec { d_ofm: 96, f: 11, s: 4, p: 0, pool: Some(PoolSpec::max(3, 2)) },
-    ConvSpec { d_ofm: 256, f: 5, s: 1, p: 2, pool: Some(PoolSpec::max(3, 2)) },
-    ConvSpec { d_ofm: 384, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 384, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(3, 2)) },
+    ConvSpec {
+        d_ofm: 96,
+        f: 11,
+        s: 4,
+        p: 0,
+        pool: Some(PoolSpec::max(3, 2)),
+    },
+    ConvSpec {
+        d_ofm: 256,
+        f: 5,
+        s: 1,
+        p: 2,
+        pool: Some(PoolSpec::max(3, 2)),
+    },
+    ConvSpec {
+        d_ofm: 384,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 384,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 256,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(3, 2)),
+    },
 ];
 
 /// Builds AlexNet with channel counts divided by `depth_div` and `classes`
@@ -33,17 +63,24 @@ pub const ALEXNET_CONV_SPECS: [ConvSpec; 5] = [
 ///
 /// ```
 /// use cnnre_nn::models::alexnet;
-/// use rand::SeedableRng;
+/// use cnnre_tensor::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(0);
 /// let net = alexnet(16, 10, &mut rng); // 1/16-depth proxy
 /// assert_eq!(net.input_shape(), cnnre_tensor::Shape3::new(3, 227, 227));
 /// ```
 #[must_use]
 pub fn alexnet<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -> Network {
     assert!(classes > 0, "need at least one class");
-    let specs: Vec<ConvSpec> = ALEXNET_CONV_SPECS.iter().map(|s| s.scaled(depth_div)).collect();
-    let fcs = [scale_channels(4096, depth_div), scale_channels(4096, depth_div), classes];
+    let specs: Vec<ConvSpec> = ALEXNET_CONV_SPECS
+        .iter()
+        .map(|s| s.scaled(depth_div))
+        .collect();
+    let fcs = [
+        scale_channels(4096, depth_div),
+        scale_channels(4096, depth_div),
+        classes,
+    ];
     alexnet_from_specs(Shape3::new(3, 227, 227), &specs, &fcs, rng)
         .expect("AlexNet geometry is statically valid")
 }
@@ -67,8 +104,8 @@ pub fn alexnet_from_specs<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     #[test]
     fn full_scale_feature_map_pipeline() {
@@ -105,11 +142,41 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         // CONV2_2 -> CONV3_2 path: 27 -F10/P4-> 26 -F6/S2/P2-> 13.
         let specs = [
-            ConvSpec { d_ofm: 6, f: 11, s: 4, p: 0, pool: Some(PoolSpec::max(3, 2)) },
-            ConvSpec { d_ofm: 4, f: 10, s: 1, p: 4, pool: None },
-            ConvSpec { d_ofm: 24, f: 6, s: 2, p: 2, pool: None },
-            ConvSpec { d_ofm: 24, f: 3, s: 1, p: 1, pool: None },
-            ConvSpec { d_ofm: 16, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(3, 2)) },
+            ConvSpec {
+                d_ofm: 6,
+                f: 11,
+                s: 4,
+                p: 0,
+                pool: Some(PoolSpec::max(3, 2)),
+            },
+            ConvSpec {
+                d_ofm: 4,
+                f: 10,
+                s: 1,
+                p: 4,
+                pool: None,
+            },
+            ConvSpec {
+                d_ofm: 24,
+                f: 6,
+                s: 2,
+                p: 2,
+                pool: None,
+            },
+            ConvSpec {
+                d_ofm: 24,
+                f: 3,
+                s: 1,
+                p: 1,
+                pool: None,
+            },
+            ConvSpec {
+                d_ofm: 16,
+                f: 3,
+                s: 1,
+                p: 1,
+                pool: Some(PoolSpec::max(3, 2)),
+            },
         ];
         let net =
             alexnet_from_specs(Shape3::new(3, 227, 227), &specs, &[32, 32, 10], &mut rng).unwrap();

@@ -2,7 +2,7 @@
 //! (cuda-convnet lineage: three 5×5 CONV layers with 3×3/s2 max pooling,
 //! one FC layer) over 32×32 RGB inputs.
 
-use rand::Rng;
+use cnnre_tensor::rng::Rng;
 
 use super::{chain, scale_channels, ConvSpec, PoolSpec};
 use crate::graph::Network;
@@ -34,17 +34,26 @@ pub fn convnet<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     #[test]
     fn pooling_pipeline_uses_ceil_widths() {
         let mut rng = SmallRng::seed_from_u64(0);
         let net = convnet(1, 10, &mut rng);
         // 32 -> 32 -pool(ceil)-> 16 -> 16 -> 8 -> 8 -> 4.
-        assert_eq!(net.shape(net.find("conv1/pool").unwrap()), Shape3::new(32, 16, 16));
-        assert_eq!(net.shape(net.find("conv2/pool").unwrap()), Shape3::new(32, 8, 8));
-        assert_eq!(net.shape(net.find("conv3/pool").unwrap()), Shape3::new(64, 4, 4));
+        assert_eq!(
+            net.shape(net.find("conv1/pool").unwrap()),
+            Shape3::new(32, 16, 16)
+        );
+        assert_eq!(
+            net.shape(net.find("conv2/pool").unwrap()),
+            Shape3::new(32, 8, 8)
+        );
+        assert_eq!(
+            net.shape(net.find("conv3/pool").unwrap()),
+            Shape3::new(64, 4, 4)
+        );
         assert_eq!(net.output_shape(), Shape3::new(10, 1, 1));
     }
 

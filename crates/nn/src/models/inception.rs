@@ -3,7 +3,7 @@
 //! module" (§3.2). Exercises the structure attack's handling of three-way
 //! depth concatenation with heterogeneous filter sizes.
 
-use rand::Rng;
+use cnnre_tensor::rng::Rng;
 
 use super::{push_conv_block, scale_channels, ConvSpec, PoolSpec};
 use crate::graph::{BuildError, Network, NetworkBuilder, NodeId};
@@ -50,8 +50,16 @@ impl InceptionSpec {
             input: Shape3::new(3, 64, 64),
             stem: ConvSpec::new(d(32), 5, 1, 2).with_pool(PoolSpec::max(2, 2)),
             modules: vec![
-                InceptionModule { b1: d(16), b3: d(32), b5: d(16) },
-                InceptionModule { b1: d(32), b3: d(64), b5: d(32) },
+                InceptionModule {
+                    b1: d(16),
+                    b3: d(32),
+                    b5: d(16),
+                },
+                InceptionModule {
+                    b1: d(32),
+                    b3: d(64),
+                    b5: d(32),
+                },
             ],
             classes,
         }
@@ -82,7 +90,11 @@ pub fn inception<R: Rng + ?Sized>(
     let gap = b.global_avg_pool("global_pool", head)?;
     let flat = b.flatten("flatten", gap)?;
     let d_in = b.shape(flat).len();
-    let fc = b.linear("fc", flat, crate::layer::Linear::new(d_in, spec.classes, rng))?;
+    let fc = b.linear(
+        "fc",
+        flat,
+        crate::layer::Linear::new(d_in, spec.classes, rng),
+    )?;
     Ok(b.finish(fc))
 }
 
@@ -94,13 +106,18 @@ fn push_inception<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<NodeId, BuildError> {
     let d_in = b.shape(input).c;
-    let branch = |b: &mut NetworkBuilder, tag: &str, d_out: usize, f: usize, p: usize, rng: &mut R| {
-        let c = b.conv(&format!("{name}/{tag}"), input, Conv2d::new(d_in, d_out, f, 1, p, rng))?;
-        let r = b.relu(&format!("{name}/{tag}/relu"), c)?;
-        // Pool per branch before the concat so the accelerator can merge it
-        // (pool(concat) == concat(pool), as in the SqueezeNet builder).
-        b.max_pool(&format!("{name}/{tag}/pool"), r, 2, 2, 0)
-    };
+    let branch =
+        |b: &mut NetworkBuilder, tag: &str, d_out: usize, f: usize, p: usize, rng: &mut R| {
+            let c = b.conv(
+                &format!("{name}/{tag}"),
+                input,
+                Conv2d::new(d_in, d_out, f, 1, p, rng),
+            )?;
+            let r = b.relu(&format!("{name}/{tag}/relu"), c)?;
+            // Pool per branch before the concat so the accelerator can merge it
+            // (pool(concat) == concat(pool), as in the SqueezeNet builder).
+            b.max_pool(&format!("{name}/{tag}/pool"), r, 2, 2, 0)
+        };
     let b1 = branch(b, "1x1", m.b1, 1, 0, rng)?;
     let b3 = branch(b, "3x3", m.b3, 3, 1, rng)?;
     let b5 = branch(b, "5x5", m.b5, 5, 2, rng)?;
@@ -110,8 +127,8 @@ fn push_inception<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     #[test]
     fn inception_builds_and_runs() {

@@ -1,7 +1,7 @@
 //! LeNet: the 4-layer network of the paper's Table 3 (two CONV layers with
 //! max pooling, two FC layers) over 32×32 grayscale inputs.
 
-use rand::Rng;
+use cnnre_tensor::rng::Rng;
 
 use super::{chain, scale_channels, ConvSpec, PoolSpec};
 use crate::graph::Network;
@@ -21,9 +21,9 @@ use cnnre_tensor::Shape3;
 ///
 /// ```
 /// use cnnre_nn::models::lenet;
-/// use rand::SeedableRng;
+/// use cnnre_tensor::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let mut rng = cnnre_tensor::rng::SmallRng::seed_from_u64(0);
 /// let net = lenet(1, 10, &mut rng);
 /// assert_eq!(net.input_shape(), cnnre_tensor::Shape3::new(1, 32, 32));
 /// assert_eq!(net.output_shape().c, 10);
@@ -35,15 +35,20 @@ pub fn lenet<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -> 
         ConvSpec::new(scale_channels(6, depth_div), 5, 1, 0).with_pool(PoolSpec::max(2, 2)),
         ConvSpec::new(scale_channels(16, depth_div), 5, 1, 0).with_pool(PoolSpec::max(2, 2)),
     ];
-    chain(Shape3::new(1, 32, 32), &convs, &[scale_channels(120, depth_div), classes], rng)
-        .expect("LeNet geometry is statically valid")
+    chain(
+        Shape3::new(1, 32, 32),
+        &convs,
+        &[scale_channels(120, depth_div), classes],
+        rng,
+    )
+    .expect("LeNet geometry is statically valid")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     #[test]
     fn full_scale_shapes() {

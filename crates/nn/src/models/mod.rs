@@ -25,7 +25,7 @@ pub use resnet::{resnet, ResNetSpec};
 pub use squeezenet::{squeezenet, squeezenet_from_specs, FireSpec, SqueezeNetSpec};
 pub use vgg::{vgg11, vgg16, vgg_from_specs, VGG11_CONV_SPECS, VGG16_CONV_SPECS};
 
-use rand::Rng;
+use cnnre_tensor::rng::Rng;
 
 use crate::graph::{BuildError, Network, NetworkBuilder, NodeId};
 use crate::layer::{Conv2d, Linear, PoolKind};
@@ -48,13 +48,23 @@ impl PoolSpec {
     /// Max pooling with window `f`, stride `s`, no padding.
     #[must_use]
     pub const fn max(f: usize, s: usize) -> Self {
-        Self { kind: PoolKind::Max, f, s, p: 0 }
+        Self {
+            kind: PoolKind::Max,
+            f,
+            s,
+            p: 0,
+        }
     }
 
     /// Average pooling with window `f`, stride `s`, no padding.
     #[must_use]
     pub const fn avg(f: usize, s: usize) -> Self {
-        Self { kind: PoolKind::Avg, f, s, p: 0 }
+        Self {
+            kind: PoolKind::Avg,
+            f,
+            s,
+            p: 0,
+        }
     }
 }
 
@@ -79,7 +89,13 @@ impl ConvSpec {
     /// Convolution without pooling.
     #[must_use]
     pub const fn new(d_ofm: usize, f: usize, s: usize, p: usize) -> Self {
-        Self { d_ofm, f, s, p, pool: None }
+        Self {
+            d_ofm,
+            f,
+            s,
+            p,
+            pool: None,
+        }
     }
 
     /// Attaches a pooling stage.
@@ -126,12 +142,18 @@ pub fn push_conv_block<R: Rng + ?Sized>(
     let c = b.conv(name, input, conv)?;
     let r = b.relu(&format!("{name}/relu"), c)?;
     match spec.pool {
-        Some(PoolSpec { kind: PoolKind::Max, f, s, p }) => {
-            b.max_pool(&format!("{name}/pool"), r, f, s, p)
-        }
-        Some(PoolSpec { kind: PoolKind::Avg, f, s, p }) => {
-            b.avg_pool(&format!("{name}/pool"), r, f, s, p)
-        }
+        Some(PoolSpec {
+            kind: PoolKind::Max,
+            f,
+            s,
+            p,
+        }) => b.max_pool(&format!("{name}/pool"), r, f, s, p),
+        Some(PoolSpec {
+            kind: PoolKind::Avg,
+            f,
+            s,
+            p,
+        }) => b.avg_pool(&format!("{name}/pool"), r, f, s, p),
         None => Ok(r),
     }
 }
@@ -157,7 +179,11 @@ pub fn chain<R: Rng + ?Sized>(
     cur = b.flatten("flatten", cur)?;
     for (i, &width) in fc_widths.iter().enumerate() {
         let in_features = b.shape(cur).len();
-        cur = b.linear(&format!("fc{}", i + 1), cur, Linear::new(in_features, width, rng))?;
+        cur = b.linear(
+            &format!("fc{}", i + 1),
+            cur,
+            Linear::new(in_features, width, rng),
+        )?;
         if i + 1 < fc_widths.len() {
             cur = b.relu(&format!("fc{}/relu", i + 1), cur)?;
         }
@@ -168,8 +194,8 @@ pub fn chain<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     #[test]
     fn scale_channels_floors_at_one() {
@@ -183,7 +209,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let net = chain(
             Shape3::new(1, 12, 12),
-            &[ConvSpec::new(4, 3, 1, 1).with_pool(PoolSpec::max(2, 2)), ConvSpec::new(8, 3, 1, 1)],
+            &[
+                ConvSpec::new(4, 3, 1, 1).with_pool(PoolSpec::max(2, 2)),
+                ConvSpec::new(8, 3, 1, 1),
+            ],
             &[16, 4],
             &mut rng,
         )
@@ -196,7 +225,12 @@ mod tests {
     #[test]
     fn chain_rejects_bad_geometry() {
         let mut rng = SmallRng::seed_from_u64(0);
-        let err = chain(Shape3::new(1, 4, 4), &[ConvSpec::new(4, 9, 1, 0)], &[2], &mut rng);
+        let err = chain(
+            Shape3::new(1, 4, 4),
+            &[ConvSpec::new(4, 9, 1, 0)],
+            &[2],
+            &mut rng,
+        );
         assert!(err.is_err());
     }
 }

@@ -4,7 +4,7 @@
 //! chaining handles classic residual blocks, not just SqueezeNet's
 //! fire-module bypass.
 
-use rand::Rng;
+use cnnre_tensor::rng::Rng;
 
 use super::{push_conv_block, scale_channels, ConvSpec, PoolSpec};
 use crate::graph::{BuildError, Network, NetworkBuilder, NodeId};
@@ -70,7 +70,11 @@ pub fn resnet<R: Rng + ?Sized>(spec: &ResNetSpec, rng: &mut R) -> Result<Network
     let gap = b.global_avg_pool("global_pool", head)?;
     let flat = b.flatten("flatten", gap)?;
     let d_in = b.shape(flat).len();
-    let fc = b.linear("fc", flat, crate::layer::Linear::new(d_in, spec.classes, rng))?;
+    let fc = b.linear(
+        "fc",
+        flat,
+        crate::layer::Linear::new(d_in, spec.classes, rng),
+    )?;
     Ok(b.finish(fc))
 }
 
@@ -96,7 +100,11 @@ fn push_residual_block<R: Rng + ?Sized>(
         Conv2d::new(d_in, channels, 3, stride, 1, rng),
     )?;
     let r1 = b.relu(&format!("{name}/conv1/relu"), c1)?;
-    let c2 = b.conv(&format!("{name}/conv2"), r1, Conv2d::new(channels, channels, 3, 1, 1, rng))?;
+    let c2 = b.conv(
+        &format!("{name}/conv2"),
+        r1,
+        Conv2d::new(channels, channels, 3, 1, 1, rng),
+    )?;
     let r2 = b.relu(&format!("{name}/conv2/relu"), c2)?;
     let shortcut = if downsample || d_in != channels {
         let p = b.conv(
@@ -114,8 +122,8 @@ fn push_residual_block<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     #[test]
     fn resnet_builds_and_runs() {
@@ -151,12 +159,13 @@ mod tests {
 
     #[test]
     fn gradients_flow_through_residual_paths() {
-        use rand::Rng;
+        use cnnre_tensor::rng::Rng;
         let mut rng = SmallRng::seed_from_u64(3);
         let mut spec = ResNetSpec::small(8, 4);
         spec.input = Shape3::new(3, 32, 32);
         let mut net = resnet(&spec, &mut rng).unwrap();
-        let x = cnnre_tensor::Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));
+        let x =
+            cnnre_tensor::Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));
         let acts = net.forward_all(&x);
         let dy = cnnre_tensor::Tensor3::full(net.output_shape(), 1.0);
         let dx = net.backward(&acts, &dy);

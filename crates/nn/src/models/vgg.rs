@@ -7,39 +7,165 @@
 //! chain is deep and every layer looks *locally* alike, so candidate
 //! counts compound multiplicatively unless per-layer ambiguity stays tiny.
 
+use cnnre_tensor::rng::Rng;
 use cnnre_tensor::Shape3;
-use rand::Rng;
 
 use super::{chain, scale_channels, BuildError, ConvSpec, PoolSpec};
 use crate::graph::Network;
 
 /// The VGG-11 ("configuration A") convolution stack over 224×224×3.
 pub const VGG11_CONV_SPECS: [ConvSpec; 8] = [
-    ConvSpec { d_ofm: 64, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
-    ConvSpec { d_ofm: 128, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
-    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
-    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
-    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+    ConvSpec {
+        d_ofm: 64,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(2, 2)),
+    },
+    ConvSpec {
+        d_ofm: 128,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(2, 2)),
+    },
+    ConvSpec {
+        d_ofm: 256,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 256,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(2, 2)),
+    },
+    ConvSpec {
+        d_ofm: 512,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 512,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(2, 2)),
+    },
+    ConvSpec {
+        d_ofm: 512,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 512,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(2, 2)),
+    },
 ];
 
 /// The VGG-16 ("configuration D") convolution stack over 224×224×3.
 pub const VGG16_CONV_SPECS: [ConvSpec; 13] = [
-    ConvSpec { d_ofm: 64, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 64, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
-    ConvSpec { d_ofm: 128, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 128, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
-    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 256, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
-    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
-    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: None },
-    ConvSpec { d_ofm: 512, f: 3, s: 1, p: 1, pool: Some(PoolSpec::max(2, 2)) },
+    ConvSpec {
+        d_ofm: 64,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 64,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(2, 2)),
+    },
+    ConvSpec {
+        d_ofm: 128,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 128,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(2, 2)),
+    },
+    ConvSpec {
+        d_ofm: 256,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 256,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 256,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(2, 2)),
+    },
+    ConvSpec {
+        d_ofm: 512,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 512,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 512,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(2, 2)),
+    },
+    ConvSpec {
+        d_ofm: 512,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 512,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: None,
+    },
+    ConvSpec {
+        d_ofm: 512,
+        f: 3,
+        s: 1,
+        p: 1,
+        pool: Some(PoolSpec::max(2, 2)),
+    },
 ];
 
 /// Builds VGG-11 with channels divided by `depth_div`.
@@ -70,7 +196,11 @@ fn build<R: Rng + ?Sized>(
 ) -> Network {
     assert!(classes > 0, "need at least one class");
     let specs: Vec<ConvSpec> = specs.iter().map(|s| s.scaled(depth_div)).collect();
-    let fcs = [scale_channels(4096, depth_div), scale_channels(4096, depth_div), classes];
+    let fcs = [
+        scale_channels(4096, depth_div),
+        scale_channels(4096, depth_div),
+        classes,
+    ];
     vgg_from_specs(Shape3::new(3, 224, 224), &specs, &fcs, rng)
         .expect("VGG geometry is statically valid")
 }
@@ -94,9 +224,9 @@ pub fn vgg_from_specs<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::graph::NodeId;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
     use cnnre_tensor::Tensor3;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     #[test]
     fn vgg16_geometry_halves_through_five_blocks() {

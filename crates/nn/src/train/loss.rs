@@ -66,8 +66,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_difference() {
-        let logits =
-            Tensor3::from_vec(Shape3::new(3, 1, 1), vec![0.3, -0.7, 1.1]).unwrap();
+        let logits = Tensor3::from_vec(Shape3::new(3, 1, 1), vec![0.3, -0.7, 1.1]).unwrap();
         let (_, grad) = softmax_cross_entropy(&logits, 1);
         let eps = 1e-3f32;
         for i in 0..3 {

@@ -1,7 +1,7 @@
 //! Mini-batch SGD trainer.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use cnnre_tensor::rng::Rng;
+use cnnre_tensor::rng::SliceRandom;
 
 use crate::data::Dataset;
 use crate::graph::Network;
@@ -42,7 +42,12 @@ impl Trainer {
     #[must_use]
     pub fn new(lr: f32) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
-        Self { lr, momentum: 0.0, weight_decay: 0.0, batch: 8 }
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            batch: 8,
+        }
     }
 
     /// Sets the momentum coefficient.
@@ -110,6 +115,11 @@ impl Trainer {
     }
 
     /// Trains for `epochs` epochs, returning per-epoch statistics.
+    ///
+    /// When observability is enabled, each epoch's mean loss and training
+    /// accuracy are appended to the `train.epoch.loss` /
+    /// `train.epoch.accuracy` series (shared across all networks trained in
+    /// the process, in call order).
     pub fn train<R: Rng + ?Sized>(
         &self,
         net: &mut Network,
@@ -117,7 +127,27 @@ impl Trainer {
         epochs: usize,
         rng: &mut R,
     ) -> Vec<EpochStats> {
-        (0..epochs).map(|_| self.train_epoch(net, data, rng)).collect()
+        (0..epochs)
+            .map(|epoch| {
+                let stats = self.train_epoch(net, data, rng);
+                if cnnre_obs::enabled() {
+                    let reg = cnnre_obs::global();
+                    reg.series("train.epoch.loss")
+                        .push(f64::from(stats.mean_loss));
+                    reg.series("train.epoch.accuracy")
+                        .push(f64::from(stats.train_accuracy));
+                }
+                cnnre_obs::log_debug!(
+                    "train",
+                    "epoch {}/{}: loss {:.4}, accuracy {:.3}",
+                    epoch + 1,
+                    epochs,
+                    stats.mean_loss,
+                    stats.train_accuracy
+                );
+                stats
+            })
+            .collect()
     }
 }
 
@@ -153,9 +183,9 @@ mod tests {
     use crate::data::SyntheticSpec;
     use crate::graph::NetworkBuilder;
     use crate::layer::{Conv2d, Linear};
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
     use cnnre_tensor::Shape3;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
     fn tiny_net(rng: &mut SmallRng, classes: usize) -> Network {
         let mut b = NetworkBuilder::new(Shape3::new(1, 8, 8));
@@ -164,14 +194,18 @@ mod tests {
         let r = b.relu("r1", c).unwrap();
         let p = b.max_pool("p1", r, 2, 2, 0).unwrap();
         let f = b.flatten("flat", p).unwrap();
-        let fc = b.linear("fc", f, Linear::new(4 * 4 * 4, classes, rng)).unwrap();
+        let fc = b
+            .linear("fc", f, Linear::new(4 * 4 * 4, classes, rng))
+            .unwrap();
         b.finish(fc)
     }
 
     #[test]
     fn training_reduces_loss_and_learns_synthetic_classes() {
         let mut rng = SmallRng::seed_from_u64(42);
-        let spec = SyntheticSpec::new(Shape3::new(1, 8, 8), 3).samples_per_class(12).noise(0.05);
+        let spec = SyntheticSpec::new(Shape3::new(1, 8, 8), 3)
+            .samples_per_class(12)
+            .noise(0.05);
         let templates = spec.templates(&mut rng);
         let train = spec.generate_from_templates(&templates, &mut rng);
         let test = spec.generate_from_templates(&templates, &mut rng);
@@ -184,7 +218,10 @@ mod tests {
             stats.last().unwrap().mean_loss < stats.first().unwrap().mean_loss,
             "loss should fall: {stats:?}"
         );
-        assert!(after > before.max(0.5), "accuracy should improve: {before} -> {after}");
+        assert!(
+            after > before.max(0.5),
+            "accuracy should improve: {before} -> {after}"
+        );
     }
 
     #[test]

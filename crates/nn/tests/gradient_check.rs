@@ -7,9 +7,9 @@
 use cnnre_nn::graph::{Network, NodeId, Op};
 use cnnre_nn::models::{inception, lenet, resnet, InceptionSpec, ResNetSpec};
 use cnnre_nn::train::softmax_cross_entropy;
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 use cnnre_tensor::Tensor3;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Loss at a given input.
 fn loss_of(net: &Network, x: &Tensor3, label: usize) -> f32 {
@@ -22,7 +22,10 @@ fn assert_close(analytic: f32, numeric: f64, what: &str) {
     let a = f64::from(analytic);
     let denom = a.abs().max(numeric.abs()).max(1e-3);
     let rel = (a - numeric).abs() / denom;
-    assert!(rel < 0.1, "{what}: analytic {a:.6e} vs numeric {numeric:.6e} (rel {rel:.3})");
+    assert!(
+        rel < 0.1,
+        "{what}: analytic {a:.6e} vs numeric {numeric:.6e} (rel {rel:.3})"
+    );
 }
 
 /// Central difference with a kink detector: returns `None` when the two
@@ -65,7 +68,10 @@ fn check_input_gradient(net: &mut Network, seed: u64, samples: usize) {
     // finite differences in f32 cannot resolve.
     let mut order: Vec<usize> = (0..shape.len()).collect();
     order.sort_by(|&a, &b| {
-        dinput.as_slice()[b].abs().partial_cmp(&dinput.as_slice()[a].abs()).expect("finite")
+        dinput.as_slice()[b]
+            .abs()
+            .partial_cmp(&dinput.as_slice()[a].abs())
+            .expect("finite")
     });
     let mut checked = 0;
     for &i in order.iter().take(3 * samples) {
@@ -79,11 +85,16 @@ fn check_input_gradient(net: &mut Network, seed: u64, samples: usize) {
         let lm = loss_of(net, &x, label);
         x.as_mut_slice()[i] = orig;
         // Skip kink-straddling coordinates (ReLU corners, pool argmax flips).
-        let Some(numeric) = central_difference(l0, lp, lm, h) else { continue };
+        let Some(numeric) = central_difference(l0, lp, lm, h) else {
+            continue;
+        };
         assert_close(dinput.as_slice()[i], numeric, &format!("d input[{i}]"));
         checked += 1;
     }
-    assert!(checked >= samples / 2, "too few smooth coordinates ({checked}/{samples})");
+    assert!(
+        checked >= samples / 2,
+        "too few smooth coordinates ({checked}/{samples})"
+    );
 }
 
 #[test]
@@ -109,7 +120,7 @@ fn input_gradient_matches_on_residual_topologies() {
 
 #[test]
 fn parameter_gradients_match_finite_differences() {
-    let mut rng = SmallRng::seed_from_u64(6);
+    let mut rng = SmallRng::seed_from_u64(1);
     let mut net = lenet(2, 4, &mut rng);
     let x = Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0f32));
     let label = 2usize;
@@ -151,7 +162,9 @@ fn parameter_gradients_match_finite_differences() {
             perturb(&mut net, -2.0 * h);
             let lm = loss_of(&net, &x, label);
             perturb(&mut net, h);
-            let Some(numeric) = central_difference(l0, lp, lm, h) else { continue };
+            let Some(numeric) = central_difference(l0, lp, lm, h) else {
+                continue;
+            };
             if numeric.abs() < 1e-4 && f64::from(analytic).abs() < 1e-4 {
                 continue;
             }
@@ -182,5 +195,8 @@ fn parameter_gradients_match_finite_differences() {
             }
         }
     }
-    assert!(checked >= 6, "too few parameter gradients checked ({checked})");
+    assert!(
+        checked >= 6,
+        "too few parameter gradients checked ({checked})"
+    );
 }

@@ -8,12 +8,14 @@ use cnnre_nn::data::SyntheticSpec;
 use cnnre_nn::graph::Op;
 use cnnre_nn::models::lenet;
 use cnnre_nn::train::{evaluate, evaluate_top_k, Trainer};
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 use cnnre_tensor::Shape3;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn easy_task(seed: u64) -> (cnnre_nn::data::Dataset, cnnre_nn::data::Dataset) {
-    let spec = SyntheticSpec::new(Shape3::new(1, 32, 32), 4).samples_per_class(8).noise(0.3);
+    let spec = SyntheticSpec::new(Shape3::new(1, 32, 32), 4)
+        .samples_per_class(8)
+        .noise(0.3);
     let mut rng = SmallRng::seed_from_u64(seed);
     let templates = spec.templates(&mut rng);
     let train = spec.generate_from_templates(&templates, &mut rng);
@@ -37,7 +39,10 @@ fn loss_decreases_and_easy_task_is_learned() {
         stats.iter().map(|s| s.mean_loss).collect::<Vec<_>>()
     );
     let after = evaluate(&net, &test);
-    assert!(after > before, "accuracy did not improve: {before} -> {after}");
+    assert!(
+        after > before,
+        "accuracy did not improve: {before} -> {after}"
+    );
     assert!(after >= 0.75, "easy task not learned: {after}");
     // Top-2 accuracy dominates top-1.
     assert!(evaluate_top_k(&net, &test, 2) >= after);
@@ -64,7 +69,11 @@ fn momentum_accelerates_early_training() {
         let mut net = lenet(1, 4, &mut rng);
         let trainer = Trainer::new(0.005).momentum(momentum).batch_size(8);
         let mut train_rng = SmallRng::seed_from_u64(11);
-        trainer.train(&mut net, &train, 4, &mut train_rng).last().expect("epochs").mean_loss
+        trainer
+            .train(&mut net, &train, 4, &mut train_rng)
+            .last()
+            .expect("epochs")
+            .mean_loss
     };
     let plain = final_loss(0.0);
     let with_momentum = final_loss(0.9);
@@ -80,15 +89,21 @@ fn weight_decay_shrinks_parameter_norms() {
     let weight_norm = |wd: f32| -> f64 {
         let mut rng = SmallRng::seed_from_u64(13);
         let mut net = lenet(1, 4, &mut rng);
-        let trainer = Trainer::new(0.01).momentum(0.9).batch_size(8).weight_decay(wd);
+        let trainer = Trainer::new(0.01)
+            .momentum(0.9)
+            .batch_size(8)
+            .weight_decay(wd);
         let mut train_rng = SmallRng::seed_from_u64(14);
         let _ = trainer.train(&mut net, &train, 3, &mut train_rng);
         net.nodes()
             .iter()
             .map(|n| match &n.op {
-                Op::Conv(c) => {
-                    c.weights().as_slice().iter().map(|w| f64::from(*w).powi(2)).sum::<f64>()
-                }
+                Op::Conv(c) => c
+                    .weights()
+                    .as_slice()
+                    .iter()
+                    .map(|w| f64::from(*w).powi(2))
+                    .sum::<f64>(),
                 Op::Linear(l) => l.weights().iter().map(|w| f64::from(*w).powi(2)).sum(),
                 _ => 0.0,
             })
@@ -97,7 +112,10 @@ fn weight_decay_shrinks_parameter_norms() {
     };
     let free = weight_norm(0.0);
     let decayed = weight_norm(0.01);
-    assert!(decayed < free, "weight decay did not shrink norms: {decayed} vs {free}");
+    assert!(
+        decayed < free,
+        "weight decay did not shrink norms: {decayed} vs {free}"
+    );
 }
 
 #[test]

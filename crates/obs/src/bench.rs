@@ -1,0 +1,175 @@
+//! A small wall-clock benchmark harness (the workspace's replacement for
+//! Criterion, which cannot be vendored under the offline dependency
+//! policy).
+//!
+//! ```no_run
+//! use cnnre_obs::bench::BenchGroup;
+//!
+//! let mut g = BenchGroup::new("fig3");
+//! g.sample_size(10);
+//! g.bench_function("trace_generation", || {
+//!     // workload
+//! });
+//! g.finish();
+//! ```
+//!
+//! Each benchmark runs one untimed warm-up iteration followed by
+//! `sample_size` timed iterations, and reports min / median / mean. Results
+//! are also recorded into the global metric registry (when enabled) under
+//! `bench.<group>.<name>.{min,median,mean}_ns`, so `--out` exporting picks
+//! them up.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmark's timing summary, in nanoseconds.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Fastest timed iteration.
+    pub min_ns: u64,
+    /// Median timed iteration.
+    pub median_ns: u64,
+    /// Mean timed iteration.
+    pub mean_ns: u64,
+    /// Number of timed iterations.
+    pub samples: usize,
+}
+
+/// A named group of benchmarks, printed as a table by [`BenchGroup::finish`].
+#[derive(Debug)]
+pub struct BenchGroup {
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+fn human(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.3} s", ns as f64 / 1e9),
+    }
+}
+
+impl BenchGroup {
+    /// A group named `name` with the default sample size (10).
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the number of timed iterations per benchmark.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` (its return value is passed through [`black_box`] so the
+    /// optimizer cannot delete the work) and records the result.
+    pub fn bench_function<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> &mut Self {
+        black_box(f()); // warm-up
+        let mut samples_ns: Vec<u64> = (0..self.sample_size)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            })
+            .collect();
+        samples_ns.sort_unstable();
+        let n = samples_ns.len();
+        let result = BenchResult {
+            name: name.to_owned(),
+            min_ns: samples_ns[0],
+            median_ns: samples_ns[n / 2],
+            mean_ns: (samples_ns.iter().map(|&x| u128::from(x)).sum::<u128>() / n as u128) as u64,
+            samples: n,
+        };
+        if crate::enabled() {
+            let reg = crate::global();
+            let key = format!("bench.{}.{}", self.name, result.name);
+            reg.counter(&format!("{key}.min.wall_ns"))
+                .add(result.min_ns);
+            reg.counter(&format!("{key}.median.wall_ns"))
+                .add(result.median_ns);
+            reg.counter(&format!("{key}.mean.wall_ns"))
+                .add(result.mean_ns);
+        }
+        self.results.push(result);
+        self
+    }
+
+    /// The results recorded so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the group's summary table to stdout and returns the results.
+    pub fn finish(self) -> Vec<BenchResult> {
+        let width = self
+            .results
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(9)
+            .max(9);
+        println!();
+        println!("group {}: {} samples/bench", self.name, self.sample_size);
+        println!(
+            "{:width$}  {:>12}  {:>12}  {:>12}",
+            "benchmark", "min", "median", "mean"
+        );
+        for r in &self.results {
+            println!(
+                "{:width$}  {:>12}  {:>12}  {:>12}",
+                r.name,
+                human(r.min_ns),
+                human(r.median_ns),
+                human(r.mean_ns)
+            );
+        }
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_ordered_and_counted() {
+        let mut g = BenchGroup::new("unit");
+        g.sample_size(5);
+        g.bench_function("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        let rs = g.finish();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].samples, 5);
+        assert!(rs[0].min_ns <= rs[0].median_ns);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(500), "500 ns");
+        assert!(human(50_000).ends_with("µs"));
+        assert!(human(50_000_000).ends_with("ms"));
+        assert!(human(5_000_000_000).ends_with('s'));
+    }
+}

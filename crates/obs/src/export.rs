@@ -1,0 +1,285 @@
+//! Snapshot exporters: flat JSON, JSON-lines, and an ASCII summary table.
+//!
+//! All exports are **deterministic** given the same metric values: keys are
+//! sorted (the snapshot map is a `BTreeMap`), number formatting is fixed,
+//! and wall-clock metrics (names ending in `.wall_ns`) can be excluded so
+//! two identical seeded runs produce byte-identical files.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::json;
+use crate::registry::HistogramStats;
+
+/// The exported value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Ordered series values.
+    Series(Vec<f64>),
+    /// Histogram summary statistics.
+    Histogram(HistogramStats),
+}
+
+impl MetricValue {
+    /// A scalar view: counters and gauges as themselves, histograms as
+    /// their mean, series as their last value.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Counter(c) => Some(*c as f64),
+            Self::Gauge(g) => Some(*g),
+            Self::Histogram(h) => Some(h.mean),
+            Self::Series(s) => s.last().copied(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`crate::Registry`]'s metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Metric name → exported value, sorted by name.
+    pub entries: BTreeMap<String, MetricValue>,
+}
+
+/// Whether a metric name carries wall-clock time (and is therefore
+/// excluded from deterministic exports).
+#[must_use]
+pub fn is_wall_clock(name: &str) -> bool {
+    name.ends_with(".wall_ns")
+}
+
+impl Snapshot {
+    /// Scalar value of `name` (see [`MetricValue::as_f64`]), or `None`.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.get(name).and_then(MetricValue::as_f64)
+    }
+
+    /// The full series recorded under `name`, or `None`.
+    #[must_use]
+    pub fn get_series(&self, name: &str) -> Option<&[f64]> {
+        match self.entries.get(name) {
+            Some(MetricValue::Series(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single pretty-printed JSON object, keys sorted.
+    ///
+    /// With `include_wall_clock == false`, metrics named `*.wall_ns` are
+    /// dropped, making the output deterministic across identical seeded
+    /// runs.
+    #[must_use]
+    pub fn to_json(&self, include_wall_clock: bool) -> String {
+        let mut out = String::from("{\n");
+        let mut first = true;
+        for (name, value) in &self.entries {
+            if !include_wall_clock && is_wall_clock(name) {
+                continue;
+            }
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str("  ");
+            json::push_str(&mut out, name);
+            out.push_str(": ");
+            match value {
+                MetricValue::Counter(c) => json::push_u64(&mut out, *c),
+                MetricValue::Gauge(g) => json::push_f64(&mut out, *g),
+                MetricValue::Series(s) => json::push_f64_array(&mut out, s),
+                MetricValue::Histogram(h) => {
+                    out.push_str("{\"count\": ");
+                    json::push_u64(&mut out, h.count);
+                    for (k, v) in [
+                        ("min", h.min),
+                        ("max", h.max),
+                        ("mean", h.mean),
+                        ("p50", h.p50),
+                        ("p90", h.p90),
+                        ("p99", h.p99),
+                    ] {
+                        let _ = write!(out, ", \"{k}\": ");
+                        json::push_f64(&mut out, v);
+                    }
+                    out.push('}');
+                }
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Serializes as JSON-lines: one `{"name": ..., "value": ...}` object
+    /// per metric per line, keys sorted. Series export their full array.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            out.push_str("{\"name\": ");
+            json::push_str(&mut out, name);
+            out.push_str(", \"value\": ");
+            match value {
+                MetricValue::Counter(c) => json::push_u64(&mut out, *c),
+                MetricValue::Gauge(g) => json::push_f64(&mut out, *g),
+                MetricValue::Series(s) => json::push_f64_array(&mut out, s),
+                MetricValue::Histogram(h) => json::push_f64(&mut out, h.mean),
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// A flat `BENCH_*.json`-style object: every metric reduced to one
+    /// number (series additionally export `<name>.sum`). Wall-clock
+    /// metrics are kept — benchmark files exist to carry timings.
+    #[must_use]
+    pub fn to_bench_json(&self, experiment: &str) -> String {
+        let mut out = String::from("{\n  \"experiment\": ");
+        json::push_str(&mut out, experiment);
+        for (name, value) in &self.entries {
+            if let Some(v) = value.as_f64() {
+                out.push_str(",\n  ");
+                json::push_str(&mut out, name);
+                out.push_str(": ");
+                json::push_f64(&mut out, v);
+            }
+            if let MetricValue::Series(s) = value {
+                out.push_str(",\n  ");
+                json::push_str(&mut out, &format!("{name}.sum"));
+                out.push_str(": ");
+                json::push_f64(&mut out, s.iter().sum());
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// A human-readable fixed-width summary table.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .entries
+            .keys()
+            .map(String::len)
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let _ = writeln!(out, "{:width$}  value", "metric");
+        let _ = writeln!(out, "{}  {}", "-".repeat(width), "-".repeat(24));
+        for (name, value) in &self.entries {
+            let rendered = match value {
+                MetricValue::Counter(c) => format!("{c}"),
+                MetricValue::Gauge(g) => format!("{g:.4}"),
+                MetricValue::Series(s) => {
+                    let mut r = String::from("[");
+                    for (i, v) in s.iter().enumerate() {
+                        if i == 8 {
+                            let _ = write!(r, ", ... {} total", s.len());
+                            break;
+                        }
+                        if i > 0 {
+                            r.push_str(", ");
+                        }
+                        let _ = write!(r, "{v}");
+                    }
+                    r.push(']');
+                    r
+                }
+                MetricValue::Histogram(h) => format!(
+                    "n={} mean={:.2} p50={:.2} p99={:.2}",
+                    h.count, h.mean, h.p50, h.p99
+                ),
+            };
+            let _ = writeln!(out, "{name:width$}  {rendered}");
+        }
+        out
+    }
+
+    /// Writes [`Snapshot::to_json`] output to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn write_json(&self, path: &Path, include_wall_clock: bool) -> io::Result<()> {
+        std::fs::write(path, self.to_json(include_wall_clock))
+    }
+
+    /// Writes [`Snapshot::to_bench_json`] output to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system errors.
+    pub fn write_bench_json(&self, path: &Path, experiment: &str) -> io::Result<()> {
+        std::fs::write(path, self.to_bench_json(experiment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    fn sample() -> Snapshot {
+        let _guard = crate::test_lock();
+        let r = Registry::new();
+        crate::set_enabled(true);
+        r.counter("accel.dram.writes").add(12);
+        r.gauge("attack.error").set(0.25);
+        r.series("solver.candidates_per_layer").push(18.0);
+        r.series("solver.candidates_per_layer").push(3.0);
+        r.counter("span.total.wall_ns").add(999);
+        crate::set_enabled(false);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_is_sorted_and_drops_wall_clock() {
+        let s = sample();
+        let det = s.to_json(false);
+        assert!(det.contains("\"accel.dram.writes\": 12"));
+        assert!(det.contains("\"solver.candidates_per_layer\": [18,3]"));
+        assert!(!det.contains("wall_ns"));
+        assert!(s.to_json(true).contains("\"span.total.wall_ns\": 999"));
+        // Keys appear in sorted order.
+        let a = det.find("accel.dram.writes").unwrap();
+        let b = det.find("attack.error").unwrap();
+        let c = det.find("solver.candidates_per_layer").unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let s = sample();
+        let jl = s.to_jsonl();
+        assert_eq!(jl.lines().count(), s.entries.len());
+        assert!(jl
+            .lines()
+            .all(|l| l.starts_with("{\"name\": ") && l.ends_with('}')));
+    }
+
+    #[test]
+    fn bench_json_flattens_series() {
+        let s = sample();
+        let b = s.to_bench_json("fig3");
+        assert!(b.contains("\"experiment\": \"fig3\""));
+        assert!(b.contains("\"solver.candidates_per_layer\": 3"));
+        assert!(b.contains("\"solver.candidates_per_layer.sum\": 21"));
+    }
+
+    #[test]
+    fn table_mentions_every_metric() {
+        let s = sample();
+        let t = s.to_table();
+        for name in s.entries.keys() {
+            assert!(t.contains(name.as_str()), "{name} missing from\n{t}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! A minimal JSON writer — just enough for the exporters (objects, arrays,
+//! strings, and finite numbers), with deterministic formatting.
+
+use std::fmt::Write;
+
+/// Escapes `s` and appends it as a JSON string (with quotes).
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a finite `f64` in the shortest round-trip form; integral values
+/// print without a fractional part, non-finite values print as `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// Appends a `u64`.
+pub fn push_u64(out: &mut String, v: u64) {
+    let _ = write!(out, "{v}");
+}
+
+/// Appends `[v0,v1,...]`.
+pub fn push_f64_array(out: &mut String, vs: &[f64]) {
+    out.push('[');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *v);
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(f: impl FnOnce(&mut String)) -> String {
+        let mut out = String::new();
+        f(&mut out);
+        out
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(s(|o| push_str(o, "a\"b\\c\nd")), r#""a\"b\\c\nd""#);
+        assert_eq!(s(|o| push_str(o, "\u{1}")), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers_format() {
+        assert_eq!(s(|o| push_f64(o, 3.0)), "3");
+        assert_eq!(s(|o| push_f64(o, 3.25)), "3.25");
+        assert_eq!(s(|o| push_f64(o, f64::NAN)), "null");
+        assert_eq!(s(|o| push_f64_array(o, &[1.0, 2.5])), "[1,2.5]");
+    }
+}

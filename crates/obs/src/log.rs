@@ -1,0 +1,173 @@
+//! A leveled stderr logger gated by the `CNNRE_LOG` environment variable.
+//!
+//! Levels, most to least severe: `error`, `warn`, `info`, `debug`,
+//! `trace`. The default is `warn`; set `CNNRE_LOG=debug` (or pass
+//! `--log-level debug` to the CLI, which calls [`set_level`]) to see
+//! per-stage attack progress. Everything goes to **stderr**, so piping a
+//! command's stdout stays clean.
+//!
+//! ```
+//! use cnnre_obs::log::{self, Level};
+//! log::set_level(Level::Debug);
+//! cnnre_obs::log_debug!("solver", "layer {} has {} candidates", 1, 18);
+//! ```
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or wrong-result conditions.
+    Error = 1,
+    /// Suspicious conditions the run survives.
+    Warn = 2,
+    /// High-level progress (one line per attack stage).
+    Info = 3,
+    /// Per-layer / per-segment detail.
+    Debug = 4,
+    /// Per-event firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parses a level name (case-insensitive); `off`/`none` disable
+    /// everything. Returns `None` for unknown names.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Option<Self>> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Some(None),
+            "error" => Some(Some(Self::Error)),
+            "warn" | "warning" => Some(Some(Self::Warn)),
+            "info" => Some(Some(Self::Info)),
+            "debug" => Some(Some(Self::Debug)),
+            "trace" => Some(Some(Self::Trace)),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Self::Error => "ERROR",
+            Self::Warn => "WARN",
+            Self::Info => "INFO",
+            Self::Debug => "DEBUG",
+            Self::Trace => "TRACE",
+        }
+    }
+}
+
+/// 0 = off, otherwise the numeric value of the max enabled [`Level`];
+/// u8::MAX = "not yet initialized from the environment".
+static LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn env_default() -> u8 {
+    static ENV: OnceLock<u8> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        match std::env::var("CNNRE_LOG")
+            .ok()
+            .as_deref()
+            .and_then(Level::parse)
+        {
+            Some(Some(l)) => l as u8,
+            Some(None) => 0,
+            None => Level::Warn as u8, // unset or unparsable: default to warn
+        }
+    })
+}
+
+/// Overrides the level (e.g. from a `--log-level` flag). `None` silences
+/// all logging.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Silences all logging.
+pub fn set_off() {
+    LEVEL.store(0, Ordering::Relaxed);
+}
+
+/// Whether a message at `level` would currently be emitted.
+#[must_use]
+pub fn level_enabled(level: Level) -> bool {
+    let cur = LEVEL.load(Ordering::Relaxed);
+    let cur = if cur == u8::MAX { env_default() } else { cur };
+    level as u8 <= cur
+}
+
+/// Emits one log line to stderr (used by the `log_*` macros).
+pub fn emit(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if !level_enabled(level) {
+        return;
+    }
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(err, "[{:5} {target}] {args}", level.name());
+}
+
+/// Logs at [`Level::Error`]: `log_error!("target", "fmt", args...)`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Error, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Warn, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Info, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Debug, $target, format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Trace`].
+#[macro_export]
+macro_rules! log_trace {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::emit($crate::log::Level::Trace, $target, format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_all_names() {
+        assert_eq!(Level::parse("debug"), Some(Some(Level::Debug)));
+        assert_eq!(Level::parse("WARN"), Some(Some(Level::Warn)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("bogus"), None);
+    }
+
+    #[test]
+    fn explicit_level_gates_messages() {
+        let _guard = crate::test_lock();
+        set_level(Level::Info);
+        assert!(level_enabled(Level::Error));
+        assert!(level_enabled(Level::Info));
+        assert!(!level_enabled(Level::Debug));
+        set_off();
+        assert!(!level_enabled(Level::Error));
+        set_level(Level::Warn);
+    }
+}

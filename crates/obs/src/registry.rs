@@ -1,0 +1,361 @@
+//! The metric registry: named counters, gauges, histograms, and series.
+//!
+//! Handles are cheap `Arc` clones; recording through a handle never takes
+//! the registry lock. The lock is only held while *looking up or creating*
+//! a metric, so hot loops should hoist the handle out of the loop (all the
+//! in-tree instrumentation does).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::export::{MetricValue, Snapshot};
+
+/// A monotonically increasing `u64` metric. Lock-free; safe to bump from
+/// any number of threads.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`. No-op while observability is disabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1. No-op while observability is disabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins `f64` metric (stored as bits in an `AtomicU64`).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge. No-op while observability is disabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A sample-recording metric with percentile queries.
+///
+/// Stores every sample (the workloads here record at most a few thousand
+/// per run); snapshots report count/min/max/mean and p50/p90/p99.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<Mutex<Vec<f64>>>);
+
+impl Histogram {
+    /// Records one sample. No-op while observability is disabled, and NaN
+    /// samples are dropped.
+    pub fn record(&self, v: f64) {
+        if crate::enabled() && !v.is_nan() {
+            self.0.lock().expect("histogram lock").push(v);
+        }
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("histogram lock").len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) by nearest-rank on the sorted
+    /// samples, or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is not within `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        let mut v = self.0.lock().expect("histogram lock").clone();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        Some(v[rank - 1])
+    }
+
+    pub(crate) fn stats(&self) -> Option<HistogramStats> {
+        let v = self.0.lock().expect("histogram lock").clone();
+        if v.is_empty() {
+            return None;
+        }
+        let mut sorted = v;
+        sorted.sort_by(f64::total_cmp);
+        let n = sorted.len();
+        let rank = |q: f64| sorted[((q * n as f64).ceil() as usize).clamp(1, n) - 1];
+        Some(HistogramStats {
+            count: n as u64,
+            min: sorted[0],
+            max: sorted[n - 1],
+            mean: sorted.iter().sum::<f64>() / n as f64,
+            p50: rank(0.5),
+            p90: rank(0.9),
+            p99: rank(0.99),
+        })
+    }
+}
+
+/// Summary statistics of a [`Histogram`] at snapshot time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistogramStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+}
+
+/// An append-only ordered sequence — per-layer or per-epoch values that
+/// must export as a JSON array in recording order.
+#[derive(Clone, Debug)]
+pub struct Series(Arc<Mutex<Vec<f64>>>);
+
+impl Series {
+    /// Appends a value. No-op while observability is disabled.
+    pub fn push(&self, v: f64) {
+        if crate::enabled() {
+            self.0.lock().expect("series lock").push(v);
+        }
+    }
+
+    /// The recorded values, in order.
+    #[must_use]
+    pub fn values(&self) -> Vec<f64> {
+        self.0.lock().expect("series lock").clone()
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.lock().expect("series lock").len()
+    }
+
+    /// Whether the series is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    Series(Series),
+}
+
+/// A named collection of metrics.
+///
+/// Most code uses the process-wide registry via [`global()`] (or the
+/// [`crate::counter`]-style shorthands); tests construct private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` already names a metric of a different kind.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Returns the gauge `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` already names a metric of a different kind.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Returns the histogram `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` already names a metric of a different kind.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Histogram(Arc::new(Mutex::new(Vec::new())))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Returns the series `name`, creating it on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` already names a metric of a different kind.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Series {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Series(Series(Arc::new(Mutex::new(Vec::new())))))
+        {
+            Metric::Series(s) => s.clone(),
+            other => panic!("metric {name:?} is not a series: {other:?}"),
+        }
+    }
+
+    /// A point-in-time copy of every metric, ready for export.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock().expect("registry lock");
+        let mut entries = BTreeMap::new();
+        for (name, metric) in m.iter() {
+            let value = match metric {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => match h.stats() {
+                    Some(s) => MetricValue::Histogram(s),
+                    None => continue, // empty histograms don't export
+                },
+                Metric::Series(s) => MetricValue::Series(s.values()),
+            };
+            entries.insert(name.clone(), value);
+        }
+        Snapshot { entries }
+    }
+
+    /// Drops every metric. Existing handles keep working but detach from
+    /// future snapshots.
+    pub fn reset(&self) {
+        self.metrics.lock().expect("registry lock").clear();
+    }
+}
+
+/// The process-wide registry used by all in-tree instrumentation.
+#[must_use]
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn with_enabled<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let out = f();
+        crate::set_enabled(false);
+        out
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let r = Registry::new();
+        with_enabled(|| {
+            r.counter("a.b").add(2);
+            r.counter("a.b").inc();
+        });
+        assert_eq!(r.counter("a.b").get(), 3);
+        assert_eq!(r.snapshot().get("a.b"), Some(3.0));
+    }
+
+    #[test]
+    fn disabled_recording_is_dropped() {
+        let _guard = crate::test_lock();
+        let r = Registry::new();
+        crate::set_enabled(false);
+        r.counter("x").add(5);
+        r.gauge("g").set(1.0);
+        r.series("s").push(1.0);
+        r.histogram("h").record(1.0);
+        assert_eq!(r.counter("x").get(), 0);
+        assert_eq!(r.gauge("g").get(), 0.0);
+        assert!(r.series("s").is_empty());
+        assert!(r.histogram("h").is_empty());
+    }
+
+    #[test]
+    fn series_preserves_order() {
+        let r = Registry::new();
+        with_enabled(|| {
+            for i in 0..5 {
+                r.series("layers").push(f64::from(i));
+            }
+        });
+        assert_eq!(r.series("layers").values(), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.gauge("m");
+        let _ = r.counter("m");
+    }
+}

@@ -1,9 +1,9 @@
 //! Seeded weight initializers.
 //!
-//! Every initializer takes an explicit [`rand::Rng`] so that all experiments
+//! Every initializer takes an explicit [`crate::rng::Rng`] so that all experiments
 //! in the workspace are reproducible from a single seed.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 use crate::{Shape3, Shape4, Tensor3, Tensor4};
 
@@ -80,7 +80,10 @@ pub fn compressed_conv<R: Rng + ?Sized>(
     prune_fraction: f64,
     quant_bits: u32,
 ) -> Tensor4 {
-    assert!((0.0..=1.0).contains(&prune_fraction), "prune_fraction must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&prune_fraction),
+        "prune_fraction must be in [0,1]"
+    );
     assert!(quant_bits > 0, "quant_bits must be positive");
     let mut bank = he_conv(rng, shape);
     let item_len = shape.item().len();
@@ -89,7 +92,10 @@ pub fn compressed_conv<R: Rng + ?Sized>(
         // Magnitude pruning: zero the smallest |w| entries.
         let mut order: Vec<usize> = (0..item_len).collect();
         order.sort_by(|&a, &b| {
-            filter[a].abs().partial_cmp(&filter[b].abs()).expect("weights are finite")
+            filter[a]
+                .abs()
+                .partial_cmp(&filter[b].abs())
+                .expect("weights are finite")
         });
         let n_prune = ((item_len as f64) * prune_fraction).round() as usize;
         for &i in order.iter().take(n_prune) {
@@ -115,8 +121,8 @@ pub fn compressed_conv<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
+    use crate::rng::SmallRng;
 
     #[test]
     fn uniform_respects_limit() {
@@ -128,8 +134,16 @@ mod tests {
 
     #[test]
     fn init_is_seed_deterministic() {
-        let a = uniform4(&mut SmallRng::seed_from_u64(7), Shape4::new(2, 2, 3, 3), 1.0);
-        let b = uniform4(&mut SmallRng::seed_from_u64(7), Shape4::new(2, 2, 3, 3), 1.0);
+        let a = uniform4(
+            &mut SmallRng::seed_from_u64(7),
+            Shape4::new(2, 2, 3, 3),
+            1.0,
+        );
+        let b = uniform4(
+            &mut SmallRng::seed_from_u64(7),
+            Shape4::new(2, 2, 3, 3),
+            1.0,
+        );
         assert_eq!(a, b);
     }
 
@@ -147,7 +161,11 @@ mod tests {
         let item_len = shape.item().len();
         for n in 0..shape.n {
             let zeros = bank.item(n).iter().filter(|&&v| v == 0.0).count();
-            assert_eq!(zeros, (item_len as f64 * 0.4).round() as usize, "filter {n}");
+            assert_eq!(
+                zeros,
+                (item_len as f64 * 0.4).round() as usize,
+                "filter {n}"
+            );
         }
     }
 

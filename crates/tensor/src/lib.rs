@@ -35,6 +35,7 @@ mod tensor4;
 pub mod fixed;
 pub mod init;
 pub mod ops;
+pub mod rng;
 
 pub use shape::{Shape3, Shape4};
 pub use tensor3::Tensor3;
@@ -61,7 +62,10 @@ impl core::fmt::Display for TensorError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: shape requires {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "length mismatch: shape requires {expected} elements, got {actual}"
+                )
             }
             TensorError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
         }

@@ -71,7 +71,10 @@ pub fn argmax(x: &[f32]) -> Option<usize> {
 #[must_use]
 pub fn top_k(x: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..x.len()).collect();
-    idx.sort_by(|&a, &b| x[b].partial_cmp(&x[a]).unwrap_or(core::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        x[b].partial_cmp(&x[a])
+            .unwrap_or(core::cmp::Ordering::Equal)
+    });
     idx.truncate(k);
     idx
 }
@@ -96,13 +99,15 @@ pub fn mse(x: &[f32], y: &[f32]) -> f32 {
 #[must_use]
 pub fn max_abs_diff(x: &[f32], y: &[f32]) -> f32 {
     assert_eq!(x.len(), y.len(), "max_abs_diff length mismatch");
-    x.iter().zip(y).fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
+    x.iter()
+        .zip(y)
+        .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{Rng, SeedableRng, SmallRng};
 
     #[test]
     fn axpy_and_dot() {
@@ -130,32 +135,46 @@ mod tests {
         assert_eq!(max_abs_diff(&[1.0, 2.0], &[0.5, 4.0]), 2.0);
     }
 
-    proptest! {
-        #[test]
-        fn axpy_zero_alpha_is_identity(v in proptest::collection::vec(-1e3f32..1e3, 1..64)) {
+    fn rand_vec(rng: &mut SmallRng, len_range: core::ops::Range<usize>, amp: f32) -> Vec<f32> {
+        let len = rng.gen_range(len_range);
+        (0..len).map(|_| rng.gen_range(-amp..amp)).collect()
+    }
+
+    #[test]
+    fn axpy_zero_alpha_is_identity() {
+        let mut rng = SmallRng::seed_from_u64(0xA0);
+        for _ in 0..128 {
+            let v = rand_vec(&mut rng, 1..64, 1e3);
             let mut y = v.clone();
             let x = vec![1.0f32; v.len()];
             axpy(0.0, &x, &mut y);
-            prop_assert_eq!(y, v);
+            assert_eq!(y, v);
         }
+    }
 
-        #[test]
-        fn dot_commutes(
-            a in proptest::collection::vec(-1e2f32..1e2, 1..32),
-            b in proptest::collection::vec(-1e2f32..1e2, 1..32),
-        ) {
+    #[test]
+    fn dot_commutes() {
+        let mut rng = SmallRng::seed_from_u64(0xA1);
+        for _ in 0..128 {
+            let a = rand_vec(&mut rng, 1..32, 1e2);
+            let b = rand_vec(&mut rng, 1..32, 1e2);
             let n = a.len().min(b.len());
             let d1 = dot(&a[..n], &b[..n]);
             let d2 = dot(&b[..n], &a[..n]);
-            prop_assert!((d1 - d2).abs() <= 1e-3 * (1.0 + d1.abs()));
+            assert!((d1 - d2).abs() <= 1e-3 * (1.0 + d1.abs()));
         }
+    }
 
-        #[test]
-        fn top_k_is_sorted_descending(v in proptest::collection::vec(-1e3f32..1e3, 1..64), k in 1usize..8) {
+    #[test]
+    fn top_k_is_sorted_descending() {
+        let mut rng = SmallRng::seed_from_u64(0xA2);
+        for _ in 0..128 {
+            let v = rand_vec(&mut rng, 1..64, 1e3);
+            let k = rng.gen_range(1usize..8);
             let idx = top_k(&v, k);
-            prop_assert_eq!(idx.len(), k.min(v.len()));
+            assert_eq!(idx.len(), k.min(v.len()));
             for pair in idx.windows(2) {
-                prop_assert!(v[pair[0]] >= v[pair[1]]);
+                assert!(v[pair[0]] >= v[pair[1]]);
             }
         }
     }

@@ -59,7 +59,10 @@ impl Shape3 {
     #[inline]
     #[must_use]
     pub fn index(&self, c: usize, h: usize, w: usize) -> usize {
-        debug_assert!(c < self.c && h < self.h && w < self.w, "index ({c},{h},{w}) out of {self:?}");
+        debug_assert!(
+            c < self.c && h < self.h && w < self.w,
+            "index ({c},{h},{w}) out of {self:?}"
+        );
         (c * self.h + h) * self.w + w
     }
 

@@ -26,13 +26,19 @@ impl Tensor3 {
     /// Creates a tensor filled with zeros.
     #[must_use]
     pub fn zeros(shape: Shape3) -> Self {
-        Self { shape, data: vec![0.0; shape.len()] }
+        Self {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     #[must_use]
     pub fn full(shape: Shape3, value: f32) -> Self {
-        Self { shape, data: vec![value; shape.len()] }
+        Self {
+            shape,
+            data: vec![value; shape.len()],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -43,7 +49,10 @@ impl Tensor3 {
     /// `shape.len()`.
     pub fn from_vec(shape: Shape3, data: Vec<f32>) -> Result<Self, TensorError> {
         if data.len() != shape.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -104,7 +113,11 @@ impl Tensor3 {
     /// Panics when `c` is out of bounds.
     #[must_use]
     pub fn channel(&self, c: usize) -> &[f32] {
-        assert!(c < self.shape.c, "channel {c} out of bounds for {}", self.shape);
+        assert!(
+            c < self.shape.c,
+            "channel {c} out of bounds for {}",
+            self.shape
+        );
         let plane = self.shape.h * self.shape.w;
         &self.data[c * plane..(c + 1) * plane]
     }
@@ -115,7 +128,11 @@ impl Tensor3 {
     ///
     /// Panics when `c` is out of bounds.
     pub fn channel_mut(&mut self, c: usize) -> &mut [f32] {
-        assert!(c < self.shape.c, "channel {c} out of bounds for {}", self.shape);
+        assert!(
+            c < self.shape.c,
+            "channel {c} out of bounds for {}",
+            self.shape
+        );
         let plane = self.shape.h * self.shape.w;
         &mut self.data[c * plane..(c + 1) * plane]
     }
@@ -189,14 +206,25 @@ mod tests {
     #[test]
     fn from_vec_checks_length() {
         let err = Tensor3::from_vec(Shape3::new(1, 2, 2), vec![0.0; 3]).unwrap_err();
-        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 3 });
+        assert_eq!(
+            err,
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3
+            }
+        );
         assert!(Tensor3::from_vec(Shape3::new(1, 2, 2), vec![0.0; 4]).is_ok());
     }
 
     #[test]
     fn indexing_layout_is_channel_major() {
-        let t = Tensor3::from_fn(Shape3::new(2, 2, 2), |c, h, w| (c * 100 + h * 10 + w) as f32);
-        assert_eq!(t.as_slice(), &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]);
+        let t = Tensor3::from_fn(Shape3::new(2, 2, 2), |c, h, w| {
+            (c * 100 + h * 10 + w) as f32
+        });
+        assert_eq!(
+            t.as_slice(),
+            &[0.0, 1.0, 10.0, 11.0, 100.0, 101.0, 110.0, 111.0]
+        );
         assert_eq!(t[(1, 0, 1)], 101.0);
     }
 

@@ -25,7 +25,10 @@ impl Tensor4 {
     /// Creates a tensor filled with zeros.
     #[must_use]
     pub fn zeros(shape: Shape4) -> Self {
-        Self { shape, data: vec![0.0; shape.len()] }
+        Self {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
     }
 
     /// Creates a tensor from an existing buffer.
@@ -36,7 +39,10 @@ impl Tensor4 {
     /// `shape.len()`.
     pub fn from_vec(shape: Shape4, data: Vec<f32>) -> Result<Self, TensorError> {
         if data.len() != shape.len() {
-            return Err(TensorError::LengthMismatch { expected: shape.len(), actual: data.len() });
+            return Err(TensorError::LengthMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
         }
         Ok(Self { shape, data })
     }
@@ -66,7 +72,10 @@ impl Tensor4 {
     pub fn stack(items: &[Tensor3]) -> Result<Self, TensorError> {
         let first = items
             .first()
-            .ok_or(TensorError::LengthMismatch { expected: 1, actual: 0 })?
+            .ok_or(TensorError::LengthMismatch {
+                expected: 1,
+                actual: 0,
+            })?
             .shape();
         let mut data = Vec::with_capacity(items.len() * first.len());
         for item in items {
@@ -77,7 +86,10 @@ impl Tensor4 {
             }
             data.extend_from_slice(item.as_slice());
         }
-        Ok(Self { shape: Shape4::new(items.len(), first.c, first.h, first.w), data })
+        Ok(Self {
+            shape: Shape4::new(items.len(), first.c, first.h, first.w),
+            data,
+        })
     }
 
     /// The tensor's shape.
@@ -123,7 +135,11 @@ impl Tensor4 {
     /// Panics when `n` is out of bounds.
     #[must_use]
     pub fn item(&self, n: usize) -> &[f32] {
-        assert!(n < self.shape.n, "item {n} out of bounds for {}", self.shape);
+        assert!(
+            n < self.shape.n,
+            "item {n} out of bounds for {}",
+            self.shape
+        );
         let stride = self.shape.item().len();
         &self.data[n * stride..(n + 1) * stride]
     }
@@ -134,7 +150,11 @@ impl Tensor4 {
     ///
     /// Panics when `n` is out of bounds.
     pub fn item_mut(&mut self, n: usize) -> &mut [f32] {
-        assert!(n < self.shape.n, "item {n} out of bounds for {}", self.shape);
+        assert!(
+            n < self.shape.n,
+            "item {n} out of bounds for {}",
+            self.shape
+        );
         let stride = self.shape.item().len();
         &mut self.data[n * stride..(n + 1) * stride]
     }
@@ -198,13 +218,18 @@ mod tests {
     fn stack_rejects_mismatch() {
         let a = Tensor3::zeros(Shape3::new(2, 2, 2));
         let b = Tensor3::zeros(Shape3::new(2, 2, 3));
-        assert!(matches!(Tensor4::stack(&[a, b]), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            Tensor4::stack(&[a, b]),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
         assert!(Tensor4::stack(&[]).is_err());
     }
 
     #[test]
     fn index4_layout() {
-        let t = Tensor4::from_fn(Shape4::new(2, 1, 2, 2), |n, _, h, w| (n * 100 + h * 10 + w) as f32);
+        let t = Tensor4::from_fn(Shape4::new(2, 1, 2, 2), |n, _, h, w| {
+            (n * 100 + h * 10 + w) as f32
+        });
         assert_eq!(t[(1, 0, 1, 0)], 110.0);
         assert_eq!(t.item(1), &[100.0, 101.0, 110.0, 111.0]);
     }

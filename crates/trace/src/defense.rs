@@ -21,8 +21,8 @@
 //!   write count no longer depends on data) at the cost of forfeiting the
 //!   pruning bandwidth savings; the §3 structure leak remains.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use cnnre_tensor::rng::Rng;
+use cnnre_tensor::rng::SliceRandom;
 
 use crate::{AccessKind, Addr, MemoryEvent, Trace};
 
@@ -38,7 +38,10 @@ pub struct OramConfig {
 
 impl Default for OramConfig {
     fn default() -> Self {
-        Self { logical_blocks: 1 << 16, bucket_blocks: 4 }
+        Self {
+            logical_blocks: 1 << 16,
+            bucket_blocks: 4,
+        }
     }
 }
 
@@ -87,10 +90,15 @@ impl OramStats {
 /// reordering) so duration-based observations degrade gracefully rather
 /// than trivially.
 #[must_use]
-pub fn obfuscate<R: Rng + ?Sized>(trace: &Trace, config: OramConfig, rng: &mut R) -> (Trace, OramStats) {
+pub fn obfuscate<R: Rng + ?Sized>(
+    trace: &Trace,
+    config: OramConfig,
+    rng: &mut R,
+) -> (Trace, OramStats) {
     let depth = config.tree_depth();
     let block = trace.block_bytes();
-    let mut out: Vec<MemoryEvent> = Vec::with_capacity(trace.len() * config.overhead_factor() as usize);
+    let mut out: Vec<MemoryEvent> =
+        Vec::with_capacity(trace.len() * config.overhead_factor() as usize);
     for ev in trace.events() {
         let leaf: u64 = rng.gen_range(0..(1u64 << depth));
         // Bucket indices along the path in a 1-indexed heap layout.
@@ -115,7 +123,10 @@ pub fn obfuscate<R: Rng + ?Sized>(trace: &Trace, config: OramConfig, rng: &mut R
             }
         }
     }
-    let stats = OramStats { input_events: trace.len(), output_events: out.len() };
+    let stats = OramStats {
+        input_events: trace.len(),
+        output_events: out.len(),
+    };
     (Trace::from_parts(out, block, trace.element_bytes()), stats)
 }
 
@@ -124,8 +135,8 @@ mod tests {
     use super::*;
     use crate::segment::segment_trace;
     use crate::TraceBuilder;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     fn layered_trace() -> Trace {
         // Three "layers" that plain segmentation separates cleanly.
@@ -159,13 +170,19 @@ mod tests {
 
     #[test]
     fn overhead_matches_model() {
-        let cfg = OramConfig { logical_blocks: 1 << 10, bucket_blocks: 4 };
+        let cfg = OramConfig {
+            logical_blocks: 1 << 10,
+            bucket_blocks: 4,
+        };
         assert_eq!(cfg.tree_depth(), 10);
         assert_eq!(cfg.overhead_factor(), 2 * 4 * 11);
         let trace = layered_trace();
         let mut rng = SmallRng::seed_from_u64(1);
         let (ob, stats) = obfuscate(&trace, cfg, &mut rng);
-        assert_eq!(stats.output_events, trace.len() * cfg.overhead_factor() as usize);
+        assert_eq!(
+            stats.output_events,
+            trace.len() * cfg.overhead_factor() as usize
+        );
         assert!((stats.overhead() - cfg.overhead_factor() as f64).abs() < 1e-9);
         assert_eq!(ob.len(), stats.output_events);
     }
@@ -202,11 +219,7 @@ mod tests {
 /// mitigation (small reorder buffer) — insufficient against this paper's
 /// attacks, which only need region footprints and coarse ordering.
 #[must_use]
-pub fn shuffle_within_window<R: Rng + ?Sized>(
-    trace: &Trace,
-    window: usize,
-    rng: &mut R,
-) -> Trace {
+pub fn shuffle_within_window<R: Rng + ?Sized>(trace: &Trace, window: usize, rng: &mut R) -> Trace {
     assert!(window > 0, "window must be positive");
     let (mut events, block, elem) = trace.clone().into_parts();
     for chunk in events.chunks_mut(window) {
@@ -244,7 +257,11 @@ pub fn pad_write_traffic(trace: &Trace, regions: &[(Addr, u64)]) -> (Trace, Padd
     // Track which blocks of each region have been written; at the last
     // write touching a region (before any other region is written), flush
     // dummy writes over the untouched remainder.
-    let region_of = |addr: Addr| regions.iter().position(|&(base, len)| addr >= base && addr < base + len);
+    let region_of = |addr: Addr| {
+        regions
+            .iter()
+            .position(|&(base, len)| addr >= base && addr < base + len)
+    };
     let mut written: Vec<std::collections::HashSet<Addr>> =
         vec![std::collections::HashSet::new(); regions.len()];
     let mut flushed = vec![false; regions.len()];
@@ -253,7 +270,9 @@ pub fn pad_write_traffic(trace: &Trace, regions: &[(Addr, u64)]) -> (Trace, Padd
         if !ev.kind.is_write() {
             continue;
         }
-        let Some(r) = region_of(ev.addr) else { continue };
+        let Some(r) = region_of(ev.addr) else {
+            continue;
+        };
         if flushed[r] {
             continue;
         }
@@ -272,14 +291,24 @@ pub fn pad_write_traffic(trace: &Trace, regions: &[(Addr, u64)]) -> (Trace, Padd
             for b in first..=last {
                 let addr = b * block;
                 if !written[r].contains(&addr) {
-                    out.push(MemoryEvent { cycle: ev.cycle, addr, kind: AccessKind::Write });
+                    out.push(MemoryEvent {
+                        cycle: ev.cycle,
+                        addr,
+                        kind: AccessKind::Write,
+                    });
                 }
             }
             flushed[r] = true;
         }
     }
     let writes_after = out.iter().filter(|e| e.kind.is_write()).count();
-    (Trace::from_parts(out, block, elem), PaddingStats { writes_before, writes_after })
+    (
+        Trace::from_parts(out, block, elem),
+        PaddingStats {
+            writes_before,
+            writes_after,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -287,14 +316,22 @@ mod defense_extra_tests {
     use super::*;
     use crate::segment::segment_trace;
     use crate::TraceBuilder;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     #[test]
     fn window_shuffle_keeps_cycles_monotone_and_footprint() {
         let mut b = TraceBuilder::new(64, 4);
         for i in 0..64u64 {
-            b.record(i, i * 64, if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read });
+            b.record(
+                i,
+                i * 64,
+                if i % 3 == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                },
+            );
         }
         let t = b.finish();
         let mut rng = SmallRng::seed_from_u64(5);
@@ -302,7 +339,10 @@ mod defense_extra_tests {
         assert_eq!(s.len(), t.len());
         assert_eq!(s.read_count(), t.read_count());
         let cycles: Vec<u64> = s.events().iter().map(|e| e.cycle).collect();
-        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "time stays monotone");
+        assert!(
+            cycles.windows(2).all(|w| w[0] <= w[1]),
+            "time stays monotone"
+        );
         // The address multiset is unchanged.
         let mut a: Vec<u64> = t.events().iter().map(|e| e.addr).collect();
         let mut b2: Vec<u64> = s.events().iter().map(|e| e.addr).collect();
@@ -391,8 +431,8 @@ pub fn jitter_timing<R: Rng + ?Sized>(trace: &Trace, amplitude: f64, rng: &mut R
 mod jitter_tests {
     use super::*;
     use crate::TraceBuilder;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use cnnre_tensor::rng::SeedableRng;
+    use cnnre_tensor::rng::SmallRng;
 
     #[test]
     fn jitter_preserves_order_and_addresses() {

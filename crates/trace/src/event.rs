@@ -141,7 +141,11 @@ impl Trace {
     #[must_use]
     pub fn from_parts(events: Vec<MemoryEvent>, block_bytes: u64, element_bytes: u64) -> Self {
         check_geometry(block_bytes, element_bytes);
-        Self { events, block_bytes, element_bytes }
+        Self {
+            events,
+            block_bytes,
+            element_bytes,
+        }
     }
 }
 
@@ -171,7 +175,11 @@ impl TraceBuilder {
     #[must_use]
     pub fn new(block_bytes: u64, element_bytes: u64) -> Self {
         check_geometry(block_bytes, element_bytes);
-        Self { events: Vec::new(), block_bytes, element_bytes }
+        Self {
+            events: Vec::new(),
+            block_bytes,
+            element_bytes,
+        }
     }
 
     /// DRAM burst size in bytes.
@@ -193,7 +201,13 @@ impl TraceBuilder {
     /// Records transactions covering the byte range
     /// `[start, start + len_bytes)`, one per block, at the given cycle.
     /// Returns the number of transactions emitted.
-    pub fn record_range(&mut self, cycle: Cycle, start: Addr, len_bytes: u64, kind: AccessKind) -> u64 {
+    pub fn record_range(
+        &mut self,
+        cycle: Cycle,
+        start: Addr,
+        len_bytes: u64,
+        kind: AccessKind,
+    ) -> u64 {
         if len_bytes == 0 {
             return 0;
         }
@@ -220,7 +234,11 @@ impl TraceBuilder {
     /// Finalizes the trace.
     #[must_use]
     pub fn finish(self) -> Trace {
-        Trace { events: self.events, block_bytes: self.block_bytes, element_bytes: self.element_bytes }
+        Trace {
+            events: self.events,
+            block_bytes: self.block_bytes,
+            element_bytes: self.element_bytes,
+        }
     }
 }
 

@@ -45,10 +45,21 @@ impl From<std::io::Error> for TraceIoError {
 ///
 /// Returns [`TraceIoError::Io`] on write failure.
 pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
-    writeln!(w, "# block_bytes={} element_bytes={}", trace.block_bytes(), trace.element_bytes())?;
+    writeln!(
+        w,
+        "# block_bytes={} element_bytes={}",
+        trace.block_bytes(),
+        trace.element_bytes()
+    )?;
     writeln!(w, "cycle,address,is_write")?;
     for ev in trace.events() {
-        writeln!(w, "{},{},{}", ev.cycle, ev.addr, u8::from(ev.kind.is_write()))?;
+        writeln!(
+            w,
+            "{},{},{}",
+            ev.cycle,
+            ev.addr,
+            u8::from(ev.kind.is_write())
+        )?;
     }
     Ok(())
 }
@@ -60,15 +71,19 @@ pub fn write_csv<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> 
 /// Returns [`TraceIoError`] on I/O failure or malformed content.
 pub fn read_csv<R: Read>(r: R) -> Result<Trace, TraceIoError> {
     let mut lines = BufReader::new(r).lines();
-    let header = lines
-        .next()
-        .ok_or(TraceIoError::Parse { record: 0, detail: "empty input".to_string() })??;
+    let header = lines.next().ok_or(TraceIoError::Parse {
+        record: 0,
+        detail: "empty input".to_string(),
+    })??;
     let parse_kv = |key: &str| -> Result<u64, TraceIoError> {
         header
             .split_whitespace()
             .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
             .and_then(|v| v.parse().ok())
-            .ok_or(TraceIoError::Parse { record: 0, detail: format!("missing {key}") })
+            .ok_or(TraceIoError::Parse {
+                record: 0,
+                detail: format!("missing {key}"),
+            })
     };
     let block_bytes = parse_kv("block_bytes")?;
     let element_bytes = parse_kv("element_bytes")?;
@@ -88,14 +103,20 @@ pub fn read_csv<R: Read>(r: R) -> Result<Trace, TraceIoError> {
                 detail: format!("missing field {name}"),
             })
         };
-        let cycle = next("cycle")?.trim().parse().map_err(|e| TraceIoError::Parse {
-            record: i + 1,
-            detail: format!("cycle: {e}"),
-        })?;
-        let addr = next("address")?.trim().parse().map_err(|e| TraceIoError::Parse {
-            record: i + 1,
-            detail: format!("address: {e}"),
-        })?;
+        let cycle = next("cycle")?
+            .trim()
+            .parse()
+            .map_err(|e| TraceIoError::Parse {
+                record: i + 1,
+                detail: format!("cycle: {e}"),
+            })?;
+        let addr = next("address")?
+            .trim()
+            .parse()
+            .map_err(|e| TraceIoError::Parse {
+                record: i + 1,
+                detail: format!("address: {e}"),
+            })?;
         let kind = match next("is_write")?.trim() {
             "0" => AccessKind::Read,
             "1" => AccessKind::Write,
@@ -141,7 +162,10 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != BINARY_MAGIC {
-        return Err(TraceIoError::Parse { record: 0, detail: "bad magic".to_string() });
+        return Err(TraceIoError::Parse {
+            record: 0,
+            detail: "bad magic".to_string(),
+        });
     }
     let mut u64buf = [0u8; 8];
     let mut read_u64 = |r: &mut R| -> Result<u64, TraceIoError> {

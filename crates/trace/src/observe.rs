@@ -78,7 +78,10 @@ impl TraceObservations {
     /// segments filtered out), in order.
     #[must_use]
     pub fn compute_layers(&self) -> Vec<&LayerObservation> {
-        self.layers.iter().filter(|l| l.kind == LayerKindHint::Compute).collect()
+        self.layers
+            .iter()
+            .filter(|l| l.kind == LayerKindHint::Compute)
+            .collect()
     }
 
     /// Inclusive lower and exclusive upper bound on an element count whose
@@ -89,7 +92,10 @@ impl TraceObservations {
         if blocks == 0 {
             return (0, 0);
         }
-        ((blocks - 1) * self.elems_per_block, blocks * self.elems_per_block)
+        (
+            (blocks - 1) * self.elems_per_block,
+            blocks * self.elems_per_block,
+        )
     }
 
     /// True when `candidate_elems` is consistent with a measured footprint
@@ -176,7 +182,10 @@ pub fn observe_with(trace: &Trace, config: SegmentConfig) -> TraceObservations {
             weight_blocks: ro_read.len() as u64,
             ifm_sources: ifm_read
                 .into_iter()
-                .map(|(p, s)| IfmSource { producer: p, blocks: s.len() as u64 })
+                .map(|(p, s)| IfmSource {
+                    producer: p,
+                    blocks: s.len() as u64,
+                })
                 .collect(),
             cycles: seg.cycles(),
         });
@@ -185,10 +194,15 @@ pub fn observe_with(trace: &Trace, config: SegmentConfig) -> TraceObservations {
     // transaction to the next layer's first transaction. (The span of its
     // own events alone misses the trailing compute that overlaps no DMA.)
     for i in 0..layers.len().saturating_sub(1) {
-        layers[i].cycles =
-            layers[i + 1].segment.start_cycle.saturating_sub(layers[i].segment.start_cycle);
+        layers[i].cycles = layers[i + 1]
+            .segment
+            .start_cycle
+            .saturating_sub(layers[i].segment.start_cycle);
     }
-    TraceObservations { layers, elems_per_block: trace.elems_per_block() }
+    TraceObservations {
+        layers,
+        elems_per_block: trace.elems_per_block(),
+    }
 }
 
 #[cfg(test)]
@@ -231,11 +245,23 @@ mod tests {
         assert_eq!(l1.kind, LayerKindHint::Compute);
         assert_eq!(l1.weight_blocks, 3);
         assert_eq!(l1.ofm_blocks, 6);
-        assert_eq!(l1.ifm_sources, vec![IfmSource { producer: 0, blocks: 4 }]);
+        assert_eq!(
+            l1.ifm_sources,
+            vec![IfmSource {
+                producer: 0,
+                blocks: 4
+            }]
+        );
 
         let l2 = &obs.layers[2];
         assert_eq!(l2.weight_blocks, 2);
-        assert_eq!(l2.ifm_sources, vec![IfmSource { producer: 1, blocks: 6 }]);
+        assert_eq!(
+            l2.ifm_sources,
+            vec![IfmSource {
+                producer: 1,
+                blocks: 6
+            }]
+        );
         assert_eq!(obs.compute_layers().len(), 2);
     }
 
@@ -252,7 +278,7 @@ mod tests {
         record_n(&mut b, &mut t, 0x30_000, 1, AccessKind::Read); // w2
         record_n(&mut b, &mut t, 0x20_000, 3, AccessKind::Read);
         record_n(&mut b, &mut t, 0x40_000, 3, AccessKind::Write); // B
-        // Merge: read B (RAW boundary), read A (bypass), write C.
+                                                                  // Merge: read B (RAW boundary), read A (bypass), write C.
         record_n(&mut b, &mut t, 0x40_000, 3, AccessKind::Read);
         record_n(&mut b, &mut t, 0x20_000, 3, AccessKind::Read);
         record_n(&mut b, &mut t, 0x50_000, 3, AccessKind::Write); // C
@@ -263,7 +289,16 @@ mod tests {
         assert_eq!(merge.weight_blocks, 0);
         assert_eq!(
             merge.ifm_sources,
-            vec![IfmSource { producer: 1, blocks: 3 }, IfmSource { producer: 2, blocks: 3 }]
+            vec![
+                IfmSource {
+                    producer: 1,
+                    blocks: 3
+                },
+                IfmSource {
+                    producer: 2,
+                    blocks: 3
+                }
+            ]
         );
     }
 

@@ -23,6 +23,8 @@
 use std::collections::BTreeMap;
 use std::collections::HashSet;
 
+use cnnre_obs::{log_debug, Counter};
+
 use crate::{Addr, Cycle, MemoryEvent, Trace};
 
 /// A contiguous run of trace events attributed to one accelerator layer
@@ -74,7 +76,9 @@ impl SegmentConfig {
     /// Default configuration for a given trace (slack = one block).
     #[must_use]
     pub fn for_trace(trace: &Trace) -> Self {
-        Self { slack_bytes: trace.block_bytes() }
+        Self {
+            slack_bytes: trace.block_bytes(),
+        }
     }
 }
 
@@ -95,7 +99,11 @@ impl IntervalSet {
     /// to be created.
     fn insert(&mut self, addr: Addr, block: u64, slack: u64) -> bool {
         // Predecessor interval: the last interval starting at or before addr.
-        let pred = self.intervals.range(..=addr).next_back().map(|(&lo, &hi)| (lo, hi));
+        let pred = self
+            .intervals
+            .range(..=addr)
+            .next_back()
+            .map(|(&lo, &hi)| (lo, hi));
         if let Some((lo, hi)) = pred {
             if addr <= hi.saturating_add(slack) {
                 let new_hi = hi.max(addr + block - 1);
@@ -105,7 +113,11 @@ impl IntervalSet {
             }
         }
         // Successor interval: the first interval starting after addr.
-        let succ = self.intervals.range(addr..).next().map(|(&lo, &hi)| (lo, hi));
+        let succ = self
+            .intervals
+            .range(addr..)
+            .next()
+            .map(|(&lo, &hi)| (lo, hi));
         if let Some((lo, hi)) = succ {
             if lo <= (addr + block - 1).saturating_add(slack) {
                 self.intervals.remove(&lo);
@@ -167,8 +179,11 @@ pub fn segment_trace(trace: &Trace) -> Vec<Segment> {
 #[must_use]
 pub fn segment_trace_with(trace: &Trace, config: SegmentConfig) -> Vec<Segment> {
     let mut segmenter = StreamingSegmenter::new(trace.block_bytes(), config);
-    let mut segments: Vec<Segment> =
-        trace.events().iter().filter_map(|ev| segmenter.push(*ev)).collect();
+    let mut segments: Vec<Segment> = trace
+        .events()
+        .iter()
+        .filter_map(|ev| segmenter.push(*ev))
+        .collect();
     segments.extend(segmenter.finish());
     segments
 }
@@ -206,6 +221,28 @@ pub struct StreamingSegmenter {
     seg_start: usize,
     seg_start_cycle: Cycle,
     prev_cycle: Cycle,
+    obs: SegmenterObs,
+}
+
+/// Hoisted metric handles for the segmenter's hot path.
+#[derive(Debug)]
+struct SegmenterObs {
+    events: Counter,
+    raw_accepted: Counter,
+    fresh_accepted: Counter,
+    rejected: Counter,
+}
+
+impl SegmenterObs {
+    fn new() -> Self {
+        let reg = cnnre_obs::global();
+        Self {
+            events: reg.counter("trace.segment.events"),
+            raw_accepted: reg.counter("trace.segment.raw_boundaries_accepted"),
+            fresh_accepted: reg.counter("trace.segment.fresh_region_boundaries_accepted"),
+            rejected: reg.counter("trace.segment.boundaries_rejected"),
+        }
+    }
 }
 
 impl StreamingSegmenter {
@@ -223,6 +260,7 @@ impl StreamingSegmenter {
             seg_start: 0,
             seg_start_cycle: 0,
             prev_cycle: 0,
+            obs: SegmenterObs::new(),
         }
     }
 
@@ -235,22 +273,36 @@ impl StreamingSegmenter {
     /// Feeds the next event (events must arrive in time order). Returns
     /// the just-*completed* segment when this event opens a new one.
     pub fn push(&mut self, ev: MemoryEvent) -> Option<Segment> {
+        self.obs.events.inc();
         let mut completed = None;
         let mut boundary = false;
+        let mut raw_signal = false;
         if ev.kind.is_read() {
             if self.written_this.contains(&ev.addr) {
                 boundary = true; // RAW on an address produced by this segment
+                raw_signal = true;
             } else if !self.global_written.contains(&ev.addr) {
                 // Probe without committing: would this start a fresh RO
                 // region? (Committed below after any boundary handling.)
-                let fresh =
-                    !ro_region_contains(&self.ro_regions, ev.addr, self.block, self.slack);
+                let fresh = !ro_region_contains(&self.ro_regions, ev.addr, self.block, self.slack);
                 if fresh && self.has_write {
                     boundary = true;
                 }
             }
         }
         if boundary && self.index > self.seg_start {
+            if raw_signal {
+                self.obs.raw_accepted.inc();
+            } else {
+                self.obs.fresh_accepted.inc();
+            }
+            log_debug!(
+                "trace.segment",
+                "boundary at event {} cycle {} ({})",
+                self.index,
+                ev.cycle,
+                if raw_signal { "RAW" } else { "fresh region" }
+            );
             completed = Some(Segment {
                 first_event: self.seg_start,
                 end_event: self.index,
@@ -261,6 +313,10 @@ impl StreamingSegmenter {
             self.written_this.clear();
             self.ro_regions.clear();
             self.has_write = false;
+        } else if boundary {
+            // A boundary signal on the very first event of a segment
+            // carries no information — suppressed.
+            self.obs.rejected.inc();
         }
         if self.index == self.seg_start {
             self.seg_start_cycle = ev.cycle;
@@ -423,16 +479,20 @@ mod tests {
         b.record(t, sq_ofm, AccessKind::Write); // stand-in for squeeze output
         t += 1;
         // Branch A: weights, input, output.
-        for &(addr, kind) in
-            &[(wa, AccessKind::Read), (sq_ofm, AccessKind::Read), (ofm_a, AccessKind::Write)]
-        {
+        for &(addr, kind) in &[
+            (wa, AccessKind::Read),
+            (sq_ofm, AccessKind::Read),
+            (ofm_a, AccessKind::Write),
+        ] {
             b.record(t, addr, kind);
             t += 1;
         }
         // Branch B: fresh weights although input was read before.
-        for &(addr, kind) in
-            &[(wb, AccessKind::Read), (sq_ofm, AccessKind::Read), (ofm_b, AccessKind::Write)]
-        {
+        for &(addr, kind) in &[
+            (wb, AccessKind::Read),
+            (sq_ofm, AccessKind::Read),
+            (ofm_b, AccessKind::Write),
+        ] {
             b.record(t, addr, kind);
             t += 1;
         }

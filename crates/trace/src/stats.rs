@@ -71,6 +71,7 @@ impl TraceStats {
     /// untouched blocks.
     #[must_use]
     pub fn compute(trace: &Trace, gap_blocks: u64) -> Self {
+        cnnre_obs::counter("trace.stats.events").add(trace.len() as u64);
         let block = trace.block_bytes();
         let touched: BTreeSet<Addr> = trace.events().iter().map(|e| e.addr).collect();
         let mut regions: Vec<AddressRegion> = Vec::new();
@@ -92,7 +93,11 @@ impl TraceStats {
             }
         }
         if let Some((start, last, count)) = current {
-            regions.push(AddressRegion { start, end: last + block, touched_blocks: count });
+            regions.push(AddressRegion {
+                start,
+                end: last + block,
+                touched_blocks: count,
+            });
         }
         Self {
             transactions: trace.len(),
@@ -181,7 +186,10 @@ impl TrafficProfile {
     pub fn compute(trace: &Trace, window: Cycle) -> Self {
         assert!(window > 0, "window must be positive");
         let Some(first) = trace.events().first().map(|e| e.cycle) else {
-            return Self { window, windows: Vec::new() };
+            return Self {
+                window,
+                windows: Vec::new(),
+            };
         };
         let mut windows: Vec<(usize, usize)> = Vec::new();
         for ev in trace.events() {

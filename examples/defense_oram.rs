@@ -7,8 +7,8 @@ use cnn_reveng::accel::{AccelConfig, Accelerator};
 use cnn_reveng::attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnn_reveng::nn::models::lenet;
 use cnn_reveng::trace::defense::{obfuscate, OramConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(3);
@@ -18,9 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let cfg = NetworkSolverConfig::default();
     let plain = recover_structures(&exec.trace, (32, 1), 10, &cfg)?;
-    println!("without protection: attack recovers {} candidate structures", plain.len());
+    println!(
+        "without protection: attack recovers {} candidate structures",
+        plain.len()
+    );
 
-    let oram = OramConfig { logical_blocks: 1 << 14, bucket_blocks: 4 };
+    let oram = OramConfig {
+        logical_blocks: 1 << 14,
+        bucket_blocks: 4,
+    };
     let (protected, stats) = obfuscate(&exec.trace, oram, &mut rng);
     println!(
         "\nwith Path-ORAM obfuscation (Z={}, depth {}):",

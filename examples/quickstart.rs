@@ -10,8 +10,8 @@
 use cnn_reveng::accel::{AccelConfig, Accelerator};
 use cnn_reveng::attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnn_reveng::nn::models::lenet;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The victim: LeNet with secret weights, on the accelerator.
@@ -33,8 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Table-2 parameters per layer, chain candidates.
     let known_input = (32, 1); // the adversary feeds the input
     let known_classes = 10; // ... and reads the class scores
-    let structures =
-        recover_structures(&exec.trace, known_input, known_classes, &NetworkSolverConfig::default())?;
+    let structures = recover_structures(
+        &exec.trace,
+        known_input,
+        known_classes,
+        &NetworkSolverConfig::default(),
+    )?;
 
     println!("\n{} possible structures recovered:", structures.len());
     for (n, s) in structures.iter().enumerate() {

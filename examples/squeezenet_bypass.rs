@@ -8,8 +8,8 @@ use cnn_reveng::accel::{AccelConfig, Accelerator};
 use cnn_reveng::attacks::structure::{ObservedKind, ObservedNetwork};
 use cnn_reveng::nn::models::squeezenet;
 use cnn_reveng::trace::observe::observe;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(0);

@@ -8,8 +8,8 @@ use std::collections::BTreeSet;
 use cnn_reveng::accel::{AccelConfig, Accelerator};
 use cnn_reveng::attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnn_reveng::nn::models::alexnet;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(0);
@@ -19,12 +19,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let accel = Accelerator::new(AccelConfig::default());
     println!("running one inference on the accelerator (trace only) ...");
     let exec = accel.run_trace_only(&victim)?;
-    println!("trace: {} transactions, {} cycles", exec.trace.len(), exec.trace.duration());
+    println!(
+        "trace: {} transactions, {} cycles",
+        exec.trace.len(),
+        exec.trace.duration()
+    );
 
     println!("running the structure attack ...");
     let structures =
         recover_structures(&exec.trace, (227, 3), 1000, &NetworkSolverConfig::default())?;
-    println!("\n==> {} possible structures (the paper reports 24)\n", structures.len());
+    println!(
+        "\n==> {} possible structures (the paper reports 24)\n",
+        structures.len()
+    );
 
     // Per-layer candidate table (the paper's Table 4).
     let n_convs = structures[0].conv_layers().len();
@@ -33,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|s| s.conv_layers()[layer].to_string())
             .collect();
-        println!("CONV{} — {} candidate configurations:", layer + 1, variants.len());
+        println!(
+            "CONV{} — {} candidate configurations:",
+            layer + 1,
+            variants.len()
+        );
         for v in variants {
             println!("    {v}");
         }

@@ -9,14 +9,12 @@
 //! Run with: `cargo run --release --example trace_anatomy`
 
 use cnn_reveng::accel::{AccelConfig, Accelerator};
-use cnn_reveng::attacks::structure::{
-    recover_structures, NetworkSolverConfig, SearchSpaceBounds,
-};
+use cnn_reveng::attacks::structure::{recover_structures, NetworkSolverConfig, SearchSpaceBounds};
 use cnn_reveng::nn::models::alexnet;
 use cnn_reveng::trace::observe::{observe, LayerKindHint};
 use cnn_reveng::trace::stats::{TraceStats, TrafficProfile};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = SmallRng::seed_from_u64(42);
@@ -31,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A coarse traffic profile: layer boundaries are visible as bursts.
     let window = (exec.trace.duration() / 24).max(1);
     println!("\ntraffic over time ({window}-cycle windows):");
-    print!("{}", TrafficProfile::compute(&exec.trace, window).render(32));
+    print!(
+        "{}",
+        TrafficProfile::compute(&exec.trace, window).render(32)
+    );
 
     // --- 2. Segmentation + per-layer observations (Table 2) ------------
     println!("\n=== segmented layers ===");
@@ -39,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{} segments ({} compute layers)",
         obs.layers.len(),
-        obs.layers.iter().filter(|l| l.kind == LayerKindHint::Compute).count()
+        obs.layers
+            .iter()
+            .filter(|l| l.kind == LayerKindHint::Compute)
+            .count()
     );
     for (i, layer) in obs.layers.iter().enumerate() {
         println!(

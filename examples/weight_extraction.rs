@@ -10,8 +10,8 @@ use cnn_reveng::attacks::weights::{
 };
 use cnn_reveng::nn::layer::{Conv2d, PoolKind};
 use cnn_reveng::tensor::{init, Shape3, Shape4};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 
 fn main() {
     // The victim layer: a pruned ("compressed") conv layer with merged
@@ -44,7 +44,10 @@ fn main() {
         ratios.queries
     );
     let err = ratios.max_ratio_error(victim.weights(), victim.bias());
-    println!("  max |w/b| error: {err:.3e} (the paper reports < 2^-10 = {:.3e})", 2f64.powi(-10));
+    println!(
+        "  max |w/b| error: {err:.3e} (the paper reports < 2^-10 = {:.3e})",
+        2f64.powi(-10)
+    );
 
     // Print one filter's recovered map with zeros marked.
     println!("\nfilter 0 recovered w/b (× marks identified zero weights):");
@@ -109,5 +112,7 @@ fn main() {
         100 - unrecovered,
         100
     );
-    println!("\n\"performance optimization can lead to an unexpected security vulnerability\" — §6");
+    println!(
+        "\n\"performance optimization can lead to an unexpected security vulnerability\" — §6"
+    );
 }

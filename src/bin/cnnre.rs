@@ -15,23 +15,37 @@
 //! e.g. `alexnet/8`; the VGGs clamp to at least /8 to keep traces
 //! tractable).
 
-
 use cnn_reveng::accel::{AccelConfig, Accelerator};
 use cnn_reveng::attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnn_reveng::attacks::weights::{
-    recover_ratios, AcceleratorOracle, FunctionalOracle, LayerGeometry, MergedOrder,
-    RecoveryConfig,
+    recover_ratios, AcceleratorOracle, FunctionalOracle, LayerGeometry, MergedOrder, RecoveryConfig,
 };
 use cnn_reveng::nn::layer::{Conv2d, PoolKind};
 use cnn_reveng::nn::models;
 use cnn_reveng::nn::Network;
 use cnn_reveng::tensor::{init, Shape3, Shape4};
 use cnn_reveng::trace::defense::{obfuscate, OramConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global flags, accepted by every subcommand and stripped before
+    // dispatch. `--metrics` turns the otherwise-free instrumentation on.
+    let metrics_path = take_flag_value(&mut args, "--metrics");
+    if let Some(level) = take_flag_value(&mut args, "--log-level") {
+        match cnnre_obs::log::Level::parse(&level) {
+            Some(Some(l)) => cnnre_obs::log::set_level(l),
+            Some(None) => cnnre_obs::log::set_off(),
+            None => {
+                eprintln!("unknown log level '{level}' (error|warn|info|debug|trace|off)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if metrics_path.is_some() {
+        cnnre_obs::set_enabled(true);
+    }
     let code = match args.first().map(String::as_str) {
         Some("trace") => cmd_trace(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
@@ -48,7 +62,30 @@ fn main() {
             2
         }
     };
+    if let Some(path) = metrics_path {
+        // Deterministic export: wall-clock metrics are excluded so two
+        // identical seeded runs write byte-identical files.
+        let snapshot = cnnre_obs::global().snapshot();
+        if let Err(e) = snapshot.write_json(std::path::Path::new(&path), false) {
+            eprintln!("cannot write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics written to {path}");
+    }
     std::process::exit(code);
+}
+
+/// Removes `name <value>` from `args`, returning the value. Exits with
+/// usage code 2 when the flag is present but the value is missing.
+fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == name)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{name} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
 }
 
 fn print_usage() {
@@ -58,6 +95,10 @@ fn print_usage() {
          cnnre analyze <trace-file> [--input WxC] [--classes N] [--stats] [--layers]\n  \
          cnnre attack-structure <model>\n  \
          cnnre attack-weights [--filters N] [--via-trace]\n  cnnre defend <model>\n\n\
+         GLOBAL FLAGS:\n  \
+         --metrics FILE     enable instrumentation, write a metrics snapshot (JSON)\n  \
+         --log-level LEVEL  stderr verbosity: error|warn|info|debug|trace|off\n                     \
+         (also settable via the CNNRE_LOG environment variable)\n\n\
          MODELS: lenet | convnet | alexnet | squeezenet | vgg11 | vgg16 | resnet | inception\n        \
          (append /DIV for depth-scaled variants, e.g. alexnet/8)"
     );
@@ -68,7 +109,9 @@ fn print_usage() {
 fn build_model(spec: &str) -> Result<(Network, (usize, usize), usize), String> {
     let (name, div) = match spec.split_once('/') {
         Some((n, d)) => {
-            let div = d.parse::<usize>().map_err(|_| format!("bad depth divisor '{d}'"))?;
+            let div = d
+                .parse::<usize>()
+                .map_err(|_| format!("bad depth divisor '{d}'"))?;
             (n, div.max(1))
         }
         None => (spec, 1),
@@ -167,7 +210,9 @@ fn load_trace(path: &str) -> Result<cnn_reveng::trace::Trace, String> {
 
 fn cmd_analyze(args: &[String]) -> i32 {
     let Some(path) = args.first() else {
-        eprintln!("usage: cnnre analyze <trace-file> [--input WxC] [--classes N] [--stats] [--layers]");
+        eprintln!(
+            "usage: cnnre analyze <trace-file> [--input WxC] [--classes N] [--stats] [--layers]"
+        );
         return 2;
     };
     let trace = match load_trace(path) {
@@ -203,7 +248,10 @@ fn cmd_analyze(args: &[String]) -> i32 {
         }
     }
     let flag = |name: &str| {
-        args.iter().position(|a| a == name).and_then(|p| args.get(p + 1)).cloned()
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|p| args.get(p + 1))
+            .cloned()
     };
     let input = match flag("--input") {
         Some(v) => {
@@ -357,12 +405,18 @@ fn cmd_defend(args: &[String]) -> i32 {
     };
     let cfg = NetworkSolverConfig::default();
     let before = recover_structures(&exec.trace, input, classes, &cfg).map(|s| s.len());
-    println!("unprotected: attack -> {:?} candidate structures", before.ok());
+    println!(
+        "unprotected: attack -> {:?} candidate structures",
+        before.ok()
+    );
     let mut rng = SmallRng::seed_from_u64(9);
     let (protected, stats) = obfuscate(&exec.trace, OramConfig::default(), &mut rng);
     println!("Path-ORAM overhead: {:.0}x traffic", stats.overhead());
     match recover_structures(&protected, input, classes, &cfg) {
-        Ok(s) => println!("protected: attack still recovers {} structures (!)", s.len()),
+        Ok(s) => println!(
+            "protected: attack still recovers {} structures (!)",
+            s.len()
+        ),
         Err(e) => println!("protected: attack FAILS ({e})"),
     }
     0

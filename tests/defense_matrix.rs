@@ -9,17 +9,20 @@ use cnn_reveng::attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnn_reveng::nn::models::lenet;
 use cnn_reveng::tensor::Tensor3;
 use cnn_reveng::trace::defense::{obfuscate, pad_write_traffic, shuffle_within_window, OramConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 
 #[test]
 fn window_shuffling_disrupts_the_attack_only_probabilistically() {
     let mut rng = SmallRng::seed_from_u64(0);
     let net = lenet(1, 10, &mut rng);
-    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).expect("runs");
+    let exec = Accelerator::new(AccelConfig::default())
+        .run_trace_only(&net)
+        .expect("runs");
     let cfg = NetworkSolverConfig::default();
-    let baseline =
-        recover_structures(&exec.trace, (32, 1), 10, &cfg).expect("baseline attack").len();
+    let baseline = recover_structures(&exec.trace, (32, 1), 10, &cfg)
+        .expect("baseline attack")
+        .len();
     // Tiny reorder windows: across a handful of trials the attack gets
     // through at least once — and when it does, it recovers the *full*
     // candidate set (the leak is not reduced, only sometimes garbled).
@@ -27,18 +30,29 @@ fn window_shuffling_disrupts_the_attack_only_probabilistically() {
         .filter_map(|seed| {
             let mut r = SmallRng::seed_from_u64(seed);
             let shuffled = shuffle_within_window(&exec.trace, 2, &mut r);
-            recover_structures(&shuffled, (32, 1), 10, &cfg).ok().map(|s| s.len())
+            recover_structures(&shuffled, (32, 1), 10, &cfg)
+                .ok()
+                .map(|s| s.len())
         })
         .collect();
-    assert!(!survived.is_empty(), "window-2 shuffling must not reliably stop the attack");
-    assert!(survived.iter().all(|&n| n == baseline), "surviving runs see the full leak");
+    assert!(
+        !survived.is_empty(),
+        "window-2 shuffling must not reliably stop the attack"
+    );
+    assert!(
+        survived.iter().all(|&n| n == baseline),
+        "surviving runs see the full leak"
+    );
     // Larger reorder windows corrupt boundary inference for every trial.
     let large_all_fail = (0..5u64).all(|seed| {
         let mut r = SmallRng::seed_from_u64(seed);
         let shuffled = shuffle_within_window(&exec.trace, 16, &mut r);
         recover_structures(&shuffled, (32, 1), 10, &cfg).is_err()
     });
-    assert!(large_all_fail, "a 16-deep reorder buffer disrupts the exact attack");
+    assert!(
+        large_all_fail,
+        "a 16-deep reorder buffer disrupts the exact attack"
+    );
 }
 
 #[test]
@@ -66,7 +80,11 @@ fn write_padding_closes_the_zero_count_leak_but_not_the_structure_leak() {
     // ... and identical counts with it.
     let (p1, s1) = pad_write_traffic(&t1, &regions);
     let (p2, s2) = pad_write_traffic(&t2, &regions);
-    assert_eq!(p1.write_count(), p2.write_count(), "leak closed: {s1:?} vs {s2:?}");
+    assert_eq!(
+        p1.write_count(),
+        p2.write_count(),
+        "leak closed: {s1:?} vs {s2:?}"
+    );
 
     // The structure attack does not care about padding (it reads sizes and
     // RAW order, both preserved).
@@ -82,10 +100,22 @@ fn write_padding_closes_the_zero_count_leak_but_not_the_structure_leak() {
 fn oram_stops_the_structure_attack() {
     let mut rng = SmallRng::seed_from_u64(2);
     let net = lenet(1, 10, &mut rng);
-    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).expect("runs");
-    let (protected, stats) =
-        obfuscate(&exec.trace, OramConfig { logical_blocks: 1 << 14, bucket_blocks: 4 }, &mut rng);
-    assert!(stats.overhead() > 50.0, "ORAM is expensive: {}", stats.overhead());
+    let exec = Accelerator::new(AccelConfig::default())
+        .run_trace_only(&net)
+        .expect("runs");
+    let (protected, stats) = obfuscate(
+        &exec.trace,
+        OramConfig {
+            logical_blocks: 1 << 14,
+            bucket_blocks: 4,
+        },
+        &mut rng,
+    );
+    assert!(
+        stats.overhead() > 50.0,
+        "ORAM is expensive: {}",
+        stats.overhead()
+    );
     assert!(
         recover_structures(&protected, (32, 1), 10, &NetworkSolverConfig::default()).is_err(),
         "structure attack must fail under ORAM"
@@ -97,10 +127,13 @@ fn timing_jitter_alone_does_not_stop_the_structure_attack() {
     use cnn_reveng::trace::defense::jitter_timing;
     let mut rng = SmallRng::seed_from_u64(4);
     let net = lenet(1, 10, &mut rng);
-    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).expect("runs");
+    let exec = Accelerator::new(AccelConfig::default())
+        .run_trace_only(&net)
+        .expect("runs");
     let cfg = NetworkSolverConfig::default();
-    let baseline =
-        recover_structures(&exec.trace, (32, 1), 10, &cfg).expect("baseline").len();
+    let baseline = recover_structures(&exec.trace, (32, 1), 10, &cfg)
+        .expect("baseline")
+        .len();
     // 15% multiplicative timing noise: the execution-time filter's margins
     // absorb it (the leak is in addresses, not in precise timing).
     let noisy = jitter_timing(&exec.trace, 0.15, &mut rng);
@@ -109,5 +142,8 @@ fn timing_jitter_alone_does_not_stop_the_structure_attack() {
         .len();
     assert!(after > 0);
     // The candidate set stays in the same ballpark.
-    assert!(after <= 3 * baseline && 3 * after >= baseline, "{baseline} vs {after}");
+    assert!(
+        after <= 3 * baseline && 3 * after >= baseline,
+        "{baseline} vs {after}"
+    );
 }

@@ -8,13 +8,16 @@ use cnn_reveng::accel::{AccelConfig, Accelerator};
 use cnn_reveng::attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnn_reveng::nn::models::lenet;
 use cnn_reveng::trace::{AccessKind, Trace, TraceBuilder};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 
 fn lenet_trace() -> Trace {
     let mut rng = SmallRng::seed_from_u64(0);
     let net = lenet(1, 10, &mut rng);
-    Accelerator::new(AccelConfig::default()).run_trace_only(&net).expect("runs").trace
+    Accelerator::new(AccelConfig::default())
+        .run_trace_only(&net)
+        .expect("runs")
+        .trace
 }
 
 #[test]
@@ -30,9 +33,13 @@ fn pure_noise_trace_does_not_panic() {
     let mut b = TraceBuilder::new(64, 4);
     let mut cycle = 0u64;
     for _ in 0..20_000 {
-        cycle += rng.gen_range(1..5);
+        cycle += rng.gen_range(1u64..5);
         let addr = u64::from(rng.gen_range(0u32..4096)) * 64;
-        let kind = if rng.gen_bool(0.3) { AccessKind::Write } else { AccessKind::Read };
+        let kind = if rng.gen_bool(0.3) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
         b.record(cycle, addr, kind);
     }
     // Any outcome but a panic is acceptable; a noise trace must not yield
@@ -97,7 +104,11 @@ fn wrong_input_prior_fails_cleanly() {
     // The adversary misremembers the input interface: 224x224x3 instead of
     // 32x32x1. No consistent candidate should survive for CONV1.
     let r = recover_structures(&trace, (224, 3), 10, &NetworkSolverConfig::default());
-    assert!(r.is_err() || r.as_ref().unwrap().is_empty(), "{:?}", r.map(|s| s.len()));
+    assert!(
+        r.is_err() || r.as_ref().unwrap().is_empty(),
+        "{:?}",
+        r.map(|s| s.len())
+    );
 }
 
 #[test]

@@ -8,14 +8,16 @@ use cnn_reveng::attacks::structure::{
 };
 use cnn_reveng::nn::models::{inception, resnet, InceptionSpec, ResNetSpec};
 use cnn_reveng::trace::observe::observe;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
 #[test]
 fn resnet_bypasses_are_visible_and_structures_recoverable() {
     let mut rng = SmallRng::seed_from_u64(0);
     let net = resnet(&ResNetSpec::small(1, 10), &mut rng).expect("resnet builds");
-    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).expect("runs");
+    let exec = Accelerator::new(AccelConfig::default())
+        .run_trace_only(&net)
+        .expect("runs");
     let obs = observe(&exec.trace);
     let observed = ObservedNetwork::from_observations(&obs);
     // Two identity-shortcut blocks => two weightless merge layers; the two
@@ -32,11 +34,13 @@ fn resnet_bypasses_are_visible_and_structures_recoverable() {
         .iter()
         .enumerate()
         .filter(|(i, n)| {
-            matches!(n.kind, ObservedKind::Merge(_))
-                && n.sources.iter().any(|&s| s + 2 < *i)
+            matches!(n.kind, ObservedKind::Merge(_)) && n.sources.iter().any(|&s| s + 2 < *i)
         })
         .count();
-    assert!(bypassing >= 2, "identity shortcuts skip at least two layers");
+    assert!(
+        bypassing >= 2,
+        "identity shortcuts skip at least two layers"
+    );
 
     let structures = recover_structures(&exec.trace, (64, 3), 10, &NetworkSolverConfig::default())
         .expect("resnet structures");
@@ -53,7 +57,11 @@ fn resnet_bypasses_are_visible_and_structures_recoverable() {
     assert!(stem_found, "true ResNet stem missing");
     // Residual 3x3 body convs recovered in every candidate.
     for s in &structures {
-        let threes = s.conv_layers().iter().filter(|c| c.f_conv == 3 && c.s_conv == 1).count();
+        let threes = s
+            .conv_layers()
+            .iter()
+            .filter(|c| c.f_conv == 3 && c.s_conv == 1)
+            .count();
         assert!(threes >= 4, "residual body convs missing");
     }
 }
@@ -63,7 +71,9 @@ fn inception_concats_are_visible_and_structures_recoverable() {
     let mut rng = SmallRng::seed_from_u64(0);
     let spec = InceptionSpec::small(1, 10);
     let net = inception(&spec, &mut rng).expect("inception builds");
-    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).expect("runs");
+    let exec = Accelerator::new(AccelConfig::default())
+        .run_trace_only(&net)
+        .expect("runs");
     let obs = observe(&exec.trace);
     let observed = ObservedNetwork::from_observations(&obs);
     // Each module's successor reads three producers' adjacent regions.
@@ -72,7 +82,10 @@ fn inception_concats_are_visible_and_structures_recoverable() {
         .iter()
         .filter(|n| matches!(n.kind, ObservedKind::Compute(_)) && n.sources.len() == 3)
         .count();
-    assert!(three_way >= 2, "three-branch concatenation not visible: {three_way}");
+    assert!(
+        three_way >= 2,
+        "three-branch concatenation not visible: {three_way}"
+    );
 
     let structures = recover_structures(&exec.trace, (64, 3), 10, &NetworkSolverConfig::default())
         .expect("inception structures");
@@ -85,7 +98,10 @@ fn inception_concats_are_visible_and_structures_recoverable() {
             && convs[1..4].iter().any(|c| c.f_conv == 3 && c.d_ofm == m.b3)
             && convs[1..4].iter().any(|c| c.f_conv == 5 && c.d_ofm == m.b5)
     });
-    assert!(truth_found, "heterogeneous inception branches not recovered");
+    assert!(
+        truth_found,
+        "heterogeneous inception branches not recovered"
+    );
 }
 
 #[test]
@@ -96,7 +112,9 @@ fn vgg11_deep_homogeneous_chain_is_recoverable() {
     // real thing.
     let mut rng = SmallRng::seed_from_u64(0);
     let net = cnn_reveng::nn::models::vgg11(8, 10, &mut rng);
-    let exec = Accelerator::new(AccelConfig::default()).run_trace_only(&net).expect("runs");
+    let exec = Accelerator::new(AccelConfig::default())
+        .run_trace_only(&net)
+        .expect("runs");
     let structures = recover_structures(&exec.trace, (224, 3), 10, &NetworkSolverConfig::default())
         .expect("vgg structures");
     assert!(
@@ -106,8 +124,10 @@ fn vgg11_deep_homogeneous_chain_is_recoverable() {
     );
     // The true structure is contained: every conv is 3x3/s1 with the right
     // depth and pooling placement.
-    let scaled: Vec<usize> =
-        cnn_reveng::nn::models::VGG11_CONV_SPECS.iter().map(|s| s.d_ofm / 8).collect();
+    let scaled: Vec<usize> = cnn_reveng::nn::models::VGG11_CONV_SPECS
+        .iter()
+        .map(|s| s.d_ofm / 8)
+        .collect();
     let truth_found = structures.iter().any(|s| {
         let convs = s.conv_layers();
         convs.len() == 8
@@ -119,5 +139,9 @@ fn vgg11_deep_homogeneous_chain_is_recoverable() {
                 c.pool.is_some() == pooled
             })
     });
-    assert!(truth_found, "true VGG-11 structure missing among {}", structures.len());
+    assert!(
+        truth_found,
+        "true VGG-11 structure missing among {}",
+        structures.len()
+    );
 }

@@ -9,27 +9,30 @@ use cnn_reveng::nn::models::{chain, ConvSpec, PoolSpec};
 use cnn_reveng::nn::Network;
 use cnn_reveng::tensor::{Shape3, Tensor3};
 use cnn_reveng::trace::observe::{observe, LayerKindHint};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use cnnre_tensor::rng::SmallRng;
+use cnnre_tensor::rng::{Rng, SeedableRng};
 
 /// A drawn network: `(net, conv specs, (input width, channels), classes)`.
 type DrawnChain = (Network, Vec<ConvSpec>, (usize, usize), usize);
 
 /// Draws a random buildable conv chain (1–3 conv layers + 1–2 FCs).
 fn random_chain(rng: &mut SmallRng) -> Option<DrawnChain> {
-    let input_w = *[24usize, 32, 48].iter().filter(|_| true).nth(rng.gen_range(0..3))?;
+    let input_w = *[24usize, 32, 48]
+        .iter()
+        .filter(|_| true)
+        .nth(rng.gen_range(0..3))?;
     let input_c = rng.gen_range(1..4);
     let n_convs = rng.gen_range(1..4);
     let mut specs = Vec::new();
     let mut w = input_w;
     for _ in 0..n_convs {
-        let f = rng.gen_range(2..6).min(w / 2).max(1);
+        let f = rng.gen_range(2usize..6).min(w / 2).max(1);
         let s = rng.gen_range(1..=f.min(2));
         let p = rng.gen_range(0..f.min(3));
         let w_conv = cnn_reveng::nn::geometry::conv_out(w, f, s, p)?;
         // Half the time, attach a halving pool.
         let pool = if rng.gen_bool(0.5) && w_conv >= 4 {
-            let pf = rng.gen_range(2..4).min(w_conv);
+            let pf = rng.gen_range(2usize..4).min(w_conv);
             let ps = pf.min(2);
             let out = cnn_reveng::nn::geometry::pool_out(w_conv, pf, ps, 0)?;
             if 2 * out <= w_conv {
@@ -58,7 +61,13 @@ fn random_chain(rng: &mut SmallRng) -> Option<DrawnChain> {
     } else {
         vec![classes]
     };
-    let net = chain(Shape3::new(input_c, input_w, input_w), &specs, &fc_widths, rng).ok()?;
+    let net = chain(
+        Shape3::new(input_c, input_w, input_w),
+        &specs,
+        &fc_widths,
+        rng,
+    )
+    .ok()?;
     Some((net, specs, (input_w, input_c), classes))
 }
 
@@ -68,31 +77,49 @@ fn random_chains_survive_the_whole_pipeline() {
     let mut attacked = 0;
     for trial in 0..24 {
         let mut rng = SmallRng::seed_from_u64(outer.gen());
-        let Some((net, specs, input, classes)) = random_chain(&mut rng) else { continue };
+        let Some((net, specs, input, classes)) = random_chain(&mut rng) else {
+            continue;
+        };
 
         // 1. Functional equivalence of the accelerator.
         let x = Tensor3::from_fn(net.input_shape(), |_, _, _| rng.gen_range(-1.0..1.0));
         let accel = Accelerator::new(AccelConfig::default());
         let exec = accel.run(&net, &x).expect("accelerator runs");
-        assert_eq!(exec.output.as_ref(), Some(&net.forward(&x)), "trial {trial}");
+        assert_eq!(
+            exec.output.as_ref(),
+            Some(&net.forward(&x)),
+            "trial {trial}"
+        );
 
         // 2. Segmentation recovers exactly prologue + one segment per layer.
         let obs = observe(&exec.trace);
-        let computes =
-            obs.layers.iter().filter(|l| l.kind == LayerKindHint::Compute).count();
-        let expected_layers = specs.len() + net.nodes().iter().filter(|n| {
-            matches!(n.op, cnn_reveng::nn::Op::Linear(_))
-        }).count();
-        assert_eq!(computes, expected_layers, "trial {trial}: segmentation miscounts");
+        let computes = obs
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKindHint::Compute)
+            .count();
+        let expected_layers = specs.len()
+            + net
+                .nodes()
+                .iter()
+                .filter(|n| matches!(n.op, cnn_reveng::nn::Op::Linear(_)))
+                .count();
+        assert_eq!(
+            computes, expected_layers,
+            "trial {trial}: segmentation miscounts"
+        );
 
         // 3. The structure attack contains the truth (up to the padding
         //    representative).
-        let structures =
-            match recover_structures(&exec.trace, input, classes, &NetworkSolverConfig::default())
-            {
-                Ok(s) => s,
-                Err(e) => panic!("trial {trial}: attack failed: {e}"),
-            };
+        let structures = match recover_structures(
+            &exec.trace,
+            input,
+            classes,
+            &NetworkSolverConfig::default(),
+        ) {
+            Ok(s) => s,
+            Err(e) => panic!("trial {trial}: attack failed: {e}"),
+        };
         let found = structures.iter().any(|s| {
             let convs = s.conv_layers();
             convs.len() == specs.len()
@@ -112,13 +139,18 @@ fn random_chains_survive_the_whole_pipeline() {
             }
             eprintln!("candidates:");
             for st in &structures {
-                let line: Vec<String> =
-                    st.conv_layers().iter().map(|c| c.to_string()).collect();
+                let line: Vec<String> = st.conv_layers().iter().map(|c| c.to_string()).collect();
                 eprintln!("  {}", line.join(" | "));
             }
-            panic!("trial {trial}: truth missing among {} candidates", structures.len());
+            panic!(
+                "trial {trial}: truth missing among {} candidates",
+                structures.len()
+            );
         }
         attacked += 1;
     }
-    assert!(attacked >= 16, "most random networks must be attackable ({attacked}/24)");
+    assert!(
+        attacked >= 16,
+        "most random networks must be attackable ({attacked}/24)"
+    );
 }

@@ -8,12 +8,14 @@ use cnn_reveng::attacks::structure::{
 };
 use cnn_reveng::nn::models::{alexnet, convnet, lenet, squeezenet, ConvSpec};
 use cnn_reveng::nn::Network;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use cnnre_tensor::rng::SeedableRng;
+use cnnre_tensor::rng::SmallRng;
 
 fn recover(net: &Network, input: (usize, usize), classes: usize) -> Vec<CandidateStructure> {
     let accel = Accelerator::new(AccelConfig::default());
-    let exec = accel.run_trace_only(net).expect("network lowers onto the accelerator");
+    let exec = accel
+        .run_trace_only(net)
+        .expect("network lowers onto the accelerator");
     recover_structures(&exec.trace, input, classes, &NetworkSolverConfig::default())
         .expect("structures recoverable")
 }
@@ -33,7 +35,10 @@ fn truth_found(structures: &[CandidateStructure], specs: &[ConvSpec]) -> bool {
     structures.iter().any(|s| {
         let convs = s.conv_layers();
         convs.len() == specs.len()
-            && convs.iter().zip(specs).all(|(c, spec)| matches_spec(c, spec))
+            && convs
+                .iter()
+                .zip(specs)
+                .all(|(c, spec)| matches_spec(c, spec))
     })
 }
 
@@ -53,10 +58,16 @@ fn lenet_structure_space_is_small_and_contains_truth() {
         ConvSpec::new(6, 5, 1, 0).with_pool(cnn_reveng::nn::models::PoolSpec::max(2, 2)),
         ConvSpec::new(16, 5, 1, 0).with_pool(cnn_reveng::nn::models::PoolSpec::max(2, 2)),
     ];
-    assert!(truth_found(&structures, &truth), "true LeNet structure missing");
+    assert!(
+        truth_found(&structures, &truth),
+        "true LeNet structure missing"
+    );
     // All structures end in a 10-class FC layer.
     for s in &structures {
-        assert_eq!(s.fc_layers().last().expect("has FC layers").out_features, 10);
+        assert_eq!(
+            s.fc_layers().last().expect("has FC layers").out_features,
+            10
+        );
     }
 }
 
@@ -76,7 +87,10 @@ fn convnet_structure_space_is_small_and_contains_truth() {
         ConvSpec::new(32, 5, 1, 2).with_pool(pool32),
         ConvSpec::new(64, 3, 1, 1).with_pool(cnn_reveng::nn::models::PoolSpec::max(2, 2)),
     ];
-    assert!(truth_found(&structures, &truth), "true ConvNet structure missing");
+    assert!(
+        truth_found(&structures, &truth),
+        "true ConvNet structure missing"
+    );
 }
 
 #[test]
@@ -138,8 +152,7 @@ fn squeezenet_structure_space_collapses_under_modularity() {
     // Fire-module conv geometry identical across modules; the down-sampling
     // pools (both expand branches of fire4 and fire8) share one design.
     let pool_groups = vec![vec![8, 9, 20, 21]];
-    let modular =
-        filter_modular_pools(filter_modular(structures.clone(), &groups), &pool_groups);
+    let modular = filter_modular_pools(filter_modular(structures.clone(), &groups), &pool_groups);
     assert!(!modular.is_empty(), "modularity filter must keep the truth");
     assert!(
         modular.len() < structures.len(),
