@@ -9,7 +9,7 @@
 //! filters — the trace analyzer relies on this only for separating two
 //! back-to-back layers that share an input.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cnnre_nn::layer::PoolKind;
 use cnnre_nn::{Network, NodeId, Op};
@@ -232,7 +232,7 @@ struct Runner<'a> {
     tb: TraceBuilder,
     cycle: Cycle,
     /// Non-zero prefix sums of pruned feature maps, by producing node index.
-    prefix: HashMap<usize, Vec<u32>>,
+    prefix: BTreeMap<usize, Vec<u32>>,
     reads: u64,
     writes: u64,
     /// Compute-busy cycles of the stage currently executing.
@@ -255,7 +255,7 @@ impl<'a> Runner<'a> {
             acts,
             tb: TraceBuilder::new(cfg.block_bytes, cfg.element_bytes),
             cycle: 0,
-            prefix: HashMap::new(),
+            prefix: BTreeMap::new(),
             reads: 0,
             writes: 0,
             stage_compute: 0,
@@ -329,6 +329,8 @@ impl<'a> Runner<'a> {
                 let binding = self
                     .sched
                     .binding(node)
+                    // lint:allow(panic): Schedule::plan binds every fmap node of
+                    // the net it was planned from — run() plans before executing
                     .unwrap_or_else(|| panic!("no binding for fmap node {}", n.name));
                 let elem = self.cfg.element_bytes;
                 if let Some(pfx) = self.prefix.get(&node.index()) {
@@ -355,6 +357,8 @@ impl<'a> Runner<'a> {
         let binding = self
             .sched
             .binding(node)
+            // lint:allow(panic): Schedule::plan binds every fmap node of the
+            // net it was planned from — run() plans before executing
             .unwrap_or_else(|| panic!("no binding for fmap node {}", self.net.node(node).name));
         let elem = self.cfg.element_bytes;
         if let Some(pfx) = self.prefix.get(&node.index()) {
@@ -483,6 +487,8 @@ impl<'a> Runner<'a> {
         let weight_region = self
             .sched
             .weight_region(conv_id)
+            // lint:allow(panic): the planner allocates a weights region for
+            // every conv stage it emits
             .expect("conv stage has a weights region")
             .clone();
         let elem = self.cfg.element_bytes;
@@ -587,6 +593,8 @@ impl<'a> Runner<'a> {
         let weight_region = self
             .sched
             .weight_region(linear_id)
+            // lint:allow(panic): the planner allocates a weights region for
+            // every fc stage it emits
             .expect("fc stage has a weights region")
             .clone();
         let elem = self.cfg.element_bytes;

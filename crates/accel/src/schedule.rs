@@ -11,7 +11,7 @@
 //! concatenation is free when the producers write adjacent channel slices
 //! of one region.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cnnre_nn::{Network, NodeId, Op};
 use cnnre_trace::Addr;
@@ -103,8 +103,8 @@ pub struct Binding {
 pub struct Schedule {
     stages: Vec<Stage>,
     layout: DramLayout,
-    bindings: HashMap<usize, Binding>,
-    weight_regions: HashMap<usize, Region>,
+    bindings: BTreeMap<usize, Binding>,
+    weight_regions: BTreeMap<usize, Region>,
     input_region: Region,
 }
 
@@ -236,7 +236,7 @@ impl Schedule {
             roots
         };
         let elem = config.element_bytes;
-        let mut home: HashMap<usize, (usize, u64)> = HashMap::new();
+        let mut home: BTreeMap<usize, (usize, u64)> = BTreeMap::new();
         // Resolve in reverse topological order so a node feeding a concat can
         // look up the concat's own home.
         let mut roots_sorted = storage_roots.clone();
@@ -280,9 +280,9 @@ impl Schedule {
             net.input_shape().len() as u64 * elem,
             RegionKind::Input,
         );
-        let mut region_of_owner: HashMap<usize, Region> = HashMap::new();
+        let mut region_of_owner: BTreeMap<usize, Region> = BTreeMap::new();
         region_of_owner.insert(0, input_region.clone());
-        let mut weight_regions = HashMap::new();
+        let mut weight_regions = BTreeMap::new();
         for (i, node) in nodes.iter().enumerate() {
             match &node.op {
                 Op::Conv(c) => {
@@ -314,7 +314,7 @@ impl Schedule {
         }
 
         // Final bindings.
-        let mut bindings = HashMap::new();
+        let mut bindings = BTreeMap::new();
         for (&i, &(owner, off)) in &home {
             let region = region_of_owner
                 .get(&owner)

@@ -280,6 +280,8 @@ fn record_enumeration_metrics(net: &ObservedNetwork, out: &[CandidateStructure],
             .add(out.len() as u64);
         let per_layer = reg.series("solver.candidates_per_layer");
         for node in 0..net.nodes.len() {
+            // lint:allow(hash-iter): count-only use (len()); iteration order
+            // is never observed
             let distinct: std::collections::HashSet<NodeChoice> =
                 out.iter().map(|s| s.choices[node]).collect();
             per_layer.push(distinct.len() as f64);
@@ -311,6 +313,8 @@ fn recurse(
     if i == net.nodes.len() {
         // Terminal checks: classifier interface and chain-wide utilization
         // consistency.
+        // lint:allow(panic): ifaces is seeded with the input interface before
+        // the first recursive call and only ever grows
         let &(w_last, d_last) = ifaces.last().expect("non-empty network");
         if w_last != 1 || d_last != classes {
             return Ok(());

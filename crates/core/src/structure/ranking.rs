@@ -72,6 +72,8 @@ pub fn rank_candidates(
     test: &Dataset,
     cfg: &RankingConfig,
 ) -> Vec<RankedCandidate> {
+    // lint:allow(panic): documented `# Panics` contract — an empty training
+    // set is a caller error, not a recoverable state
     let input_shape = train.image_shape().expect("non-empty training set");
     assert_eq!(Some(input_shape), test.image_shape(), "train/test shapes");
     let classes = train.num_classes().max(test.num_classes());
@@ -107,11 +109,7 @@ pub fn rank_candidates(
             })
         })
         .collect();
-    ranked.sort_by(|a, b| {
-        b.accuracy
-            .partial_cmp(&a.accuracy)
-            .expect("finite accuracy")
-    });
+    ranked.sort_by(|a, b| b.accuracy.total_cmp(&a.accuracy));
     ranked
 }
 

@@ -236,6 +236,8 @@ pub fn solve_conv_layer(
                 let f_min = isqrt_ceil(fltr_lo / denom + 1);
                 let f_max = isqrt_floor(fltr_hi / denom);
                 for f in f_min..=f_max.min((w_ifm / 2) as u64) {
+                    // lint:allow(cast): f <= w_ifm/2 and w_ifm is already a
+                    // usize feature-map width; no truncation possible
                     let f = f as usize;
                     if f == 0 || !cfg.fltr_size_matches(obs.fltr_blocks, (f as u64).pow(2) * denom)
                     {
@@ -247,6 +249,8 @@ pub fn solve_conv_layer(
                         w_ifm,
                         d_ifm,
                         w_ofm,
+                        // lint:allow(cast): d_ofm <= OFM block bound * epb,
+                        // far below usize::MAX on any supported target
                         d_ofm as usize,
                         f,
                         &mut out,
@@ -262,6 +266,8 @@ pub fn solve_conv_layer(
     if cfg.dedup_padding {
         // Group by everything except P_conv (including the implied pre-pool
         // width) and keep the smallest padding of each group.
+        // lint:allow(hash-iter): membership-only dedup (insert + retain);
+        // iteration order is never observed
         let mut seen = std::collections::HashSet::new();
         out.retain(|p| {
             let key = (
@@ -420,7 +426,9 @@ pub fn solve_fc_layer(
         for d_ofm in d_lo..=d_hi {
             if cfg.fltr_size_matches(obs.fltr_blocks, in_features * d_ofm) {
                 out.push(FcParams {
+                    // lint:allow(cast): bounded by observed IFM trace size
                     in_features: in_features as usize,
+                    // lint:allow(cast): bounded by observed OFM trace size
                     out_features: d_ofm as usize,
                 });
             }
@@ -438,6 +446,8 @@ fn isqrt_floor(n: u64) -> u64 {
     if n == 0 {
         return 0;
     }
+    // lint:allow(cast): f64 sqrt is only a seed; the correction loops
+    // below repair any rounding/saturation before x is returned
     let mut x = (n as f64).sqrt() as u64;
     while (x + 1) * (x + 1) <= n {
         x += 1;

@@ -113,6 +113,10 @@ pub trait ZeroCountOracle {
 pub struct FunctionalOracle {
     conv: Conv2d,
     geom: LayerGeometry,
+    /// Convolution output width, validated and cached at construction.
+    conv_w: usize,
+    /// Final (post-pool) output width, validated and cached at construction.
+    out_w: usize,
     /// Per-filter baseline output plane (all-zero input), as non-zero flags.
     baseline: Vec<Vec<bool>>,
     baseline_counts: Vec<u64>,
@@ -131,9 +135,15 @@ impl FunctionalOracle {
         assert_eq!(conv.d_ofm(), geom.d_ofm, "filter count mismatch");
         assert_eq!(conv.window().f, geom.f, "filter width mismatch");
         assert!(geom.final_out_w().is_some(), "invalid geometry");
+        // The asserts above make these infallible; caching them also keeps
+        // the width arithmetic out of the per-query hot path.
+        let conv_w = geom.conv_out_w().unwrap_or_default();
+        let out_w = geom.final_out_w().unwrap_or_default();
         let mut oracle = Self {
             conv,
             geom,
+            conv_w,
+            out_w,
             baseline: Vec::new(),
             baseline_counts: Vec::new(),
             queries: 0,
@@ -150,7 +160,7 @@ impl FunctionalOracle {
     }
 
     fn rebuild_baseline(&mut self) {
-        let out_w = self.geom.final_out_w().expect("valid geometry");
+        let out_w = self.out_w;
         let bias = self.conv.bias().to_vec();
         self.baseline = (0..self.geom.d_ofm)
             .map(|d| {
@@ -195,7 +205,7 @@ impl FunctionalOracle {
     /// Final output value of filter `d` at post-pool position `(py, px)`.
     /// `bias_only_value` short-circuits positions unaffected by the probes.
     fn final_value(&self, d: usize, py: usize, px: usize, probes: &[Probe], _bias: f32) -> f32 {
-        let conv_w = self.geom.conv_out_w().expect("valid geometry");
+        let conv_w = self.conv_w;
         match self.geom.pool {
             None => self.act(self.conv_value(d, py, px, probes)),
             Some((kind, f_p, s_p, p_p)) => {
@@ -238,8 +248,8 @@ impl FunctionalOracle {
 
     /// Post-pool positions affected by the probes.
     fn affected_positions(&self, probes: &[Probe]) -> Vec<(usize, usize)> {
-        let conv_w = self.geom.conv_out_w().expect("valid geometry");
-        let out_w = self.geom.final_out_w().expect("valid geometry");
+        let conv_w = self.conv_w;
+        let out_w = self.out_w;
         let (s, p, f) = (self.geom.s, self.geom.p, self.geom.f);
         let mut conv_pos = std::collections::BTreeSet::new();
         for probe in probes {
@@ -271,7 +281,7 @@ impl FunctionalOracle {
     }
 
     fn count_for(&self, d: usize, probes: &[Probe], affected: &[(usize, usize)]) -> u64 {
-        let out_w = self.geom.final_out_w().expect("valid geometry");
+        let out_w = self.out_w;
         let mut count = self.baseline_counts[d] as i64;
         for &(py, px) in affected {
             let was = self.baseline[d][py * out_w + px];
@@ -332,16 +342,20 @@ impl AcceleratorOracle {
         assert_eq!(conv.d_ifm(), geom.input.c, "channel mismatch");
         let mut b = NetworkBuilder::new(geom.input);
         let input = b.input_id();
+        // lint:allow(panic): documented `# Panics` contract — the constructor
+        // validates the adversary-supplied geometry loudly
         let c = b.conv("victim", input, conv).expect("geometry fits");
         let r = b
             .relu_threshold("victim/relu", c, geom.threshold)
-            .expect("relu after conv");
+            .expect("relu after conv"); // lint:allow(panic): same documented contract
         let out = match geom.pool {
             None => r,
             Some((PoolKind::Max, f, s, p)) => {
+                // lint:allow(panic): same documented contract
                 b.max_pool("victim/pool", r, f, s, p).expect("pool fits")
             }
             Some((PoolKind::Avg, f, s, p)) => {
+                // lint:allow(panic): same documented contract
                 b.avg_pool("victim/pool", r, f, s, p).expect("pool fits")
             }
         };
@@ -367,13 +381,15 @@ impl AcceleratorOracle {
     /// output is fully pruned emits no writes, leaving its weight burst
     /// adjacent to the next filter's.)
     fn counts_from_trace(&self, exec: &cnnre_accel::Execution) -> Vec<u64> {
+        // lint:allow(panic): this exact (net, config) pair was planned and run
+        // by new()/query() already; re-planning cannot fail
         let schedule = Schedule::plan(&self.net, self.accel.config()).expect("planned before");
         let weights_region = schedule
             .layout()
             .regions()
             .iter()
             .find(|r| r.kind == RegionKind::Weights)
-            .expect("victim layer has weights")
+            .expect("victim layer has weights") // lint:allow(panic): schedule of a conv layer always maps a weights region
             .clone();
         let filter_bytes =
             (self.geom.input.c * self.geom.f * self.geom.f) as u64 * exec.trace.element_bytes();
@@ -410,6 +426,8 @@ impl ZeroCountOracle for AcceleratorOracle {
         let exec = self
             .accel
             .run(&self.net, &input)
+            // lint:allow(panic): the same net ran at construction; probes only
+            // change input values, never shapes
             .expect("victim network runs");
         self.counts_from_trace(&exec)
     }

@@ -182,6 +182,7 @@ fn virtual_oracle(
         }
     }
     let conv =
+        // lint:allow(panic): w was allocated as exactly (1, c, f, f) above
         Conv2d::from_parts(w, vec![sign], geom.s, geom.p).expect("virtual filter construction");
     // A non-zero pruning threshold t is equivalent to shifting the bias to
     // b' = b − t and comparing against zero; the recovery operates in
@@ -528,12 +529,7 @@ fn build_pins(
 fn solve_linear(mut m: Vec<Vec<f64>>, mut rhs: Vec<f64>) -> Option<Vec<f64>> {
     let n = rhs.len();
     for col in 0..n {
-        let pivot = (col..n).max_by(|&a, &b| {
-            m[a][col]
-                .abs()
-                .partial_cmp(&m[b][col].abs())
-                .expect("finite")
-        })?;
+        let pivot = (col..n).max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
         }
@@ -574,6 +570,7 @@ fn ratio_from_crossing(
     match (geom.pool, geom.order) {
         (Some((PoolKind::Avg, f_p, _, _)), MergedOrder::PoolThenAct) => {
             // Window sum: x·(w_t/b + Σ known affected ratios) + K + pins = 0.
+            // lint:allow(panic): recover_ratios asserts the geometry up front
             let conv_w = geom.conv_out_w().expect("valid geometry");
             let window_tap =
                 |v: usize, t_v: usize| v >= t_v.saturating_sub(f_p - 1) && v <= t_v && v < conv_w;
@@ -671,6 +668,7 @@ pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) ->
     let geom = oracle.geometry();
     assert!(geom.final_out_w().is_some(), "degenerate geometry");
     let baseline = oracle.query(&[]);
+    // lint:allow(panic): asserted non-degenerate two lines above
     let full = (geom.final_out_w().expect("valid geometry") as u64).pow(2);
     let bias_positive: Vec<bool> = baseline.iter().map(|&c| c == full).collect();
 

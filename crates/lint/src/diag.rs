@@ -1,0 +1,226 @@
+//! Diagnostics and their renderings (human table, machine JSON).
+
+use std::fmt;
+
+/// The rule classes `cnnre-lint` enforces. Each maps to an invariant the
+/// attack pipeline depends on (see DESIGN.md §8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads (`Instant::now` / `SystemTime::now`) outside the
+    /// observability crate's designated wall-clock modules.
+    Wallclock,
+    /// `HashMap` / `HashSet` on a deterministic export or solver path.
+    HashIter,
+    /// `unwrap` / `expect` / `panic!` / `todo!` / `unimplemented!` in
+    /// library non-test code.
+    Panic,
+    /// Truncation-capable `as` casts in layer-geometry arithmetic.
+    Cast,
+    /// Non-`Relaxed` atomic ordering in `obs` without a justification
+    /// comment.
+    AtomicOrdering,
+    /// Malformed or unknown `lint:allow` suppression directive.
+    AllowSyntax,
+}
+
+impl Rule {
+    /// All rules, in severity/report order.
+    pub const ALL: [Rule; 6] = [
+        Rule::Wallclock,
+        Rule::HashIter,
+        Rule::Panic,
+        Rule::Cast,
+        Rule::AtomicOrdering,
+        Rule::AllowSyntax,
+    ];
+
+    /// The short name used in reports and in `lint:allow(<name>)`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Wallclock => "wallclock",
+            Rule::HashIter => "hash-iter",
+            Rule::Panic => "panic",
+            Rule::Cast => "cast",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::AllowSyntax => "allow-syntax",
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::Wallclock => {
+                "no Instant::now/SystemTime::now outside obs' wall-clock modules \
+                 (deterministic --metrics snapshots)"
+            }
+            Rule::HashIter => {
+                "no HashMap/HashSet in core/trace/accel deterministic paths; \
+                 use BTreeMap/BTreeSet or justify that ordering never escapes"
+            }
+            Rule::Panic => {
+                "no unwrap/expect/panic!/todo!/unimplemented! in library crates' \
+                 non-test code"
+            }
+            Rule::Cast => {
+                "no truncation-capable `as` casts in layer-geometry arithmetic \
+                 (nn::geometry, core::structure, accel::layout)"
+            }
+            Rule::AtomicOrdering => {
+                "non-Relaxed atomic orderings in obs must carry a justification \
+                 comment on the same or preceding line"
+            }
+            Rule::AllowSyntax => {
+                "lint:allow directives must name a known rule and give a \
+                 non-empty reason"
+            }
+        }
+    }
+
+    /// Looks a rule up by its short name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One reported violation.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human explanation of the violation.
+    pub message: String,
+    /// Trimmed source line, for context.
+    pub snippet: String,
+}
+
+/// Renders diagnostics as an aligned human-readable table.
+#[must_use]
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return String::new();
+    }
+    let loc_w = diags
+        .iter()
+        .map(|d| d.file.len() + 1 + digits(d.line))
+        .max()
+        .unwrap_or(0);
+    let rule_w = diags.iter().map(|d| d.rule.name().len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for d in diags {
+        let loc = format!("{}:{}", d.file, d.line);
+        out.push_str(&format!(
+            "{loc:<loc_w$}  {rule:<rule_w$}  {msg}\n",
+            loc = loc,
+            rule = d.rule.name(),
+            msg = d.message,
+        ));
+        if !d.snippet.is_empty() {
+            out.push_str(&format!("{:loc_w$}  {:rule_w$}  | {}\n", "", "", d.snippet));
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a deterministic JSON report.
+#[must_use]
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"tool\": \"cnnre-lint\",\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"violations\": {},\n", diags.len()));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": \"{}\", ", d.rule.name()));
+        out.push_str(&format!("\"file\": \"{}\", ", escape(&d.file)));
+        out.push_str(&format!("\"line\": {}, ", d.line));
+        out.push_str(&format!("\"message\": \"{}\", ", escape(&d.message)));
+        out.push_str(&format!("\"snippet\": \"{}\"", escape(&d.snippet)));
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            rule: Rule::Panic,
+            file: "crates/nn/src/x.rs".into(),
+            line: 7,
+            message: "`.unwrap()` in library non-test code".into(),
+            snippet: "let v = map.get(\"k\").unwrap();".into(),
+        }]
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_is_parseable_shape() {
+        let j = render_json(&sample(), 3);
+        assert!(j.contains("\\\"k\\\""));
+        assert!(j.contains("\"violations\": 1"));
+        assert!(j.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn human_table_includes_location_and_rule() {
+        let h = render_human(&sample());
+        assert!(h.contains("crates/nn/src/x.rs:7"));
+        assert!(h.contains("panic"));
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("nope"), None);
+    }
+}

@@ -1,0 +1,505 @@
+//! A hand-written Rust surface lexer.
+//!
+//! The analyzer never needs a full parse — every rule is expressible over a
+//! faithful token stream — but the stream *must* be faithful, or a string
+//! literal containing `unwrap()` (or a comment containing `HashMap`) would
+//! produce phantom diagnostics. The tricky cases this lexer handles
+//! correctly:
+//!
+//! * raw strings `r"…"` / `r#"…"#` / `r##"…"##` (any hash depth), plus the
+//!   byte variants `br"…"` / `br#"…"#`;
+//! * raw identifiers `r#match` (which share a prefix with raw strings);
+//! * nested block comments `/* outer /* inner */ still a comment */`;
+//! * `'a` lifetimes vs `'x'` char literals (including `'_'`, escapes like
+//!   `'\''`, and non-ASCII chars);
+//! * numeric literals with type suffixes (`1_024u64`, `2.5e-3f32`) without
+//!   swallowing the `..` of a range expression.
+//!
+//! Comments are kept as tokens: suppression directives
+//! (`// lint:allow(rule): reason`) and atomic-ordering justifications live
+//! in comments, so rules need to see them with accurate line numbers.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `as`, `unwrap`, `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// Character literal `'x'` or byte literal `b'x'`.
+    Char,
+    /// String literal (cooked or raw, byte or not).
+    Str,
+    /// Numeric literal, including any suffix.
+    Num,
+    /// A single punctuation character (`.`, `:`, `!`, `(`, …).
+    Punct,
+    /// `// …` comment (includes `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, possibly nested, possibly multi-line.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based starting line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Verbatim source text of the token.
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment of either flavor.
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: unterminated constructs
+/// consume to end-of-file, which is the most useful behavior for a linter
+/// (the compiler will produce the real error).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn emit(&mut self, kind: TokKind, start: usize, line: u32) {
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        // `src` is only held so the struct is self-describing in debuggers.
+        let _ = self.src;
+        while let Some(c) = self.peek(0) {
+            let start = self.pos;
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => {
+                    self.line_comment();
+                    self.emit(TokKind::LineComment, start, line);
+                }
+                '/' if self.peek(1) == Some('*') => {
+                    self.block_comment();
+                    self.emit(TokKind::BlockComment, start, line);
+                }
+                'r' | 'b' if self.raw_or_byte_string() => {
+                    self.emit(TokKind::Str, start, line);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.bump(); // b
+                    self.char_literal();
+                    self.emit(TokKind::Char, start, line);
+                }
+                '"' => {
+                    self.cooked_string();
+                    self.emit(TokKind::Str, start, line);
+                }
+                '\'' => {
+                    let kind = self.lifetime_or_char();
+                    self.emit(kind, start, line);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    self.ident();
+                    self.emit(TokKind::Ident, start, line);
+                }
+                c if c.is_ascii_digit() => {
+                    self.number();
+                    self.emit(TokKind::Num, start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.emit(TokKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: consume to EOF
+            }
+        }
+    }
+
+    /// Tries to consume a raw string (`r"…"`, `r#"…"#`), byte string
+    /// (`b"…"`), or raw byte string (`br#"…"#`) starting at the current
+    /// position. Returns `false` (consuming nothing) when the lookahead is
+    /// actually an identifier (`radius`), a raw identifier (`r#match`), or a
+    /// byte char (`b'x'`).
+    fn raw_or_byte_string(&mut self) -> bool {
+        let mut ahead = 1; // past the leading r or b
+        let raw = match self.peek(0) {
+            Some('r') => true,
+            Some('b') => {
+                if self.peek(1) == Some('r') {
+                    ahead = 2;
+                    true
+                } else if self.peek(1) == Some('"') {
+                    // b"…": cooked byte string
+                    self.bump(); // b
+                    self.cooked_string();
+                    return true;
+                } else {
+                    return false;
+                }
+            }
+            _ => return false,
+        };
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(ahead + hashes) == Some('#') {
+                hashes += 1;
+            }
+            if self.peek(ahead + hashes) != Some('"') {
+                // `r#match` raw identifier or plain ident starting with r/br.
+                return false;
+            }
+            for _ in 0..ahead + hashes + 1 {
+                self.bump();
+            }
+            // Scan for `"` followed by `hashes` hash marks.
+            while self.peek(0).is_some() {
+                if self.peek(0) == Some('"') {
+                    let mut ok = true;
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some('#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..hashes + 1 {
+                            self.bump();
+                        }
+                        return true;
+                    }
+                }
+                self.bump();
+            }
+            return true; // unterminated raw string: consumed to EOF
+        }
+        false
+    }
+
+    fn cooked_string(&mut self) {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump(); // escaped char, may be " or \
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Disambiguates `'a` / `'static` (lifetime) from `'x'` / `'\n'` /
+    /// `'_'` (char literal). After the quote: an escape is always a char; an
+    /// identifier char followed by a closing quote is a char; an identifier
+    /// char not followed by a closing quote is a lifetime; anything else
+    /// (e.g. `'('`) is a char.
+    fn lifetime_or_char(&mut self) -> TokKind {
+        match self.peek(1) {
+            Some('\\') => {
+                self.char_literal();
+                TokKind::Char
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                if self.peek(2) == Some('\'') {
+                    self.char_literal();
+                    TokKind::Char
+                } else {
+                    self.bump(); // '
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    TokKind::Lifetime
+                }
+            }
+            _ => {
+                self.char_literal();
+                TokKind::Char
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Numeric literal including suffix (`1u64`, `0xFFu8`, `1.5e-3f32`).
+    /// Consumes a `.` only when followed by a digit, so `0..n` and
+    /// `1.max(x)` tokenize as `0` `.` `.` `n` and `1` `.` `max` `(` `x` `)`.
+    fn number(&mut self) {
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                // Exponent sign: 1e-3 / 2.5E+7.
+                if (c == 'e' || c == 'E')
+                    && matches!(self.peek(1), Some('+' | '-'))
+                    && self.peek(2).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump(); // e
+                    self.bump(); // sign
+                    continue;
+                }
+                self.bump();
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // `unwrap` inside a raw string must not surface as an Ident.
+        let toks = kinds(r####"let s = r#"x.unwrap()"#;"####);
+        assert_eq!(idents(r####"let s = r#"x.unwrap()"#;"####), ["let", "s"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_strings_with_multiple_hashes() {
+        let src = r#####"r##"inner "quote"# still"## ; done"#####;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::Str);
+        assert!(toks[0].1.ends_with("\"##"));
+        assert_eq!(idents(src), ["done"]);
+    }
+
+    #[test]
+    fn raw_byte_strings_and_byte_strings() {
+        assert_eq!(kinds(r###"br#"HashMap"#"###)[0].0, TokKind::Str);
+        assert_eq!(kinds(r#"b"HashMap""#)[0].0, TokKind::Str);
+        assert_eq!(kinds("b'x'")[0].0, TokKind::Char);
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_strings() {
+        assert_eq!(idents("r#match = r#fn"), ["r", "match", "r", "fn"]);
+        // (split at the #, which is fine for rule purposes — what matters
+        // is that nothing is mistaken for a raw string and swallowed.)
+        assert_eq!(idents("radius * brightness"), ["radius", "brightness"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        assert_eq!(idents(src), ["a", "b"]);
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::BlockComment && t.contains("inner")));
+    }
+
+    #[test]
+    fn doubly_nested_block_comments() {
+        let src = "x /* 1 /* 2 /* 3 */ 2 */ 1 */ y";
+        assert_eq!(idents(src), ["x", "y"]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_consumes_to_eof() {
+        assert_eq!(idents("a /* never closed\nmore"), ["a"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let u = '_'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, ["'a", "'a"]);
+        assert_eq!(chars, ["'x'", "'_'"]);
+    }
+
+    #[test]
+    fn static_lifetime_and_escaped_chars() {
+        let toks = kinds(r"&'static str; '\''; '\n'; '\u{1F600}'");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(),
+            1
+        );
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn anonymous_lifetime_is_a_lifetime() {
+        let toks = kinds("&'_ str");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'_"));
+    }
+
+    #[test]
+    fn comments_inside_strings_are_strings() {
+        let src = r#"let s = "// not a comment /* nor this */";"#;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .all(|(k, _)| !matches!(k, TokKind::LineComment | TokKind::BlockComment)));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn strings_with_escaped_quotes() {
+        let src = r#""she said \"hi\"" trailing"#;
+        assert_eq!(idents(src), ["trailing"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = kinds("0..10");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10"]);
+        assert_eq!(idents("1.max(2)"), ["max"]);
+        let toks = kinds("2.5e-3f32 + 1_024u64");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(nums, ["2.5e-3f32", "1_024u64"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline string\"\n/* block\ncomment */\nb";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text == "b").map(|t| t.line);
+        assert_eq!(b, Some(6));
+    }
+
+    #[test]
+    fn line_comment_keeps_directive_text() {
+        let toks = lex("x(); // lint:allow(panic): startup only");
+        let c = toks.iter().find(|t| t.kind == TokKind::LineComment);
+        assert!(c.is_some_and(|t| t.text.contains("lint:allow(panic)")));
+    }
+}

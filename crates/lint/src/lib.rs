@@ -1,0 +1,85 @@
+//! `cnnre-lint` — in-tree static analysis for the attack pipeline.
+//!
+//! The pipeline's correctness rests on invariants `rustc` cannot see:
+//!
+//! * **Determinism.** Byte-identical `--metrics` snapshots and reproducible
+//!   candidate enumeration require no wall-clock reads and no
+//!   unordered-map iteration anywhere on a deterministic path
+//!   ([`Rule::Wallclock`], [`Rule::HashIter`]).
+//! * **Panic-safety.** A library `unwrap()` aborts a multi-hour trace
+//!   analysis on the first malformed input ([`Rule::Panic`]).
+//! * **Cast-soundness.** The Equations (1)–(8) search space (PAPER.md §3)
+//!   silently corrupts if an integer cast truncates layer geometry
+//!   ([`Rule::Cast`]).
+//! * **Ordering discipline.** `cnnre-obs` promises a single `Relaxed` load
+//!   on its disabled fast path; stronger orderings must justify themselves
+//!   ([`Rule::AtomicOrdering`]).
+//!
+//! Like `cnnre-obs`, the analyzer is zero-dependency: a hand-written lexer
+//! ([`lexer`]) feeds rule passes ([`rules`]) over every workspace source
+//! file ([`walk`]). Suppression is explicit and auditable:
+//!
+//! ```text
+//! let w = widths.last().unwrap_or(&0); // no directive needed — total
+//! let x = map[&k]; // lint:allow(panic): key inserted two lines up
+//! ```
+//!
+//! A directive with an unknown rule or an empty reason is itself a
+//! violation ([`Rule::AllowSyntax`]). Run the binary with
+//! `cargo run -p cnnre-lint` (exit 0 = clean, 1 = violations); see the
+//! README's "Static analysis" section and DESIGN.md §8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod walk;
+
+pub use diag::{render_human, render_json, Diagnostic, Rule};
+pub use source::SourceFile;
+
+use std::io;
+use std::path::Path;
+
+/// The result of linting a workspace.
+#[derive(Debug)]
+pub struct Report {
+    /// All violations, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of files scanned (after dropping test-gated files).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lints every source file under `root` (the workspace checkout).
+///
+/// # Errors
+/// Returns any I/O error encountered while walking or reading files.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let files = walk::load_workspace(root)?;
+    let mut diagnostics: Vec<Diagnostic> = files.iter().flat_map(rules::check_file).collect();
+    diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(Report {
+        diagnostics,
+        files_scanned: files.len(),
+    })
+}
+
+/// Lints a single in-memory source, as if it lived at `rel_path` inside the
+/// workspace. Used by the fixture self-tests; path targeting behaves
+/// exactly as in [`lint_workspace`] (cross-file module gating excepted).
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    rules::check_file(&SourceFile::parse(rel_path, src))
+}

@@ -1,0 +1,138 @@
+//! The `cnnre-lint` binary: lints the workspace and exits nonzero on
+//! violations. See `--help` for flags.
+
+use cnnre_lint::{lint_workspace, render_human, render_json, Rule};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+cnnre-lint — in-tree static analysis for the cnn-reveng workspace
+
+USAGE:
+    cnnre-lint [--root DIR] [--format human|json] [--out FILE] [--quiet]
+    cnnre-lint --list-rules
+
+FLAGS:
+    --root DIR        workspace root to lint (default: current directory)
+    --format FMT      report format: human (default) or json
+    --out FILE        also write the report (in the chosen format) to FILE
+    --quiet           print nothing on success
+    --list-rules      print the rule table and exit
+
+EXIT CODES:
+    0  clean          1  violations found          2  usage or I/O error
+";
+
+struct Opts {
+    root: PathBuf,
+    json: bool,
+    out: Option<PathBuf>,
+    quiet: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        json: false,
+        out: None,
+        quiet: false,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = args.next().map(PathBuf::from).ok_or("--root needs a DIR")?;
+            }
+            "--format" => match args.next().as_deref() {
+                Some("human") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => {
+                    return Err(format!(
+                        "--format must be human or json, got {:?}",
+                        other.unwrap_or("<missing>")
+                    ))
+                }
+            },
+            "--out" => {
+                opts.out = Some(args.next().map(PathBuf::from).ok_or("--out needs a FILE")?);
+            }
+            "--quiet" => opts.quiet = true,
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cnnre-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in Rule::ALL {
+            println!("{:<16} {}", rule.name(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match lint_workspace(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cnnre-lint: failed to read {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if opts.json {
+        render_json(&report.diagnostics, report.files_scanned)
+    } else {
+        render_human(&report.diagnostics)
+    };
+
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, &rendered) {
+            eprintln!("cnnre-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.is_clean() {
+        if opts.json && !opts.quiet {
+            print!("{rendered}");
+        } else if !opts.quiet {
+            println!(
+                "cnnre-lint: clean ({} files scanned, {} rules)",
+                report.files_scanned,
+                Rule::ALL.len()
+            );
+        }
+        ExitCode::SUCCESS
+    } else {
+        print!("{rendered}");
+        if !opts.json {
+            println!(
+                "cnnre-lint: {} violation(s) in {} file(s) ({} files scanned)",
+                report.diagnostics.len(),
+                {
+                    let mut files: Vec<&str> =
+                        report.diagnostics.iter().map(|d| d.file.as_str()).collect();
+                    files.dedup();
+                    files.len()
+                },
+                report.files_scanned
+            );
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,453 @@
+//! The rule passes. Each pass walks one [`SourceFile`]'s token stream and
+//! reports [`Diagnostic`]s; path targeting decides which files a rule
+//! applies to, and `// lint:allow(<rule>): <reason>` directives suppress
+//! individual findings (auditable — a directive with no reason is itself a
+//! violation, see [`check_allow_directives`]).
+
+use crate::diag::{Diagnostic, Rule};
+use crate::source::SourceFile;
+
+/// Wall-clock reads are permitted only here: `obs::span` measures wall
+/// time by design (and tags it `wall_ns` so deterministic exports drop
+/// it), and the bench harness exists to measure wall time.
+const WALLCLOCK_ALLOWED: [&str; 2] = ["crates/obs/src/span.rs", "crates/obs/src/bench.rs"];
+
+/// Crates whose `src/` trees are deterministic attack paths: their exports
+/// (`--metrics` snapshots, candidate enumerations, trace segmentations)
+/// must not depend on hash-map iteration order.
+const HASH_ITER_SCOPE: [&str; 3] = ["crates/core/src/", "crates/trace/src/", "crates/accel/src/"];
+
+/// Library crates that must not panic in non-test code. The bench harness
+/// (`crates/bench`) and the CLI (`src/`) are binaries and may exit loudly.
+const PANIC_SCOPE: [&str; 7] = [
+    "crates/tensor/src/",
+    "crates/nn/src/",
+    "crates/accel/src/",
+    "crates/trace/src/",
+    "crates/core/src/",
+    "crates/obs/src/",
+    "crates/lint/src/",
+];
+
+/// Modules whose integer arithmetic *is* the Equations (1)–(8) candidate
+/// search space; a silently truncating cast here corrupts recovery.
+const CAST_SCOPE: [&str; 3] = [
+    "crates/nn/src/geometry.rs",
+    "crates/core/src/structure/",
+    "crates/accel/src/layout.rs",
+];
+
+/// Integer targets that can truncate a 64-bit (or float) source.
+const NARROWING_INT: [&str; 8] = ["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// All integer targets (for the float-rounding-result check, where even a
+/// 64-bit target truncates the fractional part or saturates).
+const ANY_INT: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Float methods whose result is routinely cast back to an integer; such
+/// casts silently saturate/truncate and must be justified.
+const FLOAT_ROUNDERS: [&str; 5] = ["ceil", "floor", "round", "sqrt", "trunc"];
+
+/// Non-`Relaxed` atomic orderings: fine when needed, but `obs` promises
+/// "one relaxed load when disabled", so stronger orderings must explain
+/// themselves.
+const STRONG_ORDERINGS: [&str; 4] = ["SeqCst", "Acquire", "Release", "AcqRel"];
+
+/// Runs every applicable rule pass over `file`.
+#[must_use]
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if file.whole_file_excluded {
+        return out;
+    }
+    let code = file.code_indices();
+    check_wallclock(file, &code, &mut out);
+    check_hash_iter(file, &code, &mut out);
+    check_panic(file, &code, &mut out);
+    check_cast(file, &code, &mut out);
+    check_atomic_ordering(file, &code, &mut out);
+    check_allow_directives(file, &mut out);
+    out
+}
+
+fn push(out: &mut Vec<Diagnostic>, file: &SourceFile, rule: Rule, line: u32, message: String) {
+    if file.allow_for(rule.name(), line).is_some() {
+        return;
+    }
+    out.push(Diagnostic {
+        rule,
+        file: file.rel_path.clone(),
+        line,
+        message,
+        snippet: file.snippet(line),
+    });
+}
+
+fn check_wallclock(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if WALLCLOCK_ALLOWED.iter().any(|p| file.rel_path == *p) {
+        return;
+    }
+    for w in windows4(code) {
+        let [a, b, c, d] = w;
+        let ty = &file.tokens[a].text;
+        if (ty == "Instant" || ty == "SystemTime")
+            && file.tokens[b].text == ":"
+            && file.tokens[c].text == ":"
+            && file.tokens[d].text == "now"
+            && !file.in_test_code(a)
+        {
+            push(
+                out,
+                file,
+                Rule::Wallclock,
+                file.tokens[a].line,
+                format!(
+                    "`{ty}::now` outside obs' wall-clock modules breaks byte-identical \
+                     --metrics snapshots; route timing through cnnre_obs::span"
+                ),
+            );
+        }
+    }
+}
+
+fn check_hash_iter(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if !in_scope(&file.rel_path, &HASH_ITER_SCOPE) {
+        return;
+    }
+    for &i in code {
+        let t = &file.tokens[i];
+        if (t.text == "HashMap" || t.text == "HashSet") && !file.in_test_code(i) {
+            push(
+                out,
+                file,
+                Rule::HashIter,
+                t.line,
+                format!(
+                    "`{}` on a deterministic path: iteration order varies per process; \
+                     use BTreeMap/BTreeSet, sort before iterating, or justify that \
+                     ordering never escapes",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+fn check_panic(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if !in_scope(&file.rel_path, &PANIC_SCOPE) {
+        return;
+    }
+    for w in windows3(code) {
+        let [a, b, c] = w;
+        let name = &file.tokens[b].text;
+        // `.unwrap(` / `.expect(` — method calls only, so local fns named
+        // e.g. `expect_header(...)` don't fire.
+        if file.tokens[a].text == "."
+            && (name == "unwrap" || name == "expect")
+            && file.tokens[c].text == "("
+            && !file.in_test_code(b)
+        {
+            push(
+                out,
+                file,
+                Rule::Panic,
+                file.tokens[b].line,
+                format!(
+                    "`.{name}()` in library non-test code can abort the pipeline \
+                     mid-attack; return a Result, provide a fallback, or justify"
+                ),
+            );
+        }
+        // Macro invocations: `panic!(` / `todo!{` / `unimplemented![`.
+        let name = &file.tokens[a].text;
+        if (name == "panic" || name == "todo" || name == "unimplemented")
+            && file.tokens[b].text == "!"
+            && matches!(file.tokens[c].text.as_str(), "(" | "[" | "{")
+            && !file.in_test_code(a)
+        {
+            push(
+                out,
+                file,
+                Rule::Panic,
+                file.tokens[a].line,
+                format!(
+                    "`{name}!` in library non-test code can abort the pipeline \
+                     mid-attack; return a Result or justify"
+                ),
+            );
+        }
+    }
+}
+
+fn check_cast(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if !in_scope(&file.rel_path, &CAST_SCOPE) {
+        return;
+    }
+    for (ci, &i) in code.iter().enumerate() {
+        if file.tokens[i].text != "as" || file.in_test_code(i) {
+            continue;
+        }
+        let Some(&target_idx) = code.get(ci + 1) else {
+            continue;
+        };
+        let target = file.tokens[target_idx].text.as_str();
+        let narrowing = NARROWING_INT.contains(&target);
+        let from_float_rounder =
+            ANY_INT.contains(&target) && cast_source_is_float_rounder(file, code, ci);
+        if narrowing || from_float_rounder {
+            let why = if from_float_rounder {
+                "a float-rounding result cast to an integer silently saturates"
+            } else {
+                "truncation here corrupts the Eq. (1)-(8) candidate search space"
+            };
+            push(
+                out,
+                file,
+                Rule::Cast,
+                file.tokens[i].line,
+                format!(
+                    "narrowing `as {target}` in layer-geometry arithmetic: {why}; \
+                     use try_from with explicit handling or justify the bound"
+                ),
+            );
+        }
+    }
+}
+
+/// Whether the expression immediately before the `as` at code-index `ci`
+/// ends in a call to one of [`FLOAT_ROUNDERS`], i.e. `(...).ceil() as u64`.
+fn cast_source_is_float_rounder(file: &SourceFile, code: &[usize], ci: usize) -> bool {
+    // Pattern, scanning left from `as`: `)` `(` ident — an empty-arg method
+    // call. (All of FLOAT_ROUNDERS take no arguments.)
+    if ci < 3 {
+        return false;
+    }
+    let close = &file.tokens[code[ci - 1]].text;
+    let open = &file.tokens[code[ci - 2]].text;
+    let name = &file.tokens[code[ci - 3]].text;
+    close == ")" && open == "(" && FLOAT_ROUNDERS.contains(&name.as_str())
+}
+
+fn check_atomic_ordering(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+    if !file.rel_path.starts_with("crates/obs/src/") {
+        return;
+    }
+    for &i in code {
+        let t = &file.tokens[i];
+        if STRONG_ORDERINGS.contains(&t.text.as_str())
+            && !file.in_test_code(i)
+            && !file.has_adjacent_comment(t.line)
+        {
+            push(
+                out,
+                file,
+                Rule::AtomicOrdering,
+                t.line,
+                format!(
+                    "`Ordering::{}` without a justification comment; obs promises \
+                     one Relaxed load on the disabled fast path — explain why a \
+                     stronger ordering is required here",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Validates every `lint:allow` directive in the file: the rule must exist
+/// and the reason must be non-empty. This is what keeps suppression
+/// auditable rather than a silent escape hatch.
+pub fn check_allow_directives(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for d in file.all_allows() {
+        if Rule::from_name(&d.rule).is_none() {
+            out.push(Diagnostic {
+                rule: Rule::AllowSyntax,
+                file: file.rel_path.clone(),
+                line: d.line,
+                message: format!(
+                    "lint:allow names unknown rule `{}` (known: {})",
+                    d.rule,
+                    Rule::ALL.map(Rule::name).join(", ")
+                ),
+                snippet: file.snippet(d.line),
+            });
+        } else if d.reason.is_empty() {
+            out.push(Diagnostic {
+                rule: Rule::AllowSyntax,
+                file: file.rel_path.clone(),
+                line: d.line,
+                message: format!(
+                    "lint:allow({}) has no reason; write \
+                     `// lint:allow({}): <why this is sound>`",
+                    d.rule, d.rule
+                ),
+                snippet: file.snippet(d.line),
+            });
+        }
+    }
+}
+
+fn in_scope(rel_path: &str, scope: &[&str]) -> bool {
+    scope
+        .iter()
+        .any(|p| rel_path == *p || rel_path.starts_with(p))
+}
+
+/// Sliding windows of 3 consecutive code-token indices.
+fn windows3(code: &[usize]) -> impl Iterator<Item = [usize; 3]> + '_ {
+    code.windows(3).map(|w| [w[0], w[1], w[2]])
+}
+
+/// Sliding windows of 4 consecutive code-token indices.
+fn windows4(code: &[usize]) -> impl Iterator<Item = [usize; 4]> + '_ {
+    code.windows(4).map(|w| [w[0], w[1], w[2], w[3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diags(path: &str, src: &str) -> Vec<Diagnostic> {
+        check_file(&SourceFile::parse(path, src))
+    }
+
+    fn rules_of(d: &[Diagnostic]) -> Vec<Rule> {
+        d.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn wallclock_flagged_outside_obs_span() {
+        let d = diags(
+            "crates/core/src/lib.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert_eq!(rules_of(&d), [Rule::Wallclock]);
+        // …but allowed inside the designated modules.
+        let d = diags(
+            "crates/obs/src/span.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn systemtime_also_flagged() {
+        let d = diags(
+            "crates/trace/src/io.rs",
+            "fn f() { let t = std::time::SystemTime::now(); }",
+        );
+        assert_eq!(rules_of(&d), [Rule::Wallclock]);
+    }
+
+    #[test]
+    fn hash_iter_scoped_to_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(
+            rules_of(&diags("crates/core/src/x.rs", src)),
+            [Rule::HashIter]
+        );
+        // nn is not a deterministic-export path; no finding there.
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_fires_on_unwrap_expect_and_macros() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); todo!() }";
+        let d = diags("crates/nn/src/x.rs", src);
+        assert_eq!(
+            rules_of(&d),
+            [Rule::Panic, Rule::Panic, Rule::Panic, Rule::Panic]
+        );
+    }
+
+    #[test]
+    fn unwrap_or_variants_do_not_fire() {
+        let src = "fn f() { a.unwrap_or(0); b.unwrap_or_else(|| 1); c.unwrap_or_default(); }";
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn free_functions_named_expect_do_not_fire() {
+        let src = "fn f() { expect(1); my::unwrap(2); }";
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_in_string_or_comment_does_not_fire() {
+        let src = "fn f() { let s = \"never panic!(here)\"; } // a.unwrap() note";
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cast_rule_narrowing_targets() {
+        let src = "fn f(x: u64) -> usize { x as usize }";
+        assert_eq!(
+            rules_of(&diags("crates/core/src/structure/solver.rs", src)),
+            [Rule::Cast]
+        );
+        // Widening to u64/f64 is not flagged.
+        let src = "fn f(x: u32) -> u64 { let y = x as f64; x as u64 }";
+        assert!(diags("crates/core/src/structure/solver.rs", src).is_empty());
+        // Out-of-scope files are not checked.
+        let src = "fn f(x: u64) -> usize { x as usize }";
+        assert!(diags("crates/core/src/weights/oracle.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cast_rule_float_rounder_to_int() {
+        let src = "fn f(x: f64) -> u64 { x.sqrt() as u64 }";
+        assert_eq!(
+            rules_of(&diags("crates/nn/src/geometry.rs", src)),
+            [Rule::Cast]
+        );
+        let src = "fn f(x: f64) -> u64 { (a / b).ceil() as u64 }";
+        assert_eq!(
+            rules_of(&diags("crates/nn/src/geometry.rs", src)),
+            [Rule::Cast]
+        );
+    }
+
+    #[test]
+    fn atomic_rule_requires_adjacent_comment() {
+        let src = "fn f() { X.store(1, Ordering::SeqCst); }";
+        assert_eq!(
+            rules_of(&diags("crates/obs/src/registry.rs", src)),
+            [Rule::AtomicOrdering]
+        );
+        let src = "fn f() {\n    // publishes the snapshot to readers\n    X.store(1, Ordering::Release);\n}";
+        assert!(diags("crates/obs/src/registry.rs", src).is_empty());
+        // Relaxed never needs justification.
+        let src = "fn f() { X.store(1, Ordering::Relaxed); }";
+        assert!(diags("crates/obs/src/registry.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_suppresses_and_requires_reason() {
+        let src = "fn f() { a.unwrap(); // lint:allow(panic): infallible by construction\n }";
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+        // Preceding-line form.
+        let src = "fn f() {\n    // lint:allow(panic): checked above\n    a.unwrap();\n}";
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+        // Reason-less allow: the original finding is suppressed but the
+        // directive itself is reported.
+        let src = "fn f() { a.unwrap(); // lint:allow(panic)\n }";
+        assert_eq!(
+            rules_of(&diags("crates/nn/src/x.rs", src)),
+            [Rule::AllowSyntax]
+        );
+        // Unknown rule name.
+        let src = "fn f() { } // lint:allow(made-up): whatever";
+        assert_eq!(
+            rules_of(&diags("crates/nn/src/x.rs", src)),
+            [Rule::AllowSyntax]
+        );
+    }
+
+    #[test]
+    fn test_code_is_exempt_from_all_rules() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() { a.unwrap(); let i = Instant::now(); }\n}\n";
+        assert!(diags("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,430 @@
+//! Per-file analysis context: the token stream plus everything the rule
+//! passes need to know about *where* a token sits — inside test-only code,
+//! on a line carrying a suppression directive, or next to a comment.
+//!
+//! Test exclusion works at two levels:
+//!
+//! * **In-file**: any item annotated `#[test]` or `#[cfg(test)]` (or a
+//!   `cfg` attribute mentioning `test`, e.g. `#[cfg(any(test, fuzzing))]`)
+//!   is brace-matched and its whole token range excluded. A file-level
+//!   `#![cfg(test)]` excludes the entire file.
+//! * **Cross-file**: a `#[cfg(test)] mod foo;` declaration gates the child
+//!   file `foo.rs` / `foo/mod.rs`; the workspace walker resolves those
+//!   (see [`crate::walk`]) and drops gated files entirely.
+
+use crate::lexer::{lex, TokKind, Token};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A `// lint:allow(rule): reason` suppression parsed from a comment.
+#[derive(Clone, Debug)]
+pub struct AllowDirective {
+    /// Rule name inside the parentheses, verbatim.
+    pub rule: String,
+    /// Justification text after the colon, trimmed.
+    pub reason: String,
+    /// 1-based line the directive appears on.
+    pub line: u32,
+}
+
+/// One source file, lexed and annotated for the rule passes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (`crates/nn/src/...`).
+    pub rel_path: String,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Raw source lines (for diagnostic snippets).
+    pub lines: Vec<String>,
+    /// Token-index ranges `[start, end)` that are test-only code.
+    excluded: Vec<(usize, usize)>,
+    /// Whether the whole file is test-only (`#![cfg(test)]`).
+    pub whole_file_excluded: bool,
+    /// Suppression directives keyed by line.
+    allows: BTreeMap<u32, Vec<AllowDirective>>,
+    /// Lines on which any comment text appears (for justification checks).
+    comment_lines: BTreeSet<u32>,
+    /// Child modules declared as `#[cfg(test)] mod name;`.
+    pub gated_child_mods: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes and annotates `src`.
+    #[must_use]
+    pub fn parse(rel_path: &str, src: &str) -> Self {
+        let tokens = lex(src);
+        let lines = src.lines().map(str::to_owned).collect();
+        let mut file = Self {
+            rel_path: rel_path.replace('\\', "/"),
+            tokens,
+            lines,
+            excluded: Vec::new(),
+            whole_file_excluded: false,
+            allows: BTreeMap::new(),
+            comment_lines: BTreeSet::new(),
+            gated_child_mods: Vec::new(),
+        };
+        file.scan_comments();
+        file.scan_test_regions();
+        file
+    }
+
+    /// Indices of non-comment tokens, in order.
+    #[must_use]
+    pub fn code_indices(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| !self.tokens[i].is_comment())
+            .collect()
+    }
+
+    /// Whether the token at `idx` sits inside a test-only region.
+    #[must_use]
+    pub fn in_test_code(&self, idx: usize) -> bool {
+        self.whole_file_excluded || self.excluded.iter().any(|&(s, e)| idx >= s && idx < e)
+    }
+
+    /// The suppression covering `line` for `rule`, if any. A directive
+    /// suppresses the line it is on (trailing comment) and, when written
+    /// inside the comment block directly above a statement, every line of
+    /// that statement's first code line (multi-line justifications walk up
+    /// through contiguous comment lines).
+    #[must_use]
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&AllowDirective> {
+        let lookup = |l: u32| {
+            self.allows
+                .get(&l)
+                .and_then(|list| list.iter().find(|d| d.rule == rule))
+        };
+        if let Some(d) = lookup(line) {
+            return Some(d);
+        }
+        // Walk upward through the contiguous comment block, if any.
+        let mut l = line.saturating_sub(1);
+        while l > 0 && self.comment_lines.contains(&l) {
+            if let Some(d) = lookup(l) {
+                return Some(d);
+            }
+            l -= 1;
+        }
+        None
+    }
+
+    /// All parsed suppression directives (for directive validation).
+    #[must_use]
+    pub fn all_allows(&self) -> Vec<&AllowDirective> {
+        self.allows.values().flatten().collect()
+    }
+
+    /// Whether any comment text appears on `line` or the line above —
+    /// the atomic-ordering rule's notion of "carries a justification".
+    #[must_use]
+    pub fn has_adjacent_comment(&self, line: u32) -> bool {
+        self.comment_lines.contains(&line) || self.comment_lines.contains(&line.saturating_sub(1))
+    }
+
+    /// Trimmed source text of `line` (1-based), for diagnostic snippets.
+    #[must_use]
+    pub fn snippet(&self, line: u32) -> String {
+        self.lines
+            .get(line as usize - 1)
+            .map(|l| l.trim().to_owned())
+            .unwrap_or_default()
+    }
+
+    fn scan_comments(&mut self) {
+        for tok in &self.tokens {
+            if !tok.is_comment() {
+                continue;
+            }
+            let span = u32::try_from(tok.text.lines().count().max(1) - 1).unwrap_or(0);
+            for l in tok.line..=tok.line + span {
+                self.comment_lines.insert(l);
+            }
+            for (off, text) in tok.text.lines().enumerate() {
+                if let Some(d) = parse_allow(text, tok.line + u32::try_from(off).unwrap_or(0)) {
+                    self.allows.entry(d.line).or_default().push(d);
+                }
+            }
+        }
+    }
+
+    /// Finds `#[test]` / `#[cfg(..test..)]`-annotated items and records
+    /// their token ranges; records `#[cfg(test)] mod x;` child gates.
+    fn scan_test_regions(&mut self) {
+        let code = self.code_indices();
+        let tok = |ci: usize| -> &Token { &self.tokens[code[ci]] };
+        let mut ci = 0usize;
+        while ci < code.len() {
+            // Inner attribute `#![cfg(test)]` gates the whole file.
+            if tok(ci).text == "#"
+                && ci + 1 < code.len()
+                && tok(ci + 1).text == "!"
+                && ci + 2 < code.len()
+                && tok(ci + 2).text == "["
+            {
+                let (end, is_test) = scan_attr_group(&self.tokens, &code, ci + 2);
+                if is_test {
+                    self.whole_file_excluded = true;
+                    return;
+                }
+                ci = end;
+                continue;
+            }
+            // Outer attribute `#[...]`.
+            if tok(ci).text == "#" && ci + 1 < code.len() && tok(ci + 1).text == "[" {
+                let (mut end, mut any_test) = scan_attr_group(&self.tokens, &code, ci + 1);
+                // Fold in any directly following attributes (e.g.
+                // `#[cfg(test)] #[allow(...)] fn ...`).
+                while end + 1 < code.len() && tok(end).text == "#" && tok(end + 1).text == "[" {
+                    let (e2, t2) = scan_attr_group(&self.tokens, &code, end + 1);
+                    any_test = any_test || t2;
+                    end = e2;
+                }
+                if any_test {
+                    let attr_start_tok = code[ci];
+                    // `mod name;` → cross-file gate; `... { ... }` → local
+                    // exclusion; `...;` → trivially excluded item.
+                    let (item_end, gated_mod) = scan_item(&self.tokens, &code, end);
+                    if let Some(name) = gated_mod {
+                        self.gated_child_mods.push(name);
+                    }
+                    let end_tok = if item_end < code.len() {
+                        code[item_end] + 1
+                    } else {
+                        self.tokens.len()
+                    };
+                    self.excluded.push((attr_start_tok, end_tok));
+                    ci = item_end + 1;
+                    continue;
+                }
+                ci = end;
+                continue;
+            }
+            ci += 1;
+        }
+    }
+}
+
+/// Parses one comment line as a `lint:allow(rule): reason` directive.
+/// Malformed variants (missing reason, missing parens) still return a
+/// directive with whatever could be salvaged so that directive validation
+/// can report them precisely; `None` means the comment is not an allow at
+/// all. A directive must *open* the comment (`// lint:allow…`) and doc
+/// comments never count — prose that merely mentions the syntax (like this
+/// sentence) is not a directive.
+fn parse_allow(comment_line: &str, line: u32) -> Option<AllowDirective> {
+    let body = comment_line
+        .trim_start()
+        .trim_start_matches('/')
+        .trim_start_matches('*');
+    let trimmed = comment_line.trim_start();
+    if trimmed.starts_with("///") || trimmed.starts_with("//!") || trimmed.starts_with("/*!") {
+        return None;
+    }
+    let rest = body.trim_start().strip_prefix("lint:allow")?;
+    let (rule, after) = match rest.strip_prefix('(') {
+        Some(r) => match r.find(')') {
+            Some(close) => (r[..close].trim().to_owned(), &r[close + 1..]),
+            None => (r.trim().to_owned(), ""),
+        },
+        None => (String::new(), rest),
+    };
+    let reason = after
+        .trim_start()
+        .strip_prefix(':')
+        .map(str::trim)
+        .unwrap_or("")
+        .to_owned();
+    Some(AllowDirective { rule, reason, line })
+}
+
+/// Starting at the code-index of a `[`, consumes the bracketed attribute
+/// group. Returns (code-index just past `]`, attribute-mentions-test).
+/// "Mentions test" is a bare `#[test]` or any `cfg`/`cfg_attr` attribute
+/// whose argument tokens include the identifier `test`.
+fn scan_attr_group(tokens: &[Token], code: &[usize], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    let mut ci = open;
+    while ci < code.len() {
+        let t = &tokens[code[ci]];
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    let is_test = match idents.as_slice() {
+                        ["test"] => true,
+                        [first, rest @ ..] => {
+                            (*first == "cfg" || *first == "cfg_attr")
+                                && rest.contains(&"test")
+                                // `cfg(not(test))` is production code.
+                                && !rest.contains(&"not")
+                        }
+                        [] => false,
+                    };
+                    return (ci + 1, is_test);
+                }
+            }
+            _ if t.kind == TokKind::Ident => idents.push(&t.text),
+            _ => {}
+        }
+        ci += 1;
+    }
+    (code.len(), false)
+}
+
+/// Starting at the code-index of an item's first token (after its
+/// attributes), consumes the item: up to and including its matching `}` (a
+/// body) or its `;` (declaration). Returns (code-index of the final token,
+/// gated module name if the item was `mod name;`).
+fn scan_item(tokens: &[Token], code: &[usize], start: usize) -> (usize, Option<String>) {
+    let gated_mod = if start + 2 < code.len()
+        && tokens[code[start]].text == "mod"
+        && tokens[code[start + 1]].kind == TokKind::Ident
+        && tokens[code[start + 2]].text == ";"
+    {
+        Some(tokens[code[start + 1]].text.clone())
+    } else {
+        None
+    };
+    let mut ci = start;
+    let mut brace_depth = 0usize;
+    let mut entered = false;
+    while ci < code.len() {
+        match tokens[code[ci]].text.as_str() {
+            "{" => {
+                brace_depth += 1;
+                entered = true;
+            }
+            "}" => {
+                brace_depth = brace_depth.saturating_sub(1);
+                if entered && brace_depth == 0 {
+                    return (ci, gated_mod);
+                }
+            }
+            ";" if !entered => return (ci, gated_mod),
+            _ => {}
+        }
+        ci += 1;
+    }
+    (code.len().saturating_sub(1), gated_mod)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_is_excluded() {
+        let src = "fn live() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn helper() { y.unwrap(); }\n}\n\
+                   fn also_live() {}\n";
+        let f = SourceFile::parse("crates/nn/src/x.rs", src);
+        let unwraps: Vec<bool> = f
+            .code_indices()
+            .into_iter()
+            .filter(|&i| f.tokens[i].text == "unwrap")
+            .map(|i| f.in_test_code(i))
+            .collect();
+        assert_eq!(unwraps, [false, true]);
+        // Code after the test module is live again.
+        let also = f
+            .code_indices()
+            .into_iter()
+            .find(|&i| f.tokens[i].text == "also_live");
+        assert!(also.is_some_and(|i| !f.in_test_code(i)));
+    }
+
+    #[test]
+    fn test_fn_attribute_is_excluded() {
+        let src = "#[test]\nfn check() { a.unwrap(); }\nfn live() { b.unwrap(); }";
+        let f = SourceFile::parse("crates/nn/src/x.rs", src);
+        let flags: Vec<bool> = f
+            .code_indices()
+            .into_iter()
+            .filter(|&i| f.tokens[i].text == "unwrap")
+            .map(|i| f.in_test_code(i))
+            .collect();
+        assert_eq!(flags, [true, false]);
+    }
+
+    #[test]
+    fn cfg_any_test_is_excluded() {
+        let src = "#[cfg(any(test, feature = \"slow\"))]\nfn helper() { a.unwrap(); }";
+        let f = SourceFile::parse("crates/nn/src/x.rs", src);
+        let idx = f
+            .code_indices()
+            .into_iter()
+            .find(|&i| f.tokens[i].text == "unwrap");
+        assert!(idx.is_some_and(|i| f.in_test_code(i)));
+    }
+
+    #[test]
+    fn inner_cfg_test_excludes_whole_file() {
+        let f = SourceFile::parse("crates/nn/src/x.rs", "#![cfg(test)]\nfn f() {}");
+        assert!(f.whole_file_excluded);
+    }
+
+    #[test]
+    fn gated_child_module_is_recorded() {
+        let src = "#[cfg(test)]\nmod proptests;\npub mod live;";
+        let f = SourceFile::parse("crates/trace/src/lib.rs", src);
+        assert_eq!(f.gated_child_mods, ["proptests"]);
+    }
+
+    #[test]
+    fn stacked_attributes_fold_into_one_item() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { a.unwrap(); }";
+        let f = SourceFile::parse("crates/nn/src/x.rs", src);
+        let idx = f
+            .code_indices()
+            .into_iter()
+            .find(|&i| f.tokens[i].text == "unwrap");
+        assert!(idx.is_some_and(|i| f.in_test_code(i)));
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let src = "#[cfg(not(test))]\nfn live() { a.unwrap(); }";
+        let f = SourceFile::parse("crates/nn/src/x.rs", src);
+        let idx = f
+            .code_indices()
+            .into_iter()
+            .find(|&i| f.tokens[i].text == "unwrap");
+        assert!(idx.is_some_and(|i| !f.in_test_code(i)));
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_exclude() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() { a.unwrap(); }";
+        let f = SourceFile::parse("crates/nn/src/x.rs", src);
+        let idx = f
+            .code_indices()
+            .into_iter()
+            .find(|&i| f.tokens[i].text == "unwrap");
+        assert!(idx.is_some_and(|i| !f.in_test_code(i)));
+    }
+
+    #[test]
+    fn allow_directive_parses_rule_and_reason() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "a(); // lint:allow(panic): mutex poisoning is unrecoverable\n",
+        );
+        let d = f.allow_for("panic", 1).expect("directive");
+        assert_eq!(d.rule, "panic");
+        assert_eq!(d.reason, "mutex poisoning is unrecoverable");
+        // The directive also covers the following line when on its own line.
+        let f = SourceFile::parse("x.rs", "// lint:allow(cast): bounded by W\nlet x = 1;\n");
+        assert!(f.allow_for("cast", 2).is_some());
+        assert!(f.allow_for("panic", 2).is_none());
+    }
+
+    #[test]
+    fn malformed_allow_keeps_empty_reason_for_validation() {
+        let f = SourceFile::parse("x.rs", "a(); // lint:allow(panic)\n");
+        let all = f.all_allows();
+        assert_eq!(all.len(), 1);
+        assert!(all[0].reason.is_empty());
+    }
+}

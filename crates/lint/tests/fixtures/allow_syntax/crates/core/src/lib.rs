@@ -1,0 +1,11 @@
+//! Fixture: malformed suppression directives.
+
+pub fn reasonless(xs: &[u32]) -> u32 {
+    // lint:allow(panic)
+    *xs.first().unwrap()
+}
+
+pub fn unknown_rule() -> u32 {
+    // lint:allow(made-up-rule): this rule does not exist
+    7
+}

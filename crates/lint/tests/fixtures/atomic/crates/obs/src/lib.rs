@@ -1,0 +1,20 @@
+//! Fixture: unjustified strong atomic ordering in obs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump_strongly() {
+    COUNTER.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn bump_relaxed() {
+    // Relaxed never needs justification; this must NOT be reported.
+    COUNTER.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn publish_justified() {
+    // Release pairs with the Acquire load in the reader to publish the
+    // snapshot; an adjacent comment like this one satisfies the rule.
+    COUNTER.store(0, Ordering::Release);
+}

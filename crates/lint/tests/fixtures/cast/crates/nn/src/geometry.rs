@@ -1,0 +1,14 @@
+//! Fixture: narrowing and float-rounder casts in geometry arithmetic.
+
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn rounder(x: f64) -> u64 {
+    x.sqrt() as u64
+}
+
+pub fn widen_is_fine(x: u32) -> u64 {
+    // Widening casts are sound and must NOT be reported.
+    x as u64
+}

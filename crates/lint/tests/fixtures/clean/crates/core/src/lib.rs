@@ -1,0 +1,26 @@
+//! Fixture: a file every rule passes on, including a well-formed
+//! suppression directive.
+
+use std::collections::BTreeMap;
+
+pub fn histogram(xs: &[u64]) -> Vec<(u64, usize)> {
+    let mut counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn first(xs: &[u32]) -> u32 {
+    // lint:allow(panic): fixture exercises a valid suppression; callers
+    // guarantee xs is non-empty
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::first(&[3]), 3);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: hash-ordered container on a deterministic export path.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u64]) -> Vec<(u64, usize)> {
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    // Iteration order leaks straight into the output.
+    counts.into_iter().collect()
+}

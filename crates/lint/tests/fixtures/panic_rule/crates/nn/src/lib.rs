@@ -1,0 +1,26 @@
+//! Fixture: panics in library non-test code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("caller passed digits")
+}
+
+pub fn unreachable_branch(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => panic!("unsupported"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely; this must NOT be reported.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

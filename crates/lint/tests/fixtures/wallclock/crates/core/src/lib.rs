@@ -1,0 +1,19 @@
+//! Fixture: wall-clock read on a deterministic attack path.
+
+pub fn elapsed_badly() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn stamp_badly() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may read the clock freely; this must NOT be reported.
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

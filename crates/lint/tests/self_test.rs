@@ -1,0 +1,150 @@
+//! Fixture-based self-tests: each `tests/fixtures/<name>/` directory is a
+//! miniature workspace seeding one violation class. Every fixture is linted
+//! twice — through the library (`lint_workspace`) and through the built
+//! `cnnre-lint` binary — so both the rule passes and the exit-code contract
+//! stay covered.
+
+use cnnre_lint::{lint_workspace, Rule};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint_fixture(name: &str) -> Vec<Rule> {
+    let report = lint_workspace(&fixture(name)).expect("fixture tree readable");
+    report.diagnostics.iter().map(|d| d.rule).collect()
+}
+
+fn run_binary(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cnnre-lint"))
+        .args(args)
+        .output()
+        .expect("cnnre-lint binary runs")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("terminated by exit, not signal")
+}
+
+// --- library-level: each fixture reports exactly its seeded class -------
+
+#[test]
+fn wallclock_fixture_reports_both_clock_types_and_spares_tests() {
+    let rules = lint_fixture("wallclock");
+    assert_eq!(rules, [Rule::Wallclock, Rule::Wallclock]);
+}
+
+#[test]
+fn hash_iter_fixture_reports_every_hashmap_mention() {
+    let rules = lint_fixture("hash_iter");
+    assert!(rules.len() >= 2, "use + construction sites: {rules:?}");
+    assert!(rules.iter().all(|r| *r == Rule::HashIter));
+}
+
+#[test]
+fn panic_fixture_reports_unwrap_expect_and_macro() {
+    let rules = lint_fixture("panic_rule");
+    assert_eq!(rules, [Rule::Panic, Rule::Panic, Rule::Panic]);
+}
+
+#[test]
+fn cast_fixture_reports_narrowing_and_rounder_not_widening() {
+    let rules = lint_fixture("cast");
+    assert_eq!(rules, [Rule::Cast, Rule::Cast]);
+}
+
+#[test]
+fn atomic_fixture_reports_only_the_unjustified_ordering() {
+    let rules = lint_fixture("atomic");
+    assert_eq!(rules, [Rule::AtomicOrdering]);
+}
+
+#[test]
+fn allow_syntax_fixture_reports_reasonless_and_unknown_directives() {
+    let rules = lint_fixture("allow_syntax");
+    assert_eq!(rules, [Rule::AllowSyntax, Rule::AllowSyntax]);
+}
+
+#[test]
+fn clean_fixture_reports_nothing() {
+    assert_eq!(lint_fixture("clean"), []);
+}
+
+// --- binary-level: exit codes and report formats ------------------------
+
+#[test]
+fn binary_exits_nonzero_on_each_seeded_fixture() {
+    for name in [
+        "wallclock",
+        "hash_iter",
+        "panic_rule",
+        "cast",
+        "atomic",
+        "allow_syntax",
+    ] {
+        let root = fixture(name);
+        let out = run_binary(&["--root", &root.display().to_string()]);
+        assert_eq!(exit_code(&out), 1, "fixture {name} must fail the gate");
+    }
+}
+
+#[test]
+fn binary_exits_zero_on_clean_fixture() {
+    let root = fixture("clean");
+    let out = run_binary(&["--root", &root.display().to_string()]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean"), "got: {stdout}");
+}
+
+#[test]
+fn binary_human_report_names_the_rule_and_file() {
+    let root = fixture("panic_rule");
+    let out = run_binary(&["--root", &root.display().to_string()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("panic"), "got: {stdout}");
+    assert!(stdout.contains("crates/nn/src/lib.rs"), "got: {stdout}");
+}
+
+#[test]
+fn binary_json_report_is_machine_readable_and_written_to_out() {
+    let root = fixture("cast");
+    let out_file = std::env::temp_dir().join("cnnre_lint_selftest_report.json");
+    let out = run_binary(&[
+        "--root",
+        &root.display().to_string(),
+        "--format",
+        "json",
+        "--out",
+        &out_file.display().to_string(),
+    ]);
+    assert_eq!(exit_code(&out), 1);
+    let report = std::fs::read_to_string(&out_file).expect("--out wrote the report");
+    let _ = std::fs::remove_file(&out_file);
+    assert!(report.contains("\"tool\": \"cnnre-lint\""), "got: {report}");
+    assert!(report.contains("\"violations\": 2"), "got: {report}");
+    assert!(report.contains("\"rule\": \"cast\""), "got: {report}");
+    // stdout carries the same report for piping.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"tool\": \"cnnre-lint\""), "got: {stdout}");
+}
+
+#[test]
+fn binary_list_rules_covers_every_rule() {
+    let out = run_binary(&["--list-rules"]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in Rule::ALL {
+        assert!(stdout.contains(rule.name()), "missing {}", rule.name());
+    }
+}
+
+#[test]
+fn binary_rejects_unknown_flags_with_usage_error() {
+    let out = run_binary(&["--frobnicate"]);
+    assert_eq!(exit_code(&out), 2);
+}

@@ -155,6 +155,7 @@ impl SyntheticSpec {
                 labels.push(label);
             }
         }
+        // lint:allow(panic): images/labels are built pairwise in the loop above
         Dataset::new(images, labels).expect("construction is consistent")
     }
 }

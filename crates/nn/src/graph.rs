@@ -571,14 +571,17 @@ impl Network {
                     let x = &acts[node.inputs[0].0];
                     let s = x.shape();
                     Tensor3::from_vec(Shape3::new(s.len(), 1, 1), x.as_slice().to_vec())
+                        // lint:allow(panic): len()x1x1 holds exactly len() values
                         .expect("flatten preserves length")
                 }
                 Op::Concat => {
                     let ins: Vec<&Tensor3> = node.inputs.iter().map(|i| &acts[i.0]).collect();
+                    // lint:allow(panic): NetworkBuilder::concat validated the shapes
                     concat_forward(&ins).expect("shapes validated at build time")
                 }
                 Op::Add => {
                     let ins: Vec<&Tensor3> = node.inputs.iter().map(|i| &acts[i.0]).collect();
+                    // lint:allow(panic): NetworkBuilder::add validated the shapes
                     add_forward(&ins).expect("shapes validated at build time")
                 }
             };
@@ -636,6 +639,7 @@ impl Network {
                 Op::Flatten => {
                     let in_shape = acts[inputs[0].0].shape();
                     vec![Tensor3::from_vec(in_shape, dy.as_slice().to_vec())
+                        // lint:allow(panic): dy holds in_shape.len() values
                         .expect("flatten preserves length")]
                 }
                 Op::Concat => {

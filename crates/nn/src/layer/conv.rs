@@ -56,6 +56,7 @@ impl Conv2d {
         assert!(f > 0 && s > 0, "filter width and stride must be positive");
         let shape = Shape4::new(d_ofm, d_ifm, f, f);
         Self::from_parts(init::he_conv(rng, shape), vec![0.0; d_ofm], s, p)
+            // lint:allow(panic): he_conv returns exactly shape.len() weights
             .expect("shapes are consistent by construction")
     }
 
@@ -156,6 +157,7 @@ impl Conv2d {
     pub fn forward(&self, input: &Tensor3) -> Tensor3 {
         let out_shape = self
             .out_shape(input.shape())
+            // lint:allow(panic): documented `# Panics` API contract of forward()
             .unwrap_or_else(|| panic!("conv geometry mismatch: input {}", input.shape()));
         let (oh, ow) = (out_shape.h, out_shape.w);
         let k = self.d_ifm() * self.win.f * self.win.f;
@@ -206,6 +208,7 @@ impl Conv2d {
         }
         let out_shape = self
             .out_shape(input.shape())
+            // lint:allow(panic): documented `# Panics` API contract of backward()
             .expect("conv geometry mismatch");
         assert_eq!(grad_out.shape(), out_shape, "grad_out shape");
         let (oh, ow) = (out_shape.h, out_shape.w);

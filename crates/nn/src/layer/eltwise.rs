@@ -59,6 +59,7 @@ pub fn concat_backward(grad_out: &Tensor3, input_shapes: &[Shape3]) -> Vec<Tenso
                 Shape3::new(s.c, grad_out.shape().h, grad_out.shape().w),
                 slice.to_vec(),
             )
+            // lint:allow(panic): the slice is cut to exactly c*h*w elements
             .expect("slice length matches shape by construction"),
         );
         offset += s.c;

@@ -79,6 +79,7 @@ impl Pool {
     pub fn forward(&self, input: &Tensor3) -> Tensor3 {
         let out_shape = self
             .out_shape(input.shape())
+            // lint:allow(panic): documented `# Panics` API contract of forward()
             .unwrap_or_else(|| panic!("pool geometry mismatch: input {}", input.shape()));
         let mut out = Tensor3::zeros(out_shape);
         let shape = input.shape();
@@ -135,6 +136,7 @@ impl Pool {
     pub fn backward(&self, input: &Tensor3, grad_out: &Tensor3) -> Tensor3 {
         let out_shape = self
             .out_shape(input.shape())
+            // lint:allow(panic): documented `# Panics` API contract of backward()
             .expect("pool geometry mismatch");
         assert_eq!(grad_out.shape(), out_shape, "grad_out shape");
         let shape = input.shape();

@@ -82,6 +82,7 @@ pub fn alexnet<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -
         classes,
     ];
     alexnet_from_specs(Shape3::new(3, 227, 227), &specs, &fcs, rng)
+        // lint:allow(panic): fixed zoo architecture, covered by model tests
         .expect("AlexNet geometry is statically valid")
 }
 

@@ -28,6 +28,7 @@ pub fn convnet<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -
         ConvSpec::new(scale_channels(64, depth_div), 3, 1, 1).with_pool(PoolSpec::max(2, 2)),
     ];
     chain(Shape3::new(3, 32, 32), &convs, &[classes], rng)
+        // lint:allow(panic): fixed zoo architecture, covered by model tests
         .expect("ConvNet geometry is statically valid")
 }
 

@@ -41,6 +41,7 @@ pub fn lenet<R: Rng + ?Sized>(depth_div: usize, classes: usize, rng: &mut R) -> 
         &[scale_channels(120, depth_div), classes],
         rng,
     )
+    // lint:allow(panic): fixed zoo architecture, covered by model tests
     .expect("LeNet geometry is statically valid")
 }
 

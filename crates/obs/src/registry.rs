@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::export::{MetricValue, Snapshot};
 
@@ -70,14 +70,17 @@ impl Histogram {
     /// samples are dropped.
     pub fn record(&self, v: f64) {
         if crate::enabled() && !v.is_nan() {
-            self.0.lock().expect("histogram lock").push(v);
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(v);
         }
     }
 
     /// Number of recorded samples.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.lock().expect("histogram lock").len()
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// Whether no samples have been recorded.
@@ -95,7 +98,11 @@ impl Histogram {
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
-        let mut v = self.0.lock().expect("histogram lock").clone();
+        let mut v = self
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
         if v.is_empty() {
             return None;
         }
@@ -105,7 +112,11 @@ impl Histogram {
     }
 
     pub(crate) fn stats(&self) -> Option<HistogramStats> {
-        let v = self.0.lock().expect("histogram lock").clone();
+        let v = self
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
         if v.is_empty() {
             return None;
         }
@@ -153,20 +164,26 @@ impl Series {
     /// Appends a value. No-op while observability is disabled.
     pub fn push(&self, v: f64) {
         if crate::enabled() {
-            self.0.lock().expect("series lock").push(v);
+            self.0
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(v);
         }
     }
 
     /// The recorded values, in order.
     #[must_use]
     pub fn values(&self) -> Vec<f64> {
-        self.0.lock().expect("series lock").clone()
+        self.0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     /// Number of recorded values.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.lock().expect("series lock").len()
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// Whether the series is empty.
@@ -207,12 +224,14 @@ impl Registry {
     /// Panics when `name` already names a metric of a different kind.
     #[must_use]
     pub fn counter(&self, name: &str) -> Counter {
-        let mut m = self.metrics.lock().expect("registry lock");
+        let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match m
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
         {
             Metric::Counter(c) => c.clone(),
+            // lint:allow(panic): documented `# Panics` contract; a kind collision is a
+            // programming error (covered by `kind_mismatch_panics`)
             other => panic!("metric {name:?} is not a counter: {other:?}"),
         }
     }
@@ -224,12 +243,14 @@ impl Registry {
     /// Panics when `name` already names a metric of a different kind.
     #[must_use]
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut m = self.metrics.lock().expect("registry lock");
+        let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match m
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
         {
             Metric::Gauge(g) => g.clone(),
+            // lint:allow(panic): documented `# Panics` contract; a kind collision is a
+            // programming error (covered by `kind_mismatch_panics`)
             other => panic!("metric {name:?} is not a gauge: {other:?}"),
         }
     }
@@ -241,12 +262,14 @@ impl Registry {
     /// Panics when `name` already names a metric of a different kind.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut m = self.metrics.lock().expect("registry lock");
+        let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match m
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Histogram(Histogram(Arc::new(Mutex::new(Vec::new())))))
         {
             Metric::Histogram(h) => h.clone(),
+            // lint:allow(panic): documented `# Panics` contract; a kind collision is a
+            // programming error (covered by `kind_mismatch_panics`)
             other => panic!("metric {name:?} is not a histogram: {other:?}"),
         }
     }
@@ -258,12 +281,14 @@ impl Registry {
     /// Panics when `name` already names a metric of a different kind.
     #[must_use]
     pub fn series(&self, name: &str) -> Series {
-        let mut m = self.metrics.lock().expect("registry lock");
+        let mut m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         match m
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Series(Series(Arc::new(Mutex::new(Vec::new())))))
         {
             Metric::Series(s) => s.clone(),
+            // lint:allow(panic): documented `# Panics` contract; a kind collision is a
+            // programming error (covered by `kind_mismatch_panics`)
             other => panic!("metric {name:?} is not a series: {other:?}"),
         }
     }
@@ -271,7 +296,7 @@ impl Registry {
     /// A point-in-time copy of every metric, ready for export.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
-        let m = self.metrics.lock().expect("registry lock");
+        let m = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         let mut entries = BTreeMap::new();
         for (name, metric) in m.iter() {
             let value = match metric {
@@ -291,7 +316,10 @@ impl Registry {
     /// Drops every metric. Existing handles keep working but detach from
     /// future snapshots.
     pub fn reset(&self) {
-        self.metrics.lock().expect("registry lock").clear();
+        self.metrics
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 }
 

@@ -91,12 +91,7 @@ pub fn compressed_conv<R: Rng + ?Sized>(
         let filter = &mut bank.as_mut_slice()[n * item_len..(n + 1) * item_len];
         // Magnitude pruning: zero the smallest |w| entries.
         let mut order: Vec<usize> = (0..item_len).collect();
-        order.sort_by(|&a, &b| {
-            filter[a]
-                .abs()
-                .partial_cmp(&filter[b].abs())
-                .expect("weights are finite")
-        });
+        order.sort_by(|&a, &b| filter[a].abs().total_cmp(&filter[b].abs()));
         let n_prune = ((item_len as f64) * prune_fraction).round() as usize;
         for &i in order.iter().take(n_prune) {
             filter[i] = 0.0;

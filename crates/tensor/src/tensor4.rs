@@ -167,6 +167,7 @@ impl Tensor4 {
     #[must_use]
     pub fn to_item(&self, n: usize) -> Tensor3 {
         Tensor3::from_vec(self.shape.item(), self.item(n).to_vec())
+            // lint:allow(panic): item() slices exactly shape.item().len() elements
             .expect("item slice length always matches item shape")
     }
 

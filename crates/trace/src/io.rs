@@ -182,7 +182,9 @@ pub fn read_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
             record: i + 1,
             detail: format!("truncated: {e}"),
         })?;
+        // lint:allow(panic): fixed-width slices of the 17-byte record buffer
         let cycle = u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes"));
+        // lint:allow(panic): fixed-width slices of the 17-byte record buffer
         let addr = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
         let kind = match rec[16] {
             0 => AccessKind::Read,

@@ -6,7 +6,7 @@
 //! (which earlier layer's output each layer consumes), which reveals fire
 //! modules and bypass paths.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::segment::{segment_trace_with, Segment, SegmentConfig};
 use crate::{Addr, Cycle, Trace};
@@ -141,13 +141,13 @@ pub fn observe_with(trace: &Trace, config: SegmentConfig) -> TraceObservations {
     // Producer map: block address -> segment index that last wrote it.
     // (Feature-map regions are written exactly once in the paper's model, so
     // "last" and "only" coincide; we keep last-writer for robustness.)
-    let mut producer: HashMap<Addr, usize> = HashMap::new();
+    let mut producer: BTreeMap<Addr, usize> = BTreeMap::new();
     let mut layers = Vec::with_capacity(segments.len());
 
     for (idx, seg) in segments.iter().enumerate() {
-        let mut written: HashSet<Addr> = HashSet::new();
-        let mut ro_read: HashSet<Addr> = HashSet::new();
-        let mut ifm_read: BTreeMap<usize, HashSet<Addr>> = BTreeMap::new();
+        let mut written: BTreeSet<Addr> = BTreeSet::new();
+        let mut ro_read: BTreeSet<Addr> = BTreeSet::new();
+        let mut ifm_read: BTreeMap<usize, BTreeSet<Addr>> = BTreeMap::new();
         for ev in &events[seg.first_event..seg.end_event] {
             if ev.kind.is_write() {
                 written.insert(ev.addr);

@@ -21,7 +21,7 @@
 //! the threat model's observables.
 
 use std::collections::BTreeMap;
-use std::collections::HashSet;
+use std::collections::HashSet; // lint:allow(hash-iter): membership-only sets below
 
 use cnnre_obs::{log_debug, Counter};
 
@@ -213,7 +213,9 @@ pub fn segment_trace_with(trace: &Trace, config: SegmentConfig) -> Vec<Segment> 
 pub struct StreamingSegmenter {
     block: u64,
     slack: u64,
+    // lint:allow(hash-iter): contains/insert only, per-event hot path
     global_written: HashSet<Addr>,
+    // lint:allow(hash-iter): contains/insert/clear only, per-event hot path
     written_this: HashSet<Addr>,
     ro_regions: IntervalSet,
     has_write: bool,
@@ -252,7 +254,9 @@ impl StreamingSegmenter {
         Self {
             block: block_bytes,
             slack: config.slack_bytes,
+            // lint:allow(hash-iter): membership-only, see field docs
             global_written: HashSet::new(),
+            // lint:allow(hash-iter): membership-only, see field docs
             written_this: HashSet::new(),
             ro_regions: IntervalSet::default(),
             has_write: false,

@@ -193,6 +193,8 @@ impl TrafficProfile {
         };
         let mut windows: Vec<(usize, usize)> = Vec::new();
         for ev in trace.events() {
+            // lint:allow(panic): only fails for >usize::MAX windows; the resize
+            // below would exhaust memory many orders of magnitude earlier
             let idx = usize::try_from((ev.cycle - first) / window).expect("window index");
             if windows.len() <= idx {
                 windows.resize(idx + 1, (0, 0));

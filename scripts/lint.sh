@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Run the in-tree static analyzer on the workspace.
+#
+# Usage: scripts/lint.sh [extra cnnre-lint flags...]
+#   scripts/lint.sh                      # human-readable table
+#   scripts/lint.sh --format json        # machine-readable report on stdout
+#   scripts/lint.sh --list-rules         # show the rule table
+#
+# Exits 0 when clean, 1 on violations, 2 on usage/I-O errors.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run --quiet -p cnnre-lint -- "$@"

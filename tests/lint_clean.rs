@@ -1,0 +1,25 @@
+//! Tier-1 gate: the workspace itself must pass its own static analyzer.
+//!
+//! `cnnre-lint` enforces the invariants the attack pipeline depends on
+//! (deterministic exports, panic-free library paths, sound geometry
+//! casts, justified atomic orderings); a violation anywhere under the
+//! workspace's `src/` trees fails this test with the full report.
+
+use cnnre_lint::{lint_workspace, render_human};
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let report = lint_workspace(root.as_ref()).expect("workspace tree readable");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}); discovery is broken",
+        report.files_scanned
+    );
+    assert!(
+        report.is_clean(),
+        "cnnre-lint found {} violation(s):\n{}",
+        report.diagnostics.len(),
+        render_human(&report.diagnostics)
+    );
+}
