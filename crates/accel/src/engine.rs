@@ -158,8 +158,11 @@ impl Accelerator {
         let mut runner = Runner::new(net, &self.config, &schedule, Some(&acts));
         runner.execute();
         span.add_cycles(runner.cycle);
+        let trace = runner.tb.finish();
+        #[cfg(feature = "audit-hooks")]
+        audit_finished_trace(&trace);
         Ok(Execution {
-            trace: runner.tb.finish(),
+            trace,
             output: Some(acts[net.output().index()].clone()),
             stages: runner.reports,
         })
@@ -185,12 +188,43 @@ impl Accelerator {
         let mut runner = Runner::new(net, &self.config, &schedule, None);
         runner.execute();
         span.add_cycles(runner.cycle);
+        let trace = runner.tb.finish();
+        #[cfg(feature = "audit-hooks")]
+        audit_finished_trace(&trace);
         Ok(Execution {
-            trace: runner.tb.finish(),
+            trace,
             output: None,
             stages: runner.reports,
         })
     }
+}
+
+/// `audit-hooks` sanitizer: every trace the engine emits must satisfy the
+/// structural segmentation invariants *and* the engine's own region model
+/// (block-aligned transactions, per-segment write extents disjoint from
+/// reads). Public under the feature so tests can aim it at deliberately
+/// corrupted traces.
+///
+/// # Panics
+///
+/// Panics when the trace violates any audited invariant.
+#[cfg(feature = "audit-hooks")]
+pub fn audit_finished_trace(trace: &cnnre_trace::Trace) {
+    use cnnre_trace::audit;
+    // Asserts T001/T010-T012 internally via the trace-side hook.
+    let segments = cnnre_trace::segment::segment_trace(trace);
+    let mut violations = audit::audit_alignment(trace);
+    violations.extend(audit::audit_region_overlap(trace, &segments));
+    assert!(
+        violations.is_empty(),
+        "engine trace audit failed ({} violation(s)):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
 
 /// Hoisted metric handles — looked up once per run so the per-transaction
@@ -389,6 +423,8 @@ impl<'a> Runner<'a> {
         let mut count = 0u32;
         pfx.push(0);
         for &v in values {
+            // lint:allow(float-eq): zero-pruning keys on bit-exact 0.0, the
+            // value ReLU produces; no rounding is involved.
             if v != 0.0 {
                 count += 1;
             }
@@ -428,6 +464,8 @@ impl<'a> Runner<'a> {
             acts[stage.output.index()]
                 .as_slice()
                 .iter()
+                // lint:allow(float-eq): counts the same bit-exact zeros the
+                // pruning hardware skips.
                 .filter(|&&v| v != 0.0)
                 .count() as u64
         });

@@ -29,6 +29,8 @@ mod layout;
 mod schedule;
 
 pub use config::AccelConfig;
+#[cfg(feature = "audit-hooks")]
+pub use engine::audit_finished_trace;
 pub use engine::{Accelerator, Execution, StageReport};
 pub use layout::{DramLayout, Region, RegionKind};
 pub use schedule::{Binding, Schedule, ScheduleError, Stage, StageKind};

@@ -1,0 +1,712 @@
+//! The geometry audit: re-checks candidate layer tuples against the
+//! paper's Equations (1)–(8) and chain consistency, with arithmetic
+//! implemented here from the paper's formulas — deliberately *not* by
+//! calling the solver's own helpers, so a bug there cannot hide itself.
+
+use cnnre_attacks::structure::{
+    CandidateStructure, FcParams, LayerParams, NodeChoice, ObservedKind, ObservedNetwork,
+};
+
+use crate::report::AuditReport;
+
+/// Matching tolerances for the size equations, mirroring the solver's
+/// defaults but expressed in pure integers (the audit needs no float
+/// arithmetic, and exact comparisons keep it bit-deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tolerances {
+    /// Data elements per DRAM transaction block.
+    pub elems_per_block: u64,
+    /// Extra blocks of slack allowed on feature-map footprints.
+    pub fmap_slack_blocks: u64,
+    /// Slack ceiling for filter footprints (further capped at 0.1% of the
+    /// measurement, matching the solver).
+    pub fltr_slack_blocks: u64,
+    /// Permille by which `SIZE_IFM` may exceed the measured footprint
+    /// (strided consumers skip trailing input rows); 100 = 10%.
+    pub ifm_upper_margin_permille: u64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Self {
+            elems_per_block: 16,
+            fmap_slack_blocks: 0,
+            fltr_slack_blocks: 16,
+            ifm_upper_margin_permille: 100,
+        }
+    }
+}
+
+impl Tolerances {
+    fn fmap_window(&self, blocks: u64) -> (u64, u64) {
+        (
+            blocks.saturating_sub(1 + self.fmap_slack_blocks) * self.elems_per_block,
+            (blocks + self.fmap_slack_blocks) * self.elems_per_block,
+        )
+    }
+
+    fn fltr_window(&self, blocks: u64) -> (u64, u64) {
+        let slack = self.fltr_slack_blocks.min(blocks.div_ceil(1000));
+        (
+            blocks.saturating_sub(1 + slack) * self.elems_per_block,
+            (blocks + slack) * self.elems_per_block,
+        )
+    }
+
+    /// `SIZE_OFM`-style window: `elems ∈ (lo, hi]`.
+    fn fmap_matches(&self, blocks: u64, elems: u64) -> bool {
+        if blocks == 0 {
+            return elems == 0;
+        }
+        let (lo, hi) = self.fmap_window(blocks);
+        elems > lo && elems <= hi
+    }
+
+    fn fltr_matches(&self, blocks: u64, elems: u64) -> bool {
+        if blocks == 0 {
+            return elems == 0;
+        }
+        let (lo, hi) = self.fltr_window(blocks);
+        elems > lo && elems <= hi
+    }
+
+    /// `SIZE_IFM`: one-sided — may exceed the footprint by the margin.
+    fn ifm_matches(&self, blocks: u64, elems: u64) -> bool {
+        if blocks == 0 {
+            return elems == 0;
+        }
+        let (lo, _) = self.fmap_window(blocks);
+        let hi_permille = blocks * self.elems_per_block * (1000 + self.ifm_upper_margin_permille);
+        elems > lo && elems * 1000 <= hi_permille
+    }
+}
+
+/// Measured footprints a candidate layer claims to explain; absent fields
+/// skip the corresponding size equation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObservedSizes {
+    /// Distinct IFM blocks read.
+    pub ifm_blocks: Option<u64>,
+    /// Distinct OFM blocks written.
+    pub ofm_blocks: Option<u64>,
+    /// Distinct filter/weight blocks read.
+    pub fltr_blocks: Option<u64>,
+}
+
+/// One layer of a candidate chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateLayer {
+    /// A convolutional layer (optionally with fused pooling).
+    Conv {
+        /// The candidate parameter tuple.
+        params: LayerParams,
+        /// Footprints it claims to explain.
+        observed: ObservedSizes,
+    },
+    /// A fully connected layer.
+    Fc {
+        /// The candidate parameters.
+        params: FcParams,
+        /// Footprints it claims to explain.
+        observed: ObservedSizes,
+    },
+}
+
+/// A linear candidate chain (compute layers in execution order) — the
+/// shape the `cnnre-audit` binary reads from JSONL files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateChain {
+    /// Chain (candidate-structure) index, used in finding subjects.
+    pub index: usize,
+    /// Compute layers in order.
+    pub layers: Vec<CandidateLayer>,
+}
+
+/// Convolution output width — the paper's Equation (4) conv step,
+/// re-derived: `floor((W − F + 2P) / S) + 1` (Caffe convention).
+fn conv_width(w: usize, f: usize, s: usize, p: usize) -> Option<usize> {
+    if f == 0 || s == 0 || f > w + 2 * p {
+        return None;
+    }
+    Some((w + 2 * p - f) / s + 1)
+}
+
+/// Pooling output width — Equation (4) pool step: ceil division.
+fn pool_width(w: usize, f: usize, s: usize, p: usize) -> Option<usize> {
+    if f == 0 || s == 0 || f > w + 2 * p {
+        return None;
+    }
+    Some((w + 2 * p - f).div_ceil(s) + 1)
+}
+
+fn sq(x: usize) -> u64 {
+    (x as u64) * (x as u64)
+}
+
+/// Audits one conv tuple against Equations (1)–(8); findings are recorded
+/// under `subject`.
+fn audit_conv_layer(
+    report: &mut AuditReport,
+    subject: &str,
+    p: &LayerParams,
+    observed: &ObservedSizes,
+    tol: &Tolerances,
+) {
+    // Eq. (5): S_conv ≤ F_conv ≤ W_IFM/2, pointwise (F=1) stride exception.
+    if p.f_conv == 0 || p.s_conv == 0 || p.w_ifm == 0 {
+        report.push(
+            "G005",
+            subject,
+            format!(
+                "degenerate window: F={} S={} W_IFM={} (all must be positive)",
+                p.f_conv, p.s_conv, p.w_ifm
+            ),
+        );
+        return;
+    }
+    if (p.s_conv > p.f_conv && p.f_conv != 1) || p.s_conv > p.w_ifm || 2 * p.f_conv > p.w_ifm {
+        report.push(
+            "G005",
+            subject,
+            format!(
+                "Eq. (5) violated: need S_conv ≤ F_conv ≤ W_IFM/2 (F={} S={} W_IFM={})",
+                p.f_conv, p.s_conv, p.w_ifm
+            ),
+        );
+    }
+    // Eq. (7): P_conv < F_conv.
+    if p.p_conv >= p.f_conv {
+        report.push(
+            "G007",
+            subject,
+            format!(
+                "Eq. (7) violated: need P_conv < F_conv (P={} F={})",
+                p.p_conv, p.f_conv
+            ),
+        );
+    }
+    // Eq. (4): the width chain W_IFM → W_conv → W_OFM.
+    let w_conv = conv_width(p.w_ifm, p.f_conv, p.s_conv, p.p_conv);
+    match (w_conv, p.pool) {
+        (None, _) => report.push(
+            "G004",
+            subject,
+            format!(
+                "Eq. (4) violated: conv window F={} S={} P={} does not fit W_IFM={}",
+                p.f_conv, p.s_conv, p.p_conv, p.w_ifm
+            ),
+        ),
+        (Some(w_conv), None) => {
+            if w_conv != p.w_ofm {
+                report.push(
+                    "G004",
+                    subject,
+                    format!(
+                        "Eq. (4) violated: conv of W_IFM={} gives W_conv={} but the tuple \
+                         claims W_OFM={}",
+                        p.w_ifm, w_conv, p.w_ofm
+                    ),
+                );
+            }
+        }
+        (Some(w_conv), Some(pp)) => {
+            // Eq. (6): S_pool ≤ F_pool ≤ W_conv; Eq. (8): P_pool < F_pool.
+            if pp.s == 0 || pp.f == 0 || pp.s > pp.f || pp.f > w_conv {
+                report.push(
+                    "G006",
+                    subject,
+                    format!(
+                        "Eq. (6) violated: need S_pool ≤ F_pool ≤ W_conv (F={} S={} W_conv={w_conv})",
+                        pp.f, pp.s
+                    ),
+                );
+            }
+            if pp.p >= pp.f.max(1) {
+                report.push(
+                    "G008",
+                    subject,
+                    format!(
+                        "Eq. (8) violated: need P_pool < F_pool (P={} F={})",
+                        pp.p, pp.f
+                    ),
+                );
+            }
+            match pool_width(w_conv, pp.f, pp.s, pp.p) {
+                Some(w) if w == p.w_ofm => {}
+                got => report.push(
+                    "G004",
+                    subject,
+                    format!(
+                        "Eq. (4) violated: conv gives W_conv={w_conv}, pool F={} S={} P={} \
+                         gives {:?}, but the tuple claims W_OFM={}",
+                        pp.f, pp.s, pp.p, got, p.w_ofm
+                    ),
+                ),
+            }
+        }
+    }
+    // Eq. (1)–(3) against the measured footprints, when present.
+    if let Some(blocks) = observed.ifm_blocks {
+        let elems = sq(p.w_ifm) * p.d_ifm as u64;
+        if !tol.ifm_matches(blocks, elems) {
+            report.push(
+                "G001",
+                subject,
+                format!(
+                    "Eq. (1) violated: SIZE_IFM = W_IFM²·D_IFM = {elems} elements does not \
+                     explain a footprint of {blocks} blocks ({} elems/block)",
+                    tol.elems_per_block
+                ),
+            );
+        }
+    }
+    if let Some(blocks) = observed.ofm_blocks {
+        let elems = sq(p.w_ofm) * p.d_ofm as u64;
+        if !tol.fmap_matches(blocks, elems) {
+            report.push(
+                "G002",
+                subject,
+                format!(
+                    "Eq. (2) violated: SIZE_OFM = W_OFM²·D_OFM = {elems} elements does not \
+                     explain a footprint of {blocks} blocks ({} elems/block)",
+                    tol.elems_per_block
+                ),
+            );
+        }
+    }
+    if let Some(blocks) = observed.fltr_blocks {
+        let elems = sq(p.f_conv) * p.d_ifm as u64 * p.d_ofm as u64;
+        if !tol.fltr_matches(blocks, elems) {
+            report.push(
+                "G003",
+                subject,
+                format!(
+                    "Eq. (3) violated: SIZE_FLTR = F²·D_IFM·D_OFM = {elems} elements does not \
+                     explain a footprint of {blocks} blocks ({} elems/block)",
+                    tol.elems_per_block
+                ),
+            );
+        }
+    }
+}
+
+/// The output interface `(width, depth)` a layer presents to its consumer.
+fn interface(layer: &CandidateLayer) -> (usize, usize) {
+    match layer {
+        CandidateLayer::Conv { params, .. } => (params.w_ofm, params.d_ofm),
+        CandidateLayer::Fc { params, .. } => (1, params.out_features),
+    }
+}
+
+/// Chain-consistency between a producer interface and a consumer layer:
+/// `C001` width, `C002` depth, `C003` FC fan-in.
+fn audit_chain_step(
+    report: &mut AuditReport,
+    subject: &str,
+    (src_w, src_d): (usize, usize),
+    consumer: &CandidateLayer,
+) {
+    match consumer {
+        CandidateLayer::Conv { params, .. } => {
+            if params.w_ifm != src_w {
+                report.push(
+                    "C001",
+                    subject,
+                    format!(
+                        "width chain broken: previous layer produces W_OFM={src_w} but this \
+                         layer claims W_IFM={}",
+                        params.w_ifm
+                    ),
+                );
+            }
+            if params.d_ifm != src_d {
+                report.push(
+                    "C002",
+                    subject,
+                    format!(
+                        "depth chain broken: previous layer produces D_OFM={src_d} but this \
+                         layer claims D_IFM={}",
+                        params.d_ifm
+                    ),
+                );
+            }
+        }
+        CandidateLayer::Fc { params, .. } => {
+            let expect = sq(src_w) as usize * src_d;
+            if params.in_features != expect {
+                report.push(
+                    "C003",
+                    subject,
+                    format!(
+                        "FC fan-in mismatch: previous layer produces {src_w}×{src_w}×{src_d} \
+                         = {expect} features but this layer claims in_features={}",
+                        params.in_features
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Audits linear candidate chains: every tuple against Eq. (1)–(8)
+/// (`G001`–`G008`) and every consecutive pair for chain consistency
+/// (`C001`–`C003`).
+#[must_use]
+pub fn candidates(chains: &[CandidateChain], tol: &Tolerances) -> AuditReport {
+    let mut report = AuditReport::new("candidates");
+    for chain in chains {
+        for (li, layer) in chain.layers.iter().enumerate() {
+            report.items_examined += 1;
+            let subject = format!("chain {} layer {li}", chain.index);
+            match layer {
+                CandidateLayer::Conv { params, observed } => {
+                    audit_conv_layer(&mut report, &subject, params, observed, tol);
+                }
+                CandidateLayer::Fc { params, observed } => {
+                    if params.in_features == 0 || params.out_features == 0 {
+                        report.push(
+                            "G005",
+                            &subject,
+                            format!(
+                                "degenerate FC: in_features={} out_features={}",
+                                params.in_features, params.out_features
+                            ),
+                        );
+                    }
+                    if let Some(blocks) = observed.fltr_blocks {
+                        let elems = params.in_features as u64 * params.out_features as u64;
+                        if !tol.fltr_matches(blocks, elems) {
+                            report.push(
+                                "G003",
+                                &subject,
+                                format!(
+                                    "Eq. (3) violated (FC degenerate form): in·out = {elems} \
+                                     weights do not explain {blocks} blocks",
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            if li > 0 {
+                audit_chain_step(
+                    &mut report,
+                    &subject,
+                    interface(&chain.layers[li - 1]),
+                    layer,
+                );
+            }
+        }
+    }
+    report.finalize();
+    report
+}
+
+/// DAG-aware audit of solver output: each [`CandidateStructure`] is checked
+/// node-by-node against the observed dependency graph it explains. Widths
+/// must agree across every edge (`C001`); a multi-source compute node reads
+/// a concatenation, so its claimed `D_IFM` must equal the *sum* of its
+/// sources' depths (`C002`); merge inputs must present identical
+/// interfaces; FC fan-in must match the flattened source volume (`C003`).
+/// Per-tuple geometry (`G00x`) is checked against the node's measured
+/// footprints.
+#[must_use]
+pub fn structures(
+    observed: &ObservedNetwork,
+    structures: &[CandidateStructure],
+    tol: &Tolerances,
+) -> AuditReport {
+    let mut report = AuditReport::new("candidates");
+    for (ci, cand) in structures.iter().enumerate() {
+        if cand.choices.len() != observed.nodes.len() {
+            report.push(
+                "C001",
+                format!("structure {ci}"),
+                format!(
+                    "structure has {} node choices but the observed graph has {} nodes",
+                    cand.choices.len(),
+                    observed.nodes.len()
+                ),
+            );
+            continue;
+        }
+        // The output interface each node presents, once decided.
+        let mut ifaces: Vec<Option<(usize, usize)>> = vec![None; cand.choices.len()];
+        for (ni, (choice, node)) in cand.choices.iter().zip(&observed.nodes).enumerate() {
+            report.items_examined += 1;
+            let subject = format!("structure {ci} node {ni}");
+            let sizes = match &node.kind {
+                ObservedKind::Compute(o) | ObservedKind::Merge(o) => ObservedSizes {
+                    ifm_blocks: Some(o.ifm_blocks),
+                    ofm_blocks: Some(o.ofm_blocks),
+                    fltr_blocks: Some(o.fltr_blocks),
+                },
+                ObservedKind::Input => ObservedSizes::default(),
+            };
+            let known_sources: Vec<(usize, usize)> = node
+                .sources
+                .iter()
+                .filter_map(|&s| ifaces.get(s).copied().flatten())
+                .collect();
+            match choice {
+                NodeChoice::Input => {}
+                NodeChoice::Merge => {
+                    if let Some((&first, rest)) = known_sources.split_first() {
+                        for &other in rest {
+                            if other != first {
+                                report.push(
+                                    "C002",
+                                    &subject,
+                                    format!(
+                                        "merge inputs disagree: {}×{}×{} vs {}×{}×{} (element-wise \
+                                         merge requires identical interfaces)",
+                                        first.0, first.0, first.1, other.0, other.0, other.1
+                                    ),
+                                );
+                            }
+                        }
+                        ifaces[ni] = Some(first);
+                    }
+                }
+                NodeChoice::Conv(params) => {
+                    audit_conv_layer(&mut report, &subject, params, &sizes, tol);
+                    if !known_sources.is_empty() {
+                        let depth_sum: usize = known_sources.iter().map(|&(_, d)| d).sum();
+                        for &(w, _) in &known_sources {
+                            if params.w_ifm != w {
+                                report.push(
+                                    "C001",
+                                    &subject,
+                                    format!(
+                                        "width chain broken: source produces W_OFM={w} but this \
+                                         node claims W_IFM={}",
+                                        params.w_ifm
+                                    ),
+                                );
+                            }
+                        }
+                        if known_sources.len() == node.sources.len() && params.d_ifm != depth_sum {
+                            report.push(
+                                "C002",
+                                &subject,
+                                format!(
+                                    "depth chain broken: sources supply {depth_sum} channels \
+                                     (concatenated) but this node claims D_IFM={}",
+                                    params.d_ifm
+                                ),
+                            );
+                        }
+                    }
+                    ifaces[ni] = Some((params.w_ofm, params.d_ofm));
+                }
+                NodeChoice::Fc(params) => {
+                    if known_sources.len() == node.sources.len() && !known_sources.is_empty() {
+                        let volume: usize = known_sources.iter().map(|&(w, d)| w * w * d).sum();
+                        if params.in_features != volume {
+                            report.push(
+                                "C003",
+                                &subject,
+                                format!(
+                                    "FC fan-in mismatch: sources flatten to {volume} features \
+                                     but this node claims in_features={}",
+                                    params.in_features
+                                ),
+                            );
+                        }
+                    }
+                    if let Some(blocks) = sizes.fltr_blocks {
+                        let elems = params.in_features as u64 * params.out_features as u64;
+                        if !tol.fltr_matches(blocks, elems) {
+                            report.push(
+                                "G003",
+                                &subject,
+                                format!(
+                                    "Eq. (3) violated (FC degenerate form): in·out = {elems} \
+                                     weights do not explain {blocks} blocks",
+                                ),
+                            );
+                        }
+                    }
+                    ifaces[ni] = Some((1, params.out_features));
+                }
+            }
+        }
+    }
+    report.finalize();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnnre_attacks::structure::PoolParams;
+
+    /// LeNet-ish CONV1: 28×28×1 → 5×5 conv s1 p2 → 28, pool 2/2 → 14×14×8.
+    fn good_conv() -> LayerParams {
+        LayerParams {
+            w_ifm: 28,
+            d_ifm: 1,
+            w_ofm: 14,
+            d_ofm: 8,
+            f_conv: 5,
+            s_conv: 1,
+            p_conv: 2,
+            pool: Some(PoolParams { f: 2, s: 2, p: 0 }),
+        }
+    }
+
+    fn observed_for(p: &LayerParams, epb: u64) -> ObservedSizes {
+        ObservedSizes {
+            ifm_blocks: Some(p.size_ifm().div_ceil(epb)),
+            ofm_blocks: Some(p.size_ofm().div_ceil(epb)),
+            fltr_blocks: Some(p.size_fltr().div_ceil(epb)),
+        }
+    }
+
+    #[test]
+    fn consistent_tuple_is_clean() {
+        let tol = Tolerances::default();
+        let p = good_conv();
+        let chain = CandidateChain {
+            index: 0,
+            layers: vec![CandidateLayer::Conv {
+                params: p,
+                observed: observed_for(&p, tol.elems_per_block),
+            }],
+        };
+        let report = candidates(&[chain], &tol);
+        assert!(report.is_clean(), "{}", report.render_human());
+    }
+
+    #[test]
+    fn eq3_violation_is_g003() {
+        let tol = Tolerances::default();
+        let p = good_conv();
+        let mut observed = observed_for(&p, tol.elems_per_block);
+        // Claim a filter footprint twice the real one: Eq. (3) must fire.
+        observed.fltr_blocks = Some(p.size_fltr().div_ceil(tol.elems_per_block) * 2 + 40);
+        let chain = CandidateChain {
+            index: 0,
+            layers: vec![CandidateLayer::Conv {
+                params: p,
+                observed,
+            }],
+        };
+        let report = candidates(&[chain], &tol);
+        assert_eq!(report.findings.len(), 1, "{}", report.render_human());
+        assert_eq!(report.findings[0].code, "G003");
+    }
+
+    #[test]
+    fn broken_width_chain_is_c001_and_depth_c002() {
+        let tol = Tolerances::default();
+        let a = good_conv();
+        // Downstream layer claiming the wrong input interface.
+        let b = LayerParams {
+            w_ifm: 13, // a produces 14
+            d_ifm: 16, // a produces 8
+            w_ofm: 11,
+            d_ofm: 20,
+            f_conv: 3,
+            s_conv: 1,
+            p_conv: 0,
+            pool: None,
+        };
+        let chain = CandidateChain {
+            index: 3,
+            layers: vec![
+                CandidateLayer::Conv {
+                    params: a,
+                    observed: ObservedSizes::default(),
+                },
+                CandidateLayer::Conv {
+                    params: b,
+                    observed: ObservedSizes::default(),
+                },
+            ],
+        };
+        let report = candidates(&[chain], &tol);
+        let codes: Vec<&str> = report.findings.iter().map(|f| f.code.as_str()).collect();
+        assert!(codes.contains(&"C001"), "{codes:?}");
+        assert!(codes.contains(&"C002"), "{codes:?}");
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.subject == "chain 3 layer 1"));
+    }
+
+    #[test]
+    fn pointwise_projection_stride_is_admitted() {
+        let tol = Tolerances::default();
+        let p = LayerParams {
+            w_ifm: 28,
+            d_ifm: 64,
+            w_ofm: 14,
+            d_ofm: 128,
+            f_conv: 1,
+            s_conv: 2,
+            p_conv: 0,
+            pool: None,
+        };
+        let chain = CandidateChain {
+            index: 0,
+            layers: vec![CandidateLayer::Conv {
+                params: p,
+                observed: ObservedSizes::default(),
+            }],
+        };
+        assert!(candidates(&[chain], &tol).is_clean());
+    }
+
+    #[test]
+    fn eq5_eq7_violations_fire() {
+        let tol = Tolerances::default();
+        let p = LayerParams {
+            w_ifm: 8,
+            d_ifm: 4,
+            w_ofm: 2,
+            d_ofm: 8,
+            f_conv: 5, // 2F > W_IFM: Eq. (5)
+            s_conv: 3,
+            p_conv: 5, // P ≥ F: Eq. (7)
+            pool: None,
+        };
+        let chain = CandidateChain {
+            index: 0,
+            layers: vec![CandidateLayer::Conv {
+                params: p,
+                observed: ObservedSizes::default(),
+            }],
+        };
+        let report = candidates(&[chain], &tol);
+        let codes: Vec<&str> = report.findings.iter().map(|f| f.code.as_str()).collect();
+        assert!(codes.contains(&"G005"), "{codes:?}");
+        assert!(codes.contains(&"G007"), "{codes:?}");
+    }
+
+    #[test]
+    fn fc_fan_in_mismatch_is_c003() {
+        let tol = Tolerances::default();
+        let conv = good_conv(); // produces 14×14×8 = 1568
+        let fc = FcParams {
+            in_features: 1600,
+            out_features: 10,
+        };
+        let chain = CandidateChain {
+            index: 0,
+            layers: vec![
+                CandidateLayer::Conv {
+                    params: conv,
+                    observed: ObservedSizes::default(),
+                },
+                CandidateLayer::Fc {
+                    params: fc,
+                    observed: ObservedSizes::default(),
+                },
+            ],
+        };
+        let report = candidates(&[chain], &tol);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].code, "C003");
+    }
+}

@@ -1,0 +1,344 @@
+//! A minimal JSONL reader for candidate-layer records.
+//!
+//! Each line is one flat JSON object describing a candidate layer:
+//!
+//! ```text
+//! {"structure":0,"layer":0,"w_ifm":28,"d_ifm":1,"w_ofm":14,"d_ofm":8,
+//!  "f_conv":5,"s_conv":1,"p_conv":2,"pool":{"f":2,"s":2,"p":0},
+//!  "ifm_blocks":49,"ofm_blocks":98,"fltr_blocks":13}
+//! {"structure":0,"layer":1,"in_features":1568,"out_features":10}
+//! ```
+//!
+//! Conv records carry the seven tuple fields (plus optional `pool`); FC
+//! records carry `in_features`/`out_features`. `structure` groups lines
+//! into chains (default 0), `layer` orders them (default: line order), and
+//! the optional `*_blocks` fields attach measured footprints for the size
+//! equations. Unknown keys are ignored. The parser is hand-rolled — the
+//! workspace takes no external dependencies — and accepts exactly the
+//! subset above: unsigned integers, one level of object nesting, strings
+//! and `true`/`false`/`null` (skipped).
+
+use std::collections::BTreeMap;
+
+use cnnre_attacks::structure::{FcParams, LayerParams, PoolParams};
+
+use crate::geometry::{CandidateChain, CandidateLayer, ObservedSizes};
+
+/// A malformed JSONL input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub detail: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.detail)
+    }
+}
+
+/// One parsed value: only numbers and nested number maps are retained.
+enum Value {
+    Num(u64),
+    Obj(BTreeMap<String, u64>),
+    Skipped,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect_byte(b'"')?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\\' {
+                return Err("escape sequences are not supported in keys".to_string());
+            }
+            if b == b'"' {
+                let s = core::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8".to_string())?;
+                self.pos += 1;
+                return Ok(s.to_string());
+            }
+            self.pos += 1;
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected an unsigned integer at byte {start}"));
+        }
+        core::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "integer out of range".to_string())
+    }
+
+    fn value(&mut self, nested: bool) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'0'..=b'9') => Ok(Value::Num(self.number()?)),
+            Some(b'"') => {
+                self.string()?;
+                Ok(Value::Skipped)
+            }
+            Some(b'{') if !nested => {
+                let mut obj = BTreeMap::new();
+                self.expect_byte(b'{')?;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(obj));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect_byte(b':')?;
+                    if let Value::Num(n) = self.value(true)? {
+                        obj.insert(key, n);
+                    }
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(obj));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+                    }
+                }
+            }
+            Some(b't') | Some(b'f') | Some(b'n') => {
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(u8::is_ascii_alphabetic)
+                {
+                    self.pos += 1;
+                }
+                Ok(Value::Skipped)
+            }
+            _ => Err(format!("unsupported value at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, Value>, String> {
+        let mut out = BTreeMap::new();
+        self.expect_byte(b'{')?;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let key = self.string()?;
+            self.expect_byte(b':')?;
+            out.insert(key, self.value(false)?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                    if self.pos != self.bytes.len() {
+                        return Err(format!("trailing content at byte {}", self.pos));
+                    }
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn get_num(obj: &BTreeMap<String, Value>, key: &str) -> Option<u64> {
+    match obj.get(key) {
+        Some(Value::Num(n)) => Some(*n),
+        _ => None,
+    }
+}
+
+fn as_usize(n: u64, key: &str) -> Result<usize, String> {
+    usize::try_from(n).map_err(|_| format!("{key} out of range"))
+}
+
+/// Parses a JSONL candidate file into chains, grouped by the `structure`
+/// field and ordered by `layer` (falling back to line order).
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn parse_candidates(input: &str) -> Result<Vec<CandidateChain>, ParseError> {
+    let mut grouped: BTreeMap<u64, Vec<(u64, CandidateLayer)>> = BTreeMap::new();
+    for (li, line) in input.lines().enumerate() {
+        let line_no = li + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let obj = Cursor::new(trimmed).object().map_err(|detail| ParseError {
+            line: line_no,
+            detail,
+        })?;
+        let layer = parse_layer(&obj).map_err(|detail| ParseError {
+            line: line_no,
+            detail,
+        })?;
+        let structure = get_num(&obj, "structure").unwrap_or(0);
+        let order = get_num(&obj, "layer").unwrap_or(li as u64);
+        grouped.entry(structure).or_default().push((order, layer));
+    }
+    Ok(grouped
+        .into_iter()
+        .map(|(structure, mut layers)| {
+            layers.sort_by_key(|&(order, _)| order);
+            CandidateChain {
+                index: usize::try_from(structure).unwrap_or(usize::MAX),
+                layers: layers.into_iter().map(|(_, l)| l).collect(),
+            }
+        })
+        .collect())
+}
+
+fn parse_layer(obj: &BTreeMap<String, Value>) -> Result<CandidateLayer, String> {
+    let observed = ObservedSizes {
+        ifm_blocks: get_num(obj, "ifm_blocks"),
+        ofm_blocks: get_num(obj, "ofm_blocks"),
+        fltr_blocks: get_num(obj, "fltr_blocks"),
+    };
+    if let (Some(inf), Some(outf)) = (get_num(obj, "in_features"), get_num(obj, "out_features")) {
+        return Ok(CandidateLayer::Fc {
+            params: FcParams {
+                in_features: as_usize(inf, "in_features")?,
+                out_features: as_usize(outf, "out_features")?,
+            },
+            observed,
+        });
+    }
+    let field = |key: &str| -> Result<usize, String> {
+        get_num(obj, key)
+            .ok_or_else(|| format!("missing required field '{key}'"))
+            .and_then(|n| as_usize(n, key))
+    };
+    let pool = match obj.get("pool") {
+        Some(Value::Obj(p)) => {
+            let pf = |key: &str| -> Result<usize, String> {
+                p.get(key)
+                    .copied()
+                    .ok_or_else(|| format!("pool object missing '{key}'"))
+                    .and_then(|n| as_usize(n, key))
+            };
+            Some(PoolParams {
+                f: pf("f")?,
+                s: pf("s")?,
+                p: pf("p")?,
+            })
+        }
+        Some(_) => return Err("'pool' must be an object".to_string()),
+        None => None,
+    };
+    Ok(CandidateLayer::Conv {
+        params: LayerParams {
+            w_ifm: field("w_ifm")?,
+            d_ifm: field("d_ifm")?,
+            w_ofm: field("w_ofm")?,
+            d_ofm: field("d_ofm")?,
+            f_conv: field("f_conv")?,
+            s_conv: field("s_conv")?,
+            p_conv: field("p_conv")?,
+            pool,
+        },
+        observed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_conv_fc_chain_with_pool_and_blocks() {
+        let input = concat!(
+            "# comment\n",
+            "{\"structure\":2,\"layer\":0,\"w_ifm\":28,\"d_ifm\":1,\"w_ofm\":14,\"d_ofm\":8,",
+            "\"f_conv\":5,\"s_conv\":1,\"p_conv\":2,\"pool\":{\"f\":2,\"s\":2,\"p\":0},",
+            "\"ifm_blocks\":49,\"ofm_blocks\":98,\"fltr_blocks\":13}\n",
+            "\n",
+            "{\"structure\":2,\"layer\":1,\"in_features\":1568,\"out_features\":10}\n",
+        );
+        let chains = parse_candidates(input).expect("parse");
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].index, 2);
+        assert_eq!(chains[0].layers.len(), 2);
+        match &chains[0].layers[0] {
+            CandidateLayer::Conv { params, observed } => {
+                assert_eq!(params.w_ifm, 28);
+                assert_eq!(params.pool, Some(PoolParams { f: 2, s: 2, p: 0 }));
+                assert_eq!(observed.ifm_blocks, Some(49));
+            }
+            CandidateLayer::Fc { .. } => panic!("expected conv"),
+        }
+        match &chains[0].layers[1] {
+            CandidateLayer::Fc { params, .. } => assert_eq!(params.in_features, 1568),
+            CandidateLayer::Conv { .. } => panic!("expected fc"),
+        }
+    }
+
+    #[test]
+    fn missing_field_names_line_and_key() {
+        let err = parse_candidates("{\"w_ifm\":28}\n").expect_err("must fail");
+        assert_eq!(err.line, 1);
+        assert!(err.detail.contains("d_ifm"), "{}", err.detail);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(parse_candidates("{\"w_ifm\":}").is_err());
+        assert!(parse_candidates("[1,2]").is_err());
+        assert!(parse_candidates("{\"a\":1} extra").is_err());
+    }
+
+    #[test]
+    fn unknown_keys_and_scalars_are_ignored() {
+        let input = "{\"w_ifm\":8,\"d_ifm\":1,\"w_ofm\":6,\"d_ofm\":4,\"f_conv\":3,\
+                     \"s_conv\":1,\"p_conv\":0,\"note\":\"hi\",\"ok\":true,\"x\":null}";
+        let chains = parse_candidates(input).expect("parse");
+        assert_eq!(chains[0].layers.len(), 1);
+    }
+}

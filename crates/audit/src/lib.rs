@@ -1,0 +1,41 @@
+//! `cnnre-audit` — semantic invariant auditor for pipeline artifacts.
+//!
+//! The attack pipeline's correctness rests on invariants that no single
+//! stage checks end-to-end: traces must be time-ordered and follow the RAW
+//! segmentation model of the paper's §3.2, every candidate tuple must
+//! satisfy Equations (1)–(8), and chained layers must agree on their
+//! shared interfaces (`W_OFM_i = W_IFM_{i+1}`, `D_OFM_i = D_IFM_{i+1}`).
+//! This crate audits saved or freshly produced artifacts *statically* —
+//! without re-running the attack — and reports violations with stable
+//! diagnostic codes (catalogued, with equation references, in DESIGN.md
+//! §9):
+//!
+//! * [`trace`] — event and segmentation invariants (`T…` codes);
+//! * [`candidates`] / [`structures`] — geometry and chain consistency of
+//!   candidate sets (`G…`/`C…` codes);
+//! * [`differential`] — diff a synthetic run against its known `nn`-graph
+//!   ground truth and name exactly which invariant broke (`D…` codes).
+//!
+//! The same checks run three ways: this library API (from tests), the
+//! `cnnre-audit` binary (over trace files and candidate JSONL), and —
+//! for the structural subset — sanitizer-style `audit-hooks` assertions
+//! inside `trace::segment` and `accel::engine`. Reports render as an
+//! aligned human table or deterministic JSON, and map to `cnnre-lint`'s
+//! exit-code convention (0 clean, 1 findings, 2 operational error).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod differential;
+mod geometry;
+mod jsonl;
+mod report;
+mod trace_audit;
+
+pub use differential::{differential, true_layers, TrueLayer};
+pub use geometry::{
+    candidates, structures, CandidateChain, CandidateLayer, ObservedSizes, Tolerances,
+};
+pub use jsonl::{parse_candidates, ParseError};
+pub use report::{AuditReport, Finding};
+pub use trace_audit::{trace, UNCLASSIFIED_SEGMENT};

@@ -1,0 +1,141 @@
+//! The trace audit: re-derives every trace/segmentation invariant from the
+//! raw event stream and cross-checks the segment classification.
+
+use cnnre_trace::audit as kernel;
+use cnnre_trace::observe::{observe, LayerKindHint};
+use cnnre_trace::segment::segment_trace;
+use cnnre_trace::Trace;
+
+use crate::report::AuditReport;
+
+/// `T020`: a segment that matches none of the model's layer shapes
+/// (prologue / compute / merge) — the trace does not fit the RAW
+/// segmentation model the attack assumes.
+pub const UNCLASSIFIED_SEGMENT: &str = "T020";
+
+/// Audits a memory trace: event-level invariants first (`T001`, `T002`),
+/// then — only when the event stream is sound enough to segment —
+/// segmentation structure (`T010`–`T012`), the region model
+/// (`T013`–`T015`), and segment classification (`T020`).
+///
+/// The gating matters: segmenting a non-monotone trace would answer a
+/// question the trace cannot ask (and, under the `audit-hooks` feature,
+/// the segmenter itself asserts on it), so segment-level checks are
+/// skipped and noted in [`AuditReport::skipped`] instead.
+#[must_use]
+pub fn trace(trace: &Trace) -> AuditReport {
+    let mut report = AuditReport::new("trace");
+    report.items_examined = trace.len() as u64;
+
+    let order = kernel::audit_event_order(trace);
+    let order_clean = order.is_empty();
+    for v in order {
+        report.push(v.code, format!("event {}", v.index), v.detail);
+    }
+    for v in kernel::audit_alignment(trace) {
+        report.push(v.code, format!("event {}", v.index), v.detail);
+    }
+
+    if !order_clean {
+        report
+            .skipped
+            .push("segment-level checks skipped: event stream is not time-ordered".to_string());
+        report.finalize();
+        return report;
+    }
+
+    let segments = segment_trace(trace);
+    let mut kernel_findings = kernel::audit_segments(trace, &segments);
+    for v in kernel_findings.drain(..) {
+        // T012 anchors to an event, the rest to a segment.
+        let subject = if v.code == kernel::INTRA_SEGMENT_RAW {
+            format!("event {}", v.index)
+        } else {
+            format!("segment {}", v.index)
+        };
+        report.push(v.code, subject, v.detail);
+    }
+    for v in kernel::audit_region_overlap(trace, &segments) {
+        report.push(v.code, format!("segment {}", v.index), v.detail);
+    }
+    for v in kernel::audit_write_contiguity(trace, &segments) {
+        report.push(v.code, format!("segment {}", v.index), v.detail);
+    }
+    for v in kernel::audit_pruned_writes(trace, &segments) {
+        report.push(v.code, format!("event {}", v.index), v.detail);
+    }
+
+    for layer in &observe(trace).layers {
+        if layer.kind == LayerKindHint::Other {
+            report.push(
+                UNCLASSIFIED_SEGMENT,
+                format!("segment {}", layer.index),
+                "segment is neither prologue, compute, nor merge — it reads nothing the model \
+                 recognizes and writes nothing"
+                    .to_string(),
+            );
+        }
+    }
+
+    report.finalize();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnnre_trace::{AccessKind, TraceBuilder};
+
+    const BLK: u64 = 64;
+
+    fn clean_trace() -> Trace {
+        let mut b = TraceBuilder::new(BLK, 4);
+        let mut t = 0;
+        for i in 0..4 {
+            b.record(t, i * BLK, AccessKind::Write);
+            t += 1;
+        }
+        for i in 0..2 {
+            b.record(t, 0x10_000 + i * BLK, AccessKind::Read);
+            t += 1;
+        }
+        for i in 0..4 {
+            b.record(t, i * BLK, AccessKind::Read);
+            t += 1;
+        }
+        for i in 0..3 {
+            b.record(t, 0x20_000 + i * BLK, AccessKind::Write);
+            t += 1;
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn clean_trace_is_clean() {
+        let report = trace(&clean_trace());
+        assert!(report.is_clean(), "{}", report.render_human());
+        assert_eq!(report.items_examined, 13);
+    }
+
+    #[test]
+    fn corrupt_cycles_report_t001_and_skip_segment_checks() {
+        let (mut events, blk, elem) = clean_trace().into_parts();
+        events.swap(1, 9);
+        let report = trace(&Trace::from_parts(events, blk, elem));
+        assert!(report.findings.iter().any(|f| f.code == "T001"));
+        assert_eq!(report.skipped.len(), 1);
+    }
+
+    #[test]
+    fn misaligned_event_reports_t002() {
+        // Misaligned events can only arrive via deserialization
+        // (`TraceBuilder::record` rejects them), modelled with from_parts.
+        let ev = cnnre_trace::MemoryEvent {
+            cycle: 0,
+            addr: 3,
+            kind: AccessKind::Write,
+        };
+        let report = trace(&Trace::from_parts(vec![ev], BLK, 4));
+        assert!(report.findings.iter().any(|f| f.code == "T002"));
+    }
+}

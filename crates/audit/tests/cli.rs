@@ -1,0 +1,112 @@
+//! Exercises the `cnnre-audit` binary end to end: exit codes, the seeded
+//! violation fixtures, JSON determinism, and `--out` report placement.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn audit(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cnnre-audit"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8(out.stdout.clone()).expect("utf-8 stdout")
+}
+
+#[test]
+fn clean_trace_exits_zero() {
+    let out = audit(&["trace", fixture("clean_trace.csv").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("0 finding(s)"), "{}", stdout(&out));
+}
+
+#[test]
+fn clean_candidates_exit_zero() {
+    let out = audit(&[
+        "candidates",
+        fixture("clean_candidates.jsonl").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+}
+
+#[test]
+fn each_seeded_fixture_exits_one_with_its_code() {
+    for (mode, file, code) in [
+        ("trace", "corrupt_cycles.csv", "T001"),
+        ("trace", "overlap_regions.csv", "T013"),
+        ("candidates", "eq3_violation.jsonl", "G003"),
+        ("candidates", "chain_depth_mismatch.jsonl", "C002"),
+    ] {
+        let out = audit(&[mode, fixture(file).to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(1), "{file}: {}", stdout(&out));
+        assert!(stdout(&out).contains(code), "{file}: {}", stdout(&out));
+    }
+}
+
+#[test]
+fn json_output_is_deterministic() {
+    let file = fixture("eq3_violation.jsonl");
+    let run = || audit(&["candidates", file.to_str().unwrap(), "--format", "json"]);
+    let (a, b) = (run(), run());
+    assert_eq!(a.stdout, b.stdout);
+    assert_eq!(a.status.code(), Some(1));
+    let text = stdout(&a);
+    assert!(text.contains("\"tool\""), "{text}");
+    assert!(text.contains("\"G003\""), "{text}");
+}
+
+#[test]
+fn out_flag_writes_report_file() {
+    let dest = Path::new(env!("CARGO_TARGET_TMPDIR")).join("audit_cli_out.json");
+    let out = audit(&[
+        "trace",
+        fixture("corrupt_cycles.csv").to_str().unwrap(),
+        "--format",
+        "json",
+        "--out",
+        dest.to_str().unwrap(),
+        "--quiet",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty(), "--quiet must suppress stdout");
+    let written = std::fs::read_to_string(&dest).expect("--out file written");
+    assert!(written.contains("\"T001\""), "{written}");
+    std::fs::remove_file(&dest).ok();
+}
+
+#[test]
+fn operational_errors_exit_two() {
+    // Unknown flag.
+    let out = audit(&["trace", "whatever.csv", "--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    // Missing file.
+    let out = audit(&["trace", fixture("does_not_exist.csv").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    // Malformed JSONL.
+    let out = audit(&[
+        "candidates",
+        fixture("corrupt_cycles.csv").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    // No mode/file at all.
+    let out = audit(&[]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_checks_prints_catalogue_and_exits_zero() {
+    let out = audit(&["--list-checks"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for code in ["T001", "T020", "G001", "G008", "C003", "D006"] {
+        assert!(text.contains(code), "catalogue missing {code}:\n{text}");
+    }
+}

@@ -101,10 +101,13 @@ pub fn run(cfg: &Fig7Config) -> Fig7 {
             for i in 0..11 {
                 for j in 0..11 {
                     let truth = victim.weights()[(d, c, i, j)];
+                    // lint:allow(float-eq): pruned weights are stored as
+                    // bit-exact 0.0; the figure counts those, not near-zeros.
                     if truth == 0.0 {
                         zeros_true += 1;
                     }
                     if f.ratio(c, i, j) == Some(0.0) {
+                        // lint:allow(float-eq): same exact-zero bookkeeping.
                         if truth == 0.0 {
                             zeros_found += 1;
                         } else {
@@ -157,6 +160,7 @@ pub fn render(fig: &Fig7) -> String {
         let mut line = format!("  {level:>7.3} |");
         for r in ratios.iter().take(120) {
             let ch = match r {
+                // lint:allow(float-eq): recovered exact-zero sentinel.
                 Some(v) if *v == 0.0 => {
                     if row == H / 2 {
                         '×'

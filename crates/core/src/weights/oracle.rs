@@ -167,6 +167,8 @@ impl FunctionalOracle {
                 (0..out_w * out_w)
                     .map(|i| {
                         let (py, px) = (i / out_w, i % out_w);
+                        // lint:allow(float-eq): models the pruning hardware,
+                        // which keys on bit-exact post-ReLU zeros.
                         self.final_value(d, py, px, &[], bias[d]) != 0.0
                     })
                     .collect()
@@ -285,6 +287,8 @@ impl FunctionalOracle {
         let mut count = self.baseline_counts[d] as i64;
         for &(py, px) in affected {
             let was = self.baseline[d][py * out_w + px];
+            // lint:allow(float-eq): same exact-zero pruning model as the
+            // baseline map above.
             let now = self.final_value(d, py, px, probes, 0.0) != 0.0;
             count += i64::from(now) - i64::from(was);
         }

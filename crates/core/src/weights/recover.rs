@@ -448,6 +448,8 @@ fn build_pins(
                     let Some(r) = known(ch, a as isize, b2 as isize) else {
                         continue;
                     };
+                    // lint:allow(float-eq): recovered weights use exact 0.0
+                    // as the "known pruned" sentinel.
                     if r == 0.0 {
                         continue;
                     }
@@ -802,6 +804,7 @@ pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) ->
     for f in &filters {
         for r in f.as_slice() {
             match r {
+                // lint:allow(float-eq): exact-zero sentinel, see above.
                 Some(v) if *v == 0.0 => zeros += 1,
                 Some(_) => recovered += 1,
                 None => unrecovered += 1,
@@ -921,6 +924,7 @@ fn recover_with_retries(
         };
         let last = n + 1 == anchors.len();
         match recover_one(oracle, geom, filter, bias_positive, &t, cfg, d, last) {
+            // lint:allow(float-eq): exact 0.0 is the masked/pruned sentinel.
             Some(r) if r != 0.0 => return Some(r),
             Some(_) => {
                 // "Zero" can also mean "masked and unpinnable" — only trust

@@ -56,6 +56,8 @@ impl SearchConfig {
         if width < self.x_tol {
             return true;
         }
+        // lint:allow(float-eq): guards a division by the exact bracket
+        // endpoints; any nonzero value, however small, is safe to divide by.
         if lo != 0.0 && hi != 0.0 && lo.signum() == hi.signum() {
             width < self.x_rel_tol * lo.abs().max(hi.abs())
                 && (1.0 / lo - 1.0 / hi).abs() < self.inv_tol

@@ -19,18 +19,21 @@ pub enum Rule {
     /// Non-`Relaxed` atomic ordering in `obs` without a justification
     /// comment.
     AtomicOrdering,
+    /// `==` / `!=` applied to a float expression outside test code.
+    FloatEq,
     /// Malformed or unknown `lint:allow` suppression directive.
     AllowSyntax,
 }
 
 impl Rule {
     /// All rules, in severity/report order.
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 7] = [
         Rule::Wallclock,
         Rule::HashIter,
         Rule::Panic,
         Rule::Cast,
         Rule::AtomicOrdering,
+        Rule::FloatEq,
         Rule::AllowSyntax,
     ];
 
@@ -43,6 +46,7 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::Cast => "cast",
             Rule::AtomicOrdering => "atomic-ordering",
+            Rule::FloatEq => "float-eq",
             Rule::AllowSyntax => "allow-syntax",
         }
     }
@@ -70,6 +74,10 @@ impl Rule {
             Rule::AtomicOrdering => {
                 "non-Relaxed atomic orderings in obs must carry a justification \
                  comment on the same or preceding line"
+            }
+            Rule::FloatEq => {
+                "no ==/!= on float expressions outside test code; use \
+                 total_cmp, an epsilon compare, or justify exactness"
             }
             Rule::AllowSyntax => {
                 "lint:allow directives must name a known rule and give a \

@@ -66,7 +66,19 @@ impl Report {
 /// # Errors
 /// Returns any I/O error encountered while walking or reading files.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
-    let files = walk::load_workspace(root)?;
+    lint_workspace_with(root, false)
+}
+
+/// [`lint_workspace`], optionally extending the scan to `tests/`,
+/// `benches/`, and `examples/` trees. Test-tree files are checked under
+/// the relaxed rule set: determinism rules (wallclock, hash-iter) and
+/// directive validation stay on; panic/cast/atomic/float-eq are off (see
+/// [`rules::check_file`]).
+///
+/// # Errors
+/// Returns any I/O error encountered while walking or reading files.
+pub fn lint_workspace_with(root: &Path, include_tests: bool) -> io::Result<Report> {
+    let files = walk::load_workspace_with(root, include_tests)?;
     let mut diagnostics: Vec<Diagnostic> = files.iter().flat_map(rules::check_file).collect();
     diagnostics
         .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));

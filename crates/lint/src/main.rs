@@ -1,7 +1,7 @@
 //! The `cnnre-lint` binary: lints the workspace and exits nonzero on
 //! violations. See `--help` for flags.
 
-use cnnre_lint::{lint_workspace, render_human, render_json, Rule};
+use cnnre_lint::{lint_workspace_with, render_human, render_json, Rule};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -10,6 +10,7 @@ cnnre-lint — in-tree static analysis for the cnn-reveng workspace
 
 USAGE:
     cnnre-lint [--root DIR] [--format human|json] [--out FILE] [--quiet]
+               [--include-tests]
     cnnre-lint --list-rules
 
 FLAGS:
@@ -17,6 +18,8 @@ FLAGS:
     --format FMT      report format: human (default) or json
     --out FILE        also write the report (in the chosen format) to FILE
     --quiet           print nothing on success
+    --include-tests   also lint tests/, benches/, examples/ under the
+                      relaxed rule set (wallclock + hash-iter only)
     --list-rules      print the rule table and exit
 
 EXIT CODES:
@@ -29,6 +32,7 @@ struct Opts {
     out: Option<PathBuf>,
     quiet: bool,
     list_rules: bool,
+    include_tests: bool,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -38,6 +42,7 @@ fn parse_args() -> Result<Opts, String> {
         out: None,
         quiet: false,
         list_rules: false,
+        include_tests: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -59,6 +64,7 @@ fn parse_args() -> Result<Opts, String> {
                 opts.out = Some(args.next().map(PathBuf::from).ok_or("--out needs a FILE")?);
             }
             "--quiet" => opts.quiet = true,
+            "--include-tests" => opts.include_tests = true,
             "--list-rules" => opts.list_rules = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -86,7 +92,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let report = match lint_workspace(&opts.root) {
+    let report = match lint_workspace_with(&opts.root, opts.include_tests) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cnnre-lint: failed to read {}: {e}", opts.root.display());

@@ -19,7 +19,7 @@ const HASH_ITER_SCOPE: [&str; 3] = ["crates/core/src/", "crates/trace/src/", "cr
 
 /// Library crates that must not panic in non-test code. The bench harness
 /// (`crates/bench`) and the CLI (`src/`) are binaries and may exit loudly.
-const PANIC_SCOPE: [&str; 7] = [
+const PANIC_SCOPE: [&str; 8] = [
     "crates/tensor/src/",
     "crates/nn/src/",
     "crates/accel/src/",
@@ -27,6 +27,7 @@ const PANIC_SCOPE: [&str; 7] = [
     "crates/core/src/",
     "crates/obs/src/",
     "crates/lint/src/",
+    "crates/audit/src/",
 ];
 
 /// Modules whose integer arithmetic *is* the Equations (1)–(8) candidate
@@ -55,7 +56,34 @@ const FLOAT_ROUNDERS: [&str; 5] = ["ceil", "floor", "round", "sqrt", "trunc"];
 /// themselves.
 const STRONG_ORDERINGS: [&str; 4] = ["SeqCst", "Acquire", "Release", "AcqRel"];
 
+/// Test-tree paths (scanned only with `--include-tests`) where hash-map
+/// iteration still matters: the root integration/golden tests and the
+/// tests of the deterministic-path crates.
+const HASH_ITER_TEST_SCOPE: [&str; 4] = [
+    "tests/",
+    "crates/core/tests/",
+    "crates/trace/tests/",
+    "crates/accel/tests/",
+];
+
+/// Whether `rel_path` lives in a test/bench/example tree rather than a
+/// `src/` tree. Such files are only reached via `--include-tests` and get
+/// the relaxed rule set.
+#[must_use]
+pub fn is_test_tree(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|seg| matches!(seg, "tests" | "benches" | "examples"))
+}
+
 /// Runs every applicable rule pass over `file`.
+///
+/// Files under `tests/`, `benches/`, or `examples/` get the relaxed set:
+/// the determinism rules (wallclock, hash-iter) and directive validation
+/// stay on — a golden test that reads the clock or iterates a `HashMap`
+/// flakes exactly like library code — while the panic/cast/atomic/float-eq
+/// rules are off, because `unwrap()` and exact float asserts are the test
+/// idiom, not a defect.
 #[must_use]
 pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -65,9 +93,12 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     let code = file.code_indices();
     check_wallclock(file, &code, &mut out);
     check_hash_iter(file, &code, &mut out);
-    check_panic(file, &code, &mut out);
-    check_cast(file, &code, &mut out);
-    check_atomic_ordering(file, &code, &mut out);
+    if !is_test_tree(&file.rel_path) {
+        check_panic(file, &code, &mut out);
+        check_cast(file, &code, &mut out);
+        check_atomic_ordering(file, &code, &mut out);
+        check_float_eq(file, &code, &mut out);
+    }
     check_allow_directives(file, &mut out);
     out
 }
@@ -85,6 +116,14 @@ fn push(out: &mut Vec<Diagnostic>, file: &SourceFile, rule: Rule, line: u32, mes
     });
 }
 
+/// Whether the token at `idx` is exempt as test code. In test-tree files
+/// every item is test code by construction — honoring the in-file
+/// `#[test]`/`#[cfg(test)]` exemption there would blank the whole file —
+/// so the rules that still run under the relaxed set ignore it.
+fn exempt(file: &SourceFile, idx: usize) -> bool {
+    !is_test_tree(&file.rel_path) && file.in_test_code(idx)
+}
+
 fn check_wallclock(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
     if WALLCLOCK_ALLOWED.iter().any(|p| file.rel_path == *p) {
         return;
@@ -96,7 +135,7 @@ fn check_wallclock(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>)
             && file.tokens[b].text == ":"
             && file.tokens[c].text == ":"
             && file.tokens[d].text == "now"
-            && !file.in_test_code(a)
+            && !exempt(file, a)
         {
             push(
                 out,
@@ -113,12 +152,17 @@ fn check_wallclock(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>)
 }
 
 fn check_hash_iter(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
-    if !in_scope(&file.rel_path, &HASH_ITER_SCOPE) {
+    let scope: &[&str] = if is_test_tree(&file.rel_path) {
+        &HASH_ITER_TEST_SCOPE
+    } else {
+        &HASH_ITER_SCOPE
+    };
+    if !in_scope(&file.rel_path, scope) {
         return;
     }
     for &i in code {
         let t = &file.tokens[i];
-        if (t.text == "HashMap" || t.text == "HashSet") && !file.in_test_code(i) {
+        if (t.text == "HashMap" || t.text == "HashSet") && !exempt(file, i) {
             push(
                 out,
                 file,
@@ -254,6 +298,90 @@ fn check_atomic_ordering(file: &SourceFile, code: &[usize], out: &mut Vec<Diagno
             );
         }
     }
+}
+
+/// Flags `==` / `!=` where either operand is visibly a float: a float
+/// literal, an `as f32`/`as f64` cast result, or an `f32::`/`f64::`
+/// associated constant. Exact float equality silently diverges between
+/// code paths that accumulate rounding differently (GEMM tiling orders,
+/// fixed-point round trips); comparisons should go through `total_cmp` or
+/// an explicit epsilon.
+///
+/// The lexer emits single-character puncts, so `==` arrives as two
+/// adjacent `=` tokens and `!=` as `!` `=` — no other Rust surface syntax
+/// produces either adjacency.
+fn check_float_eq(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+    for (ci, w) in windows3(code).enumerate() {
+        let [a, b, c] = w;
+        let (fst, snd) = (&file.tokens[a].text, &file.tokens[b].text);
+        let op = if fst == "=" && snd == "=" {
+            "=="
+        } else if fst == "!" && snd == "=" {
+            "!="
+        } else {
+            continue;
+        };
+        if file.in_test_code(a) {
+            continue;
+        }
+        // Left operand: the token just before the operator. Right operand:
+        // the token after it, looking through a unary minus.
+        let left_is_float = ci > 0 && is_float_context(&file.tokens[code[ci - 1]]);
+        let right_tok = if file.tokens[c].text == "-" {
+            code.get(ci + 3).map(|&i| &file.tokens[i])
+        } else {
+            Some(&file.tokens[c])
+        };
+        let right_is_float = right_tok.is_some_and(is_float_context);
+        if left_is_float || right_is_float {
+            push(
+                out,
+                file,
+                Rule::FloatEq,
+                file.tokens[a].line,
+                format!(
+                    "`{op}` on a float expression: rounding makes exact equality \
+                     path-dependent; use total_cmp, an epsilon compare, or justify \
+                     why the value is exact"
+                ),
+            );
+        }
+    }
+}
+
+/// Whether a token marks a float operand: a float literal, or the `f32` /
+/// `f64` identifier (the tail of an `as f32` cast or the head of an
+/// `f64::EPSILON`-style path).
+fn is_float_context(tok: &crate::lexer::Token) -> bool {
+    match tok.kind {
+        crate::lexer::TokKind::Ident => tok.text == "f32" || tok.text == "f64",
+        crate::lexer::TokKind::Num => is_float_literal(&tok.text),
+        _ => false,
+    }
+}
+
+/// Whether a numeric-literal token spells a float: contains a decimal
+/// point, carries an explicit float suffix, or uses exponent form
+/// (`1e-3`). Integer suffixes that merely contain the letter `e`
+/// (`1usize`) do not qualify, and prefixed literals (`0xAEF`) never do.
+fn is_float_literal(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o") {
+        return false;
+    }
+    if text.contains('.') || text.ends_with("f32") || text.ends_with("f64") {
+        return true;
+    }
+    // Exponent form: digits (with underscores), then e/E, then an
+    // optionally signed exponent.
+    if let Some(pos) = text.find(['e', 'E']) {
+        let (mantissa, exp) = (&text[..pos], &text[pos + 1..]);
+        let exp = exp.strip_prefix(['+', '-']).unwrap_or(exp);
+        return !mantissa.is_empty()
+            && mantissa.chars().all(|c| c.is_ascii_digit() || c == '_')
+            && !exp.is_empty()
+            && exp.chars().all(|c| c.is_ascii_digit() || c == '_');
+    }
+    false
 }
 
 /// Validates every `lint:allow` directive in the file: the rule must exist
@@ -441,6 +569,86 @@ mod tests {
         let src = "fn f() { } // lint:allow(made-up): whatever";
         assert_eq!(
             rules_of(&diags("crates/nn/src/x.rs", src)),
+            [Rule::AllowSyntax]
+        );
+    }
+
+    #[test]
+    fn float_eq_fires_on_literal_cast_and_const_operands() {
+        // Float literal on the right.
+        let d = diags("crates/nn/src/x.rs", "fn f(x: f32) -> bool { x == 0.0 }");
+        assert_eq!(rules_of(&d), [Rule::FloatEq]);
+        // Float literal on the left, `!=`.
+        let d = diags("crates/nn/src/x.rs", "fn f(x: f64) -> bool { 1.5 != x }");
+        assert_eq!(rules_of(&d), [Rule::FloatEq]);
+        // Negative literal on the right.
+        let d = diags("crates/nn/src/x.rs", "fn f(x: f32) -> bool { x == -1.0 }");
+        assert_eq!(rules_of(&d), [Rule::FloatEq]);
+        // `as f64` cast result on the left.
+        let d = diags(
+            "crates/nn/src/x.rs",
+            "fn f(x: u32, y: f64) -> bool { x as f64 == y }",
+        );
+        assert_eq!(rules_of(&d), [Rule::FloatEq]);
+        // `f32::` associated-constant path on the right.
+        let d = diags(
+            "crates/nn/src/x.rs",
+            "fn f(x: f32) -> bool { x == f32::EPSILON }",
+        );
+        assert_eq!(rules_of(&d), [Rule::FloatEq]);
+        // Exponent-form literal.
+        let d = diags("crates/nn/src/x.rs", "fn f(x: f64) -> bool { x != 1e-9 }");
+        assert_eq!(rules_of(&d), [Rule::FloatEq]);
+    }
+
+    #[test]
+    fn float_eq_spares_integers_tests_and_ordering_ops() {
+        // Integer comparisons never fire, including `1usize` (whose suffix
+        // contains the letter `e`) and hex literals.
+        let src = "fn f(x: usize) -> bool { x == 1usize && x != 0xAE && x == 2 }";
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+        // Ordering operators on floats are fine (they are well-defined).
+        let src = "fn f(x: f32) -> bool { x <= 0.5 && x >= -0.5 }";
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+        // Range patterns do not contain a `==` adjacency.
+        let src = "fn f(x: f64) -> bool { (0.0..=1.0).contains(&x) }";
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+        // Test code is exempt.
+        let src = "#[cfg(test)]\nmod t { fn g(x: f32) -> bool { x == 0.0 } }";
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+        // An allow directive suppresses it.
+        let src = "fn f(x: f32) -> bool { x == 0.0 } // lint:allow(float-eq): exact sentinel";
+        assert!(diags("crates/nn/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_trees_get_the_relaxed_rule_set() {
+        // unwrap/float-eq/cast are fine in an integration test file...
+        let src = "fn f(x: f32) { assert!(x == 0.5); y.unwrap(); let z = 1u64 as u32; }";
+        assert!(diags("tests/golden_check.rs", src).is_empty());
+        assert!(diags("crates/nn/tests/gradients.rs", src).is_empty());
+        // ...but wall-clock reads still fire there — even inside a
+        // `#[test]` fn, since in test trees everything is test code and
+        // the in-file exemption would otherwise blank the whole file.
+        let src = "#[test]\nfn f() { let t = Instant::now(); }";
+        assert_eq!(
+            rules_of(&diags("tests/perf_check.rs", src)),
+            [Rule::Wallclock]
+        );
+        // ...hash-iter still fires in the scoped test trees,
+        let src = "use std::collections::HashMap;\nfn f() {}";
+        assert_eq!(
+            rules_of(&diags("tests/golden_check.rs", src)),
+            [Rule::HashIter]
+        );
+        assert_eq!(
+            rules_of(&diags("crates/trace/tests/t.rs", src)),
+            [Rule::HashIter]
+        );
+        // ...and directive validation still applies.
+        let src = "fn f() {} // lint:allow(bogus-rule): x";
+        assert_eq!(
+            rules_of(&diags("tests/golden_check.rs", src)),
             [Rule::AllowSyntax]
         );
     }

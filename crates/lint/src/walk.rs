@@ -4,8 +4,10 @@
 //! The linted set is every `.rs` file under the workspace's `src/` trees —
 //! the root package's `src/` and each `crates/*/src/` — in sorted order so
 //! reports are deterministic. `tests/`, `benches/`, and `examples/` targets
-//! are test/demo code by construction and are not walked; directories named
-//! `target` or `fixtures` are always skipped.
+//! are test/demo code by construction and are not walked unless the caller
+//! opts in (`--include-tests`, which lints them under the relaxed rule
+//! set — see [`crate::rules::check_file`]); directories named `target` or
+//! `fixtures` are always skipped.
 
 use crate::source::SourceFile;
 use std::collections::BTreeSet;
@@ -19,18 +21,36 @@ const SKIP_DIRS: [&str; 4] = ["target", "fixtures", ".git", "node_modules"];
 /// Collects the workspace's lintable `.rs` files under `root`, sorted.
 /// Returns workspace-relative forward-slash paths alongside absolute ones.
 pub fn discover(root: &Path) -> io::Result<Vec<(PathBuf, String)>> {
+    discover_with(root, false)
+}
+
+/// [`discover`], optionally extending the walk to the workspace's test
+/// trees: the root `tests/` and each crate's `tests/`, `benches/`, and
+/// `examples/`.
+pub fn discover_with(root: &Path, include_tests: bool) -> io::Result<Vec<(PathBuf, String)>> {
     let mut files = Vec::new();
     for base in ["src", "crates"] {
         let dir = root.join(base);
         if dir.is_dir() {
-            collect(&dir, root, &mut files)?;
+            collect(&dir, root, include_tests, &mut files)?;
+        }
+    }
+    if include_tests {
+        let dir = root.join("tests");
+        if dir.is_dir() {
+            collect(&dir, root, include_tests, &mut files)?;
         }
     }
     files.sort_by(|a, b| a.1.cmp(&b.1));
     Ok(files)
 }
 
-fn collect(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, String)>) -> io::Result<()> {
+fn collect(
+    dir: &Path,
+    root: &Path,
+    include_tests: bool,
+    out: &mut Vec<(PathBuf, String)>,
+) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
         .filter_map(Result::ok)
         .map(|e| e.path())
@@ -46,15 +66,21 @@ fn collect(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, String)>) -> io::Res
                 continue;
             }
             // Only descend into src trees (and the directories above them):
-            // crates/<name>/tests, /benches, /examples hold test code.
+            // crates/<name>/tests, /benches, /examples hold test code and
+            // join the walk only when the caller opts in.
             let rel = rel_path(&path, root);
             let is_crate_child = rel.split('/').count() == 2 && rel.starts_with("crates/");
-            if is_crate_child || rel == "crates" || in_src(&rel) || name == "src" {
-                collect(&path, root, out)?;
+            if is_crate_child
+                || rel == "crates"
+                || in_src(&rel)
+                || name == "src"
+                || (include_tests && in_lintable(&rel, true))
+            {
+                collect(&path, root, include_tests, out)?;
             }
         } else if name.ends_with(".rs") {
             let rel = rel_path(&path, root);
-            if in_src(&rel) {
+            if in_lintable(&rel, include_tests) {
                 out.push((path, rel));
             }
         }
@@ -64,6 +90,22 @@ fn collect(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, String)>) -> io::Res
 
 fn in_src(rel: &str) -> bool {
     rel.starts_with("src/") || rel.contains("/src/")
+}
+
+/// Whether `rel` belongs to a tree the walk may emit: a `src/` tree
+/// always; a `tests/`/`benches/`/`examples/` tree only when the caller
+/// opted into test linting.
+fn in_lintable(rel: &str, include_tests: bool) -> bool {
+    if in_src(rel) {
+        return true;
+    }
+    include_tests
+        && ["tests", "benches", "examples"].iter().any(|t| {
+            rel.starts_with(&format!("{t}/")) || rel.contains(&format!("/{t}/")) || {
+                // The directory itself (`crates/nn/tests`) during descent.
+                rel == *t || rel.ends_with(&format!("/{t}"))
+            }
+        })
 }
 
 fn rel_path(path: &Path, root: &Path) -> String {
@@ -77,8 +119,13 @@ fn rel_path(path: &Path, root: &Path) -> String {
 /// `#[cfg(test)] mod x;` declaration in their parent module (e.g.
 /// `crates/trace/src/proptests.rs`). Returns the remaining files, parsed.
 pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    load_workspace_with(root, false)
+}
+
+/// [`load_workspace`], optionally including the workspace's test trees.
+pub fn load_workspace_with(root: &Path, include_tests: bool) -> io::Result<Vec<SourceFile>> {
     let mut parsed = Vec::new();
-    for (abs, rel) in discover(root)? {
+    for (abs, rel) in discover_with(root, include_tests)? {
         let src = fs::read_to_string(&abs)?;
         parsed.push(SourceFile::parse(&rel, &src));
     }

@@ -1,0 +1,27 @@
+//! Fixture: float equality comparisons outside test code.
+
+pub fn literal_operand(x: f32) -> bool {
+    x == 0.0
+}
+
+pub fn cast_result_operand(x: u32, y: f64) -> bool {
+    x as f64 != y
+}
+
+pub fn ordering_is_fine(x: f32) -> bool {
+    // Ordering comparisons are well-defined and must NOT be reported.
+    x <= 0.5 && x >= -0.5
+}
+
+pub fn integers_are_fine(x: usize) -> bool {
+    x == 1usize || x == 0xAE
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exact_compare_is_the_test_idiom() {
+        assert!(super::literal_operand(0.0));
+        assert!(1.5f64 == 1.5f64);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a clean library; the violations live in the test trees.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    a + b
+}

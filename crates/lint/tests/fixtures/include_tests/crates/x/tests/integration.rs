@@ -1,0 +1,10 @@
+//! Fixture: an integration test that reads the wall clock (still flagged
+//! under the relaxed rule set) and unwraps (which is fine in tests).
+
+#[test]
+fn measures_something() {
+    let start = std::time::Instant::now();
+    let v: Option<u64> = Some(3);
+    assert!(v.unwrap() == 3 && 0.5f32 == 0.5f32);
+    let _ = start;
+}

@@ -1,0 +1,10 @@
+//! Fixture: a root golden test iterating a HashMap — flagged even under
+//! the relaxed rule set, because golden output depends on iteration order.
+
+use std::collections::HashMap;
+
+#[test]
+fn golden_snapshot() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    assert!(m.is_empty());
+}

@@ -4,7 +4,7 @@
 //! `cnnre-lint` binary — so both the rule passes and the exit-code contract
 //! stay covered.
 
-use cnnre_lint::{lint_workspace, Rule};
+use cnnre_lint::{lint_workspace, lint_workspace_with, Rule};
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
@@ -70,8 +70,39 @@ fn allow_syntax_fixture_reports_reasonless_and_unknown_directives() {
 }
 
 #[test]
+fn float_eq_fixture_reports_literal_and_cast_not_ordering() {
+    assert_eq!(lint_fixture("float_eq"), [Rule::FloatEq, Rule::FloatEq]);
+}
+
+#[test]
 fn clean_fixture_reports_nothing() {
     assert_eq!(lint_fixture("clean"), []);
+}
+
+#[test]
+fn include_tests_fixture_is_clean_under_the_default_walk() {
+    // Without --include-tests the violating files are never scanned.
+    assert_eq!(lint_fixture("include_tests"), []);
+}
+
+#[test]
+fn include_tests_applies_the_relaxed_rule_set() {
+    let report = lint_workspace_with(&fixture("include_tests"), true).expect("fixture readable");
+    let rules: Vec<Rule> = report.diagnostics.iter().map(|d| d.rule).collect();
+    // The crate test's `Instant::now` and the root golden test's `HashMap`
+    // mentions fire; its `unwrap()` and exact float compare do not.
+    assert_eq!(
+        rules,
+        [
+            Rule::Wallclock,
+            Rule::HashIter,
+            Rule::HashIter,
+            Rule::HashIter
+        ]
+    );
+    let mut files: Vec<&str> = report.diagnostics.iter().map(|d| d.file.as_str()).collect();
+    files.dedup();
+    assert_eq!(files, ["crates/x/tests/integration.rs", "tests/golden.rs"]);
 }
 
 // --- binary-level: exit codes and report formats ------------------------
@@ -85,11 +116,25 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
         "cast",
         "atomic",
         "allow_syntax",
+        "float_eq",
     ] {
         let root = fixture(name);
         let out = run_binary(&["--root", &root.display().to_string()]);
         assert_eq!(exit_code(&out), 1, "fixture {name} must fail the gate");
     }
+}
+
+#[test]
+fn binary_include_tests_flag_reaches_the_test_trees() {
+    let root = fixture("include_tests").display().to_string();
+    // Default walk: clean.
+    assert_eq!(exit_code(&run_binary(&["--root", &root])), 0);
+    // Opted in: the test-tree violations fail the gate.
+    let out = run_binary(&["--root", &root, "--include-tests"]);
+    assert_eq!(exit_code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wallclock"), "got: {stdout}");
+    assert!(stdout.contains("hash-iter"), "got: {stdout}");
 }
 
 #[test]

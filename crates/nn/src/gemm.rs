@@ -22,6 +22,8 @@ pub fn gemm_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32
             let c_row = &mut c[i * n..(i + 1) * n];
             for kk in k0..k1 {
                 let aik = a_row[kk];
+                // lint:allow(float-eq): skipping a multiply is only sound
+                // for a bit-exact zero; near-zeros must still accumulate.
                 if aik == 0.0 {
                     continue;
                 }
@@ -59,6 +61,7 @@ pub fn gemm_at_acc(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [
         let b_row = &b[kk * n..(kk + 1) * n];
         for i in 0..m {
             let aik = a_row[i];
+            // lint:allow(float-eq): same bit-exact zero-skip as above.
             if aik == 0.0 {
                 continue;
             }

@@ -187,6 +187,8 @@ impl Linear {
         let mut dx = Tensor3::zeros(input.shape());
         for (o, &g) in dy.iter().enumerate() {
             self.grad_bias[o] += g;
+            // lint:allow(float-eq): a bit-exact zero gradient contributes
+            // nothing; the skip changes no sums.
             if g == 0.0 {
                 continue;
             }

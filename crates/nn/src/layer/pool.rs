@@ -146,6 +146,8 @@ impl Pool {
             for oy in 0..out_shape.h {
                 for ox in 0..out_shape.w {
                     let g = grad_out[(c, oy, ox)];
+                    // lint:allow(float-eq): bit-exact zero gradients route
+                    // nothing; the skip changes no sums.
                     if g == 0.0 {
                         continue;
                     }

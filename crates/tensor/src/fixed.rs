@@ -107,6 +107,8 @@ impl QFormat {
 
 fn round_ties_even(x: f64) -> f64 {
     let r = x.round();
+    // lint:allow(float-eq): 0.5 and integer parities are exactly
+    // representable; the tie test is precise by construction.
     if (x - x.trunc()).abs() == 0.5 && r.rem_euclid(2.0) != 0.0 {
         r - (r - x).signum()
     } else {

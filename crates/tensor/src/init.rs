@@ -102,9 +102,13 @@ pub fn compressed_conv<R: Rng + ?Sized>(
             let levels = (1u32 << quant_bits) as f32;
             let step = 2.0 * max_abs / levels;
             for v in filter.iter_mut() {
+                // lint:allow(float-eq): pruned weights are stored as
+                // bit-exact 0.0 and must stay exactly zero.
                 if *v != 0.0 {
                     let q = (*v / step).round() * step;
                     // Keep pruned zeros exactly zero; avoid re-zeroing survivors.
+                    // lint:allow(float-eq): quantization snapping to the
+                    // exact-zero level would fake a pruned weight.
                     *v = if q == 0.0 { step.copysign(*v) } else { q };
                 }
             }

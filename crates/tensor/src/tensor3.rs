@@ -167,6 +167,8 @@ impl Tensor3 {
     /// Number of non-zero elements.
     #[must_use]
     pub fn count_nonzero(&self) -> usize {
+        // lint:allow(float-eq): counts bit-exact zeros — the quantity the
+        // zero-pruning side channel leaks.
         self.data.iter().filter(|&&v| v != 0.0).count()
     }
 }

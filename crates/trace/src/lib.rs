@@ -16,7 +16,11 @@
 //!   view behind the paper's Figure 3);
 //! * [`defense`] — an ORAM-style access-pattern obfuscation (§5 of the
 //!   paper discusses ORAM as the countermeasure) used in the defense
-//!   ablation experiment.
+//!   ablation experiment;
+//! * [`audit`] — independent re-derivation of the trace/segmentation
+//!   invariants everything above relies on, used by the `cnnre-audit`
+//!   artifact auditor and (behind the `audit-hooks` feature) asserted on
+//!   every segmentation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +29,7 @@ mod event;
 #[cfg(test)]
 mod proptests;
 
+pub mod audit;
 pub mod defense;
 pub mod io;
 pub mod observe;

@@ -176,6 +176,12 @@ pub fn segment_trace(trace: &Trace) -> Vec<Segment> {
 }
 
 /// [`segment_trace`] with explicit configuration.
+///
+/// With the `audit-hooks` feature enabled (the workspace turns it on for
+/// test builds), every returned segmentation is re-checked against the
+/// structural invariants in [`crate::audit`] and the call panics on any
+/// violation — a sanitizer for the segmenter itself and for callers that
+/// feed it corrupted traces.
 #[must_use]
 pub fn segment_trace_with(trace: &Trace, config: SegmentConfig) -> Vec<Segment> {
     let mut segmenter = StreamingSegmenter::new(trace.block_bytes(), config);
@@ -185,6 +191,8 @@ pub fn segment_trace_with(trace: &Trace, config: SegmentConfig) -> Vec<Segment> 
         .filter_map(|ev| segmenter.push(*ev))
         .collect();
     segments.extend(segmenter.finish());
+    #[cfg(feature = "audit-hooks")]
+    crate::audit::assert_well_formed(trace, &segments);
     segments
 }
 

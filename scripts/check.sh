@@ -1,8 +1,16 @@
 #!/usr/bin/env bash
-# Repository gate: formatting, lints, and the tier-1 test suite.
+# Repository gate: formatting, lints, artifact audits, and the tier-1
+# test suite.
+#
 # Usage: scripts/check.sh
+#
+# Report paths are configurable (both default to the repository root):
+#   LINT_REPORT=/tmp/lint.json AUDIT_REPORT=/tmp/audit.json scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+LINT_REPORT="${LINT_REPORT:-lint_report.json}"
+AUDIT_REPORT="${AUDIT_REPORT:-audit_report.json}"
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -10,8 +18,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, -D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cnnre-lint (in-tree static analysis, report in lint_report.json)"
-cargo run --quiet -p cnnre-lint -- --format json --out lint_report.json
+echo "==> cnnre-lint (static analysis incl. test trees, report in $LINT_REPORT)"
+cargo run --quiet -p cnnre-lint -- --include-tests --format json --out "$LINT_REPORT"
+
+echo "==> cnnre-audit (golden artifacts, report in $AUDIT_REPORT)"
+cargo run --quiet -p cnnre-audit -- candidates tests/golden/lenet_candidates.jsonl --quiet
+cargo run --quiet -p cnnre-audit -- trace tests/golden/lenet_trace.csv \
+    --format json --out "$AUDIT_REPORT" --quiet
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release

@@ -1,0 +1,161 @@
+//! Golden-artifact audit gate: the checked-in LeNet trace and candidate
+//! set under `tests/golden/` must (a) be byte-identical to what the
+//! current pipeline regenerates and (b) audit clean under `cnnre-audit`.
+//!
+//! Together these pin the semantic invariants end to end: if the engine,
+//! segmenter, or solver drifts, the byte-identity tests fail; if the
+//! auditor tightens a check past what the real pipeline produces, the
+//! clean-audit tests fail.
+//!
+//! Regenerate the goldens after an intentional pipeline change with:
+//!
+//! ```text
+//! cargo test --test audit_clean -- --ignored regenerate_goldens
+//! ```
+
+use cnn_reveng::accel::{AccelConfig, Accelerator};
+use cnn_reveng::attacks::structure::{
+    recover_structures, CandidateStructure, NetworkSolverConfig, NodeChoice,
+};
+use cnn_reveng::nn::models::lenet;
+use cnnre_audit::{candidates, parse_candidates, trace as audit_trace, Tolerances};
+use cnnre_tensor::rng::{SeedableRng, SmallRng};
+use cnnre_trace::Trace;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn golden_trace() -> Trace {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let net = lenet(1, 10, &mut rng);
+    let accel = Accelerator::new(AccelConfig::default());
+    let exec = accel
+        .run_trace_only(&net)
+        .expect("LeNet lowers onto the accelerator");
+    exec.trace
+}
+
+fn render_trace_csv(trace: &Trace) -> Vec<u8> {
+    let mut buf = Vec::new();
+    cnnre_trace::io::write_csv(trace, &mut buf).expect("in-memory CSV render");
+    buf
+}
+
+fn golden_structures(trace: &Trace) -> Vec<CandidateStructure> {
+    recover_structures(trace, (32, 1), 10, &NetworkSolverConfig::default())
+        .expect("structures recoverable from the golden trace")
+}
+
+/// Serializes recovered structures into the flat JSONL schema
+/// `cnnre-audit candidates` consumes (one compute layer per line).
+fn render_candidates_jsonl(structures: &[CandidateStructure]) -> String {
+    let mut out = String::from(
+        "# Golden candidate set: every structure recovered from the LeNet\n\
+         # golden trace. Regenerate with\n\
+         #   cargo test --test audit_clean -- --ignored regenerate_goldens\n",
+    );
+    for (si, structure) in structures.iter().enumerate() {
+        let mut li = 0usize;
+        for choice in &structure.choices {
+            match choice {
+                NodeChoice::Conv(p) => {
+                    out.push_str(&format!(
+                        "{{\"structure\":{si},\"layer\":{li},\
+                         \"w_ifm\":{},\"d_ifm\":{},\"w_ofm\":{},\"d_ofm\":{},\
+                         \"f_conv\":{},\"s_conv\":{},\"p_conv\":{}",
+                        p.w_ifm, p.d_ifm, p.w_ofm, p.d_ofm, p.f_conv, p.s_conv, p.p_conv
+                    ));
+                    if let Some(pool) = p.pool {
+                        out.push_str(&format!(
+                            ",\"pool\":{{\"f\":{},\"s\":{},\"p\":{}}}",
+                            pool.f, pool.s, pool.p
+                        ));
+                    }
+                    out.push_str("}\n");
+                    li += 1;
+                }
+                NodeChoice::Fc(f) => {
+                    out.push_str(&format!(
+                        "{{\"structure\":{si},\"layer\":{li},\
+                         \"in_features\":{},\"out_features\":{}}}\n",
+                        f.in_features, f.out_features
+                    ));
+                    li += 1;
+                }
+                NodeChoice::Input | NodeChoice::Merge => {}
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn golden_trace_matches_regeneration() {
+    let on_disk = std::fs::read(golden_dir().join("lenet_trace.csv"))
+        .expect("golden trace exists; regenerate with the ignored test");
+    let regenerated = render_trace_csv(&golden_trace());
+    assert!(
+        on_disk == regenerated,
+        "tests/golden/lenet_trace.csv is stale: the pipeline now produces a \
+         different trace; rerun the regenerate_goldens test if intentional"
+    );
+}
+
+#[test]
+fn golden_candidates_match_regeneration() {
+    let on_disk = std::fs::read_to_string(golden_dir().join("lenet_candidates.jsonl"))
+        .expect("golden candidates exist; regenerate with the ignored test");
+    let regenerated = render_candidates_jsonl(&golden_structures(&golden_trace()));
+    assert!(
+        on_disk == regenerated,
+        "tests/golden/lenet_candidates.jsonl is stale: the solver now produces \
+         a different candidate set; rerun the regenerate_goldens test if intentional"
+    );
+}
+
+#[test]
+fn golden_trace_audits_clean() {
+    let file = std::fs::File::open(golden_dir().join("lenet_trace.csv"))
+        .expect("golden trace exists; regenerate with the ignored test");
+    let trace = cnnre_trace::io::read_csv(file).expect("golden trace parses");
+    let report = audit_trace(&trace);
+    assert!(report.items_examined > 0);
+    assert!(
+        report.is_clean(),
+        "golden trace must audit clean:\n{}",
+        report.render_human()
+    );
+    assert_eq!(report.exit_code(), 0);
+}
+
+#[test]
+fn golden_candidates_audit_clean() {
+    let text = std::fs::read_to_string(golden_dir().join("lenet_candidates.jsonl"))
+        .expect("golden candidates exist; regenerate with the ignored test");
+    let chains = parse_candidates(&text).expect("golden candidates parse");
+    assert!(!chains.is_empty());
+    let report = candidates(&chains, &Tolerances::default());
+    assert!(report.items_examined > 0);
+    assert!(
+        report.is_clean(),
+        "golden candidate set must audit clean:\n{}",
+        report.render_human()
+    );
+}
+
+/// Rewrites the golden artifacts from the current pipeline. Ignored by
+/// default so `cargo test` never mutates the source tree; run explicitly
+/// after an intentional engine/solver change.
+#[test]
+#[ignore = "rewrites tests/golden/ from the current pipeline"]
+fn regenerate_goldens() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("tests/golden creatable");
+    let trace = golden_trace();
+    std::fs::write(dir.join("lenet_trace.csv"), render_trace_csv(&trace))
+        .expect("golden trace written");
+    let jsonl = render_candidates_jsonl(&golden_structures(&trace));
+    std::fs::write(dir.join("lenet_candidates.jsonl"), jsonl).expect("golden candidates written");
+}

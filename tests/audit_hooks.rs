@@ -1,0 +1,46 @@
+//! The `audit-hooks` sanitizer feature is enabled for every test build in
+//! the workspace (root dev-dependencies turn it on; release builds of the
+//! library stay hook-free). These tests prove the hook chain actually
+//! fires: a clean engine trace passes, an intentionally corrupted one
+//! panics inside the audit.
+
+use cnn_reveng::accel::{AccelConfig, Accelerator};
+use cnn_reveng::nn::models::lenet;
+use cnnre_tensor::rng::{SeedableRng, SmallRng};
+use cnnre_trace::Trace;
+
+fn engine_trace() -> Trace {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let net = lenet(1, 10, &mut rng);
+    Accelerator::new(AccelConfig::default())
+        .run_trace_only(&net)
+        .expect("lenet lowers")
+        .trace
+}
+
+#[test]
+fn clean_engine_trace_passes_the_hook() {
+    cnnre_accel::audit_finished_trace(&engine_trace());
+}
+
+#[test]
+#[should_panic(expected = "trace audit failed")]
+fn corrupted_cycle_stamp_trips_the_hook() {
+    let (mut events, blk, elem) = engine_trace().into_parts();
+    let last = events.len() - 1;
+    assert!(events[last - 1].cycle > 0, "engine cycles advance");
+    // Rewind the final event's clock: the stream is no longer time-ordered.
+    events[last].cycle = 0;
+    cnnre_accel::audit_finished_trace(&Trace::from_parts(events, blk, elem));
+}
+
+#[test]
+#[should_panic(expected = "trace audit failed")]
+fn segmenter_hook_rejects_non_monotone_trace() {
+    let (mut events, blk, elem) = engine_trace().into_parts();
+    let last = events.len() - 1;
+    events[last].cycle = 0;
+    // The segmenter itself carries the hook: any caller that segments a
+    // corrupt trace in a test build fails fast, not just the engine.
+    let _ = cnnre_trace::segment::segment_trace(&Trace::from_parts(events, blk, elem));
+}

@@ -5,7 +5,7 @@
 //! casts, justified atomic orderings); a violation anywhere under the
 //! workspace's `src/` trees fails this test with the full report.
 
-use cnnre_lint::{lint_workspace, render_human};
+use cnnre_lint::{lint_workspace, lint_workspace_with, render_human};
 
 #[test]
 fn workspace_is_lint_clean() {
@@ -21,5 +21,27 @@ fn workspace_is_lint_clean() {
         "cnnre-lint found {} violation(s):\n{}",
         report.diagnostics.len(),
         render_human(&report.diagnostics)
+    );
+}
+
+#[test]
+fn workspace_test_trees_are_lint_clean() {
+    // The relaxed rule set (`--include-tests`) must also pass: tests,
+    // benches, and examples may unwrap and compare floats exactly, but
+    // must not read the wall clock or iterate hash maps.
+    let root = env!("CARGO_MANIFEST_DIR");
+    let full = lint_workspace_with(root.as_ref(), true).expect("workspace tree readable");
+    let default = lint_workspace(root.as_ref()).expect("workspace tree readable");
+    assert!(
+        full.files_scanned > default.files_scanned,
+        "--include-tests scanned no extra files ({} vs {}); test-tree discovery is broken",
+        full.files_scanned,
+        default.files_scanned
+    );
+    assert!(
+        full.is_clean(),
+        "cnnre-lint --include-tests found {} violation(s):\n{}",
+        full.diagnostics.len(),
+        render_human(&full.diagnostics)
     );
 }
