@@ -446,6 +446,9 @@ impl<'a> Runner<'a> {
     }
 
     fn run_stage(&mut self, stage: &Stage) {
+        // Fixed metric path (`span.….stage.*`), per-stage display label on
+        // the profile timeline — one Perfetto slice per conv1/conv2/… .
+        let mut stage_span = cnnre_obs::span_labelled("stage", &stage.name);
         let start_cycle = self.cycle;
         let (reads0, writes0) = (self.reads, self.writes);
         self.stage_compute = 0;
@@ -473,6 +476,7 @@ impl<'a> Runner<'a> {
         // enabled flag, and the log line gates on the stderr level — the
         // two are independent (`CNNRE_LOG=debug` works without `--metrics`).
         let total = self.cycle - start_cycle;
+        stage_span.add_cycles(total);
         let busy = self.stage_compute.min(total);
         self.obs.compute_cycles.push(busy as f64);
         self.obs.stall_cycles.push((total - busy) as f64);

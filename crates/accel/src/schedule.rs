@@ -117,6 +117,7 @@ impl Schedule {
     /// patterns the accelerator cannot execute (e.g. pooling that does not
     /// directly follow a convolution's activation).
     pub fn plan(net: &Network, config: &AccelConfig) -> Result<Self, ScheduleError> {
+        let _span = cnnre_obs::span("plan");
         config.validate().map_err(ScheduleError::InvalidConfig)?;
         let nodes = net.nodes();
         let n = nodes.len();

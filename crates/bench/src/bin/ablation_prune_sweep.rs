@@ -3,6 +3,7 @@
 //! `CNNRE_QUICK=1` shrinks the victim for a fast smoke run.
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let profile = cnnre_bench::parse_profile_flags();
     let quick = std::env::var_os("CNNRE_QUICK").is_some();
     let (filters, input_w) = if quick { (4, 39) } else { (16, 79) };
     let fractions = [0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9];
@@ -11,5 +12,6 @@ fn main() {
         "{}",
         cnnre_bench::experiments::ablation_prune_sweep::render(&points)
     );
+    cnnre_bench::write_profile(profile);
     cnnre_bench::write_out(out, "ablation_prune_sweep");
 }

@@ -1,10 +1,12 @@
 //! Regenerates the ORAM defense sweep.
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let profile = cnnre_bench::parse_profile_flags();
     let (baseline, rows) = cnnre_bench::experiments::defense::run();
     println!(
         "{}",
         cnnre_bench::experiments::defense::render(baseline, &rows)
     );
+    cnnre_bench::write_profile(profile);
     cnnre_bench::write_out(out, "defense_oram");
 }

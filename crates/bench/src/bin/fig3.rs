@@ -3,6 +3,7 @@ use std::io::Write;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let profile = cnnre_bench::parse_profile_flags();
     let fig = cnnre_bench::experiments::fig3::run(97);
     println!("{}", cnnre_bench::experiments::fig3::render(&fig));
     let path = std::env::temp_dir().join("cnnre_fig3_trace.csv");
@@ -13,5 +14,6 @@ fn main() {
         }
         println!("full series written to {}", path.display());
     }
+    cnnre_bench::write_profile(profile);
     cnnre_bench::write_out(out, "fig3");
 }

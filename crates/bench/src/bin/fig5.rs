@@ -3,6 +3,7 @@ use cnnre_bench::experiments::fig5;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let profile = cnnre_bench::parse_profile_flags();
     let cfg = if cnnre_bench::quick_mode() {
         fig5::RankingConfig::quick()
     } else {
@@ -10,5 +11,6 @@ fn main() {
     };
     let fig = fig5::run(&cfg);
     println!("{}", fig5::render(&fig));
+    cnnre_bench::write_profile(profile);
     cnnre_bench::write_out(out, "fig5");
 }

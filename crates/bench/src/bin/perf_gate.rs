@@ -1,0 +1,73 @@
+//! `perf_gate` — diff freshly produced `BENCH_*.json` snapshots against
+//! committed baselines.
+//!
+//! ```console
+//! $ perf_gate <baseline.json> <current.json> [--rel-tol FRAC] [--report FILE]
+//! ```
+//!
+//! Exit codes follow the workspace convention: 0 clean (improvements and
+//! wall-clock drift included), 1 regressions or lost metrics, 2 usage
+//! errors or malformed input. The report written to stdout (and to
+//! `--report FILE` when given) is byte-deterministic. See
+//! `scripts/perf_gate.sh` for the end-to-end gate over fig3/fig7/table3.
+
+use cnnre_bench::gate::{compare, GateConfig};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = GateConfig::default();
+    if let Some(v) = take_flag_value(&mut args, "--rel-tol") {
+        match v.parse::<f64>() {
+            Ok(t) if t >= 0.0 => cfg.rel_tol = t,
+            _ => {
+                eprintln!("--rel-tol expects a non-negative fraction, got '{v}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    let report_path = take_flag_value(&mut args, "--report");
+    let [baseline_path, current_path] = &args[..] else {
+        eprintln!(
+            "usage: perf_gate <baseline.json> <current.json> [--rel-tol FRAC] [--report FILE]"
+        );
+        std::process::exit(2);
+    };
+    let read = |path: &String| match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = read(baseline_path);
+    let current = read(current_path);
+    let report = match compare(&baseline, &current, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf gate: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rendered = report.render();
+    print!("{rendered}");
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("cannot write report to {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+    std::process::exit(i32::from(report.failed()));
+}
+
+/// Removes `name <value>` from `args`, returning the value; exits 2 when
+/// the flag is present without a value.
+fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == name)?;
+    if pos + 1 >= args.len() {
+        eprintln!("{name} needs a value");
+        std::process::exit(2);
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}

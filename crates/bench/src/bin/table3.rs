@@ -1,6 +1,7 @@
 //! Regenerates the paper's Table 3.
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let profile = cnnre_bench::parse_profile_flags();
     let rows = cnnre_bench::experiments::table3::run();
     println!("{}", cnnre_bench::experiments::table3::render(&rows));
     let reduction = cnnre_bench::experiments::table3::reduction(&rows);
@@ -8,5 +9,6 @@ fn main() {
         "{}",
         cnnre_bench::experiments::table3::render_reduction(&reduction)
     );
+    cnnre_bench::write_profile(profile);
     cnnre_bench::write_out(out, "table3");
 }

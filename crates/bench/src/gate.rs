@@ -1,0 +1,482 @@
+//! The perf-regression gate: diffs a freshly produced flat `BENCH_*.json`
+//! snapshot against a committed baseline under
+//! `tests/golden/bench_baseline/` and fails on regressions.
+//!
+//! # Policy
+//!
+//! "Worse" is "larger": every exported metric (cycles, DRAM transactions,
+//! oracle queries, candidate counts) measures cost, so a value above the
+//! baseline by more than the tolerance is a **regression**. Two tiers:
+//!
+//! * **strict** — deterministic metrics (everything except wall-clock
+//!   timings). These come from the simulated-cycle domain and seeded
+//!   experiments, so identical code must reproduce them exactly; the
+//!   default tolerance is therefore tight ([`GateConfig::rel_tol`]).
+//! * **advisory** — wall-clock metrics (`*.wall_ns`). Host timing noise
+//!   makes them unenforceable; drifts are reported but never fail the
+//!   gate.
+//!
+//! A metric present in the baseline but missing from the current snapshot
+//! is a regression (instrumentation was lost); a new metric is advisory.
+//! Values *below* baseline are reported as improvements (exit 0 — but
+//! refresh the baseline, see EXPERIMENTS.md).
+//!
+//! Exit-code convention, matching cnnre-lint and cnnre-audit: 0 clean,
+//! 1 regressions, 2 usage/malformed input.
+//!
+//! The report is byte-deterministic: sorted metric order, fixed number
+//! formatting, no timestamps.
+
+use std::collections::BTreeMap;
+
+/// Gate thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateConfig {
+    /// Relative tolerance for strict (cycle-domain) metrics.
+    pub rel_tol: f64,
+    /// Absolute slack added on top of the relative tolerance (guards
+    /// near-zero baselines).
+    pub abs_tol: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            rel_tol: 0.01,
+            abs_tol: 1e-9,
+        }
+    }
+}
+
+/// One parsed `BENCH_*.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// The `"experiment"` field.
+    pub experiment: String,
+    /// Metric name → value, sorted.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// Parses the flat JSON object `cnnre-obs` writes for `BENCH_*.json`
+/// files: one object, string value for `"experiment"`, finite numbers (or
+/// `null`, which is skipped) for everything else.
+///
+/// # Errors
+///
+/// Returns a description of the first syntax problem — the gate maps any
+/// parse error to exit code 2.
+pub fn parse_bench_json(text: &str) -> Result<BenchSnapshot, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut experiment = None;
+    let mut metrics = BTreeMap::new();
+    loop {
+        p.skip_ws();
+        if p.peek() == Some(b'}') {
+            p.pos += 1;
+            break;
+        }
+        if !metrics.is_empty() || experiment.is_some() {
+            p.expect(b',')?;
+            p.skip_ws();
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        if key == "experiment" {
+            if experiment.is_some() {
+                return Err("duplicate \"experiment\" key".into());
+            }
+            experiment = Some(p.string()?);
+        } else {
+            // A `null` value is a non-finite export — ungateable, skipped.
+            if let Some(v) = p.number_or_null()? {
+                if metrics.insert(key.clone(), v).is_some() {
+                    return Err(format!("duplicate metric \"{key}\""));
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    let experiment = experiment.ok_or("missing \"experiment\" key")?;
+    Ok(BenchSnapshot {
+        experiment,
+        metrics,
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'n' => '\n',
+                        b'r' => '\r',
+                        b't' => '\t',
+                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
+                    });
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    // Multi-byte UTF-8 passes through unchanged.
+                    let start = self.pos;
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number_or_null(&mut self) -> Result<Option<f64>, String> {
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(None);
+        }
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "invalid number".to_string())?;
+        text.parse::<f64>()
+            .map(Some)
+            .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+    }
+}
+
+/// Outcome for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Within tolerance.
+    Ok,
+    /// Strict metric above baseline beyond tolerance — fails the gate.
+    Regressed,
+    /// Strict metric below baseline beyond tolerance — baseline is stale.
+    Improved,
+    /// Wall-clock drift (either direction) — reported, never fails.
+    Advisory,
+    /// In the baseline, absent from the current snapshot — fails the gate.
+    Missing,
+    /// In the current snapshot only — informational.
+    New,
+}
+
+impl Status {
+    fn label(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Regressed => "REGRESSED",
+            Status::Improved => "improved",
+            Status::Advisory => "advisory",
+            Status::Missing => "MISSING",
+            Status::New => "new",
+        }
+    }
+}
+
+/// One row of the gate report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Metric name.
+    pub name: String,
+    /// Baseline value (`None` for [`Status::New`]).
+    pub baseline: Option<f64>,
+    /// Current value (`None` for [`Status::Missing`]).
+    pub current: Option<f64>,
+    /// Verdict.
+    pub status: Status,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Experiment name (shared by baseline and current).
+    pub experiment: String,
+    /// Per-metric rows, sorted by name.
+    pub deltas: Vec<Delta>,
+}
+
+impl GateReport {
+    /// Whether any row fails the gate (exit code 1).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.deltas
+            .iter()
+            .any(|d| matches!(d.status, Status::Regressed | Status::Missing))
+    }
+
+    /// Renders the byte-deterministic report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("perf gate: {}\n", self.experiment);
+        let width = self
+            .deltas
+            .iter()
+            .map(|d| d.name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let num = |v: Option<f64>| match v {
+            // Fixed formatting mirrors the snapshot writer: integral
+            // values print without a fraction.
+            // lint:allow(float-eq): exact integrality test for formatting
+            Some(v) if v == v.trunc() && v.abs() < 1e15 => format!("{}", v as i64),
+            Some(v) => format!("{v}"),
+            None => "-".to_string(),
+        };
+        for d in &self.deltas {
+            let note = match (d.baseline, d.current) {
+                // lint:allow(float-eq): guards the division below
+                (Some(b), Some(c)) if b != 0.0 => {
+                    format!(" ({:+.2}%)", 100.0 * (c - b) / b)
+                }
+                _ => String::new(),
+            };
+            out.push_str(&format!(
+                "  {:width$}  {:>16} -> {:>16}  {}{}\n",
+                d.name,
+                num(d.baseline),
+                num(d.current),
+                d.status.label(),
+                note,
+            ));
+        }
+        let (mut regressed, mut missing, mut improved, mut advisory) = (0, 0, 0, 0);
+        for d in &self.deltas {
+            match d.status {
+                Status::Regressed => regressed += 1,
+                Status::Missing => missing += 1,
+                Status::Improved => improved += 1,
+                Status::Advisory => advisory += 1,
+                _ => {}
+            }
+        }
+        out.push_str(&format!(
+            "summary: {} metrics, {} regressed, {} missing, {} improved, {} advisory\n",
+            self.deltas.len(),
+            regressed,
+            missing,
+            improved,
+            advisory,
+        ));
+        out
+    }
+}
+
+/// Whether a metric is gated advisorily (wall-clock timing).
+#[must_use]
+pub fn is_advisory(name: &str) -> bool {
+    name.ends_with(".wall_ns")
+}
+
+/// Compares a current snapshot against its baseline.
+///
+/// # Errors
+///
+/// Returns an error (→ exit 2) when either file fails to parse or the
+/// `"experiment"` fields disagree.
+pub fn compare(baseline: &str, current: &str, cfg: &GateConfig) -> Result<GateReport, String> {
+    let base = parse_bench_json(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur = parse_bench_json(current).map_err(|e| format!("current: {e}"))?;
+    if base.experiment != cur.experiment {
+        return Err(format!(
+            "experiment mismatch: baseline \"{}\" vs current \"{}\"",
+            base.experiment, cur.experiment
+        ));
+    }
+    let mut names: Vec<&String> = base.metrics.keys().chain(cur.metrics.keys()).collect();
+    names.sort();
+    names.dedup();
+    let deltas = names
+        .into_iter()
+        .map(|name| {
+            let b = base.metrics.get(name).copied();
+            let c = cur.metrics.get(name).copied();
+            let status = match (b, c) {
+                (Some(_), None) => {
+                    if is_advisory(name) {
+                        Status::Advisory
+                    } else {
+                        Status::Missing
+                    }
+                }
+                (None, Some(_)) => Status::New,
+                (Some(b), Some(c)) => {
+                    let slack = cfg.abs_tol + cfg.rel_tol * b.abs();
+                    if (c - b).abs() <= slack {
+                        Status::Ok
+                    } else if is_advisory(name) {
+                        Status::Advisory
+                    } else if c > b {
+                        Status::Regressed
+                    } else {
+                        Status::Improved
+                    }
+                }
+                (None, None) => Status::Ok, // unreachable by construction
+            };
+            Delta {
+                name: name.clone(),
+                baseline: b,
+                current: c,
+                status,
+            }
+        })
+        .collect();
+    Ok(GateReport {
+        experiment: base.experiment,
+        deltas,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = "{\n  \"experiment\": \"fig3\",\n  \"accel.dram.reads\": 100,\n  \"span.accel.run.cycles\": 5000,\n  \"span.accel.run.wall_ns\": 123456\n}\n";
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let r = compare(BASE, BASE, &GateConfig::default()).unwrap();
+        assert!(!r.failed());
+        assert!(r.deltas.iter().all(|d| d.status == Status::Ok));
+    }
+
+    #[test]
+    fn inflated_cycles_regress_but_wall_is_advisory() {
+        let cur = BASE
+            .replace("5000", "6000") // +20% cycles: regression
+            .replace("123456", "999999"); // wall drift: advisory
+        let r = compare(BASE, &cur, &GateConfig::default()).unwrap();
+        assert!(r.failed());
+        let by_name = |n: &str| {
+            r.deltas
+                .iter()
+                .find(|d| d.name == n)
+                .map(|d| d.status)
+                .unwrap()
+        };
+        assert_eq!(by_name("span.accel.run.cycles"), Status::Regressed);
+        assert_eq!(by_name("span.accel.run.wall_ns"), Status::Advisory);
+        assert_eq!(by_name("accel.dram.reads"), Status::Ok);
+    }
+
+    #[test]
+    fn improvement_does_not_fail() {
+        let cur = BASE.replace("5000", "4000");
+        let r = compare(BASE, &cur, &GateConfig::default()).unwrap();
+        assert!(!r.failed());
+        assert!(r
+            .deltas
+            .iter()
+            .any(|d| d.status == Status::Improved && d.name == "span.accel.run.cycles"));
+    }
+
+    #[test]
+    fn missing_metric_fails_and_new_metric_does_not() {
+        let cur = "{\n  \"experiment\": \"fig3\",\n  \"accel.dram.reads\": 100,\n  \"accel.dram.writes\": 7,\n  \"span.accel.run.wall_ns\": 123456\n}\n";
+        let r = compare(BASE, cur, &GateConfig::default()).unwrap();
+        assert!(r.failed());
+        let statuses: Vec<(String, Status)> = r
+            .deltas
+            .iter()
+            .map(|d| (d.name.clone(), d.status))
+            .collect();
+        assert!(statuses.contains(&("span.accel.run.cycles".into(), Status::Missing)));
+        assert!(statuses.contains(&("accel.dram.writes".into(), Status::New)));
+    }
+
+    #[test]
+    fn malformed_and_mismatched_inputs_error() {
+        assert!(compare("not json", BASE, &GateConfig::default()).is_err());
+        assert!(compare(BASE, "{\"experiment\": \"fig3\"", &GateConfig::default()).is_err());
+        let other = BASE.replace("fig3", "fig7");
+        assert!(compare(BASE, &other, &GateConfig::default()).is_err());
+    }
+
+    #[test]
+    fn report_is_deterministic_and_complete() {
+        let cur = BASE.replace("5000", "6000");
+        let a = compare(BASE, &cur, &GateConfig::default())
+            .unwrap()
+            .render();
+        let b = compare(BASE, &cur, &GateConfig::default())
+            .unwrap()
+            .render();
+        assert_eq!(a, b);
+        assert!(a.contains("REGRESSED"));
+        assert!(a.contains("summary: 3 metrics, 1 regressed, 0 missing, 0 improved, 0 advisory"));
+    }
+
+    #[test]
+    fn parser_round_trips_the_obs_writer() {
+        let snap = parse_bench_json(BASE).unwrap();
+        assert_eq!(snap.experiment, "fig3");
+        assert_eq!(snap.metrics.get("accel.dram.reads"), Some(&100.0));
+        assert_eq!(snap.metrics.len(), 3);
+        // null values (non-finite exports) are skipped, not errors.
+        let with_null = "{\"experiment\": \"x\", \"a.b\": null}";
+        assert!(parse_bench_json(with_null).unwrap().metrics.is_empty());
+    }
+}

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 
 /// Whether quick (smoke-test) parameters were requested via `CNNRE_QUICK`.
 #[must_use]
@@ -56,6 +57,71 @@ pub fn write_out(path: Option<std::path::PathBuf>, experiment: &str) {
         Ok(()) => eprintln!("metrics written to {}", path.display()),
         Err(e) => {
             eprintln!("cannot write metrics to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `--profile-out FILE` / `--profile-clock wall|cycles|both` flag pair
+/// shared by every experiment binary. When `--profile-out` is present this
+/// enables both the instrumentation and the timeline recorder; pass the
+/// result to [`write_profile`] after the experiment.
+///
+/// Exits with usage code 2 on a missing path or an unknown clock domain.
+#[must_use]
+pub fn parse_profile_flags() -> Option<(std::path::PathBuf, cnnre_obs::profile::ClockDomain)> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clock = match args.iter().position(|a| a == "--profile-clock") {
+        Some(pos) => {
+            let Some(v) = args.get(pos + 1) else {
+                eprintln!("--profile-clock needs a value (wall|cycles|both)");
+                std::process::exit(2);
+            };
+            match cnnre_obs::profile::ClockDomain::parse(v) {
+                Some(c) => c,
+                None => {
+                    eprintln!("unknown profile clock '{v}' (wall|cycles|both)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => cnnre_obs::profile::ClockDomain::Both,
+    };
+    let pos = args.iter().position(|a| a == "--profile-out")?;
+    let Some(path) = args.get(pos + 1) else {
+        eprintln!("--profile-out needs a file path");
+        std::process::exit(2);
+    };
+    cnnre_obs::set_enabled(true);
+    cnnre_obs::profile::set_enabled(true);
+    Some((std::path::PathBuf::from(path), clock))
+}
+
+/// Drains the timeline recorder and writes the export chosen by the path's
+/// extension (`.folded`/`.txt` → flamegraph stacks, anything else → Chrome
+/// Trace Event JSON) when [`parse_profile_flags`] returned a destination;
+/// no-op otherwise.
+///
+/// Exits with code 1 when the file cannot be written.
+pub fn write_profile(dest: Option<(std::path::PathBuf, cnnre_obs::profile::ClockDomain)>) {
+    let Some((path, clock)) = dest else { return };
+    let events = cnnre_obs::profile::take();
+    let ext_is_folded = path
+        .extension()
+        .is_some_and(|e| e == "folded" || e == "txt");
+    let rendered = if ext_is_folded {
+        cnnre_obs::profile::folded_stacks(&events, clock)
+    } else {
+        cnnre_obs::profile::chrome_trace(&events, clock)
+    };
+    match std::fs::write(&path, rendered) {
+        Ok(()) => eprintln!(
+            "profile written to {} ({} events)",
+            path.display(),
+            events.len()
+        ),
+        Err(e) => {
+            eprintln!("cannot write profile to {}: {e}", path.display());
             std::process::exit(1);
         }
     }

@@ -1,0 +1,98 @@
+//! End-to-end tests of the `perf_gate` binary: exit-code contract
+//! (0 clean / 1 regression / 2 malformed), advisory wall-clock handling,
+//! and byte-determinism of the rendered report. Fixture snapshots live in
+//! `tests/fixtures/perf_gate/`; `regressed.json` inflates one strict
+//! metric by ~10% (and drifts the advisory `wall_ns` by ~5x, which must
+//! NOT fail the gate on its own).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/perf_gate")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn run_gate(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perf_gate"))
+        .args(args)
+        .output()
+        .expect("perf_gate binary runs")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("terminated by exit, not signal")
+}
+
+#[test]
+fn identical_snapshots_pass() {
+    let out = run_gate(&[&fixture("baseline.json"), &fixture("baseline.json")]);
+    assert_eq!(exit_code(&out), 0, "stderr: {:?}", out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("0 regressed"), "got: {stdout}");
+}
+
+#[test]
+fn seeded_regression_fails_and_wall_drift_is_advisory() {
+    let out = run_gate(&[&fixture("baseline.json"), &fixture("regressed.json")]);
+    assert_eq!(exit_code(&out), 1);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The inflated strict metric is reported as a regression...
+    assert!(stdout.contains("accel.dram.reads"), "got: {stdout}");
+    assert!(stdout.contains("1 regressed"), "got: {stdout}");
+    // ...while the 5x wall-clock drift only shows up as advisory.
+    assert!(stdout.contains("1 advisory"), "got: {stdout}");
+}
+
+#[test]
+fn improvements_do_not_fail_the_gate() {
+    let out = run_gate(&[&fixture("baseline.json"), &fixture("improved.json")]);
+    assert_eq!(exit_code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 improved"), "got: {stdout}");
+}
+
+#[test]
+fn widened_tolerance_absorbs_the_regression() {
+    let out = run_gate(&[
+        &fixture("baseline.json"),
+        &fixture("regressed.json"),
+        "--rel-tol",
+        "0.25",
+    ]);
+    assert_eq!(exit_code(&out), 0);
+}
+
+#[test]
+fn malformed_baseline_is_a_usage_error() {
+    let out = run_gate(&[&fixture("malformed.json"), &fixture("baseline.json")]);
+    assert_eq!(exit_code(&out), 2);
+    // Both operand orders are usage errors, as is a missing file.
+    let out = run_gate(&[&fixture("baseline.json"), &fixture("malformed.json")]);
+    assert_eq!(exit_code(&out), 2);
+    let out = run_gate(&[&fixture("baseline.json"), &fixture("no_such_file.json")]);
+    assert_eq!(exit_code(&out), 2);
+    let out = run_gate(&[&fixture("baseline.json")]);
+    assert_eq!(exit_code(&out), 2);
+}
+
+#[test]
+fn report_is_byte_deterministic_and_mirrored_to_file() {
+    let report_path = std::env::temp_dir().join("cnnre_perf_gate_test_report.txt");
+    let args = [
+        fixture("baseline.json"),
+        fixture("regressed.json"),
+        "--report".to_string(),
+        report_path.display().to_string(),
+    ];
+    let args: Vec<&str> = args.iter().map(String::as_str).collect();
+    let first = run_gate(&args);
+    let on_disk = std::fs::read(&report_path).expect("--report wrote the report");
+    let second = run_gate(&args);
+    let _ = std::fs::remove_file(&report_path);
+    assert_eq!(first.stdout, second.stdout, "report must be deterministic");
+    assert_eq!(first.stdout, on_disk, "file copy must match stdout");
+}

@@ -244,6 +244,7 @@ pub fn enumerate_structures(
     classes: usize,
     cfg: &NetworkSolverConfig,
 ) -> Result<Vec<CandidateStructure>, SolveError> {
+    let _span = cnnre_obs::span("chain");
     let mut out = Vec::new();
     let mut choices: Vec<NodeChoice> = Vec::with_capacity(net.nodes.len());
     let mut ifaces: Vec<(usize, usize)> = Vec::with_capacity(net.nodes.len());
@@ -273,18 +274,29 @@ pub fn enumerate_structures(
 /// quantity — the number of distinct surviving candidates per layer
 /// (`solver.candidates_per_layer`, one series entry per observed node).
 fn record_enumeration_metrics(net: &ObservedNetwork, out: &[CandidateStructure], branches: u64) {
-    if cnnre_obs::enabled() {
+    let metrics = cnnre_obs::enabled();
+    let profiling = cnnre_obs::profile::enabled();
+    if metrics {
         let reg = cnnre_obs::global();
         reg.counter("solver.chain.recursion_branches").add(branches);
         reg.counter("solver.chain.structures_surviving")
             .add(out.len() as u64);
-        let per_layer = reg.series("solver.candidates_per_layer");
+    }
+    if metrics || profiling {
         for node in 0..net.nodes.len() {
             // lint:allow(hash-iter): count-only use (len()); iteration order
             // is never observed
             let distinct: std::collections::HashSet<NodeChoice> =
                 out.iter().map(|s| s.choices[node]).collect();
-            per_layer.push(distinct.len() as f64);
+            if metrics {
+                cnnre_obs::series("solver.candidates_per_layer").push(distinct.len() as f64);
+            }
+            // Attack-progress telemetry on the profile timeline: one sample
+            // per observed layer, in layer order.
+            cnnre_obs::profile::count(
+                "solver.progress.candidates_per_layer",
+                distinct.len() as f64,
+            );
         }
     }
     cnnre_obs::log_info!(
@@ -400,27 +412,44 @@ fn recurse(
                     (w, node.sources.iter().map(|&s| ifaces[s].1).sum())
                 }
             };
-            let convs = solve_conv_layer(&obs, &[iface], &cfg.layer);
-            for p in convs {
-                choices.push(NodeChoice::Conv(p));
-                ifaces.push((p.w_ofm, p.d_ofm));
-                recurse(
-                    net,
-                    input,
-                    classes,
-                    cfg,
-                    choices,
-                    ifaces,
-                    out,
-                    deepest_fail,
-                    branches,
-                )?;
-                choices.pop();
-                ifaces.pop();
-            }
-            for fc in solve_fc_layer(&obs, &[iface], &cfg.layer) {
-                choices.push(NodeChoice::Fc(fc));
-                ifaces.push((1, fc.out_features));
+            let mut cands: Vec<(NodeChoice, (usize, usize))> =
+                solve_conv_layer(&obs, &[iface], &cfg.layer)
+                    .into_iter()
+                    .map(|p| (NodeChoice::Conv(p), (p.w_ofm, p.d_ofm)))
+                    .collect();
+            cands.extend(
+                solve_fc_layer(&obs, &[iface], &cfg.layer)
+                    .into_iter()
+                    .map(|fc| (NodeChoice::Fc(fc), (1, fc.out_features))),
+            );
+            // Enumeration-progress telemetry at the first compute layer:
+            // each top-level candidate roots an independent subtree, so
+            // "% of roots consumed" plus "branches per finished root ×
+            // roots left" is the best available ETA.
+            let top = cnnre_obs::profile::enabled()
+                && net
+                    .nodes
+                    .iter()
+                    .position(|n| matches!(n.kind, ObservedKind::Compute(_)))
+                    == Some(i);
+            let total = cands.len();
+            let entry_branches = *branches;
+            for (k, (choice, out_iface)) in cands.into_iter().enumerate() {
+                if top {
+                    cnnre_obs::profile::count(
+                        "solver.progress.root_pct",
+                        100.0 * k as f64 / total.max(1) as f64,
+                    );
+                    if k > 0 {
+                        let per_root = (*branches - entry_branches) as f64 / k as f64;
+                        cnnre_obs::profile::count(
+                            "solver.progress.eta_branches",
+                            per_root * (total - k) as f64,
+                        );
+                    }
+                }
+                choices.push(choice);
+                ifaces.push(out_iface);
                 recurse(
                     net,
                     input,

@@ -702,6 +702,9 @@ pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) ->
                     );
                     filters[d].set(c, i, j, ratio);
                 }
+                // Query-budget telemetry: one timeline sample per target
+                // weight, showing the binary search's consumption rate.
+                cnnre_obs::profile::count("oracle.progress.queries", oracle.query_count() as f64);
             }
         }
     }

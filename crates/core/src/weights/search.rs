@@ -80,6 +80,7 @@ pub fn find_crossings(mut count: impl FnMut(f32) -> u64, cfg: &SearchConfig) -> 
         xs.push(f64::from(cfg.x_min) * ratio.powi(i as i32));
     }
 
+    let span = cnnre_obs::span("search");
     let counts: Vec<u64> = xs.iter().map(|&x| count(x as f32)).collect();
     let mut crossings = Vec::new();
     let mut steps = 0u64;
@@ -96,6 +97,7 @@ pub fn find_crossings(mut count: impl FnMut(f32) -> u64, cfg: &SearchConfig) -> 
             &mut steps,
         );
     }
+    drop(span);
     if cnnre_obs::enabled() {
         let reg = cnnre_obs::global();
         reg.counter("weights.search.grid_probes")

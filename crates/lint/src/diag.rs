@@ -21,19 +21,23 @@ pub enum Rule {
     AtomicOrdering,
     /// `==` / `!=` applied to a float expression outside test code.
     FloatEq,
+    /// Metric-name literal passed to an `obs` recording call that violates
+    /// the documented schema (DESIGN.md §10).
+    MetricName,
     /// Malformed or unknown `lint:allow` suppression directive.
     AllowSyntax,
 }
 
 impl Rule {
     /// All rules, in severity/report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 8] = [
         Rule::Wallclock,
         Rule::HashIter,
         Rule::Panic,
         Rule::Cast,
         Rule::AtomicOrdering,
         Rule::FloatEq,
+        Rule::MetricName,
         Rule::AllowSyntax,
     ];
 
@@ -47,6 +51,7 @@ impl Rule {
             Rule::Cast => "cast",
             Rule::AtomicOrdering => "atomic-ordering",
             Rule::FloatEq => "float-eq",
+            Rule::MetricName => "metric-name",
             Rule::AllowSyntax => "allow-syntax",
         }
     }
@@ -78,6 +83,11 @@ impl Rule {
             Rule::FloatEq => {
                 "no ==/!= on float expressions outside test code; use \
                  total_cmp, an epsilon compare, or justify exactness"
+            }
+            Rule::MetricName => {
+                "string literals passed to obs::counter/gauge/histogram/\
+                 series/span must match the metric schema: lowercase dotted \
+                 path, known subsystem prefix, `_ns` only as `.wall_ns`"
             }
             Rule::AllowSyntax => {
                 "lint:allow directives must name a known rule and give a \

@@ -9,8 +9,32 @@ use crate::source::SourceFile;
 
 /// Wall-clock reads are permitted only here: `obs::span` measures wall
 /// time by design (and tags it `wall_ns` so deterministic exports drop
-/// it), and the bench harness exists to measure wall time.
-const WALLCLOCK_ALLOWED: [&str; 2] = ["crates/obs/src/span.rs", "crates/obs/src/bench.rs"];
+/// it), the profile recorder timestamps events against one process epoch,
+/// and the bench harness exists to measure wall time.
+const WALLCLOCK_ALLOWED: [&str; 3] = [
+    "crates/obs/src/span.rs",
+    "crates/obs/src/bench.rs",
+    "crates/obs/src/profile.rs",
+];
+
+/// Obs recording calls whose first argument is a full metric name subject
+/// to the DESIGN.md §10 schema. `count` is `obs::profile::count`, the
+/// timeline-sample emitter.
+const METRIC_CALLS: [&str; 5] = ["counter", "gauge", "histogram", "series", "count"];
+
+/// Obs span constructors whose first argument is a *path fragment*: the
+/// exported metric becomes `span.<path>.cycles` / `.calls` / `.wall_ns`,
+/// so the fragment needs well-formed segments but no subsystem prefix.
+const SPAN_CALLS: [&str; 2] = ["span", "span_labelled"];
+
+/// Known subsystem prefixes (first segment of a full metric name). Mirror
+/// of `cnnre_obs::catalog::KNOWN_PREFIXES` — the lint crate is
+/// zero-dependency, so the list is duplicated and the root
+/// `tests/metric_catalog.rs` drift test keeps the two in lock-step.
+pub const METRIC_PREFIXES: [&str; 12] = [
+    "accel", "trace", "solver", "oracle", "weights", "attack", "train", "bench", "span", "profile",
+    "fig4", "fig5",
+];
 
 /// Crates whose `src/` trees are deterministic attack paths: their exports
 /// (`--metrics` snapshots, candidate enumerations, trace segmentations)
@@ -98,6 +122,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
         check_cast(file, &code, &mut out);
         check_atomic_ordering(file, &code, &mut out);
         check_float_eq(file, &code, &mut out);
+        check_metric_name(file, &code, &mut out);
     }
     check_allow_directives(file, &mut out);
     out
@@ -384,6 +409,96 @@ fn is_float_literal(text: &str) -> bool {
     false
 }
 
+/// Flags string literals passed to the obs recording calls
+/// ([`METRIC_CALLS`], [`SPAN_CALLS`]) that violate the metric-name schema
+/// (DESIGN.md §10): lowercase `[a-z0-9_]` dotted segments, a known
+/// subsystem prefix for full names, and `_ns` endings spelled exactly
+/// `.wall_ns`. A malformed literal silently forks the metric namespace —
+/// the catalogue, the `--list-metrics` table, and the perf-gate baselines
+/// all key on exact names.
+fn check_metric_name(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+    for w in windows4(code) {
+        let [a, b, c, d] = w;
+        let callee = file.tokens[b].text.as_str();
+        let is_metric = METRIC_CALLS.contains(&callee);
+        let is_span = SPAN_CALLS.contains(&callee);
+        if !(is_metric || is_span) {
+            continue;
+        }
+        // Method/path position only (`obs::counter(` / `.count(`), so
+        // local free functions that happen to share a name don't fire.
+        let qualifier = file.tokens[a].text.as_str();
+        if !(qualifier == ":" || qualifier == ".")
+            || file.tokens[c].text != "("
+            || file.tokens[d].kind != crate::lexer::TokKind::Str
+            || file.in_test_code(b)
+        {
+            continue;
+        }
+        // Cooked plain string literals only; raw/byte forms don't occur at
+        // recording sites and are skipped rather than mis-sliced.
+        let Some(name) = file.tokens[d]
+            .text
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+        else {
+            continue;
+        };
+        let problem = if is_span {
+            span_fragment_problem(name)
+        } else {
+            metric_name_problem(name)
+        };
+        if let Some(why) = problem {
+            push(
+                out,
+                file,
+                Rule::MetricName,
+                file.tokens[d].line,
+                format!("`\"{name}\"` passed to `{callee}` {why}; see DESIGN.md §10"),
+            );
+        }
+    }
+}
+
+/// Why `name` fails the full metric-name schema, or `None` if it passes.
+fn metric_name_problem(name: &str) -> Option<&'static str> {
+    let segments: Vec<&str> = name.split('.').collect();
+    if segments.len() < 2 {
+        return Some("must be a dotted path with at least two segments");
+    }
+    if !segments.iter().all(|s| segment_ok(s)) {
+        return Some("has a segment outside lowercase [a-z0-9_]");
+    }
+    if !METRIC_PREFIXES.contains(&segments[0]) {
+        return Some("starts with an unknown subsystem prefix");
+    }
+    if name.ends_with("_ns") && !name.ends_with(".wall_ns") {
+        return Some("carries wall-clock time but does not end in `.wall_ns`");
+    }
+    None
+}
+
+/// Why `name` fails as a span-path fragment, or `None` if it passes. Span
+/// fragments need no subsystem prefix (the exporter prepends `span.`), but
+/// their segments follow the same character set, and they must not claim a
+/// `_ns` suffix — the span machinery appends `.wall_ns` itself.
+fn span_fragment_problem(name: &str) -> Option<&'static str> {
+    if name.is_empty() || !name.split('.').all(segment_ok) {
+        return Some("is not a dotted path of lowercase [a-z0-9_] segments");
+    }
+    if name.ends_with("_ns") {
+        return Some("must not end in `_ns` (the span exporter appends `.wall_ns` itself)");
+    }
+    None
+}
+
+fn segment_ok(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
 /// Validates every `lint:allow` directive in the file: the rule must exist
 /// and the reason must be non-empty. This is what keeps suppression
 /// auditable rather than a silent escape hatch.
@@ -619,6 +734,86 @@ mod tests {
         // An allow directive suppresses it.
         let src = "fn f(x: f32) -> bool { x == 0.0 } // lint:allow(float-eq): exact sentinel";
         assert!(diags("crates/nn/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn metric_name_flags_schema_violations() {
+        // Unknown prefix.
+        let d = diags(
+            "crates/core/src/x.rs",
+            "fn f() { cnnre_obs::counter(\"mystery.queries\").inc(); }",
+        );
+        assert_eq!(rules_of(&d), [Rule::MetricName]);
+        // Single segment.
+        let d = diags(
+            "crates/core/src/x.rs",
+            "fn f() { cnnre_obs::series(\"candidates\").push(1.0); }",
+        );
+        assert_eq!(rules_of(&d), [Rule::MetricName]);
+        // Uppercase / illegal characters.
+        let d = diags(
+            "crates/core/src/x.rs",
+            "fn f() { cnnre_obs::gauge(\"solver.Candidates\").set(1.0); }",
+        );
+        assert_eq!(rules_of(&d), [Rule::MetricName]);
+        // `_ns` spelled wrong.
+        let d = diags(
+            "crates/core/src/x.rs",
+            "fn f() { cnnre_obs::histogram(\"trace.segment_ns\").record(1.0); }",
+        );
+        assert_eq!(rules_of(&d), [Rule::MetricName]);
+        // profile::count takes full names too.
+        let d = diags(
+            "crates/core/src/x.rs",
+            "fn f() { cnnre_obs::profile::count(\"progress\", 1.0); }",
+        );
+        assert_eq!(rules_of(&d), [Rule::MetricName]);
+    }
+
+    #[test]
+    fn metric_name_accepts_catalogue_names_and_span_fragments() {
+        let src = "fn f() {\n\
+                   cnnre_obs::counter(\"oracle.queries\").inc();\n\
+                   cnnre_obs::series(\"solver.candidates_per_layer\").push(1.0);\n\
+                   cnnre_obs::profile::count(\"solver.progress.root_pct\", 0.0);\n\
+                   let _s = cnnre_obs::span(\"plan\");\n\
+                   let _t = cnnre_obs::span(\"trace.segment\");\n\
+                   let _u = cnnre_obs::span_labelled(\"stage\", \"conv1\");\n\
+                   }";
+        assert!(diags("crates/core/src/x.rs", src).is_empty());
+        // Span fragments still need well-formed segments and no `_ns`.
+        let d = diags(
+            "crates/core/src/x.rs",
+            "fn f() { let _s = cnnre_obs::span(\"Plan A\"); }",
+        );
+        assert_eq!(rules_of(&d), [Rule::MetricName]);
+        let d = diags(
+            "crates/core/src/x.rs",
+            "fn f() { let _s = cnnre_obs::span(\"stage_ns\"); }",
+        );
+        assert_eq!(rules_of(&d), [Rule::MetricName]);
+    }
+
+    #[test]
+    fn metric_name_spares_free_functions_tests_and_non_literals() {
+        // A free function named `counter` is not an obs call.
+        let src = "fn f() { counter(\"whatever\"); }";
+        assert!(diags("crates/core/src/x.rs", src).is_empty());
+        // Iterator `.count()` takes no string.
+        let src = "fn f(v: &[u8]) -> usize { v.iter().count() }";
+        assert!(diags("crates/core/src/x.rs", src).is_empty());
+        // Dynamic names can't be checked statically.
+        let src = "fn f(n: &str) { cnnre_obs::counter(n).inc(); }";
+        assert!(diags("crates/core/src/x.rs", src).is_empty());
+        // Test code is exempt; test trees get the relaxed set.
+        let src = "#[cfg(test)]\nmod t { fn g() { cnnre_obs::counter(\"x\").inc(); } }";
+        assert!(diags("crates/core/src/x.rs", src).is_empty());
+        let src = "fn f() { cnnre_obs::counter(\"x\").inc(); }";
+        assert!(diags("crates/core/tests/t.rs", src).is_empty());
+        // An allow directive suppresses it.
+        let src = "fn f() { cnnre_obs::counter(\"x\").inc(); } \
+                   // lint:allow(metric-name): probe metric for a spike";
+        assert!(diags("crates/core/src/x.rs", src).is_empty());
     }
 
     #[test]

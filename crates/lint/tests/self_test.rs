@@ -75,6 +75,19 @@ fn float_eq_fixture_reports_literal_and_cast_not_ordering() {
 }
 
 #[test]
+fn metric_name_fixture_reports_each_malformed_literal() {
+    assert_eq!(
+        lint_fixture("metric_name"),
+        [
+            Rule::MetricName,
+            Rule::MetricName,
+            Rule::MetricName,
+            Rule::MetricName
+        ]
+    );
+}
+
+#[test]
 fn clean_fixture_reports_nothing() {
     assert_eq!(lint_fixture("clean"), []);
 }
@@ -117,6 +130,7 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
         "atomic",
         "allow_syntax",
         "float_eq",
+        "metric_name",
     ] {
         let root = fixture(name);
         let out = run_binary(&["--root", &root.display().to_string()]);

@@ -57,9 +57,11 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod catalog;
 pub mod export;
 mod json;
 pub mod log;
+pub mod profile;
 mod registry;
 pub mod span;
 
@@ -122,4 +124,13 @@ pub fn series(name: &str) -> Series {
 #[must_use]
 pub fn span(name: &str) -> SpanGuard {
     SpanGuard::enter(name)
+}
+
+/// Opens a span whose profile-timeline display name is `label` while its
+/// metric path stays `name` — per-instance names (layer names, pass
+/// numbers) without unbounded metric cardinality. See
+/// [`SpanGuard::enter_labelled`].
+#[must_use]
+pub fn span_labelled(name: &str, label: &str) -> SpanGuard {
+    SpanGuard::enter_labelled(name, label)
 }

@@ -12,6 +12,10 @@
 //! * `span.<path>.cycles` — counter, summed *simulated* accelerator
 //!   cycles, if any were attached with [`SpanGuard::add_cycles`].
 //!
+//! When profiling is also enabled ([`crate::profile::set_enabled`]), each
+//! span additionally appends begin/end events — the full timeline, not
+//! just the aggregate — to the profile ring buffer (see [`crate::profile`]).
+//!
 //! ```
 //! use cnnre_obs as obs;
 //! obs::set_enabled(true);
@@ -46,6 +50,19 @@ impl SpanGuard {
     /// guard is created but records nothing on drop.
     #[must_use]
     pub fn enter(name: &str) -> Self {
+        Self::enter_inner(name, None)
+    }
+
+    /// Like [`SpanGuard::enter`], but attaches a per-instance display
+    /// label to the profile timeline (e.g. the layer name) while keeping
+    /// the metric path fixed — so metric cardinality stays bounded and
+    /// the Perfetto track still names each occurrence.
+    #[must_use]
+    pub fn enter_labelled(name: &str, label: &str) -> Self {
+        Self::enter_inner(name, Some(label))
+    }
+
+    fn enter_inner(name: &str, label: Option<&str>) -> Self {
         let path = if crate::enabled() {
             SPAN_STACK.with(|s| {
                 let mut stack = s.borrow_mut();
@@ -59,11 +76,15 @@ impl SpanGuard {
         } else {
             String::new()
         };
+        let live = crate::enabled();
+        if live {
+            crate::profile::record_begin(&path, label);
+        }
         Self {
             path,
             start: Instant::now(),
             cycles: 0,
-            live: crate::enabled(),
+            live,
         }
     }
 
@@ -96,6 +117,7 @@ impl Drop for SpanGuard {
                 stack.remove(pos);
             }
         });
+        crate::profile::record_end(&self.path, self.cycles);
         let reg = crate::global();
         reg.counter(&format!("span.{}.calls", self.path)).inc();
         reg.counter(&format!("span.{}.wall_ns", self.path))

@@ -184,6 +184,8 @@ pub fn segment_trace(trace: &Trace) -> Vec<Segment> {
 /// feed it corrupted traces.
 #[must_use]
 pub fn segment_trace_with(trace: &Trace, config: SegmentConfig) -> Vec<Segment> {
+    let mut span = cnnre_obs::span("trace.segment");
+    span.add_cycles(trace.duration());
     let mut segmenter = StreamingSegmenter::new(trace.block_bytes(), config);
     let mut segments: Vec<Segment> = trace
         .events()

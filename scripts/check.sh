@@ -6,6 +6,10 @@
 #
 # Report paths are configurable (both default to the repository root):
 #   LINT_REPORT=/tmp/lint.json AUDIT_REPORT=/tmp/audit.json scripts/check.sh
+#
+# Set PERF_GATE=1 to also run the perf-regression gate (scripts/
+# perf_gate.sh: regenerates the fig3/fig7/table3 BENCH snapshots and
+# diffs them against tests/golden/bench_baseline/ — adds ~1-2 minutes).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,5 +33,10 @@ cargo run --quiet -p cnnre-audit -- trace tests/golden/lenet_trace.csv \
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
+
+if [[ "${PERF_GATE:-0}" != "0" ]]; then
+    echo "==> perf gate (opt-in via PERF_GATE=1)"
+    scripts/perf_gate.sh
+fi
 
 echo "All checks passed."

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Perf-regression gate: regenerate the BENCH snapshots for the gated
+# experiments (fig3, fig7, table3) and diff each against its committed
+# baseline under tests/golden/bench_baseline/.
+#
+# Usage: scripts/perf_gate.sh
+#
+# Exit codes: 0 clean, 1 at least one regression, 2 usage/malformed input.
+# Snapshots and reports land in $PERF_GATE_DIR (default: a temp directory);
+# cycle-domain metrics are gated strictly (default 1% relative tolerance,
+# override with PERF_GATE_REL_TOL), wall-ns metrics are advisory only.
+# To refresh baselines after an intentional perf change, see EXPERIMENTS.md
+# ("Regenerating the perf baselines").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+EXPERIMENTS=(fig3 fig7 table3)
+BASELINE_DIR="tests/golden/bench_baseline"
+PERF_GATE_DIR="${PERF_GATE_DIR:-$(mktemp -d)}"
+PERF_GATE_REL_TOL="${PERF_GATE_REL_TOL:-0.01}"
+
+echo "==> building release bench binaries"
+cargo build --release -p cnnre-bench --bins
+
+status=0
+for exp in "${EXPERIMENTS[@]}"; do
+    baseline="$BASELINE_DIR/BENCH_$exp.json"
+    current="$PERF_GATE_DIR/BENCH_$exp.json"
+    report="$PERF_GATE_DIR/perf_gate_$exp.txt"
+    if [[ ! -f "$baseline" ]]; then
+        echo "perf gate: missing baseline $baseline" >&2
+        exit 2
+    fi
+    echo "==> $exp: regenerating snapshot"
+    "./target/release/$exp" --out "$current" >/dev/null
+    echo "==> $exp: diffing against $baseline"
+    set +e
+    ./target/release/perf_gate "$baseline" "$current" \
+        --rel-tol "$PERF_GATE_REL_TOL" --report "$report"
+    code=$?
+    set -e
+    if [[ $code -eq 2 ]]; then
+        exit 2
+    elif [[ $code -ne 0 ]]; then
+        status=1
+    fi
+done
+
+if [[ $status -eq 0 ]]; then
+    echo "perf gate: all experiments within tolerance."
+else
+    echo "perf gate: regressions detected (reports in $PERF_GATE_DIR)." >&2
+fi
+exit $status

@@ -31,8 +31,20 @@ use cnnre_tensor::rng::{Rng, SeedableRng};
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Global flags, accepted by every subcommand and stripped before
-    // dispatch. `--metrics` turns the otherwise-free instrumentation on.
+    // dispatch. `--metrics` turns the otherwise-free instrumentation on;
+    // `--profile-out` additionally records the full span-tree timeline.
     let metrics_path = take_flag_value(&mut args, "--metrics");
+    let profile_path = take_flag_value(&mut args, "--profile-out");
+    let profile_clock = match take_flag_value(&mut args, "--profile-clock") {
+        Some(v) => match cnnre_obs::profile::ClockDomain::parse(&v) {
+            Some(c) => c,
+            None => {
+                eprintln!("unknown profile clock '{v}' (wall|cycles|both)");
+                std::process::exit(2);
+            }
+        },
+        None => cnnre_obs::profile::ClockDomain::Both,
+    };
     if let Some(level) = take_flag_value(&mut args, "--log-level") {
         match cnnre_obs::log::Level::parse(&level) {
             Some(Some(l)) => cnnre_obs::log::set_level(l),
@@ -43,15 +55,23 @@ fn main() {
             }
         }
     }
-    if metrics_path.is_some() {
+    if metrics_path.is_some() || profile_path.is_some() {
         cnnre_obs::set_enabled(true);
+    }
+    if profile_path.is_some() {
+        cnnre_obs::profile::set_enabled(true);
     }
     let code = match args.first().map(String::as_str) {
         Some("trace") => cmd_trace(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
-        Some("attack-structure") => cmd_attack_structure(&args[1..]),
+        // `attack` is the short alias for the headline structure attack.
+        Some("attack" | "attack-structure") => cmd_attack_structure(&args[1..]),
         Some("attack-weights") => cmd_attack_weights(&args[1..]),
         Some("defend") => cmd_defend(&args[1..]),
+        Some("--list-metrics" | "list-metrics") => {
+            print!("{}", cnnre_obs::catalog::render_table());
+            0
+        }
         Some("help") | None => {
             print_usage();
             0
@@ -62,6 +82,27 @@ fn main() {
             2
         }
     };
+    if let Some(path) = profile_path {
+        // The timeline export: Chrome Trace Event JSON by default, folded
+        // flamegraph stacks when the path says so. The cycle-domain track
+        // is synthesized from attached cycles, so it is byte-deterministic
+        // across identical seeded runs; the wall track is not.
+        let dropped = cnnre_obs::profile::dropped();
+        let events = cnnre_obs::profile::take();
+        let rendered = if path.ends_with(".folded") || path.ends_with(".txt") {
+            cnnre_obs::profile::folded_stacks(&events, profile_clock)
+        } else {
+            cnnre_obs::profile::chrome_trace(&events, profile_clock)
+        };
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("cannot write profile to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "profile written to {path} ({} events, {dropped} dropped)",
+            events.len()
+        );
+    }
     if let Some(path) = metrics_path {
         // Deterministic export: wall-clock metrics are excluded so two
         // identical seeded runs write byte-identical files.
@@ -93,11 +134,16 @@ fn print_usage() {
         "cnnre — reverse engineering CNNs through memory side channels (DAC'18 reproduction)\n\n\
          USAGE:\n  cnnre trace <model> [--csv FILE] [--stats]\n  \
          cnnre analyze <trace-file> [--input WxC] [--classes N] [--stats] [--layers]\n  \
-         cnnre attack-structure <model>\n  \
-         cnnre attack-weights [--filters N] [--via-trace]\n  cnnre defend <model>\n\n\
+         cnnre attack-structure <model>      (alias: cnnre attack <model>)\n  \
+         cnnre attack-weights [--filters N] [--via-trace]\n  cnnre defend <model>\n  \
+         cnnre --list-metrics\n\n\
          GLOBAL FLAGS:\n  \
-         --metrics FILE     enable instrumentation, write a metrics snapshot (JSON)\n  \
-         --log-level LEVEL  stderr verbosity: error|warn|info|debug|trace|off\n                     \
+         --metrics FILE       enable instrumentation, write a metrics snapshot (JSON)\n  \
+         --profile-out FILE   record the span-tree timeline; writes Chrome Trace JSON\n                       \
+         (open in ui.perfetto.dev), or folded flamegraph stacks\n                       \
+         when FILE ends in .folded/.txt\n  \
+         --profile-clock C    timeline clock domain: wall|cycles|both (default both)\n  \
+         --log-level LEVEL    stderr verbosity: error|warn|info|debug|trace|off\n                       \
          (also settable via the CNNRE_LOG environment variable)\n\n\
          MODELS: lenet | convnet | alexnet | squeezenet | vgg11 | vgg16 | resnet | inception\n        \
          (append /DIV for depth-scaled variants, e.g. alexnet/8)"

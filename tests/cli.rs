@@ -294,3 +294,111 @@ fn debug_logging_goes_to_stderr_without_corrupting_stdout() {
         .expect("runs");
     assert_eq!(bad.status.code(), Some(2));
 }
+
+#[test]
+fn list_metrics_prints_the_catalogue() {
+    let out = cnnre().arg("--list-metrics").output().expect("runs");
+    assert!(out.status.success());
+    let text = stdout_of(&out);
+    // Spot-check one entry per family plus the drop-accounting metric.
+    for needle in [
+        "oracle.queries",
+        "solver.candidates_per_layer",
+        "span.<path>.cycles",
+        "profile.events.dropped",
+    ] {
+        assert!(text.contains(needle), "catalogue missing {needle}");
+    }
+}
+
+#[test]
+fn profile_out_writes_deterministic_cycle_domain_chrome_trace() {
+    let dir = std::env::temp_dir().join("cnnre-cli-profile-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let a = dir.join("profile-a.json");
+    let b = dir.join("profile-b.json");
+
+    for (i, path) in [&a, &b].into_iter().enumerate() {
+        // First run via the `attack` alias, second via the full name:
+        // both must dispatch to the same profiled pipeline.
+        let cmd = if i == 0 { "attack" } else { "attack-structure" };
+        let out = cnnre()
+            .args([
+                cmd,
+                "lenet",
+                "--profile-out",
+                path.to_str().expect("utf-8"),
+                "--profile-clock",
+                "cycles",
+            ])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("profile written"), "got: {stderr}");
+    }
+    let first = std::fs::read_to_string(&a).expect("first profile");
+    let second = std::fs::read_to_string(&b).expect("second profile");
+    assert_eq!(
+        first, second,
+        "cycle-domain profiles of identical seeded runs must be byte-identical"
+    );
+    // Valid Chrome Trace shape: event array, span + counter + metadata
+    // phases, the cycle track, and a labelled stage slice.
+    assert!(first.starts_with("{\"traceEvents\":["));
+    assert!(first.trim_end().ends_with("]}"));
+    for needle in [
+        "\"ph\":\"X\"",
+        "\"ph\":\"C\"",
+        "\"ph\":\"M\"",
+        "simulated accelerator cycles",
+        "\"conv1\"",
+        "solver.progress.candidates_per_layer",
+    ] {
+        assert!(first.contains(needle), "profile missing {needle}");
+    }
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
+#[test]
+fn profile_out_folded_extension_writes_flamegraph_stacks() {
+    let dir = std::env::temp_dir().join("cnnre-cli-profile-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("profile.folded");
+    let out = cnnre()
+        .args([
+            "attack",
+            "lenet",
+            "--profile-out",
+            path.to_str().expect("utf-8"),
+            "--profile-clock",
+            "cycles",
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let folded = std::fs::read_to_string(&path).expect("folded stacks");
+    // stackcollapse format: `root;child;leaf <value>` lines.
+    assert!(
+        folded.lines().all(|l| l
+            .rsplit_once(' ')
+            .is_some_and(|(_, v)| v.parse::<u64>().is_ok())),
+        "got: {folded}"
+    );
+    assert!(folded.contains(";"), "got: {folded}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn profile_clock_rejects_unknown_domain() {
+    let out = cnnre()
+        .args(["attack", "lenet", "--profile-clock", "lunar"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,57 @@
+//! Drift gates for the metric catalogue (`cnnre_obs::catalog`):
+//!
+//! * every row of the catalogue's markdown rendering must appear verbatim
+//!   in DESIGN.md §10 — the docs and `cnnre --list-metrics` share one
+//!   static table, so adding a metric without documenting it fails here;
+//! * the lint crate's duplicated prefix list (`cnnre-lint` is
+//!   zero-dependency and cannot import the catalogue) must stay in
+//!   lock-step with [`cnnre_obs::catalog::KNOWN_PREFIXES`];
+//! * every catalogued name must satisfy the schema the `metric-name` lint
+//!   rule enforces on recording call sites.
+
+use cnnre_obs::catalog;
+
+fn design_md() -> String {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("DESIGN.md");
+    std::fs::read_to_string(path).expect("DESIGN.md readable")
+}
+
+#[test]
+fn design_md_contains_every_catalogue_row() {
+    let doc = design_md();
+    let table = catalog::render_markdown();
+    for row in table.lines() {
+        assert!(
+            doc.contains(row),
+            "DESIGN.md §10 is missing the catalogue row:\n  {row}\n\
+             paste the full output of cnnre_obs::catalog::render_markdown()"
+        );
+    }
+}
+
+#[test]
+fn lint_prefix_list_matches_the_catalogue() {
+    assert_eq!(
+        cnnre_lint::rules::METRIC_PREFIXES.as_slice(),
+        catalog::KNOWN_PREFIXES,
+        "cnnre-lint duplicates KNOWN_PREFIXES (it is zero-dependency); \
+         update crates/lint/src/rules.rs::METRIC_PREFIXES"
+    );
+}
+
+#[test]
+fn every_catalogued_name_passes_the_schema() {
+    for def in catalog::METRICS {
+        assert!(
+            catalog::valid_metric_name(def.name),
+            "catalogue entry violates its own schema: {}",
+            def.name
+        );
+    }
+}
+
+#[test]
+#[ignore = "prints the markdown table for pasting into DESIGN.md §10"]
+fn print_markdown_table() {
+    print!("{}", catalog::render_markdown());
+}
