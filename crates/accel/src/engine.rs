@@ -153,6 +153,7 @@ impl Accelerator {
     /// Panics when `input` does not match the network input shape.
     pub fn run(&self, net: &Network, input: &Tensor3) -> Result<Execution, ScheduleError> {
         let mut span = cnnre_obs::span("accel.run");
+        cnnre_obs::stream::start_run("accel.run");
         let schedule = Schedule::plan(net, &self.config)?;
         let acts = net.forward_all(input);
         let mut runner = Runner::new(net, &self.config, &schedule, Some(&acts));
@@ -184,6 +185,7 @@ impl Accelerator {
             ));
         }
         let mut span = cnnre_obs::span("accel.run_trace_only");
+        cnnre_obs::stream::start_run("accel.run_trace_only");
         let schedule = Schedule::plan(net, &self.config)?;
         let mut runner = Runner::new(net, &self.config, &schedule, None);
         runner.execute();
@@ -211,6 +213,9 @@ impl Accelerator {
 #[cfg(feature = "audit-hooks")]
 pub fn audit_finished_trace(trace: &cnnre_trace::Trace) {
     use cnnre_trace::audit;
+    // The sanitizer re-runs segmentation; suppress its telemetry so the
+    // attack's own event stream sees each layer boundary exactly once.
+    let _quiet = cnnre_obs::stream::suppress();
     // Asserts T001/T010-T012 internally via the trace-side hook.
     let segments = cnnre_trace::segment::segment_trace(trace);
     let mut violations = audit::audit_alignment(trace);

@@ -1,0 +1,304 @@
+//! `E…` codes — invariants of the live attack-telemetry event stream
+//! (`cnnre_obs::stream`).
+//!
+//! A recorded `.evt` stream is a claim about how the attack unfolded; the
+//! checks here cross-examine it for internal consistency and, when
+//! companion artifacts are supplied, against them:
+//!
+//! * **E001** — cycle stamps are non-decreasing within each run (the
+//!   cycle domain resets at every `RunStarted` marker);
+//! * **E002** — sequence numbers are strictly increasing across the whole
+//!   stream (no reordered, duplicated, or dropped-then-respliced frames);
+//! * **E003** — `LayerBoundary` events agree with an independent
+//!   re-segmentation of the trace: same boundary count, and each
+//!   boundary's cycle stamp equals the next segment's first-event cycle;
+//! * **E004** — the final recovered-graph events (`GraphConv`/`GraphFc`)
+//!   match layer-for-layer the first chain of the candidate JSONL export.
+//!
+//! E003/E004 are skipped (with a note) when no trace / candidate file is
+//! supplied.
+
+use crate::geometry::{CandidateChain, CandidateLayer};
+use crate::report::AuditReport;
+use cnnre_obs::stream::{AttackEvent, EventPayload};
+use cnnre_trace::segment::segment_trace;
+use cnnre_trace::Trace;
+
+/// Audits a decoded event stream; `trace` and `chains` enable the E003 and
+/// E004 cross-checks respectively.
+#[must_use]
+pub fn events(
+    stream: &[AttackEvent],
+    trace: Option<&Trace>,
+    chains: Option<&[CandidateChain]>,
+) -> AuditReport {
+    let mut report = AuditReport::new("events");
+    report.items_examined = stream.len() as u64;
+
+    check_cycle_monotonicity(stream, &mut report);
+    check_seq_monotonicity(stream, &mut report);
+    match trace {
+        Some(t) => check_boundaries_against_trace(stream, t, &mut report),
+        None => report
+            .skipped
+            .push("E003 skipped: no trace supplied (--trace FILE)".to_string()),
+    }
+    match chains {
+        Some(c) => check_graph_against_candidates(stream, c, &mut report),
+        None => report
+            .skipped
+            .push("E004 skipped: no candidate set supplied (--candidates FILE)".to_string()),
+    }
+
+    report.finalize();
+    report
+}
+
+/// E001: cycles never move backwards inside a run.
+fn check_cycle_monotonicity(stream: &[AttackEvent], report: &mut AuditReport) {
+    let mut cursor: Option<u64> = None;
+    for (i, ev) in stream.iter().enumerate() {
+        if matches!(ev.payload, EventPayload::RunStarted { .. }) {
+            cursor = None;
+        }
+        if let Some(prev) = cursor {
+            if ev.cycle < prev {
+                report.push(
+                    "E001",
+                    format!("event {i}"),
+                    format!(
+                        "cycle stamp moved backwards within a run: {} after {prev} \
+                         (cycle domains only reset at RunStarted)",
+                        ev.cycle
+                    ),
+                );
+            }
+        }
+        cursor = Some(cursor.unwrap_or(0).max(ev.cycle));
+    }
+}
+
+/// E002: sequence numbers strictly increase over the whole stream.
+fn check_seq_monotonicity(stream: &[AttackEvent], report: &mut AuditReport) {
+    for (i, pair) in stream.windows(2).enumerate() {
+        if pair[1].seq <= pair[0].seq {
+            report.push(
+                "E002",
+                format!("event {}", i + 1),
+                format!(
+                    "sequence number not strictly increasing: {} after {} \
+                     (frames reordered, duplicated, or respliced)",
+                    pair[1].seq, pair[0].seq
+                ),
+            );
+        }
+    }
+}
+
+/// The `LayerBoundary` events of the last run that contains any.
+fn last_run_boundaries(stream: &[AttackEvent]) -> Vec<(u64, u64)> {
+    let mut runs: Vec<Vec<(u64, u64)>> = vec![Vec::new()];
+    for ev in stream {
+        match &ev.payload {
+            EventPayload::RunStarted { .. } => runs.push(Vec::new()),
+            EventPayload::LayerBoundary { index, .. } => {
+                if let Some(run) = runs.last_mut() {
+                    run.push((*index, ev.cycle));
+                }
+            }
+            _ => {}
+        }
+    }
+    runs.into_iter()
+        .rev()
+        .find(|r| !r.is_empty())
+        .unwrap_or_default()
+}
+
+/// E003: boundary events agree with an independent re-segmentation.
+fn check_boundaries_against_trace(stream: &[AttackEvent], trace: &Trace, report: &mut AuditReport) {
+    let boundaries = last_run_boundaries(stream);
+    if boundaries.is_empty() {
+        report
+            .skipped
+            .push("E003 skipped: the stream carries no LayerBoundary events".to_string());
+        return;
+    }
+    let segments = segment_trace(trace);
+    let expected = segments.len().saturating_sub(1);
+    if boundaries.len() != expected {
+        report.push(
+            "E003",
+            "boundary count",
+            format!(
+                "stream reports {} layer boundaries but re-segmentation finds {expected} \
+                 ({} segments)",
+                boundaries.len(),
+                segments.len()
+            ),
+        );
+    }
+    for &(index, cycle) in &boundaries {
+        let Some(seg) = segments.get(index as usize + 1) else {
+            report.push(
+                "E003",
+                format!("boundary {index}"),
+                format!(
+                    "boundary index out of range for the re-segmentation \
+                     ({} segments)",
+                    segments.len()
+                ),
+            );
+            continue;
+        };
+        if cycle != seg.start_cycle {
+            report.push(
+                "E003",
+                format!("boundary {index}"),
+                format!(
+                    "boundary cycle {cycle} disagrees with the re-segmented next \
+                     segment's first event at cycle {}",
+                    seg.start_cycle
+                ),
+            );
+        }
+    }
+}
+
+/// The `GraphConv`/`GraphFc` events of the last run that contains any.
+fn last_run_graph(stream: &[AttackEvent]) -> Vec<&EventPayload> {
+    let mut runs: Vec<Vec<&EventPayload>> = vec![Vec::new()];
+    for ev in stream {
+        match &ev.payload {
+            EventPayload::RunStarted { .. } => runs.push(Vec::new()),
+            p @ (EventPayload::GraphConv { .. } | EventPayload::GraphFc { .. }) => {
+                if let Some(run) = runs.last_mut() {
+                    run.push(p);
+                }
+            }
+            _ => {}
+        }
+    }
+    runs.into_iter()
+        .rev()
+        .find(|r| !r.is_empty())
+        .unwrap_or_default()
+}
+
+/// E004: recovered-graph events match the first candidate chain.
+fn check_graph_against_candidates(
+    stream: &[AttackEvent],
+    chains: &[CandidateChain],
+    report: &mut AuditReport,
+) {
+    let graph = last_run_graph(stream);
+    if graph.is_empty() {
+        report
+            .skipped
+            .push("E004 skipped: the stream carries no recovered-graph events".to_string());
+        return;
+    }
+    let Some(chain) = chains.first() else {
+        report
+            .skipped
+            .push("E004 skipped: the candidate set is empty".to_string());
+        return;
+    };
+    if graph.len() != chain.layers.len() {
+        report.push(
+            "E004",
+            "layer count",
+            format!(
+                "stream confirms {} layers but candidate chain 0 has {}",
+                graph.len(),
+                chain.layers.len()
+            ),
+        );
+    }
+    for (li, (ev, layer)) in graph.iter().zip(chain.layers.iter()).enumerate() {
+        match (ev, layer) {
+            (
+                EventPayload::GraphConv {
+                    w_ifm,
+                    d_ifm,
+                    w_ofm,
+                    d_ofm,
+                    f_conv,
+                    s_conv,
+                    p_conv,
+                    pool,
+                    ..
+                },
+                CandidateLayer::Conv { params, .. },
+            ) => {
+                let streamed = (*w_ifm, *d_ifm, *w_ofm, *d_ofm, *f_conv, *s_conv, *p_conv);
+                let expected = (
+                    params.w_ifm as u64,
+                    params.d_ifm as u64,
+                    params.w_ofm as u64,
+                    params.d_ofm as u64,
+                    params.f_conv as u64,
+                    params.s_conv as u64,
+                    params.p_conv as u64,
+                );
+                if streamed != expected {
+                    report.push(
+                        "E004",
+                        format!("layer {li}"),
+                        format!(
+                            "conv parameters disagree: stream {streamed:?} vs candidate \
+                             {expected:?} (w_ifm,d_ifm,w_ofm,d_ofm,f,s,p)"
+                        ),
+                    );
+                }
+                let expected_pool = params.pool.map(|q| (q.f as u64, q.s as u64, q.p as u64));
+                if *pool != expected_pool {
+                    report.push(
+                        "E004",
+                        format!("layer {li}"),
+                        format!(
+                            "pooling disagrees: stream {pool:?} vs candidate {expected_pool:?}"
+                        ),
+                    );
+                }
+            }
+            (
+                EventPayload::GraphFc {
+                    in_features,
+                    out_features,
+                    ..
+                },
+                CandidateLayer::Fc { params, .. },
+            ) if (*in_features, *out_features)
+                != (params.in_features as u64, params.out_features as u64) =>
+            {
+                report.push(
+                    "E004",
+                    format!("layer {li}"),
+                    format!(
+                        "fc features disagree: stream {in_features}->{out_features} vs \
+                         candidate {}->{}",
+                        params.in_features, params.out_features
+                    ),
+                );
+            }
+            (EventPayload::GraphConv { .. }, CandidateLayer::Fc { .. }) => {
+                report.push(
+                    "E004",
+                    format!("layer {li}"),
+                    "stream confirms a conv layer where candidate chain 0 has an fc layer"
+                        .to_string(),
+                );
+            }
+            (EventPayload::GraphFc { .. }, CandidateLayer::Conv { .. }) => {
+                report.push(
+                    "E004",
+                    format!("layer {li}"),
+                    "stream confirms an fc layer where candidate chain 0 has a conv layer"
+                        .to_string(),
+                );
+            }
+            _ => {}
+        }
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`candidates`] / [`structures`] — geometry and chain consistency of
 //!   candidate sets (`G…`/`C…` codes);
 //! * [`differential`] — diff a synthetic run against its known `nn`-graph
-//!   ground truth and name exactly which invariant broke (`D…` codes).
+//!   ground truth and name exactly which invariant broke (`D…` codes);
+//! * [`events`] — consistency of a recorded live-telemetry event stream,
+//!   internally and against the trace/candidate artifacts it narrates
+//!   (`E…` codes).
 //!
 //! The same checks run three ways: this library API (from tests), the
 //! `cnnre-audit` binary (over trace files and candidate JSONL), and —
@@ -27,12 +30,14 @@
 #![warn(missing_docs)]
 
 mod differential;
+mod events;
 mod geometry;
 mod jsonl;
 mod report;
 mod trace_audit;
 
 pub use differential::{differential, true_layers, TrueLayer};
+pub use events::events;
 pub use geometry::{
     candidates, structures, CandidateChain, CandidateLayer, ObservedSizes, Tolerances,
 };

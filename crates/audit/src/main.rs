@@ -3,10 +3,13 @@
 //! ```text
 //! cnnre-audit trace FILE       audit a saved memory trace (.csv or binary)
 //! cnnre-audit candidates FILE  audit a candidate-layer JSONL file
+//! cnnre-audit events FILE      audit a recorded .evt attack-event stream
 //!
 //!   --format human|json   report format (default human)
 //!   --out FILE            also write the report to FILE
 //!   --epb N               elements per DRAM block for Eq. (1)-(3) (default 16)
+//!   --trace FILE          events mode: cross-check boundaries (E003)
+//!   --candidates FILE     events mode: cross-check the graph (E004)
 //!   --quiet               suppress stdout (exit code still set)
 //!   --list-checks         print the diagnostic-code catalogue and exit
 //! ```
@@ -32,11 +35,14 @@ struct Opts {
     out: Option<String>,
     quiet: bool,
     epb: u64,
+    trace_companion: Option<String>,
+    candidates_companion: Option<String>,
 }
 
 enum Mode {
     Trace,
     Candidates,
+    Events,
 }
 
 const CHECK_CATALOGUE: &[(&str, &str)] = &[
@@ -108,11 +114,25 @@ const CHECK_CATALOGUE: &[(&str, &str)] = &[
         "D006",
         "differential: ground truth present in the candidate set",
     ),
+    (
+        "E001",
+        "event stream: cycles non-decreasing within each run",
+    ),
+    ("E002", "event stream: sequence numbers strictly increasing"),
+    (
+        "E003",
+        "event stream: boundaries match the trace's re-segmentation",
+    ),
+    (
+        "E004",
+        "event stream: recovered graph matches candidate chain 0",
+    ),
 ];
 
 fn usage() -> String {
-    "usage: cnnre-audit <trace|candidates> FILE [--format human|json] [--out FILE] \
-     [--epb N] [--quiet]\n       cnnre-audit --list-checks"
+    "usage: cnnre-audit <trace|candidates|events> FILE [--format human|json] [--out FILE] \
+     [--epb N] [--trace FILE] [--candidates FILE] [--quiet]\n       \
+     cnnre-audit --list-checks"
         .to_string()
 }
 
@@ -123,6 +143,8 @@ fn parse_args(args: &[String]) -> Result<Option<Opts>, String> {
     let mut out = None;
     let mut quiet = false;
     let mut epb = 16;
+    let mut trace_companion = None;
+    let mut candidates_companion = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -155,9 +177,24 @@ fn parse_args(args: &[String]) -> Result<Option<Opts>, String> {
                     .filter(|&v| v > 0)
                     .ok_or_else(|| "--epb expects a positive integer".to_string())?;
             }
+            "--trace" => {
+                trace_companion = Some(
+                    it.next()
+                        .ok_or_else(|| "--trace expects a path".to_string())?
+                        .clone(),
+                );
+            }
+            "--candidates" => {
+                candidates_companion = Some(
+                    it.next()
+                        .ok_or_else(|| "--candidates expects a path".to_string())?
+                        .clone(),
+                );
+            }
             "--quiet" => quiet = true,
             "trace" if mode.is_none() => mode = Some(Mode::Trace),
             "candidates" if mode.is_none() => mode = Some(Mode::Candidates),
+            "events" if mode.is_none() => mode = Some(Mode::Events),
             other if !other.starts_with('-') && mode.is_some() && file.is_none() => {
                 file = Some(other.to_string());
             }
@@ -172,6 +209,8 @@ fn parse_args(args: &[String]) -> Result<Option<Opts>, String> {
             out,
             quiet,
             epb,
+            trace_companion,
+            candidates_companion,
         })),
         _ => Err(usage()),
     }
@@ -208,6 +247,27 @@ fn run(opts: &Opts) -> Result<AuditReport, String> {
                 ..Tolerances::default()
             };
             Ok(cnnre_audit::candidates(&chains, &tol))
+        }
+        Mode::Events => {
+            let bytes = fs::read(&opts.file).map_err(|e| format!("{}: {e}", opts.file))?;
+            let stream = cnnre_obs::stream::read_stream(bytes.as_slice())
+                .map_err(|e| format!("{}: {e}", opts.file))?;
+            let trace = match &opts.trace_companion {
+                Some(path) => Some(load_trace(path)?),
+                None => None,
+            };
+            let chains = match &opts.candidates_companion {
+                Some(path) => {
+                    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+                    Some(cnnre_audit::parse_candidates(&text).map_err(|e| format!("{path}: {e}"))?)
+                }
+                None => None,
+            };
+            Ok(cnnre_audit::events(
+                &stream,
+                trace.as_ref(),
+                chains.as_deref(),
+            ))
         }
     }
 }

@@ -106,7 +106,9 @@ fn list_checks_prints_catalogue_and_exits_zero() {
     let out = audit(&["--list-checks"]);
     assert_eq!(out.status.code(), Some(0));
     let text = stdout(&out);
-    for code in ["T001", "T020", "G001", "G008", "C003", "D006"] {
+    for code in [
+        "T001", "T020", "G001", "G008", "C003", "D006", "E001", "E004",
+    ] {
         assert!(text.contains(code), "catalogue missing {code}:\n{text}");
     }
 }

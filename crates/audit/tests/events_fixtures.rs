@@ -1,0 +1,334 @@
+//! Seeded-violation fixtures for the event-stream audit (`E…` codes): each
+//! test plants exactly one class of corruption in an otherwise clean
+//! recorded stream and asserts that precisely the matching diagnostic
+//! fires. Streams go through a full encode → decode round trip so the
+//! fixtures also exercise the wire format the binary consumes.
+
+use cnnre_audit::{events, parse_candidates};
+use cnnre_obs::stream::{
+    encode_frame, header, read_stream, AttackEvent, BoundarySignal, EventPayload,
+};
+use cnnre_trace::segment::segment_trace;
+use cnnre_trace::{AccessKind, Trace, TraceBuilder};
+
+const BLK: u64 = 64;
+
+fn ev(seq: u64, cycle: u64, payload: EventPayload) -> AttackEvent {
+    AttackEvent {
+        seq,
+        cycle,
+        payload,
+    }
+}
+
+/// Encode → decode round trip, so fixtures audit exactly what a `.evt`
+/// file would yield.
+fn round_trip(events_in: Vec<AttackEvent>) -> Vec<AttackEvent> {
+    let mut bytes = header();
+    for e in &events_in {
+        bytes.extend_from_slice(&encode_frame(e));
+    }
+    let decoded = read_stream(bytes.as_slice()).expect("fixture stream decodes");
+    assert_eq!(decoded, events_in);
+    decoded
+}
+
+fn codes(report: &cnnre_audit::AuditReport) -> Vec<&str> {
+    report.findings.iter().map(|f| f.code.as_str()).collect()
+}
+
+/// A two-compute-segment trace (write prologue, read+write compute, fresh
+/// region compute) yielding at least one segment boundary.
+fn fixture_trace() -> Trace {
+    let mut b = TraceBuilder::new(BLK, 4);
+    let mut t = 0;
+    for i in 0..4 {
+        b.record(t, i * BLK, AccessKind::Write);
+        t += 1;
+    }
+    for i in 0..2 {
+        b.record(t, 0x10_000 + i * BLK, AccessKind::Read);
+        t += 1;
+    }
+    for i in 0..4 {
+        b.record(t, i * BLK, AccessKind::Read);
+        t += 1;
+    }
+    for i in 0..3 {
+        b.record(t, 0x20_000 + i * BLK, AccessKind::Write);
+        t += 1;
+    }
+    for i in 0..3 {
+        b.record(t, 0x20_000 + i * BLK, AccessKind::Read);
+        t += 1;
+    }
+    for i in 0..2 {
+        b.record(t, 0x30_000 + i * BLK, AccessKind::Write);
+        t += 1;
+    }
+    b.finish()
+}
+
+/// Boundary events that agree with [`segment_trace`] on `trace`.
+fn matching_boundaries(trace: &Trace) -> Vec<(u64, u64)> {
+    let segments = segment_trace(trace);
+    assert!(
+        segments.len() >= 2,
+        "fixture trace must segment into at least two pieces"
+    );
+    segments[1..]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s.start_cycle))
+        .collect()
+}
+
+fn clean_stream() -> Vec<AttackEvent> {
+    vec![
+        ev(
+            0,
+            0,
+            EventPayload::RunStarted {
+                label: "attack.structure".to_string(),
+            },
+        ),
+        ev(
+            1,
+            10,
+            EventPayload::LayerBoundary {
+                index: 0,
+                signal: BoundarySignal::Raw,
+            },
+        ),
+        ev(
+            2,
+            20,
+            EventPayload::CandidatesNarrowed {
+                layer: 0,
+                remaining: 5,
+                eta_branches: 40,
+                root_pct_bp: 2_000,
+            },
+        ),
+        ev(
+            3,
+            20,
+            EventPayload::LayerChained {
+                layer: 0,
+                distinct: 3,
+            },
+        ),
+        ev(4, 25, EventPayload::RunFinished { structures: 3 }),
+    ]
+}
+
+#[test]
+fn clean_stream_is_clean_and_notes_skipped_cross_checks() {
+    let stream = round_trip(clean_stream());
+    let report = events(&stream, None, None);
+    assert!(report.is_clean(), "{}", report.render_human());
+    assert_eq!(report.items_examined, 5);
+    assert!(report.skipped.iter().any(|s| s.starts_with("E003")));
+    assert!(report.skipped.iter().any(|s| s.starts_with("E004")));
+}
+
+#[test]
+fn backwards_cycle_within_a_run_reports_e001() {
+    let mut stream = clean_stream();
+    stream[3].cycle = 15; // after seeing 20 at stream[2]
+    let stream = round_trip(stream);
+    let report = events(&stream, None, None);
+    assert_eq!(codes(&report), vec!["E001"], "{}", report.render_human());
+}
+
+#[test]
+fn cycle_reset_at_run_started_is_not_e001() {
+    let mut stream = clean_stream();
+    let n = stream.len() as u64;
+    // A second run restarts the cycle domain at zero — legal.
+    stream.push(ev(
+        n,
+        0,
+        EventPayload::RunStarted {
+            label: "attack.weights".to_string(),
+        },
+    ));
+    stream.push(ev(
+        n + 1,
+        3,
+        EventPayload::WeightRecovered {
+            channel: 0,
+            row: 0,
+            col: 0,
+            queries: 3,
+        },
+    ));
+    let stream = round_trip(stream);
+    let report = events(&stream, None, None);
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn duplicated_sequence_number_reports_e002() {
+    let mut stream = clean_stream();
+    stream[3].seq = stream[2].seq; // respliced / duplicated frame
+    let stream = round_trip(stream);
+    let report = events(&stream, None, None);
+    assert_eq!(codes(&report), vec!["E002"], "{}", report.render_human());
+}
+
+fn boundary_stream(boundaries: &[(u64, u64)]) -> Vec<AttackEvent> {
+    let mut stream = vec![ev(
+        0,
+        0,
+        EventPayload::RunStarted {
+            label: "accel.run_trace_only".to_string(),
+        },
+    )];
+    for &(index, cycle) in boundaries {
+        let seq = stream.len() as u64;
+        stream.push(ev(
+            seq,
+            cycle,
+            EventPayload::LayerBoundary {
+                index,
+                signal: BoundarySignal::Raw,
+            },
+        ));
+    }
+    stream
+}
+
+#[test]
+fn boundaries_matching_the_resegmentation_pass_e003() {
+    let trace = fixture_trace();
+    let stream = round_trip(boundary_stream(&matching_boundaries(&trace)));
+    let report = events(&stream, Some(&trace), None);
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn shifted_boundary_cycle_reports_e003() {
+    let trace = fixture_trace();
+    let mut boundaries = matching_boundaries(&trace);
+    boundaries[0].1 += 1; // off by one cycle against the golden segmentation
+    let stream = round_trip(boundary_stream(&boundaries));
+    let report = events(&stream, Some(&trace), None);
+    assert_eq!(codes(&report), vec!["E003"], "{}", report.render_human());
+}
+
+#[test]
+fn missing_boundary_reports_e003_count_mismatch() {
+    let trace = fixture_trace();
+    let mut boundaries = matching_boundaries(&trace);
+    boundaries.pop();
+    let stream = round_trip(boundary_stream(&boundaries));
+    let report = events(&stream, Some(&trace), None);
+    assert!(
+        codes(&report).contains(&"E003"),
+        "{}",
+        report.render_human()
+    );
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.code == "E003" && f.subject == "boundary count"));
+}
+
+const CANDIDATE_JSONL: &str = concat!(
+    "{\"structure\":0,\"layer\":0,\"w_ifm\":28,\"d_ifm\":1,\"w_ofm\":14,\"d_ofm\":8,",
+    "\"f_conv\":5,\"s_conv\":1,\"p_conv\":2,\"pool\":{\"f\":2,\"s\":2,\"p\":0}}\n",
+    "{\"structure\":0,\"layer\":1,\"in_features\":1568,\"out_features\":10}\n",
+);
+
+fn graph_stream(d_ofm: u64, out_features: u64) -> Vec<AttackEvent> {
+    vec![
+        ev(
+            0,
+            0,
+            EventPayload::RunStarted {
+                label: "attack.structure".to_string(),
+            },
+        ),
+        ev(
+            1,
+            100,
+            EventPayload::GraphConv {
+                layer: 0,
+                w_ifm: 28,
+                d_ifm: 1,
+                w_ofm: 14,
+                d_ofm,
+                f_conv: 5,
+                s_conv: 1,
+                p_conv: 2,
+                pool: Some((2, 2, 0)),
+            },
+        ),
+        ev(
+            2,
+            100,
+            EventPayload::GraphFc {
+                layer: 1,
+                in_features: 1568,
+                out_features,
+            },
+        ),
+        ev(3, 100, EventPayload::RunFinished { structures: 1 }),
+    ]
+}
+
+#[test]
+fn graph_matching_candidate_chain_passes_e004() {
+    let chains = parse_candidates(CANDIDATE_JSONL).expect("fixture JSONL parses");
+    let stream = round_trip(graph_stream(8, 10));
+    let report = events(&stream, None, Some(&chains));
+    assert!(report.is_clean(), "{}", report.render_human());
+}
+
+#[test]
+fn mismatched_graph_parameters_report_e004() {
+    let chains = parse_candidates(CANDIDATE_JSONL).expect("fixture JSONL parses");
+    // Wrong conv depth and wrong fc fan-out: one finding per layer.
+    let stream = round_trip(graph_stream(16, 100));
+    let report = events(&stream, None, Some(&chains));
+    assert_eq!(
+        codes(&report),
+        vec!["E004", "E004"],
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn graph_layer_count_mismatch_reports_e004() {
+    let chains = parse_candidates(CANDIDATE_JSONL).expect("fixture JSONL parses");
+    let mut stream = graph_stream(8, 10);
+    stream.remove(2); // drop the fc layer event
+    stream[2].seq = 2;
+    let stream = round_trip(stream);
+    let report = events(&stream, None, Some(&chains));
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.code == "E004" && f.subject == "layer count"),
+        "{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn only_the_last_run_with_graph_events_is_cross_checked() {
+    let chains = parse_candidates(CANDIDATE_JSONL).expect("fixture JSONL parses");
+    // A stale first run with a wrong graph, then a correct final run: the
+    // audit must judge the final one.
+    let mut stream = graph_stream(16, 100);
+    for e in graph_stream(8, 10) {
+        let seq = stream.len() as u64;
+        stream.push(ev(seq, e.cycle, e.payload));
+    }
+    let stream = round_trip(stream);
+    let report = events(&stream, None, Some(&chains));
+    assert!(report.is_clean(), "{}", report.render_human());
+}

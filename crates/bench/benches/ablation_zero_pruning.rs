@@ -12,6 +12,7 @@ use cnnre_tensor::Tensor3;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     println!("{}", ablation::render(&ablation::run()));
 
     let mut rng = SmallRng::seed_from_u64(0);
@@ -28,5 +29,6 @@ fn main() {
         pruned.run(black_box(&net), black_box(&input)).unwrap()
     });
     g.finish();
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "ablation_zero_pruning");
 }

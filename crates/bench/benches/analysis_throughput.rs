@@ -15,6 +15,7 @@ use cnnre_trace::stats::{TraceStats, TrafficProfile};
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     let mut rng = SmallRng::seed_from_u64(0);
     let net = alexnet(1, 1000, &mut rng);
     let trace = trace_of(&net).trace;
@@ -38,5 +39,6 @@ fn main() {
         .expect("attack succeeds")
     });
     g.finish();
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "analysis_throughput");
 }

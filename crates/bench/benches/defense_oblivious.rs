@@ -11,6 +11,7 @@ use cnnre_trace::defense::{obfuscate, OramConfig};
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     let (baseline, rows) = defense::run();
     println!("{}", defense::render(baseline, &rows));
 
@@ -24,5 +25,6 @@ fn main() {
         obfuscate(black_box(&trace), cfg, &mut oram_rng)
     });
     g.finish();
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "defense_oblivious");
 }

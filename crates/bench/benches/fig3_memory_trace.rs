@@ -11,6 +11,7 @@ use cnnre_trace::observe::observe;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     println!("{}", fig3::render(&fig3::run(97)));
 
     let mut rng = SmallRng::seed_from_u64(0);
@@ -21,5 +22,6 @@ fn main() {
     g.bench_function("trace_generation_lenet", || trace_of(black_box(&net)));
     g.bench_function("trace_observation_lenet", || observe(black_box(&trace)));
     g.finish();
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "fig3_memory_trace");
 }

@@ -14,6 +14,7 @@ use cnnre_tensor::Shape3;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     // Benches always use reduced parameters so `cargo bench` stays fast;
     // the `fig4` bin runs the full 24-candidate ranking.
     println!(
@@ -46,5 +47,6 @@ fn main() {
             .train_epoch(&mut net, &data, &mut train_rng)
     });
     g.finish();
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "fig4_candidate_accuracy");
 }

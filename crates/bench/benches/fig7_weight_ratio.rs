@@ -6,6 +6,7 @@ use cnnre_bench::experiments::fig7;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     println!("{}", fig7::render(&fig7::run(&fig7::Fig7Config::quick())));
 
     // Kernel: recovery on a 2-filter CONV1-geometry layer.
@@ -18,5 +19,6 @@ fn main() {
     g.sample_size(10);
     g.bench_function("recover_conv1_ratios_tiny", || fig7::run(&tiny));
     g.finish();
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "fig7_weight_ratio");
 }

@@ -11,6 +11,7 @@ use cnnre_tensor::rng::SmallRng;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     println!("{}", table3::render(&table3::run()));
 
     let mut rng = SmallRng::seed_from_u64(0);
@@ -26,5 +27,6 @@ fn main() {
         recover_structures(black_box(&convnet_trace), (32, 3), 10, &cfg).unwrap()
     });
     g.finish();
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "table3_possible_structures");
 }

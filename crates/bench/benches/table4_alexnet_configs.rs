@@ -11,6 +11,7 @@ use cnnre_tensor::rng::SmallRng;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     println!("{}", table4::render(&table4::run()));
 
     let mut rng = SmallRng::seed_from_u64(0);
@@ -22,5 +23,6 @@ fn main() {
         recover_structures(black_box(&trace), (227, 3), 1000, &cfg).unwrap()
     });
     g.finish();
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "table4_alexnet_configs");
 }

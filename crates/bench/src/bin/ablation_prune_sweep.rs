@@ -3,6 +3,7 @@
 //! `CNNRE_QUICK=1` shrinks the victim for a fast smoke run.
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();
     let quick = std::env::var_os("CNNRE_QUICK").is_some();
     let (filters, input_w) = if quick { (4, 39) } else { (16, 79) };
@@ -13,5 +14,6 @@ fn main() {
         cnnre_bench::experiments::ablation_prune_sweep::render(&points)
     );
     cnnre_bench::write_profile(profile);
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "ablation_prune_sweep");
 }

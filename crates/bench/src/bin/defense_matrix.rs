@@ -1,6 +1,7 @@
 //! Every trace-level mitigation vs. the structure attack, side by side.
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();
     let (baseline, rows) = cnnre_bench::experiments::defense_matrix::run();
     println!(
@@ -8,5 +9,6 @@ fn main() {
         cnnre_bench::experiments::defense_matrix::render(baseline, &rows)
     );
     cnnre_bench::write_profile(profile);
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "defense_matrix");
 }

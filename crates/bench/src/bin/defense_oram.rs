@@ -1,6 +1,7 @@
 //! Regenerates the ORAM defense sweep.
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();
     let (baseline, rows) = cnnre_bench::experiments::defense::run();
     println!(
@@ -8,5 +9,6 @@ fn main() {
         cnnre_bench::experiments::defense::render(baseline, &rows)
     );
     cnnre_bench::write_profile(profile);
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "defense_oram");
 }

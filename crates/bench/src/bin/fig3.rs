@@ -3,6 +3,7 @@ use std::io::Write;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();
     let fig = cnnre_bench::experiments::fig3::run(97);
     println!("{}", cnnre_bench::experiments::fig3::render(&fig));
@@ -15,5 +16,6 @@ fn main() {
         println!("full series written to {}", path.display());
     }
     cnnre_bench::write_profile(profile);
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "fig3");
 }

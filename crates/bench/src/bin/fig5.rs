@@ -3,6 +3,7 @@ use cnnre_bench::experiments::fig5;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();
     let cfg = if cnnre_bench::quick_mode() {
         fig5::RankingConfig::quick()
@@ -12,5 +13,6 @@ fn main() {
     let fig = fig5::run(&cfg);
     println!("{}", fig5::render(&fig));
     cnnre_bench::write_profile(profile);
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "fig5");
 }

@@ -3,6 +3,7 @@ use cnnre_bench::experiments::fig7;
 
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();
     let cfg = if cnnre_bench::quick_mode() {
         fig7::Fig7Config::quick()
@@ -12,5 +13,6 @@ fn main() {
     let fig = fig7::run(&cfg);
     println!("{}", fig7::render(&fig));
     cnnre_bench::write_profile(profile);
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "fig7");
 }

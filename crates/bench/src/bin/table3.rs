@@ -1,6 +1,7 @@
 //! Regenerates the paper's Table 3.
 fn main() {
     let out = cnnre_bench::parse_out_flag();
+    let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();
     let rows = cnnre_bench::experiments::table3::run();
     println!("{}", cnnre_bench::experiments::table3::render(&rows));
@@ -10,5 +11,6 @@ fn main() {
         cnnre_bench::experiments::table3::render_reduction(&reduction)
     );
     cnnre_bench::write_profile(profile);
+    cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "table3");
 }

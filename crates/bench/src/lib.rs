@@ -97,6 +97,78 @@ pub fn parse_profile_flags() -> Option<(std::path::PathBuf, cnnre_obs::profile::
     Some((std::path::PathBuf::from(path), clock))
 }
 
+/// The `--events-out FILE` / `--events-tcp ADDR` flag pair shared by every
+/// experiment binary: enables the live attack-event stream, recording it
+/// for a `.evt` file and/or streaming it to a listening `cnnre-viz`
+/// session. Pass the returned path to [`write_events`] after the
+/// experiment.
+///
+/// Exits with usage code 2 on a missing flag value.
+#[must_use]
+pub fn parse_event_flags() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out = match args.iter().position(|a| a == "--events-out") {
+        Some(pos) => {
+            let Some(path) = args.get(pos + 1) else {
+                eprintln!("--events-out needs a file path");
+                std::process::exit(2);
+            };
+            Some(std::path::PathBuf::from(path))
+        }
+        None => None,
+    };
+    let tcp = match args.iter().position(|a| a == "--events-tcp") {
+        Some(pos) => {
+            let Some(addr) = args.get(pos + 1) else {
+                eprintln!("--events-tcp needs an address");
+                std::process::exit(2);
+            };
+            Some(addr.clone())
+        }
+        None => None,
+    };
+    if out.is_none() && tcp.is_none() {
+        return None;
+    }
+    cnnre_obs::set_enabled(true);
+    cnnre_obs::stream::set_enabled(true);
+    if out.is_some() {
+        cnnre_obs::stream::set_record(true);
+    }
+    if let Some(addr) = tcp {
+        // A dead viewer must never fail the experiment.
+        if let Err(e) = cnnre_obs::stream::connect(&addr) {
+            eprintln!("cannot connect event stream to {addr}: {e}");
+        }
+    }
+    out
+}
+
+/// Drains the recorded event stream into the `.evt` file requested by
+/// [`parse_event_flags`] (no-op when `--events-out` was absent) and gives
+/// any live TCP clients a moment to drain.
+///
+/// Exits with code 1 when the file cannot be written.
+pub fn write_events(path: Option<std::path::PathBuf>) {
+    if cnnre_obs::stream::enabled() {
+        cnnre_obs::stream::flush(500);
+    }
+    let Some(path) = path else { return };
+    let bytes = cnnre_obs::stream::take_recorded_bytes();
+    let dropped = cnnre_obs::stream::dropped();
+    match std::fs::write(&path, &bytes) {
+        Ok(()) => eprintln!(
+            "events written to {} ({} bytes, {dropped} dropped)",
+            path.display(),
+            bytes.len()
+        ),
+        Err(e) => {
+            eprintln!("cannot write events to {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Drains the timeline recorder and writes the export chosen by the path's
 /// extension (`.folded`/`.txt` → flamegraph stacks, anything else → Chrome
 /// Trace Event JSON) when [`parse_profile_flags`] returned a destination;

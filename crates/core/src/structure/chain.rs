@@ -282,7 +282,8 @@ fn record_enumeration_metrics(net: &ObservedNetwork, out: &[CandidateStructure],
         reg.counter("solver.chain.structures_surviving")
             .add(out.len() as u64);
     }
-    if metrics || profiling {
+    let streaming = cnnre_obs::stream::enabled();
+    if metrics || profiling || streaming {
         for node in 0..net.nodes.len() {
             // lint:allow(hash-iter): count-only use (len()); iteration order
             // is never observed
@@ -290,6 +291,12 @@ fn record_enumeration_metrics(net: &ObservedNetwork, out: &[CandidateStructure],
                 out.iter().map(|s| s.choices[node]).collect();
             if metrics {
                 cnnre_obs::series("solver.candidates_per_layer").push(distinct.len() as f64);
+            }
+            if streaming {
+                cnnre_obs::stream::emit(cnnre_obs::stream::EventPayload::LayerChained {
+                    layer: node as u64,
+                    distinct: distinct.len() as u64,
+                });
             }
             // Attack-progress telemetry on the profile timeline: one sample
             // per observed layer, in layer order.
@@ -426,12 +433,13 @@ fn recurse(
             // each top-level candidate roots an independent subtree, so
             // "% of roots consumed" plus "branches per finished root ×
             // roots left" is the best available ETA.
-            let top = cnnre_obs::profile::enabled()
-                && net
-                    .nodes
-                    .iter()
-                    .position(|n| matches!(n.kind, ObservedKind::Compute(_)))
-                    == Some(i);
+            let first_compute = net
+                .nodes
+                .iter()
+                .position(|n| matches!(n.kind, ObservedKind::Compute(_)))
+                == Some(i);
+            let top = cnnre_obs::profile::enabled() && first_compute;
+            let streaming = cnnre_obs::stream::enabled() && first_compute;
             let total = cands.len();
             let entry_branches = *branches;
             for (k, (choice, out_iface)) in cands.into_iter().enumerate() {
@@ -447,6 +455,20 @@ fn recurse(
                             per_root * (total - k) as f64,
                         );
                     }
+                }
+                if streaming {
+                    // Integer ETA: branches per finished root × roots left.
+                    let eta_branches = if k > 0 {
+                        (*branches - entry_branches) * (total - k) as u64 / k as u64
+                    } else {
+                        0
+                    };
+                    cnnre_obs::stream::emit(cnnre_obs::stream::EventPayload::CandidatesNarrowed {
+                        layer: i as u64,
+                        remaining: (total - k) as u64,
+                        eta_branches,
+                        root_pct_bp: (10_000 * k / total.max(1)) as u64,
+                    });
                 }
                 choices.push(choice);
                 ifaces.push(out_iface);

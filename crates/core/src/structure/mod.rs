@@ -72,6 +72,7 @@ pub fn recover_structures(
 ) -> Result<Vec<CandidateStructure>, SolveError> {
     let mut span = cnnre_obs::span("attack.structure");
     span.add_cycles(trace.duration());
+    cnnre_obs::stream::start_run("attack.structure");
     let obs = {
         let _segment_span = cnnre_obs::span("segment");
         cnnre_trace::observe::observe(trace)
@@ -81,5 +82,49 @@ pub fn recover_structures(
     }
     let net = ObservedNetwork::from_observations(&obs);
     let _solve_span = cnnre_obs::span("solve");
-    enumerate_structures(&net, input, classes, cfg)
+    let structures = enumerate_structures(&net, input, classes, cfg)?;
+    if cnnre_obs::stream::enabled() {
+        emit_recovered_graph(&structures);
+    }
+    Ok(structures)
+}
+
+/// Streams the final recovered structure (candidate 0) as graph-growth
+/// events, numbering compute layers the way the candidate JSONL export
+/// does (Input/Merge nodes are skipped), then closes the run.
+fn emit_recovered_graph(structures: &[CandidateStructure]) {
+    use cnnre_obs::stream::EventPayload;
+    if let Some(best) = structures.first() {
+        let mut li: u64 = 0;
+        for choice in &best.choices {
+            match choice {
+                NodeChoice::Conv(p) => {
+                    cnnre_obs::stream::emit(EventPayload::GraphConv {
+                        layer: li,
+                        w_ifm: p.w_ifm as u64,
+                        d_ifm: p.d_ifm as u64,
+                        w_ofm: p.w_ofm as u64,
+                        d_ofm: p.d_ofm as u64,
+                        f_conv: p.f_conv as u64,
+                        s_conv: p.s_conv as u64,
+                        p_conv: p.p_conv as u64,
+                        pool: p.pool.map(|q| (q.f as u64, q.s as u64, q.p as u64)),
+                    });
+                    li += 1;
+                }
+                NodeChoice::Fc(p) => {
+                    cnnre_obs::stream::emit(EventPayload::GraphFc {
+                        layer: li,
+                        in_features: p.in_features as u64,
+                        out_features: p.out_features as u64,
+                    });
+                    li += 1;
+                }
+                NodeChoice::Input | NodeChoice::Merge => {}
+            }
+        }
+    }
+    cnnre_obs::stream::emit(EventPayload::RunFinished {
+        structures: structures.len() as u64,
+    });
 }

@@ -423,6 +423,10 @@ impl ZeroCountOracle for AcceleratorOracle {
     fn query(&mut self, probes: &[Probe]) -> Vec<u64> {
         self.queries += 1;
         cnnre_obs::counter("oracle.queries").inc();
+        // Each query runs the victim engine; suppress its event emission so
+        // the weight attack's stream is not flooded with per-query
+        // RunStarted markers.
+        let _quiet = cnnre_obs::stream::suppress();
         let mut input = Tensor3::zeros(self.geom.input);
         for p in probes {
             input[(p.c, p.y, p.x)] = p.value;

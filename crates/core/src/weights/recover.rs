@@ -667,6 +667,7 @@ fn formula_pin_term(
 /// Panics when the layer geometry is degenerate (no conv output).
 pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) -> RatioRecovery {
     let _span = cnnre_obs::span("attack.weights");
+    cnnre_obs::stream::start_run("attack.weights");
     let geom = oracle.geometry();
     assert!(geom.final_out_w().is_some(), "degenerate geometry");
     let baseline = oracle.query(&[]);
@@ -705,6 +706,19 @@ pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) ->
                 // Query-budget telemetry: one timeline sample per target
                 // weight, showing the binary search's consumption rate.
                 cnnre_obs::profile::count("oracle.progress.queries", oracle.query_count() as f64);
+                if cnnre_obs::stream::enabled() {
+                    // The weight run's "cycle" domain is the cumulative
+                    // victim query count — monotone by construction.
+                    cnnre_obs::stream::emit_at(
+                        oracle.query_count(),
+                        cnnre_obs::stream::EventPayload::WeightRecovered {
+                            channel: c as u64,
+                            row: i as u64,
+                            col: j as u64,
+                            queries: oracle.query_count(),
+                        },
+                    );
+                }
             }
         }
     }

@@ -31,9 +31,9 @@ const SPAN_CALLS: [&str; 2] = ["span", "span_labelled"];
 /// of `cnnre_obs::catalog::KNOWN_PREFIXES` — the lint crate is
 /// zero-dependency, so the list is duplicated and the root
 /// `tests/metric_catalog.rs` drift test keeps the two in lock-step.
-pub const METRIC_PREFIXES: [&str; 12] = [
+pub const METRIC_PREFIXES: [&str; 14] = [
     "accel", "trace", "solver", "oracle", "weights", "attack", "train", "bench", "span", "profile",
-    "fig4", "fig5",
+    "fig4", "fig5", "events", "viz",
 ];
 
 /// Crates whose `src/` trees are deterministic attack paths: their exports
@@ -776,6 +776,9 @@ mod tests {
                    cnnre_obs::counter(\"oracle.queries\").inc();\n\
                    cnnre_obs::series(\"solver.candidates_per_layer\").push(1.0);\n\
                    cnnre_obs::profile::count(\"solver.progress.root_pct\", 0.0);\n\
+                   cnnre_obs::counter(\"events.emitted\").inc();\n\
+                   cnnre_obs::gauge(\"events.clients\").set(0.0);\n\
+                   cnnre_obs::counter(\"viz.events.consumed\").inc();\n\
                    let _s = cnnre_obs::span(\"plan\");\n\
                    let _t = cnnre_obs::span(\"trace.segment\");\n\
                    let _u = cnnre_obs::span_labelled(\"stage\", \"conv1\");\n\

@@ -21,6 +21,9 @@ pub fn valid_names_do_not_fire() {
     cnnre_obs::counter("oracle.queries").inc();
     cnnre_obs::series("solver.candidates_per_layer").push(3.0);
     cnnre_obs::profile::count("solver.progress.root_pct", 50.0);
+    cnnre_obs::counter("events.emitted").inc();
+    cnnre_obs::gauge("events.clients").set(1.0);
+    cnnre_obs::counter("viz.snapshots.written").inc();
     let _a = cnnre_obs::span("plan");
     let _b = cnnre_obs::span("trace.segment");
     let _c = cnnre_obs::span_labelled("stage", "conv1");

@@ -32,7 +32,7 @@ pub struct MetricDef {
 /// rule rejects literals outside this set.
 pub const KNOWN_PREFIXES: &[&str] = &[
     "accel", "trace", "solver", "oracle", "weights", "attack", "train", "bench", "span", "profile",
-    "fig4", "fig5",
+    "fig4", "fig5", "events", "viz",
 ];
 
 /// Every metric the in-tree instrumentation records, sorted by name.
@@ -96,6 +96,26 @@ pub const METRICS: &[MetricDef] = &[
         name: "bench.<group>.<name>.min.wall_ns",
         kind: "counter (derived)",
         help: "bench harness fastest iteration time (wall clock, advisory)",
+    },
+    MetricDef {
+        name: "events.bytes",
+        kind: "counter",
+        help: "encoded attack-event bytes produced by the stream hub",
+    },
+    MetricDef {
+        name: "events.clients",
+        kind: "gauge",
+        help: "live TCP event-stream clients currently connected",
+    },
+    MetricDef {
+        name: "events.dropped",
+        kind: "counter",
+        help: "attack events dropped by backpressure (ring or slow client)",
+    },
+    MetricDef {
+        name: "events.emitted",
+        kind: "counter",
+        help: "attack events emitted onto the live telemetry stream",
     },
     MetricDef {
         name: "fig4.candidate_accuracy",
@@ -258,6 +278,16 @@ pub const METRICS: &[MetricDef] = &[
         help: "per-epoch training loss (candidate ranking)",
     },
     MetricDef {
+        name: "viz.events.consumed",
+        kind: "counter",
+        help: "attack events consumed by the cnnre-viz renderer",
+    },
+    MetricDef {
+        name: "viz.snapshots.written",
+        kind: "counter",
+        help: "incremental graph snapshots written by cnnre-viz",
+    },
+    MetricDef {
         name: "weights.recovered",
         kind: "counter",
         help: "non-zero weight ratios recovered by the weight attack",
@@ -318,12 +348,24 @@ pub fn valid_metric_name(name: &str) -> bool {
     true
 }
 
+/// The catalogue sorted by metric name. [`METRICS`] is kept sorted by
+/// convention (a unit test enforces it), but the renderers sort explicitly
+/// so `cnnre --list-metrics` output stays diff-stable for docs and tests
+/// even while a patch is mid-edit.
+fn sorted_metrics() -> Vec<&'static MetricDef> {
+    let mut rows: Vec<&'static MetricDef> = METRICS.iter().collect();
+    rows.sort_by_key(|m| m.name);
+    rows
+}
+
 /// Renders the catalogue as an aligned human-readable table (the
-/// `cnnre --list-metrics` output).
+/// `cnnre --list-metrics` output), sorted by name with the metric kind
+/// (counter/gauge/series/…) in the second column.
 #[must_use]
 pub fn render_table() -> String {
-    let name_w = METRICS.iter().map(|m| m.name.len()).max().unwrap_or(4);
-    let kind_w = METRICS.iter().map(|m| m.kind.len()).max().unwrap_or(4);
+    let rows = sorted_metrics();
+    let name_w = rows.iter().map(|m| m.name.len()).max().unwrap_or(4);
+    let kind_w = rows.iter().map(|m| m.kind.len()).max().unwrap_or(4);
     let mut out = String::new();
     out.push_str(&format!(
         "{:name_w$}  {:kind_w$}  help\n{}  {}  {}\n",
@@ -333,7 +375,7 @@ pub fn render_table() -> String {
         "-".repeat(kind_w),
         "-".repeat(40),
     ));
-    for m in METRICS {
+    for m in rows {
         out.push_str(&format!(
             "{:name_w$}  {:kind_w$}  {}\n",
             m.name, m.kind, m.help
@@ -343,11 +385,12 @@ pub fn render_table() -> String {
 }
 
 /// Renders the catalogue as the markdown table embedded in DESIGN.md §10
-/// (the drift test compares this rendering against the checked-in docs).
+/// (the drift test compares this rendering against the checked-in docs),
+/// sorted by name.
 #[must_use]
 pub fn render_markdown() -> String {
     let mut out = String::from("| metric | kind | help |\n|---|---|---|\n");
-    for m in METRICS {
+    for m in sorted_metrics() {
         out.push_str(&format!("| `{}` | {} | {} |\n", m.name, m.kind, m.help));
     }
     out
@@ -380,6 +423,27 @@ mod tests {
         assert!(!valid_metric_name("accel.cycle_ns")); // _ns but not wall_ns
         assert!(valid_metric_name("accel.layer.compute_cycles"));
         assert!(valid_metric_name("span.<path>.wall_ns"));
+    }
+
+    #[test]
+    fn renderings_are_sorted_by_name() {
+        let table = render_table();
+        let names: Vec<&str> = table
+            .lines()
+            .skip(2) // header + rule
+            .filter_map(|l| l.split_whitespace().next())
+            .collect();
+        assert_eq!(names.len(), METRICS.len());
+        for w in names.windows(2) {
+            assert!(w[0] < w[1], "table rows out of order: {} !< {}", w[0], w[1]);
+        }
+        let md = render_markdown();
+        let md_names: Vec<&str> = md
+            .lines()
+            .skip(2)
+            .filter_map(|l| l.split('`').nth(1))
+            .collect();
+        assert_eq!(md_names, names);
     }
 
     #[test]

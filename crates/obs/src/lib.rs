@@ -64,6 +64,7 @@ pub mod log;
 pub mod profile;
 mod registry;
 pub mod span;
+pub mod stream;
 
 pub use export::Snapshot;
 pub use registry::{global, Counter, Gauge, Histogram, HistogramStats, Registry, Series};

@@ -127,6 +127,13 @@ pub fn obfuscate<R: Rng + ?Sized>(
         input_events: trace.len(),
         output_events: out.len(),
     };
+    if cnnre_obs::stream::enabled() {
+        cnnre_obs::stream::emit(cnnre_obs::stream::EventPayload::DefenseObserved {
+            kind: "path_oram".to_string(),
+            input_events: stats.input_events as u64,
+            output_events: stats.output_events as u64,
+        });
+    }
     (Trace::from_parts(out, block, trace.element_bytes()), stats)
 }
 

@@ -199,6 +199,32 @@ pub fn observe_with(trace: &Trace, config: SegmentConfig) -> TraceObservations {
             .start_cycle
             .saturating_sub(layers[i].segment.start_cycle);
     }
+    if cnnre_obs::stream::enabled() {
+        // Classification is post-hoc (it needs the whole trace), so every
+        // SegmentClassified event is stamped at the trace's end cycle —
+        // after all LayerBoundary events, keeping the stream monotone.
+        use cnnre_obs::stream::{EventPayload, SegmentKind};
+        for obs in &layers {
+            let kind = match obs.kind {
+                LayerKindHint::Prologue => SegmentKind::Prologue,
+                LayerKindHint::Compute => SegmentKind::Compute,
+                LayerKindHint::Merge => SegmentKind::Merge,
+                LayerKindHint::Other => SegmentKind::Other,
+            };
+            cnnre_obs::stream::emit_at(
+                trace.duration(),
+                EventPayload::SegmentClassified {
+                    index: obs.index as u64,
+                    kind,
+                    start_cycle: obs.segment.start_cycle,
+                    end_cycle: obs.segment.end_cycle,
+                    ifm_blocks: obs.ifm_sources.iter().map(|s| s.blocks).sum(),
+                    ofm_blocks: obs.ofm_blocks,
+                    weight_blocks: obs.weight_blocks,
+                },
+            );
+        }
+    }
     TraceObservations {
         layers,
         elems_per_block: trace.elems_per_block(),

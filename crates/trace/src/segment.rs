@@ -233,6 +233,7 @@ pub struct StreamingSegmenter {
     seg_start: usize,
     seg_start_cycle: Cycle,
     prev_cycle: Cycle,
+    boundaries: u64,
     obs: SegmenterObs,
 }
 
@@ -274,6 +275,7 @@ impl StreamingSegmenter {
             seg_start: 0,
             seg_start_cycle: 0,
             prev_cycle: 0,
+            boundaries: 0,
             obs: SegmenterObs::new(),
         }
     }
@@ -317,6 +319,20 @@ impl StreamingSegmenter {
                 ev.cycle,
                 if raw_signal { "RAW" } else { "fresh region" }
             );
+            if cnnre_obs::stream::enabled() {
+                cnnre_obs::stream::emit_at(
+                    ev.cycle,
+                    cnnre_obs::stream::EventPayload::LayerBoundary {
+                        index: self.boundaries,
+                        signal: if raw_signal {
+                            cnnre_obs::stream::BoundarySignal::Raw
+                        } else {
+                            cnnre_obs::stream::BoundarySignal::FreshRegion
+                        },
+                    },
+                );
+            }
+            self.boundaries += 1;
             completed = Some(Segment {
                 first_event: self.seg_start,
                 end_event: self.index,

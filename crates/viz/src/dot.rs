@@ -1,0 +1,224 @@
+//! Deterministic DOT / SVG rendering of the recovered network graph.
+//!
+//! The recovered structure arrives as a linear sequence of confirmed
+//! compute layers (`GraphConv` / `GraphFc` events, in execution order), so
+//! the graph is an input node followed by a chain. Rendering is plain
+//! string assembly over integers — no layout engine, no floats — so the
+//! same event sequence always produces byte-identical output.
+
+use crate::replay::GraphLayer;
+
+fn layer_label(l: &GraphLayer) -> String {
+    match l {
+        GraphLayer::Conv {
+            layer,
+            w_ifm,
+            d_ifm,
+            w_ofm,
+            d_ofm,
+            f_conv,
+            s_conv,
+            p_conv,
+            pool,
+        } => {
+            let pool_part = match pool {
+                Some((f, s, p)) => format!("|pool f={f} s={s} p={p}"),
+                None => String::new(),
+            };
+            format!(
+                "{{conv {layer}|f={f_conv} s={s_conv} p={p_conv}|ifm {w_ifm}x{w_ifm}x{d_ifm}|\
+                 ofm {w_ofm}x{w_ofm}x{d_ofm}{pool_part}}}"
+            )
+        }
+        GraphLayer::Fc {
+            layer,
+            in_features,
+            out_features,
+        } => format!("{{fc {layer}|{in_features} -> {out_features}}}"),
+    }
+}
+
+fn node_id(l: &GraphLayer) -> String {
+    match l {
+        GraphLayer::Conv { layer, .. } | GraphLayer::Fc { layer, .. } => format!("l{layer}"),
+    }
+}
+
+/// Renders the confirmed layers as a Graphviz DOT digraph. An empty layer
+/// list renders the input node alone (the "nothing recovered yet"
+/// snapshot).
+#[must_use]
+pub fn render_dot(graph: &[GraphLayer]) -> String {
+    let mut out = String::new();
+    out.push_str("digraph recovered {\n");
+    out.push_str("  rankdir=TB;\n");
+    out.push_str("  node [shape=record, fontname=\"monospace\"];\n");
+    out.push_str("  input [label=\"input\", shape=ellipse];\n");
+    for l in graph {
+        out.push_str(&format!(
+            "  {} [label=\"{}\"];\n",
+            node_id(l),
+            layer_label(l)
+        ));
+    }
+    let mut prev = "input".to_string();
+    for l in graph {
+        let id = node_id(l);
+        out.push_str(&format!("  {prev} -> {id};\n"));
+        prev = id;
+    }
+    out.push_str("}\n");
+    out
+}
+
+const BOX_W: u64 = 300;
+const BOX_H: u64 = 64;
+const GAP: u64 = 28;
+const MARGIN: u64 = 20;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// Renders the confirmed layers as a vertical-chain SVG — the same
+/// information as [`render_dot`] without requiring Graphviz to view it.
+#[must_use]
+pub fn render_graph_svg(graph: &[GraphLayer]) -> String {
+    let n = graph.len() as u64;
+    let width = BOX_W + 2 * MARGIN;
+    let height = MARGIN * 2 + (n + 1) * BOX_H + n.max(1) * GAP + 8;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {width} {height}\" font-family=\"monospace\" font-size=\"12\">\n"
+    ));
+    // Input node.
+    let cx = width / 2;
+    out.push_str(&format!(
+        "  <ellipse cx=\"{cx}\" cy=\"{}\" rx=\"60\" ry=\"20\" fill=\"#eef\" stroke=\"#336\"/>\n",
+        MARGIN + 20
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{cx}\" y=\"{}\" text-anchor=\"middle\">input</text>\n",
+        MARGIN + 24
+    ));
+    let mut prev_bottom = MARGIN + 40;
+    for (i, l) in graph.iter().enumerate() {
+        let top = MARGIN + BOX_H + GAP + i as u64 * (BOX_H + GAP);
+        let x = MARGIN;
+        // Edge from the previous node.
+        out.push_str(&format!(
+            "  <line x1=\"{cx}\" y1=\"{prev_bottom}\" x2=\"{cx}\" y2=\"{top}\" \
+             stroke=\"#333\" marker-end=\"none\"/>\n"
+        ));
+        let (fill, title, detail) = match l {
+            GraphLayer::Conv {
+                layer,
+                w_ofm,
+                d_ofm,
+                f_conv,
+                s_conv,
+                p_conv,
+                pool,
+                ..
+            } => {
+                let pool_part = match pool {
+                    Some((f, s, _)) => format!(" pool {f}/{s}"),
+                    None => String::new(),
+                };
+                (
+                    "#efe",
+                    format!("conv {layer}"),
+                    format!(
+                        "f={f_conv} s={s_conv} p={p_conv} ofm {w_ofm}x{w_ofm}x{d_ofm}{pool_part}"
+                    ),
+                )
+            }
+            GraphLayer::Fc {
+                layer,
+                in_features,
+                out_features,
+            } => (
+                "#fee",
+                format!("fc {layer}"),
+                format!("{in_features} -> {out_features}"),
+            ),
+        };
+        out.push_str(&format!(
+            "  <rect x=\"{x}\" y=\"{top}\" width=\"{BOX_W}\" height=\"{BOX_H}\" rx=\"6\" \
+             fill=\"{fill}\" stroke=\"#363\"/>\n"
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{cx}\" y=\"{}\" text-anchor=\"middle\" font-weight=\"bold\">{}</text>\n",
+            top + 24,
+            esc(&title)
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{cx}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n",
+            top + 46,
+            esc(&detail)
+        ));
+        prev_bottom = top + BOX_H;
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<GraphLayer> {
+        vec![
+            GraphLayer::Conv {
+                layer: 0,
+                w_ifm: 32,
+                d_ifm: 1,
+                w_ofm: 14,
+                d_ofm: 6,
+                f_conv: 5,
+                s_conv: 1,
+                p_conv: 0,
+                pool: Some((2, 2, 0)),
+            },
+            GraphLayer::Fc {
+                layer: 1,
+                in_features: 400,
+                out_features: 120,
+            },
+        ]
+    }
+
+    #[test]
+    fn dot_is_deterministic_and_chains_nodes() {
+        let a = render_dot(&sample());
+        let b = render_dot(&sample());
+        assert_eq!(a, b);
+        assert!(a.contains("input -> l0;"));
+        assert!(a.contains("l0 -> l1;"));
+        assert!(a.contains("conv 0"));
+        assert!(a.contains("pool f=2 s=2"));
+        assert!(a.contains("400 -> 120"));
+    }
+
+    #[test]
+    fn empty_graph_renders_input_only() {
+        let d = render_dot(&[]);
+        assert!(d.contains("input"));
+        assert!(!d.contains("->"));
+        let svg = render_graph_svg(&[]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn svg_escapes_and_is_deterministic() {
+        let a = render_graph_svg(&sample());
+        let b = render_graph_svg(&sample());
+        assert_eq!(a, b);
+        assert!(a.contains("400 -&gt; 120"));
+        assert!(a.contains("conv 0"));
+    }
+}

@@ -1,0 +1,383 @@
+//! Folding an event stream into renderable state.
+
+use cnnre_obs::stream::{AttackEvent, EventPayload};
+use std::collections::BTreeMap;
+
+/// One confirmed layer of the recovered network graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphLayer {
+    /// A CONV layer (with optional fused pooling).
+    Conv {
+        /// Compute-layer index.
+        layer: u64,
+        /// Input feature-map width.
+        w_ifm: u64,
+        /// Input depth.
+        d_ifm: u64,
+        /// Output feature-map width.
+        w_ofm: u64,
+        /// Output depth (filter count).
+        d_ofm: u64,
+        /// Filter size.
+        f_conv: u64,
+        /// Stride.
+        s_conv: u64,
+        /// Padding.
+        p_conv: u64,
+        /// Fused pooling `(f, s, p)`, when present.
+        pool: Option<(u64, u64, u64)>,
+    },
+    /// A fully-connected layer.
+    Fc {
+        /// Compute-layer index.
+        layer: u64,
+        /// Input features.
+        in_features: u64,
+        /// Output features.
+        out_features: u64,
+    },
+}
+
+/// One classified trace segment, as observed on the stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Classification label (`prologue`/`compute`/`merge`/`other`).
+    pub kind: &'static str,
+    /// Cycle stamp of the segment's first event.
+    pub start_cycle: u64,
+    /// Cycle stamp of the segment's last event.
+    pub end_cycle: u64,
+    /// Distinct IFM blocks read.
+    pub ifm_blocks: u64,
+    /// Distinct OFM blocks written.
+    pub ofm_blocks: u64,
+    /// Distinct weight blocks read.
+    pub weight_blocks: u64,
+}
+
+/// One candidate-narrowing progress sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NarrowSample {
+    /// Stream sequence number (the timeline's x axis for solver progress).
+    pub seq: u64,
+    /// Observed node the enumeration is rooted at.
+    pub layer: u64,
+    /// Top-level candidates not yet explored.
+    pub remaining: u64,
+    /// Estimated recursion branches left.
+    pub eta_branches: u64,
+    /// Progress in basis points (0..=10000).
+    pub root_pct_bp: u64,
+}
+
+/// One recovered-weight progress sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightSample {
+    /// Cumulative oracle queries when this weight finished.
+    pub queries: u64,
+    /// Input channel.
+    pub channel: u64,
+    /// Filter row.
+    pub row: u64,
+    /// Filter column.
+    pub col: u64,
+}
+
+/// Everything observed during one pipeline run (between `RunStarted`
+/// markers).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunState {
+    /// The run's phase label.
+    pub label: String,
+    /// Classified segments by index.
+    pub segments: BTreeMap<u64, SegmentInfo>,
+    /// Layer boundaries as `(boundary index, cycle, signal label)`.
+    pub boundaries: Vec<(u64, u64, &'static str)>,
+    /// Candidate-narrowing samples in arrival order.
+    pub narrowing: Vec<NarrowSample>,
+    /// Distinct surviving candidates per observed node.
+    pub chained: BTreeMap<u64, u64>,
+    /// Recovered-weight samples in arrival order.
+    pub weights: Vec<WeightSample>,
+    /// Defense perturbations as `(kind, input events, output events)`.
+    pub defenses: Vec<(String, u64, u64)>,
+    /// Confirmed layers of the recovered structure, in arrival order.
+    pub graph: Vec<GraphLayer>,
+    /// Surviving structure count, once `RunFinished` arrives.
+    pub structures: Option<u64>,
+    /// Highest cycle stamp seen in this run.
+    pub last_cycle: u64,
+}
+
+/// The accumulated state of a whole stream: one [`RunState`] per
+/// `RunStarted` marker (plus an implicit unlabelled run for any events
+/// that precede the first marker).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayState {
+    /// Runs in stream order.
+    pub runs: Vec<RunState>,
+    /// Events consumed.
+    pub events: u64,
+    /// Frames with a tag this build does not know (forward compatibility).
+    pub unknown_events: u64,
+}
+
+impl ReplayState {
+    /// An empty state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds a whole event sequence.
+    #[must_use]
+    pub fn from_events(events: &[AttackEvent]) -> Self {
+        let mut s = Self::new();
+        for ev in events {
+            s.apply(ev);
+        }
+        s
+    }
+
+    fn current(&mut self) -> &mut RunState {
+        if self.runs.is_empty() {
+            self.runs.push(RunState::default());
+        }
+        let last = self.runs.len() - 1;
+        &mut self.runs[last]
+    }
+
+    /// The last run carrying any recovered-graph events, if one exists.
+    #[must_use]
+    pub fn final_graph_run(&self) -> Option<&RunState> {
+        self.runs.iter().rev().find(|r| !r.graph.is_empty())
+    }
+
+    /// Applies one event.
+    pub fn apply(&mut self, ev: &AttackEvent) {
+        self.events += 1;
+        match &ev.payload {
+            EventPayload::RunStarted { label } => {
+                self.runs.push(RunState {
+                    label: label.clone(),
+                    ..RunState::default()
+                });
+            }
+            EventPayload::SegmentClassified {
+                index,
+                kind,
+                start_cycle,
+                end_cycle,
+                ifm_blocks,
+                ofm_blocks,
+                weight_blocks,
+            } => {
+                let info = SegmentInfo {
+                    kind: kind.label(),
+                    start_cycle: *start_cycle,
+                    end_cycle: *end_cycle,
+                    ifm_blocks: *ifm_blocks,
+                    ofm_blocks: *ofm_blocks,
+                    weight_blocks: *weight_blocks,
+                };
+                self.current().segments.insert(*index, info);
+            }
+            EventPayload::LayerBoundary { index, signal } => {
+                let cycle = ev.cycle;
+                let label = signal.label();
+                let run = self.current();
+                run.boundaries.push((*index, cycle, label));
+            }
+            EventPayload::CandidatesNarrowed {
+                layer,
+                remaining,
+                eta_branches,
+                root_pct_bp,
+            } => {
+                let sample = NarrowSample {
+                    seq: ev.seq,
+                    layer: *layer,
+                    remaining: *remaining,
+                    eta_branches: *eta_branches,
+                    root_pct_bp: *root_pct_bp,
+                };
+                self.current().narrowing.push(sample);
+            }
+            EventPayload::LayerChained { layer, distinct } => {
+                self.current().chained.insert(*layer, *distinct);
+            }
+            EventPayload::WeightRecovered {
+                channel,
+                row,
+                col,
+                queries,
+            } => {
+                let sample = WeightSample {
+                    queries: *queries,
+                    channel: *channel,
+                    row: *row,
+                    col: *col,
+                };
+                self.current().weights.push(sample);
+            }
+            EventPayload::DefenseObserved {
+                kind,
+                input_events,
+                output_events,
+            } => {
+                let entry = (kind.clone(), *input_events, *output_events);
+                self.current().defenses.push(entry);
+            }
+            EventPayload::GraphConv {
+                layer,
+                w_ifm,
+                d_ifm,
+                w_ofm,
+                d_ofm,
+                f_conv,
+                s_conv,
+                p_conv,
+                pool,
+            } => {
+                let l = GraphLayer::Conv {
+                    layer: *layer,
+                    w_ifm: *w_ifm,
+                    d_ifm: *d_ifm,
+                    w_ofm: *w_ofm,
+                    d_ofm: *d_ofm,
+                    f_conv: *f_conv,
+                    s_conv: *s_conv,
+                    p_conv: *p_conv,
+                    pool: *pool,
+                };
+                self.current().graph.push(l);
+            }
+            EventPayload::GraphFc {
+                layer,
+                in_features,
+                out_features,
+            } => {
+                let l = GraphLayer::Fc {
+                    layer: *layer,
+                    in_features: *in_features,
+                    out_features: *out_features,
+                };
+                self.current().graph.push(l);
+            }
+            EventPayload::RunFinished { structures } => {
+                self.current().structures = Some(*structures);
+            }
+            EventPayload::Unknown { .. } => {
+                self.unknown_events += 1;
+            }
+        }
+        let cycle = ev.cycle;
+        let run = self.current();
+        run.last_cycle = run.last_cycle.max(cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnnre_obs::stream::{BoundarySignal, SegmentKind};
+
+    fn ev(seq: u64, cycle: u64, payload: EventPayload) -> AttackEvent {
+        AttackEvent {
+            seq,
+            cycle,
+            payload,
+        }
+    }
+
+    #[test]
+    fn events_fold_into_runs() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                EventPayload::RunStarted {
+                    label: "accel.run_trace_only".to_string(),
+                },
+            ),
+            ev(
+                1,
+                0,
+                EventPayload::RunStarted {
+                    label: "attack.structure".to_string(),
+                },
+            ),
+            ev(
+                2,
+                120,
+                EventPayload::LayerBoundary {
+                    index: 0,
+                    signal: BoundarySignal::Raw,
+                },
+            ),
+            ev(
+                3,
+                900,
+                EventPayload::SegmentClassified {
+                    index: 0,
+                    kind: SegmentKind::Prologue,
+                    start_cycle: 0,
+                    end_cycle: 100,
+                    ifm_blocks: 0,
+                    ofm_blocks: 64,
+                    weight_blocks: 0,
+                },
+            ),
+            ev(
+                4,
+                900,
+                EventPayload::LayerChained {
+                    layer: 1,
+                    distinct: 3,
+                },
+            ),
+            ev(
+                5,
+                900,
+                EventPayload::GraphFc {
+                    layer: 0,
+                    in_features: 400,
+                    out_features: 120,
+                },
+            ),
+            ev(6, 900, EventPayload::RunFinished { structures: 16 }),
+        ];
+        let state = ReplayState::from_events(&events);
+        assert_eq!(state.events, 7);
+        assert_eq!(state.runs.len(), 2);
+        let attack = &state.runs[1];
+        assert_eq!(attack.label, "attack.structure");
+        assert_eq!(attack.boundaries, vec![(0, 120, "raw")]);
+        assert_eq!(attack.segments.len(), 1);
+        assert_eq!(attack.chained.get(&1), Some(&3));
+        assert_eq!(attack.graph.len(), 1);
+        assert_eq!(attack.structures, Some(16));
+        assert_eq!(attack.last_cycle, 900);
+        assert_eq!(
+            state.final_graph_run().map(|r| r.label.as_str()),
+            Some("attack.structure")
+        );
+    }
+
+    #[test]
+    fn events_before_any_run_marker_land_in_an_implicit_run() {
+        let events = vec![ev(0, 5, EventPayload::RunFinished { structures: 0 })];
+        let state = ReplayState::from_events(&events);
+        assert_eq!(state.runs.len(), 1);
+        assert_eq!(state.runs[0].label, "");
+        assert_eq!(state.runs[0].structures, Some(0));
+    }
+
+    #[test]
+    fn unknown_events_are_counted_not_dropped() {
+        let events = vec![ev(0, 1, EventPayload::Unknown { tag: 200 })];
+        let state = ReplayState::from_events(&events);
+        assert_eq!(state.events, 1);
+        assert_eq!(state.unknown_events, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Protocol round-trip fuzz, driven by the in-tree SplitMix64 generator:
+//!
+//! * any randomly generated event sequence must encode → decode to the
+//!   same events (lossless framing);
+//! * any random byte buffer fed to the reader must decode or error — the
+//!   decoder never panics and never loops;
+//! * random truncations of a valid stream must keep every frame before
+//!   the cut intact.
+
+use cnnre_obs::stream::{
+    encode_frame, header, read_stream, AttackEvent, BoundarySignal, EventPayload, EventReader,
+    SegmentKind,
+};
+use cnnre_tensor::rng::{Rng, SeedableRng, SmallRng};
+
+fn random_payload(rng: &mut SmallRng) -> EventPayload {
+    match rng.gen_range(0..10u32) {
+        0 => EventPayload::RunStarted {
+            label: format!("run_{}", rng.gen_range(0..1000u32)),
+        },
+        1 => EventPayload::SegmentClassified {
+            index: rng.gen_range(0..64u64),
+            kind: SegmentKind::from_code(rng.gen_range(0..4u64) as u8),
+            start_cycle: rng.gen_range(0..1_000_000u64),
+            end_cycle: rng.gen_range(0..1_000_000u64),
+            ifm_blocks: rng.gen_range(0..10_000u64),
+            ofm_blocks: rng.gen_range(0..10_000u64),
+            weight_blocks: rng.gen_range(0..10_000u64),
+        },
+        2 => EventPayload::LayerBoundary {
+            index: rng.gen_range(0..64u64),
+            signal: BoundarySignal::from_code(rng.gen_range(0..2u64) as u8),
+        },
+        3 => EventPayload::CandidatesNarrowed {
+            layer: rng.gen_range(0..16u64),
+            remaining: rng.gen_range(0..u64::MAX),
+            eta_branches: rng.gen_range(0..u64::MAX),
+            root_pct_bp: rng.gen_range(0..=10_000u64),
+        },
+        4 => EventPayload::LayerChained {
+            layer: rng.gen_range(0..16u64),
+            distinct: rng.gen_range(0..100_000u64),
+        },
+        5 => EventPayload::WeightRecovered {
+            channel: rng.gen_range(0..512u64),
+            row: rng.gen_range(0..16u64),
+            col: rng.gen_range(0..16u64),
+            queries: rng.gen_range(0..u64::MAX),
+        },
+        6 => EventPayload::DefenseObserved {
+            kind: "path_oram".to_string(),
+            input_events: rng.gen_range(0..u64::MAX),
+            output_events: rng.gen_range(0..u64::MAX),
+        },
+        7 => EventPayload::GraphConv {
+            layer: rng.gen_range(0..16u64),
+            w_ifm: rng.gen_range(1..512u64),
+            d_ifm: rng.gen_range(1..512u64),
+            w_ofm: rng.gen_range(1..512u64),
+            d_ofm: rng.gen_range(1..512u64),
+            f_conv: rng.gen_range(1..12u64),
+            s_conv: rng.gen_range(1..4u64),
+            p_conv: rng.gen_range(0..4u64),
+            pool: if rng.gen_bool(0.5) {
+                Some((
+                    rng.gen_range(1..4u64),
+                    rng.gen_range(1..4u64),
+                    rng.gen_range(0..2u64),
+                ))
+            } else {
+                None
+            },
+        },
+        8 => EventPayload::GraphFc {
+            layer: rng.gen_range(0..16u64),
+            in_features: rng.gen_range(1..100_000u64),
+            out_features: rng.gen_range(1..100_000u64),
+        },
+        _ => EventPayload::RunFinished {
+            structures: rng.gen_range(0..100_000u64),
+        },
+    }
+}
+
+fn random_stream(rng: &mut SmallRng, max_events: usize) -> (Vec<AttackEvent>, Vec<u8>) {
+    let n = rng.gen_range(0..=max_events);
+    let mut cycle = 0u64;
+    let events: Vec<AttackEvent> = (0..n)
+        .map(|seq| {
+            cycle += rng.gen_range(0..1000u64);
+            AttackEvent {
+                seq: seq as u64,
+                cycle,
+                payload: random_payload(rng),
+            }
+        })
+        .collect();
+    let mut bytes = header();
+    for ev in &events {
+        bytes.extend_from_slice(&encode_frame(ev));
+    }
+    (events, bytes)
+}
+
+#[test]
+fn random_event_sequences_round_trip_losslessly() {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    for _ in 0..200 {
+        let (events, bytes) = random_stream(&mut rng, 40);
+        let decoded = read_stream(bytes.as_slice()).expect("own encoding decodes");
+        assert_eq!(decoded, events);
+    }
+}
+
+#[test]
+fn random_garbage_never_panics_the_reader() {
+    let mut rng = SmallRng::seed_from_u64(0xDEAD_BEEF);
+    for _ in 0..500 {
+        let len = rng.gen_range(0..512usize);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen_range(0..256u64) as u8).collect();
+        // Any outcome but a panic/hang is acceptable.
+        let _ = read_stream(garbage.as_slice());
+        // Same bytes behind a valid header: frames are length-prefixed, so
+        // the reader must still terminate (decode, error, or clean EOF).
+        let mut with_header = header();
+        with_header.extend_from_slice(&garbage);
+        let mut reader = EventReader::new(with_header.as_slice());
+        for _ in 0..(len + 2) {
+            match reader.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) | Err(_) => break,
+            }
+        }
+    }
+}
+
+#[test]
+fn truncations_preserve_every_complete_frame() {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let (events, bytes) = random_stream(&mut rng, 20);
+    for cut in header().len()..bytes.len() {
+        match read_stream(&bytes[..cut]) {
+            Ok(decoded) => assert!(decoded.len() <= events.len()),
+            Err(_) => {
+                // A mid-frame cut errors; everything before it must still
+                // decode through the incremental reader.
+                let mut reader = EventReader::new(&bytes[..cut]);
+                let mut ok = 0usize;
+                while let Ok(Some(ev)) = reader.next_event() {
+                    assert_eq!(ev, events[ok]);
+                    ok += 1;
+                }
+                assert!(ok <= events.len());
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupted_streams_decode_or_error_but_always_terminate() {
+    // Flipping a byte may corrupt a length prefix and re-align the rest of
+    // the stream arbitrarily; the only guarantees are termination and no
+    // panic, with every decoded frame having consumed at least one byte.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let (_, bytes) = random_stream(&mut rng, 10);
+    for _ in 0..300 {
+        let mut corrupted = bytes.clone();
+        if corrupted.len() <= header().len() {
+            break;
+        }
+        let pos = rng.gen_range(header().len()..corrupted.len());
+        corrupted[pos] ^= rng.gen_range(1..256u64) as u8;
+        if let Ok(decoded) = read_stream(corrupted.as_slice()) {
+            assert!(decoded.len() <= corrupted.len());
+        }
+    }
+}

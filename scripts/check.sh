@@ -29,6 +29,21 @@ echo "==> cnnre-audit (golden artifacts, report in $AUDIT_REPORT)"
 cargo run --quiet -p cnnre-audit -- candidates tests/golden/lenet_candidates.jsonl --quiet
 cargo run --quiet -p cnnre-audit -- trace tests/golden/lenet_trace.csv \
     --format json --out "$AUDIT_REPORT" --quiet
+cargo run --quiet -p cnnre-audit -- events tests/golden/lenet_events.evt \
+    --trace tests/golden/lenet_trace.csv \
+    --candidates tests/golden/lenet_candidates.jsonl --quiet
+
+echo "==> viz (protocol round-trip fuzz + replay determinism)"
+cargo test -q -p cnnre-viz
+VIZ_TMP="$(mktemp -d)"
+trap 'rm -rf "$VIZ_TMP"' EXIT
+cargo run --quiet -p cnnre-viz -- --replay tests/golden/lenet_events.evt \
+    --out-dir "$VIZ_TMP/a" --snapshots >/dev/null 2>&1
+cargo run --quiet -p cnnre-viz -- --replay tests/golden/lenet_events.evt \
+    --out-dir "$VIZ_TMP/b" --snapshots >/dev/null 2>&1
+diff -r "$VIZ_TMP/a" "$VIZ_TMP/b"
+diff -q "$VIZ_TMP/a/graph.dot" tests/golden/lenet_graph.dot
+diff -q "$VIZ_TMP/a/timeline.svg" tests/golden/lenet_timeline.svg
 
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release

@@ -35,6 +35,8 @@ fn main() {
     // `--profile-out` additionally records the full span-tree timeline.
     let metrics_path = take_flag_value(&mut args, "--metrics");
     let profile_path = take_flag_value(&mut args, "--profile-out");
+    let events_path = take_flag_value(&mut args, "--events-out");
+    let events_tcp = take_flag_value(&mut args, "--events-tcp");
     let profile_clock = match take_flag_value(&mut args, "--profile-clock") {
         Some(v) => match cnnre_obs::profile::ClockDomain::parse(&v) {
             Some(c) => c,
@@ -60,6 +62,21 @@ fn main() {
     }
     if profile_path.is_some() {
         cnnre_obs::profile::set_enabled(true);
+    }
+    if events_path.is_some() || events_tcp.is_some() {
+        // Streaming events also records the events.* counters.
+        cnnre_obs::set_enabled(true);
+        cnnre_obs::stream::set_enabled(true);
+        if events_path.is_some() {
+            cnnre_obs::stream::set_record(true);
+        }
+        if let Some(addr) = &events_tcp {
+            // A failed connect degrades to recording-only (if requested):
+            // the attack must never depend on the viewer being up.
+            if let Err(e) = cnnre_obs::stream::connect(addr) {
+                eprintln!("cannot connect event stream to {addr}: {e}");
+            }
+        }
     }
     let code = match args.first().map(String::as_str) {
         Some("trace") => cmd_trace(&args[1..]),
@@ -103,6 +120,22 @@ fn main() {
             events.len()
         );
     }
+    if let Some(path) = events_path {
+        let bytes = cnnre_obs::stream::take_recorded_bytes();
+        let dropped = cnnre_obs::stream::dropped();
+        if let Err(e) = std::fs::write(&path, &bytes) {
+            eprintln!("cannot write events to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "events written to {path} ({} bytes, {dropped} dropped)",
+            bytes.len()
+        );
+    }
+    if events_tcp.is_some() {
+        // Give live clients a moment to drain before the process exits.
+        cnnre_obs::stream::flush(500);
+    }
     if let Some(path) = metrics_path {
         // Deterministic export: wall-clock metrics are excluded so two
         // identical seeded runs write byte-identical files.
@@ -143,6 +176,10 @@ fn print_usage() {
          (open in ui.perfetto.dev), or folded flamegraph stacks\n                       \
          when FILE ends in .folded/.txt\n  \
          --profile-clock C    timeline clock domain: wall|cycles|both (default both)\n  \
+         --events-out FILE    record the live attack-event stream to a replayable .evt file\n                       \
+         (view with `cnnre-viz --replay FILE`)\n  \
+         --events-tcp ADDR    stream attack events to a listening viewer\n                       \
+         (start `cnnre-viz --listen ADDR` first)\n  \
          --log-level LEVEL    stderr verbosity: error|warn|info|debug|trace|off\n                       \
          (also settable via the CNNRE_LOG environment variable)\n\n\
          MODELS: lenet | convnet | alexnet | squeezenet | vgg11 | vgg16 | resnet | inception\n        \
