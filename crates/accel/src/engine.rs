@@ -9,6 +9,15 @@
 //! filters — the trace analyzer relies on this only for separating two
 //! back-to-back layers that share an input.
 
+// This engine is the *simulated victim*: its secret-dependent control flow
+// IS the side channel the repo studies (§3 structure leak, §4 zero-pruning
+// leak). Making it constant-trace would erase the phenomenon under
+// measurement, so the CT rules are acknowledged file-wide instead.
+// lint:allow-module(ct-branch): op/stage dispatch on the secret topology is the §3 leak under study
+// lint:allow-module(ct-index): activation buffers are keyed by secret node ids; the resulting DRAM layout is the measured signal
+// lint:allow-module(ct-loop): tiling loops trip on secret layer geometry — exactly the inter-transaction timing §3 models
+// lint:allow-module(ct-arith): buffer-tiling divisions take secret dims; the victim's latency model includes them
+
 use std::collections::BTreeMap;
 
 use cnnre_nn::layer::PoolKind;

@@ -279,8 +279,8 @@ impl GateReport {
             .max(6);
         let num = |v: Option<f64>| match v {
             // Fixed formatting mirrors the snapshot writer: integral
-            // values print without a fraction.
-            // lint:allow(float-eq): exact integrality test for formatting
+            // values print without a fraction (the `v == v.trunc()`
+            // comparison is an exact integrality test, not a tolerance).
             Some(v) if v == v.trunc() && v.abs() < 1e15 => format!("{}", v as i64),
             Some(v) => format!("{v}"),
             None => "-".to_string(),

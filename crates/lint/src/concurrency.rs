@@ -1,0 +1,328 @@
+//! Concurrency-readiness checks (CR001–CR003): structural scans over the
+//! token tree for state that would block ROADMAP item 1's `Send + Sync`
+//! parallel-solver refactor, plus lock-ordering hygiene.
+//!
+//! CR004 (`Relaxed` loads steering control flow) is dataflow, not
+//! structure, and lives in [`crate::taint`].
+
+use crate::diag::Rule;
+use crate::lexer::TokKind;
+use crate::source::SourceFile;
+use crate::taint::Finding;
+use crate::tree::{build, Delim, Tree};
+
+/// Interior-mutability types that make a holder `!Sync`.
+const INTERIOR_MUT_TYPES: [&str; 5] = ["RefCell", "Cell", "UnsafeCell", "Rc", "OnceCell"];
+
+/// CR001: `static mut` items and interior-mutable `thread_local!` state.
+/// CR002: `RefCell`/`Cell`/`Rc`/… anywhere else in non-test code.
+///
+/// Both come from one walk so a `Cell` inside a `thread_local!` reports
+/// once, as CR001.
+#[must_use]
+pub fn mutable_state_findings(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if file.whole_file_excluded {
+        return out;
+    }
+    let trees = build(&file.tokens);
+    walk_mutable_state(&trees, file, &mut out);
+    out
+}
+
+fn walk_mutable_state(trees: &[Tree], file: &SourceFile, out: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    let mut i = 0usize;
+    while i < trees.len() {
+        if let Tree::Leaf(l) = &trees[i] {
+            let tok = &tokens[*l];
+            if !file.in_test_code(*l) && tok.kind == TokKind::Ident {
+                match tok.text.as_str() {
+                    // `static mut NAME: …`
+                    "static"
+                        if trees
+                            .get(i + 1)
+                            .and_then(|t| t.leaf(tokens))
+                            .is_some_and(|n| n.text == "mut") =>
+                    {
+                        out.push(Finding {
+                            rule: Rule::CrStaticMut,
+                            line: tok.line,
+                            message: "`static mut` global state blocks the Send + Sync \
+                                      refactor (CR001)"
+                                .to_owned(),
+                        });
+                    }
+                    // `thread_local! { … Cell … }`
+                    "thread_local"
+                        if trees
+                            .get(i + 1)
+                            .and_then(|t| t.leaf(tokens))
+                            .is_some_and(|n| n.text == "!") =>
+                    {
+                        if let Some(Tree::Group { children, .. }) = trees.get(i + 2) {
+                            let interior = crate::tree::flatten(children)
+                                .into_iter()
+                                .any(|t| INTERIOR_MUT_TYPES.contains(&tokens[t].text.as_str()));
+                            if interior {
+                                out.push(Finding {
+                                    rule: Rule::CrStaticMut,
+                                    line: tok.line,
+                                    message: "interior-mutable thread_local state diverges \
+                                              silently across the planned worker pool (CR001)"
+                                        .to_owned(),
+                                });
+                            }
+                        }
+                        // The macro body is CR001's, not CR002's.
+                        i += 3;
+                        continue;
+                    }
+                    // `use std::cell::RefCell;` — report the usage site,
+                    // not the import.
+                    "use" => {
+                        while i < trees.len() {
+                            if trees[i].leaf(tokens).is_some_and(|t| t.text == ";") {
+                                break;
+                            }
+                            i += 1;
+                        }
+                    }
+                    name if INTERIOR_MUT_TYPES.contains(&name) => {
+                        out.push(Finding {
+                            rule: Rule::CrInteriorMut,
+                            line: tok.line,
+                            message: format!(
+                                "`{name}` makes its holder !Sync, blocking the Send + Sync \
+                                 refactor (CR002)"
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        } else if let Tree::Group { children, .. } = &trees[i] {
+            walk_mutable_state(children, file, out);
+        }
+        i += 1;
+    }
+}
+
+/// CR003: a lock acquired while another guard is live in the same scope,
+/// or two acquisitions in one statement.
+///
+/// Acquisitions are `.lock(…)` / a free `lock(…)` call, and empty-argument
+/// `.read()` / `.write()` (the argument requirement keeps `io::Read::read`
+/// out). A `let`-bound acquisition keeps its guard live to the end of the
+/// enclosing block; `drop(guard)` is not modeled — narrowing a guard's
+/// scope with a block is the fix this rule pushes toward.
+#[must_use]
+pub fn lock_order_findings(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if file.whole_file_excluded {
+        return out;
+    }
+    let trees = build(&file.tokens);
+    walk_lock_block(&trees, file, 0, &mut out);
+    out
+}
+
+/// Walks one block's statements, tracking how many guards are live.
+fn walk_lock_block(trees: &[Tree], file: &SourceFile, live_in: usize, out: &mut Vec<Finding>) {
+    let tokens = &file.tokens;
+    let mut live = live_in;
+    let mut start = 0usize;
+    for i in 0..=trees.len() {
+        let at_end = i == trees.len();
+        let is_semi = !at_end && trees[i].leaf(tokens).is_some_and(|l| l.text == ";");
+        if !at_end && !is_semi {
+            continue;
+        }
+        let stmt = &trees[start..i];
+        start = i + 1;
+        if stmt.is_empty() {
+            continue;
+        }
+        let mut acqs = 0usize;
+        walk_lock_stmt(stmt, file, live, &mut acqs, out);
+        let is_let = stmt[0].leaf(tokens).is_some_and(|l| l.text == "let");
+        if is_let && acqs > 0 {
+            live += 1;
+        }
+    }
+}
+
+/// Walks one statement's trees; nested brace groups start child blocks at
+/// the current live count.
+fn walk_lock_stmt(
+    stmt: &[Tree],
+    file: &SourceFile,
+    live: usize,
+    acqs: &mut usize,
+    out: &mut Vec<Finding>,
+) {
+    let tokens = &file.tokens;
+    for (i, t) in stmt.iter().enumerate() {
+        match t {
+            Tree::Leaf(l) => {
+                let tok = &tokens[*l];
+                if tok.kind != TokKind::Ident || file.in_test_code(*l) {
+                    continue;
+                }
+                let prev = i
+                    .checked_sub(1)
+                    .and_then(|p| stmt[p].leaf(tokens))
+                    .map(|p| p.text.as_str());
+                let next_group = matches!(
+                    stmt.get(i + 1),
+                    Some(Tree::Group {
+                        delim: Delim::Paren,
+                        ..
+                    })
+                );
+                let next_empty = matches!(
+                    stmt.get(i + 1),
+                    Some(Tree::Group { delim: Delim::Paren, children, .. })
+                        if children.is_empty()
+                );
+                let is_acq = match tok.text.as_str() {
+                    // `fn lock(…)` defines the wrapper; skip it.
+                    "lock" => next_group && prev != Some("fn"),
+                    "read" | "write" => next_empty && prev == Some("."),
+                    _ => false,
+                };
+                if is_acq {
+                    if live + *acqs > 0 {
+                        out.push(Finding {
+                            rule: Rule::CrLockOrder,
+                            line: tok.line,
+                            message: "lock acquired while another guard is live — nested \
+                                      acquisition needs a documented order (CR003)"
+                                .to_owned(),
+                        });
+                    }
+                    *acqs += 1;
+                }
+            }
+            Tree::Group {
+                delim: Delim::Brace,
+                children,
+                ..
+            } => {
+                walk_lock_block(children, file, live + *acqs, out);
+            }
+            Tree::Group { children, .. } => {
+                walk_lock_stmt(children, file, live, acqs, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mutable(src: &str) -> Vec<(Rule, u32)> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        mutable_state_findings(&f)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    fn locks(src: &str) -> Vec<(Rule, u32)> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        lock_order_findings(&f)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn static_mut_is_cr001() {
+        assert_eq!(
+            mutable("static mut CACHE: Option<u32> = None;"),
+            [(Rule::CrStaticMut, 1)]
+        );
+    }
+
+    #[test]
+    fn plain_static_is_clean() {
+        assert!(mutable("static N: u32 = 0;").is_empty());
+    }
+
+    #[test]
+    fn interior_mut_thread_local_is_cr001_only() {
+        let out = mutable("thread_local! { static T: Cell<u64> = Cell::new(0); }");
+        assert_eq!(out, [(Rule::CrStaticMut, 1)]);
+    }
+
+    #[test]
+    fn plain_thread_local_is_clean() {
+        assert!(mutable("thread_local! { static T: u64 = 0; }").is_empty());
+    }
+
+    #[test]
+    fn refcell_field_is_cr002() {
+        let out = mutable("struct Oracle { memo: RefCell<u32> }");
+        assert_eq!(out, [(Rule::CrInteriorMut, 1)]);
+    }
+
+    #[test]
+    fn use_import_is_not_reported() {
+        let out = mutable("use std::cell::RefCell;\nstruct S { m: RefCell<u32> }");
+        assert_eq!(out, [(Rule::CrInteriorMut, 2)]);
+    }
+
+    #[test]
+    fn test_code_interior_mut_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests { struct S { c: Cell<u32> } }";
+        assert!(mutable(src).is_empty());
+    }
+
+    #[test]
+    fn nested_lock_is_cr003() {
+        let out = locks(
+            "fn f() {\n    let a = reg.lock();\n    let b = sinks.lock();\n    use_both(a, b);\n}",
+        );
+        assert_eq!(out, [(Rule::CrLockOrder, 3)]);
+    }
+
+    #[test]
+    fn sequential_scoped_locks_are_clean() {
+        let out = locks(
+            "fn f() {\n    { let a = reg.lock(); use_a(a); }\n    { let b = sinks.lock(); use_b(b); }\n}",
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn double_acquisition_in_one_statement_is_cr003() {
+        let out = locks("fn f() { merge(reg.lock(), sinks.lock()); }");
+        assert_eq!(out, [(Rule::CrLockOrder, 1)]);
+    }
+
+    #[test]
+    fn temporary_guard_does_not_outlive_its_statement() {
+        let out = locks("fn f() {\n    reg.lock().push(1);\n    sinks.lock().push(2);\n}");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn free_fn_lock_wrapper_counts() {
+        let out = locks("fn f() {\n    let a = lock(&q);\n    let b = lock(&r);\n    go(a, b);\n}");
+        assert_eq!(out, [(Rule::CrLockOrder, 3)]);
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_an_acquisition() {
+        assert!(locks("fn f() { let n = file.read(&mut buf); use_it(n); }").is_empty());
+    }
+
+    #[test]
+    fn rwlock_empty_read_counts() {
+        let out =
+            locks("fn f() {\n    let a = map.read();\n    let b = idx.write();\n    go(a, b);\n}");
+        assert_eq!(out, [(Rule::CrLockOrder, 3)]);
+    }
+}

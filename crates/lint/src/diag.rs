@@ -24,13 +24,40 @@ pub enum Rule {
     /// Metric-name literal passed to an `obs` recording call that violates
     /// the documented schema (DESIGN.md §10).
     MetricName,
+    /// CT001 — secret-dependent branch (`if`/`match` on tainted data) in a
+    /// constant-trace-scoped file.
+    CtBranch,
+    /// CT002 — secret-indexed memory access (`a[secret]`) in a
+    /// constant-trace-scoped file.
+    CtIndex,
+    /// CT003 — variable-latency arithmetic (`/`, `%`, `pow`, …) on secret
+    /// operands in a constant-trace-scoped file.
+    CtArith,
+    /// CT004 — secret-dependent loop bound or trip count in a
+    /// constant-trace-scoped file.
+    CtLoop,
+    /// CR001 — mutable global state (`static mut`, interior-mutable
+    /// `thread_local!`) on a path slated to become a `Send + Sync` engine.
+    CrStaticMut,
+    /// CR002 — non-`Sync` interior mutability (`RefCell`/`Cell`/`Rc`) on a
+    /// path slated to become a `Send + Sync` engine.
+    CrInteriorMut,
+    /// CR003 — nested lock acquisition (a second lock taken while one is
+    /// held) without a documented ordering.
+    CrLockOrder,
+    /// CR004 — `Ordering::Relaxed` atomic load flowing into a control
+    /// decision (dataflow upgrade of [`Rule::AtomicOrdering`]).
+    CrRelaxedControl,
+    /// A well-formed `lint:allow` directive that no longer suppresses any
+    /// finding.
+    StaleAllow,
     /// Malformed or unknown `lint:allow` suppression directive.
     AllowSyntax,
 }
 
 impl Rule {
     /// All rules, in severity/report order.
-    pub const ALL: [Rule; 8] = [
+    pub const ALL: [Rule; 17] = [
         Rule::Wallclock,
         Rule::HashIter,
         Rule::Panic,
@@ -38,6 +65,15 @@ impl Rule {
         Rule::AtomicOrdering,
         Rule::FloatEq,
         Rule::MetricName,
+        Rule::CtBranch,
+        Rule::CtIndex,
+        Rule::CtArith,
+        Rule::CtLoop,
+        Rule::CrStaticMut,
+        Rule::CrInteriorMut,
+        Rule::CrLockOrder,
+        Rule::CrRelaxedControl,
+        Rule::StaleAllow,
         Rule::AllowSyntax,
     ];
 
@@ -52,7 +88,35 @@ impl Rule {
             Rule::AtomicOrdering => "atomic-ordering",
             Rule::FloatEq => "float-eq",
             Rule::MetricName => "metric-name",
+            Rule::CtBranch => "ct-branch",
+            Rule::CtIndex => "ct-index",
+            Rule::CtArith => "ct-arith",
+            Rule::CtLoop => "ct-loop",
+            Rule::CrStaticMut => "cr-static-mut",
+            Rule::CrInteriorMut => "cr-interior-mut",
+            Rule::CrLockOrder => "cr-lock-order",
+            Rule::CrRelaxedControl => "cr-relaxed-control",
+            Rule::StaleAllow => "stale-allow",
             Rule::AllowSyntax => "allow-syntax",
+        }
+    }
+
+    /// The stable short code (`CT001`, `CR003`, …) for rules that have one.
+    ///
+    /// Only the taint/concurrency families carry codes; the original
+    /// surface rules are addressed by name.
+    #[must_use]
+    pub fn code(self) -> Option<&'static str> {
+        match self {
+            Rule::CtBranch => Some("CT001"),
+            Rule::CtIndex => Some("CT002"),
+            Rule::CtArith => Some("CT003"),
+            Rule::CtLoop => Some("CT004"),
+            Rule::CrStaticMut => Some("CR001"),
+            Rule::CrInteriorMut => Some("CR002"),
+            Rule::CrLockOrder => Some("CR003"),
+            Rule::CrRelaxedControl => Some("CR004"),
+            _ => None,
         }
     }
 
@@ -89,6 +153,42 @@ impl Rule {
                  series/span must match the metric schema: lowercase dotted \
                  path, known subsystem prefix, `_ns` only as `.wall_ns`"
             }
+            Rule::CtBranch => {
+                "CT001: no if/match on secret-derived data in constant-trace \
+                 scoped files (defense & accel paths)"
+            }
+            Rule::CtIndex => {
+                "CT002: no slice/array indexing with a secret-derived index \
+                 in constant-trace scoped files"
+            }
+            Rule::CtArith => {
+                "CT003: no variable-latency arithmetic (/, %, pow, div_euclid, \
+                 …) on secret-derived operands in constant-trace scoped files"
+            }
+            Rule::CtLoop => {
+                "CT004: no loop bound, trip count, or iterated collection \
+                 derived from secrets in constant-trace scoped files"
+            }
+            Rule::CrStaticMut => {
+                "CR001: no `static mut` or interior-mutable thread_local \
+                 state on solver/oracle paths slated for Send + Sync"
+            }
+            Rule::CrInteriorMut => {
+                "CR002: no RefCell/Cell/Rc/UnsafeCell in solver/oracle paths \
+                 slated for Send + Sync"
+            }
+            Rule::CrLockOrder => {
+                "CR003: no second lock acquired while another guard is live \
+                 without a documented ordering"
+            }
+            Rule::CrRelaxedControl => {
+                "CR004: no Ordering::Relaxed atomic load flowing into an \
+                 if/match/while control decision"
+            }
+            Rule::StaleAllow => {
+                "lint:allow directives that no longer suppress any finding \
+                 must be deleted"
+            }
             Rule::AllowSyntax => {
                 "lint:allow directives must name a known rule and give a \
                  non-empty reason"
@@ -96,10 +196,156 @@ impl Rule {
         }
     }
 
-    /// Looks a rule up by its short name.
+    /// Multi-paragraph rationale + minimal example for `--explain`.
+    #[must_use]
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::Wallclock => {
+                "Wall-clock reads make --metrics snapshots nondeterministic, so\n\
+                 they are confined to obs' designated wall-clock modules.\n\n\
+                 Fails:   let t = std::time::Instant::now();\n\
+                 Fix:     route timing through obs::span / obs::profile."
+            }
+            Rule::HashIter => {
+                "HashMap/HashSet iteration order is randomized per process, so\n\
+                 any export or solver path that iterates one is nondeterministic.\n\n\
+                 Fails:   let mut m: HashMap<u32, f32> = HashMap::new();\n\
+                 Fix:     use BTreeMap/BTreeSet, or justify that ordering never\n\
+                 escapes with lint:allow(hash-iter): <reason>."
+            }
+            Rule::Panic => {
+                "Library code must surface errors as values; panics abort the\n\
+                 whole attack pipeline from deep inside a crate.\n\n\
+                 Fails:   let v = map.get(&k).unwrap();\n\
+                 Fix:     return Result/Option, or justify unreachability with\n\
+                 lint:allow(panic): <reason>."
+            }
+            Rule::Cast => {
+                "Truncation-capable `as` casts silently wrap layer-geometry\n\
+                 arithmetic, corrupting candidate enumeration.\n\n\
+                 Fails:   let w = (h * scale) as u16;\n\
+                 Fix:     use try_from / widen the type."
+            }
+            Rule::AtomicOrdering => {
+                "obs is a hot path; stronger-than-Relaxed orderings there need\n\
+                 a written justification so fences are auditable.\n\n\
+                 Fails:   FLAG.store(true, Ordering::SeqCst);\n\
+                 Fix:     use Relaxed, or add a justification comment on the\n\
+                 same or preceding line."
+            }
+            Rule::FloatEq => {
+                "Exact float equality is almost always a latent bug in ranking\n\
+                 and threshold code.\n\n\
+                 Fails:   if score == best { ... }\n\
+                 Fix:     use total_cmp or an epsilon compare."
+            }
+            Rule::MetricName => {
+                "Metric names feed dashboards and the perf-regression gate; a\n\
+                 typo silently drops data.\n\n\
+                 Fails:   obs::counter(\"Solver.Steps\", 1);\n\
+                 Fix:     lowercase dotted path with a known subsystem prefix,\n\
+                 e.g. obs::counter(\"solver.steps\", 1)."
+            }
+            Rule::CtBranch => {
+                "CT001 — secret-dependent branch.\n\n\
+                 A branch whose condition derives from secret data (layer\n\
+                 geometry, weights, traces) executes different code per secret\n\
+                 value; instruction-cache and timing side channels read that\n\
+                 difference directly (PAPER.md; Alam & Mukhopadhyay 1811.05259).\n\
+                 Defense code must be branchless in secrets.\n\n\
+                 Fails:   fn pad(t: &Trace) { if t.events().len() > 4 { ... } }\n\
+                 Fix:     compute both sides and select arithmetically, or mask\n\
+                 with a constant-shape loop; else justify with\n\
+                 lint:allow(ct-branch): <reason>."
+            }
+            Rule::CtIndex => {
+                "CT002 — secret-indexed memory access.\n\n\
+                 a[secret] makes the accessed cache line a function of the\n\
+                 secret — exactly the address leak the paper's attack decodes.\n\
+                 Constant-trace code must touch addresses independent of\n\
+                 secrets.\n\n\
+                 Fails:   let line = lut[trace.events()[0].addr as usize];\n\
+                 Fix:     scan the whole table with arithmetic select (ORAM-\n\
+                 style), or justify with lint:allow(ct-index): <reason>."
+            }
+            Rule::CtArith => {
+                "CT003 — variable-time arithmetic on secrets.\n\n\
+                 Integer division/remainder and float transcendentals take\n\
+                 operand-dependent cycles on real cores; applying them to\n\
+                 secrets leaks through timing.\n\n\
+                 Fails:   let rows = total / geom.stride;\n\
+                 Fix:     hoist to public values, use shifts for powers of two,\n\
+                 or justify with lint:allow(ct-arith): <reason>."
+            }
+            Rule::CtLoop => {
+                "CT004 — secret-dependent loop bound.\n\n\
+                 A trip count derived from secrets modulates total runtime and\n\
+                 trace length — the coarsest, most robust leak of all.\n\n\
+                 Fails:   for ev in trace.events() { pad(ev); }\n\
+                 Fix:     iterate to a public worst-case bound and mask excess\n\
+                 iterations, or justify with lint:allow(ct-loop): <reason>."
+            }
+            Rule::CrStaticMut => {
+                "CR001 — mutable global state.\n\n\
+                 ROADMAP item 1 shards the candidate search across threads;\n\
+                 `static mut` and interior-mutable thread_locals on those paths\n\
+                 are data races or silent per-thread divergence waiting to\n\
+                 happen.\n\n\
+                 Fails:   static mut CACHE: Option<Table> = None;\n\
+                 Fix:     pass state through &self / &mut self, or use a lock\n\
+                 with a documented scope."
+            }
+            Rule::CrInteriorMut => {
+                "CR002 — non-Sync interior mutability.\n\n\
+                 RefCell/Cell/Rc make a type !Sync, so any solver/oracle struct\n\
+                 holding one cannot be shared across the planned worker pool.\n\n\
+                 Fails:   struct Oracle { memo: RefCell<BTreeMap<K, V>> }\n\
+                 Fix:     use &mut self methods, Mutex/RwLock, or atomics."
+            }
+            Rule::CrLockOrder => {
+                "CR003 — nested lock acquisition.\n\n\
+                 Taking lock B while holding lock A deadlocks the moment any\n\
+                 other thread takes them in the opposite order. Nested\n\
+                 acquisitions need a documented global order.\n\n\
+                 Fails:   let a = reg.lock(); let b = sinks.lock();\n\
+                 Fix:     narrow the first guard's scope, or document the\n\
+                 ordering with lint:allow(cr-lock-order): <order>."
+            }
+            Rule::CrRelaxedControl => {
+                "CR004 — Relaxed atomic load steering control flow.\n\n\
+                 A Relaxed load carries no happens-before edge: branching on it\n\
+                 can observe arbitrarily stale state, so cross-thread control\n\
+                 decisions (shutdown flags, queue gates) silently misfire.\n\n\
+                 Fails:   if STOP.load(Ordering::Relaxed) { return; }\n\
+                 Fix:     use Acquire (pairing with a Release store), or\n\
+                 justify staleness-tolerance with\n\
+                 lint:allow(cr-relaxed-control): <reason>."
+            }
+            Rule::StaleAllow => {
+                "stale-allow — dead suppression.\n\n\
+                 A lint:allow comment that no longer suppresses any finding is\n\
+                 misleading documentation: it claims a violation exists where\n\
+                 none does, and it hides future regressions at that site.\n\n\
+                 Fails:   // lint:allow(panic): justified\n\
+                          let x = compute();            // nothing to suppress\n\
+                 Fix:     delete the directive."
+            }
+            Rule::AllowSyntax => {
+                "allow-syntax — malformed suppression.\n\n\
+                 Suppressions are part of the audit trail; an unknown rule name\n\
+                 or missing reason silently suppresses nothing.\n\n\
+                 Fails:   // lint:allow(panics)\n\
+                 Fix:     // lint:allow(panic): <non-empty reason>."
+            }
+        }
+    }
+
+    /// Looks a rule up by its short name or `CTnnn`/`CRnnn` code.
     #[must_use]
     pub fn from_name(name: &str) -> Option<Rule> {
-        Rule::ALL.into_iter().find(|r| r.name() == name)
+        Rule::ALL
+            .into_iter()
+            .find(|r| r.name() == name || r.code() == Some(name))
     }
 }
 

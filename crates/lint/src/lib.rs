@@ -14,10 +14,20 @@
 //! * **Ordering discipline.** `cnnre-obs` promises a single `Relaxed` load
 //!   on its disabled fast path; stronger orderings must justify themselves
 //!   ([`Rule::AtomicOrdering`]).
+//! * **Constant-trace defenses.** The ORAM/zero-pruning defenses are only
+//!   sound if their implementations contain no secret-dependent branches,
+//!   indexing, variable-time arithmetic, or loop bounds — a taint-dataflow
+//!   engine ([`taint`]) verifies this (CT001–CT004).
+//! * **Concurrency readiness.** ROADMAP item 1's `Send + Sync` parallel
+//!   solver needs solver/oracle paths free of mutable globals, interior
+//!   mutability, undocumented nested locking, and `Relaxed` loads steering
+//!   control flow ([`concurrency`], CR001–CR004).
 //!
 //! Like `cnnre-obs`, the analyzer is zero-dependency: a hand-written lexer
-//! ([`lexer`]) feeds rule passes ([`rules`]) over every workspace source
-//! file ([`walk`]). Suppression is explicit and auditable:
+//! ([`lexer`]) feeds surface rule passes ([`rules`]) over every workspace
+//! source file ([`walk`]); a token-tree layer ([`tree`]) and a lightweight
+//! item recognizer ([`syntax`]) give the dataflow rules structure to work
+//! with. Suppression is explicit and auditable:
 //!
 //! ```text
 //! let w = widths.last().unwrap_or(&0); // no directive needed — total
@@ -32,10 +42,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod diag;
 pub mod lexer;
 pub mod rules;
 pub mod source;
+pub mod syntax;
+pub mod taint;
+pub mod tree;
 pub mod walk;
 
 pub use diag::{render_human, render_json, Diagnostic, Rule};

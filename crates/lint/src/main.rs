@@ -12,6 +12,7 @@ USAGE:
     cnnre-lint [--root DIR] [--format human|json] [--out FILE] [--quiet]
                [--include-tests]
     cnnre-lint --list-rules
+    cnnre-lint --explain CODE
 
 FLAGS:
     --root DIR        workspace root to lint (default: current directory)
@@ -21,6 +22,8 @@ FLAGS:
     --include-tests   also lint tests/, benches/, examples/ under the
                       relaxed rule set (wallclock + hash-iter only)
     --list-rules      print the rule table and exit
+    --explain CODE    print a rule's rationale and a minimal example, then
+                      exit; CODE is a rule name (ct-branch) or code (CT001)
 
 EXIT CODES:
     0  clean          1  violations found          2  usage or I/O error
@@ -33,6 +36,7 @@ struct Opts {
     quiet: bool,
     list_rules: bool,
     include_tests: bool,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Opts, String> {
@@ -43,6 +47,7 @@ fn parse_args() -> Result<Opts, String> {
         quiet: false,
         list_rules: false,
         include_tests: false,
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +71,9 @@ fn parse_args() -> Result<Opts, String> {
             "--quiet" => opts.quiet = true,
             "--include-tests" => opts.include_tests = true,
             "--list-rules" => opts.list_rules = true,
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain needs a rule name or code")?);
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -85,9 +93,27 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(query) = &opts.explain {
+        let Some(rule) = Rule::from_name(query) else {
+            eprintln!(
+                "cnnre-lint: unknown rule {query:?} (see --list-rules for names; \
+                 CT/CR rules also answer to their codes, e.g. CT001)"
+            );
+            return ExitCode::from(2);
+        };
+        match rule.code() {
+            Some(code) => println!("{code} ({})", rule.name()),
+            None => println!("{}", rule.name()),
+        }
+        println!();
+        println!("{}", rule.explain());
+        return ExitCode::SUCCESS;
+    }
+
     if opts.list_rules {
         for rule in Rule::ALL {
-            println!("{:<16} {}", rule.name(), rule.summary());
+            let code = rule.code().unwrap_or("");
+            println!("{:<20} {:<6} {}", rule.name(), code, rule.summary());
         }
         return ExitCode::SUCCESS;
     }

@@ -4,8 +4,11 @@
 //! individual findings (auditable — a directive with no reason is itself a
 //! violation, see [`check_allow_directives`]).
 
+use crate::concurrency;
 use crate::diag::{Diagnostic, Rule};
 use crate::source::SourceFile;
+use crate::taint;
+use std::collections::BTreeSet;
 
 /// Wall-clock reads are permitted only here: `obs::span` measures wall
 /// time by design (and tags it `wall_ns` so deterministic exports drop
@@ -90,6 +93,31 @@ const HASH_ITER_TEST_SCOPE: [&str; 4] = [
     "crates/accel/tests/",
 ];
 
+/// Files whose implementations must be constant-trace: the defenses (their
+/// whole point is removing secret-dependent behavior) and the accelerator
+/// engine/schedule/layout (the simulated victim, where secret-dependent
+/// behavior is the *subject* and every instance must be a documented,
+/// intentional leak).
+const CT_SCOPE: [&str; 4] = [
+    "crates/trace/src/defense.rs",
+    "crates/accel/src/engine.rs",
+    "crates/accel/src/schedule.rs",
+    "crates/accel/src/layout.rs",
+];
+
+/// Crates whose `src/` trees ROADMAP item 1 will turn into `Send + Sync`
+/// parallel engines: mutable globals and interior mutability there are
+/// refactor blockers today (CR001/CR002).
+const CR_STATE_SCOPE: [&str; 3] = ["crates/core/src/", "crates/trace/src/", "crates/accel/src/"];
+
+/// Crates that hold locks (`obs` registries, the bench harness) or will
+/// (the parallel solver): nested acquisitions need a documented order
+/// (CR003).
+const LOCK_SCOPE: [&str; 3] = ["crates/obs/src/", "crates/core/src/", "crates/bench/src/"];
+
+/// Crates whose atomics steer cross-thread control flow (CR004).
+const RELAXED_SCOPE: [&str; 2] = ["crates/obs/src/", "crates/core/src/"];
+
 /// Whether `rel_path` lives in a test/bench/example tree rather than a
 /// `src/` tree. Such files are only reached via `--include-tests` and get
 /// the relaxed rule set.
@@ -110,9 +138,9 @@ pub fn is_test_tree(rel_path: &str) -> bool {
 /// idiom, not a defect.
 #[must_use]
 pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
+    let mut out = Ctx::default();
     if file.whole_file_excluded {
-        return out;
+        return out.diags;
     }
     let code = file.code_indices();
     check_wallclock(file, &code, &mut out);
@@ -123,16 +151,44 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
         check_atomic_ordering(file, &code, &mut out);
         check_float_eq(file, &code, &mut out);
         check_metric_name(file, &code, &mut out);
+        check_constant_trace(file, &mut out);
+        check_relaxed_control(file, &mut out);
+        check_mutable_state(file, &mut out);
+        check_lock_order(file, &mut out);
     }
-    check_allow_directives(file, &mut out);
-    out
+    check_allow_directives(file, &mut out.diags);
+    check_stale_allows(file, &out.used, &out.used_module, &mut out.diags);
+    out.diags
 }
 
-fn push(out: &mut Vec<Diagnostic>, file: &SourceFile, rule: Rule, line: u32, message: String) {
-    if file.allow_for(rule.name(), line).is_some() {
+/// Accumulates one file's diagnostics plus which suppression directives
+/// actually fired — the input to the stale-allow post-pass.
+#[derive(Default)]
+struct Ctx {
+    diags: Vec<Diagnostic>,
+    /// `(directive line, directive rule text)` of used line allows.
+    used: BTreeSet<(u32, String)>,
+    /// Rule text of used `lint:allow-module` directives.
+    used_module: BTreeSet<String>,
+}
+
+fn push(out: &mut Ctx, file: &SourceFile, rule: Rule, line: u32, message: String) {
+    // A directive may name the rule (`ct-branch`) or its code (`CT001`).
+    let line_allow = file
+        .allow_for(rule.name(), line)
+        .or_else(|| rule.code().and_then(|c| file.allow_for(c, line)));
+    if let Some(d) = line_allow {
+        out.used.insert((d.line, d.rule.clone()));
         return;
     }
-    out.push(Diagnostic {
+    let module_allow = file
+        .module_allow_for(rule.name())
+        .or_else(|| rule.code().and_then(|c| file.module_allow_for(c)));
+    if let Some(d) = module_allow {
+        out.used_module.insert(d.rule.clone());
+        return;
+    }
+    out.diags.push(Diagnostic {
         rule,
         file: file.rel_path.clone(),
         line,
@@ -149,7 +205,7 @@ fn exempt(file: &SourceFile, idx: usize) -> bool {
     !is_test_tree(&file.rel_path) && file.in_test_code(idx)
 }
 
-fn check_wallclock(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+fn check_wallclock(file: &SourceFile, code: &[usize], out: &mut Ctx) {
     if WALLCLOCK_ALLOWED.iter().any(|p| file.rel_path == *p) {
         return;
     }
@@ -176,7 +232,7 @@ fn check_wallclock(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>)
     }
 }
 
-fn check_hash_iter(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+fn check_hash_iter(file: &SourceFile, code: &[usize], out: &mut Ctx) {
     let scope: &[&str] = if is_test_tree(&file.rel_path) {
         &HASH_ITER_TEST_SCOPE
     } else {
@@ -204,7 +260,7 @@ fn check_hash_iter(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>)
     }
 }
 
-fn check_panic(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+fn check_panic(file: &SourceFile, code: &[usize], out: &mut Ctx) {
     if !in_scope(&file.rel_path, &PANIC_SCOPE) {
         return;
     }
@@ -250,7 +306,7 @@ fn check_panic(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
     }
 }
 
-fn check_cast(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+fn check_cast(file: &SourceFile, code: &[usize], out: &mut Ctx) {
     if !in_scope(&file.rel_path, &CAST_SCOPE) {
         return;
     }
@@ -299,7 +355,7 @@ fn cast_source_is_float_rounder(file: &SourceFile, code: &[usize], ci: usize) ->
     close == ")" && open == "(" && FLOAT_ROUNDERS.contains(&name.as_str())
 }
 
-fn check_atomic_ordering(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+fn check_atomic_ordering(file: &SourceFile, code: &[usize], out: &mut Ctx) {
     if !file.rel_path.starts_with("crates/obs/src/") {
         return;
     }
@@ -335,7 +391,7 @@ fn check_atomic_ordering(file: &SourceFile, code: &[usize], out: &mut Vec<Diagno
 /// The lexer emits single-character puncts, so `==` arrives as two
 /// adjacent `=` tokens and `!=` as `!` `=` — no other Rust surface syntax
 /// produces either adjacency.
-fn check_float_eq(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+fn check_float_eq(file: &SourceFile, code: &[usize], out: &mut Ctx) {
     for (ci, w) in windows3(code).enumerate() {
         let [a, b, c] = w;
         let (fst, snd) = (&file.tokens[a].text, &file.tokens[b].text);
@@ -416,7 +472,7 @@ fn is_float_literal(text: &str) -> bool {
 /// `.wall_ns`. A malformed literal silently forks the metric namespace —
 /// the catalogue, the `--list-metrics` table, and the perf-gate baselines
 /// all key on exact names.
-fn check_metric_name(file: &SourceFile, code: &[usize], out: &mut Vec<Diagnostic>) {
+fn check_metric_name(file: &SourceFile, code: &[usize], out: &mut Ctx) {
     for w in windows4(code) {
         let [a, b, c, d] = w;
         let callee = file.tokens[b].text.as_str();
@@ -499,32 +555,118 @@ fn segment_ok(s: &str) -> bool {
             .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
 }
 
+/// CT001–CT004: the taint engine in secret mode over constant-trace files.
+fn check_constant_trace(file: &SourceFile, out: &mut Ctx) {
+    if !in_scope(&file.rel_path, &CT_SCOPE) {
+        return;
+    }
+    for f in taint::analyze(file, taint::Mode::Secret) {
+        push(out, file, f.rule, f.line, f.message);
+    }
+}
+
+/// CR004: the taint engine in relaxed-load mode over atomic-bearing crates.
+fn check_relaxed_control(file: &SourceFile, out: &mut Ctx) {
+    if !in_scope(&file.rel_path, &RELAXED_SCOPE) {
+        return;
+    }
+    for f in taint::analyze(file, taint::Mode::RelaxedLoad) {
+        push(out, file, f.rule, f.line, f.message);
+    }
+}
+
+/// CR001/CR002: mutable globals and interior mutability on solver paths.
+fn check_mutable_state(file: &SourceFile, out: &mut Ctx) {
+    if !in_scope(&file.rel_path, &CR_STATE_SCOPE) {
+        return;
+    }
+    for f in concurrency::mutable_state_findings(file) {
+        push(out, file, f.rule, f.line, f.message);
+    }
+}
+
+/// CR003: nested lock acquisition on lock-holding paths.
+fn check_lock_order(file: &SourceFile, out: &mut Ctx) {
+    if !in_scope(&file.rel_path, &LOCK_SCOPE) {
+        return;
+    }
+    for f in concurrency::lock_order_findings(file) {
+        push(out, file, f.rule, f.line, f.message);
+    }
+}
+
 /// Validates every `lint:allow` directive in the file: the rule must exist
 /// and the reason must be non-empty. This is what keeps suppression
 /// auditable rather than a silent escape hatch.
 pub fn check_allow_directives(file: &SourceFile, out: &mut Vec<Diagnostic>) {
-    for d in file.all_allows() {
-        if Rule::from_name(&d.rule).is_none() {
+    let mut validate = |rule: &str, reason: &str, line: u32, form: &str| {
+        if Rule::from_name(rule).is_none() {
             out.push(Diagnostic {
                 rule: Rule::AllowSyntax,
                 file: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "{form} names unknown rule `{rule}` (known: {})",
+                    Rule::ALL.map(Rule::name).join(", ")
+                ),
+                snippet: file.snippet(line),
+            });
+        } else if reason.is_empty() {
+            out.push(Diagnostic {
+                rule: Rule::AllowSyntax,
+                file: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "{form}({rule}) has no reason; write \
+                     `// {form}({rule}): <why this is sound>`"
+                ),
+                snippet: file.snippet(line),
+            });
+        }
+    };
+    for d in file.all_allows() {
+        validate(&d.rule, &d.reason, d.line, "lint:allow");
+    }
+    for d in file.all_module_allows() {
+        validate(&d.rule, &d.reason, d.line, "lint:allow-module");
+    }
+}
+
+/// The stale-allow post-pass: any *well-formed* directive that no rule
+/// pass consulted while suppressing a finding is dead documentation and
+/// must be deleted. Malformed directives are [`Rule::AllowSyntax`]'s and
+/// are not double-reported here.
+fn check_stale_allows(
+    file: &SourceFile,
+    used: &BTreeSet<(u32, String)>,
+    used_module: &BTreeSet<String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let well_formed =
+        |rule: &str, reason: &str| Rule::from_name(rule).is_some() && !reason.is_empty();
+    for d in file.all_allows() {
+        if well_formed(&d.rule, &d.reason) && !used.contains(&(d.line, d.rule.clone())) {
+            out.push(Diagnostic {
+                rule: Rule::StaleAllow,
+                file: file.rel_path.clone(),
                 line: d.line,
                 message: format!(
-                    "lint:allow names unknown rule `{}` (known: {})",
-                    d.rule,
-                    Rule::ALL.map(Rule::name).join(", ")
+                    "lint:allow({}) no longer suppresses any finding; delete it",
+                    d.rule
                 ),
                 snippet: file.snippet(d.line),
             });
-        } else if d.reason.is_empty() {
+        }
+    }
+    for d in file.all_module_allows() {
+        if well_formed(&d.rule, &d.reason) && !used_module.contains(&d.rule) {
             out.push(Diagnostic {
-                rule: Rule::AllowSyntax,
+                rule: Rule::StaleAllow,
                 file: file.rel_path.clone(),
                 line: d.line,
                 message: format!(
-                    "lint:allow({}) has no reason; write \
-                     `// lint:allow({}): <why this is sound>`",
-                    d.rule, d.rule
+                    "lint:allow-module({}) no longer suppresses any finding; delete it",
+                    d.rule
                 ),
                 snippet: file.snippet(d.line),
             });

@@ -41,6 +41,10 @@ pub struct SourceFile {
     pub whole_file_excluded: bool,
     /// Suppression directives keyed by line.
     allows: BTreeMap<u32, Vec<AllowDirective>>,
+    /// File-wide `lint:allow-module(rule): reason` suppressions.
+    module_allows: Vec<AllowDirective>,
+    /// Lines carrying a `// taint:source` annotation.
+    taint_marks: BTreeSet<u32>,
     /// Lines on which any comment text appears (for justification checks).
     comment_lines: BTreeSet<u32>,
     /// Child modules declared as `#[cfg(test)] mod name;`.
@@ -60,6 +64,8 @@ impl SourceFile {
             excluded: Vec::new(),
             whole_file_excluded: false,
             allows: BTreeMap::new(),
+            module_allows: Vec::new(),
+            taint_marks: BTreeSet::new(),
             comment_lines: BTreeSet::new(),
             gated_child_mods: Vec::new(),
         };
@@ -108,10 +114,39 @@ impl SourceFile {
         None
     }
 
-    /// All parsed suppression directives (for directive validation).
+    /// The file-wide `lint:allow-module` suppression for `rule`, if any.
+    #[must_use]
+    pub fn module_allow_for(&self, rule: &str) -> Option<&AllowDirective> {
+        self.module_allows.iter().find(|d| d.rule == rule)
+    }
+
+    /// All parsed line-scoped suppression directives (for validation).
     #[must_use]
     pub fn all_allows(&self) -> Vec<&AllowDirective> {
         self.allows.values().flatten().collect()
+    }
+
+    /// All parsed file-wide suppression directives (for validation).
+    #[must_use]
+    pub fn all_module_allows(&self) -> &[AllowDirective] {
+        &self.module_allows
+    }
+
+    /// Whether `line` (or the contiguous comment block directly above it)
+    /// carries a `// taint:source` annotation.
+    #[must_use]
+    pub fn taint_marked(&self, line: u32) -> bool {
+        if self.taint_marks.contains(&line) {
+            return true;
+        }
+        let mut l = line.saturating_sub(1);
+        while l > 0 && self.comment_lines.contains(&l) {
+            if self.taint_marks.contains(&l) {
+                return true;
+            }
+            l -= 1;
+        }
+        false
     }
 
     /// Whether any comment text appears on `line` or the line above —
@@ -140,8 +175,16 @@ impl SourceFile {
                 self.comment_lines.insert(l);
             }
             for (off, text) in tok.text.lines().enumerate() {
-                if let Some(d) = parse_allow(text, tok.line + u32::try_from(off).unwrap_or(0)) {
-                    self.allows.entry(d.line).or_default().push(d);
+                let line = tok.line + u32::try_from(off).unwrap_or(0);
+                match parse_directive(text, line) {
+                    Some(Directive::Line(d)) => {
+                        self.allows.entry(d.line).or_default().push(d);
+                    }
+                    Some(Directive::Module(d)) => self.module_allows.push(d),
+                    Some(Directive::TaintSource) => {
+                        self.taint_marks.insert(line);
+                    }
+                    None => {}
                 }
             }
         }
@@ -204,14 +247,24 @@ impl SourceFile {
     }
 }
 
-/// Parses one comment line as a `lint:allow(rule): reason` directive.
-/// Malformed variants (missing reason, missing parens) still return a
-/// directive with whatever could be salvaged so that directive validation
-/// can report them precisely; `None` means the comment is not an allow at
-/// all. A directive must *open* the comment (`// lint:allow…`) and doc
-/// comments never count — prose that merely mentions the syntax (like this
+/// A parsed comment directive.
+enum Directive {
+    /// `lint:allow(rule): reason` — suppresses one site.
+    Line(AllowDirective),
+    /// `lint:allow-module(rule): reason` — suppresses a whole file.
+    Module(AllowDirective),
+    /// `taint:source` — seeds the taint engine at this line.
+    TaintSource,
+}
+
+/// Parses one comment line as a directive. Malformed allow variants
+/// (missing reason, missing parens) still return a directive with whatever
+/// could be salvaged so that directive validation can report them
+/// precisely; `None` means the comment carries no directive at all. A
+/// directive must *open* the comment (`// lint:allow…`) and doc comments
+/// never count — prose that merely mentions the syntax (like this
 /// sentence) is not a directive.
-fn parse_allow(comment_line: &str, line: u32) -> Option<AllowDirective> {
+fn parse_directive(comment_line: &str, line: u32) -> Option<Directive> {
     let body = comment_line
         .trim_start()
         .trim_start_matches('/')
@@ -220,7 +273,15 @@ fn parse_allow(comment_line: &str, line: u32) -> Option<AllowDirective> {
     if trimmed.starts_with("///") || trimmed.starts_with("//!") || trimmed.starts_with("/*!") {
         return None;
     }
-    let rest = body.trim_start().strip_prefix("lint:allow")?;
+    let body = body.trim_start();
+    if body.starts_with("taint:source") {
+        return Some(Directive::TaintSource);
+    }
+    let rest = body.strip_prefix("lint:allow")?;
+    let (module, rest) = match rest.strip_prefix("-module") {
+        Some(r) => (true, r),
+        None => (false, rest),
+    };
     let (rule, after) = match rest.strip_prefix('(') {
         Some(r) => match r.find(')') {
             Some(close) => (r[..close].trim().to_owned(), &r[close + 1..]),
@@ -234,7 +295,12 @@ fn parse_allow(comment_line: &str, line: u32) -> Option<AllowDirective> {
         .map(str::trim)
         .unwrap_or("")
         .to_owned();
-    Some(AllowDirective { rule, reason, line })
+    let d = AllowDirective { rule, reason, line };
+    Some(if module {
+        Directive::Module(d)
+    } else {
+        Directive::Line(d)
+    })
 }
 
 /// Starting at the code-index of a `[`, consumes the bracketed attribute
@@ -426,5 +492,32 @@ mod tests {
         let all = f.all_allows();
         assert_eq!(all.len(), 1);
         assert!(all[0].reason.is_empty());
+    }
+
+    #[test]
+    fn module_allow_covers_whole_file_and_is_not_a_line_allow() {
+        let src = "// lint:allow-module(ct-branch): simulated victim\nfn f() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.module_allow_for("ct-branch").is_some());
+        assert!(f.module_allow_for("ct-index").is_none());
+        assert!(f.all_allows().is_empty());
+        assert_eq!(f.all_module_allows().len(), 1);
+    }
+
+    #[test]
+    fn taint_source_marks_its_line_and_the_statement_below() {
+        let src =
+            "// taint:source\nlet key = read();\nlet pub_x = 1; // taint:source\nlet other = 2;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.taint_marked(1));
+        assert!(f.taint_marked(2));
+        assert!(f.taint_marked(3));
+        assert!(!f.taint_marked(5));
+    }
+
+    #[test]
+    fn doc_comment_taint_mention_is_not_a_marker() {
+        let f = SourceFile::parse("x.rs", "/// taint:source explained\nfn f() {}\n");
+        assert!(!f.taint_marked(2));
     }
 }

@@ -1,0 +1,389 @@
+//! A lightweight item recognizer on top of the token tree.
+//!
+//! This is deliberately not a Rust parser: the taint engine only needs to
+//! know (a) where each function's parameter list and body are, (b) which
+//! struct fields are declared with which types, and (c) a handful of
+//! keyword-anchored expression shapes (`if`/`while`/`for`/`match`
+//! conditions, index groups, closure parameter lists) that the engine
+//! resolves while walking the tree itself. Everything here degrades
+//! gracefully on exotic syntax: an unrecognized item is simply skipped,
+//! which for a linter means a missed finding, never a false one.
+
+use crate::lexer::{TokKind, Token};
+use crate::tree::{Delim, Tree};
+
+/// Rust keywords: identifiers that can never be a variable binding. Used
+/// to keep pattern/parameter extraction from treating `mut` or `ref` as a
+/// name.
+pub const KEYWORDS: [&str; 35] = [
+    "as", "async", "await", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern",
+    "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true", "type",
+    "unsafe",
+];
+
+// "use", "where", "while" are keywords too but never appear where the
+// helpers below look for binding names; keeping the array at the common
+// set keeps `is_binding_ident` cheap.
+
+/// Whether `text` can be a local variable / field name for taint purposes:
+/// a non-keyword identifier starting lowercase or `_`. Type and variant
+/// names (uppercase) never bind values directly in the patterns we track.
+#[must_use]
+pub fn is_binding_ident(tok: &Token) -> bool {
+    tok.kind == TokKind::Ident
+        && !KEYWORDS.contains(&tok.text.as_str())
+        && !matches!(tok.text.as_str(), "use" | "where" | "while")
+        && tok
+            .text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+/// One function parameter.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Binding name (`self` for receivers).
+    pub name: String,
+    /// Identifiers appearing in the declared type, in order.
+    pub ty_idents: Vec<String>,
+    /// 1-based line of the name token.
+    pub line: u32,
+}
+
+/// One recognized `fn` with a body.
+#[derive(Debug)]
+pub struct FnDecl<'t> {
+    /// Function name.
+    pub name: String,
+    /// Token index of the name.
+    pub name_tok: usize,
+    /// Parameters, in order.
+    pub params: Vec<Param>,
+    /// The children of the body's brace group.
+    pub body: &'t [Tree],
+}
+
+/// Collects every `fn` with a body anywhere in `trees` (module level,
+/// `impl` blocks, nested functions). Trait method *declarations* (no
+/// body) are skipped.
+#[must_use]
+pub fn functions<'t>(trees: &'t [Tree], tokens: &[Token]) -> Vec<FnDecl<'t>> {
+    let mut out = Vec::new();
+    collect_functions(trees, tokens, &mut out);
+    out
+}
+
+fn collect_functions<'t>(trees: &'t [Tree], tokens: &[Token], out: &mut Vec<FnDecl<'t>>) {
+    let mut i = 0;
+    while i < trees.len() {
+        if let Some((decl, body_idx)) = fn_at(trees, i, tokens) {
+            // Recurse into the body once for nested fns, then skip past
+            // it so the body group is not revisited at this level.
+            collect_functions(decl.body, tokens, out);
+            out.push(decl);
+            i = body_idx + 1;
+            continue;
+        }
+        if let Tree::Group { children, .. } = &trees[i] {
+            collect_functions(children, tokens, out);
+        }
+        i += 1;
+    }
+}
+
+/// Recognizes `fn name …(params)… { body }` starting at `trees[i]`.
+/// Returns the declaration and the index of the body group at this level.
+fn fn_at<'t>(trees: &'t [Tree], i: usize, tokens: &[Token]) -> Option<(FnDecl<'t>, usize)> {
+    let kw = trees[i].leaf(tokens)?;
+    if kw.text != "fn" {
+        return None;
+    }
+    let name_tree = trees.get(i + 1)?;
+    let name_tok = match name_tree {
+        Tree::Leaf(t) if tokens[*t].kind == TokKind::Ident => *t,
+        _ => return None,
+    };
+    // Scan forward for the parameter paren group, then the body brace
+    // group, giving up at a `;` (trait declaration) at this level.
+    let mut params: Option<&Tree> = None;
+    let mut body: Option<(&'t [Tree], usize)> = None;
+    // Angle depth guards against `fn f<F: Fn(u32)>(g: F)`: the paren group
+    // inside the generics must not be mistaken for the parameter list.
+    let mut angle = 0i32;
+    for (off, t) in trees[i + 2..].iter().enumerate() {
+        match t {
+            Tree::Leaf(l) if tokens[*l].text == ";" => break,
+            Tree::Leaf(l) if tokens[*l].text == "fn" => break,
+            Tree::Leaf(l) if params.is_none() && tokens[*l].text == "<" => angle += 1,
+            Tree::Leaf(l) if params.is_none() && tokens[*l].text == ">" => angle -= 1,
+            Tree::Group {
+                delim: Delim::Paren,
+                ..
+            } if params.is_none() && angle == 0 => {
+                params = Some(t);
+            }
+            Tree::Group {
+                delim: Delim::Brace,
+                children,
+                ..
+            } if params.is_some() => {
+                body = Some((children.as_slice(), i + 2 + off));
+                break;
+            }
+            _ => {}
+        }
+    }
+    let (params, (body, body_idx)) = (params?, body?);
+    let Tree::Group { children, .. } = params else {
+        return None;
+    };
+    Some((
+        FnDecl {
+            name: tokens[name_tok].text.clone(),
+            name_tok,
+            params: parse_params(children, tokens),
+            body,
+        },
+        body_idx,
+    ))
+}
+
+/// Splits a parameter-list group on top-level commas and extracts each
+/// parameter's binding name and type identifiers.
+fn parse_params(children: &[Tree], tokens: &[Token]) -> Vec<Param> {
+    let mut out = Vec::new();
+    for piece in split_commas(children, tokens) {
+        if piece.is_empty() {
+            continue;
+        }
+        // `self` / `&self` / `&mut self` receiver.
+        let flat: Vec<usize> = crate::tree::flatten(piece);
+        if let Some(&self_tok) = flat
+            .iter()
+            .find(|&&t| tokens[t].text == "self" && tokens[t].kind == TokKind::Ident)
+        {
+            // Only a receiver when it appears before any `:`.
+            let colon = piece
+                .iter()
+                .position(|t| t.leaf(tokens).is_some_and(|l| l.text == ":"));
+            let self_pos = piece
+                .iter()
+                .position(|t| matches!(t, Tree::Leaf(i) if *i == self_tok));
+            if colon.is_none() || self_pos < colon {
+                out.push(Param {
+                    name: "self".to_owned(),
+                    ty_idents: vec!["Self".to_owned()],
+                    line: tokens[self_tok].line,
+                });
+                continue;
+            }
+        }
+        // `name: Type` (possibly `mut name: Type` or a pattern; we take
+        // the first binding ident before the colon as the name).
+        let colon = piece
+            .iter()
+            .position(|t| t.leaf(tokens).is_some_and(|l| l.text == ":"));
+        let Some(colon) = colon else { continue };
+        let name = crate::tree::flatten(&piece[..colon])
+            .into_iter()
+            .find(|&t| is_binding_ident(&tokens[t]));
+        let Some(name_tok) = name else { continue };
+        let ty_idents = crate::tree::flatten(&piece[colon + 1..])
+            .into_iter()
+            .filter(|&t| tokens[t].kind == TokKind::Ident)
+            .map(|t| tokens[t].text.clone())
+            .collect();
+        out.push(Param {
+            name: tokens[name_tok].text.clone(),
+            ty_idents,
+            line: tokens[name_tok].line,
+        });
+    }
+    out
+}
+
+/// Splits a tree slice on top-level commas.
+#[must_use]
+pub fn split_commas<'t>(children: &'t [Tree], tokens: &[Token]) -> Vec<&'t [Tree]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut angle_depth = 0i32;
+    for (i, t) in children.iter().enumerate() {
+        if let Some(l) = t.leaf(tokens) {
+            match l.text.as_str() {
+                "<" => angle_depth += 1,
+                ">" => angle_depth -= 1,
+                "," if angle_depth <= 0 => {
+                    out.push(&children[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    out.push(&children[start..]);
+    out
+}
+
+/// A struct field declared with a named type.
+#[derive(Clone, Debug)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Identifiers appearing in the declared type.
+    pub ty_idents: Vec<String>,
+}
+
+/// Collects `struct Name { field: Type, … }` fields anywhere in the file.
+/// Tuple structs and enums are skipped — the taint engine seeds on named
+/// fields only.
+#[must_use]
+pub fn struct_fields(trees: &[Tree], tokens: &[Token]) -> Vec<Field> {
+    let mut out = Vec::new();
+    collect_struct_fields(trees, tokens, &mut out);
+    out
+}
+
+fn collect_struct_fields(trees: &[Tree], tokens: &[Token], out: &mut Vec<Field>) {
+    let mut i = 0;
+    while i < trees.len() {
+        let is_struct = trees[i].leaf(tokens).is_some_and(|l| l.text == "struct");
+        if is_struct {
+            // struct Name [<generics>] { fields } — find the brace group
+            // before any `;` (tuple/unit structs end in `;`).
+            let mut j = i + 1;
+            while j < trees.len() {
+                match &trees[j] {
+                    Tree::Leaf(l) if tokens[*l].text == ";" => break,
+                    Tree::Group {
+                        delim: Delim::Brace,
+                        children,
+                        ..
+                    } => {
+                        fields_of_group(children, tokens, out);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+        } else if let Tree::Group { children, .. } = &trees[i] {
+            collect_struct_fields(children, tokens, out);
+        }
+        i += 1;
+    }
+}
+
+fn fields_of_group(children: &[Tree], tokens: &[Token], out: &mut Vec<Field>) {
+    for piece in split_commas(children, tokens) {
+        let colon = piece
+            .iter()
+            .position(|t| t.leaf(tokens).is_some_and(|l| l.text == ":"));
+        let Some(colon) = colon else { continue };
+        // Name: last binding ident before the colon (skips `pub`, `pub(crate)`).
+        let name = crate::tree::flatten(&piece[..colon])
+            .into_iter()
+            .rfind(|&t| is_binding_ident(&tokens[t]));
+        let Some(name_tok) = name else { continue };
+        let ty_idents = crate::tree::flatten(&piece[colon + 1..])
+            .into_iter()
+            .filter(|&t| tokens[t].kind == TokKind::Ident)
+            .map(|t| tokens[t].text.clone())
+            .collect();
+        out.push(Field {
+            name: tokens[name_tok].text.clone(),
+            ty_idents,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::build;
+
+    /// `(param name, type idents)` as flattened by the recognizer.
+    type ParamView = (String, Vec<String>);
+
+    fn fns(src: &str) -> Vec<(String, Vec<ParamView>)> {
+        let toks = lex(src);
+        let trees = build(&toks);
+        functions(&trees, &toks)
+            .into_iter()
+            .map(|f| {
+                (
+                    f.name,
+                    f.params
+                        .into_iter()
+                        .map(|p| (p.name, p.ty_idents))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn plain_fn_with_typed_params() {
+        let fs = fns("fn f(a: u32, b: &Network) -> u64 { 0 }");
+        assert_eq!(fs.len(), 1);
+        assert_eq!(fs[0].0, "f");
+        assert_eq!(fs[0].1[0], ("a".into(), vec!["u32".into()]));
+        assert_eq!(fs[0].1[1], ("b".into(), vec!["Network".into()]));
+    }
+
+    #[test]
+    fn methods_inside_impl_blocks_are_found() {
+        let fs = fns("impl Runner { fn go(&mut self, s: &Stage) {} fn other(&self) {} }");
+        let names: Vec<&str> = fs.iter().map(|f| f.0.as_str()).collect();
+        assert!(names.contains(&"go") && names.contains(&"other"));
+        let go = fs.iter().find(|f| f.0 == "go").expect("go found");
+        assert_eq!(go.1[0].0, "self");
+        assert_eq!(go.1[1], ("s".into(), vec!["Stage".into()]));
+    }
+
+    #[test]
+    fn generic_fns_and_where_clauses() {
+        let fs =
+            fns("fn g<R: Rng + ?Sized>(trace: &Trace, rng: &mut R) -> Trace where R: Sized { t }");
+        assert_eq!(fs[0].1[0], ("trace".into(), vec!["Trace".into()]));
+        assert_eq!(fs[0].1[1].0, "rng");
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_are_skipped() {
+        let fs = fns("trait T { fn sig(x: u32) -> u32; }");
+        assert!(fs.is_empty());
+    }
+
+    #[test]
+    fn nested_fns_are_collected() {
+        let fs = fns("fn outer() { fn inner(q: Secret) {} }");
+        let names: Vec<&str> = fs.iter().map(|f| f.0.as_str()).collect();
+        assert!(names.contains(&"outer") && names.contains(&"inner"));
+    }
+
+    #[test]
+    fn struct_fields_capture_names_and_types() {
+        let toks = lex("pub struct Runner<'a> { net: &'a Network, pub acts: Option<&'a [Tensor3]>, cycle: u64 }");
+        let trees = build(&toks);
+        let fields = struct_fields(&trees, &toks);
+        let net = fields.iter().find(|f| f.name == "net").expect("net field");
+        assert!(net.ty_idents.contains(&"Network".to_owned()));
+        let acts = fields
+            .iter()
+            .find(|f| f.name == "acts")
+            .expect("acts field");
+        assert!(acts.ty_idents.contains(&"Tensor3".to_owned()));
+    }
+
+    #[test]
+    fn tuple_structs_yield_no_fields() {
+        let toks = lex("pub struct Log10Size(pub f64);");
+        let trees = build(&toks);
+        assert!(struct_fields(&trees, &toks).is_empty());
+    }
+}

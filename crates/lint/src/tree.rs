@@ -1,0 +1,223 @@
+//! Token trees: the lexer's flat stream grouped by matched delimiters.
+//!
+//! The surface rules ([`crate::rules`]) work on the flat stream, but the
+//! taint-dataflow engine ([`crate::taint`]) needs *structure*: where a
+//! function body starts and ends, which tokens form an `if` condition,
+//! whether a `[`…`]` group sits in index position. A token tree gives
+//! exactly that with no grammar: every `(`/`[`/`{` opens a group holding
+//! its children, everything else is a leaf. Comments are dropped here —
+//! they carry directives, not structure — so leaf indices always refer to
+//! code tokens of the underlying [`crate::source::SourceFile`].
+
+use crate::lexer::{TokKind, Token};
+
+/// Which delimiter pair a [`Tree::Group`] was built from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delim {
+    /// `( … )`
+    Paren,
+    /// `[ … ]`
+    Bracket,
+    /// `{ … }`
+    Brace,
+}
+
+impl Delim {
+    fn open(c: &str) -> Option<Delim> {
+        match c {
+            "(" => Some(Delim::Paren),
+            "[" => Some(Delim::Bracket),
+            "{" => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+
+    fn closes(self, c: &str) -> bool {
+        matches!(
+            (self, c),
+            (Delim::Paren, ")") | (Delim::Bracket, "]") | (Delim::Brace, "}")
+        )
+    }
+}
+
+/// One node of the token tree.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A non-delimiter code token; the index points into
+    /// `SourceFile::tokens`.
+    Leaf(usize),
+    /// A matched delimiter group.
+    Group {
+        /// Delimiter kind.
+        delim: Delim,
+        /// Token index of the opening delimiter.
+        open: usize,
+        /// Children in source order.
+        children: Vec<Tree>,
+    },
+}
+
+impl Tree {
+    /// The 1-based source line this node starts on.
+    #[must_use]
+    pub fn line(&self, tokens: &[Token]) -> u32 {
+        match self {
+            Tree::Leaf(i) | Tree::Group { open: i, .. } => tokens[*i].line,
+        }
+    }
+
+    /// The leaf's token, if this is a leaf.
+    #[must_use]
+    pub fn leaf<'t>(&self, tokens: &'t [Token]) -> Option<&'t Token> {
+        match self {
+            Tree::Leaf(i) => Some(&tokens[*i]),
+            Tree::Group { .. } => None,
+        }
+    }
+
+    /// Whether this is a group with the given delimiter.
+    #[must_use]
+    pub fn is_group(&self, d: Delim) -> bool {
+        matches!(self, Tree::Group { delim, .. } if *delim == d)
+    }
+
+    /// Appends every leaf token index under this node, in source order.
+    pub fn flatten_into(&self, out: &mut Vec<usize>) {
+        match self {
+            Tree::Leaf(i) => out.push(*i),
+            Tree::Group { children, .. } => {
+                for c in children {
+                    c.flatten_into(out);
+                }
+            }
+        }
+    }
+}
+
+/// Appends every leaf token index under `trees`, in source order.
+#[must_use]
+pub fn flatten(trees: &[Tree]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for t in trees {
+        t.flatten_into(&mut out);
+    }
+    out
+}
+
+/// Builds the token tree for a file's code tokens (comments excluded).
+///
+/// Never fails: a stray closing delimiter becomes a leaf, an unterminated
+/// group closes at end-of-file — the compiler reports the real error, the
+/// linter just keeps as much structure as it can.
+#[must_use]
+pub fn build(tokens: &[Token]) -> Vec<Tree> {
+    /// One open group on the build stack: its delimiter + opening token
+    /// index (`None` for the top level) and the nodes collected so far.
+    type Open = (Option<(Delim, usize)>, Vec<Tree>);
+    // Stack of open groups; the bottom "group" collects top-level nodes.
+    let mut stack: Vec<Open> = vec![(None, Vec::new())];
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.is_comment() {
+            continue;
+        }
+        let text = tok.text.as_str();
+        if tok.kind == TokKind::Punct {
+            if let Some(d) = Delim::open(text) {
+                stack.push((Some((d, i)), Vec::new()));
+                continue;
+            }
+            if matches!(text, ")" | "]" | "}") {
+                // Close the innermost group if it matches; otherwise treat
+                // the delimiter as a stray leaf (unbalanced source).
+                let matches_top = stack
+                    .last()
+                    .and_then(|(h, _)| *h)
+                    .is_some_and(|(d, _)| d.closes(text));
+                if matches_top {
+                    // The bottom entry has header None, so the stack still
+                    // holds at least one entry after this pop.
+                    if let Some((Some((delim, open)), children)) = stack.pop() {
+                        if let Some((_, parent)) = stack.last_mut() {
+                            parent.push(Tree::Group {
+                                delim,
+                                open,
+                                children,
+                            });
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+        if let Some((_, top)) = stack.last_mut() {
+            top.push(Tree::Leaf(i));
+        }
+    }
+    // Unterminated groups: close them all at EOF, preserving children.
+    while stack.len() > 1 {
+        if let Some((Some((delim, open)), children)) = stack.pop() {
+            if let Some((_, parent)) = stack.last_mut() {
+                parent.push(Tree::Group {
+                    delim,
+                    open,
+                    children,
+                });
+            }
+        }
+    }
+    stack.pop().map(|(_, top)| top).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn shape(src: &str) -> Vec<Tree> {
+        build(&lex(src))
+    }
+
+    #[test]
+    fn groups_nest_and_leaves_stay_in_order() {
+        let toks = lex("fn f(a: u32) { g(a[0]); }");
+        let trees = build(&toks);
+        // fn, f, (params), {body}
+        assert_eq!(trees.len(), 4);
+        assert!(trees[2].is_group(Delim::Paren));
+        assert!(trees[3].is_group(Delim::Brace));
+        let Tree::Group { children, .. } = &trees[3] else {
+            panic!("body is a group")
+        };
+        // g ( a [0] ) ; -> g, paren-group, ;
+        assert_eq!(children.len(), 3);
+        assert!(children[1].is_group(Delim::Paren));
+    }
+
+    #[test]
+    fn flatten_recovers_every_code_token() {
+        let toks = lex("a(b[c{d}]) e // comment\n f");
+        let trees = build(&toks);
+        let flat = flatten(&trees);
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+        // Delimiters themselves are not leaves; everything else survives.
+        let texts: Vec<&str> = flat.iter().map(|&i| toks[i].text.as_str()).collect();
+        assert_eq!(texts, ["a", "b", "c", "d", "e", "f"]);
+        assert!(flat.len() <= code.len());
+    }
+
+    #[test]
+    fn unbalanced_sources_do_not_lose_tokens() {
+        let trees = shape("fn f( { x }");
+        assert!(!trees.is_empty());
+        let trees = shape(") } x ]");
+        let toks = lex(") } x ]");
+        assert!(flatten(&trees).iter().any(|&i| toks[i].text == "x"));
+    }
+
+    #[test]
+    fn comments_are_not_part_of_the_tree() {
+        let toks = lex("a /* x */ b // y");
+        let trees = build(&toks);
+        assert_eq!(trees.len(), 2);
+    }
+}

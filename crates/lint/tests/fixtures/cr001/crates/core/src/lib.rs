@@ -1,0 +1,9 @@
+//! Seeds exactly one CR001: a `static mut` global on a solver path. The
+//! plain `static` below must not fire.
+
+static LIMIT: u64 = 64;
+static mut HITS: u64 = 0;
+
+pub fn limit() -> u64 {
+    LIMIT
+}

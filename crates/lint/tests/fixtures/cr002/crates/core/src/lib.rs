@@ -1,0 +1,9 @@
+//! Seeds exactly one CR002: an interior-mutability field on a solver
+//! path. The `use` import must not add a second finding (the rule reports
+//! usage sites, not imports).
+
+use std::cell::RefCell;
+
+pub struct Memo {
+    cache: RefCell<u64>,
+}

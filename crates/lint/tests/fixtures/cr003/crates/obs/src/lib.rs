@@ -1,0 +1,25 @@
+//! Seeds exactly one CR003: a second lock acquired while the first guard
+//! is still live. The scoped pair below is the fixed idiom and must not
+//! fire.
+
+fn use_both(a: usize, b: usize) -> usize {
+    a + b
+}
+
+pub fn snapshot(reg: &Registry) -> usize {
+    let counters = reg.counters.lock();
+    let gauges = reg.gauges.lock();
+    use_both(counters.len(), gauges.len())
+}
+
+pub fn snapshot_scoped(reg: &Registry) -> usize {
+    let a = {
+        let counters = reg.counters.lock();
+        counters.len()
+    };
+    let b = {
+        let gauges = reg.gauges.lock();
+        gauges.len()
+    };
+    use_both(a, b)
+}

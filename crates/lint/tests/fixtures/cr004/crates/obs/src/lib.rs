@@ -1,0 +1,15 @@
+//! Seeds exactly one CR004: an `Ordering::Relaxed` load steering an `if`.
+//! The plain counter read below feeds no condition and must not fire.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn emit_if_enabled(flag: &AtomicBool, sink: &mut Vec<u64>) {
+    let on = flag.load(Ordering::Relaxed);
+    if on {
+        sink.push(1);
+    }
+}
+
+pub fn sample(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

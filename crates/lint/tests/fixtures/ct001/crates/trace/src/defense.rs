@@ -1,0 +1,10 @@
+//! Seeds exactly one CT001: a branch whose condition derives from a
+//! secret-typed parameter, phrased as an `if let` so the fixture also
+//! exercises pattern-binding propagation.
+
+pub fn first_is_write(trace: &Trace) -> bool {
+    if let Some(ev) = trace.first() {
+        return ev.is_write();
+    }
+    false
+}

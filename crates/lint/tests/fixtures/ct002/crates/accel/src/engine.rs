@@ -1,0 +1,8 @@
+//! Seeds exactly one CT002: a slice indexed by a value flowing from a
+//! secret-typed parameter through a method chain. The trailing `[0]`
+//! index is public and must not produce a second finding.
+
+pub fn output_activation(net: &Network, acts: &[Vec<u64>]) -> u64 {
+    let idx = net.output().index();
+    acts[idx][0]
+}

@@ -1,0 +1,7 @@
+//! Seeds exactly one CT003: a variable-latency division whose operand
+//! flows from a secret-typed parameter via a field read.
+
+pub fn row_blocks(geo: &LayerGeometry) -> u64 {
+    let width = geo.width;
+    width / 4
+}

@@ -1,0 +1,13 @@
+//! Seeds exactly one CT004: a loop whose trip count derives from a
+//! `// taint:source`-marked binding rather than a secret-typed parameter,
+//! so the annotation source path is covered end-to-end.
+
+pub fn burst_cycles(depths: &[u64]) -> u64 {
+    // taint:source
+    let layers = depths.len();
+    let mut total = 0u64;
+    for _ in 0..layers {
+        total += 7;
+    }
+    total
+}

@@ -1,0 +1,24 @@
+//! Parser stress under the full CT rule set: nested closures, method-chain
+//! indexing, and `if let` chains — all on public data, so the taint engine
+//! must report nothing despite the gnarly syntax.
+
+pub fn tile_plan(sizes: &[usize]) -> Vec<usize> {
+    let grow = |base: usize| move |extra: usize| base + extra;
+    let add2 = grow(2);
+    sizes
+        .iter()
+        .map(|&s| {
+            let pick = |xs: &[usize]| xs[s.min(xs.len() - 1)];
+            pick(&[1, 2, 4]) + add2(s)
+        })
+        .collect()
+}
+
+pub fn first_small_even(vals: &[u64]) -> u64 {
+    if let Some(v) = vals.iter().find(|v| **v % 2 == 0) {
+        if let Ok(w) = u32::try_from(*v) {
+            return u64::from(w);
+        }
+    }
+    0
+}

@@ -1,0 +1,13 @@
+//! Seeds exactly one stale-allow: a well-formed directive (known rule,
+//! non-empty reason) that suppresses nothing. The used directive below
+//! must not fire.
+
+// lint:allow(panic): guarded by the caller
+pub fn add(a: u64, b: u64) -> u64 {
+    a + b
+}
+
+pub fn head(v: &[u64]) -> u64 {
+    // lint:allow(panic): fixture input is never empty
+    v.first().copied().unwrap()
+}

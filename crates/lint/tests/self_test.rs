@@ -92,6 +92,96 @@ fn clean_fixture_reports_nothing() {
     assert_eq!(lint_fixture("clean"), []);
 }
 
+// --- CT/CR fixtures: each seeds exactly its code ------------------------
+
+#[test]
+fn ct001_fixture_reports_exactly_one_secret_branch() {
+    assert_eq!(lint_fixture("ct001"), [Rule::CtBranch]);
+}
+
+#[test]
+fn ct002_fixture_reports_exactly_one_secret_index() {
+    // The chained public `[0]` index must not add a second finding.
+    assert_eq!(lint_fixture("ct002"), [Rule::CtIndex]);
+}
+
+#[test]
+fn ct003_fixture_reports_exactly_one_variable_time_division() {
+    assert_eq!(lint_fixture("ct003"), [Rule::CtArith]);
+}
+
+#[test]
+fn ct004_fixture_reports_exactly_one_secret_loop_via_taint_mark() {
+    // The fixture's source is a `// taint:source` annotation, not a
+    // secret-typed parameter — covers the marker path end-to-end.
+    assert_eq!(lint_fixture("ct004"), [Rule::CtLoop]);
+}
+
+#[test]
+fn cr001_fixture_reports_static_mut_and_spares_plain_static() {
+    assert_eq!(lint_fixture("cr001"), [Rule::CrStaticMut]);
+}
+
+#[test]
+fn cr002_fixture_reports_the_field_not_the_import() {
+    assert_eq!(lint_fixture("cr002"), [Rule::CrInteriorMut]);
+}
+
+#[test]
+fn cr003_fixture_reports_nested_guard_and_spares_scoped_pair() {
+    assert_eq!(lint_fixture("cr003"), [Rule::CrLockOrder]);
+}
+
+#[test]
+fn cr004_fixture_reports_relaxed_steered_branch_not_plain_load() {
+    assert_eq!(lint_fixture("cr004"), [Rule::CrRelaxedControl]);
+}
+
+#[test]
+fn stale_allow_fixture_reports_the_dead_directive_only() {
+    assert_eq!(lint_fixture("stale_allow"), [Rule::StaleAllow]);
+}
+
+#[test]
+fn parser_edges_fixture_is_clean_under_the_full_ct_rule_set() {
+    // Nested closures, method-chain indexing, and `if let` chains over
+    // public data in a CT-scoped file: no false positives, no parse panic.
+    assert_eq!(lint_fixture("parser_edges"), []);
+}
+
+// --- report ordering is deterministic: path, then line, then rule -------
+
+#[test]
+fn report_ordering_is_path_then_line_then_rule() {
+    for name in ["include_tests", "wallclock", "metric_name", "cr003"] {
+        let report = lint_workspace_with(&fixture(name), true).expect("fixture readable");
+        let keys: Vec<(&str, u32, Rule)> = report
+            .diagnostics
+            .iter()
+            .map(|d| (d.file.as_str(), d.line, d.rule))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(
+            keys, sorted,
+            "{name} report out of (path, line, rule) order"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_produce_identical_reports() {
+    let key = |name: &str| {
+        lint_workspace_with(&fixture(name), true)
+            .expect("fixture readable")
+            .diagnostics
+            .iter()
+            .map(|d| (d.file.clone(), d.line, d.rule, d.message.clone()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key("include_tests"), key("include_tests"));
+}
+
 #[test]
 fn include_tests_fixture_is_clean_under_the_default_walk() {
     // Without --include-tests the violating files are never scanned.
@@ -131,6 +221,15 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
         "allow_syntax",
         "float_eq",
         "metric_name",
+        "ct001",
+        "ct002",
+        "ct003",
+        "ct004",
+        "cr001",
+        "cr002",
+        "cr003",
+        "cr004",
+        "stale_allow",
     ] {
         let root = fixture(name);
         let out = run_binary(&["--root", &root.display().to_string()]);

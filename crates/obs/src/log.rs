@@ -94,6 +94,9 @@ pub fn set_off() {
 #[must_use]
 pub fn level_enabled(level: Level) -> bool {
     let cur = LEVEL.load(Ordering::Relaxed);
+    // lint:allow(cr-relaxed-control): log-level gating tolerates staleness
+    // by design — a racing set_level() may let one extra line through, and
+    // no solver state depends on which
     let cur = if cur == u8::MAX { env_default() } else { cur };
     level as u8 <= cur
 }

@@ -872,6 +872,9 @@ fn emit_event(cycle: u64, payload: EventPayload) {
     });
     crate::counter("events.emitted").inc();
     crate::counter("events.bytes").add(frame.len() as u64);
+    // lint:allow(cr-relaxed-control): recording toggle — a stale read can
+    // only include/skip one frame at the toggle boundary, which set_record
+    // callers cannot observe anyway
     if h.recording.load(Ordering::Relaxed) {
         let mut buf = lock(&h.buffer);
         if buf.len() < RECORD_CAPACITY {
@@ -882,6 +885,9 @@ fn emit_event(cycle: u64, payload: EventPayload) {
         }
     }
     let mut clients = lock(&h.clients);
+    // lint:allow(cr-relaxed-control): pruning sweep — a stale `closed` read
+    // defers removal to the next emit; frames to a closed client are
+    // discarded by its writer thread either way
     if clients.iter().any(|c| c.closed.load(Ordering::Relaxed)) {
         clients.retain(|c| !c.closed.load(Ordering::Relaxed));
         crate::gauge("events.clients").set(clients.len() as f64);
@@ -943,6 +949,9 @@ fn writer_loop(client: &Client, stream: &mut TcpStream) {
                 if let Some(f) = queue.pop_front() {
                     break f;
                 }
+                // lint:allow(cr-relaxed-control): exit check runs under the
+                // queue mutex and re-runs after every condvar wakeup, so a
+                // stale read delays shutdown by at most one notify
                 if client.closed.load(Ordering::Relaxed) {
                     return;
                 }
@@ -952,6 +961,9 @@ fn writer_loop(client: &Client, stream: &mut TcpStream) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
+        // lint:allow(cr-relaxed-control): taint over-approximation — the
+        // condition is socket-write failure; `frame` merely dataflow-passes
+        // the closed check above
         if stream.write_all(&frame).is_err() {
             client.closed.store(true, Ordering::Relaxed);
             return;
@@ -991,8 +1003,13 @@ pub fn flush(max_wait_ms: u64) {
             let clients = lock(&hub().clients);
             clients
                 .iter()
+                // lint:allow(cr-lock-order): documented order `clients` →
+                // `client.queue`, same as emit_event; no path acquires them
+                // in reverse, so the nesting cannot deadlock
                 .all(|c| c.closed.load(Ordering::Relaxed) || lock(&c.queue).is_empty())
         };
+        // lint:allow(cr-relaxed-control): best-effort flush by contract —
+        // a stale `closed` read just costs one 1 ms retry of the poll loop
         if drained {
             return;
         }

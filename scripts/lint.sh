@@ -7,9 +7,19 @@
 #   scripts/lint.sh                      # human-readable table
 #   scripts/lint.sh --format json        # machine-readable report on stdout
 #   scripts/lint.sh --list-rules         # show the rule table
+#   scripts/lint.sh --explain CT001      # rule rationale + minimal example
+#
+# Set LINT_REPORT=<path> to additionally write a JSON report there (same
+# variable scripts/check.sh uses), whatever the on-screen format:
+#   LINT_REPORT=/tmp/lint.json scripts/lint.sh
 #
 # Exits 0 when clean, 1 on violations, 2 on usage/I-O errors.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-exec cargo run --quiet -p cnnre-lint -- --include-tests "$@"
+report_args=()
+if [[ -n "${LINT_REPORT:-}" ]]; then
+    report_args=(--format json --out "$LINT_REPORT")
+fi
+
+exec cargo run --quiet -p cnnre-lint -- --include-tests "${report_args[@]}" "$@"
