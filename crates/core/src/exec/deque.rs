@@ -1,0 +1,202 @@
+//! A bounded work-stealing deque: the owner pushes and pops LIFO at the
+//! bottom, thieves steal FIFO from the top.
+//!
+//! The arbitration is chase-lev-style — `top`/`bottom` indices grow
+//! monotonically, thieves claim an index by compare-and-swap on `top`,
+//! and the owner resolves the last-element race by competing on the same
+//! CAS. Unlike the classic algorithm, the payload handoff is not inferred
+//! from that arbitration: each slot carries its own state atomic
+//! (`EMPTY`/`FULL`) written with release and read with acquire, so every
+//! payload access is ordered by an explicit edge. That costs one atomic
+//! per transfer and buys a protocol the `cnnre-model` happens-before
+//! engine (and a human reader) can certify end to end — see
+//! `crates/core/tests/model_exec.rs`.
+//!
+//! Built only on the `cnnre_model` shims: in release builds these are
+//! plain `std` types, under model-check every operation is a scheduling
+//! point.
+
+// lint:allow-module(cr-relaxed-control): the owner is the sole writer of
+// `bottom`, so its Relaxed self-reads can never be stale; every cross-thread
+// edge in the protocol is an explicit Acquire/Release or SeqCst operation,
+// certified end to end by crates/core/tests/model_exec.rs
+
+use cnnre_model::cell::RaceCell;
+use cnnre_model::sync::atomic::{AtomicUsize, Ordering};
+use cnnre_model::sync::Arc;
+
+/// Slot is free for the owner to fill.
+const EMPTY: usize = 0;
+/// Slot holds a value whose write happens-before this state.
+const FULL: usize = 1;
+
+struct Slot<T> {
+    state: AtomicUsize,
+    value: RaceCell<Option<T>>,
+}
+
+struct Inner<T> {
+    /// Next index the owner fills. Only the owner stores it.
+    bottom: AtomicUsize,
+    /// Next index thieves (or the owner, on the last element) drain.
+    top: AtomicUsize,
+    slots: Vec<Slot<T>>,
+}
+
+impl<T> Inner<T> {
+    fn slot(&self, index: usize) -> &Slot<T> {
+        &self.slots[index % self.slots.len()]
+    }
+}
+
+/// Owner handle: push and pop, single thread. Not cloneable; methods take
+/// `&mut self` so exclusive ownership is compiler-enforced.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Thief handle: steal oldest-first. Cloneable and shareable.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Creates a deque holding at most `capacity` items (rounded up to 1).
+pub fn deque<T>(capacity: usize) -> (Worker<T>, Stealer<T>) {
+    let slots = (0..capacity.max(1))
+        .map(|_| Slot {
+            state: AtomicUsize::new(EMPTY),
+            value: RaceCell::new(None),
+        })
+        .collect();
+    let inner = Arc::new(Inner {
+        bottom: AtomicUsize::new(0),
+        top: AtomicUsize::new(0),
+        slots,
+    });
+    (
+        Worker {
+            inner: Arc::clone(&inner),
+        },
+        Stealer { inner },
+    )
+}
+
+impl<T> Worker<T> {
+    /// Pushes at the bottom. Returns the value back when the deque is
+    /// full (the caller overflows to a shared injector).
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        if b.wrapping_sub(t) >= inner.slots.len() {
+            return Err(value);
+        }
+        let slot = inner.slot(b);
+        // A thief that won the CAS for this index on the previous lap may
+        // still be draining the slot; treat that as full rather than wait.
+        if slot.state.load(Ordering::Acquire) != EMPTY {
+            return Err(value);
+        }
+        slot.value.set(Some(value));
+        slot.state.store(FULL, Ordering::Release);
+        inner.bottom.store(b.wrapping_add(1), Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Pops the most recently pushed item (LIFO).
+    pub fn pop(&mut self) -> Option<T> {
+        let inner = &self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::SeqCst);
+        if t.wrapping_sub(b) as isize >= 0 {
+            return None;
+        }
+        let b = b.wrapping_sub(1);
+        // Publish the decrement before re-reading top: thieves that load
+        // the old bottom can claim at most up to the old last index, which
+        // the CAS arbitration below covers.
+        inner.bottom.store(b, Ordering::SeqCst);
+        let t = inner.top.load(Ordering::SeqCst);
+        if t == b {
+            // Last element: compete with thieves on the top CAS.
+            let won = inner
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+            inner.bottom.store(b.wrapping_add(1), Ordering::SeqCst);
+            if !won {
+                return None;
+            }
+        } else if t.wrapping_sub(b) as isize > 0 {
+            // A thief already passed us: the deque is empty. Restore.
+            inner.bottom.store(t, Ordering::SeqCst);
+            return None;
+        }
+        let slot = inner.slot(b);
+        debug_assert_eq!(slot.state.load(Ordering::Acquire), FULL);
+        let value = slot.value.replace(None);
+        slot.state.store(EMPTY, Ordering::Release);
+        value
+    }
+
+    /// Items currently queued (owner's view; racy for anyone else).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let b = self.inner.bottom.load(Ordering::Relaxed);
+        let t = self.inner.top.load(Ordering::Acquire);
+        b.wrapping_sub(t)
+    }
+
+    /// Whether the owner sees an empty deque.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A thief handle for this deque.
+    #[must_use]
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steals the oldest item (FIFO). Returns `None` when the deque is
+    /// empty or the race for the last element was lost.
+    #[must_use]
+    pub fn steal(&self) -> Option<T> {
+        let inner = &self.inner;
+        loop {
+            let t = inner.top.load(Ordering::SeqCst);
+            let b = inner.bottom.load(Ordering::SeqCst);
+            if t.wrapping_sub(b) as isize >= 0 {
+                return None;
+            }
+            // Claim index t before touching the slot: only the CAS winner
+            // reads the payload, so no speculative access needs undoing.
+            if inner
+                .top
+                .compare_exchange(t, t.wrapping_add(1), Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                // Lost to another thief or the owner; re-examine.
+                continue;
+            }
+            let slot = inner.slot(t);
+            debug_assert_eq!(slot.state.load(Ordering::Acquire), FULL);
+            let value = slot.value.replace(None);
+            slot.state.store(EMPTY, Ordering::Release);
+            return value;
+        }
+    }
+}

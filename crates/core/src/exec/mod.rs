@@ -1,0 +1,22 @@
+//! Parallel-execution primitives for scaling the attacks (ROADMAP
+//! item 1): a bounded work-stealing [`deque`] and a small
+//! [`ThreadPool`], both written exclusively against the `cnnre_model`
+//! sync shims.
+//!
+//! In release builds the shims are transparent `std` re-exports (the
+//! perf gate pins this); under the `model-check` feature the protocols
+//! are explored exhaustively — every interleaving within the preemption
+//! bound, with data races, deadlocks, and lost updates reported with a
+//! deterministic replay schedule. The SY001 lint keeps raw
+//! `std::sync`/`std::thread` out of this crate so nothing concurrent
+//! escapes that certification.
+//!
+//! The upcoming parallel solver arc (Eq. (1)–(8) candidate enumeration,
+//! per-pixel weight search) schedules its units of work on
+//! [`ThreadPool::spawn`] and joins with [`ThreadPool::join`].
+
+mod deque;
+mod pool;
+
+pub use deque::{deque, Stealer, Worker};
+pub use pool::ThreadPool;

@@ -1,0 +1,199 @@
+//! A small work-stealing thread pool over [`super::deque`].
+//!
+//! Jobs enter through a shared injector (a mutex-guarded queue — the
+//! contended path is the *certified-simple* one); workers move them into
+//! their local deque in batches, drain the deque LIFO, and steal from
+//! siblings FIFO when theirs runs dry. Panicking jobs are contained with
+//! `catch_unwind` and counted, never killing a worker.
+//!
+//! Built only on the `cnnre_model` shims, so
+//! `crates/core/tests/model_exec.rs` can explore the spawn/steal/
+//! shutdown/panic protocols exhaustively.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cnnre_model::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use cnnre_model::thread;
+
+use super::deque::{deque, Stealer, Worker};
+
+/// A unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Per-worker deque capacity; overflow stays in the injector.
+const LOCAL_CAPACITY: usize = 64;
+/// Jobs moved injector→local per refill (the first is run immediately).
+const BATCH: usize = 4;
+
+struct PoolState {
+    injector: VecDeque<Job>,
+    /// Jobs accepted and not yet finished (queued anywhere or running).
+    pending: usize,
+    /// Jobs that panicked (contained, counted, never fatal).
+    panicked: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    /// Signaled when work lands in the injector or shutdown begins.
+    work: Condvar,
+    /// Signaled when `pending` returns to zero.
+    done: Condvar,
+    stealers: Vec<Stealer<Job>>,
+}
+
+fn lock(shared: &Shared) -> MutexGuard<'_, PoolState> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A fixed-size work-stealing thread pool.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Starts `workers` worker threads (at least one).
+    #[must_use]
+    pub fn new(workers: usize) -> ThreadPool {
+        let workers = workers.max(1);
+        let mut locals = Vec::with_capacity(workers);
+        let mut stealers = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (w, s) = deque(LOCAL_CAPACITY);
+            locals.push(w);
+            stealers.push(s);
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                injector: VecDeque::new(),
+                pending: 0,
+                panicked: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            stealers,
+        });
+        let handles = locals
+            .into_iter()
+            .enumerate()
+            .map(|(index, local)| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("cnnre-pool-{index}"))
+                    .spawn(move || worker_loop(&shared, index, local))
+                    // lint:allow(panic): a failed worker spawn at pool
+                    // construction has no degraded mode — surface it loudly
+                    .unwrap_or_else(|e| panic!("cnnre-pool: could not spawn worker: {e}"))
+            })
+            .collect();
+        ThreadPool { shared, handles }
+    }
+
+    /// Submits a job. Never blocks; the injector is unbounded.
+    pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let mut st = lock(&self.shared);
+        st.injector.push_back(Box::new(job));
+        st.pending += 1;
+        drop(st);
+        self.shared.work.notify_one();
+    }
+
+    /// Blocks until every submitted job has finished (including jobs
+    /// spawned while waiting). Returns the total panicked-job count.
+    pub fn join(&self) -> usize {
+        let mut st = lock(&self.shared);
+        while st.pending > 0 {
+            st = self
+                .shared
+                .done
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        st.panicked
+    }
+
+    /// Jobs that panicked so far (contained by the pool).
+    #[must_use]
+    pub fn panicked(&self) -> usize {
+        lock(&self.shared).panicked
+    }
+}
+
+impl Drop for ThreadPool {
+    /// Finishes all queued work, then stops and joins the workers.
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared);
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn run_job(shared: &Shared, job: Job) {
+    let result = catch_unwind(AssertUnwindSafe(job));
+    let mut st = lock(shared);
+    if result.is_err() {
+        st.panicked += 1;
+    }
+    st.pending -= 1;
+    if st.pending == 0 {
+        drop(st);
+        shared.done.notify_all();
+    }
+}
+
+fn steal_elsewhere(shared: &Shared, index: usize) -> Option<Job> {
+    let n = shared.stealers.len();
+    for k in 1..n {
+        if let Some(job) = shared.stealers[(index + k) % n].steal() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+fn worker_loop(shared: &Shared, index: usize, mut local: Worker<Job>) {
+    loop {
+        // Local work first (LIFO for cache warmth), then siblings (FIFO).
+        while let Some(job) = local.pop() {
+            run_job(shared, job);
+        }
+        if let Some(job) = steal_elsewhere(shared, index) {
+            run_job(shared, job);
+            continue;
+        }
+        let mut st = lock(shared);
+        loop {
+            if let Some(job) = st.injector.pop_front() {
+                // Batch-refill the local deque so siblings have something
+                // to steal and the injector lock stays cool.
+                while local.len() < BATCH {
+                    match st.injector.pop_front() {
+                        Some(extra) => {
+                            if let Err(extra) = local.push(extra) {
+                                st.injector.push_front(extra);
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                }
+                drop(st);
+                run_job(shared, job);
+                break;
+            }
+            if st.shutdown {
+                return;
+            }
+            st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}

@@ -13,11 +13,15 @@
 //!   exploiting dynamic zero pruning with crafted inputs and binary search
 //!   on zero-crossing points (§4, Algorithm 2), plus full weight recovery
 //!   when a tunable activation threshold is available;
-//! * [`assumptions`] — the paper's Table-1 threat-model matrix as types.
+//! * [`assumptions`] — the paper's Table-1 threat-model matrix as types;
+//! * [`exec`] — the parallelism seed for scaling the attacks (ROADMAP
+//!   item 1): a work-stealing deque and thread pool built only on the
+//!   `cnnre-model` shims and certified by exhaustive model checking.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assumptions;
+pub mod exec;
 pub mod structure;
 pub mod weights;

@@ -1,6 +1,7 @@
-//! Concurrency-readiness checks (CR001–CR003): structural scans over the
-//! token tree for state that would block ROADMAP item 1's `Send + Sync`
-//! parallel-solver refactor, plus lock-ordering hygiene.
+//! Concurrency-readiness checks (CR001–CR003, SY001): structural scans
+//! over the token tree for state that would block ROADMAP item 1's
+//! `Send + Sync` parallel-solver refactor, lock-ordering hygiene, and raw
+//! `std` concurrency primitives that bypass the model-check shims.
 //!
 //! CR004 (`Relaxed` loads steering control flow) is dataflow, not
 //! structure, and lives in [`crate::taint`].
@@ -218,6 +219,45 @@ fn walk_lock_stmt(
     }
 }
 
+/// SY001: direct `std::sync` / `std::thread` paths in non-test code.
+///
+/// The `cnnre_model::sync` / `cnnre_model::thread` shims are transparent
+/// `std` re-exports in normal builds, so the only thing a raw `std` path
+/// buys in a shim-scoped crate is invisibility to the model checker: the
+/// interleavings that lock or thread creates are never explored. The
+/// lexer emits single-character puncts, so `std::sync` arrives as the
+/// four code tokens `std` `:` `:` `sync`.
+#[must_use]
+pub fn raw_sync_findings(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if file.whole_file_excluded {
+        return out;
+    }
+    let code = file.code_indices();
+    for w in code.windows(4) {
+        let text = |i: usize| file.tokens[i].text.as_str();
+        let tail = text(w[3]);
+        if text(w[0]) == "std"
+            && text(w[1]) == ":"
+            && text(w[2]) == ":"
+            && (tail == "sync" || tail == "thread")
+            && !file.in_test_code(w[0])
+        {
+            out.push(Finding {
+                rule: Rule::RawSync,
+                line: file.tokens[w[0]].line,
+                message: format!(
+                    "direct `std::{tail}` bypasses the model-check shims — the \
+                     interleavings it creates are never explored; use \
+                     `cnnre_model::{tail}` (a transparent `std` re-export in \
+                     normal builds) (SY001)"
+                ),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,5 +364,42 @@ mod tests {
         let out =
             locks("fn f() {\n    let a = map.read();\n    let b = idx.write();\n    go(a, b);\n}");
         assert_eq!(out, [(Rule::CrLockOrder, 3)]);
+    }
+
+    fn raw_sync(src: &str) -> Vec<(Rule, u32)> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        raw_sync_findings(&f)
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn std_sync_import_is_sy001() {
+        assert_eq!(raw_sync("use std::sync::Mutex;"), [(Rule::RawSync, 1)]);
+    }
+
+    #[test]
+    fn std_thread_path_is_sy001() {
+        assert_eq!(
+            raw_sync("fn f() { std::thread::spawn(|| {}); }"),
+            [(Rule::RawSync, 1)]
+        );
+    }
+
+    #[test]
+    fn shim_paths_and_other_std_are_clean() {
+        assert!(raw_sync("use cnnre_model::sync::Mutex;\nuse std::time::Instant;").is_empty());
+    }
+
+    #[test]
+    fn test_code_raw_sync_is_skipped() {
+        let src = "#[cfg(test)]\nmod tests { use std::sync::Mutex; }";
+        assert!(raw_sync(src).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_mention_is_clean() {
+        assert!(raw_sync("/// Wraps `std::thread::spawn`.\nfn f() {}").is_empty());
     }
 }

@@ -48,6 +48,9 @@ pub enum Rule {
     /// CR004 — `Ordering::Relaxed` atomic load flowing into a control
     /// decision (dataflow upgrade of [`Rule::AtomicOrdering`]).
     CrRelaxedControl,
+    /// SY001 — direct `std::sync` / `std::thread` use in a crate whose
+    /// concurrency must stay model-checkable via the `cnnre_model` shims.
+    RawSync,
     /// A well-formed `lint:allow` directive that no longer suppresses any
     /// finding.
     StaleAllow,
@@ -57,7 +60,7 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in severity/report order.
-    pub const ALL: [Rule; 17] = [
+    pub const ALL: [Rule; 18] = [
         Rule::Wallclock,
         Rule::HashIter,
         Rule::Panic,
@@ -73,6 +76,7 @@ impl Rule {
         Rule::CrInteriorMut,
         Rule::CrLockOrder,
         Rule::CrRelaxedControl,
+        Rule::RawSync,
         Rule::StaleAllow,
         Rule::AllowSyntax,
     ];
@@ -96,6 +100,7 @@ impl Rule {
             Rule::CrInteriorMut => "cr-interior-mut",
             Rule::CrLockOrder => "cr-lock-order",
             Rule::CrRelaxedControl => "cr-relaxed-control",
+            Rule::RawSync => "raw-sync",
             Rule::StaleAllow => "stale-allow",
             Rule::AllowSyntax => "allow-syntax",
         }
@@ -116,6 +121,7 @@ impl Rule {
             Rule::CrInteriorMut => Some("CR002"),
             Rule::CrLockOrder => Some("CR003"),
             Rule::CrRelaxedControl => Some("CR004"),
+            Rule::RawSync => Some("SY001"),
             _ => None,
         }
     }
@@ -184,6 +190,11 @@ impl Rule {
             Rule::CrRelaxedControl => {
                 "CR004: no Ordering::Relaxed atomic load flowing into an \
                  if/match/while control decision"
+            }
+            Rule::RawSync => {
+                "SY001: no direct std::sync/std::thread in core/accel/trace/\
+                 obs non-test code; route through the cnnre_model::sync and \
+                 cnnre_model::thread shims"
             }
             Rule::StaleAllow => {
                 "lint:allow directives that no longer suppress any finding \
@@ -320,6 +331,17 @@ impl Rule {
                  Fix:     use Acquire (pairing with a Release store), or\n\
                  justify staleness-tolerance with\n\
                  lint:allow(cr-relaxed-control): <reason>."
+            }
+            Rule::RawSync => {
+                "SY001 — raw std concurrency primitive.\n\n\
+                 Locks, atomics, and threads reached directly through std are\n\
+                 invisible to the cnnre-model exploration scheduler, so the\n\
+                 interleavings they create are never model-checked. The shims\n\
+                 in cnnre_model::sync / cnnre_model::thread are transparent\n\
+                 std re-exports in normal builds and cost nothing.\n\n\
+                 Fails:   use std::sync::Mutex;\n\
+                 Fix:     use cnnre_model::sync::Mutex; (same API), or\n\
+                 justify with lint:allow(raw-sync): <reason>."
             }
             Rule::StaleAllow => {
                 "stale-allow — dead suppression.\n\n\

@@ -118,6 +118,17 @@ const LOCK_SCOPE: [&str; 3] = ["crates/obs/src/", "crates/core/src/", "crates/be
 /// Crates whose atomics steer cross-thread control flow (CR004).
 const RELAXED_SCOPE: [&str; 2] = ["crates/obs/src/", "crates/core/src/"];
 
+/// Crates whose concurrency must stay explorable by the model checker:
+/// locks, atomics, and threads there go through the `cnnre_model` shims,
+/// never raw `std::sync`/`std::thread` (SY001). `crates/model` itself is
+/// exempt — wrapping `std` is its job.
+const SYNC_SHIM_SCOPE: [&str; 4] = [
+    "crates/core/src/",
+    "crates/accel/src/",
+    "crates/trace/src/",
+    "crates/obs/src/",
+];
+
 /// Whether `rel_path` lives in a test/bench/example tree rather than a
 /// `src/` tree. Such files are only reached via `--include-tests` and get
 /// the relaxed rule set.
@@ -155,6 +166,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
         check_relaxed_control(file, &mut out);
         check_mutable_state(file, &mut out);
         check_lock_order(file, &mut out);
+        check_raw_sync(file, &mut out);
     }
     check_allow_directives(file, &mut out.diags);
     check_stale_allows(file, &out.used, &out.used_module, &mut out.diags);
@@ -591,6 +603,16 @@ fn check_lock_order(file: &SourceFile, out: &mut Ctx) {
         return;
     }
     for f in concurrency::lock_order_findings(file) {
+        push(out, file, f.rule, f.line, f.message);
+    }
+}
+
+// SY001: raw std concurrency primitives on model-checked paths.
+fn check_raw_sync(file: &SourceFile, out: &mut Ctx) {
+    if !in_scope(&file.rel_path, &SYNC_SHIM_SCOPE) {
+        return;
+    }
+    for f in concurrency::raw_sync_findings(file) {
         push(out, file, f.rule, f.line, f.message);
     }
 }

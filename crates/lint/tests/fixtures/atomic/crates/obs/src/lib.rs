@@ -1,6 +1,6 @@
 //! Fixture: unjustified strong atomic ordering in obs.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use cnnre_model::sync::atomic::{AtomicU64, Ordering};
 
 pub static COUNTER: AtomicU64 = AtomicU64::new(0);
 

@@ -1,7 +1,7 @@
 //! Seeds exactly one CR004: an `Ordering::Relaxed` load steering an `if`.
 //! The plain counter read below feeds no condition and must not fire.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use cnnre_model::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 pub fn emit_if_enabled(flag: &AtomicBool, sink: &mut Vec<u64>) {
     let on = flag.load(Ordering::Relaxed);

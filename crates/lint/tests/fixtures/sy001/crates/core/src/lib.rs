@@ -1,0 +1,21 @@
+//! Seeds exactly two SY001s: a raw `std::sync` import and a raw
+//! `std::thread` spawn. The shim imports, the justified allow, and the
+//! test-module use below must NOT fire.
+
+use std::sync::Mutex;
+
+use cnnre_model::sync::Arc;
+
+pub fn spawn_worker() {
+    std::thread::spawn(|| {});
+}
+
+pub fn spawn_scoped() {
+    // lint:allow(raw-sync): scoped thread API has no shim equivalent yet
+    std::thread::scope(|_| {});
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::RwLock;
+}

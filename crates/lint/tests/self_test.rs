@@ -138,6 +138,14 @@ fn cr004_fixture_reports_relaxed_steered_branch_not_plain_load() {
 }
 
 #[test]
+fn sy001_fixture_reports_raw_sync_and_thread_not_shims_or_tests() {
+    // The `std::sync` import and `std::thread::spawn` fire; the
+    // `cnnre_model::sync` import, the allowed `std::thread::scope`, and
+    // the `#[cfg(test)]` use do not.
+    assert_eq!(lint_fixture("sy001"), [Rule::RawSync, Rule::RawSync]);
+}
+
+#[test]
 fn stale_allow_fixture_reports_the_dead_directive_only() {
     assert_eq!(lint_fixture("stale_allow"), [Rule::StaleAllow]);
 }
@@ -229,6 +237,7 @@ fn binary_exits_nonzero_on_each_seeded_fixture() {
         "cr002",
         "cr003",
         "cr004",
+        "sy001",
         "stale_allow",
     ] {
         let root = fixture(name);

@@ -1,0 +1,67 @@
+//! Vector clocks: the happens-before engine behind the data-race detector.
+//!
+//! Each model thread carries a [`VClock`]; every visible operation
+//! increments the thread's own component, and synchronization objects
+//! (mutexes, channels, acquire/release atomics) carry clocks that threads
+//! join on acquire and publish into on release. Two accesses are ordered
+//! iff one's full clock is ≤ the other's at the later access — the
+//! FastTrack-style epoch comparison in `runtime::Obj::Cell` needs only the
+//! accessor's component (`tid`, `clock[tid]`) per read/write.
+
+/// A vector clock over model-thread ids. Indexing past the end reads 0,
+/// so clocks grow lazily as threads spawn.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    /// The component for thread `tid` (0 when never ticked).
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Advances this thread's own component by one (one event executed).
+    pub(crate) fn tick(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum: after `self.join(other)`, everything ordered
+    /// before `other` is ordered before `self` too.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(&other.0) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::default();
+        assert_eq!(c.get(3), 0);
+        c.tick(3);
+        c.tick(3);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+
+    #[test]
+    fn join_takes_pointwise_max() {
+        let mut a = VClock::default();
+        a.tick(0);
+        let mut b = VClock::default();
+        b.tick(1);
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 1);
+        assert_eq!(a.get(1), 2);
+    }
+}

@@ -1,0 +1,414 @@
+//! The exploration driver: runs one execution at a time under a
+//! controller that picks which Ready thread proceeds at every visible
+//! operation, then backtracks depth-first over those decisions.
+//!
+//! Pruning is two-fold:
+//! - **Sleep sets** (Godefroid-style): after exploring choice `c` at a
+//!   node, siblings whose pending operations are independent of `c`'s
+//!   stay asleep in the re-descended branch — interleavings that only
+//!   commute independent operations are never re-run.
+//! - **Preemption bound** (CHESS-style): switching away from a thread
+//!   that could continue costs one preemption; executions needing more
+//!   than `Config::preemption_bound` are cut. Switches at blocking points
+//!   are free, so full mutual exclusion is still explored.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use crate::report::{decode_schedule, encode_schedule, Config, Failure, FailureKind, Stats};
+use crate::runtime::{self, deadlock_message, enabled, Engine, Op, Thr, ThrState};
+
+/// One recorded scheduling decision.
+struct NodeRec {
+    /// Thread ids that were enabled, ascending.
+    enabled: Vec<usize>,
+    /// Pending operation of every Ready thread at the decision.
+    ops: BTreeMap<usize, Op>,
+    chosen: usize,
+    last_ran: Option<usize>,
+    last_ran_enabled: bool,
+    /// Preemptions consumed before this decision.
+    preempts_before: usize,
+    /// Sleep set in force at this decision (meaningful on first visit).
+    sleep: BTreeSet<usize>,
+}
+
+/// A decision node on the DFS stack: the recorded decision plus which
+/// alternatives were already explored.
+struct PathNode {
+    rec: NodeRec,
+    tried: BTreeSet<usize>,
+}
+
+enum Prune {
+    None,
+    /// Every enabled thread was asleep — an equivalent interleaving was
+    /// already explored.
+    Sleep,
+    /// Only bound-exceeding choices remained.
+    Bound,
+}
+
+struct Plan {
+    forced: Vec<usize>,
+    /// Sleep set in force at the first fresh decision.
+    init_sleep: BTreeSet<usize>,
+    /// Replay mode: past the forced prefix run the default policy with no
+    /// pruning, and report forced-choice mismatches as MC004.
+    replay: bool,
+}
+
+struct ExecResult {
+    nodes: Vec<NodeRec>,
+    failure: Option<Failure>,
+    prune: Prune,
+    ops: usize,
+}
+
+/// Runs one execution of `f` under the plan and returns what happened.
+fn run_execution<F>(cfg: &Config, f: Arc<F>, plan: &Plan) -> ExecResult
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let eng = Arc::new(Engine::new(cfg.max_ops, cfg.max_threads));
+    {
+        let mut st = eng.lock();
+        st.threads.push(Thr::root());
+    }
+    {
+        let eng2 = Arc::clone(&eng);
+        let root_f = Arc::clone(&f);
+        let handle = std::thread::Builder::new()
+            .name("cnnre-model-0".to_owned())
+            .spawn(move || runtime::run_thread(eng2, 0, move || root_f()))
+            .unwrap_or_else(|e| panic!("cnnre-model: could not spawn root thread: {e}"));
+        eng.lock().handles.push(handle);
+    }
+
+    let mut nodes: Vec<NodeRec> = Vec::new();
+    let mut prune = Prune::None;
+    let mut last_ran: Option<usize> = None;
+    let mut preempts = 0usize;
+    let mut cur_sleep: BTreeSet<usize> = BTreeSet::new();
+
+    let mut st = eng.lock();
+    loop {
+        while !st.aborting
+            && st
+                .threads
+                .iter()
+                .any(|t| matches!(t.state, ThrState::Unstarted | ThrState::Running))
+        {
+            st = eng
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if st.failure.is_some() || st.aborting {
+            break;
+        }
+        if st.threads.iter().all(|t| t.state == ThrState::Finished) {
+            break;
+        }
+
+        let enabled_set: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| st.threads[t].state == ThrState::Ready && enabled(&st, t))
+            .collect();
+        if enabled_set.is_empty() {
+            let msg = deadlock_message(&st);
+            Engine::fail(&mut st, FailureKind::Deadlock, msg);
+            break;
+        }
+        let ops: BTreeMap<usize, Op> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == ThrState::Ready)
+            .filter_map(|(i, t)| t.pending.clone().map(|op| (i, op)))
+            .collect();
+
+        let idx = nodes.len();
+        let last_ran_enabled = last_ran.is_some_and(|l| enabled_set.contains(&l));
+        if idx == plan.forced.len() && !plan.replay {
+            cur_sleep = plan.init_sleep.clone();
+        }
+
+        let choice = if idx < plan.forced.len() {
+            let c = plan.forced[idx];
+            if !enabled_set.contains(&c) {
+                let msg = if plan.replay {
+                    format!(
+                        "replayed schedule diverged at step {idx}: thread {c} is not \
+                         enabled (enabled: {enabled_set:?}) — schedule from a \
+                         different build or a nondeterministic program"
+                    )
+                } else {
+                    format!(
+                        "exploration re-execution diverged at step {idx}: thread {c} \
+                         not enabled — the checked closure is nondeterministic"
+                    )
+                };
+                Engine::fail(&mut st, FailureKind::Diverged, msg);
+                break;
+            }
+            c
+        } else if plan.replay {
+            // Past the schedule: default policy, no pruning.
+            if last_ran_enabled {
+                last_ran.unwrap_or(enabled_set[0])
+            } else {
+                enabled_set[0]
+            }
+        } else {
+            let feasible = |c: usize| {
+                Some(c) == last_ran
+                    || !last_ran_enabled
+                    || cfg.preemption_bound.is_none_or(|b| preempts < b)
+            };
+            let awake: Vec<usize> = enabled_set
+                .iter()
+                .copied()
+                .filter(|c| !cur_sleep.contains(c))
+                .collect();
+            if awake.is_empty() {
+                prune = Prune::Sleep;
+                break;
+            }
+            // Prefer continuing the same thread (free), else the lowest
+            // awake thread we can still afford to preempt to.
+            let pick = if last_ran_enabled && last_ran.is_some_and(|l| awake.contains(&l)) {
+                last_ran
+            } else {
+                awake.iter().copied().find(|&c| feasible(c))
+            };
+            match pick {
+                Some(c) => c,
+                None => {
+                    prune = Prune::Bound;
+                    break;
+                }
+            }
+        };
+
+        if last_ran.is_some_and(|l| l != choice) && last_ran_enabled {
+            preempts += 1;
+        }
+        let preempts_before = if last_ran.is_some_and(|l| l != choice) && last_ran_enabled {
+            preempts - 1
+        } else {
+            preempts
+        };
+        nodes.push(NodeRec {
+            enabled: enabled_set,
+            ops: ops.clone(),
+            chosen: choice,
+            last_ran,
+            last_ran_enabled,
+            preempts_before,
+            sleep: cur_sleep.clone(),
+        });
+        if idx >= plan.forced.len() && !plan.replay {
+            // Sleep-set propagation: siblings independent of the chosen
+            // operation stay asleep in the child.
+            if let Some(op_c) = ops.get(&choice).cloned() {
+                cur_sleep = cur_sleep
+                    .iter()
+                    .copied()
+                    .filter(|t| {
+                        ops.get(t)
+                            .is_some_and(|op_t| !runtime::dependent(op_t, &op_c))
+                    })
+                    .collect();
+            }
+        }
+
+        st.choices.push(choice);
+        st.threads[choice].granted = true;
+        st.threads[choice].state = ThrState::Running;
+        last_ran = Some(choice);
+        eng.cv.notify_all();
+    }
+
+    // Teardown: wake everyone, wait for all threads to finish, join the
+    // OS handles so no model thread outlives its execution.
+    st.aborting = true;
+    eng.cv.notify_all();
+    while !st.threads.iter().all(|t| t.state == ThrState::Finished) {
+        st = eng
+            .cv
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    let handles = std::mem::take(&mut st.handles);
+    let failure = st.failure.clone();
+    let ops_count = st.ops;
+    drop(st);
+    for h in handles {
+        let _ = h.join();
+    }
+    ExecResult {
+        nodes,
+        failure,
+        prune,
+        ops: ops_count,
+    }
+}
+
+/// Exhaustively explores interleavings of `f` under `cfg`. Returns
+/// exploration statistics, or the first failure found (with its replay
+/// schedule).
+///
+/// `f` runs once per execution, on a fresh root thread; it must be
+/// deterministic apart from scheduling (same visible operations under the
+/// same schedule), or exploration reports MC004.
+pub fn explore_with<F>(cfg: &Config, f: F) -> Result<Stats, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = Arc::new(f);
+    let mut stats = Stats::default();
+    let mut path: Vec<PathNode> = Vec::new();
+    let mut init_sleep: BTreeSet<usize> = BTreeSet::new();
+    loop {
+        if stats.executions >= cfg.max_executions {
+            return Err(Failure {
+                kind: FailureKind::Budget,
+                message: format!(
+                    "exploration exceeded max_executions={} (state space too large \
+                     for the bound — shrink the test or raise the budget)",
+                    cfg.max_executions
+                ),
+                schedule: encode_schedule(&path.iter().map(|n| n.rec.chosen).collect::<Vec<_>>()),
+            });
+        }
+        let plan = Plan {
+            forced: path.iter().map(|n| n.rec.chosen).collect(),
+            init_sleep: init_sleep.clone(),
+            replay: false,
+        };
+        let res = run_execution(cfg, Arc::clone(&f), &plan);
+        stats.executions += 1;
+        stats.ops += res.ops;
+        stats.max_depth = stats.max_depth.max(res.nodes.len());
+        if let Some(failure) = res.failure {
+            return Err(failure);
+        }
+        match res.prune {
+            Prune::Sleep => stats.sleep_prunes += 1,
+            Prune::Bound => stats.bound_prunes += 1,
+            Prune::None => {}
+        }
+        for (i, rec) in res.nodes.into_iter().enumerate() {
+            if i >= path.len() {
+                let mut tried = BTreeSet::new();
+                tried.insert(rec.chosen);
+                path.push(PathNode { rec, tried });
+            }
+        }
+
+        // Backtrack: find the deepest node with an unexplored, awake,
+        // bound-feasible alternative.
+        loop {
+            let Some(node) = path.last_mut() else {
+                return Ok(stats);
+            };
+            let feasible = |c: usize, rec: &NodeRec| {
+                Some(c) == rec.last_ran
+                    || !rec.last_ran_enabled
+                    || cfg.preemption_bound.is_none_or(|b| rec.preempts_before < b)
+            };
+            let cand = node.rec.enabled.iter().copied().find(|&c| {
+                !node.tried.contains(&c) && !node.rec.sleep.contains(&c) && feasible(c, &node.rec)
+            });
+            match cand {
+                Some(c) => {
+                    let op_c = node.rec.ops.get(&c).cloned();
+                    init_sleep = node
+                        .rec
+                        .sleep
+                        .iter()
+                        .chain(node.tried.iter())
+                        .copied()
+                        .filter(|t| {
+                            *t != c
+                                && match (&op_c, node.rec.ops.get(t)) {
+                                    (Some(oc), Some(ot)) => !runtime::dependent(ot, oc),
+                                    _ => false,
+                                }
+                        })
+                        .collect();
+                    node.tried.insert(c);
+                    node.rec.chosen = c;
+                    break;
+                }
+                None => {
+                    path.pop();
+                }
+            }
+        }
+    }
+}
+
+/// [`explore_with`] under the default [`Config`].
+pub fn explore<F>(f: F) -> Result<Stats, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore_with(&Config::default(), f)
+}
+
+/// Replays one execution of `f` under a printable schedule string (as
+/// found in a [`Failure`]), returning the failure it reproduces.
+pub fn replay<F>(schedule: &str, f: F) -> Result<Stats, Failure>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let cfg = Config::default();
+    let forced = decode_schedule(schedule).map_err(|e| Failure {
+        kind: FailureKind::Diverged,
+        message: e,
+        schedule: schedule.trim().to_owned(),
+    })?;
+    let plan = Plan {
+        forced,
+        init_sleep: BTreeSet::new(),
+        replay: true,
+    };
+    let res = run_execution(&cfg, Arc::new(f), &plan);
+    match res.failure {
+        Some(failure) => Err(failure),
+        None => Ok(Stats {
+            executions: 1,
+            ops: res.ops,
+            max_depth: res.nodes.len(),
+            ..Stats::default()
+        }),
+    }
+}
+
+/// The test entry point: explores `f` (or, when `CNNRE_MODEL_SCHEDULE` is
+/// set, replays that schedule) and panics with the full report on any
+/// failure.
+pub fn check<F>(f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    check_with(&Config::default(), f)
+}
+
+/// [`check`] under an explicit [`Config`].
+pub fn check_with<F>(cfg: &Config, f: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let env = std::env::var("CNNRE_MODEL_SCHEDULE").unwrap_or_default();
+    let result = if env.trim().is_empty() {
+        explore_with(cfg, f)
+    } else {
+        replay(&env, f)
+    };
+    match result {
+        Ok(stats) => stats,
+        Err(failure) => panic!("{failure}"),
+    }
+}

@@ -1,0 +1,65 @@
+//! cnnre-model: a schedule-exploring concurrency checker with
+//! std-transparent shims — the repo's in-tree, zero-dependency analogue
+//! of loom, in the same sanitizer philosophy as cnnre-audit's hooks.
+//!
+//! Concurrent code in this workspace is written against [`sync`],
+//! [`thread`], and [`cell`] instead of `std::sync`/`std::thread` (the
+//! SY001 lint enforces this in `core`, `accel`, and `trace`). In normal
+//! builds the shims are transparent re-exports of `std` — release
+//! binaries are bit-for-bit what they would be without this crate. With
+//! the `model-check` feature (enabled workspace-wide for test builds via
+//! the root dev-dependencies), code running inside [`check`] /
+//! [`explore`] is driven by a cooperative scheduler that exhaustively
+//! explores thread interleavings:
+//!
+//! - every interleaving up to a **preemption bound** (default 2) is run,
+//!   with **sleep-set pruning** skipping interleavings that only commute
+//!   independent operations;
+//! - a **vector-clock happens-before engine** reports unordered accesses
+//!   to [`cell::RaceCell`] data as **MC001** data races;
+//! - globally blocked states are **MC002** deadlocks, with a lock-order
+//!   cycle from the held→requested graph when one exists;
+//! - panics on model threads are **MC003**, replay divergence **MC004**,
+//!   and exceeded exploration budgets **MC005**;
+//! - every failure carries a printable schedule string that reproduces
+//!   it deterministically: `CNNRE_MODEL_SCHEDULE=0.0.1.0.2 cargo test …`
+//!   or [`replay`] in code.
+//!
+//! ```ignore
+//! use cnnre_model::{cell::RaceCell, sync::Arc, thread};
+//!
+//! cnnre_model::check(|| {
+//!     let data = Arc::new(RaceCell::new(0u32));
+//!     let d = Arc::clone(&data);
+//!     let t = thread::spawn(move || d.set(1)); // MC001: unordered with...
+//!     data.set(2);                             // ...this write
+//!     t.join().expect("joined");
+//! });
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod report;
+pub mod sync;
+pub mod thread;
+
+#[cfg(feature = "model-check")]
+mod clock;
+#[cfg(feature = "model-check")]
+mod explore;
+#[cfg(feature = "model-check")]
+mod runtime;
+
+#[cfg(feature = "model-check")]
+pub use explore::{check, check_with, explore, explore_with, replay};
+pub use report::{decode_schedule, encode_schedule, Config, Failure, FailureKind, Stats};
+
+/// Whether this build routes the shims through the exploration scheduler
+/// (true iff the `model-check` feature is on). Release builds must see
+/// `false`; `scripts/model.sh` checks both directions.
+#[must_use]
+pub const fn is_model_build() -> bool {
+    cfg!(feature = "model-check")
+}

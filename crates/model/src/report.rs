@@ -1,0 +1,166 @@
+//! Exploration configuration, failure reports, and the printable schedule
+//! string every failure replays from.
+
+use std::fmt;
+
+/// Exploration limits and the preemption bound.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Maximum context switches away from a still-runnable thread per
+    /// execution. Switches at blocking points are free; `None` removes the
+    /// bound entirely. Two preemptions reach every known two-thread bug
+    /// class (Musuvathi & Qadeer's small-bound hypothesis), and every
+    /// in-tree model test explores at bound ≥ 2.
+    pub preemption_bound: Option<usize>,
+    /// Visible-operation cap per execution; exceeding it reports a budget
+    /// failure (likely livelock) instead of hanging — the model crate may
+    /// not read the wall clock.
+    pub max_ops: usize,
+    /// Total executions cap across the exploration.
+    pub max_executions: usize,
+    /// Maximum live model threads per execution.
+    pub max_threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: Some(2),
+            max_ops: 20_000,
+            max_executions: 200_000,
+            max_threads: 8,
+        }
+    }
+}
+
+/// What kind of defect an exploration found.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// MC001 — two unsynchronized accesses to a [`crate::cell::RaceCell`],
+    /// at least one a write, unordered by happens-before.
+    DataRace,
+    /// MC002 — every unfinished thread blocked (AB-BA lock cycle, lost
+    /// wakeup, recv with no live sender already drained, …).
+    Deadlock,
+    /// MC003 — a model thread panicked (failed assertion, explicit panic).
+    Panic,
+    /// MC004 — a replayed schedule diverged from the program (named a
+    /// thread that does not exist or whose next operation is blocked).
+    Diverged,
+    /// MC005 — an exploration budget (`max_ops` / `max_executions` /
+    /// `max_threads`) was exceeded.
+    Budget,
+}
+
+impl FailureKind {
+    /// The stable `MCnnn` code, mirroring the lint/audit code families.
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            FailureKind::DataRace => "MC001",
+            FailureKind::Deadlock => "MC002",
+            FailureKind::Panic => "MC003",
+            FailureKind::Diverged => "MC004",
+            FailureKind::Budget => "MC005",
+        }
+    }
+}
+
+/// One defect found by exploration, with the schedule that
+/// deterministically reproduces it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Defect class.
+    pub kind: FailureKind,
+    /// Human description (which objects/threads, what collided).
+    pub message: String,
+    /// The failing schedule: chosen thread ids joined with `.`, one per
+    /// scheduling decision. Feed it back through
+    /// `CNNRE_MODEL_SCHEDULE=<schedule>` or [`crate::replay`].
+    pub schedule: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "cnnre-model {}: {}", self.kind.code(), self.message)?;
+        writeln!(f, "  schedule: {}", self.schedule)?;
+        write!(
+            f,
+            "  replay with: CNNRE_MODEL_SCHEDULE={} <same test>",
+            self.schedule
+        )
+    }
+}
+
+/// Exploration summary returned on success.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Executions (complete interleavings) run, including pruned ones.
+    pub executions: usize,
+    /// Visible operations executed across all executions.
+    pub ops: usize,
+    /// Deepest scheduling-decision count in any execution.
+    pub max_depth: usize,
+    /// Executions cut short because every enabled thread was in the sleep
+    /// set (a dependence-equivalent interleaving was already explored).
+    pub sleep_prunes: usize,
+    /// Branches skipped because taking them would exceed the preemption
+    /// bound.
+    pub bound_prunes: usize,
+}
+
+/// Renders a choice sequence as the printable schedule string.
+#[must_use]
+pub fn encode_schedule(choices: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, c) in choices.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        out.push_str(&c.to_string());
+    }
+    out
+}
+
+/// Parses a schedule string back into choices. Empty strings parse to an
+/// empty schedule; anything non-numeric is an error naming the bad piece.
+pub fn decode_schedule(s: &str) -> Result<Vec<usize>, String> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split('.')
+        .map(|piece| {
+            piece
+                .parse::<usize>()
+                .map_err(|_| format!("bad schedule component {piece:?} in {s:?}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_round_trips() {
+        let choices = vec![0, 0, 1, 0, 2, 1];
+        let s = encode_schedule(&choices);
+        assert_eq!(s, "0.0.1.0.2.1");
+        assert_eq!(decode_schedule(&s), Ok(choices));
+        assert_eq!(decode_schedule(""), Ok(vec![]));
+        assert!(decode_schedule("0.x.1").is_err());
+    }
+
+    #[test]
+    fn failure_display_names_code_and_schedule() {
+        let f = Failure {
+            kind: FailureKind::DataRace,
+            message: "write/write on cell #3".into(),
+            schedule: "0.1.0".into(),
+        };
+        let s = f.to_string();
+        assert!(s.contains("MC001"));
+        assert!(s.contains("CNNRE_MODEL_SCHEDULE=0.1.0"));
+    }
+}

@@ -1,0 +1,824 @@
+//! The model-check runtime: one engine per execution, real OS threads
+//! cooperating so exactly one runs at a time.
+//!
+//! Every shim operation calls [`visible`] before touching data: the thread
+//! publishes the operation it wants to perform, wakes the controller, and
+//! blocks until granted. The controller (in [`crate::explore`]) picks one
+//! enabled thread per decision; the granted thread then *applies* the
+//! operation's synchronization effects (vector-clock joins, lock
+//! ownership, channel lengths, race checks) under the engine lock and
+//! returns to user code until its next visible operation.
+//!
+//! Threads outside a model execution (no thread-local [`Ctx`]) get
+//! [`OpOutcome::Fallback`]: the shims behave exactly like `std`. This is
+//! what makes the `model-check` feature safe to unify into every test
+//! build — only code inside `check`/`explore` closures is scheduled.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, OnceLock, PoisonError};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+use crate::clock::VClock;
+use crate::report::{encode_schedule, Failure, FailureKind};
+
+/// Process-global object-id source. Ids are assigned lazily on an
+/// object's first visible use and stay stable for its lifetime, across
+/// executions (statics keep their id; per-execution objects get fresh
+/// ones, and each execution starts from a fresh object table).
+static NEXT_OBJ: StdAtomicUsize = StdAtomicUsize::new(1);
+
+/// A lazily assigned model object id. `const`-constructible so shim types
+/// can live in statics.
+#[derive(Debug, Default)]
+pub(crate) struct ObjId(OnceLock<usize>);
+
+impl ObjId {
+    pub(crate) const fn new() -> Self {
+        ObjId(OnceLock::new())
+    }
+
+    pub(crate) fn get(&self) -> usize {
+        *self
+            .0
+            .get_or_init(|| NEXT_OBJ.fetch_add(1, StdOrdering::Relaxed))
+    }
+}
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The per-OS-thread handle tying a thread to the execution it belongs to.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) tid: usize,
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Whether the calling thread is inside a model execution.
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Panic payload used to tear an execution down without reporting the
+/// unwind as a user panic.
+pub(crate) struct AbortToken;
+
+fn abort_panic() -> ! {
+    std::panic::panic_any(AbortToken)
+}
+
+/// One visible operation a thread can request. Object ids come from
+/// [`ObjId`]; `Join`'s payload is a thread id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    Start,
+    Yield,
+    Spawn,
+    Join(usize),
+    Lock(usize),
+    Unlock(usize),
+    RwRead(usize),
+    RwWrite(usize),
+    RwUnlockRead(usize),
+    RwUnlockWrite(usize),
+    /// `(object, acquire)`
+    AtomicLoad(usize, bool),
+    /// `(object, release)`
+    AtomicStore(usize, bool),
+    /// `(object, acquire, release)`
+    AtomicRmw(usize, bool, bool),
+    CellRead(usize),
+    CellWrite(usize),
+    Send(usize),
+    Recv(usize),
+    TryRecv(usize),
+    CloseSender(usize),
+    CloseReceiver(usize),
+    /// `(condvar, mutex)` — atomically release the mutex and enqueue.
+    CondWait(usize, usize),
+    /// Proceed once notified on the condvar.
+    CondWake(usize),
+    NotifyOne(usize),
+    NotifyAll(usize),
+}
+
+impl Op {
+    /// The object ids this operation touches (for the dependence relation
+    /// behind sleep-set pruning).
+    fn keys(&self) -> [Option<usize>; 2] {
+        match *self {
+            Op::Start | Op::Yield | Op::Spawn | Op::Join(_) => [None, None],
+            Op::Lock(o)
+            | Op::Unlock(o)
+            | Op::RwRead(o)
+            | Op::RwWrite(o)
+            | Op::RwUnlockRead(o)
+            | Op::RwUnlockWrite(o)
+            | Op::AtomicLoad(o, _)
+            | Op::AtomicStore(o, _)
+            | Op::AtomicRmw(o, _, _)
+            | Op::CellRead(o)
+            | Op::CellWrite(o)
+            | Op::Send(o)
+            | Op::Recv(o)
+            | Op::TryRecv(o)
+            | Op::CloseSender(o)
+            | Op::CloseReceiver(o)
+            | Op::CondWake(o)
+            | Op::NotifyOne(o)
+            | Op::NotifyAll(o) => [Some(o), None],
+            Op::CondWait(cv, m) => [Some(cv), Some(m)],
+        }
+    }
+
+    /// Whether the operation commutes with other pure reads on the same
+    /// object.
+    fn pure_read(&self) -> bool {
+        matches!(self, Op::AtomicLoad(_, _) | Op::CellRead(_) | Op::RwRead(_))
+    }
+}
+
+/// Whether two pending operations are dependent (do not commute): they
+/// touch a common object and are not both pure reads.
+pub(crate) fn dependent(a: &Op, b: &Op) -> bool {
+    if a.pure_read() && b.pure_read() {
+        return false;
+    }
+    let bk = b.keys();
+    a.keys()
+        .iter()
+        .flatten()
+        .any(|k| bk.iter().flatten().any(|j| j == k))
+}
+
+/// What [`visible`] tells the shim after the operation was applied.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum OpOutcome {
+    /// Not inside a model execution — perform the plain `std` behavior.
+    Fallback,
+    /// The execution is being torn down; skip the operation's effects.
+    Aborted,
+    /// Applied; proceed.
+    Done,
+    /// `Recv`/`TryRecv`: an item is ready to take.
+    RecvReady,
+    /// `Recv`/`TryRecv`: all senders gone and the queue is drained.
+    Disconnected,
+    /// `TryRecv`: queue empty but senders live.
+    Empty,
+    /// `Spawn`: the new thread's id.
+    Spawned(usize),
+}
+
+/// Scheduling state of one model thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ThrState {
+    /// Spawned at the model level; its OS thread has not registered yet.
+    Unstarted,
+    /// Blocked in [`visible`] with a pending operation, awaiting grant.
+    Ready,
+    /// Granted — executing user code until its next visible operation.
+    Running,
+    Finished,
+}
+
+pub(crate) struct Thr {
+    pub(crate) state: ThrState,
+    pub(crate) pending: Option<Op>,
+    pub(crate) granted: bool,
+    pub(crate) clock: VClock,
+    /// Lock objects currently held (mutexes + rwlocks), for the
+    /// lock-order graph and deadlock reports.
+    pub(crate) held: Vec<usize>,
+    /// Condvar handshake: set by a notify, consumed by `CondWake`.
+    pub(crate) notified: bool,
+}
+
+impl Thr {
+    /// The root thread of an execution (tid 0, fresh clock).
+    pub(crate) fn root() -> Self {
+        Thr::new(VClock::default())
+    }
+
+    fn new(clock: VClock) -> Self {
+        Thr {
+            state: ThrState::Unstarted,
+            pending: None,
+            granted: false,
+            clock,
+            held: Vec::new(),
+            notified: false,
+        }
+    }
+}
+
+/// Model-level state of one synchronization object.
+pub(crate) enum Obj {
+    Mutex {
+        owner: Option<usize>,
+        vc: VClock,
+    },
+    Rw {
+        writer: Option<usize>,
+        readers: BTreeSet<usize>,
+        vc: VClock,
+    },
+    Atomic {
+        vc: VClock,
+    },
+    /// FastTrack-style epochs: the last write `(tid, clock[tid])` plus the
+    /// last read epoch per thread since that write.
+    Cell {
+        write: Option<(usize, u64)>,
+        reads: BTreeMap<usize, u64>,
+    },
+    Chan {
+        len: usize,
+        senders: usize,
+        vc: VClock,
+    },
+    Cond {
+        waiters: BTreeSet<usize>,
+    },
+}
+
+pub(crate) struct EngState {
+    pub(crate) threads: Vec<Thr>,
+    pub(crate) objects: BTreeMap<usize, Obj>,
+    pub(crate) choices: Vec<usize>,
+    pub(crate) failure: Option<Failure>,
+    pub(crate) aborting: bool,
+    pub(crate) ops: usize,
+    /// Held-lock → requested-lock edges observed this execution.
+    pub(crate) lock_edges: BTreeSet<(usize, usize)>,
+    pub(crate) handles: Vec<std::thread::JoinHandle<()>>,
+    pub(crate) max_ops: usize,
+    pub(crate) max_threads: usize,
+}
+
+/// One execution's engine: the state plus the condvar every participant
+/// (threads and controller) parks on.
+pub(crate) struct Engine {
+    pub(crate) st: StdMutex<EngState>,
+    pub(crate) cv: StdCondvar,
+}
+
+impl Engine {
+    pub(crate) fn new(max_ops: usize, max_threads: usize) -> Engine {
+        Engine {
+            st: StdMutex::new(EngState {
+                threads: Vec::new(),
+                objects: BTreeMap::new(),
+                choices: Vec::new(),
+                failure: None,
+                aborting: false,
+                ops: 0,
+                lock_edges: BTreeSet::new(),
+                handles: Vec::new(),
+                max_ops,
+                max_threads,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> StdMutexGuard<'_, EngState> {
+        self.st.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn fail(st: &mut EngState, kind: FailureKind, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(Failure {
+                kind,
+                message,
+                schedule: encode_schedule(&st.choices),
+            });
+        }
+        st.aborting = true;
+    }
+}
+
+/// Requests one visible operation: publish it, wait for the grant, apply
+/// its synchronization effects, and return the outcome to the shim.
+pub(crate) fn visible(op: Op) -> OpOutcome {
+    let Some(ctx) = current() else {
+        return OpOutcome::Fallback;
+    };
+    let eng = ctx.engine;
+    let mut st = eng.lock();
+    if st.aborting {
+        drop(st);
+        return on_abort();
+    }
+    st.ops += 1;
+    if st.ops > st.max_ops {
+        let max = st.max_ops;
+        Engine::fail(
+            &mut st,
+            FailureKind::Budget,
+            format!("execution exceeded max_ops={max} visible operations (livelock?)"),
+        );
+        eng.cv.notify_all();
+        drop(st);
+        return on_abort();
+    }
+    st.threads[ctx.tid].pending = Some(op.clone());
+    st.threads[ctx.tid].state = ThrState::Ready;
+    eng.cv.notify_all();
+    loop {
+        if st.aborting {
+            drop(st);
+            return on_abort();
+        }
+        if st.threads[ctx.tid].granted {
+            st.threads[ctx.tid].granted = false;
+            break;
+        }
+        st = eng.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+    let out = apply(&mut st, ctx.tid, &op);
+    st.threads[ctx.tid].state = ThrState::Running;
+    st.threads[ctx.tid].pending = None;
+    if st.aborting {
+        eng.cv.notify_all();
+        drop(st);
+        return on_abort();
+    }
+    out
+}
+
+/// During teardown: unwinding threads keep draining their drops quietly;
+/// anything else propagates the abort.
+fn on_abort() -> OpOutcome {
+    if std::thread::panicking() {
+        OpOutcome::Aborted
+    } else {
+        abort_panic()
+    }
+}
+
+/// Whether `tid`'s pending operation can execute now.
+pub(crate) fn enabled(st: &EngState, tid: usize) -> bool {
+    let Some(op) = st.threads[tid].pending.as_ref() else {
+        return false;
+    };
+    match *op {
+        Op::Lock(o) => !matches!(st.objects.get(&o), Some(Obj::Mutex { owner: Some(_), .. })),
+        Op::RwRead(o) => !matches!(
+            st.objects.get(&o),
+            Some(Obj::Rw {
+                writer: Some(_),
+                ..
+            })
+        ),
+        Op::RwWrite(o) => match st.objects.get(&o) {
+            Some(Obj::Rw {
+                writer, readers, ..
+            }) => writer.is_none() && readers.is_empty(),
+            _ => true,
+        },
+        Op::Recv(o) => match st.objects.get(&o) {
+            Some(Obj::Chan { len, senders, .. }) => *len > 0 || *senders == 0,
+            _ => true,
+        },
+        Op::Join(t) => st
+            .threads
+            .get(t)
+            .is_some_and(|t| t.state == ThrState::Finished),
+        Op::CondWake(_) => st.threads[tid].notified,
+        _ => true,
+    }
+}
+
+/// Applies one granted operation's effects. Must be called with the
+/// engine lock held, from the granted thread.
+fn apply(st: &mut EngState, tid: usize, op: &Op) -> OpOutcome {
+    // Each applied op is one event on the thread's clock.
+    st.threads[tid].clock.tick(tid);
+    match *op {
+        Op::Start | Op::Yield => OpOutcome::Done,
+        Op::Spawn => {
+            if st.threads.len() >= st.max_threads {
+                let max = st.max_threads;
+                Engine::fail(
+                    st,
+                    FailureKind::Budget,
+                    format!("execution exceeded max_threads={max}"),
+                );
+                return OpOutcome::Aborted;
+            }
+            let child = st.threads.len();
+            let mut clock = st.threads[tid].clock.clone();
+            clock.tick(child);
+            st.threads.push(Thr::new(clock));
+            OpOutcome::Spawned(child)
+        }
+        Op::Join(t) => {
+            let child_clock = st.threads[t].clock.clone();
+            st.threads[tid].clock.join(&child_clock);
+            OpOutcome::Done
+        }
+        Op::Lock(o) => {
+            record_lock_edges(st, tid, o);
+            if let Obj::Mutex { owner, vc } = st.objects.entry(o).or_insert(Obj::Mutex {
+                owner: None,
+                vc: VClock::default(),
+            }) {
+                *owner = Some(tid);
+                let vc = vc.clone();
+                st.threads[tid].clock.join(&vc);
+            }
+            st.threads[tid].held.push(o);
+            OpOutcome::Done
+        }
+        Op::Unlock(o) => {
+            let thr_clock = st.threads[tid].clock.clone();
+            if let Some(Obj::Mutex { owner, vc }) = st.objects.get_mut(&o) {
+                *owner = None;
+                vc.join(&thr_clock);
+            }
+            st.threads[tid].held.retain(|h| *h != o);
+            OpOutcome::Done
+        }
+        Op::RwRead(o) | Op::RwWrite(o) => {
+            record_lock_edges(st, tid, o);
+            let write = matches!(op, Op::RwWrite(_));
+            let obj = st.objects.entry(o).or_insert(Obj::Rw {
+                writer: None,
+                readers: BTreeSet::new(),
+                vc: VClock::default(),
+            });
+            if let Obj::Rw {
+                writer,
+                readers,
+                vc,
+            } = obj
+            {
+                if write {
+                    *writer = Some(tid);
+                } else {
+                    readers.insert(tid);
+                }
+                let vc = vc.clone();
+                st.threads[tid].clock.join(&vc);
+            }
+            st.threads[tid].held.push(o);
+            OpOutcome::Done
+        }
+        Op::RwUnlockRead(o) | Op::RwUnlockWrite(o) => {
+            let thr_clock = st.threads[tid].clock.clone();
+            if let Some(Obj::Rw {
+                writer,
+                readers,
+                vc,
+            }) = st.objects.get_mut(&o)
+            {
+                if matches!(op, Op::RwUnlockWrite(_)) {
+                    *writer = None;
+                } else {
+                    readers.remove(&tid);
+                }
+                vc.join(&thr_clock);
+            }
+            st.threads[tid].held.retain(|h| *h != o);
+            OpOutcome::Done
+        }
+        Op::AtomicLoad(o, acquire) => {
+            if acquire {
+                if let Some(Obj::Atomic { vc }) = st.objects.get(&o) {
+                    let vc = vc.clone();
+                    st.threads[tid].clock.join(&vc);
+                }
+            }
+            st.objects.entry(o).or_insert(Obj::Atomic {
+                vc: VClock::default(),
+            });
+            OpOutcome::Done
+        }
+        Op::AtomicStore(o, release) => {
+            let thr_clock = st.threads[tid].clock.clone();
+            let obj = st.objects.entry(o).or_insert(Obj::Atomic {
+                vc: VClock::default(),
+            });
+            if release {
+                if let Obj::Atomic { vc } = obj {
+                    vc.join(&thr_clock);
+                }
+            }
+            OpOutcome::Done
+        }
+        Op::AtomicRmw(o, acquire, release) => {
+            let thr_clock = st.threads[tid].clock.clone();
+            let obj = st.objects.entry(o).or_insert(Obj::Atomic {
+                vc: VClock::default(),
+            });
+            if let Obj::Atomic { vc } = obj {
+                if release {
+                    vc.join(&thr_clock);
+                }
+                if acquire {
+                    let vc = vc.clone();
+                    st.threads[tid].clock.join(&vc);
+                }
+            }
+            OpOutcome::Done
+        }
+        Op::CellRead(o) | Op::CellWrite(o) => {
+            cell_access(st, tid, o, matches!(op, Op::CellWrite(_)))
+        }
+        Op::Send(o) => {
+            let thr_clock = st.threads[tid].clock.clone();
+            let obj = chan_entry(st, o);
+            if let Obj::Chan { len, vc, .. } = obj {
+                *len += 1;
+                vc.join(&thr_clock);
+            }
+            OpOutcome::Done
+        }
+        Op::Recv(o) | Op::TryRecv(o) => {
+            let (ready, disconnected, vc) = match chan_entry(st, o) {
+                Obj::Chan { len, senders, vc } => {
+                    if *len > 0 {
+                        *len -= 1;
+                        (true, false, Some(vc.clone()))
+                    } else {
+                        (false, *senders == 0, None)
+                    }
+                }
+                _ => (false, false, None),
+            };
+            if let Some(vc) = vc {
+                st.threads[tid].clock.join(&vc);
+            }
+            if ready {
+                OpOutcome::RecvReady
+            } else if disconnected {
+                OpOutcome::Disconnected
+            } else {
+                OpOutcome::Empty
+            }
+        }
+        Op::CloseSender(o) => {
+            let thr_clock = st.threads[tid].clock.clone();
+            if let Obj::Chan { senders, vc, .. } = chan_entry(st, o) {
+                *senders = senders.saturating_sub(1);
+                vc.join(&thr_clock);
+            }
+            OpOutcome::Done
+        }
+        Op::CloseReceiver(_) => OpOutcome::Done,
+        Op::CondWait(cv, m) => {
+            // Atomically: release the mutex and join the wait set. The
+            // atomicity is the whole point of a condvar — a notify between
+            // release and enqueue must not be lost.
+            let thr_clock = st.threads[tid].clock.clone();
+            if let Some(Obj::Mutex { owner, vc }) = st.objects.get_mut(&m) {
+                *owner = None;
+                vc.join(&thr_clock);
+            }
+            st.threads[tid].held.retain(|h| *h != m);
+            let obj = st.objects.entry(cv).or_insert(Obj::Cond {
+                waiters: BTreeSet::new(),
+            });
+            if let Obj::Cond { waiters } = obj {
+                waiters.insert(tid);
+            }
+            st.threads[tid].notified = false;
+            OpOutcome::Done
+        }
+        Op::CondWake(_) => {
+            st.threads[tid].notified = false;
+            OpOutcome::Done
+        }
+        Op::NotifyOne(cv) | Op::NotifyAll(cv) => {
+            let all = matches!(op, Op::NotifyAll(_));
+            let woken: Vec<usize> = match st.objects.get_mut(&cv) {
+                Some(Obj::Cond { waiters }) => {
+                    if all {
+                        let w: Vec<usize> = waiters.iter().copied().collect();
+                        waiters.clear();
+                        w
+                    } else if let Some(first) = waiters.iter().next().copied() {
+                        waiters.remove(&first);
+                        vec![first]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                _ => Vec::new(),
+            };
+            for w in woken {
+                st.threads[w].notified = true;
+            }
+            OpOutcome::Done
+        }
+    }
+}
+
+/// FastTrack-style race check for a [`crate::cell::RaceCell`] access.
+fn cell_access(st: &mut EngState, tid: usize, o: usize, is_write: bool) -> OpOutcome {
+    let epoch = st.threads[tid].clock.get(tid);
+    let clock = st.threads[tid].clock.clone();
+    let obj = st.objects.entry(o).or_insert(Obj::Cell {
+        write: None,
+        reads: BTreeMap::new(),
+    });
+    let Obj::Cell { write, reads } = obj else {
+        return OpOutcome::Done;
+    };
+    let mut race: Option<String> = None;
+    if let Some((wt, we)) = *write {
+        if wt != tid && clock.get(wt) < we {
+            let kind = if is_write {
+                "write/write"
+            } else {
+                "write/read"
+            };
+            race = Some(format!(
+                "{kind} race on cell #{o}: thread {wt}'s write is unordered with \
+                 thread {tid}'s {}",
+                if is_write { "write" } else { "read" }
+            ));
+        }
+    }
+    if is_write && race.is_none() {
+        for (&rt, &re) in reads.iter() {
+            if rt != tid && clock.get(rt) < re {
+                race = Some(format!(
+                    "read/write race on cell #{o}: thread {rt}'s read is unordered \
+                     with thread {tid}'s write"
+                ));
+                break;
+            }
+        }
+    }
+    if is_write {
+        *write = Some((tid, epoch));
+        reads.clear();
+    } else {
+        reads.insert(tid, epoch);
+    }
+    if let Some(message) = race {
+        Engine::fail(st, FailureKind::DataRace, message);
+        return OpOutcome::Aborted;
+    }
+    OpOutcome::Done
+}
+
+fn chan_entry(st: &mut EngState, o: usize) -> &mut Obj {
+    st.objects.entry(o).or_insert(Obj::Chan {
+        len: 0,
+        senders: 1,
+        vc: VClock::default(),
+    })
+}
+
+/// Records held→requested edges in the lock-order graph.
+fn record_lock_edges(st: &mut EngState, tid: usize, requested: usize) {
+    let held: Vec<usize> = st.threads[tid].held.clone();
+    for h in held {
+        if h != requested {
+            st.lock_edges.insert((h, requested));
+        }
+    }
+}
+
+/// Registers a channel with `n` initial senders (called at construction
+/// time so sender counting starts exact even before the first send).
+pub(crate) fn register_chan(o: usize) {
+    if let Some(ctx) = current() {
+        let mut st = ctx.engine.lock();
+        chan_entry(&mut st, o);
+    }
+}
+
+/// Spawns a model thread running `body` and returns its model tid, or
+/// `None` when called outside an execution (the shim falls back to
+/// `std::thread::spawn`).
+pub(crate) fn spawn_thread<F>(body: F) -> Option<usize>
+where
+    F: FnOnce() + Send + 'static,
+{
+    let ctx = current()?;
+    let child = match visible(Op::Spawn) {
+        OpOutcome::Spawned(t) => t,
+        OpOutcome::Fallback => return None,
+        // Teardown: behave as if the spawn never ran.
+        _ => abort_panic(),
+    };
+    let engine = Arc::clone(&ctx.engine);
+    let handle = std::thread::Builder::new()
+        .name(format!("cnnre-model-{child}"))
+        .spawn(move || run_thread(engine, child, body))
+        .ok()?;
+    ctx.engine.lock().handles.push(handle);
+    Some(child)
+}
+
+/// The body wrapper for every model thread (including the root): register,
+/// run, and report the outcome to the engine.
+pub(crate) fn run_thread<F>(engine: Arc<Engine>, tid: usize, body: F)
+where
+    F: FnOnce(),
+{
+    set_ctx(Some(Ctx {
+        engine: Arc::clone(&engine),
+        tid,
+    }));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _ = visible(Op::Start);
+        body();
+    }));
+    set_ctx(None);
+    let mut st = engine.lock();
+    st.threads[tid].state = ThrState::Finished;
+    st.threads[tid].pending = None;
+    if let Err(payload) = result {
+        if !payload.is::<AbortToken>() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Engine::fail(
+                &mut st,
+                FailureKind::Panic,
+                format!("thread {tid} panicked: {msg}"),
+            );
+        }
+    }
+    engine.cv.notify_all();
+}
+
+/// Builds the MC002 deadlock message: every blocked thread's pending
+/// operation, plus a lock-order cycle if the graph contains one.
+pub(crate) fn deadlock_message(st: &EngState) -> String {
+    let mut parts = Vec::new();
+    for (tid, t) in st.threads.iter().enumerate() {
+        if t.state == ThrState::Ready {
+            if let Some(op) = &t.pending {
+                parts.push(format!("thread {tid} blocked at {op:?}"));
+            }
+        }
+    }
+    let mut msg = format!("deadlock: {}", parts.join("; "));
+    if let Some(cycle) = find_lock_cycle(&st.lock_edges) {
+        let path: Vec<String> = cycle.iter().map(|o| format!("#{o}")).collect();
+        msg.push_str(&format!("; lock-order cycle: {}", path.join(" -> ")));
+    }
+    msg
+}
+
+/// Finds any cycle in the held→requested lock graph, returned as a node
+/// path ending where it starts (`[a, b, a]`).
+fn find_lock_cycle(edges: &BTreeSet<(usize, usize)>) -> Option<Vec<usize>> {
+    let nodes: BTreeSet<usize> = edges.iter().flat_map(|&(a, b)| [a, b]).collect();
+    for &start in &nodes {
+        let mut path = vec![start];
+        if walk_cycle(edges, start, start, &mut path, 0) {
+            return Some(path);
+        }
+    }
+    None
+}
+
+fn walk_cycle(
+    edges: &BTreeSet<(usize, usize)>,
+    start: usize,
+    at: usize,
+    path: &mut Vec<usize>,
+    depth: usize,
+) -> bool {
+    if depth > 16 {
+        return false;
+    }
+    for &(a, b) in edges {
+        if a != at {
+            continue;
+        }
+        if b == start {
+            path.push(b);
+            return true;
+        }
+        if path.contains(&b) {
+            continue;
+        }
+        path.push(b);
+        if walk_cycle(edges, start, b, path, depth + 1) {
+            return true;
+        }
+        path.pop();
+    }
+    false
+}

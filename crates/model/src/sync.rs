@@ -1,0 +1,712 @@
+//! Drop-in `std::sync` surface: `use cnnre_model::sync::...` wherever you
+//! would write `use std::sync::...`.
+//!
+//! Without the `model-check` feature this module is a transparent
+//! re-export of `std::sync` — zero cost, identical types. With the
+//! feature, the primitives wrap their `std` counterparts and announce
+//! every acquire/release/atomic access to the exploration scheduler
+//! ([`crate::check`]) when the calling thread is inside a model
+//! execution; outside one they behave exactly like `std`.
+
+#[cfg(not(feature = "model-check"))]
+mod imp {
+    pub use std::sync::atomic;
+    pub use std::sync::mpsc;
+    pub use std::sync::{
+        Arc, Condvar, LockResult, Mutex, MutexGuard, OnceLock, PoisonError, RwLock,
+        RwLockReadGuard, RwLockWriteGuard, TryLockError, TryLockResult, Weak,
+    };
+}
+
+#[cfg(feature = "model-check")]
+mod imp {
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    use crate::runtime::{visible, ObjId, Op, OpOutcome};
+
+    // Untracked by the model: `Arc` refcounts never race by construction,
+    // and `OnceLock` initialization runs under its own internal lock.
+    pub use std::sync::{
+        Arc, LockResult, OnceLock, PoisonError, TryLockError, TryLockResult, Weak,
+    };
+
+    /// A mutex that reports its lock/unlock pairs to the model scheduler.
+    pub struct Mutex<T: ?Sized> {
+        id: ObjId,
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a new mutex (usable in statics).
+        pub const fn new(t: T) -> Mutex<T> {
+            Mutex {
+                id: ObjId::new(),
+                inner: std::sync::Mutex::new(t),
+            }
+        }
+
+        /// Consumes the mutex, returning the underlying data.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the mutex, blocking the model thread until it is free.
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match visible(Op::Lock(self.id.get())) {
+                OpOutcome::Fallback => match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(g),
+                        model: false,
+                    }),
+                    Err(e) => Err(PoisonError::new(MutexGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                        model: false,
+                    })),
+                },
+                _ => {
+                    // The model grant guarantees exclusivity; the inner
+                    // lock is free (its last owner released before the
+                    // model-level unlock was granted). Poisoning from
+                    // aborted executions is expected and tolerated.
+                    let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+                    Ok(MutexGuard {
+                        lock: self,
+                        inner: Some(g),
+                        model: true,
+                    })
+                }
+            }
+        }
+
+        /// Mutable access without locking (exclusive borrow proves unique
+        /// ownership, so no visible operation is recorded).
+        pub fn get_mut(&mut self) -> LockResult<&mut T> {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    /// Guard for [`Mutex`]; announces the release on drop.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        model: bool,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("mutex guard used after release")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("mutex guard used after release")
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(g) = self.inner.take() {
+                // Release the OS mutex *before* announcing the model-level
+                // unlock, so the next granted locker never blocks on it.
+                drop(g);
+                if self.model {
+                    let _ = visible(Op::Unlock(self.lock.id.get()));
+                }
+            }
+        }
+    }
+
+    /// A reader–writer lock that reports shared/exclusive acquisition to
+    /// the model scheduler.
+    pub struct RwLock<T: ?Sized> {
+        id: ObjId,
+        inner: std::sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Creates a new lock (usable in statics).
+        pub const fn new(t: T) -> RwLock<T> {
+            RwLock {
+                id: ObjId::new(),
+                inner: std::sync::RwLock::new(t),
+            }
+        }
+
+        /// Consumes the lock, returning the underlying data.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires shared read access.
+        pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+            match visible(Op::RwRead(self.id.get())) {
+                OpOutcome::Fallback => match self.inner.read() {
+                    Ok(g) => Ok(RwLockReadGuard {
+                        lock: self,
+                        inner: Some(g),
+                        model: false,
+                    }),
+                    Err(e) => Err(PoisonError::new(RwLockReadGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                        model: false,
+                    })),
+                },
+                _ => {
+                    let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+                    Ok(RwLockReadGuard {
+                        lock: self,
+                        inner: Some(g),
+                        model: true,
+                    })
+                }
+            }
+        }
+
+        /// Acquires exclusive write access.
+        pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+            match visible(Op::RwWrite(self.id.get())) {
+                OpOutcome::Fallback => match self.inner.write() {
+                    Ok(g) => Ok(RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(g),
+                        model: false,
+                    }),
+                    Err(e) => Err(PoisonError::new(RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(e.into_inner()),
+                        model: false,
+                    })),
+                },
+                _ => {
+                    let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+                    Ok(RwLockWriteGuard {
+                        lock: self,
+                        inner: Some(g),
+                        model: true,
+                    })
+                }
+            }
+        }
+
+        /// Mutable access without locking.
+        pub fn get_mut(&mut self) -> LockResult<&mut T> {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            RwLock::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    /// Shared guard for [`RwLock`].
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+        model: bool,
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("read guard used after release")
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(g) = self.inner.take() {
+                drop(g);
+                if self.model {
+                    let _ = visible(Op::RwUnlockRead(self.lock.id.get()));
+                }
+            }
+        }
+    }
+
+    /// Exclusive guard for [`RwLock`].
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        lock: &'a RwLock<T>,
+        inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+        model: bool,
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("write guard used after release")
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("write guard used after release")
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            if let Some(g) = self.inner.take() {
+                drop(g);
+                if self.model {
+                    let _ = visible(Op::RwUnlockWrite(self.lock.id.get()));
+                }
+            }
+        }
+    }
+
+    /// A condition variable with modeled wait/notify (lost wakeups show up
+    /// as MC002 deadlocks, exactly as they would hang in production).
+    pub struct Condvar {
+        id: ObjId,
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// Creates a new condition variable (usable in statics).
+        pub const fn new() -> Condvar {
+            Condvar {
+                id: ObjId::new(),
+                inner: std::sync::Condvar::new(),
+            }
+        }
+
+        /// Atomically releases `guard`'s mutex and waits for a
+        /// notification, then reacquires the mutex.
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let mut guard = guard;
+            let lock = guard.lock;
+            let model = guard.model;
+            let std_g = guard.inner.take();
+            // The guard's Drop must not announce an unlock: in model mode
+            // the release happens atomically inside CondWait, in fallback
+            // mode inside `std::sync::Condvar::wait`.
+            std::mem::forget(guard);
+            if model {
+                drop(std_g);
+                let _ = visible(Op::CondWait(self.id.get(), lock.id.get()));
+                let _ = visible(Op::CondWake(self.id.get()));
+                lock.lock()
+            } else {
+                let std_g = std_g.expect("condvar wait on released guard");
+                match self.inner.wait(std_g) {
+                    Ok(g) => Ok(MutexGuard {
+                        lock,
+                        inner: Some(g),
+                        model: false,
+                    }),
+                    Err(e) => Err(PoisonError::new(MutexGuard {
+                        lock,
+                        inner: Some(e.into_inner()),
+                        model: false,
+                    })),
+                }
+            }
+        }
+
+        /// Wakes one waiter (the lowest-id model thread, for determinism).
+        pub fn notify_one(&self) {
+            if matches!(visible(Op::NotifyOne(self.id.get())), OpOutcome::Fallback) {
+                self.inner.notify_one();
+            }
+        }
+
+        /// Wakes every waiter.
+        pub fn notify_all(&self) {
+            if matches!(visible(Op::NotifyAll(self.id.get())), OpOutcome::Fallback) {
+                self.inner.notify_all();
+            }
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Condvar::new()
+        }
+    }
+
+    impl fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Condvar").finish_non_exhaustive()
+        }
+    }
+
+    /// Modeled atomics: acquire loads and release stores create
+    /// happens-before edges; `Relaxed` creates none.
+    pub mod atomic {
+        use crate::runtime::{visible, ObjId, Op};
+
+        pub use std::sync::atomic::Ordering;
+
+        fn is_acquire(order: Ordering) -> bool {
+            matches!(
+                order,
+                Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+            )
+        }
+
+        fn is_release(order: Ordering) -> bool {
+            matches!(
+                order,
+                Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+            )
+        }
+
+        macro_rules! model_int_atomic {
+            ($(#[$meta:meta])* $name:ident, $std:ident, $raw:ty) => {
+                $(#[$meta])*
+                pub struct $name {
+                    id: ObjId,
+                    inner: std::sync::atomic::$std,
+                }
+
+                impl $name {
+                    /// Creates a new atomic (usable in statics).
+                    pub const fn new(v: $raw) -> Self {
+                        $name { id: ObjId::new(), inner: std::sync::atomic::$std::new(v) }
+                    }
+
+                    /// Loads the value; acquire orderings join the
+                    /// object's clock into the thread's.
+                    pub fn load(&self, order: Ordering) -> $raw {
+                        let _ = visible(Op::AtomicLoad(self.id.get(), is_acquire(order)));
+                        self.inner.load(order)
+                    }
+
+                    /// Stores a value; release orderings publish the
+                    /// thread's clock into the object's.
+                    pub fn store(&self, v: $raw, order: Ordering) {
+                        let _ = visible(Op::AtomicStore(self.id.get(), is_release(order)));
+                        self.inner.store(v, order);
+                    }
+
+                    /// Atomic swap (a read-modify-write).
+                    pub fn swap(&self, v: $raw, order: Ordering) -> $raw {
+                        self.rmw(order);
+                        self.inner.swap(v, order)
+                    }
+
+                    /// Atomic add, returning the previous value.
+                    pub fn fetch_add(&self, v: $raw, order: Ordering) -> $raw {
+                        self.rmw(order);
+                        self.inner.fetch_add(v, order)
+                    }
+
+                    /// Atomic subtract, returning the previous value.
+                    pub fn fetch_sub(&self, v: $raw, order: Ordering) -> $raw {
+                        self.rmw(order);
+                        self.inner.fetch_sub(v, order)
+                    }
+
+                    /// Atomic maximum, returning the previous value.
+                    pub fn fetch_max(&self, v: $raw, order: Ordering) -> $raw {
+                        self.rmw(order);
+                        self.inner.fetch_max(v, order)
+                    }
+
+                    /// Atomic minimum, returning the previous value.
+                    pub fn fetch_min(&self, v: $raw, order: Ordering) -> $raw {
+                        self.rmw(order);
+                        self.inner.fetch_min(v, order)
+                    }
+
+                    /// Compare-and-exchange; the success ordering decides
+                    /// the happens-before edges.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $raw,
+                        new: $raw,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$raw, $raw> {
+                        self.rmw(success);
+                        self.inner.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Weak compare-and-exchange. Under the model this maps
+                    /// to the strong variant: spurious failures are
+                    /// scheduler nondeterminism the replay machinery cannot
+                    /// reproduce.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $raw,
+                        new: $raw,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$raw, $raw> {
+                        self.rmw(success);
+                        self.inner.compare_exchange(current, new, success, failure)
+                    }
+
+                    /// Mutable access without atomics (exclusive borrow).
+                    pub fn get_mut(&mut self) -> &mut $raw {
+                        self.inner.get_mut()
+                    }
+
+                    /// Consumes the atomic, returning the value.
+                    pub fn into_inner(self) -> $raw {
+                        self.inner.into_inner()
+                    }
+
+                    fn rmw(&self, order: Ordering) {
+                        let _ = visible(Op::AtomicRmw(
+                            self.id.get(),
+                            is_acquire(order),
+                            is_release(order),
+                        ));
+                    }
+                }
+
+                impl Default for $name {
+                    fn default() -> Self {
+                        $name::new(<$raw>::default())
+                    }
+                }
+
+                impl std::fmt::Debug for $name {
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        self.inner.fmt(f)
+                    }
+                }
+            };
+        }
+
+        model_int_atomic!(
+            /// Modeled `AtomicUsize`.
+            AtomicUsize,
+            AtomicUsize,
+            usize
+        );
+        model_int_atomic!(
+            /// Modeled `AtomicU64`.
+            AtomicU64,
+            AtomicU64,
+            u64
+        );
+        model_int_atomic!(
+            /// Modeled `AtomicU8`.
+            AtomicU8,
+            AtomicU8,
+            u8
+        );
+
+        /// Modeled `AtomicBool`.
+        pub struct AtomicBool {
+            id: ObjId,
+            inner: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// Creates a new atomic flag (usable in statics).
+            pub const fn new(v: bool) -> Self {
+                AtomicBool {
+                    id: ObjId::new(),
+                    inner: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            /// Loads the flag.
+            pub fn load(&self, order: Ordering) -> bool {
+                let _ = visible(Op::AtomicLoad(self.id.get(), is_acquire(order)));
+                self.inner.load(order)
+            }
+
+            /// Stores the flag.
+            pub fn store(&self, v: bool, order: Ordering) {
+                let _ = visible(Op::AtomicStore(self.id.get(), is_release(order)));
+                self.inner.store(v, order);
+            }
+
+            /// Atomic swap.
+            pub fn swap(&self, v: bool, order: Ordering) -> bool {
+                let _ = visible(Op::AtomicRmw(
+                    self.id.get(),
+                    is_acquire(order),
+                    is_release(order),
+                ));
+                self.inner.swap(v, order)
+            }
+
+            /// Atomic OR, returning the previous value.
+            pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+                let _ = visible(Op::AtomicRmw(
+                    self.id.get(),
+                    is_acquire(order),
+                    is_release(order),
+                ));
+                self.inner.fetch_or(v, order)
+            }
+
+            /// Atomic AND, returning the previous value.
+            pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+                let _ = visible(Op::AtomicRmw(
+                    self.id.get(),
+                    is_acquire(order),
+                    is_release(order),
+                ));
+                self.inner.fetch_and(v, order)
+            }
+
+            /// Compare-and-exchange on the flag.
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<bool, bool> {
+                let _ = visible(Op::AtomicRmw(
+                    self.id.get(),
+                    is_acquire(success),
+                    is_release(success),
+                ));
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Mutable access without atomics (exclusive borrow).
+            pub fn get_mut(&mut self) -> &mut bool {
+                self.inner.get_mut()
+            }
+        }
+
+        impl Default for AtomicBool {
+            fn default() -> Self {
+                AtomicBool::new(false)
+            }
+        }
+
+        impl std::fmt::Debug for AtomicBool {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.inner.fmt(f)
+            }
+        }
+    }
+
+    /// Modeled multi-producer single-consumer channels. Values travel
+    /// through a real `std::sync::mpsc` channel; the model tracks queue
+    /// length and live-sender count for enabledness and happens-before.
+    pub mod mpsc {
+        use std::sync::Arc;
+
+        use crate::runtime::{register_chan, visible, ObjId, Op, OpOutcome};
+
+        pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+        struct ChanMeta {
+            id: ObjId,
+        }
+
+        /// Tracks the last sender clone; its drop disconnects the channel.
+        struct SenderToken {
+            chan: Arc<ChanMeta>,
+        }
+
+        impl Drop for SenderToken {
+            fn drop(&mut self) {
+                let _ = visible(Op::CloseSender(self.chan.id.get()));
+            }
+        }
+
+        /// Sending half; clones share one model-level sender count.
+        pub struct Sender<T> {
+            inner: std::sync::mpsc::Sender<T>,
+            token: Arc<SenderToken>,
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                Sender {
+                    inner: self.inner.clone(),
+                    token: Arc::clone(&self.token),
+                }
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Sends a value (a release operation on the channel).
+            pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+                let _ = visible(Op::Send(self.token.chan.id.get()));
+                self.inner.send(t)
+            }
+        }
+
+        /// Receiving half.
+        pub struct Receiver<T> {
+            inner: std::sync::mpsc::Receiver<T>,
+            chan: Arc<ChanMeta>,
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                let _ = visible(Op::CloseReceiver(self.chan.id.get()));
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Blocks the model thread until a value or disconnection.
+            pub fn recv(&self) -> Result<T, RecvError> {
+                match visible(Op::Recv(self.chan.id.get())) {
+                    OpOutcome::Fallback => self.inner.recv(),
+                    OpOutcome::RecvReady => self.inner.try_recv().map_err(|_| RecvError),
+                    _ => Err(RecvError),
+                }
+            }
+
+            /// Non-blocking receive.
+            pub fn try_recv(&self) -> Result<T, TryRecvError> {
+                match visible(Op::TryRecv(self.chan.id.get())) {
+                    OpOutcome::Fallback | OpOutcome::RecvReady => self.inner.try_recv(),
+                    OpOutcome::Disconnected => Err(TryRecvError::Disconnected),
+                    _ => Err(TryRecvError::Empty),
+                }
+            }
+        }
+
+        /// Creates a modeled unbounded channel.
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let chan = Arc::new(ChanMeta { id: ObjId::new() });
+            register_chan(chan.id.get());
+            (
+                Sender {
+                    inner: tx,
+                    token: Arc::new(SenderToken {
+                        chan: Arc::clone(&chan),
+                    }),
+                },
+                Receiver { inner: rx, chan },
+            )
+        }
+    }
+}
+
+pub use imp::*;

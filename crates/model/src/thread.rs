@@ -1,0 +1,131 @@
+//! Drop-in `std::thread` surface for spawning, joining, and yielding.
+//!
+//! Normal builds re-export `std::thread`. Under `model-check`, spawns
+//! inside a model execution become model threads the scheduler controls;
+//! `sleep` becomes a pure scheduling point (the model has no clock), and
+//! spawns outside an execution fall back to real OS threads.
+
+#[cfg(not(feature = "model-check"))]
+mod imp {
+    pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle};
+}
+
+#[cfg(feature = "model-check")]
+mod imp {
+    use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+    use std::time::Duration;
+
+    use crate::runtime::{self, visible, Op, OpOutcome};
+
+    enum Inner<T> {
+        Std(std::thread::JoinHandle<T>),
+        Model {
+            tid: usize,
+            result: Arc<StdMutex<Option<T>>>,
+        },
+    }
+
+    /// Handle to a spawned thread; joining a model thread blocks the
+    /// model, not the OS.
+    pub struct JoinHandle<T>(Inner<T>);
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread to finish and returns its value. For a
+        /// model thread whose execution was aborted (or that panicked —
+        /// which the checker reports as MC003), the error payload is a
+        /// placeholder string.
+        pub fn join(self) -> std::thread::Result<T> {
+            match self.0 {
+                Inner::Std(h) => h.join(),
+                Inner::Model { tid, result } => {
+                    let _ = visible(Op::Join(tid));
+                    match result.lock().unwrap_or_else(PoisonError::into_inner).take() {
+                        Some(v) => Ok(v),
+                        None => Err(Box::new(
+                            "cnnre-model: joined thread produced no value (panicked or aborted)",
+                        )),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Spawns a thread: a scheduler-controlled model thread inside an
+    /// execution, a real OS thread otherwise.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if runtime::in_model() {
+            let result = Arc::new(StdMutex::new(None));
+            let slot = Arc::clone(&result);
+            match runtime::spawn_thread(move || {
+                let v = f();
+                *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+            }) {
+                Some(tid) => JoinHandle(Inner::Model { tid, result }),
+                None => panic!("cnnre-model: could not spawn model thread"),
+            }
+        } else {
+            JoinHandle(Inner::Std(std::thread::spawn(f)))
+        }
+    }
+
+    /// Thread factory mirroring `std::thread::Builder` (the name is
+    /// ignored under the model — model threads are named by tid).
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// Creates a builder with no name set.
+        #[must_use]
+        pub fn new() -> Builder {
+            Builder { name: None }
+        }
+
+        /// Names the thread (fallback spawns only).
+        #[must_use]
+        pub fn name(mut self, name: String) -> Builder {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawns the thread; see [`spawn`].
+        pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            if runtime::in_model() {
+                Ok(spawn(f))
+            } else {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                b.spawn(f).map(|h| JoinHandle(Inner::Std(h)))
+            }
+        }
+    }
+
+    /// A scheduling point: lets the controller run another thread.
+    pub fn yield_now() {
+        if matches!(visible(Op::Yield), OpOutcome::Fallback) {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Under the model, sleeping is just yielding — there is no clock, so
+    /// `sleep`-based polling loops show up as MC005 op-budget failures
+    /// rather than passing by luck of timing.
+    pub fn sleep(dur: Duration) {
+        if matches!(visible(Op::Yield), OpOutcome::Fallback) {
+            std::thread::sleep(dur);
+        }
+    }
+}
+
+pub use imp::*;

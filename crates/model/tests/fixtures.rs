@@ -1,0 +1,103 @@
+//! Seeded-defect fixtures: one per defect class, each caught with exactly
+//! its code, with the failing schedule pinned byte-for-byte and replayed.
+//!
+//! These are the checker's own regression suite: if exploration order,
+//! the scheduling policy, or the happens-before engine changes, the
+//! golden schedule strings move and these tests say so.
+
+#![cfg(feature = "model-check")]
+
+use cnnre_model::cell::RaceCell;
+use cnnre_model::sync::atomic::{AtomicUsize, Ordering};
+use cnnre_model::sync::{Arc, Mutex};
+use cnnre_model::{explore, replay, thread, FailureKind};
+
+fn lock<T>(m: &Mutex<T>) -> cnnre_model::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Defect class 1 — data race: two threads write a [`RaceCell`] with no
+/// ordering between them.
+fn seeded_data_race() {
+    let cell = Arc::new(RaceCell::new(0u32));
+    let c = Arc::clone(&cell);
+    let t = thread::spawn(move || c.set(1));
+    cell.set(2);
+    t.join().expect("joined");
+}
+
+/// Defect class 2 — AB-BA deadlock: two threads take two locks in
+/// opposite orders.
+fn seeded_abba_deadlock() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let t = thread::spawn(move || {
+        let ga = lock(&a2);
+        let gb = lock(&b2);
+        drop((ga, gb));
+    });
+    let gb = lock(&b);
+    let ga = lock(&a);
+    drop((gb, ga));
+    t.join().expect("joined");
+}
+
+/// Defect class 3 — lost update: a non-atomic read-modify-write on an
+/// atomic counter; under an unlucky interleaving one increment vanishes
+/// and the final assertion panics.
+fn seeded_lost_update() {
+    let n = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..2)
+        .map(|_| {
+            let n = Arc::clone(&n);
+            thread::spawn(move || {
+                let v = n.load(Ordering::SeqCst);
+                n.store(v + 1, Ordering::SeqCst);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker joined");
+    }
+    assert_eq!(n.load(Ordering::SeqCst), 2, "an increment was lost");
+}
+
+/// Exploration must find exactly `kind`, on exactly the golden schedule,
+/// and replaying that schedule must reproduce it.
+fn assert_seeded(f: impl Fn() + Send + Sync + Copy + 'static, kind: FailureKind, golden: &str) {
+    let failure = explore(f).expect_err("the seeded defect must be found");
+    assert_eq!(failure.kind, kind, "wrong defect class: {failure}");
+    assert_eq!(
+        failure.schedule, golden,
+        "failing schedule moved (exploration order changed): {failure}"
+    );
+    let replayed = replay(golden, f).expect_err("the golden schedule must reproduce the defect");
+    assert_eq!(
+        replayed.kind, kind,
+        "replay found a different defect: {replayed}"
+    );
+    assert_eq!(replayed.schedule, golden, "replay diverged: {replayed}");
+}
+
+#[test]
+fn data_race_is_mc001_with_golden_schedule() {
+    assert_eq!(FailureKind::DataRace.code(), "MC001");
+    assert_seeded(seeded_data_race, FailureKind::DataRace, "0.0.0.1.1");
+}
+
+#[test]
+fn abba_deadlock_is_mc002_with_golden_schedule() {
+    assert_eq!(FailureKind::Deadlock.code(), "MC002");
+    assert_seeded(seeded_abba_deadlock, FailureKind::Deadlock, "0.0.0.1.1");
+}
+
+#[test]
+fn lost_update_is_mc003_with_golden_schedule() {
+    assert_eq!(FailureKind::Panic.code(), "MC003");
+    assert_seeded(
+        seeded_lost_update,
+        FailureKind::Panic,
+        "0.0.0.1.1.2.2.2.1.0.0.0",
+    );
+}

@@ -1,0 +1,195 @@
+//! Engine validation: the shims explore real interleavings, honor
+//! happens-before edges (no false positives), and catch unordered
+//! accesses (no false negatives).
+
+#![cfg(feature = "model-check")]
+
+use cnnre_model::cell::RaceCell;
+use cnnre_model::sync::atomic::{AtomicBool, Ordering};
+use cnnre_model::sync::{mpsc, Arc, Condvar, Mutex};
+use cnnre_model::{explore, replay, thread, FailureKind};
+
+#[test]
+fn explores_multiple_interleavings() {
+    let stats = explore(|| {
+        let n = Arc::new(Mutex::new(0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    *n.lock().unwrap_or_else(std::sync::PoisonError::into_inner) += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker joined");
+        }
+        let v = *n.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert_eq!(v, 2);
+    })
+    .expect("mutex counter is correct under every schedule");
+    assert!(
+        stats.executions > 1,
+        "two contending threads must yield several interleavings, got {}",
+        stats.executions
+    );
+}
+
+#[test]
+fn mutex_orders_cell_accesses() {
+    explore(|| {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let lock = Arc::new(Mutex::new(()));
+        let (c, l) = (Arc::clone(&cell), Arc::clone(&lock));
+        let t = thread::spawn(move || {
+            let _g = l.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            c.set(1);
+        });
+        {
+            let _g = lock
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            cell.set(2);
+        }
+        t.join().expect("joined");
+    })
+    .expect("lock-protected writes are ordered");
+}
+
+#[test]
+fn release_acquire_flag_orders_the_payload() {
+    explore(|| {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (c, f) = (Arc::clone(&cell), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            c.set(7);
+            f.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(cell.get(), 7);
+        }
+        t.join().expect("joined");
+    })
+    .expect("release/acquire publication is race-free");
+}
+
+#[test]
+fn relaxed_flag_publication_is_a_race() {
+    let failure = explore(|| {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (c, f) = (Arc::clone(&cell), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            c.set(7);
+            f.store(true, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) {
+            let _ = cell.get();
+        }
+        t.join().expect("joined");
+    })
+    .expect_err("relaxed publication leaves the payload unordered");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+    assert_eq!(failure.kind.code(), "MC001");
+}
+
+#[test]
+fn join_orders_the_child_writes() {
+    explore(|| {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let c = Arc::clone(&cell);
+        let t = thread::spawn(move || c.set(3));
+        t.join().expect("joined");
+        assert_eq!(cell.get(), 3);
+    })
+    .expect("join is an acquire of the child's history");
+}
+
+#[test]
+fn channel_transfers_values_and_ordering() {
+    explore(|| {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let (tx, rx) = mpsc::channel();
+        let c = Arc::clone(&cell);
+        let t = thread::spawn(move || {
+            c.set(11);
+            tx.send(1u32).expect("receiver alive");
+            tx.send(2u32).expect("receiver alive");
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+            assert_eq!(cell.get(), 11, "send is a release, recv an acquire");
+        }
+        assert_eq!(got, vec![1, 2]);
+        t.join().expect("joined");
+    })
+    .expect("channel handoff is ordered and lossless");
+}
+
+#[test]
+fn condvar_handoff_completes_under_every_schedule() {
+    explore(|| {
+        let slot = Arc::new((Mutex::new(None::<u32>), Condvar::new()));
+        let s = Arc::clone(&slot);
+        let t = thread::spawn(move || {
+            let (m, cv) = (&s.0, &s.1);
+            let mut g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            *g = Some(9);
+            drop(g);
+            cv.notify_one();
+        });
+        let (m, cv) = (&slot.0, &slot.1);
+        let mut g = m.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while g.is_none() {
+            g = cv
+                .wait(g)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        assert_eq!(*g, Some(9));
+        drop(g);
+        t.join().expect("joined");
+    })
+    .expect("guarded condvar wait never loses the wakeup");
+}
+
+#[test]
+fn replay_reproduces_the_found_failure() {
+    let racy = || {
+        let cell = Arc::new(RaceCell::new(0u32));
+        let c = Arc::clone(&cell);
+        let t = thread::spawn(move || c.set(1));
+        cell.set(2);
+        t.join().expect("joined");
+    };
+    let failure = explore(racy).expect_err("unordered writes race");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+    let replayed = replay(&failure.schedule, racy).expect_err("replay hits the same defect");
+    assert_eq!(replayed.kind, failure.kind);
+    assert_eq!(replayed.schedule, failure.schedule);
+}
+
+#[test]
+fn shims_fall_back_to_std_outside_executions() {
+    // This test itself is NOT inside check()/explore(): the shims must
+    // behave exactly like std.
+    let n = Arc::new(Mutex::new(0u32));
+    let flag = Arc::new(AtomicBool::new(false));
+    let (n2, f2) = (Arc::clone(&n), Arc::clone(&flag));
+    let t = thread::spawn(move || {
+        *n2.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = 5;
+        f2.store(true, Ordering::Release);
+    });
+    t.join().expect("joined");
+    assert!(flag.load(Ordering::Acquire));
+    assert_eq!(
+        *n.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        5
+    );
+    let (tx, rx) = mpsc::channel();
+    tx.send(42u8).expect("receiver alive");
+    drop(tx);
+    assert_eq!(rx.recv(), Ok(42));
+    assert!(rx.recv().is_err());
+}

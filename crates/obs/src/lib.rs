@@ -70,16 +70,16 @@ pub use export::Snapshot;
 pub use registry::{global, Counter, Gauge, Histogram, HistogramStats, Registry, Series};
 pub use span::SpanGuard;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use cnnre_model::sync::atomic::{AtomicBool, Ordering};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Serializes tests that toggle the global enabled flag.
 #[cfg(test)]
-pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
-    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+pub(crate) fn test_lock() -> cnnre_model::sync::MutexGuard<'static, ()> {
+    static LOCK: cnnre_model::sync::Mutex<()> = cnnre_model::sync::Mutex::new(());
     LOCK.lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .unwrap_or_else(cnnre_model::sync::PoisonError::into_inner)
 }
 
 /// Turns global metric collection on or off.

@@ -14,8 +14,9 @@
 
 use std::fmt;
 use std::io::Write as _;
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::OnceLock;
+
+use cnnre_model::sync::atomic::{AtomicU8, Ordering};
+use cnnre_model::sync::OnceLock;
 
 /// Log severity, ordered from most to least severe.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]

@@ -58,9 +58,10 @@
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Instant;
+
+use cnnre_model::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use cnnre_model::sync::{Mutex, OnceLock, PoisonError};
 
 use crate::json;
 
@@ -145,16 +146,19 @@ struct Ring {
     dropped: AtomicU64,
 }
 
-fn ring() -> &'static Ring {
-    static RING: OnceLock<Ring> = OnceLock::new();
-    RING.get_or_init(|| {
-        let cap = CAPACITY.load(Ordering::Relaxed);
-        Ring {
+impl Ring {
+    fn with_capacity(cap: usize) -> Self {
+        Self {
             slots: (0..cap).map(|_| Mutex::new(None)).collect(),
             next: AtomicUsize::new(0),
             dropped: AtomicU64::new(0),
         }
-    })
+    }
+}
+
+fn ring() -> &'static Ring {
+    static RING: OnceLock<Ring> = OnceLock::new();
+    RING.get_or_init(|| Ring::with_capacity(CAPACITY.load(Ordering::Relaxed)))
 }
 
 fn epoch() -> Instant {
@@ -173,22 +177,28 @@ fn tid() -> u64 {
     })
 }
 
-fn record(kind: EventKind) {
-    let r = ring();
-    // Writer path: one fetch_add claims a slot; a full ring drops the
-    // event (bounded memory, never tears an already-recorded tree).
+/// Writer path: one `fetch_add` claims a slot; a full ring drops the event
+/// (bounded memory, never tears an already-recorded tree). Returns whether
+/// the event was stored.
+fn push_event(r: &Ring, tid: u64, wall_ns: u64, kind: EventKind) -> bool {
     let slot = r.next.fetch_add(1, Ordering::Relaxed);
     if slot >= r.slots.len() {
         r.dropped.fetch_add(1, Ordering::Relaxed);
-        return;
+        return false;
     }
     let ev = ProfileEvent {
         seq: slot as u64,
-        tid: tid(),
-        wall_ns: u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX),
+        tid,
+        wall_ns,
         kind,
     };
     *r.slots[slot].lock().unwrap_or_else(PoisonError::into_inner) = Some(ev);
+    true
+}
+
+fn record(kind: EventKind) {
+    let wall_ns = u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let _ = push_event(ring(), tid(), wall_ns, kind);
 }
 
 /// Appends a span-begin event (called by [`crate::SpanGuard::enter`]).
@@ -235,15 +245,7 @@ pub fn dropped() -> u64 {
 /// accounting is itself a metric; see DESIGN.md §10).
 #[must_use]
 pub fn take() -> Vec<ProfileEvent> {
-    let r = ring();
-    let claimed = r.next.swap(0, Ordering::Relaxed).min(r.slots.len());
-    let mut out = Vec::with_capacity(claimed);
-    for slot in &r.slots[..claimed] {
-        if let Some(ev) = slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
-            out.push(ev);
-        }
-    }
-    let dropped = r.dropped.swap(0, Ordering::Relaxed);
+    let (out, dropped) = drain(ring());
     crate::counter("profile.events.recorded").add(out.len() as u64);
     crate::counter("profile.events.dropped").add(dropped);
     out
@@ -255,13 +257,22 @@ pub fn reset() {
 }
 
 fn take_silent() -> Vec<ProfileEvent> {
-    let r = ring();
-    let claimed = r.next.swap(0, Ordering::Relaxed).min(r.slots.len());
-    for slot in &r.slots[..claimed] {
-        slot.lock().unwrap_or_else(PoisonError::into_inner).take();
-    }
-    r.dropped.store(0, Ordering::Relaxed);
+    let _ = drain(ring());
     Vec::new()
+}
+
+/// Drains every stored event in slot order, resetting the slot cursor and
+/// the drop counter. Returns the events and the drop count since the last
+/// drain.
+fn drain(r: &Ring) -> (Vec<ProfileEvent>, u64) {
+    let claimed = r.next.swap(0, Ordering::Relaxed).min(r.slots.len());
+    let mut out = Vec::with_capacity(claimed);
+    for slot in &r.slots[..claimed] {
+        if let Some(ev) = slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
+            out.push(ev);
+        }
+    }
+    (out, r.dropped.swap(0, Ordering::Relaxed))
 }
 
 // ---------------------------------------------------------------------------
@@ -808,5 +819,41 @@ mod tests {
         let events = take_silent();
         assert!(events.is_empty());
         crate::set_enabled(false);
+    }
+}
+
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+    use cnnre_model::sync::Arc;
+    use cnnre_model::{check, thread};
+
+    fn count_ev(name: &str) -> EventKind {
+        EventKind::Count {
+            name: name.to_owned(),
+            value: 1.0,
+        }
+    }
+
+    /// Two writers race `fetch_add` for the single slot of a capacity-1
+    /// ring: under every schedule exactly one event is stored and the
+    /// loser is counted dropped — never two stores into one slot, never
+    /// a lost event without a drop record.
+    #[test]
+    fn ring_slot_claim_race_stores_one_drops_one() {
+        check(|| {
+            let r = Arc::new(Ring::with_capacity(1));
+            let r2 = Arc::clone(&r);
+            let t = thread::spawn(move || push_event(&r2, 1, 0, count_ev("a")));
+            let stored_here = push_event(&r, 0, 0, count_ev("b"));
+            let stored_there = t.join().expect("writer joined");
+            assert!(
+                stored_here ^ stored_there,
+                "exactly one writer must win the slot"
+            );
+            let (events, dropped) = drain(&r);
+            assert_eq!(events.len(), 1, "the winning event must be stored");
+            assert_eq!(dropped, 1, "the losing event must be counted dropped");
+        });
     }
 }

@@ -6,8 +6,9 @@
 //! in-tree instrumentation does).
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+use cnnre_model::sync::atomic::{AtomicU64, Ordering};
+use cnnre_model::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use crate::export::{MetricValue, Snapshot};
 
@@ -385,5 +386,36 @@ mod tests {
         let r = Registry::new();
         let _ = r.gauge("m");
         let _ = r.counter("m");
+    }
+}
+
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+    use cnnre_model::{check, thread};
+
+    /// Two threads race first-use creation and increment of the same
+    /// counter: under every schedule the registry lock serializes the
+    /// entry creation (exactly one `Counter` is installed) and neither
+    /// increment is lost.
+    #[test]
+    fn concurrent_counter_creation_loses_no_increment() {
+        // Held across the whole exploration: other tests toggling the
+        // global enabled flag mid-run would make executions diverge.
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let stats = check(|| {
+            let r = Arc::new(Registry::new());
+            let r2 = Arc::clone(&r);
+            let t = thread::spawn(move || r2.counter("hits").inc());
+            r.counter("hits").inc();
+            t.join().expect("racer joined");
+            assert_eq!(r.counter("hits").get(), 2, "an increment was lost");
+        });
+        crate::set_enabled(false);
+        assert!(
+            stats.executions > 1,
+            "contended registry must explore several schedules"
+        );
     }
 }

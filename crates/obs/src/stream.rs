@@ -42,8 +42,9 @@ use std::cell::Cell;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use cnnre_model::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use cnnre_model::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// First bytes of every event stream.
 pub const MAGIC: &[u8; 8] = b"CNNREEVT";
@@ -885,11 +886,15 @@ fn emit_event(cycle: u64, payload: EventPayload) {
         }
     }
     let mut clients = lock(&h.clients);
-    // lint:allow(cr-relaxed-control): pruning sweep — a stale `closed` read
-    // defers removal to the next emit; frames to a closed client are
-    // discarded by its writer thread either way
-    if clients.iter().any(|c| c.closed.load(Ordering::Relaxed)) {
-        clients.retain(|c| !c.closed.load(Ordering::Relaxed));
+    // Acquire pairs with the Release store that closes a client (writer
+    // write-failure or `reset`): once closed is observed here the writer is
+    // done with its queue, so pruning may drop the last `Arc` reference.
+    // lint:allow(cr-relaxed-control): taint over-approximation — the lexer's
+    // statement slicing glues the recording branch above into this slice, so
+    // its Relaxed toggle load taints `clients`; the condition itself only
+    // reads `closed` with Acquire
+    if clients.iter().any(|c| c.closed.load(Ordering::Acquire)) {
+        clients.retain(|c| !c.closed.load(Ordering::Acquire)); // Acquire: see above
         crate::gauge("events.clients").set(clients.len() as f64);
     }
     for client in clients.iter() {
@@ -941,7 +946,7 @@ fn register_client(client: Arc<Client>) {
     crate::gauge("events.clients").set(clients.len() as f64);
 }
 
-fn writer_loop(client: &Client, stream: &mut TcpStream) {
+fn writer_loop<W: Write>(client: &Client, sink: &mut W) {
     loop {
         let frame = {
             let mut queue = lock(&client.queue);
@@ -949,10 +954,10 @@ fn writer_loop(client: &Client, stream: &mut TcpStream) {
                 if let Some(f) = queue.pop_front() {
                     break f;
                 }
-                // lint:allow(cr-relaxed-control): exit check runs under the
-                // queue mutex and re-runs after every condvar wakeup, so a
-                // stale read delays shutdown by at most one notify
-                if client.closed.load(Ordering::Relaxed) {
+                // Acquire pairs with the Release store in `reset`: observing
+                // closed under the queue mutex means no further frame will be
+                // queued, so exiting here cannot strand one (pop runs first).
+                if client.closed.load(Ordering::Acquire) {
                     return;
                 }
                 queue = client
@@ -961,11 +966,10 @@ fn writer_loop(client: &Client, stream: &mut TcpStream) {
                     .unwrap_or_else(PoisonError::into_inner);
             }
         };
-        // lint:allow(cr-relaxed-control): taint over-approximation — the
-        // condition is socket-write failure; `frame` merely dataflow-passes
-        // the closed check above
-        if stream.write_all(&frame).is_err() {
-            client.closed.store(true, Ordering::Relaxed);
+        if sink.write_all(&frame).is_err() {
+            // Release publishes the write failure to the Acquire `closed`
+            // loads on the emit-path prune and in `flush`.
+            client.closed.store(true, Ordering::Release);
             return;
         }
     }
@@ -985,7 +989,7 @@ pub fn connect(addr: &str) -> io::Result<()> {
     stream.write_all(&header())?;
     let client = Arc::new(Client::new());
     register_client(Arc::clone(&client));
-    std::thread::Builder::new()
+    cnnre_model::thread::Builder::new()
         .name("cnnre-events".to_string())
         .spawn(move || {
             let mut stream = stream;
@@ -1006,14 +1010,13 @@ pub fn flush(max_wait_ms: u64) {
                 // lint:allow(cr-lock-order): documented order `clients` →
                 // `client.queue`, same as emit_event; no path acquires them
                 // in reverse, so the nesting cannot deadlock
-                .all(|c| c.closed.load(Ordering::Relaxed) || lock(&c.queue).is_empty())
+                // (Acquire on `closed`: pairs with the writer's Release.)
+                .all(|c| c.closed.load(Ordering::Acquire) || lock(&c.queue).is_empty())
         };
-        // lint:allow(cr-relaxed-control): best-effort flush by contract —
-        // a stale `closed` read just costs one 1 ms retry of the poll loop
         if drained {
             return;
         }
-        std::thread::sleep(std::time::Duration::from_millis(1));
+        cnnre_model::thread::sleep(std::time::Duration::from_millis(1));
     }
 }
 
@@ -1028,7 +1031,19 @@ pub fn reset() {
     lock(&h.buffer).clear();
     let mut clients = lock(&h.clients);
     for c in clients.iter() {
-        c.closed.store(true, Ordering::Relaxed);
+        // The store and notify run under the queue mutex: a writer that
+        // saw `closed` clear did so holding this mutex, so it is either
+        // already in `wait` (the notify wakes it) or will re-check after
+        // we release. An unlocked notify can land between its check and
+        // its wait and be lost forever — the model checker flags that
+        // protocol as an MC002 deadlock.
+        // lint:allow(cr-lock-order): documented order `clients` →
+        // `client.queue`, same as emit_event and flush; no path acquires
+        // them in reverse, so the nesting cannot deadlock
+        let _queue = lock(&c.queue);
+        // Release pairs with the writer's Acquire exit check: everything
+        // queued before this disconnect is visible to its final drain.
+        c.closed.store(true, Ordering::Release);
         c.ready.notify_all();
     }
     clients.clear();
@@ -1349,5 +1364,47 @@ mod tests {
             }
         );
         assert_eq!(second.cycle, 9);
+    }
+}
+
+#[cfg(all(test, feature = "model-check"))]
+mod model_tests {
+    use super::*;
+    use cnnre_model::{check, thread};
+
+    /// The producer→writer queue handoff on a fresh client: frames pushed
+    /// before the close are all delivered to the sink under every schedule
+    /// — `writer_loop` pops before it checks `closed`, so a disconnect
+    /// can never strand a queued frame.
+    #[test]
+    fn client_handoff_delivers_queued_frames_before_close() {
+        let stats = check(|| {
+            let client = Arc::new(Client::new());
+            let c2 = Arc::clone(&client);
+            let writer = thread::spawn(move || {
+                let mut sink = Vec::new();
+                writer_loop(&c2, &mut sink);
+                sink
+            });
+            for frame in [vec![1u8, 2], vec![3u8]] {
+                let mut queue = lock(&client.queue);
+                queue.push_back(frame);
+                client.ready.notify_one();
+            }
+            // Same close protocol as `reset`: store and notify under the
+            // queue mutex so the wakeup cannot fall into the writer's
+            // check-then-wait window.
+            {
+                let _queue = lock(&client.queue);
+                client.closed.store(true, Ordering::Release);
+                client.ready.notify_all();
+            }
+            let sink = writer.join().expect("writer joined");
+            assert_eq!(sink, vec![1, 2, 3], "a queued frame was stranded");
+        });
+        assert!(
+            stats.executions > 1,
+            "the handoff must explore several schedules"
+        );
     }
 }

@@ -45,6 +45,9 @@ diff -r "$VIZ_TMP/a" "$VIZ_TMP/b"
 diff -q "$VIZ_TMP/a/graph.dot" tests/golden/lenet_graph.dot
 diff -q "$VIZ_TMP/a/timeline.svg" tests/golden/lenet_timeline.svg
 
+echo "==> model check (schedule exploration of concurrent surfaces)"
+scripts/model.sh
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
