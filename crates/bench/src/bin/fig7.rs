@@ -2,6 +2,7 @@
 use cnnre_bench::experiments::fig7;
 
 fn main() {
+    cnnre_bench::parse_threads_flag();
     let out = cnnre_bench::parse_out_flag();
     let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();

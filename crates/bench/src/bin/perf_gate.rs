@@ -3,15 +3,23 @@
 //!
 //! ```console
 //! $ perf_gate <baseline.json> <current.json> [--rel-tol FRAC] [--report FILE]
+//! $ perf_gate --speedup <single.json> <multi.json> --floors <SPEEDUP.json>
 //! ```
+//!
+//! The default mode fails on regressions (cost metrics getting larger).
+//! `--speedup` is the *improvement* gate: it compares a single-threaded
+//! and a multi-threaded snapshot of the same experiment against the
+//! committed minimum-speedup floors, failing when parallel execution
+//! stops being faster than sequential.
 //!
 //! Exit codes follow the workspace convention: 0 clean (improvements and
 //! wall-clock drift included), 1 regressions or lost metrics, 2 usage
 //! errors or malformed input. The report written to stdout (and to
-//! `--report FILE` when given) is byte-deterministic. See
+//! `--report FILE` when given) is byte-deterministic (speedup reports
+//! print measured wall-clock ratios, which vary run to run). See
 //! `scripts/perf_gate.sh` for the end-to-end gate over fig3/fig7/table3.
 
-use cnnre_bench::gate::{compare, GateConfig};
+use cnnre_bench::gate::{compare, compare_speedup, GateConfig};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,11 +34,13 @@ fn main() {
         }
     }
     let report_path = take_flag_value(&mut args, "--report");
-    let [baseline_path, current_path] = &args[..] else {
-        eprintln!(
-            "usage: perf_gate <baseline.json> <current.json> [--rel-tol FRAC] [--report FILE]"
-        );
-        std::process::exit(2);
+    let floors_path = take_flag_value(&mut args, "--floors");
+    let speedup_mode = match args.iter().position(|a| a == "--speedup") {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
     };
     let read = |path: &String| match std::fs::read_to_string(path) {
         Ok(s) => s,
@@ -39,16 +49,42 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let baseline = read(baseline_path);
-    let current = read(current_path);
-    let report = match compare(&baseline, &current, &cfg) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("perf gate: {e}");
+    let (rendered, failed) = if speedup_mode {
+        let (Some(floors_path), [single_path, multi_path]) = (floors_path, &args[..]) else {
+            eprintln!("usage: perf_gate --speedup <single.json> <multi.json> --floors <SPEEDUP.json> [--report FILE]");
+            std::process::exit(2);
+        };
+        let floors = read(&floors_path);
+        let single = read(single_path);
+        let multi = read(multi_path);
+        match compare_speedup(&floors, &single, &multi) {
+            Ok(r) => (r.render(), r.failed()),
+            Err(e) => {
+                eprintln!("speedup gate: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        if floors_path.is_some() {
+            eprintln!("--floors only applies with --speedup");
             std::process::exit(2);
         }
+        let [baseline_path, current_path] = &args[..] else {
+            eprintln!(
+                "usage: perf_gate <baseline.json> <current.json> [--rel-tol FRAC] [--report FILE]"
+            );
+            std::process::exit(2);
+        };
+        let baseline = read(baseline_path);
+        let current = read(current_path);
+        match compare(&baseline, &current, &cfg) {
+            Ok(r) => (r.render(), r.failed()),
+            Err(e) => {
+                eprintln!("perf gate: {e}");
+                std::process::exit(2);
+            }
+        }
     };
-    let rendered = report.render();
     print!("{rendered}");
     if let Some(path) = report_path {
         if let Err(e) = std::fs::write(&path, &rendered) {
@@ -56,7 +92,7 @@ fn main() {
             std::process::exit(2);
         }
     }
-    std::process::exit(i32::from(report.failed()));
+    std::process::exit(i32::from(failed));
 }
 
 /// Removes `name <value>` from `args`, returning the value; exits 2 when

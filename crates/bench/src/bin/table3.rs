@@ -1,5 +1,6 @@
 //! Regenerates the paper's Table 3.
 fn main() {
+    cnnre_bench::parse_threads_flag();
     let out = cnnre_bench::parse_out_flag();
     let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();

@@ -3,7 +3,8 @@
 //! identified, maximum error below `2^-10` (§4.2).
 
 use cnnre_attacks::weights::{
-    recover_ratios, FunctionalOracle, LayerGeometry, MergedOrder, RatioRecovery, RecoveryConfig,
+    recover_ratios_parallel, FunctionalOracle, LayerGeometry, MergedOrder, RatioRecovery,
+    RecoveryConfig,
 };
 use cnnre_nn::layer::{Conv2d, PoolKind};
 use cnnre_tensor::rng::SmallRng;
@@ -90,8 +91,11 @@ pub fn run(cfg: &Fig7Config) -> Fig7 {
         .collect();
     let victim = Conv2d::from_parts(weights, bias, geom.s, geom.p).expect("victim conv1");
 
-    let mut oracle = FunctionalOracle::new(victim.clone(), geom);
-    let recovery = recover_ratios(&mut oracle, &RecoveryConfig::default());
+    // Parallel per-filter engine; worker count from `RecoveryConfig::default`
+    // (the `--threads` flag / `CNNRE_THREADS`). Output is byte-identical at
+    // any thread count (DESIGN.md §13).
+    let oracle = FunctionalOracle::new(victim.clone(), geom);
+    let recovery = recover_ratios_parallel(oracle, &RecoveryConfig::default());
 
     let mut zeros_true = 0usize;
     let mut zeros_found = 0usize;

@@ -390,6 +390,158 @@ pub fn compare(baseline: &str, current: &str, cfg: &GateConfig) -> Result<GateRe
     })
 }
 
+/// One row of the speedup report: a wall-clock metric measured at one
+/// thread and at many, against its committed improvement floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupDelta {
+    /// Wall-clock metric name (e.g. `span.attack.weights.wall_ns`).
+    pub name: String,
+    /// Single-threaded measurement (`None` when absent from the snapshot).
+    pub single: Option<f64>,
+    /// Multi-threaded measurement (`None` when absent from the snapshot).
+    pub multi: Option<f64>,
+    /// Committed minimum speedup (`single / multi` must reach this).
+    pub floor: f64,
+    /// Measured speedup, when both measurements are present and positive.
+    pub speedup: Option<f64>,
+    /// Verdict: [`Status::Ok`], [`Status::Regressed`] (below the floor),
+    /// or [`Status::Missing`] (a measurement was lost).
+    pub status: Status,
+}
+
+/// The wall-clock *improvement* gate result — unlike [`GateReport`], which
+/// only enforces not-getting-slower on cycle metrics, this one fails when
+/// parallel execution stops being faster than sequential.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupReport {
+    /// Experiment name (shared by both snapshots).
+    pub experiment: String,
+    /// Per-metric rows, sorted by name.
+    pub deltas: Vec<SpeedupDelta>,
+}
+
+impl SpeedupReport {
+    /// Whether any row fails the gate (exit code 1).
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.deltas
+            .iter()
+            .any(|d| matches!(d.status, Status::Regressed | Status::Missing))
+    }
+
+    /// Renders the report (deterministic row order and formatting; the
+    /// measured values themselves are wall clock, so the rendered numbers
+    /// vary run to run).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("speedup gate: {}\n", self.experiment);
+        let width = self
+            .deltas
+            .iter()
+            .map(|d| d.name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        for d in &self.deltas {
+            let measured = match d.speedup {
+                Some(s) => format!("{s:.2}x"),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "  {:width$}  {:>8} (floor {:.2}x)  {}\n",
+                d.name,
+                measured,
+                d.floor,
+                d.status.label(),
+            ));
+        }
+        let failed = self
+            .deltas
+            .iter()
+            .filter(|d| matches!(d.status, Status::Regressed | Status::Missing))
+            .count();
+        out.push_str(&format!(
+            "summary: {} speedup floors, {} failed\n",
+            self.deltas.len(),
+            failed,
+        ));
+        out
+    }
+}
+
+/// Suffix marking a floor entry in the committed `SPEEDUP.json` file.
+const MIN_SPEEDUP_SUFFIX: &str = ".min_speedup";
+
+/// Compares single- vs multi-threaded snapshots of one experiment against
+/// the committed speedup floors.
+///
+/// `floors` is a flat snapshot (same format as `BENCH_*.json`, experiment
+/// `"speedup"`) whose keys read `<experiment>.<metric>.min_speedup`;
+/// entries for other experiments are ignored, so one file serves the whole
+/// gate. For every applicable floor the measured speedup is
+/// `single / multi` over the named wall-clock metric, and falling below
+/// the floor fails the gate — this is an *improvement* baseline, not a
+/// regression one.
+///
+/// # Errors
+///
+/// Returns an error (→ exit 2) when any input fails to parse, the two
+/// measurement snapshots disagree on the experiment, or no floor applies
+/// to the experiment (a silently empty gate would pass vacuously).
+pub fn compare_speedup(floors: &str, single: &str, multi: &str) -> Result<SpeedupReport, String> {
+    let floors = parse_bench_json(floors).map_err(|e| format!("floors: {e}"))?;
+    let single = parse_bench_json(single).map_err(|e| format!("single-thread: {e}"))?;
+    let multi = parse_bench_json(multi).map_err(|e| format!("multi-thread: {e}"))?;
+    if single.experiment != multi.experiment {
+        return Err(format!(
+            "experiment mismatch: single \"{}\" vs multi \"{}\"",
+            single.experiment, multi.experiment
+        ));
+    }
+    let prefix = format!("{}.", single.experiment);
+    let mut deltas = Vec::new();
+    for (key, &floor) in &floors.metrics {
+        let Some(rest) = key.strip_prefix(&prefix) else {
+            continue;
+        };
+        let Some(metric) = rest.strip_suffix(MIN_SPEEDUP_SUFFIX) else {
+            continue;
+        };
+        if !(floor.is_finite() && floor > 0.0) {
+            return Err(format!("floors: \"{key}\" must be a positive number"));
+        }
+        let s = single.metrics.get(metric).copied();
+        let m = multi.metrics.get(metric).copied();
+        let speedup = match (s, m) {
+            (Some(s), Some(m)) if m > 0.0 => Some(s / m),
+            _ => None,
+        };
+        let status = match speedup {
+            None => Status::Missing,
+            Some(sp) if sp < floor => Status::Regressed,
+            Some(_) => Status::Ok,
+        };
+        deltas.push(SpeedupDelta {
+            name: metric.to_string(),
+            single: s,
+            multi: m,
+            floor,
+            speedup,
+            status,
+        });
+    }
+    if deltas.is_empty() {
+        return Err(format!(
+            "floors: no \"{prefix}<metric>{MIN_SPEEDUP_SUFFIX}\" entry for this experiment"
+        ));
+    }
+    deltas.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(SpeedupReport {
+        experiment: single.experiment,
+        deltas,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +619,47 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.contains("REGRESSED"));
         assert!(a.contains("summary: 3 metrics, 1 regressed, 0 missing, 0 improved, 0 advisory"));
+    }
+
+    const FLOORS: &str = "{\n  \"experiment\": \"speedup\",\n  \"fig3.span.accel.run.wall_ns.min_speedup\": 3,\n  \"fig7.span.attack.weights.wall_ns.min_speedup\": 3\n}\n";
+
+    #[test]
+    fn speedup_above_floor_passes() {
+        let multi = BASE.replace("123456", "30000"); // 123456/30000 ≈ 4.1x
+        let r = compare_speedup(FLOORS, BASE, &multi).unwrap();
+        assert!(!r.failed());
+        assert_eq!(r.deltas.len(), 1);
+        assert_eq!(r.deltas[0].name, "span.accel.run.wall_ns");
+        assert_eq!(r.deltas[0].status, Status::Ok);
+        assert!(r.deltas[0].speedup.unwrap() > 4.0);
+    }
+
+    #[test]
+    fn speedup_below_floor_fails() {
+        let multi = BASE.replace("123456", "100000"); // ≈ 1.2x < 3x floor
+        let r = compare_speedup(FLOORS, BASE, &multi).unwrap();
+        assert!(r.failed());
+        assert_eq!(r.deltas[0].status, Status::Regressed);
+        assert!(r.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn speedup_missing_metric_fails() {
+        let multi = "{\n  \"experiment\": \"fig3\",\n  \"accel.dram.reads\": 100\n}\n";
+        let r = compare_speedup(FLOORS, BASE, multi).unwrap();
+        assert!(r.failed());
+        assert_eq!(r.deltas[0].status, Status::Missing);
+    }
+
+    #[test]
+    fn speedup_requires_an_applicable_floor() {
+        // fig7 floors exist but the snapshots are fig3-with-another-name.
+        let other_base = BASE.replace("fig3", "table4");
+        let other_multi = other_base.replace("123456", "30000");
+        assert!(compare_speedup(FLOORS, &other_base, &other_multi).is_err());
+        // Mismatched experiments between the two measurements error too.
+        let fig7 = BASE.replace("fig3", "fig7");
+        assert!(compare_speedup(FLOORS, BASE, &fig7).is_err());
     }
 
     #[test]

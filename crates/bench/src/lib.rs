@@ -28,6 +28,32 @@ pub fn quick_mode() -> bool {
     std::env::var("CNNRE_QUICK").is_ok_and(|v| v != "0")
 }
 
+/// Parses the `--threads N` flag shared by every experiment binary and
+/// installs the worker count as the process-wide default
+/// ([`cnnre_attacks::exec::set_default_threads`]), so every
+/// thread-aware config built afterwards (`SolverConfig::default`,
+/// `RecoveryConfig::default`) picks it up. Call at the top of `main`,
+/// before the experiment constructs any config. Without the flag the
+/// `CNNRE_THREADS` environment variable applies, else 1 (sequential).
+///
+/// Candidate output, counters, and golden artifacts are byte-identical at
+/// any thread count (DESIGN.md §13) — only wall clock changes.
+///
+/// Exits with usage code 2 when `--threads` is given without a positive
+/// integer.
+pub fn parse_threads_flag() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(pos) = args.iter().position(|a| a == "--threads") else {
+        return;
+    };
+    let threads = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok());
+    let Some(threads) = threads.filter(|&n| n >= 1) else {
+        eprintln!("--threads needs a positive integer worker count");
+        std::process::exit(2);
+    };
+    cnnre_attacks::exec::set_default_threads(threads);
+}
+
 /// Parses the `--out FILE` flag shared by every experiment binary and, when
 /// present, enables the global instrumentation so the experiment populates
 /// the registry. Call at the top of `main`, before running the experiment;

@@ -14,9 +14,12 @@
 //!   on zero-crossing points (§4, Algorithm 2), plus full weight recovery
 //!   when a tunable activation threshold is available;
 //! * [`assumptions`] — the paper's Table-1 threat-model matrix as types;
-//! * [`exec`] — the parallelism seed for scaling the attacks (ROADMAP
-//!   item 1): a work-stealing deque and thread pool built only on the
-//!   `cnnre-model` shims and certified by exhaustive model checking.
+//! * [`exec`] — the parallel execution layer the attacks run on: a
+//!   work-stealing deque and thread pool plus the deterministic drivers
+//!   (`map_ordered`, `Memo`) that shard the solver and the weights
+//!   attack across workers, built only on the `cnnre-model` shims and
+//!   certified by exhaustive model checking. Candidate output and
+//!   telemetry stay byte-identical at any thread count (DESIGN.md §13).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -4,12 +4,24 @@
 //! the dependency DAGs the trace analyzer recovers (concatenating fire
 //! modules and element-wise bypass merges included).
 
+use cnnre_model::sync::Arc;
 use cnnre_trace::observe::{LayerKindHint, TraceObservations};
 
+use crate::exec::{map_ordered, Memo};
 use crate::structure::solver::{
     solve_conv_layer, solve_fc_layer, FcParams, ObservedLayer, SolverConfig,
 };
 use crate::structure::LayerParams;
+
+/// Shared per-layer candidate cache: `(node index, input interface)` →
+/// the node's combined CONV+FC candidate list (choice plus implied output
+/// interface), in the exact order the sequential solver produces it.
+///
+/// Hoisting the solve into this memo makes chaining incremental: a node
+/// reached through many parent assignments with the same interface is
+/// enumerated once instead of once per visit, and the `solver.memo.*`
+/// counters record the saving (hits = re-enumerations eliminated).
+type CandidateMemo = Memo<(usize, (usize, usize)), Vec<(NodeChoice, (usize, usize))>>;
 
 /// What the adversary concluded one trace segment is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,6 +257,7 @@ pub fn enumerate_structures(
     cfg: &NetworkSolverConfig,
 ) -> Result<Vec<CandidateStructure>, SolveError> {
     let _span = cnnre_obs::span("chain");
+    let memo = CandidateMemo::new();
     let mut out = Vec::new();
     let mut choices: Vec<NodeChoice> = Vec::with_capacity(net.nodes.len());
     let mut ifaces: Vec<(usize, usize)> = Vec::with_capacity(net.nodes.len());
@@ -255,13 +268,14 @@ pub fn enumerate_structures(
         input,
         classes,
         cfg,
+        &memo,
         &mut choices,
         &mut ifaces,
         &mut out,
         &mut deepest_fail,
         &mut branches,
     );
-    record_enumeration_metrics(net, &out, branches);
+    record_enumeration_metrics(net, &out, branches, &memo);
     result?;
     if out.is_empty() {
         return Err(SolveError::NoCandidates { node: deepest_fail });
@@ -270,10 +284,16 @@ pub fn enumerate_structures(
 }
 
 /// Flushes chain-level observability after an enumeration pass: the total
-/// recursion branch count, the structure count, and — the paper's headline
-/// quantity — the number of distinct surviving candidates per layer
-/// (`solver.candidates_per_layer`, one series entry per observed node).
-fn record_enumeration_metrics(net: &ObservedNetwork, out: &[CandidateStructure], branches: u64) {
+/// recursion branch count, the structure count, the memo economy
+/// (`solver.memo.hits` = per-layer re-enumerations eliminated), and — the
+/// paper's headline quantity — the number of distinct surviving candidates
+/// per layer (`solver.candidates_per_layer`, one series entry per node).
+fn record_enumeration_metrics(
+    net: &ObservedNetwork,
+    out: &[CandidateStructure],
+    branches: u64,
+    memo: &CandidateMemo,
+) {
     let metrics = cnnre_obs::enabled();
     let profiling = cnnre_obs::profile::enabled();
     if metrics {
@@ -281,6 +301,10 @@ fn record_enumeration_metrics(net: &ObservedNetwork, out: &[CandidateStructure],
         reg.counter("solver.chain.recursion_branches").add(branches);
         reg.counter("solver.chain.structures_surviving")
             .add(out.len() as u64);
+        // Schedule-independent by construction: every distinct
+        // (node, interface) key is computed exactly once.
+        reg.counter("solver.memo.hits").add(memo.hits());
+        reg.counter("solver.memo.misses").add(memo.misses());
     }
     let streaming = cnnre_obs::stream::enabled();
     if metrics || profiling || streaming {
@@ -315,12 +339,31 @@ fn record_enumeration_metrics(net: &ObservedNetwork, out: &[CandidateStructure],
     );
 }
 
+/// Owned context a parallel root-exploration task needs (pool tasks are
+/// `'static`, so everything is cloned out of the coordinator's borrows;
+/// the memo handle is shared, all other fields are read-only).
+struct RootCtx {
+    net: ObservedNetwork,
+    input: (usize, usize),
+    classes: usize,
+    cfg: NetworkSolverConfig,
+    prefix_choices: Vec<NodeChoice>,
+    prefix_ifaces: Vec<(usize, usize)>,
+    memo: CandidateMemo,
+}
+
+/// One root subtree's result: surviving structures (in discovery order),
+/// recursion branches consumed, deepest node reached, and the cap error
+/// if the subtree alone overflowed `max_structures`.
+type RootResult = (Vec<CandidateStructure>, u64, usize, Option<SolveError>);
+
 #[allow(clippy::too_many_arguments)]
 fn recurse(
     net: &ObservedNetwork,
     input: (usize, usize),
     classes: usize,
     cfg: &NetworkSolverConfig,
+    memo: &CandidateMemo,
     choices: &mut Vec<NodeChoice>,
     ifaces: &mut Vec<(usize, usize)>,
     out: &mut Vec<CandidateStructure>,
@@ -360,6 +403,7 @@ fn recurse(
                 input,
                 classes,
                 cfg,
+                memo,
                 choices,
                 ifaces,
                 out,
@@ -394,6 +438,7 @@ fn recurse(
                     input,
                     classes,
                     cfg,
+                    memo,
                     choices,
                     ifaces,
                     out,
@@ -419,16 +464,6 @@ fn recurse(
                     (w, node.sources.iter().map(|&s| ifaces[s].1).sum())
                 }
             };
-            let mut cands: Vec<(NodeChoice, (usize, usize))> =
-                solve_conv_layer(&obs, &[iface], &cfg.layer)
-                    .into_iter()
-                    .map(|p| (NodeChoice::Conv(p), (p.w_ofm, p.d_ofm)))
-                    .collect();
-            cands.extend(
-                solve_fc_layer(&obs, &[iface], &cfg.layer)
-                    .into_iter()
-                    .map(|fc| (NodeChoice::Fc(fc), (1, fc.out_features))),
-            );
             // Enumeration-progress telemetry at the first compute layer:
             // each top-level candidate roots an independent subtree, so
             // "% of roots consumed" plus "branches per finished root ×
@@ -438,18 +473,46 @@ fn recurse(
                 .iter()
                 .position(|n| matches!(n.kind, ObservedKind::Compute(_)))
                 == Some(i);
+            // Only the root solve may shard internally: deeper layers are
+            // solved from inside pool tasks, and a nested pool would
+            // oversubscribe the workers without helping wall clock.
+            let solve_cfg = if first_compute {
+                cfg.layer
+            } else {
+                SolverConfig {
+                    threads: 1,
+                    ..cfg.layer
+                }
+            };
+            let cands = memo.get_or_compute((i, iface), || {
+                let mut cands: Vec<(NodeChoice, (usize, usize))> =
+                    solve_conv_layer(&obs, &[iface], &solve_cfg)
+                        .into_iter()
+                        .map(|p| (NodeChoice::Conv(p), (p.w_ofm, p.d_ofm)))
+                        .collect();
+                cands.extend(
+                    solve_fc_layer(&obs, &[iface], &solve_cfg)
+                        .into_iter()
+                        .map(|fc| (NodeChoice::Fc(fc), (1, fc.out_features))),
+                );
+                cands
+            });
             let top = cnnre_obs::profile::enabled() && first_compute;
             let streaming = cnnre_obs::stream::enabled() && first_compute;
             let total = cands.len();
             let entry_branches = *branches;
-            for (k, (choice, out_iface)) in cands.into_iter().enumerate() {
+            // `branches_so_far` is always "branches consumed by roots
+            // 0..k" — whether the roots ran inline (sequential path) or
+            // on the pool (the coordinator replays the same prefix sums
+            // in root order), so both paths emit identical telemetry.
+            let progress = |k: usize, branches_so_far: u64| {
                 if top {
                     cnnre_obs::profile::count(
                         "solver.progress.root_pct",
                         100.0 * k as f64 / total.max(1) as f64,
                     );
                     if k > 0 {
-                        let per_root = (*branches - entry_branches) as f64 / k as f64;
+                        let per_root = (branches_so_far - entry_branches) as f64 / k as f64;
                         cnnre_obs::profile::count(
                             "solver.progress.eta_branches",
                             per_root * (total - k) as f64,
@@ -459,7 +522,7 @@ fn recurse(
                 if streaming {
                     // Integer ETA: branches per finished root × roots left.
                     let eta_branches = if k > 0 {
-                        (*branches - entry_branches) * (total - k) as u64 / k as u64
+                        (branches_so_far - entry_branches) * (total - k) as u64 / k as u64
                     } else {
                         0
                     };
@@ -470,25 +533,97 @@ fn recurse(
                         root_pct_bp: (10_000 * k / total.max(1)) as u64,
                     });
                 }
-                choices.push(choice);
-                ifaces.push(out_iface);
-                recurse(
-                    net,
+            };
+            if first_compute && cfg.layer.threads > 1 && total > 1 {
+                // Parallel root fan-out: every top-level candidate explores
+                // its subtree as an independent pool task with local
+                // accumulators; the coordinator then merges in root order,
+                // so structures, telemetry, and the cap error come out
+                // byte-identical to the sequential walk (DESIGN.md §13).
+                let ctx = Arc::new(RootCtx {
+                    net: net.clone(),
                     input,
                     classes,
-                    cfg,
-                    choices,
-                    ifaces,
-                    out,
-                    deepest_fail,
-                    branches,
-                )?;
-                choices.pop();
-                ifaces.pop();
+                    cfg: *cfg,
+                    prefix_choices: choices.clone(),
+                    prefix_ifaces: ifaces.clone(),
+                    memo: memo.clone(),
+                });
+                let roots = cands.to_vec();
+                let results: Vec<RootResult> =
+                    map_ordered(cfg.layer.threads, roots, move |_, (choice, out_iface)| {
+                        explore_root(&ctx, choice, out_iface)
+                    });
+                for (k, (structures, root_branches, root_deepest, root_err)) in
+                    results.into_iter().enumerate()
+                {
+                    progress(k, *branches);
+                    *branches += root_branches;
+                    *deepest_fail = (*deepest_fail).max(root_deepest);
+                    for s in structures {
+                        if out.len() >= cfg.max_structures {
+                            return Err(SolveError::TooManyStructures(cfg.max_structures));
+                        }
+                        out.push(s);
+                    }
+                    if let Some(e) = root_err {
+                        return Err(e);
+                    }
+                }
+            } else {
+                for (k, &(choice, out_iface)) in cands.iter().enumerate() {
+                    progress(k, *branches);
+                    choices.push(choice);
+                    ifaces.push(out_iface);
+                    recurse(
+                        net,
+                        input,
+                        classes,
+                        cfg,
+                        memo,
+                        choices,
+                        ifaces,
+                        out,
+                        deepest_fail,
+                        branches,
+                    )?;
+                    choices.pop();
+                    ifaces.pop();
+                }
             }
         }
     }
     Ok(())
+}
+
+/// Explores one top-level candidate subtree as a pool task: clones the
+/// coordinator's prefix, pushes the root's choice/interface, and runs the
+/// ordinary sequential `recurse` with fresh local accumulators. Workers
+/// emit no telemetry (deeper nodes are never the first compute layer) and
+/// solve deeper layers single-threaded through the shared memo, so the
+/// coordinator can replay the sequential telemetry exactly.
+fn explore_root(ctx: &RootCtx, choice: NodeChoice, out_iface: (usize, usize)) -> RootResult {
+    let mut choices = ctx.prefix_choices.clone();
+    let mut ifaces = ctx.prefix_ifaces.clone();
+    choices.push(choice);
+    ifaces.push(out_iface);
+    let mut out = Vec::new();
+    let mut deepest_fail = 0usize;
+    let mut branches = 0u64;
+    let err = recurse(
+        &ctx.net,
+        ctx.input,
+        ctx.classes,
+        &ctx.cfg,
+        &ctx.memo,
+        &mut choices,
+        &mut ifaces,
+        &mut out,
+        &mut deepest_fail,
+        &mut branches,
+    )
+    .err();
+    (out, branches, deepest_fail, err)
 }
 
 /// The paper's cross-layer execution-time filter, applied per candidate

@@ -97,6 +97,12 @@ pub struct SolverConfig {
     /// indistinguishable through the side channel and near-equivalent
     /// functionally). The representative uses the smallest padding.
     pub dedup_padding: bool,
+    /// Worker threads for the enumeration (sharded over the
+    /// `(input, W_OFM)` grid through [`crate::exec::map_ordered`], which
+    /// merges shard outputs in grid order — candidate ranking is
+    /// byte-identical at any value). `1` runs fully inline; the default
+    /// follows [`crate::exec::default_threads`] (`CNNRE_THREADS`).
+    pub threads: usize,
 }
 
 impl Default for SolverConfig {
@@ -116,6 +122,7 @@ impl Default for SolverConfig {
             exact_pool_division: false,
             pool_halves_width: true,
             dedup_padding: true,
+            threads: crate::exec::default_threads(),
         }
     }
 }
@@ -194,16 +201,19 @@ pub struct FcParams {
 /// Enumerates all CONV-layer parameter vectors consistent with `obs`, for
 /// each possible input interface `(w_ifm, d_ifm)` in `inputs`.
 ///
-/// Results are sorted and deduplicated.
+/// Results are sorted and deduplicated. With [`SolverConfig::threads`]
+/// above 1 the `(input, W_OFM)` grid is sharded onto the `exec` pool and
+/// merged in grid order, so the result (and every flushed counter) is
+/// byte-identical to the sequential enumeration.
 #[must_use]
 pub fn solve_conv_layer(
     obs: &ObservedLayer,
     inputs: &[(usize, usize)],
     cfg: &SolverConfig,
 ) -> Vec<LayerParams> {
-    let mut out = Vec::new();
-    let mut ctr = ConvSolveCounters::default();
-    let epb = cfg.elems_per_block;
+    // The dimension grid, in deterministic (input, W_OFM) order: one shard
+    // per w_ofm value of each plausible input interface.
+    let mut shards: Vec<(usize, usize, usize)> = Vec::new();
     for &(w_ifm, d_ifm) in inputs {
         if w_ifm == 0 || d_ifm == 0 {
             continue;
@@ -213,52 +223,23 @@ pub fn solve_conv_layer(
         if !cfg.ifm_size_matches(obs.ifm_blocks, (w_ifm as u64).pow(2) * d_ifm as u64) {
             continue;
         }
-        // Window bounds, widened by the slack; the per-candidate
-        // `size_matches` check below remains authoritative.
-        let ofm_lo = obs.ofm_blocks.saturating_sub(1 + cfg.fmap_slack_blocks) * epb;
-        let ofm_hi = (obs.ofm_blocks + cfg.fmap_slack_blocks) * epb;
         let max_w = (w_ifm * cfg.max_w_ofm_factor).max(1);
         for w_ofm in 1..=max_w {
-            let w2 = (w_ofm as u64).pow(2);
-            // Equation (2): d_ofm values with w_ofm² · d_ofm in the window.
-            let d_min = (ofm_lo / w2) + 1;
-            let d_max = ofm_hi / w2;
-            for d_ofm in d_min..=d_max {
-                if !cfg.size_matches(obs.ofm_blocks, w2 * d_ofm) {
-                    continue;
-                }
-                // Equation (3): filter widths with f² · d_ifm · d_ofm in the
-                // filter window.
-                let denom = d_ifm as u64 * d_ofm;
-                let fltr_slack = cfg.fltr_slack_for(obs.fltr_blocks);
-                let fltr_lo = obs.fltr_blocks.saturating_sub(1 + fltr_slack) * epb;
-                let fltr_hi = (obs.fltr_blocks + fltr_slack) * epb;
-                let f_min = isqrt_ceil(fltr_lo / denom + 1);
-                let f_max = isqrt_floor(fltr_hi / denom);
-                for f in f_min..=f_max.min((w_ifm / 2) as u64) {
-                    // lint:allow(cast): f <= w_ifm/2 and w_ifm is already a
-                    // usize feature-map width; no truncation possible
-                    let f = f as usize;
-                    if f == 0 || !cfg.fltr_size_matches(obs.fltr_blocks, (f as u64).pow(2) * denom)
-                    {
-                        continue;
-                    }
-                    enumerate_strides_and_padding(
-                        obs,
-                        cfg,
-                        w_ifm,
-                        d_ifm,
-                        w_ofm,
-                        // lint:allow(cast): d_ofm <= OFM block bound * epb,
-                        // far below usize::MAX on any supported target
-                        d_ofm as usize,
-                        f,
-                        &mut out,
-                        &mut ctr,
-                    );
-                }
-            }
+            shards.push((w_ifm, d_ifm, w_ofm));
         }
+    }
+    let (obs_v, cfg_v) = (*obs, *cfg);
+    let results = crate::exec::map_ordered(cfg.threads, shards, move |_, (w_ifm, d_ifm, w_ofm)| {
+        solve_conv_shard(&obs_v, &cfg_v, w_ifm, d_ifm, w_ofm)
+    });
+    // Ordered reduction: concatenating in shard order reproduces the exact
+    // pre-sort vector of the sequential nested loops; counters are sums.
+    let mut out = Vec::new();
+    let mut ctr = ConvSolveCounters::default();
+    for (shard_out, shard_ctr) in results {
+        out.extend(shard_out);
+        ctr.geometry_candidates += shard_ctr.geometry_candidates;
+        ctr.time_filter_rejected += shard_ctr.time_filter_rejected;
     }
     let enumerated = out.len();
     out.sort_unstable();
@@ -303,6 +284,65 @@ pub fn solve_conv_layer(
         out.len()
     );
     out
+}
+
+/// One shard of the enumeration grid: all `(D_OFM, F, S, P)` assignments
+/// for a fixed `(input interface, W_OFM)` pair. Pure — touches no shared
+/// state, so shards run on pool workers; Equations (2)–(3) window bounds
+/// are recomputed per shard from the same observation.
+fn solve_conv_shard(
+    obs: &ObservedLayer,
+    cfg: &SolverConfig,
+    w_ifm: usize,
+    d_ifm: usize,
+    w_ofm: usize,
+) -> (Vec<LayerParams>, ConvSolveCounters) {
+    let mut out = Vec::new();
+    let mut ctr = ConvSolveCounters::default();
+    let epb = cfg.elems_per_block;
+    // Window bounds, widened by the slack; the per-candidate
+    // `size_matches` check below remains authoritative.
+    let ofm_lo = obs.ofm_blocks.saturating_sub(1 + cfg.fmap_slack_blocks) * epb;
+    let ofm_hi = (obs.ofm_blocks + cfg.fmap_slack_blocks) * epb;
+    let w2 = (w_ofm as u64).pow(2);
+    // Equation (2): d_ofm values with w_ofm² · d_ofm in the window.
+    let d_min = (ofm_lo / w2) + 1;
+    let d_max = ofm_hi / w2;
+    for d_ofm in d_min..=d_max {
+        if !cfg.size_matches(obs.ofm_blocks, w2 * d_ofm) {
+            continue;
+        }
+        // Equation (3): filter widths with f² · d_ifm · d_ofm in the
+        // filter window.
+        let denom = d_ifm as u64 * d_ofm;
+        let fltr_slack = cfg.fltr_slack_for(obs.fltr_blocks);
+        let fltr_lo = obs.fltr_blocks.saturating_sub(1 + fltr_slack) * epb;
+        let fltr_hi = (obs.fltr_blocks + fltr_slack) * epb;
+        let f_min = isqrt_ceil(fltr_lo / denom + 1);
+        let f_max = isqrt_floor(fltr_hi / denom);
+        for f in f_min..=f_max.min((w_ifm / 2) as u64) {
+            // lint:allow(cast): f <= w_ifm/2 and w_ifm is already a
+            // usize feature-map width; no truncation possible
+            let f = f as usize;
+            if f == 0 || !cfg.fltr_size_matches(obs.fltr_blocks, (f as u64).pow(2) * denom) {
+                continue;
+            }
+            enumerate_strides_and_padding(
+                obs,
+                cfg,
+                w_ifm,
+                d_ifm,
+                w_ofm,
+                // lint:allow(cast): d_ofm <= OFM block bound * epb,
+                // far below usize::MAX on any supported target
+                d_ofm as usize,
+                f,
+                &mut out,
+                &mut ctr,
+            );
+        }
+    }
+    (out, ctr)
 }
 
 /// Per-call tallies of the CONV solver's filter stages, flushed into the

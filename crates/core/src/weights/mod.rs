@@ -26,7 +26,9 @@ pub use fc::{recover_fc_ratios, FcRatioRecovery, FcZeroCountOracle, FunctionalFc
 pub use oracle::{
     AcceleratorOracle, FunctionalOracle, LayerGeometry, MergedOrder, Probe, ZeroCountOracle,
 };
-pub use recover::{recover_ratios, RatioRecovery, RecoveredFilter, RecoveryConfig};
+pub use recover::{
+    recover_ratios, recover_ratios_parallel, RatioRecovery, RecoveredFilter, RecoveryConfig,
+};
 pub use search::{find_crossings, Crossing, SearchConfig};
 pub use threshold::{
     full_weights, full_weights_with_threshold, recover_bias, BiasRecovery, ThresholdControl,

@@ -22,8 +22,11 @@
 //! `w/b` values with a unit-magnitude bias (crossing positions only depend
 //! on the ratios). Any unpredicted crossing belongs to the target weight.
 
+use cnnre_model::sync::Arc;
 use cnnre_nn::layer::{Conv2d, PoolKind};
 use cnnre_tensor::{Shape4, Tensor4};
+
+use crate::exec::map_ordered;
 
 use crate::weights::oracle::{
     FunctionalOracle, LayerGeometry, MergedOrder, Probe, ZeroCountOracle,
@@ -40,6 +43,11 @@ pub struct RecoveryConfig {
     pub match_rel_tol: f64,
     /// Absolute matching tolerance (for crossings near zero).
     pub match_abs_tol: f64,
+    /// Worker count for [`recover_ratios_parallel`] (filters are recovered
+    /// as independent pool tasks via [`crate::exec::map_ordered`]).
+    /// Defaults to [`crate::exec::default_threads`]; the sequential
+    /// [`recover_ratios`] entry point ignores it.
+    pub threads: usize,
 }
 
 impl Default for RecoveryConfig {
@@ -48,6 +56,7 @@ impl Default for RecoveryConfig {
             search: SearchConfig::default(),
             match_rel_tol: 1e-5,
             match_abs_tol: 1e-8,
+            threads: crate::exec::default_threads(),
         }
     }
 }
@@ -674,117 +683,153 @@ pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) ->
     // lint:allow(panic): asserted non-degenerate two lines above
     let full = (geom.final_out_w().expect("valid geometry") as u64).pow(2);
     let bias_positive: Vec<bool> = baseline.iter().map(|&c| c == full).collect();
-
-    let mut filters: Vec<RecoveredFilter> = (0..geom.d_ofm)
-        .map(|_| RecoveredFilter::new(geom.input.c, geom.f))
+    let recoveries: Vec<FilterRecovery> = (0..geom.d_ofm)
+        .map(|d| recover_filter(oracle, &geom, d, bias_positive[d], cfg))
         .collect();
+    finish_recovery(&geom, recoveries, bias_positive)
+}
 
-    // Pass 1, descending raster order: the bottom-anchored probe stimulates
-    // only larger (already recovered) weight indices alongside the target.
-    let mut deferred: Vec<(usize, usize, usize)> = Vec::new();
+/// The parallel whole-layer attack: every filter is recovered as an
+/// independent pool task against its own clone of `oracle` (filter `d`'s
+/// probes, pins, and virtual model depend only on filter `d`'s state, so
+/// the decomposition is exact). The coordinator then replays the
+/// sequential telemetry from the per-filter query marks, so recovered
+/// ratios, counters, progress samples, and streamed events are
+/// byte-identical to [`recover_ratios`] at any `cfg.threads` value
+/// (DESIGN.md §13).
+///
+/// The oracle must be cheaply cloneable with an independent query counter
+/// per clone (e.g. [`FunctionalOracle`]); stateful hardware-backed oracles
+/// stay on the sequential `&mut dyn` entry point.
+///
+/// # Panics
+///
+/// Panics when the layer geometry is degenerate (no conv output).
+pub fn recover_ratios_parallel<O>(mut oracle: O, cfg: &RecoveryConfig) -> RatioRecovery
+where
+    O: ZeroCountOracle + Clone + Send + Sync + 'static,
+{
+    let _span = cnnre_obs::span("attack.weights");
+    cnnre_obs::stream::start_run("attack.weights");
+    let geom = oracle.geometry();
+    assert!(geom.final_out_w().is_some(), "degenerate geometry");
+    let baseline = oracle.query(&[]);
+    // lint:allow(panic): asserted non-degenerate two lines above
+    let full = (geom.final_out_w().expect("valid geometry") as u64).pow(2);
+    let bias_positive: Vec<bool> = baseline.iter().map(|&c| c == full).collect();
+    let proto = Arc::new(oracle);
+    let run_cfg = *cfg;
+    let items: Vec<(usize, bool)> = bias_positive.iter().copied().enumerate().collect();
+    let recoveries = map_ordered(cfg.threads, items, move |_, (d, positive)| {
+        // Each task works a private clone; `recover_filter` tallies
+        // relative to the clone's starting count, so the shared prefix
+        // (the baseline query) is not double-counted.
+        let mut worker_oracle = (*proto).clone();
+        recover_filter(&mut worker_oracle, &geom, d, positive, &run_cfg)
+    });
+    finish_recovery(&geom, recoveries, bias_positive)
+}
+
+/// One filter's recovery outcome plus the query bookkeeping the
+/// coordinator needs to replay sequential telemetry.
+struct FilterRecovery {
+    filter: RecoveredFilter,
+    /// Victim queries this filter had consumed at the end of each pass-1
+    /// item (relative to the filter's own start), aligned with
+    /// [`pass1_split`]'s item list.
+    marks: Vec<u64>,
+    /// Total victim queries this filter consumed.
+    queries: u64,
+}
+
+/// A pass-1 work item: one `(channel, row, col)` weight position.
+type WeightPos = (usize, usize, usize);
+
+/// Pass-1 work items for the layer, split into (recoverable in descending
+/// raster order, deferred to the ascending near-origin pass). Purely
+/// geometric — identical for every filter — which is what lets the
+/// coordinator reconstruct per-item telemetry from per-filter marks.
+fn pass1_split(geom: &LayerGeometry) -> (Vec<WeightPos>, Vec<WeightPos>) {
+    let mut items = Vec::new();
+    let mut deferred = Vec::new();
     for c in 0..geom.input.c {
         for i in (0..geom.f).rev() {
             for j in (0..geom.f).rev() {
-                if make_target(&geom, c, i, j).is_none() {
+                if make_target(geom, c, i, j).is_some() {
+                    items.push((c, i, j));
+                } else {
                     deferred.push((c, i, j));
-                    continue;
-                }
-                for d in 0..geom.d_ofm {
-                    let ratio = recover_with_retries(
-                        oracle,
-                        &geom,
-                        &filters[d],
-                        bias_positive[d],
-                        c,
-                        i,
-                        j,
-                        cfg,
-                        d,
-                    );
-                    filters[d].set(c, i, j, ratio);
-                }
-                // Query-budget telemetry: one timeline sample per target
-                // weight, showing the binary search's consumption rate.
-                cnnre_obs::profile::count("oracle.progress.queries", oracle.query_count() as f64);
-                if cnnre_obs::stream::enabled() {
-                    // The weight run's "cycle" domain is the cumulative
-                    // victim query count — monotone by construction.
-                    cnnre_obs::stream::emit_at(
-                        oracle.query_count(),
-                        cnnre_obs::stream::EventPayload::WeightRecovered {
-                            channel: c as u64,
-                            row: i as u64,
-                            col: j as u64,
-                            queries: oracle.query_count(),
-                        },
-                    );
                 }
             }
         }
     }
+    deferred.sort_unstable();
+    (items, deferred)
+}
+
+/// Recovers every weight of filter `d` — the independent unit of work both
+/// entry points are built on. Emits no telemetry itself (pool tasks must
+/// stay silent so the profile/event streams keep a deterministic order);
+/// the coordinator replays progress from the returned query marks.
+fn recover_filter(
+    oracle: &mut dyn ZeroCountOracle,
+    geom: &LayerGeometry,
+    d: usize,
+    bias_positive: bool,
+    cfg: &RecoveryConfig,
+) -> FilterRecovery {
+    let start = oracle.query_count();
+    let mut filter = RecoveredFilter::new(geom.input.c, geom.f);
+    let (items, deferred) = pass1_split(geom);
+    // Pass 1, descending raster order: the bottom-anchored probe stimulates
+    // only larger (already recovered) weight indices alongside the target.
+    let mut marks = Vec::with_capacity(items.len());
+    for &(c, i, j) in &items {
+        let ratio = recover_with_retries(oracle, geom, &filter, bias_positive, c, i, j, cfg, d);
+        filter.set(c, i, j, ratio);
+        marks.push(oracle.query_count() - start);
+    }
     // Pass 2, ascending: weights whose bottom probe hangs over the padded
     // edge are anchored near the origin instead; their co-stimulated taps
     // carry smaller weight indices, recovered in pass 1.
-    deferred.sort_unstable();
     for (c, i, j) in deferred {
-        let Some(t) = make_target_near_origin(&geom, c, i, j) else {
+        let Some(t) = make_target_near_origin(geom, c, i, j) else {
             continue;
         };
-        for d in 0..geom.d_ofm {
-            let ratio = recover_one(
-                oracle,
-                &geom,
-                &filters[d],
-                bias_positive[d],
-                &t,
-                cfg,
-                d,
-                true,
-            );
-            filters[d].set(c, i, j, ratio);
-        }
+        let ratio = recover_one(oracle, geom, &filter, bias_positive, &t, cfg, d, true);
+        filter.set(c, i, j, ratio);
     }
     // Fixpoint rounds: weights masked beyond the reach of the first sweep
     // become recoverable once their neighbours are known — each round the
     // pin vocabulary grows (origin-anchored probes pin through *smaller*
     // recovered weights, bottom-anchored ones through larger), so alternate
-    // both anchors until no further weight resolves.
-    for round in 0..6 {
+    // both anchors until no further weight resolves. The round flag is
+    // per-filter: an attempt depends only on this filter's own state, so a
+    // round that makes no progress here cannot succeed later either (the
+    // old layer-global flag re-ran such rounds and burned victim queries
+    // for nothing).
+    for _round in 0..6 {
         let mut progressed = false;
         for c in 0..geom.input.c {
             for i in 0..geom.f {
                 for j in 0..geom.f {
-                    for d in 0..geom.d_ofm {
-                        if filters[d].ratio(c, i, j).is_some() {
-                            continue;
-                        }
-                        let targets = candidate_targets(&geom, c, i, j);
-                        for t in targets.into_iter().flatten() {
-                            let ratio = recover_one(
-                                oracle,
-                                &geom,
-                                &filters[d],
-                                bias_positive[d],
-                                &t,
-                                cfg,
-                                d,
-                                false,
-                            );
-                            if let Some(r) = ratio {
-                                filters[d].set(c, i, j, Some(r));
-                                progressed = true;
-                                break;
-                            }
+                    if filter.ratio(c, i, j).is_some() {
+                        continue;
+                    }
+                    let targets = candidate_targets(geom, c, i, j);
+                    for t in targets.into_iter().flatten() {
+                        let ratio =
+                            recover_one(oracle, geom, &filter, bias_positive, &t, cfg, d, false);
+                        if let Some(r) = ratio {
+                            filter.set(c, i, j, Some(r));
+                            progressed = true;
+                            break;
                         }
                     }
                 }
             }
         }
         if !progressed {
-            // One final sweep allowing definitive zeros.
-            if round > 0 {
-                break;
-            }
             break;
         }
     }
@@ -793,30 +838,61 @@ pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) ->
     for c in 0..geom.input.c {
         for i in 0..geom.f {
             for j in 0..geom.f {
-                for d in 0..geom.d_ofm {
-                    if filters[d].ratio(c, i, j).is_some() {
-                        continue;
-                    }
-                    for t in candidate_targets(&geom, c, i, j).into_iter().flatten() {
-                        let ratio = recover_one(
-                            oracle,
-                            &geom,
-                            &filters[d],
-                            bias_positive[d],
-                            &t,
-                            cfg,
-                            d,
-                            true,
-                        );
-                        if ratio.is_some() {
-                            filters[d].set(c, i, j, ratio);
-                            break;
-                        }
+                if filter.ratio(c, i, j).is_some() {
+                    continue;
+                }
+                for t in candidate_targets(geom, c, i, j).into_iter().flatten() {
+                    let ratio = recover_one(oracle, geom, &filter, bias_positive, &t, cfg, d, true);
+                    if ratio.is_some() {
+                        filter.set(c, i, j, ratio);
+                        break;
                     }
                 }
             }
         }
     }
+    FilterRecovery {
+        filter,
+        marks,
+        queries: oracle.query_count() - start,
+    }
+}
+
+/// Coordinator epilogue shared by both entry points: replays the pass-1
+/// progress telemetry in item order from the per-filter query marks
+/// (reconstructing exactly the cumulative counts the old interleaved
+/// sweep observed: after item `k`, every filter has finished items
+/// `0..=k`), then flushes the whole-layer counters and assembles the
+/// result.
+fn finish_recovery(
+    geom: &LayerGeometry,
+    recoveries: Vec<FilterRecovery>,
+    bias_positive: Vec<bool>,
+) -> RatioRecovery {
+    let (items, _) = pass1_split(geom);
+    let streaming = cnnre_obs::stream::enabled();
+    for (k, &(c, i, j)) in items.iter().enumerate() {
+        // +1 for the shared baseline query.
+        let queries_after_item: u64 = 1 + recoveries.iter().map(|r| r.marks[k]).sum::<u64>();
+        // Query-budget telemetry: one timeline sample per target weight,
+        // showing the binary search's consumption rate.
+        cnnre_obs::profile::count("oracle.progress.queries", queries_after_item as f64);
+        if streaming {
+            // The weight run's "cycle" domain is the cumulative victim
+            // query count — monotone by construction.
+            cnnre_obs::stream::emit_at(
+                queries_after_item,
+                cnnre_obs::stream::EventPayload::WeightRecovered {
+                    channel: c as u64,
+                    row: i as u64,
+                    col: j as u64,
+                    queries: queries_after_item,
+                },
+            );
+        }
+    }
+    let total_queries: u64 = 1 + recoveries.iter().map(|r| r.queries).sum::<u64>();
+    let filters: Vec<RecoveredFilter> = recoveries.into_iter().map(|r| r.filter).collect();
     let (mut recovered, mut zeros, mut unrecovered) = (0u64, 0u64, 0u64);
     for f in &filters {
         for r in f.as_slice() {
@@ -836,8 +912,7 @@ pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) ->
         // `oracle.queries` counts every ZeroCountOracle query in the
         // process, including the attacker's own virtual-oracle simulations;
         // this is the victim-facing subset (the paper's cost metric).
-        reg.counter("oracle.victim_queries")
-            .add(oracle.query_count());
+        reg.counter("oracle.victim_queries").add(total_queries);
     }
     cnnre_obs::log_info!(
         "weights",
@@ -845,12 +920,12 @@ pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) ->
         recovered,
         zeros,
         unrecovered,
-        oracle.query_count()
+        total_queries
     );
     RatioRecovery {
         filters,
         bias_positive,
-        queries: oracle.query_count(),
+        queries: total_queries,
     }
 }
 

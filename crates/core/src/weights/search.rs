@@ -80,7 +80,11 @@ pub fn find_crossings(mut count: impl FnMut(f32) -> u64, cfg: &SearchConfig) -> 
         xs.push(f64::from(cfg.x_min) * ratio.powi(i as i32));
     }
 
-    let span = cnnre_obs::span("search");
+    // No span here: crossing searches run from pool workers during the
+    // parallel weights attack, and per-search span events would interleave
+    // nondeterministically in the profile stream. The `weights.search.*`
+    // counters below are atomic sums, so they stay schedule-independent;
+    // the enclosing `attack.weights` span carries the wall-clock story.
     let counts: Vec<u64> = xs.iter().map(|&x| count(x as f32)).collect();
     let mut crossings = Vec::new();
     let mut steps = 0u64;
@@ -97,7 +101,6 @@ pub fn find_crossings(mut count: impl FnMut(f32) -> u64, cfg: &SearchConfig) -> 
             &mut steps,
         );
     }
-    drop(span);
     if cnnre_obs::enabled() {
         let reg = cnnre_obs::global();
         reg.counter("weights.search.grid_probes")

@@ -213,6 +213,16 @@ pub const METRICS: &[MetricDef] = &[
         help: "FC candidates surviving the per-layer solve",
     },
     MetricDef {
+        name: "solver.memo.hits",
+        kind: "counter",
+        help: "per-layer candidate enumerations served from the memo cache",
+    },
+    MetricDef {
+        name: "solver.memo.misses",
+        kind: "counter",
+        help: "per-layer candidate enumerations computed and cached",
+    },
+    MetricDef {
         name: "solver.progress.candidates_per_layer",
         kind: "sample",
         help: "per-layer surviving candidate count (profile timeline)",

@@ -52,6 +52,12 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> tier-1 (multi-threaded solve): CNNRE_THREADS=4 cargo test -q"
+# Re-run the suite with the parallel solver/oracle engines engaged so the
+# determinism guarantees (byte-identical candidates, goldens, telemetry)
+# are exercised under real pool scheduling, not just --threads 1.
+CNNRE_THREADS=4 cargo test -q
+
 if [[ "${PERF_GATE:-0}" != "0" ]]; then
     echo "==> perf gate (opt-in via PERF_GATE=1)"
     scripts/perf_gate.sh

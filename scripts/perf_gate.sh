@@ -11,6 +11,14 @@
 # override with PERF_GATE_REL_TOL), wall-ns metrics are advisory only.
 # To refresh baselines after an intentional perf change, see EXPERIMENTS.md
 # ("Regenerating the perf baselines").
+#
+# After the regression stage, the *improvement* stage runs the gated solver
+# experiments at --threads 1 and --threads $PERF_GATE_THREADS (default 8)
+# and enforces the committed wall-clock speedup floors in SPEEDUP.json,
+# plus a byte-diff of the two runs' stdout (candidate output must be
+# identical at any thread count). The speedup floors are skipped with a
+# loud warning on hosts with fewer than 4 CPUs — a 3x floor is not
+# measurable there — but the determinism byte-diff always runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -37,6 +45,46 @@ for exp in "${EXPERIMENTS[@]}"; do
     set +e
     ./target/release/perf_gate "$baseline" "$current" \
         --rel-tol "$PERF_GATE_REL_TOL" --report "$report"
+    code=$?
+    set -e
+    if [[ $code -eq 2 ]]; then
+        exit 2
+    elif [[ $code -ne 0 ]]; then
+        status=1
+    fi
+done
+
+# --- Improvement stage: wall-clock speedup floors + thread determinism ---
+SPEEDUP_EXPERIMENTS=(table3 fig7)
+SPEEDUP_FLOORS="$BASELINE_DIR/SPEEDUP.json"
+PERF_GATE_THREADS="${PERF_GATE_THREADS:-8}"
+NPROC="$(nproc 2>/dev/null || echo 1)"
+
+for exp in "${SPEEDUP_EXPERIMENTS[@]}"; do
+    single_out="$PERF_GATE_DIR/BENCH_${exp}_t1.json"
+    multi_out="$PERF_GATE_DIR/BENCH_${exp}_t$PERF_GATE_THREADS.json"
+    single_stdout="$PERF_GATE_DIR/${exp}_t1.stdout"
+    multi_stdout="$PERF_GATE_DIR/${exp}_t$PERF_GATE_THREADS.stdout"
+    echo "==> $exp: determinism byte-diff, --threads 1 vs --threads $PERF_GATE_THREADS (quick mode)"
+    CNNRE_QUICK=1 "./target/release/$exp" --threads 1 >"$single_stdout"
+    CNNRE_QUICK=1 "./target/release/$exp" --threads "$PERF_GATE_THREADS" >"$multi_stdout"
+    if ! cmp -s "$single_stdout" "$multi_stdout"; then
+        echo "perf gate: $exp output differs between thread counts:" >&2
+        diff "$single_stdout" "$multi_stdout" >&2 || true
+        status=1
+        continue
+    fi
+    if [[ "$NPROC" -lt 4 ]]; then
+        echo "perf gate: WARNING: only $NPROC CPU(s) — skipping the $exp speedup floor" >&2
+        echo "perf gate: WARNING: the >=3x wall-clock improvement is NOT being enforced here" >&2
+        continue
+    fi
+    echo "==> $exp: measuring speedup, --threads 1 vs --threads $PERF_GATE_THREADS"
+    "./target/release/$exp" --threads 1 --out "$single_out" >/dev/null
+    "./target/release/$exp" --threads "$PERF_GATE_THREADS" --out "$multi_out" >/dev/null
+    set +e
+    ./target/release/perf_gate --speedup "$single_out" "$multi_out" \
+        --floors "$SPEEDUP_FLOORS" --report "$PERF_GATE_DIR/speedup_$exp.txt"
     code=$?
     set -e
     if [[ $code -eq 2 ]]; then

@@ -18,7 +18,8 @@
 use cnn_reveng::accel::{AccelConfig, Accelerator};
 use cnn_reveng::attacks::structure::{recover_structures, NetworkSolverConfig};
 use cnn_reveng::attacks::weights::{
-    recover_ratios, AcceleratorOracle, FunctionalOracle, LayerGeometry, MergedOrder, RecoveryConfig,
+    recover_ratios, recover_ratios_parallel, AcceleratorOracle, FunctionalOracle, LayerGeometry,
+    MergedOrder, RecoveryConfig,
 };
 use cnn_reveng::nn::layer::{Conv2d, PoolKind};
 use cnn_reveng::nn::models;
@@ -37,6 +38,21 @@ fn main() {
     let profile_path = take_flag_value(&mut args, "--profile-out");
     let events_path = take_flag_value(&mut args, "--events-out");
     let events_tcp = take_flag_value(&mut args, "--events-tcp");
+    if let Some(threads) = take_flag_value(&mut args, "--threads") {
+        // Installed before any config is built, so `SolverConfig::default`
+        // and `RecoveryConfig::default` pick the worker count up. Attack
+        // output and recorded artifacts are byte-identical at any thread
+        // count (DESIGN.md §13); only wall clock changes.
+        match threads.parse::<usize>() {
+            Ok(n) if n >= 1 => {
+                cnn_reveng::attacks::exec::set_default_threads(n);
+            }
+            _ => {
+                eprintln!("--threads needs a positive integer worker count");
+                std::process::exit(2);
+            }
+        }
+    }
     let profile_clock = match take_flag_value(&mut args, "--profile-clock") {
         Some(v) => match cnnre_obs::profile::ClockDomain::parse(&v) {
             Some(c) => c,
@@ -171,6 +187,8 @@ fn print_usage() {
          cnnre attack-weights [--filters N] [--via-trace]\n  cnnre defend <model>\n  \
          cnnre --list-metrics\n\n\
          GLOBAL FLAGS:\n  \
+         --threads N          worker threads for the parallel attack engines (default:\n                       \
+         CNNRE_THREADS or 1); output is identical at any value\n  \
          --metrics FILE       enable instrumentation, write a metrics snapshot (JSON)\n  \
          --profile-out FILE   record the span-tree timeline; writes Chrome Trace JSON\n                       \
          (open in ui.perfetto.dev), or folded flamegraph stacks\n                       \
@@ -451,11 +469,13 @@ fn cmd_attack_weights(args: &[String]) -> i32 {
     // parser (slow: one simulated inference per query); the default uses
     // the equivalent functional model of the same leak.
     let rec = if args.iter().any(|a| a == "--via-trace") {
+        // The accelerator-backed oracle is stateful and stays on the
+        // sequential engine; the functional path runs filters in parallel.
         let mut oracle = AcceleratorOracle::new(victim.clone(), geom);
         recover_ratios(&mut oracle, &RecoveryConfig::default())
     } else {
-        let mut oracle = FunctionalOracle::new(victim.clone(), geom);
-        recover_ratios(&mut oracle, &RecoveryConfig::default())
+        let oracle = FunctionalOracle::new(victim.clone(), geom);
+        recover_ratios_parallel(oracle, &RecoveryConfig::default())
     };
     println!(
         "recovered {:.1}% of {} weights, max |w/b| error {:.3e}, {} victim queries",
