@@ -5,6 +5,7 @@ fn main() {
     let out = cnnre_bench::parse_out_flag();
     let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();
+    let obs = cnnre_bench::parse_serve_obs_flag();
     let quick = std::env::var_os("CNNRE_QUICK").is_some();
     let (filters, input_w) = if quick { (4, 39) } else { (16, 79) };
     let fractions = [0.0, 0.15, 0.3, 0.45, 0.6, 0.75, 0.9];
@@ -16,4 +17,5 @@ fn main() {
     cnnre_bench::write_profile(profile);
     cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "ablation_prune_sweep");
+    cnnre_bench::finish_serve_obs(obs);
 }

@@ -3,6 +3,7 @@ fn main() {
     let out = cnnre_bench::parse_out_flag();
     let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();
+    let obs = cnnre_bench::parse_serve_obs_flag();
     let (baseline, rows) = cnnre_bench::experiments::defense::run();
     println!(
         "{}",
@@ -11,4 +12,5 @@ fn main() {
     cnnre_bench::write_profile(profile);
     cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "defense_oram");
+    cnnre_bench::finish_serve_obs(obs);
 }

@@ -5,6 +5,7 @@ fn main() {
     let out = cnnre_bench::parse_out_flag();
     let events = cnnre_bench::parse_event_flags();
     let profile = cnnre_bench::parse_profile_flags();
+    let obs = cnnre_bench::parse_serve_obs_flag();
     let cfg = if cnnre_bench::quick_mode() {
         fig4::RankingConfig::quick()
     } else {
@@ -15,4 +16,5 @@ fn main() {
     cnnre_bench::write_profile(profile);
     cnnre_bench::write_events(events);
     cnnre_bench::write_out(out, "fig4");
+    cnnre_bench::finish_serve_obs(obs);
 }

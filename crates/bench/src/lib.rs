@@ -170,6 +170,61 @@ pub fn parse_event_flags() -> Option<std::path::PathBuf> {
     out
 }
 
+/// The `--serve-obs ADDR` / `--serve-obs-hold` flag pair shared by every
+/// experiment binary: starts the live observability daemon
+/// ([`cnnre_attacks::obsd`]) so `/metrics`, `/profile`, `/progress`,
+/// `/events`, and `/health` are scrapeable while the experiment runs.
+/// Also enables the profiler ring and the recorded event stream (they
+/// feed `/profile` and `/events`). Call at the top of `main` and pass
+/// the result to [`finish_serve_obs`] at the end.
+///
+/// Exits with usage code 2 on a missing address, and 1 when the bind
+/// fails.
+#[must_use]
+pub fn parse_serve_obs_flag() -> Option<(cnnre_attacks::obsd::ObsDaemon, bool)> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let hold = args.iter().any(|a| a == "--serve-obs-hold");
+    let Some(pos) = args.iter().position(|a| a == "--serve-obs") else {
+        if hold {
+            eprintln!("--serve-obs-hold needs --serve-obs ADDR");
+            std::process::exit(2);
+        }
+        return None;
+    };
+    let Some(addr) = args.get(pos + 1) else {
+        eprintln!("--serve-obs needs an address (e.g. 127.0.0.1:0)");
+        std::process::exit(2);
+    };
+    cnnre_obs::profile::set_enabled(true);
+    cnnre_obs::stream::set_enabled(true);
+    cnnre_obs::stream::set_record(true);
+    match cnnre_attacks::obsd::serve(addr) {
+        Ok(daemon) => Some((daemon, hold)),
+        Err(e) => {
+            eprintln!("cannot serve observability on {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Finishes a [`parse_serve_obs_flag`] daemon: with `--serve-obs-hold`
+/// it keeps serving the finished run's registry until a scraper sends
+/// `GET /quit` (how `scripts/check.sh` diffs `/metrics` against the
+/// JSON export), then shuts the server and its pool down.
+pub fn finish_serve_obs(daemon: Option<(cnnre_attacks::obsd::ObsDaemon, bool)>) {
+    let Some((mut daemon, hold)) = daemon else {
+        return;
+    };
+    if hold {
+        eprintln!(
+            "bench: run finished; still serving http://{} until GET /quit (--serve-obs-hold)",
+            daemon.addr()
+        );
+        daemon.wait_quit();
+    }
+    daemon.shutdown();
+}
+
 /// Drains the recorded event stream into the `.evt` file requested by
 /// [`parse_event_flags`] (no-op when `--events-out` was absent) and gives
 /// any live TCP clients a moment to drain.

@@ -32,7 +32,35 @@ struct PoolState {
     pending: usize,
     /// Jobs that panicked (contained, counted, never fatal).
     panicked: usize,
+    /// Workers currently blocked waiting for the injector.
+    parked: usize,
     shutdown: bool,
+}
+
+/// Handles for the volatile `exec.pool.*` runtime gauges, captured once
+/// at construction and **only when observability is already enabled** —
+/// the model-exec suites run with obs off, so exhaustive schedule
+/// exploration sees zero added operations. All handles are lock-free
+/// atomics, safe to touch while holding the pool mutex.
+struct PoolObs {
+    queue_depth: cnnre_obs::Gauge,
+    tasks_inflight: cnnre_obs::Gauge,
+    workers_parked: cnnre_obs::Gauge,
+    steals: cnnre_obs::Counter,
+}
+
+impl PoolObs {
+    fn capture() -> Option<PoolObs> {
+        if !cnnre_obs::enabled() {
+            return None;
+        }
+        Some(PoolObs {
+            queue_depth: cnnre_obs::gauge("exec.pool.queue_depth"),
+            tasks_inflight: cnnre_obs::gauge("exec.pool.tasks_inflight"),
+            workers_parked: cnnre_obs::gauge("exec.pool.workers_parked"),
+            steals: cnnre_obs::counter("exec.pool.steals"),
+        })
+    }
 }
 
 struct Shared {
@@ -42,6 +70,8 @@ struct Shared {
     /// Signaled when `pending` returns to zero.
     done: Condvar,
     stealers: Vec<Stealer<Job>>,
+    /// `Some` only when obs was enabled when the pool was built.
+    obs: Option<PoolObs>,
 }
 
 fn lock(shared: &Shared) -> MutexGuard<'_, PoolState> {
@@ -71,11 +101,13 @@ impl ThreadPool {
                 injector: VecDeque::new(),
                 pending: 0,
                 panicked: 0,
+                parked: 0,
                 shutdown: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
             stealers,
+            obs: PoolObs::capture(),
         });
         let handles = locals
             .into_iter()
@@ -94,11 +126,28 @@ impl ThreadPool {
     }
 
     /// Submits a job. Never blocks; the injector is unbounded.
+    ///
+    /// When the spawning thread carries a [`cnnre_obs::run::RunCtx`], the
+    /// job re-enters it (parent span refreshed to the spawn site) before
+    /// running, so spans opened inside pool workers parent under the run
+    /// that scheduled them instead of starting a fresh root path.
     pub fn spawn(&self, job: impl FnOnce() + Send + 'static) {
+        let boxed: Job = match cnnre_obs::run::task_ctx() {
+            Some(ctx) => Box::new(move || {
+                let _ctx = cnnre_obs::run::enter(ctx);
+                job();
+            }),
+            None => Box::new(job),
+        };
         let mut st = lock(&self.shared);
-        st.injector.push_back(Box::new(job));
+        st.injector.push_back(boxed);
         st.pending += 1;
+        let (depth, inflight) = (st.injector.len(), st.pending);
         drop(st);
+        if let Some(obs) = &self.shared.obs {
+            obs.queue_depth.set(depth as f64);
+            obs.tasks_inflight.set(inflight as f64);
+        }
         self.shared.work.notify_one();
     }
 
@@ -144,8 +193,12 @@ fn run_job(shared: &Shared, job: Job) {
         st.panicked += 1;
     }
     st.pending -= 1;
-    if st.pending == 0 {
-        drop(st);
+    let pending = st.pending;
+    drop(st);
+    if let Some(obs) = &shared.obs {
+        obs.tasks_inflight.set(pending as f64);
+    }
+    if pending == 0 {
         shared.done.notify_all();
     }
 }
@@ -154,6 +207,9 @@ fn steal_elsewhere(shared: &Shared, index: usize) -> Option<Job> {
     let n = shared.stealers.len();
     for k in 1..n {
         if let Some(job) = shared.stealers[(index + k) % n].steal() {
+            if let Some(obs) = &shared.obs {
+                obs.steals.inc();
+            }
             return Some(job);
         }
     }
@@ -186,14 +242,27 @@ fn worker_loop(shared: &Shared, index: usize, mut local: Worker<Job>) {
                         None => break,
                     }
                 }
+                let depth = st.injector.len();
                 drop(st);
+                if let Some(obs) = &shared.obs {
+                    obs.queue_depth.set(depth as f64);
+                }
                 run_job(shared, job);
                 break;
             }
             if st.shutdown {
                 return;
             }
+            st.parked += 1;
+            if let Some(obs) = &shared.obs {
+                // Lock-free atomic store — no second lock is taken here.
+                obs.workers_parked.set(st.parked as f64);
+            }
             st = shared.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+            st.parked -= 1;
+            if let Some(obs) = &shared.obs {
+                obs.workers_parked.set(st.parked as f64);
+            }
         }
     }
 }

@@ -19,12 +19,16 @@
 //!   (`map_ordered`, `Memo`) that shard the solver and the weights
 //!   attack across workers, built only on the `cnnre-model` shims and
 //!   certified by exhaustive model checking. Candidate output and
-//!   telemetry stay byte-identical at any thread count (DESIGN.md §13).
+//!   telemetry stay byte-identical at any thread count (DESIGN.md §13);
+//! * [`obsd`] — the embeddable live-observability daemon: the
+//!   `cnnre_obs::http` scrape server wired onto the certified exec pool
+//!   (DESIGN.md §14), behind the CLI's `--serve-obs` flag.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assumptions;
 pub mod exec;
+pub mod obsd;
 pub mod structure;
 pub mod weights;

@@ -1,0 +1,141 @@
+//! `cnnre-obsd`: the embeddable live-observability daemon.
+//!
+//! Glue between the transport layer ([`cnnre_obs::http`], which cannot
+//! depend on this crate) and the certified [`crate::exec::ThreadPool`]:
+//! scrape connections are served as ordinary pool jobs, so the HTTP
+//! plane rides the same model-checked spawn/steal/shutdown protocol as
+//! the attacks — no second thread-per-connection subsystem to certify.
+//!
+//! The CLI (`--serve-obs ADDR`) and every bench binary start one of
+//! these around their run:
+//!
+//! ```no_run
+//! let mut daemon = cnnre_attacks::obsd::serve("127.0.0.1:0").expect("bind");
+//! // ... run the attack; scrape /metrics, /progress, ... meanwhile ...
+//! daemon.shutdown();
+//! ```
+//!
+//! [`serve`] force-enables metric collection (a scrape server with an
+//! empty registry is useless), publishes the bound address to the file
+//! named by `CNNRE_OBS_ADDR_FILE` (how subprocess tests and
+//! `scripts/check.sh` learn an ephemeral port), and prints a listening
+//! line to stderr. [`ObsDaemon::shutdown`] tears down in dependency
+//! order — server first (so no connection can spawn onto a dying pool),
+//! then the pool — and is also run on drop.
+
+use std::io;
+
+use cnnre_model::sync::Arc;
+
+use crate::exec::ThreadPool;
+use cnnre_obs::http::{Executor, ObsServer, ServerOptions};
+
+/// Workers in the daemon's serving pool. Scrapes are tiny; two workers
+/// cover concurrent scrape + follow-stream without stealing meaningful
+/// CPU from the attack.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Environment variable naming a file the daemon writes its bound
+/// address to (useful with `127.0.0.1:0` ephemeral ports).
+pub const ADDR_FILE_ENV: &str = "CNNRE_OBS_ADDR_FILE";
+
+/// A running observability daemon: an [`ObsServer`] whose connections
+/// are served by a dedicated certified [`ThreadPool`].
+pub struct ObsDaemon {
+    server: ObsServer,
+    /// Dropped after the server in [`ObsDaemon::shutdown`]; `Option` so
+    /// shutdown can stage the teardown explicitly.
+    pool: Option<Arc<ThreadPool>>,
+}
+
+impl ObsDaemon {
+    /// The address the server actually bound (real port for `:0`).
+    #[must_use]
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.server.addr()
+    }
+
+    /// Blocks until a scraper sends `GET /quit` or the server shuts
+    /// down. Backs the CLI's `--serve-obs-hold`.
+    pub fn wait_quit(&self) {
+        self.server.wait_quit();
+    }
+
+    /// Stops the server (drains in-flight scrapes), then the pool.
+    /// Idempotent; also performed on drop — but call it explicitly
+    /// before `std::process::exit`, which skips destructors.
+    pub fn shutdown(&mut self) {
+        self.server.shutdown();
+        self.pool.take();
+    }
+}
+
+impl Drop for ObsDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` and starts serving the five scrape endpoints off a
+/// fresh certified pool. Enables global metric collection as a side
+/// effect. `/quit` is allowed (the daemon exists to be probed).
+///
+/// # Errors
+///
+/// Propagates bind and thread-spawn failures from the server.
+pub fn serve(addr: &str) -> io::Result<ObsDaemon> {
+    cnnre_obs::set_enabled(true);
+    let pool = Arc::new(ThreadPool::new(DEFAULT_WORKERS));
+    let exec_pool = Arc::clone(&pool);
+    let executor: Executor = Arc::new(move |job| exec_pool.spawn(job));
+    let server = ObsServer::bind(
+        addr,
+        executor,
+        ServerOptions {
+            allow_quit: true,
+            ..ServerOptions::default()
+        },
+    )?;
+    let bound = server.addr();
+    if let Ok(path) = std::env::var(ADDR_FILE_ENV) {
+        if !path.is_empty() {
+            std::fs::write(&path, format!("{bound}\n"))?;
+        }
+    }
+    eprintln!("cnnre-obsd: serving /metrics /profile /progress /events /health on http://{bound}");
+    Ok(ObsDaemon {
+        server,
+        pool: Some(pool),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn daemon_serves_and_shuts_down_on_the_pool() {
+        let mut daemon = serve("127.0.0.1:0").expect("bind loopback");
+        let addr = daemon.addr().to_string();
+        let (status, body) = cnnre_obs::http::get(&addr, "/health").expect("health");
+        assert_eq!(status, 200);
+        assert!(String::from_utf8_lossy(&body).contains("\"status\": \"ok\""));
+        let (status, _) = cnnre_obs::http::get(&addr, "/metrics").expect("metrics");
+        assert_eq!(status, 200);
+        daemon.shutdown();
+        daemon.shutdown();
+        assert!(cnnre_obs::http::get(&addr, "/health").is_err());
+        cnnre_obs::set_enabled(false);
+    }
+
+    #[test]
+    fn quit_scrape_wakes_the_hold_loop() {
+        let mut daemon = serve("127.0.0.1:0").expect("bind loopback");
+        let addr = daemon.addr().to_string();
+        let (status, _) = cnnre_obs::http::get(&addr, "/quit").expect("quit");
+        assert_eq!(status, 200);
+        daemon.wait_quit();
+        daemon.shutdown();
+        cnnre_obs::set_enabled(false);
+    }
+}

@@ -675,6 +675,7 @@ fn formula_pin_term(
 ///
 /// Panics when the layer geometry is degenerate (no conv output).
 pub fn recover_ratios(oracle: &mut dyn ZeroCountOracle, cfg: &RecoveryConfig) -> RatioRecovery {
+    let _run = cnnre_obs::run::begin("attack.weights");
     let _span = cnnre_obs::span("attack.weights");
     cnnre_obs::stream::start_run("attack.weights");
     let geom = oracle.geometry();
@@ -709,6 +710,7 @@ pub fn recover_ratios_parallel<O>(mut oracle: O, cfg: &RecoveryConfig) -> RatioR
 where
     O: ZeroCountOracle + Clone + Send + Sync + 'static,
 {
+    let _run = cnnre_obs::run::begin("attack.weights");
     let _span = cnnre_obs::span("attack.weights");
     cnnre_obs::stream::start_run("attack.weights");
     let geom = oracle.geometry();

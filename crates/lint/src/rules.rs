@@ -34,9 +34,9 @@ const SPAN_CALLS: [&str; 2] = ["span", "span_labelled"];
 /// of `cnnre_obs::catalog::KNOWN_PREFIXES` — the lint crate is
 /// zero-dependency, so the list is duplicated and the root
 /// `tests/metric_catalog.rs` drift test keeps the two in lock-step.
-pub const METRIC_PREFIXES: [&str; 14] = [
+pub const METRIC_PREFIXES: [&str; 16] = [
     "accel", "trace", "solver", "oracle", "weights", "attack", "train", "bench", "span", "profile",
-    "fig4", "fig5", "events", "viz",
+    "fig4", "fig5", "events", "viz", "exec", "http",
 ];
 
 /// Crates whose `src/` trees are deterministic attack paths: their exports

@@ -32,7 +32,7 @@ pub struct MetricDef {
 /// rule rejects literals outside this set.
 pub const KNOWN_PREFIXES: &[&str] = &[
     "accel", "trace", "solver", "oracle", "weights", "attack", "train", "bench", "span", "profile",
-    "fig4", "fig5", "events", "viz",
+    "fig4", "fig5", "events", "viz", "exec", "http",
 ];
 
 /// Every metric the in-tree instrumentation records, sorted by name.
@@ -118,6 +118,26 @@ pub const METRICS: &[MetricDef] = &[
         help: "attack events emitted onto the live telemetry stream",
     },
     MetricDef {
+        name: "exec.pool.queue_depth",
+        kind: "gauge",
+        help: "jobs waiting in the work-stealing pool injector (volatile)",
+    },
+    MetricDef {
+        name: "exec.pool.steals",
+        kind: "counter",
+        help: "successful cross-worker steals in the pool (volatile)",
+    },
+    MetricDef {
+        name: "exec.pool.tasks_inflight",
+        kind: "gauge",
+        help: "spawned pool jobs not yet finished (volatile)",
+    },
+    MetricDef {
+        name: "exec.pool.workers_parked",
+        kind: "gauge",
+        help: "pool workers parked waiting for work (volatile)",
+    },
+    MetricDef {
         name: "fig4.candidate_accuracy",
         kind: "series",
         help: "validation accuracy per trained candidate (Figure 4)",
@@ -146,6 +166,21 @@ pub const METRICS: &[MetricDef] = &[
         name: "fig5.candidates_trained",
         kind: "counter",
         help: "candidate structures actually trained for Figure 5",
+    },
+    MetricDef {
+        name: "http.connections",
+        kind: "gauge",
+        help: "scrape-server connections currently being served (volatile)",
+    },
+    MetricDef {
+        name: "http.dropped",
+        kind: "counter",
+        help: "scrape connections refused at the connection cap (volatile)",
+    },
+    MetricDef {
+        name: "http.requests",
+        kind: "counter",
+        help: "scrape requests parsed by the obs HTTP server (volatile)",
     },
     MetricDef {
         name: "oracle.progress.queries",

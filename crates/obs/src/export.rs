@@ -54,6 +54,36 @@ pub fn is_wall_clock(name: &str) -> bool {
     name.ends_with(".wall_ns")
 }
 
+/// Whether a metric is **volatile**: its value depends on wall clock,
+/// scheduling, or scrape traffic rather than on the attack computation, so
+/// deterministic exports (and the default `/metrics` rendering) drop it.
+///
+/// Volatile families: `*.wall_ns` (wall clock), `exec.pool.*` (live pool
+/// gauges — queue depth and steal counts are schedule-dependent), and
+/// `http.*` (scrape-server traffic — including them would make a scrape
+/// perturb the next scrape).
+#[must_use]
+pub fn is_volatile(name: &str) -> bool {
+    is_wall_clock(name) || name.starts_with("exec.pool.") || name.starts_with("http.")
+}
+
+/// Mangles a dotted metric name into the Prometheus exposition charset:
+/// `cnnre_` prefix, every character outside `[a-zA-Z0-9_]` becomes `_`
+/// (`accel.dram.writes` → `cnnre_accel_dram_writes`).
+#[must_use]
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("cnnre_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
 impl Snapshot {
     /// Scalar value of `name` (see [`MetricValue::as_f64`]), or `None`.
     #[must_use]
@@ -72,15 +102,16 @@ impl Snapshot {
 
     /// Serializes to a single pretty-printed JSON object, keys sorted.
     ///
-    /// With `include_wall_clock == false`, metrics named `*.wall_ns` are
-    /// dropped, making the output deterministic across identical seeded
-    /// runs.
+    /// With `include_wall_clock == false`, [volatile](is_volatile) metrics
+    /// (`*.wall_ns` wall-clock timings, live `exec.pool.*` gauges, `http.*`
+    /// scrape-traffic counters) are dropped, making the output
+    /// deterministic across identical seeded runs at any thread count.
     #[must_use]
     pub fn to_json(&self, include_wall_clock: bool) -> String {
         let mut out = String::from("{\n");
         let mut first = true;
         for (name, value) in &self.entries {
-            if !include_wall_clock && is_wall_clock(name) {
+            if !include_wall_clock && is_volatile(name) {
                 continue;
             }
             if !first {
@@ -161,6 +192,73 @@ impl Snapshot {
         out
     }
 
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` (when the name is catalogued) and
+    /// `# TYPE` headers followed by the samples, names mangled by
+    /// [`prometheus_name`], ordered by dotted metric name.
+    ///
+    /// Counters and gauges map directly; histograms render as a summary
+    /// (`{quantile="0.5|0.9|0.99"}` plus `_sum`/`_count`); series render
+    /// as `_count`/`_sum` gauges (the full array has no Prometheus
+    /// shape).
+    ///
+    /// With `include_volatile == false` — the `/metrics` default —
+    /// [volatile](is_volatile) metrics are dropped, so two scrapes of a
+    /// finished run are byte-identical and a scrape never perturbs the
+    /// next one.
+    #[must_use]
+    pub fn to_prometheus(&self, include_volatile: bool) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            if !include_volatile && is_volatile(name) {
+                continue;
+            }
+            let pname = prometheus_name(name);
+            if let Ok(i) = crate::catalog::METRICS.binary_search_by(|d| d.name.cmp(name.as_str())) {
+                let _ = writeln!(out, "# HELP {pname} {}", crate::catalog::METRICS[i].help);
+            }
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {pname} counter");
+                    let _ = write!(out, "{pname} ");
+                    json::push_u64(&mut out, *c);
+                    out.push('\n');
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {pname} gauge");
+                    let _ = write!(out, "{pname} ");
+                    json::push_f64(&mut out, *g);
+                    out.push('\n');
+                }
+                MetricValue::Series(s) => {
+                    let _ = writeln!(out, "# TYPE {pname}_count gauge");
+                    let _ = write!(out, "{pname}_count ");
+                    json::push_u64(&mut out, s.len() as u64);
+                    out.push('\n');
+                    let _ = writeln!(out, "# TYPE {pname}_sum gauge");
+                    let _ = write!(out, "{pname}_sum ");
+                    json::push_f64(&mut out, s.iter().sum());
+                    out.push('\n');
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {pname} summary");
+                    for (q, v) in [("0.5", h.p50), ("0.9", h.p90), ("0.99", h.p99)] {
+                        let _ = write!(out, "{pname}{{quantile=\"{q}\"}} ");
+                        json::push_f64(&mut out, v);
+                        out.push('\n');
+                    }
+                    let _ = write!(out, "{pname}_sum ");
+                    json::push_f64(&mut out, h.mean * h.count as f64);
+                    out.push('\n');
+                    let _ = write!(out, "{pname}_count ");
+                    json::push_u64(&mut out, h.count);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+
     /// A human-readable fixed-width summary table.
     #[must_use]
     pub fn to_table(&self) -> String {
@@ -236,6 +334,8 @@ mod tests {
         r.series("solver.candidates_per_layer").push(18.0);
         r.series("solver.candidates_per_layer").push(3.0);
         r.counter("span.total.wall_ns").add(999);
+        r.counter("http.requests").add(5);
+        r.gauge("exec.pool.queue_depth").set(3.0);
         crate::set_enabled(false);
         r.snapshot()
     }
@@ -247,7 +347,11 @@ mod tests {
         assert!(det.contains("\"accel.dram.writes\": 12"));
         assert!(det.contains("\"solver.candidates_per_layer\": [18,3]"));
         assert!(!det.contains("wall_ns"));
-        assert!(s.to_json(true).contains("\"span.total.wall_ns\": 999"));
+        assert!(!det.contains("http.requests"));
+        assert!(!det.contains("exec.pool.queue_depth"));
+        let full = s.to_json(true);
+        assert!(full.contains("\"span.total.wall_ns\": 999"));
+        assert!(full.contains("\"http.requests\": 5"));
         // Keys appear in sorted order.
         let a = det.find("accel.dram.writes").unwrap();
         let b = det.find("attack.error").unwrap();
@@ -272,6 +376,54 @@ mod tests {
         assert!(b.contains("\"experiment\": \"fig3\""));
         assert!(b.contains("\"solver.candidates_per_layer\": 3"));
         assert!(b.contains("\"solver.candidates_per_layer.sum\": 21"));
+    }
+
+    #[test]
+    fn volatile_covers_wall_clock_pool_and_http() {
+        assert!(is_volatile("span.total.wall_ns"));
+        assert!(is_volatile("exec.pool.steals"));
+        assert!(is_volatile("http.requests"));
+        assert!(!is_volatile("accel.dram.writes"));
+        assert!(!is_volatile("events.clients"));
+    }
+
+    #[test]
+    fn prometheus_names_are_mangled() {
+        assert_eq!(
+            prometheus_name("accel.dram.writes"),
+            "cnnre_accel_dram_writes"
+        );
+        assert_eq!(
+            prometheus_name("span.attack.structure.calls"),
+            "cnnre_span_attack_structure_calls"
+        );
+    }
+
+    #[test]
+    fn prometheus_render_is_deterministic_and_drops_volatile() {
+        let s = sample();
+        let prom = s.to_prometheus(false);
+        assert_eq!(
+            prom,
+            s.to_prometheus(false),
+            "two renders must be byte-identical"
+        );
+        assert!(prom.contains(
+            "# HELP cnnre_accel_dram_writes DRAM write transactions issued by the engine"
+        ));
+        assert!(
+            prom.contains("# TYPE cnnre_accel_dram_writes counter\ncnnre_accel_dram_writes 12\n")
+        );
+        assert!(prom.contains("# TYPE cnnre_attack_error gauge\ncnnre_attack_error 0.25\n"));
+        assert!(prom.contains("cnnre_solver_candidates_per_layer_count 2\n"));
+        assert!(prom.contains("cnnre_solver_candidates_per_layer_sum 21\n"));
+        assert!(
+            !prom.contains("wall_ns") && !prom.contains("http_") && !prom.contains("exec_pool")
+        );
+        let full = s.to_prometheus(true);
+        assert!(full.contains("cnnre_http_requests 5\n"));
+        assert!(full.contains("cnnre_exec_pool_queue_depth 3\n"));
+        assert!(full.contains("cnnre_span_total_wall_ns 999\n"));
     }
 
     #[test]

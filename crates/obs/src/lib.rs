@@ -59,10 +59,12 @@
 pub mod bench;
 pub mod catalog;
 pub mod export;
+pub mod http;
 mod json;
 pub mod log;
 pub mod profile;
 mod registry;
+pub mod run;
 pub mod span;
 pub mod stream;
 

@@ -251,6 +251,25 @@ pub fn take() -> Vec<ProfileEvent> {
     out
 }
 
+/// Clones every stored event in slot order **without draining** — the
+/// live `/profile` endpoint's mid-run view. The ring keeps recording;
+/// slots claimed by a writer but not yet stored are skipped, and no
+/// registry counters are touched.
+#[must_use]
+pub fn snapshot_events() -> Vec<ProfileEvent> {
+    let r = ring();
+    // Acquire pairs with the writers' slot claims so every slot below
+    // the observed cursor is at least claimed (stored or skipped).
+    let claimed = r.next.load(Ordering::Acquire).min(r.slots.len());
+    let mut out = Vec::with_capacity(claimed);
+    for slot in &r.slots[..claimed] {
+        if let Some(ev) = slot.lock().unwrap_or_else(PoisonError::into_inner).as_ref() {
+            out.push(ev.clone());
+        }
+    }
+    out
+}
+
 /// Clears the ring and the drop counter without exporting anything.
 pub fn reset() {
     let _ = take_silent();
@@ -802,6 +821,25 @@ mod tests {
         let events = take();
         assert!(events.is_empty());
         assert_eq!(dropped(), 0, "take() resets the drop counter");
+        set_enabled(false);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn snapshot_clones_without_draining() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        set_enabled(true);
+        reset();
+        count("solver.progress.proftest_snapshot", 2.0);
+        let has_marker = |evs: &[ProfileEvent]| {
+            evs.iter().any(|e| {
+                matches!(&e.kind, EventKind::Count { name, .. } if name.contains("proftest_snapshot"))
+            })
+        };
+        assert!(has_marker(&snapshot_events()));
+        // The snapshot left the ring intact: draining still sees the event.
+        assert!(has_marker(&take()));
         set_enabled(false);
         crate::set_enabled(false);
     }

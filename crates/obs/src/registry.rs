@@ -418,4 +418,37 @@ mod model_tests {
             "contended registry must explore several schedules"
         );
     }
+
+    /// A scrape (`snapshot`) racing a recording thread — the HTTP
+    /// `/metrics` path against a live attack. Under every schedule the
+    /// snapshot is a consistent point-in-time copy: the counter reads 0
+    /// or 1 (never garbage, never a torn entry) and the recording thread
+    /// always lands its increment.
+    #[test]
+    fn snapshot_during_concurrent_increment_is_consistent() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        let stats = check(|| {
+            let r = Arc::new(Registry::new());
+            let recorder = {
+                let r = Arc::clone(&r);
+                thread::spawn(move || r.counter("scrape.race").inc())
+            };
+            let snap = r.snapshot();
+            recorder.join().expect("recorder joined");
+            match snap.entries.get("scrape.race") {
+                None => {} // scraped before the entry existed
+                Some(MetricValue::Counter(v)) => {
+                    assert!(*v <= 1, "impossible counter value {v}");
+                }
+                Some(other) => panic!("scrape.race has wrong kind: {other:?}"),
+            }
+            assert_eq!(r.counter("scrape.race").get(), 1, "increment was lost");
+        });
+        crate::set_enabled(false);
+        assert!(
+            stats.executions > 1,
+            "scrape-during-record must explore several schedules"
+        );
+    }
 }

@@ -940,6 +940,69 @@ pub fn take_recorded_bytes() -> Vec<u8> {
     out
 }
 
+/// A complete stream (header + every recorded frame) cloned from the
+/// recording buffer **without draining** — the HTTP `/events` replay
+/// view. `--events-out` still sees every frame at process exit.
+#[must_use]
+pub fn recorded_stream_snapshot() -> Vec<u8> {
+    let buf = lock(&hub().buffer);
+    let mut out = header();
+    for f in buf.iter() {
+        out.extend_from_slice(f);
+    }
+    out
+}
+
+/// Drops every closed client and refreshes the `events.clients` gauge.
+/// Called from a writer thread's failure exit and from [`LiveTap`] detach,
+/// so a mid-run disconnect is reflected immediately instead of at the next
+/// emit (the emit path additionally prunes inline under its own lock).
+fn prune_closed() {
+    let mut clients = lock(&hub().clients);
+    // Acquire pairs with the Release store that closed the client; see
+    // the emit-path prune for the full protocol note.
+    clients.retain(|c| !c.closed.load(Ordering::Acquire));
+    crate::gauge("events.clients").set(clients.len() as f64);
+}
+
+/// A live tap on the hub for the HTTP `/events?follow=1` bridge: frames
+/// emitted after attach land in a bounded per-tap queue, drained by
+/// [`LiveTap::take_queued`] from the serving thread. Dropping the tap
+/// disconnects it and immediately updates `events.clients`.
+pub(crate) struct LiveTap {
+    client: Arc<Client>,
+}
+
+impl LiveTap {
+    /// Registers a new tap on the hub.
+    pub(crate) fn attach() -> Self {
+        let client = Arc::new(Client::new());
+        register_client(Arc::clone(&client));
+        LiveTap { client }
+    }
+
+    /// Drains every frame currently queued, without blocking.
+    pub(crate) fn take_queued(&self) -> Vec<Vec<u8>> {
+        lock(&self.client.queue).drain(..).collect()
+    }
+}
+
+impl Drop for LiveTap {
+    fn drop(&mut self) {
+        {
+            // Close under the queue mutex — the same lost-wakeup-safe
+            // protocol as `reset`. Lock order is respected: this scope
+            // holds only `client.queue`, and `prune_closed` below holds
+            // only `clients`; the two are never nested.
+            let _queue = lock(&self.client.queue);
+            // Release pairs with the Acquire prune loads.
+            self.client.closed.store(true, Ordering::Release);
+            self.client.ready.notify_all();
+        }
+        prune_closed();
+    }
+}
+
 fn register_client(client: Arc<Client>) {
     let mut clients = lock(&hub().clients);
     clients.push(client);
@@ -970,6 +1033,9 @@ fn writer_loop<W: Write>(client: &Client, sink: &mut W) {
             // Release publishes the write failure to the Acquire `closed`
             // loads on the emit-path prune and in `flush`.
             client.closed.store(true, Ordering::Release);
+            // Prune now so `events.clients` reflects the disconnect
+            // immediately, not only at the next emit.
+            prune_closed();
             return;
         }
     }
@@ -1047,6 +1113,7 @@ pub fn reset() {
         c.ready.notify_all();
     }
     clients.clear();
+    crate::gauge("events.clients").set(0.0);
 }
 
 #[cfg(test)]
@@ -1364,6 +1431,93 @@ mod tests {
             }
         );
         assert_eq!(second.cycle, 9);
+    }
+
+    #[test]
+    fn writer_failure_decrements_clients_gauge_without_an_emit() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        reset();
+        let client = Arc::new(Client::new());
+        register_client(Arc::clone(&client));
+        assert_eq!(crate::global().snapshot().get("events.clients"), Some(1.0));
+        lock(&client.queue).push_back(vec![1, 2, 3]);
+        struct FailSink;
+        impl Write for FailSink {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        // The writer hits the broken sink, closes the client, and prunes —
+        // no subsequent emit is needed for the gauge to drop.
+        writer_loop(&client, &mut FailSink);
+        assert_eq!(crate::global().snapshot().get("events.clients"), Some(0.0));
+        crate::set_enabled(false);
+        crate::global().reset();
+        reset();
+    }
+
+    #[test]
+    fn reset_zeroes_the_clients_gauge() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        reset();
+        register_client(Arc::new(Client::new()));
+        assert_eq!(crate::global().snapshot().get("events.clients"), Some(1.0));
+        reset();
+        assert_eq!(crate::global().snapshot().get("events.clients"), Some(0.0));
+        crate::set_enabled(false);
+        crate::global().reset();
+    }
+
+    #[test]
+    fn recorded_snapshot_does_not_drain() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        set_enabled(true);
+        reset();
+        set_record(true);
+        start_run("attack.snapshot_test");
+        emit(EventPayload::RunFinished { structures: 1 });
+        let a = recorded_stream_snapshot();
+        let b = recorded_stream_snapshot();
+        assert_eq!(a, b, "two snapshots of a quiet hub are byte-identical");
+        assert_eq!(recorded_len(), 2, "snapshotting must not drain the buffer");
+        let events = read_stream(&a[..]).expect("snapshot is a valid stream");
+        assert_eq!(events.len(), 2);
+        assert_eq!(take_recorded_bytes(), a, "the drain sees the same bytes");
+        set_record(false);
+        set_enabled(false);
+        crate::set_enabled(false);
+        crate::global().reset();
+        reset();
+    }
+
+    #[test]
+    fn live_tap_receives_frames_and_detaches() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        set_enabled(true);
+        reset();
+        let tap = LiveTap::attach();
+        assert_eq!(crate::global().snapshot().get("events.clients"), Some(1.0));
+        emit(EventPayload::RunFinished { structures: 7 });
+        let frames = tap.take_queued();
+        assert_eq!(frames.len(), 1);
+        assert!(tap.take_queued().is_empty(), "take_queued drains");
+        drop(tap);
+        assert_eq!(
+            crate::global().snapshot().get("events.clients"),
+            Some(0.0),
+            "detach updates the gauge immediately"
+        );
+        set_enabled(false);
+        crate::set_enabled(false);
+        crate::global().reset();
+        reset();
     }
 }
 

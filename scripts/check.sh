@@ -52,6 +52,29 @@ echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
 
+echo "==> live obs plane (serve-obs on loopback, scrape all endpoints, diff vs JSON export)"
+# Start a real experiment with the embedded scrape server on an
+# ephemeral port, learn the address from CNNRE_OBS_ADDR_FILE, probe all
+# five endpoints with the in-tree client (no curl), cross-check
+# /metrics against the end-of-run JSON export, and release the hold.
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$VIZ_TMP" "$OBS_TMP"' EXIT
+rm -f "$OBS_TMP/addr" "$OBS_TMP/BENCH_table3.json"
+CNNRE_QUICK=1 CNNRE_OBS_ADDR_FILE="$OBS_TMP/addr" \
+    ./target/release/table3 --threads 2 --serve-obs 127.0.0.1:0 \
+    --serve-obs-hold --out "$OBS_TMP/BENCH_table3.json" >/dev/null &
+OBS_PID=$!
+for _ in $(seq 1 600); do
+    [[ -s "$OBS_TMP/addr" && -s "$OBS_TMP/BENCH_table3.json" ]] && break
+    if ! kill -0 "$OBS_PID" 2>/dev/null; then
+        echo "serve-obs run exited before serving" >&2; exit 1
+    fi
+    sleep 0.1
+done
+./target/release/cnnre obs-probe "$(cat "$OBS_TMP/addr")" \
+    --against "$OBS_TMP/BENCH_table3.json" --quit
+wait "$OBS_PID"
+
 echo "==> tier-1 (multi-threaded solve): CNNRE_THREADS=4 cargo test -q"
 # Re-run the suite with the parallel solver/oracle engines engaged so the
 # determinism guarantees (byte-identical candidates, goldens, telemetry)

@@ -38,6 +38,12 @@ fn main() {
     let profile_path = take_flag_value(&mut args, "--profile-out");
     let events_path = take_flag_value(&mut args, "--events-out");
     let events_tcp = take_flag_value(&mut args, "--events-tcp");
+    let serve_obs = take_flag_value(&mut args, "--serve-obs");
+    let serve_obs_hold = take_bool_flag(&mut args, "--serve-obs-hold");
+    if serve_obs_hold && serve_obs.is_none() {
+        eprintln!("--serve-obs-hold needs --serve-obs ADDR");
+        std::process::exit(2);
+    }
     if let Some(threads) = take_flag_value(&mut args, "--threads") {
         // Installed before any config is built, so `SolverConfig::default`
         // and `RecoveryConfig::default` pick the worker count up. Attack
@@ -94,6 +100,24 @@ fn main() {
             }
         }
     }
+    // The live scrape server wants every signal source on: metrics (done
+    // by obsd::serve itself), the profiler ring for /profile, and the
+    // recorded event stream for /events replay.
+    let mut obs_daemon = match &serve_obs {
+        Some(addr) => {
+            cnnre_obs::profile::set_enabled(true);
+            cnnre_obs::stream::set_enabled(true);
+            cnnre_obs::stream::set_record(true);
+            match cnn_reveng::attacks::obsd::serve(addr) {
+                Ok(d) => Some(d),
+                Err(e) => {
+                    eprintln!("cannot serve observability on {addr}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => None,
+    };
     let code = match args.first().map(String::as_str) {
         Some("trace") => cmd_trace(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
@@ -101,6 +125,7 @@ fn main() {
         Some("attack" | "attack-structure") => cmd_attack_structure(&args[1..]),
         Some("attack-weights") => cmd_attack_weights(&args[1..]),
         Some("defend") => cmd_defend(&args[1..]),
+        Some("obs-probe") => cmd_obs_probe(&args[1..]),
         Some("--list-metrics" | "list-metrics") => {
             print!("{}", cnnre_obs::catalog::render_table());
             0
@@ -162,6 +187,20 @@ fn main() {
         }
         eprintln!("metrics written to {path}");
     }
+    if let Some(daemon) = &obs_daemon {
+        if serve_obs_hold && code == 0 {
+            eprintln!(
+                "cnnre: run finished; still serving http://{} until GET /quit (--serve-obs-hold)",
+                daemon.addr()
+            );
+            daemon.wait_quit();
+        }
+    }
+    if let Some(mut daemon) = obs_daemon.take() {
+        // Explicit: process::exit below skips destructors, and the daemon
+        // owns live sockets plus a worker pool.
+        daemon.shutdown();
+    }
     std::process::exit(code);
 }
 
@@ -178,6 +217,18 @@ fn take_flag_value(args: &mut Vec<String>, name: &str) -> Option<String> {
     Some(value)
 }
 
+/// Removes the bare flag `name` from `args`, returning whether it was
+/// present.
+fn take_bool_flag(args: &mut Vec<String>, name: &str) -> bool {
+    match args.iter().position(|a| a == name) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
 fn print_usage() {
     println!(
         "cnnre — reverse engineering CNNs through memory side channels (DAC'18 reproduction)\n\n\
@@ -185,6 +236,7 @@ fn print_usage() {
          cnnre analyze <trace-file> [--input WxC] [--classes N] [--stats] [--layers]\n  \
          cnnre attack-structure <model>      (alias: cnnre attack <model>)\n  \
          cnnre attack-weights [--filters N] [--via-trace]\n  cnnre defend <model>\n  \
+         cnnre obs-probe ADDR [--against METRICS_JSON] [--quit]\n  \
          cnnre --list-metrics\n\n\
          GLOBAL FLAGS:\n  \
          --threads N          worker threads for the parallel attack engines (default:\n                       \
@@ -198,6 +250,10 @@ fn print_usage() {
          (view with `cnnre-viz --replay FILE`)\n  \
          --events-tcp ADDR    stream attack events to a listening viewer\n                       \
          (start `cnnre-viz --listen ADDR` first)\n  \
+         --serve-obs ADDR     serve live observability over HTTP while running:\n                       \
+         /metrics /profile /progress /events /health\n                       \
+         (scrape with `cnnre obs-probe` or any Prometheus client)\n  \
+         --serve-obs-hold     keep serving after the run until a scraper sends GET /quit\n  \
          --log-level LEVEL    stderr verbosity: error|warn|info|debug|trace|off\n                       \
          (also settable via the CNNRE_LOG environment variable)\n\n\
          MODELS: lenet | convnet | alexnet | squeezenet | vgg11 | vgg16 | resnet | inception\n        \
@@ -485,6 +541,170 @@ fn cmd_attack_weights(args: &[String]) -> i32 {
         rec.queries
     );
     0
+}
+
+/// `cnnre obs-probe ADDR [--against METRICS_JSON] [--quit]` — scrapes a
+/// live `--serve-obs` server with the in-tree HTTP client (no curl in
+/// the tree) and validates all five endpoints. With `--against`, every
+/// scalar metric in a `--metrics`/bench JSON export is cross-checked
+/// against the `/metrics` Prometheus text; with `--quit`, the probe ends
+/// a `--serve-obs-hold` run. Exit 0 only when every check passed.
+fn cmd_obs_probe(args: &[String]) -> i32 {
+    let Some(addr) = args.first() else {
+        eprintln!("usage: cnnre obs-probe ADDR [--against METRICS_JSON] [--quit]");
+        return 2;
+    };
+    let against = match args.iter().position(|a| a == "--against") {
+        Some(pos) => match args.get(pos + 1) {
+            Some(path) => Some(path.clone()),
+            None => {
+                eprintln!("--against needs a metrics JSON path");
+                return 2;
+            }
+        },
+        None => None,
+    };
+    let probe = |path: &str| -> Result<Vec<u8>, String> {
+        match cnnre_obs::http::get(addr, path) {
+            Ok((200, body)) => Ok(body),
+            Ok((status, _)) => Err(format!("status {status}")),
+            Err(e) => Err(e.to_string()),
+        }
+    };
+    let mut failures = 0usize;
+    let mut check = |endpoint: &str, outcome: Result<(), String>| match outcome {
+        Ok(()) => eprintln!("obs-probe: {endpoint} OK"),
+        Err(why) => {
+            eprintln!("obs-probe: {endpoint} FAILED: {why}");
+            failures += 1;
+        }
+    };
+    check(
+        "/health",
+        probe("/health").and_then(|body| {
+            if String::from_utf8_lossy(&body).contains("\"status\": \"ok\"") {
+                Ok(())
+            } else {
+                Err("no ok status in body".to_string())
+            }
+        }),
+    );
+    let metrics_text = match probe("/metrics") {
+        Ok(body) => {
+            let text = String::from_utf8_lossy(&body).into_owned();
+            let shaped = text.starts_with('#') && text.contains("cnnre_");
+            check(
+                "/metrics",
+                if shaped {
+                    Ok(())
+                } else {
+                    Err("not Prometheus text with cnnre_ families".to_string())
+                },
+            );
+            Some(text)
+        }
+        Err(e) => {
+            check("/metrics", Err(e));
+            None
+        }
+    };
+    check(
+        "/profile?clock=cycles",
+        probe("/profile?clock=cycles").and_then(|body| {
+            if String::from_utf8_lossy(&body).contains("traceEvents") {
+                Ok(())
+            } else {
+                Err("no traceEvents array".to_string())
+            }
+        }),
+    );
+    check(
+        "/progress",
+        probe("/progress").and_then(|body| {
+            if String::from_utf8_lossy(&body).contains("\"runs\"") {
+                Ok(())
+            } else {
+                Err("no runs table".to_string())
+            }
+        }),
+    );
+    check(
+        "/events",
+        probe("/events").and_then(|body| {
+            if body.starts_with(cnnre_obs::stream::MAGIC) {
+                Ok(())
+            } else {
+                Err("replay does not start with the stream magic".to_string())
+            }
+        }),
+    );
+    if let (Some(json_path), Some(prom)) = (&against, &metrics_text) {
+        check(
+            "/metrics vs JSON export",
+            compare_metrics_against_json(prom, json_path),
+        );
+    }
+    if args.iter().any(|a| a == "--quit") {
+        check("/quit", probe("/quit").map(|_| ()));
+    }
+    if failures == 0 {
+        eprintln!("obs-probe: all checks passed");
+        0
+    } else {
+        1
+    }
+}
+
+/// Cross-checks the `/metrics` Prometheus text against a flat JSON
+/// metrics export: every deterministic scalar `"name": value` line must
+/// agree with the `cnnre_`-mangled sample. Series/histogram families are
+/// skipped (their exposition shape differs); at least one scalar must
+/// match so an empty intersection cannot pass vacuously.
+fn compare_metrics_against_json(prom: &str, json_path: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(json_path).map_err(|e| format!("cannot read {json_path}: {e}"))?;
+    let mut matched = 0usize;
+    let mut mismatches = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((name, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        let Ok(expected) = value.trim().parse::<f64>() else {
+            continue;
+        };
+        if name == "experiment" || cnnre_obs::export::is_volatile(name) {
+            continue;
+        }
+        let family = format!("{} ", cnnre_obs::export::prometheus_name(name));
+        let Some(actual) = prom
+            .lines()
+            .find_map(|pl| pl.strip_prefix(&family))
+            .and_then(|v| v.trim().parse::<f64>().ok())
+        else {
+            continue;
+        };
+        if (actual - expected).abs() <= 1e-9 * expected.abs().max(1.0) {
+            matched += 1;
+        } else {
+            mismatches.push(format!("{name}: JSON {expected} vs /metrics {actual}"));
+        }
+    }
+    if !mismatches.is_empty() {
+        return Err(format!(
+            "{} value mismatches: {}",
+            mismatches.len(),
+            mismatches.join("; ")
+        ));
+    }
+    if matched == 0 {
+        return Err("no scalar metric overlapped between the export and /metrics".to_string());
+    }
+    eprintln!("obs-probe: {matched} scalar metrics agree with {json_path}");
+    Ok(())
 }
 
 fn cmd_defend(args: &[String]) -> i32 {
